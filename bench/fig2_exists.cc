@@ -1,0 +1,68 @@
+// Figure 2 of the paper: a correlated EXISTS subquery.
+//
+//   SELECT * FROM customer c
+//   WHERE EXISTS (SELECT * FROM orders o
+//                 WHERE o.o_custkey = c.c_custkey
+//                   AND o.o_totalprice > 150000)
+//
+// Outer block: 1000 rows; inner block sweeps 300k/600k/900k/1.2M rows in
+// the paper (divided by 10 here; GMDJ_BENCH_SCALE=10 restores them).
+//
+// Series: "native" = the DBMS's specialized indexed EXISTS evaluation,
+// "unnest" = semi-join unnesting, "gmdj" = Table 1 counting translation,
+// "gmdj_optimized" = + completion (satisfy-on-first-match).
+//
+// Paper's qualitative result: unnesting and GMDJ both beat the native
+// specialized algorithm; GMDJ matches joins even on this simplest case.
+
+#include "bench_util.h"
+#include "workload/paper_queries.h"
+
+namespace gmdj {
+namespace {
+
+void BM_Fig2(benchmark::State& state, Strategy strategy) {
+  const int64_t inner = state.range(0);
+  OlapEngine* engine = bench::TpchEngine(1000, inner, /*lineitems=*/1);
+  const NestedSelect query = Fig2ExistsQuery();
+  bench::RunStrategy(state, engine, query, strategy);
+}
+
+void RegisterAll() {
+  static constexpr int64_t kPaperInner[] = {300'000, 600'000, 900'000,
+                                            1'200'000};
+  const struct {
+    const char* name;
+    Strategy strategy;
+  } kSeries[] = {
+      {"fig2/native", Strategy::kNativeIndexed},
+      {"fig2/unnest", Strategy::kUnnest},
+      {"fig2/gmdj", Strategy::kGmdj},
+      {"fig2/gmdj_optimized", Strategy::kGmdjOptimized},
+  };
+  for (const auto& series : kSeries) {
+    auto* b = benchmark::RegisterBenchmark(
+        series.name,
+        [strategy = series.strategy](benchmark::State& state) {
+          BM_Fig2(state, strategy);
+        });
+    b->Unit(benchmark::kMillisecond)->MinTime(0.05);
+    for (const int64_t inner : kPaperInner) {
+      b->Arg(bench::Scaled(inner / 10));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gmdj
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::AddCustomContext(
+      "experiment",
+      "Figure 2: EXISTS subquery (outer 1000 rows, inner sweep). Expected "
+      "shape: unnest ~ gmdj < native; gmdj_optimized fastest.");
+  gmdj::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Figure 4 of the paper: quantified comparison predicate ALL with a `<>`
+// correlation on key attributes (the NOT IN pattern):
+//
+//   SELECT * FROM customer c
+//   WHERE c.c_custkey <> ALL (SELECT o.o_custkey FROM orders o)
+//
+// Both blocks sweep 40k..160k rows in the paper (divided by 20 here —
+// the basic evaluations are quadratic).
+//
+// Series:
+//   native_smart    — the DBMS's "smart nested loop" (stop at the first
+//                     violating tuple).
+//   unnest_count    — the historically faithful outer-join + count
+//                     pipeline (no early termination; the configuration
+//                     behind the paper's 7-hour data point).
+//   unnest_antijoin — a modern anti-join rewrite (stronger than 2003
+//                     optimizers; shown for context).
+//   gmdj            — basic counting translation (mimics tuple iteration
+//                     here, as the paper observes).
+//   gmdj_optimized  — + ALL-pair completion: the paper's fix.
+
+#include "bench_util.h"
+#include "unnest/unnest.h"
+#include "workload/paper_queries.h"
+
+namespace gmdj {
+namespace {
+
+void BM_Fig4(benchmark::State& state, Strategy strategy) {
+  const int64_t n = state.range(0);
+  OlapEngine* engine = bench::TpchEngine(n, n, /*lineitems=*/1);
+  const NestedSelect query = Fig4AllQuery();
+  bench::RunStrategy(state, engine, query, strategy);
+}
+
+// The count-pipeline variant is not an engine Strategy; drive it directly.
+void BM_Fig4UnnestCount(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  OlapEngine* engine = bench::TpchEngine(n, n, /*lineitems=*/1);
+  const NestedSelect query = Fig4AllQuery();
+  UnnestOptions options;
+  options.all_via_outer_join_count = true;
+  size_t rows = 0;
+  for (auto _ : state) {
+    Result<PlanPtr> plan =
+        UnnestToJoins(query.Clone(), *engine->catalog(), options);
+    if (!plan.ok() || !(*plan)->Prepare(*engine->catalog()).ok()) {
+      state.SkipWithError("translation failed");
+      return;
+    }
+    ExecContext ctx(engine->catalog());
+    const Result<Table> result = (*plan)->Execute(&ctx);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    rows = result->num_rows();
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["result_rows"] = static_cast<double>(rows);
+}
+
+void RegisterAll() {
+  static constexpr int64_t kPaperSizes[] = {40'000, 80'000, 120'000,
+                                            160'000};
+  const struct {
+    const char* name;
+    Strategy strategy;
+  } kSeries[] = {
+      {"fig4/native_smart", Strategy::kNativeSmart},
+      {"fig4/unnest_antijoin", Strategy::kUnnest},
+      {"fig4/gmdj", Strategy::kGmdj},
+      {"fig4/gmdj_optimized", Strategy::kGmdjOptimized},
+  };
+  for (const auto& series : kSeries) {
+    auto* b = benchmark::RegisterBenchmark(
+        series.name,
+        [strategy = series.strategy](benchmark::State& state) {
+          BM_Fig4(state, strategy);
+        });
+    b->Unit(benchmark::kMillisecond)->MinTime(0.05);
+    for (const int64_t n : kPaperSizes) {
+      b->Arg(bench::Scaled(n / 20));
+    }
+  }
+  auto* b = benchmark::RegisterBenchmark("fig4/unnest_count",
+                                         BM_Fig4UnnestCount);
+  b->Unit(benchmark::kMillisecond)->MinTime(0.05);
+  for (const int64_t n : kPaperSizes) {
+    b->Arg(bench::Scaled(n / 20));
+  }
+}
+
+}  // namespace
+}  // namespace gmdj
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::AddCustomContext(
+      "experiment",
+      "Figure 4: ALL quantifier with <> key correlation, equal-size blocks. "
+      "Expected shape: unnest_count worst (no early termination); basic "
+      "gmdj slow (tuple-iteration-like); gmdj_optimized (completion) "
+      "competitive with the native smart nested loop.");
+  gmdj::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

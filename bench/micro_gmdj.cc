@@ -1,0 +1,100 @@
+// M1: micro-benchmarks of the GMDJ operator itself.
+//
+//   conditions/m — detail-scan throughput versus the number of coalesced
+//                  conditions m (the cost of "one more subquery" in a
+//                  coalesced GMDJ).
+//   base/n       — scaling with the base-values cardinality at fixed
+//                  detail size (hash dispatch keeps per-row cost flat).
+//   aggs/k       — cost of additional aggregate functions per condition.
+
+#include "bench_util.h"
+#include "core/gmdj.h"
+#include "exec/nodes.h"
+#include "expr/expr_builder.h"
+
+namespace gmdj {
+namespace {
+
+PlanPtr MakeGmdj(int conditions, int aggs_per_condition) {
+  std::vector<GmdjCondition> conds;
+  for (int i = 0; i < conditions; ++i) {
+    GmdjCondition c;
+    // Distinct per-condition predicates over the same binding.
+    c.theta = And(Eq(Col("C.c_custkey"), Col("O.o_custkey")),
+                  Gt(Col("O.o_totalprice"),
+                     Lit(50000.0 * static_cast<double>(i + 1))));
+    c.aggs.push_back(CountStar("c" + std::to_string(i)));
+    for (int a = 1; a < aggs_per_condition; ++a) {
+      c.aggs.push_back(SumOf(Col("O.o_totalprice"),
+                             "s" + std::to_string(i) + "_" +
+                                 std::to_string(a)));
+    }
+    conds.push_back(std::move(c));
+  }
+  return std::make_unique<GmdjNode>(
+      std::make_unique<TableScanNode>("customer", "C"),
+      std::make_unique<TableScanNode>("orders", "O"), std::move(conds));
+}
+
+void RunPlanLoop(benchmark::State& state, int conditions, int aggs,
+                 int64_t customers, int64_t orders) {
+  OlapEngine* engine = bench::TpchEngine(customers, orders, 1);
+  for (auto _ : state) {
+    PlanPtr plan = MakeGmdj(conditions, aggs);
+    if (!plan->Prepare(*engine->catalog()).ok()) {
+      state.SkipWithError("prepare failed");
+      return;
+    }
+    ExecContext ctx(engine->catalog());
+    const Result<Table> result = plan->Execute(&ctx);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * orders);
+}
+
+void BM_Conditions(benchmark::State& state) {
+  RunPlanLoop(state, static_cast<int>(state.range(0)), 1, 1000,
+              bench::Scaled(60'000));
+}
+
+void BM_BaseSize(benchmark::State& state) {
+  RunPlanLoop(state, 2, 1, state.range(0), bench::Scaled(60'000));
+}
+
+void BM_Aggs(benchmark::State& state) {
+  RunPlanLoop(state, 1, static_cast<int>(state.range(0)), 1000,
+              bench::Scaled(60'000));
+}
+
+}  // namespace
+}  // namespace gmdj
+
+BENCHMARK(gmdj::BM_Conditions)
+    ->Name("micro/conditions")
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.05)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8);
+BENCHMARK(gmdj::BM_BaseSize)
+    ->Name("micro/base_size")
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.05)
+    ->Arg(100)
+    ->Arg(1'000)
+    ->Arg(10'000)
+    ->Arg(100'000);
+BENCHMARK(gmdj::BM_Aggs)
+    ->Name("micro/aggs_per_condition")
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.05)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// The paper's Example 3.3 / 3.4: "which user accounts have been active
+// (the source of traffic) in every hour?" — a double existential negation
+// with a *non-neighboring* correlation predicate (the innermost block
+// references the outermost table, skipping a level).
+//
+// This is the only query family where the GMDJ translation introduces a
+// join (Theorems 3.3/3.4); the example prints the translated plan so the
+// row-id push-down is visible, and cross-checks all engines.
+//
+//   ./build/examples/active_users [num_flows] [num_users]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "engine/olap_engine.h"
+#include "expr/expr_builder.h"
+#include "nested/nested_builder.h"
+#include "workload/ipflow.h"
+
+namespace {
+
+using namespace gmdj;
+
+NestedSelect ActiveUsersQuery() {
+  // sigma[ NOT EXISTS sigma[ theta_H AND NOT EXISTS sigma[theta_F](Flow) ]
+  //        (Hours) ](User)
+  // theta_F correlates Flow to BOTH Hours (neighboring) and User
+  // (non-neighboring).
+  NestedSelect q;
+  q.source = From("User", "U");
+  q.where = NotExists(Sub(
+      From("Hours", "H"),
+      AndP(WherePred(Ge(Col("H.StartInterval"), Lit(int64_t{0}))),
+           NotExists(Sub(
+               From("Flow", "F"),
+               WherePred(And(
+                   And(Ge(Col("F.StartTime"), Col("H.StartInterval")),
+                       Lt(Col("F.StartTime"), Col("H.EndInterval"))),
+                   Eq(Col("F.SourceIP"), Col("U.IPAddress")))))))));
+  return q;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  IpFlowConfig config;
+  config.num_flows = argc > 1 ? std::atoll(argv[1]) : 20'000;
+  config.num_users = argc > 2 ? std::atoll(argv[2]) : 60;
+  config.num_hours = 24;
+  config.num_source_ips = 80;
+
+  OlapEngine engine;
+  engine.catalog()->PutTable("Flow", GenFlowTable(config));
+  engine.catalog()->PutTable("Hours", GenHoursTable(config));
+  engine.catalog()->PutTable("User", GenUserTable(config));
+
+  const NestedSelect query = ActiveUsersQuery();
+  std::printf("Query (Example 3.3):\n  %s\n\n", query.ToString().c_str());
+
+  const Result<std::string> plan = engine.Explain(query, Strategy::kGmdj);
+  if (plan.ok()) {
+    std::printf(
+        "SubqueryToGMDJ plan — note the single NLJoin implementing the "
+        "Theorem 3.3/3.4 base push-down:\n%s\n",
+        plan->c_str());
+  }
+
+  Result<Table> reference = engine.Execute(query, Strategy::kNativeIndexed);
+  if (!reference.ok()) {
+    std::fprintf(stderr, "native failed: %s\n",
+                 reference.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Active users (native evaluation, %.2f ms):\n%s\n",
+              engine.last_elapsed_ms(), reference->ToString(10).c_str());
+
+  for (const Strategy strategy :
+       {Strategy::kGmdj, Strategy::kGmdjOptimized, Strategy::kUnnest}) {
+    const Result<Table> result = engine.Execute(query, strategy);
+    if (!result.ok()) {
+      // Join unnesting cannot flatten non-neighboring correlation — the
+      // limitation the paper discusses in Section 3.2.
+      std::printf("%-16s -> %s\n", StrategyToString(strategy),
+                  result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%-16s -> %zu rows in %.2f ms (%s)\n",
+                StrategyToString(strategy), result->num_rows(),
+                engine.last_elapsed_ms(),
+                result->SameRowsAs(*reference) ? "matches native"
+                                               : "MISMATCH!");
+  }
+  return 0;
+}

@@ -1,0 +1,245 @@
+// Interactive SQL shell over the GMDJ engine — the whole repository in
+// one binary: the SQL front end, the cost advisor, all eight evaluation
+// strategies, plan explanation, and CSV export.
+//
+//   ./build/examples/gmdj_shell              # interactive
+//   echo "SELECT * FROM Hours" | ./build/examples/gmdj_shell
+//
+// Commands:
+//   <SQL>                 advisor picks the strategy, runs, prints rows
+//   \run <strategy> <SQL> force a strategy (see \strategies)
+//   \explain [strategy] <SQL>  show the physical plan
+//   \advise <SQL>         cost estimates for every strategy
+//   \tables, \schema <t>, \export <t> <path>, \help, \quit
+
+#include <cmath>
+#include <cstdio>
+#include <unistd.h>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "engine/advisor.h"
+#include "engine/olap_engine.h"
+#include "sql/parser.h"
+#include "storage/csv.h"
+#include "workload/ipflow.h"
+#include "workload/tpch_gen.h"
+
+namespace {
+
+using namespace gmdj;
+
+Strategy StrategyFromName(const std::string& name, bool* ok) {
+  *ok = true;
+  for (const Strategy s : AllStrategies()) {
+    if (name == StrategyToString(s)) return s;
+  }
+  *ok = false;
+  return Strategy::kGmdj;
+}
+
+void PrintHelp() {
+  std::printf(
+      "Commands:\n"
+      "  <SQL>                      run (advisor picks the strategy)\n"
+      "  \\run <strategy> <SQL>      force a strategy\n"
+      "  \\explain [strategy] <SQL>  show the physical plan\n"
+      "  \\advise <SQL>              per-strategy cost estimates\n"
+      "  \\tables                    list tables\n"
+      "  \\schema <table>            show a table's schema\n"
+      "  \\export <table> <path>     write a table as CSV\n"
+      "  \\strategies                list strategy names\n"
+      "  \\help   \\quit\n"
+      "Examples:\n"
+      "  SELECT * FROM Hours H WHERE EXISTS (SELECT * FROM Flow F WHERE\n"
+      "    F.StartTime >= H.StartInterval AND F.StartTime < "
+      "H.EndInterval)\n"
+      "  SELECT H.HourDescription, (SELECT SUM(F.NumBytes) FROM Flow F\n"
+      "    WHERE F.StartTime >= H.StartInterval AND F.StartTime <\n"
+      "    H.EndInterval) AS bytes FROM Hours H\n");
+}
+
+void LoadDefaultWarehouse(OlapEngine* engine) {
+  IpFlowConfig flow_config;
+  flow_config.num_flows = 50'000;
+  engine->catalog()->PutTable("Flow", GenFlowTable(flow_config));
+  engine->catalog()->PutTable("Hours", GenHoursTable(flow_config));
+  engine->catalog()->PutTable("User", GenUserTable(flow_config));
+  TpchConfig tpch;
+  tpch.num_customers = 1'000;
+  tpch.num_orders = 20'000;
+  tpch.num_lineitems = 40'000;
+  engine->catalog()->PutTable("customer", GenCustomerTable(tpch));
+  engine->catalog()->PutTable("orders", GenOrdersTable(tpch));
+  engine->catalog()->PutTable("lineitem", GenLineitemTable(tpch));
+  engine->catalog()->PutTable("supplier", GenSupplierTable(tpch));
+}
+
+void RunSql(OlapEngine* engine, const std::string& sql) {
+  auto parsed = ParseStatement(sql);
+  if (!parsed.ok()) {
+    std::printf("parse error: %s\n", parsed.status().ToString().c_str());
+    return;
+  }
+  StrategyAdvisor advisor(engine->catalog());
+  const auto strategy = advisor.Recommend(*parsed->select);
+  if (!strategy.ok()) {
+    std::printf("advisor error: %s\n", strategy.status().ToString().c_str());
+    return;
+  }
+  const auto result = engine->ExecuteSql(sql, *strategy);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s(%zu rows, %.2f ms, strategy %s)\n",
+              result->ToString(25).c_str(), result->num_rows(),
+              engine->last_elapsed_ms(), StrategyToString(*strategy));
+}
+
+void RunForced(OlapEngine* engine, std::istringstream* rest) {
+  std::string name;
+  *rest >> name;
+  bool ok = false;
+  const Strategy strategy = StrategyFromName(name, &ok);
+  if (!ok) {
+    std::printf("unknown strategy '%s' (try \\strategies)\n", name.c_str());
+    return;
+  }
+  std::string sql;
+  std::getline(*rest, sql);
+  const auto result = engine->ExecuteSql(sql, strategy);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s(%zu rows, %.2f ms)\n", result->ToString(25).c_str(),
+              result->num_rows(), engine->last_elapsed_ms());
+}
+
+void Explain(OlapEngine* engine, std::istringstream* rest) {
+  std::string first;
+  *rest >> first;
+  bool named = false;
+  Strategy strategy = StrategyFromName(first, &named);
+  std::string sql;
+  std::getline(*rest, sql);
+  if (!named) {
+    sql = first + sql;
+    strategy = Strategy::kGmdjOptimized;
+  }
+  auto parsed = ParseQuery(sql);
+  if (!parsed.ok()) {
+    std::printf("parse error: %s\n", parsed.status().ToString().c_str());
+    return;
+  }
+  const auto plan = engine->Explain(**parsed, strategy);
+  if (!plan.ok()) {
+    std::printf("error: %s\n", plan.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s\n", plan->c_str());
+}
+
+void Advise(OlapEngine* engine, const std::string& sql) {
+  auto parsed = ParseQuery(sql);
+  if (!parsed.ok()) {
+    std::printf("parse error: %s\n", parsed.status().ToString().c_str());
+    return;
+  }
+  StrategyAdvisor advisor(engine->catalog());
+  const auto estimates = advisor.EstimateAll(**parsed);
+  if (!estimates.ok()) {
+    std::printf("error: %s\n", estimates.status().ToString().c_str());
+    return;
+  }
+  std::printf("%-22s %14s  %s\n", "strategy", "est. row-ops", "rationale");
+  for (const auto& e : *estimates) {
+    if (std::isinf(e.cost)) {
+      std::printf("%-22s %14s  %s\n", StrategyToString(e.strategy),
+                  "unsupported", e.rationale.c_str());
+    } else {
+      std::printf("%-22s %14.0f  %s\n", StrategyToString(e.strategy), e.cost,
+                  e.rationale.c_str());
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  OlapEngine engine;
+  LoadDefaultWarehouse(&engine);
+  const bool interactive = isatty(fileno(stdin));
+  if (interactive) {
+    std::printf(
+        "GMDJ-OLAP shell. Warehouse loaded (Flow/Hours/User + "
+        "customer/orders/lineitem/supplier). \\help for commands.\n");
+  }
+
+  std::string line;
+  while (true) {
+    if (interactive) std::printf("gmdj> ");
+    if (!std::getline(std::cin, line)) break;
+    // Trim.
+    const size_t begin = line.find_first_not_of(" \t");
+    if (begin == std::string::npos) continue;
+    const size_t end = line.find_last_not_of(" \t");
+    line = line.substr(begin, end - begin + 1);
+    if (line.empty()) continue;
+
+    if (line[0] == '\\') {
+      std::istringstream stream(line.substr(1));
+      std::string command;
+      stream >> command;
+      if (command == "quit" || command == "q") break;
+      if (command == "help") {
+        PrintHelp();
+      } else if (command == "tables") {
+        for (const std::string& name : engine.catalog()->TableNames()) {
+          const auto table = engine.catalog()->GetTable(name);
+          std::printf("  %-12s %8zu rows\n", name.c_str(),
+                      (*table)->num_rows());
+        }
+      } else if (command == "schema") {
+        std::string name;
+        stream >> name;
+        const auto table = engine.catalog()->GetTable(name);
+        if (!table.ok()) {
+          std::printf("%s\n", table.status().ToString().c_str());
+        } else {
+          std::printf("%s\n", (*table)->schema().ToString().c_str());
+        }
+      } else if (command == "export") {
+        std::string name, path;
+        stream >> name >> path;
+        const auto table = engine.catalog()->GetTable(name);
+        if (!table.ok()) {
+          std::printf("%s\n", table.status().ToString().c_str());
+          continue;
+        }
+        const Status status = WriteCsvFile(**table, path);
+        std::printf("%s\n", status.ok() ? ("wrote " + path).c_str()
+                                        : status.ToString().c_str());
+      } else if (command == "strategies") {
+        for (const Strategy s : AllStrategies()) {
+          std::printf("  %s\n", StrategyToString(s));
+        }
+      } else if (command == "run") {
+        RunForced(&engine, &stream);
+      } else if (command == "explain") {
+        Explain(&engine, &stream);
+      } else if (command == "advise") {
+        std::string sql;
+        std::getline(stream, sql);
+        Advise(&engine, sql);
+      } else {
+        std::printf("unknown command '\\%s' (\\help)\n", command.c_str());
+      }
+      continue;
+    }
+    RunSql(&engine, line);
+  }
+  return 0;
+}

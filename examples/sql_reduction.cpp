@@ -1,0 +1,79 @@
+// The GMDJ-to-SQL reduction in action: queries in the SQL front end are
+// translated by Algorithm SubqueryToGMDJ and then rendered back as
+// portable conditional-aggregation SQL — ready to paste into any DBMS.
+// This is the deployment path of the authors' companion paper
+// ("Generalized MD-joins: Evaluation and Reduction to SQL") and the
+// "CASE statement" alternative the ICDE'03 paper benchmarks against.
+//
+//   ./build/examples/sql_reduction
+
+#include <cstdio>
+#include <string>
+
+#include "core/to_sql.h"
+#include "engine/olap_engine.h"
+#include "sql/parser.h"
+#include "workload/ipflow.h"
+#include "workload/tpch_gen.h"
+
+namespace {
+
+using namespace gmdj;
+
+void Reduce(const OlapEngine& engine, const char* title, const char* sql) {
+  std::printf("=== %s ===\ninput:\n  %s\n", title, sql);
+  auto parsed = ParseQuery(sql);
+  if (!parsed.ok()) {
+    std::printf("parse error: %s\n\n", parsed.status().ToString().c_str());
+    return;
+  }
+  const Result<std::string> reduced =
+      NestedQueryToSql(**parsed, engine.catalog());
+  if (!reduced.ok()) {
+    std::printf("reduction: %s\n\n", reduced.status().ToString().c_str());
+    return;
+  }
+  std::printf("reduced SQL (one left outer join + conditional "
+              "aggregation per GMDJ):\n  %s\n\n",
+              reduced->c_str());
+}
+
+}  // namespace
+
+int main() {
+  OlapEngine engine;
+  IpFlowConfig flow_config;
+  flow_config.num_flows = 1000;
+  engine.catalog()->PutTable("Flow", GenFlowTable(flow_config));
+  engine.catalog()->PutTable("Hours", GenHoursTable(flow_config));
+  TpchConfig tpch;
+  engine.catalog()->PutTable("customer", GenCustomerTable(tpch));
+  engine.catalog()->PutTable("orders", GenOrdersTable(tpch));
+
+  Reduce(engine, "Example 2.2 (EXISTS over hour buckets)",
+         "SELECT * FROM Hours H WHERE EXISTS (SELECT * FROM Flow F WHERE "
+         "F.DestIP = '167.167.0.0' AND F.StartTime >= H.StartInterval AND "
+         "F.StartTime < H.EndInterval)");
+
+  Reduce(engine, "Correlated aggregate comparison",
+         "SELECT * FROM customer C WHERE C.c_acctbal > (SELECT "
+         "AVG(O.o_totalprice) FROM orders O WHERE O.o_custkey = "
+         "C.c_custkey)");
+
+  Reduce(engine, "NOT IN via counting",
+         "SELECT * FROM customer C WHERE C.c_custkey NOT IN (SELECT "
+         "O.o_custkey FROM orders O)");
+
+  Reduce(engine, "Example 2.3 (three subqueries, coalescible)",
+         "SELECT DISTINCT F0.SourceIP FROM Flow F0 WHERE "
+         "NOT EXISTS (SELECT * FROM Flow F1 WHERE F1.SourceIP = "
+         "F0.SourceIP AND F1.DestIP = '167.167.0.0') AND "
+         "EXISTS (SELECT * FROM Flow F2 WHERE F2.SourceIP = F0.SourceIP "
+         "AND F2.DestIP = '167.167.0.1')");
+
+  Reduce(engine, "Non-neighboring correlation (no portable reduction)",
+         "SELECT * FROM customer C WHERE NOT EXISTS (SELECT * FROM orders "
+         "O WHERE O.o_custkey = C.c_custkey AND NOT EXISTS (SELECT * FROM "
+         "Flow F WHERE F.NumBytes = C.c_custkey))");
+  return 0;
+}

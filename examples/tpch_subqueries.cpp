@@ -1,0 +1,129 @@
+// TPC-style decision-support subqueries over the dbgen-like tables,
+// executed under every strategy with a consistency check — a miniature
+// version of the paper's Section 5 evaluation harness.
+//
+//   ./build/examples/tpch_subqueries [num_orders]
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "engine/olap_engine.h"
+#include "expr/expr_builder.h"
+#include "nested/nested_builder.h"
+#include "workload/tpch_gen.h"
+
+namespace {
+
+using namespace gmdj;
+
+// Q1: customers holding an urgent order (EXISTS).
+NestedSelect CustomersWithUrgentOrders() {
+  NestedSelect q;
+  q.source = From("customer", "C");
+  q.where = Exists(
+      Sub(From("orders", "O"),
+          WherePred(And(Eq(Col("O.o_custkey"), Col("C.c_custkey")),
+                        Eq(Col("O.o_orderpriority"), Lit("1-URGENT"))))));
+  return q;
+}
+
+// Q2: customers whose balance exceeds their average order value
+// (correlated aggregate comparison).
+NestedSelect CustomersAboveAvgOrder() {
+  NestedSelect q;
+  q.source = From("customer", "C");
+  q.where = CompareSub(
+      Col("C.c_acctbal"), CompareOp::kGt,
+      SubAgg(From("orders", "O"),
+             AvgOf(Div(Col("O.o_totalprice"), Lit(100.0)), "avg_price"),
+             WherePred(Eq(Col("O.o_custkey"), Col("C.c_custkey")))));
+  return q;
+}
+
+// Q3: suppliers shipping no discounted line items (NOT IN / <> ALL).
+NestedSelect SuppliersWithoutDiscounts() {
+  NestedSelect q;
+  q.source = From("supplier", "S");
+  q.where = NotInSub(
+      Col("S.s_suppkey"),
+      SubSelect(From("lineitem", "L"), Col("L.l_suppkey"),
+                WherePred(Gt(Col("L.l_discount"), Lit(0.05)))));
+  return q;
+}
+
+// Q4: customers with an order containing a returned item (tree nesting).
+NestedSelect CustomersWithReturns() {
+  NestedSelect q;
+  q.source = From("customer", "C");
+  q.where = Exists(Sub(
+      From("orders", "O"),
+      AndP(WherePred(Eq(Col("O.o_custkey"), Col("C.c_custkey"))),
+           Exists(Sub(From("lineitem", "L"),
+                      WherePred(And(Eq(Col("L.l_orderkey"),
+                                       Col("O.o_orderkey")),
+                                    Eq(Col("L.l_returnflag"),
+                                       Lit("R")))))))));
+  return q;
+}
+
+void Report(OlapEngine* engine, const NestedSelect& query,
+            const char* title) {
+  std::printf("=== %s ===\n", title);
+  Result<Table> reference = engine->Execute(query, Strategy::kNativeIndexed);
+  if (!reference.ok()) {
+    std::printf("  native failed: %s\n\n",
+                reference.status().ToString().c_str());
+    return;
+  }
+  std::printf("  %-22s %9.2f ms  %6zu rows\n",
+              StrategyToString(Strategy::kNativeIndexed),
+              engine->last_elapsed_ms(), reference->num_rows());
+  for (const Strategy strategy :
+       {Strategy::kUnnest, Strategy::kGmdj, Strategy::kGmdjOptimized}) {
+    const Result<Table> result = engine->Execute(query, strategy);
+    if (!result.ok()) {
+      std::printf("  %-22s %s\n", StrategyToString(strategy),
+                  result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("  %-22s %9.2f ms  %6zu rows  %s\n",
+                StrategyToString(strategy), engine->last_elapsed_ms(),
+                result->num_rows(),
+                result->SameRowsAs(*reference) ? "(consistent)"
+                                               : "(MISMATCH!)");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  TpchConfig config;
+  config.num_orders = argc > 1 ? std::atoll(argv[1]) : 60'000;
+  config.num_customers = config.num_orders / 15;
+  config.num_lineitems = config.num_orders * 2;
+  config.num_suppliers = 200;
+  config.num_parts = 1'000;
+
+  OlapEngine engine;
+  engine.catalog()->PutTable("customer", GenCustomerTable(config));
+  engine.catalog()->PutTable("orders", GenOrdersTable(config));
+  engine.catalog()->PutTable("lineitem", GenLineitemTable(config));
+  engine.catalog()->PutTable("supplier", GenSupplierTable(config));
+  std::printf(
+      "TPC-style warehouse: %lld customers, %lld orders, %lld lineitems\n\n",
+      static_cast<long long>(config.num_customers),
+      static_cast<long long>(config.num_orders),
+      static_cast<long long>(config.num_lineitems));
+
+  Report(&engine, CustomersWithUrgentOrders(),
+         "Q1: EXISTS (urgent orders)");
+  Report(&engine, CustomersAboveAvgOrder(),
+         "Q2: aggregate comparison (balance > avg order)");
+  Report(&engine, SuppliersWithoutDiscounts(),
+         "Q3: NOT IN (suppliers without discounted items)");
+  Report(&engine, CustomersWithReturns(),
+         "Q4: tree-nested EXISTS (orders with returns)");
+  return 0;
+}

@@ -1,0 +1,28 @@
+#ifndef GMDJ_COMMON_CHECK_H_
+#define GMDJ_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Invariant checks for conditions that indicate engine bugs (never
+/// user-input errors — those return Status). Enabled in all build types:
+/// query engines corrupting results silently is worse than the branch cost.
+#define GMDJ_CHECK(cond)                                               \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::fprintf(stderr, "GMDJ_CHECK failed at %s:%d: %s\n",         \
+                   __FILE__, __LINE__, #cond);                         \
+      std::abort();                                                    \
+    }                                                                  \
+  } while (false)
+
+/// Debug-only check for hot paths.
+#ifdef NDEBUG
+#define GMDJ_DCHECK(cond) \
+  do {                    \
+  } while (false)
+#else
+#define GMDJ_DCHECK(cond) GMDJ_CHECK(cond)
+#endif
+
+#endif  // GMDJ_COMMON_CHECK_H_

@@ -1,0 +1,54 @@
+#ifndef GMDJ_COMMON_RNG_H_
+#define GMDJ_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gmdj {
+
+/// Deterministic 64-bit pseudo-random generator (xoshiro256** seeded with
+/// splitmix64). Workload generators must be reproducible across runs and
+/// platforms, so we do not use std::mt19937 whose distributions are
+/// implementation-defined; all derived draws below are specified exactly.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit word.
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw with probability `p` of true.
+  bool Chance(double p);
+
+  /// Zipf-distributed rank in [1, n] with exponent `s` (s=0 is uniform).
+  /// Used for skewed foreign-key distributions in the workload generators.
+  int64_t Zipf(int64_t n, double s);
+
+  /// Picks one element of `items` uniformly.
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    return items[static_cast<size_t>(Uniform(0, static_cast<int64_t>(items.size()) - 1))];
+  }
+
+  /// Random lowercase ASCII string with length in [min_len, max_len].
+  std::string NextString(int min_len, int max_len);
+
+ private:
+  uint64_t s_[4];
+  // Cached parameters so repeated Zipf draws with the same (n, s) do not
+  // recompute the harmonic normalizer.
+  int64_t zipf_n_ = 0;
+  double zipf_s_ = -1.0;
+  double zipf_norm_ = 0.0;
+};
+
+}  // namespace gmdj
+
+#endif  // GMDJ_COMMON_RNG_H_

@@ -1,0 +1,146 @@
+#ifndef GMDJ_COMMON_STATUS_H_
+#define GMDJ_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace gmdj {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // Caller supplied a malformed query/spec.
+  kNotFound,          // Named table/column does not exist.
+  kAlreadyExists,     // Duplicate registration.
+  kUnimplemented,     // Feature outside the supported fragment.
+  kInternal,          // Invariant violation inside the engine.
+  kRuntimeError,      // Data-dependent failure (e.g. scalar subquery with
+                      // cardinality > 1, division by zero).
+};
+
+/// Returns a human-readable name for `code` ("InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation that produces no value.
+///
+/// The library does not use exceptions; every operation that can fail on
+/// user input returns `Status` or `Result<T>`. Internal invariants use the
+/// GMDJ_CHECK macros instead.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status RuntimeError(std::string msg) {
+    return Status(StatusCode::kRuntimeError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type `T` or an error `Status`.
+///
+/// Mirrors `arrow::Result` / `absl::StatusOr` in miniature: construct from a
+/// value or a non-OK Status, test with `ok()`, and extract with
+/// `ValueOrDie()` / `operator*`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value keeps `return value;` ergonomic.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status; must not be OK.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; the result must be ok.
+  const T& ValueOrDie() const&;
+  T& ValueOrDie() &;
+  T&& ValueOrDie() &&;
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  T&& operator*() && { return std::move(*this).ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadResult(const Status& status);
+}  // namespace internal
+
+template <typename T>
+const T& Result<T>::ValueOrDie() const& {
+  if (!ok()) internal::DieOnBadResult(status_);
+  return *value_;
+}
+
+template <typename T>
+T& Result<T>::ValueOrDie() & {
+  if (!ok()) internal::DieOnBadResult(status_);
+  return *value_;
+}
+
+template <typename T>
+T&& Result<T>::ValueOrDie() && {
+  if (!ok()) internal::DieOnBadResult(status_);
+  return *std::move(value_);
+}
+
+/// Propagates a non-OK Status out of the current function.
+#define GMDJ_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::gmdj::Status _gmdj_status = (expr);           \
+    if (!_gmdj_status.ok()) return _gmdj_status;    \
+  } while (false)
+
+/// Evaluates `rexpr` (a Result<T>), propagating errors; on success assigns
+/// the value to `lhs`.
+#define GMDJ_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  GMDJ_ASSIGN_OR_RETURN_IMPL_(                                  \
+      GMDJ_STATUS_CONCAT_(_gmdj_result, __COUNTER__), lhs, rexpr)
+
+#define GMDJ_STATUS_CONCAT_INNER_(a, b) a##b
+#define GMDJ_STATUS_CONCAT_(a, b) GMDJ_STATUS_CONCAT_INNER_(a, b)
+#define GMDJ_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                                \
+  if (!result.ok()) return result.status();             \
+  lhs = std::move(*result)
+
+}  // namespace gmdj
+
+#endif  // GMDJ_COMMON_STATUS_H_

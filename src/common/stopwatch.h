@@ -1,0 +1,31 @@
+#ifndef GMDJ_COMMON_STOPWATCH_H_
+#define GMDJ_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace gmdj {
+
+/// Wall-clock stopwatch for the benchmark harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Restart, in milliseconds.
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in seconds.
+  double ElapsedSeconds() const { return ElapsedMillis() / 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gmdj
+
+#endif  // GMDJ_COMMON_STOPWATCH_H_

@@ -1,0 +1,67 @@
+#ifndef GMDJ_CORE_CONDITION_ANALYSIS_H_
+#define GMDJ_CORE_CONDITION_ANALYSIS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace gmdj {
+
+/// Equality binding `base.col = detail.col` extracted from a θ condition.
+struct EqBinding {
+  size_t base_col;
+  size_t detail_col;
+};
+
+/// Interval binding `detail.col ∈ [base.lo, base.hi]` with per-side
+/// strictness, extracted from a pair of range conjuncts (the Hours-table
+/// pattern: F.StartTime >= H.StartInterval AND F.StartTime < H.EndInterval).
+struct IntervalBinding {
+  size_t detail_col;
+  size_t base_lo_col;
+  bool lo_strict;  // base.lo <  detail.col (vs <=).
+  size_t base_hi_col;
+  bool hi_strict;  // detail.col <  base.hi (vs <=).
+};
+
+/// Evaluation strategy the GMDJ evaluator picks for one condition.
+enum class CondStrategy : unsigned char {
+  kHash,      // Probe a hash index on the base equality columns.
+  kInterval,  // Stab an interval tree built from base range columns.
+  kScan,      // Evaluate against every active base tuple.
+};
+
+const char* CondStrategyToString(CondStrategy s);
+
+/// Decomposition of a θ condition (bound over frames [0]=base,
+/// [1]=detail) into index-able bindings and residual work:
+///
+///   θ  ≡  eq_bindings ∧ interval ∧ detail_only ∧ residual
+///
+/// `detail_only` conjuncts reference only the detail frame (or constants)
+/// and are evaluated once per detail tuple before any probing;
+/// `residual` conjuncts are evaluated per (base, detail) candidate pair.
+/// Pointers alias nodes inside the analyzed expression.
+struct ConditionAnalysis {
+  std::vector<EqBinding> eq_bindings;
+  std::optional<IntervalBinding> interval;
+  std::vector<const Expr*> detail_only;
+  std::vector<const Expr*> residual;
+  CondStrategy strategy = CondStrategy::kScan;
+
+  std::string ToString() const;
+};
+
+/// Analyzes a bound θ condition. Equality bindings win over interval
+/// bindings (a hash probe is strictly narrower here); interval bindings
+/// require numeric columns. Disjunctive or exotic conditions safely land
+/// in `residual` with strategy kScan — analysis never changes semantics,
+/// only the dispatch strategy.
+ConditionAnalysis AnalyzeCondition(const Expr& theta, const Schema& base,
+                                   const Schema& detail);
+
+}  // namespace gmdj
+
+#endif  // GMDJ_CORE_CONDITION_ANALYSIS_H_

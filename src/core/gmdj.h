@@ -1,0 +1,12 @@
+#ifndef GMDJ_CORE_GMDJ_H_
+#define GMDJ_CORE_GMDJ_H_
+
+/// Umbrella header for the GMDJ core: the operator (Definition 2.1), its
+/// condition analysis, and Algorithm SubqueryToGMDJ with the Section 4
+/// optimizations (coalescing, base-tuple completion).
+
+#include "core/condition_analysis.h"  // IWYU pragma: export
+#include "core/gmdj_node.h"           // IWYU pragma: export
+#include "core/translate.h"           // IWYU pragma: export
+
+#endif  // GMDJ_CORE_GMDJ_H_

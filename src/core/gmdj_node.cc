@@ -1,0 +1,389 @@
+#include "core/gmdj_node.h"
+
+#include <map>
+
+#include "common/check.h"
+
+namespace gmdj {
+
+GmdjNode::GmdjNode(PlanPtr base, PlanPtr detail,
+                   std::vector<GmdjCondition> conditions,
+                   GmdjStrategy strategy)
+    : base_(std::move(base)),
+      detail_(std::move(detail)),
+      conditions_(std::move(conditions)),
+      strategy_(strategy) {
+  GMDJ_CHECK(!conditions_.empty());
+  GMDJ_CHECK(conditions_.size() <= 64);  // Freeze bitmask width.
+}
+
+void GmdjNode::SetCompletion(CompletionSpec spec) {
+  if (!spec.actions.empty()) {
+    GMDJ_CHECK(spec.actions.size() == conditions_.size());
+  }
+  completion_ = std::move(spec);
+}
+
+Status GmdjNode::Prepare(const Catalog& catalog) {
+  GMDJ_RETURN_IF_ERROR(base_->Prepare(catalog));
+  GMDJ_RETURN_IF_ERROR(detail_->Prepare(catalog));
+  const Schema& bs = base_->output_schema();
+  const Schema& ds = detail_->output_schema();
+  const std::vector<const Schema*> frames = {&bs, &ds};
+
+  output_schema_ = bs;
+  agg_offsets_.clear();
+  agg_arg_types_.clear();
+  analyses_.clear();
+  total_aggs_ = 0;
+  for (GmdjCondition& cond : conditions_) {
+    if (cond.theta != nullptr) {
+      GMDJ_RETURN_IF_ERROR(cond.theta->Bind(frames));
+    }
+    agg_offsets_.push_back(total_aggs_);
+    for (AggSpec& agg : cond.aggs) {
+      GMDJ_RETURN_IF_ERROR(agg.Bind(frames));
+      agg_arg_types_.push_back(agg.arg != nullptr ? agg.arg->result_type()
+                                                  : ValueType::kInt64);
+      output_schema_.AddField(Field{agg.output_name, agg.output_type(), ""});
+      ++total_aggs_;
+    }
+  }
+  for (const GmdjCondition& cond : conditions_) {
+    if (cond.theta != nullptr) {
+      analyses_.push_back(AnalyzeCondition(*cond.theta, bs, ds));
+    } else {
+      ConditionAnalysis all;
+      all.strategy = CondStrategy::kScan;
+      analyses_.push_back(std::move(all));
+    }
+  }
+  for (AllPairRule& pair : completion_.all_pairs) {
+    if (pair.filtered >= conditions_.size() ||
+        pair.unfiltered >= conditions_.size()) {
+      return Status::InvalidArgument("ALL-pair condition index out of range");
+    }
+    GMDJ_RETURN_IF_ERROR(pair.cmp->Bind(frames));
+  }
+  return Status::OK();
+}
+
+Result<Table> GmdjNode::Execute(ExecContext* ctx) const {
+  GMDJ_ASSIGN_OR_RETURN(Table base, base_->Execute(ctx));
+  GMDJ_ASSIGN_OR_RETURN(Table detail, detail_->Execute(ctx));
+  ctx->stats().gmdj_ops += 1;
+  ctx->stats().table_scans += 2;
+  ctx->stats().rows_scanned += base.num_rows() + detail.num_rows();
+  if (strategy_ == GmdjStrategy::kNaive) {
+    return ExecuteNaive(ctx, base, detail);
+  }
+  return ExecuteAuto(ctx, base, detail);
+}
+
+// Reference implementation: literal transcription of Definition 2.1.
+Result<Table> GmdjNode::ExecuteNaive(ExecContext* ctx, const Table& base,
+                                     const Table& detail) const {
+  const Schema& bs = base_->output_schema();
+  const Schema& ds = detail_->output_schema();
+  Table out(output_schema_);
+  out.Reserve(base.num_rows());
+  EvalContext ectx;
+  ectx.PushFrame(&bs, nullptr);
+  ectx.PushFrame(&ds, nullptr);
+
+  for (size_t b = 0; b < base.num_rows(); ++b) {
+    ectx.SetRow(0, &base.row(b));
+    std::vector<AggState> states(total_aggs_);
+    for (size_t r = 0; r < detail.num_rows(); ++r) {
+      ectx.SetRow(1, &detail.row(r));
+      for (size_t c = 0; c < conditions_.size(); ++c) {
+        const GmdjCondition& cond = conditions_[c];
+        if (cond.theta != nullptr) {
+          ctx->stats().predicate_evals += 1;
+          if (!IsTrue(cond.theta->EvalPred(ectx))) continue;
+        }
+        for (size_t a = 0; a < cond.aggs.size(); ++a) {
+          const AggSpec& agg = cond.aggs[a];
+          states[agg_offsets_[c] + a].Update(
+              agg.kind,
+              agg.kind == AggKind::kCountStar ? Value() : agg.arg->Eval(ectx));
+        }
+      }
+    }
+    Row row = base.row(b);
+    row.reserve(row.size() + total_aggs_);
+    size_t flat = 0;
+    for (size_t c = 0; c < conditions_.size(); ++c) {
+      for (size_t a = 0; a < conditions_[c].aggs.size(); ++a, ++flat) {
+        row.push_back(
+            states[flat].Finalize(conditions_[c].aggs[a].kind,
+                                  agg_arg_types_[flat]));
+      }
+    }
+    out.AppendRow(std::move(row));
+  }
+  ctx->stats().rows_output += out.num_rows();
+  return out;
+}
+
+namespace {
+
+/// Runtime dispatch data for one condition.
+struct CondRuntime {
+  const GmdjCondition* cond = nullptr;
+  const ConditionAnalysis* analysis = nullptr;
+  size_t agg_offset = 0;
+  CompletionAction action = CompletionAction::kNone;
+  // Fused ALL pair (set on the *unfiltered* condition when completion is
+  // enabled): after a θ match, `pair_cmp` decides whether the filtered
+  // condition also matches; a non-TRUE outcome discards the base tuple.
+  const Expr* pair_cmp = nullptr;
+  size_t pair_agg_offset = 0;
+  const GmdjCondition* pair_cond = nullptr;
+  bool skip = false;  // Filtered half of a fused pair.
+  std::shared_ptr<HashIndex> hash;
+  std::unique_ptr<IntervalIndex> interval;
+  uint64_t freeze_bit = 0;  // Nonzero for kSatisfyOnMatch conditions.
+};
+
+}  // namespace
+
+Result<Table> GmdjNode::ExecuteAuto(ExecContext* ctx, const Table& base,
+                                    const Table& detail) const {
+  const Schema& bs = base_->output_schema();
+  const Schema& ds = detail_->output_schema();
+  const size_t n = base.num_rows();
+  const bool completing = completion_.enabled();
+
+  // ---- Compile conditions into runtime form. ----
+  std::vector<CondRuntime> runtimes(conditions_.size());
+  for (size_t c = 0; c < conditions_.size(); ++c) {
+    runtimes[c].cond = &conditions_[c];
+    runtimes[c].analysis = &analyses_[c];
+    runtimes[c].agg_offset = agg_offsets_[c];
+    if (c < completion_.actions.size()) {
+      runtimes[c].action = completion_.actions[c];
+      if (runtimes[c].action == CompletionAction::kSatisfyOnMatch) {
+        runtimes[c].freeze_bit = uint64_t{1} << c;
+      }
+    }
+  }
+  if (completing) {
+    for (const AllPairRule& pair : completion_.all_pairs) {
+      runtimes[pair.filtered].skip = true;
+      CondRuntime& u = runtimes[pair.unfiltered];
+      u.pair_cmp = pair.cmp.get();
+      u.pair_agg_offset = agg_offsets_[pair.filtered];
+      u.pair_cond = &conditions_[pair.filtered];
+    }
+  }
+
+  // Hash indexes on the base, shared between conditions with identical key
+  // columns (the common case for coalesced conditions and ALL pairs).
+  std::map<std::vector<size_t>, std::shared_ptr<HashIndex>> index_cache;
+  for (CondRuntime& rt : runtimes) {
+    if (rt.skip) continue;
+    if (rt.analysis->strategy == CondStrategy::kHash) {
+      std::vector<size_t> key_cols;
+      key_cols.reserve(rt.analysis->eq_bindings.size());
+      for (const EqBinding& eq : rt.analysis->eq_bindings) {
+        key_cols.push_back(eq.base_col);
+      }
+      auto& cached = index_cache[key_cols];
+      if (cached == nullptr) {
+        cached = std::make_shared<HashIndex>(base, key_cols);
+      }
+      rt.hash = cached;
+    } else if (rt.analysis->strategy == CondStrategy::kInterval) {
+      const IntervalBinding& iv = *rt.analysis->interval;
+      std::vector<IndexedInterval> intervals;
+      intervals.reserve(n);
+      for (size_t b = 0; b < n; ++b) {
+        const Value& lo = base.row(b)[iv.base_lo_col];
+        const Value& hi = base.row(b)[iv.base_hi_col];
+        if (lo.is_null() || hi.is_null()) continue;  // Can never match.
+        intervals.push_back(IndexedInterval{lo.AsDouble(), hi.AsDouble(),
+                                            static_cast<uint32_t>(b)});
+      }
+      rt.interval = std::make_unique<IntervalIndex>(
+          std::move(intervals), iv.lo_strict, iv.hi_strict);
+    }
+  }
+
+  // ---- Base-result structure: one entry per base tuple. ----
+  std::vector<AggState> states(n * total_aggs_);
+  std::vector<uint8_t> discarded(n, 0);
+  std::vector<uint64_t> frozen(n, 0);
+  size_t num_discarded = 0;
+
+  // Active list for kScan conditions; compacted when completion retires a
+  // majority of entries.
+  std::vector<uint32_t> active(n);
+  for (size_t i = 0; i < n; ++i) active[i] = static_cast<uint32_t>(i);
+  size_t active_dead = 0;
+
+  EvalContext ectx;
+  ectx.PushFrame(&bs, nullptr);
+  ectx.PushFrame(&ds, nullptr);
+
+  std::vector<uint32_t> stab_scratch;
+  Row probe_key;
+
+  auto update_aggs = [&](const GmdjCondition& cond, size_t offset, size_t b) {
+    AggState* entry_states = &states[b * total_aggs_ + offset];
+    for (size_t a = 0; a < cond.aggs.size(); ++a) {
+      const AggSpec& agg = cond.aggs[a];
+      if (agg.kind == AggKind::kCountStar) {
+        ++entry_states[a].count;  // Avoids a Value temporary per pair.
+      } else {
+        entry_states[a].Update(agg.kind, agg.arg->Eval(ectx));
+      }
+    }
+  };
+
+  const size_t num_detail = detail.num_rows();
+  for (size_t r = 0; r < num_detail; ++r) {
+    if (num_discarded == n) break;  // Every base tuple is decided.
+    const Row& drow = detail.row(r);
+    ectx.SetRow(1, &drow);
+
+    for (CondRuntime& rt : runtimes) {
+      if (rt.skip) continue;
+      // Per-detail filters first (e.g. F.Protocol = "HTTP").
+      bool detail_ok = true;
+      for (const Expr* e : rt.analysis->detail_only) {
+        ctx->stats().predicate_evals += 1;
+        if (!IsTrue(e->EvalPred(ectx))) {
+          detail_ok = false;
+          break;
+        }
+      }
+      if (!detail_ok) continue;
+
+      // Locate candidate base tuples.
+      const std::vector<uint32_t>* candidates = nullptr;
+      switch (rt.analysis->strategy) {
+        case CondStrategy::kHash: {
+          probe_key.clear();
+          bool null_key = false;
+          for (const EqBinding& eq : rt.analysis->eq_bindings) {
+            const Value& v = drow[eq.detail_col];
+            if (v.is_null()) {
+              null_key = true;
+              break;
+            }
+            probe_key.push_back(v);
+          }
+          if (null_key) continue;
+          ctx->stats().hash_probes += 1;
+          candidates = &rt.hash->Probe(probe_key);
+          break;
+        }
+        case CondStrategy::kInterval: {
+          const Value& v = drow[rt.analysis->interval->detail_col];
+          if (v.is_null()) continue;
+          stab_scratch.clear();
+          rt.interval->Stab(v.AsDouble(), &stab_scratch);
+          candidates = &stab_scratch;
+          break;
+        }
+        case CondStrategy::kScan:
+          candidates = &active;
+          break;
+      }
+
+      for (const uint32_t b : *candidates) {
+        if (discarded[b]) continue;
+        if (frozen[b] & rt.freeze_bit) continue;
+        ectx.SetRow(0, &base.row(b));
+        bool match = true;
+        for (const Expr* e : rt.analysis->residual) {
+          ctx->stats().predicate_evals += 1;
+          if (!IsTrue(e->EvalPred(ectx))) {
+            match = false;
+            break;
+          }
+        }
+        if (!match) continue;
+
+        if (rt.action == CompletionAction::kDiscardOnMatch) {
+          discarded[b] = 1;
+          ++num_discarded;
+          ++active_dead;
+          continue;
+        }
+        update_aggs(*rt.cond, rt.agg_offset, b);
+        if (rt.pair_cmp != nullptr) {
+          ctx->stats().predicate_evals += 1;
+          if (IsTrue(rt.pair_cmp->EvalPred(ectx))) {
+            update_aggs(*rt.pair_cond, rt.pair_agg_offset, b);
+          } else {
+            // The ALL quantifier is violated; counts diverge forever.
+            discarded[b] = 1;
+            ++num_discarded;
+            ++active_dead;
+            continue;
+          }
+        }
+        if (rt.action == CompletionAction::kSatisfyOnMatch) {
+          frozen[b] |= rt.freeze_bit;
+        }
+      }
+    }
+
+    // Compact the scan list when most of it is dead.
+    if (active_dead > 0 && active_dead * 2 > active.size()) {
+      std::vector<uint32_t> next;
+      next.reserve(active.size() - active_dead);
+      for (const uint32_t b : active) {
+        if (!discarded[b]) next.push_back(b);
+      }
+      active = std::move(next);
+      active_dead = 0;
+    }
+  }
+
+  // ---- Emit surviving base tuples extended with their aggregates. ----
+  Table out(output_schema_);
+  out.Reserve(n - num_discarded);
+  for (size_t b = 0; b < n; ++b) {
+    if (discarded[b]) continue;
+    Row row = base.row(b);
+    row.reserve(row.size() + total_aggs_);
+    size_t flat = 0;
+    for (size_t c = 0; c < conditions_.size(); ++c) {
+      for (size_t a = 0; a < conditions_[c].aggs.size(); ++a, ++flat) {
+        row.push_back(states[b * total_aggs_ + flat].Finalize(
+            conditions_[c].aggs[a].kind, agg_arg_types_[flat]));
+      }
+    }
+    out.AppendRow(std::move(row));
+  }
+  ctx->stats().rows_output += out.num_rows();
+  return out;
+}
+
+std::string GmdjNode::label() const {
+  std::string out = "GMDJ[";
+  for (size_t c = 0; c < conditions_.size(); ++c) {
+    if (c > 0) out += "; ";
+    out += "l" + std::to_string(c + 1) + ": (";
+    for (size_t a = 0; a < conditions_[c].aggs.size(); ++a) {
+      if (a > 0) out += ", ";
+      out += conditions_[c].aggs[a].ToString();
+    }
+    out += ") theta" + std::to_string(c + 1) + ": ";
+    out += conditions_[c].theta == nullptr ? "true"
+                                           : conditions_[c].theta->ToString();
+    if (!analyses_.empty()) {
+      out += " {" + std::string(CondStrategyToString(analyses_[c].strategy)) +
+             "}";
+    }
+  }
+  out += "]";
+  if (completion_.enabled()) out += " +completion";
+  if (strategy_ == GmdjStrategy::kNaive) out += " (naive)";
+  return out;
+}
+
+}  // namespace gmdj

@@ -1,0 +1,164 @@
+#ifndef GMDJ_CORE_GMDJ_NODE_H_
+#define GMDJ_CORE_GMDJ_NODE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/condition_analysis.h"
+#include "exec/plan.h"
+#include "expr/aggregate.h"
+#include "expr/expr.h"
+#include "storage/hash_index.h"
+#include "storage/interval_index.h"
+
+namespace gmdj {
+
+/// One (θ_i, l_i) pair of a GMDJ: a condition over [base, detail] and the
+/// aggregate functions computed over RNG(b, R, θ_i).
+struct GmdjCondition {
+  ExprPtr theta;             // Null means TRUE (all detail rows).
+  std::vector<AggSpec> aggs;
+
+  GmdjCondition() = default;
+  GmdjCondition(ExprPtr t, std::vector<AggSpec> a)
+      : theta(std::move(t)), aggs(std::move(a)) {}
+};
+
+/// Per-condition base-tuple completion action (Theorems 4.1 / 4.2).
+enum class CompletionAction : unsigned char {
+  kNone = 0,
+  /// Selection above demands `cnt_i = 0`: the first θ_i match decides the
+  /// base tuple negatively — discard it from all further processing.
+  kDiscardOnMatch,
+  /// Selection demands `cnt_i > 0` and nothing else reads this condition's
+  /// aggregates: the first match decides positively — freeze the condition.
+  kSatisfyOnMatch,
+};
+
+/// An ALL-quantifier condition pair: conditions `filtered` (θ ∧ ψ) and
+/// `unfiltered` (θ) with selection `cnt_filtered = cnt_unfiltered`.
+/// When completion is enabled the evaluator fuses the pair into one probe
+/// pass: a θ match whose comparison ψ is not TRUE decides the base tuple
+/// negatively (the counts can never re-converge — they are monotone).
+/// This is the GMDJ generalization of the "smart nested loop" the paper's
+/// target DBMS used for ALL subqueries.
+struct AllPairRule {
+  size_t filtered;
+  size_t unfiltered;
+  ExprPtr cmp;  // ψ, bound over [base, detail].
+};
+
+/// Completion specification attached by the optimizer/translator.
+struct CompletionSpec {
+  std::vector<CompletionAction> actions;  // One per condition (or empty).
+  std::vector<AllPairRule> all_pairs;
+
+  bool enabled() const {
+    if (!all_pairs.empty()) return true;
+    for (const CompletionAction a : actions) {
+      if (a != CompletionAction::kNone) return true;
+    }
+    return false;
+  }
+};
+
+/// How the GMDJ evaluates its conditions.
+enum class GmdjStrategy : unsigned char {
+  /// Per-condition dispatch: hash index on equality bindings, interval
+  /// tree on range bindings, active-scan otherwise; detail consumed in a
+  /// single pass. This is the paper's evaluation algorithm.
+  kAuto,
+  /// Reference nested-loop evaluation (|B|·|R| per condition); used to
+  /// validate kAuto in tests and as an ablation baseline.
+  kNaive,
+};
+
+/// The Generalized Multi-Dimensional Join operator,
+/// MD(B, R, (l_1..l_m), (θ_1..θ_m)) — Definition 2.1 of the paper.
+///
+/// Output: every base tuple extended with the aggregates of each condition
+/// (schema = base schema ++ agg columns in condition order). The detail
+/// relation is consumed in a single scan; intermediate state is bounded by
+/// |B| (the base-values relation), the property the paper's efficiency
+/// argument rests on.
+///
+/// θ conditions and aggregate arguments bind over two frames:
+/// [0] = base schema, [1] = detail schema. Unqualified ambiguous names
+/// resolve to the detail frame (innermost-first, the subquery-local scope).
+class GmdjNode final : public PlanNode {
+ public:
+  GmdjNode(PlanPtr base, PlanPtr detail, std::vector<GmdjCondition> conditions,
+           GmdjStrategy strategy = GmdjStrategy::kAuto);
+
+  /// Attaches a completion spec (must have one action per condition when
+  /// non-empty). Typically called by the translator under
+  /// TranslateOptions::completion.
+  void SetCompletion(CompletionSpec spec);
+
+  Status Prepare(const Catalog& catalog) override;
+  Result<Table> Execute(ExecContext* ctx) const override;
+  std::string label() const override;
+  std::vector<const PlanNode*> children() const override {
+    return {base_.get(), detail_.get()};
+  }
+
+  size_t num_conditions() const { return conditions_.size(); }
+  const GmdjCondition& condition(size_t i) const { return conditions_[i]; }
+  const CompletionSpec& completion() const { return completion_; }
+
+  /// In-place completion editing for the plan optimizer; the caller must
+  /// keep `actions` empty or sized to num_conditions().
+  CompletionSpec* mutable_completion() { return &completion_; }
+
+  /// Post-Prepare: the dispatch strategy chosen for condition `i`.
+  CondStrategy condition_strategy(size_t i) const {
+    return analyses_[i].strategy;
+  }
+
+  /// Decomposed node contents, for plan rewriting (core/optimizer.cc).
+  struct Parts {
+    PlanPtr base;
+    PlanPtr detail;
+    std::vector<GmdjCondition> conditions;
+    CompletionSpec completion;
+    GmdjStrategy strategy = GmdjStrategy::kAuto;
+  };
+
+  /// Moves the node's contents out; the node must be discarded afterwards.
+  Parts TakeParts() {
+    Parts parts;
+    parts.base = std::move(base_);
+    parts.detail = std::move(detail_);
+    parts.conditions = std::move(conditions_);
+    parts.completion = std::move(completion_);
+    parts.strategy = strategy_;
+    return parts;
+  }
+
+  const PlanNode& base() const { return *base_; }
+  const PlanNode& detail() const { return *detail_; }
+  GmdjStrategy strategy() const { return strategy_; }
+
+ private:
+  Result<Table> ExecuteNaive(ExecContext* ctx, const Table& base,
+                             const Table& detail) const;
+  Result<Table> ExecuteAuto(ExecContext* ctx, const Table& base,
+                            const Table& detail) const;
+
+  PlanPtr base_;
+  PlanPtr detail_;
+  std::vector<GmdjCondition> conditions_;
+  GmdjStrategy strategy_;
+  CompletionSpec completion_;
+
+  // Populated by Prepare.
+  std::vector<ConditionAnalysis> analyses_;
+  std::vector<size_t> agg_offsets_;  // Start of each condition's aggs.
+  size_t total_aggs_ = 0;
+  std::vector<ValueType> agg_arg_types_;
+};
+
+}  // namespace gmdj
+
+#endif  // GMDJ_CORE_GMDJ_NODE_H_

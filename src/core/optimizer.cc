@@ -1,0 +1,276 @@
+#include "core/optimizer.h"
+
+#include <set>
+#include <string>
+
+#include "exec/nodes.h"
+#include "expr/expr_analysis.h"
+
+namespace gmdj {
+namespace {
+
+// Names of every aggregate output of a condition list.
+std::set<std::string> AggOutputNames(
+    const std::vector<GmdjCondition>& conditions) {
+  std::set<std::string> names;
+  for (const GmdjCondition& cond : conditions) {
+    for (const AggSpec& agg : cond.aggs) names.insert(agg.output_name);
+  }
+  return names;
+}
+
+// True when any column reference in `expr` is spelled as one of `names`.
+bool RefersToAny(const Expr& expr, const std::set<std::string>& names) {
+  std::vector<const ColumnRefExpr*> refs;
+  CollectColumnRefs(expr, &refs);
+  for (const ColumnRefExpr* ref : refs) {
+    if (names.count(ref->ref()) > 0) return true;
+  }
+  return false;
+}
+
+bool ConditionsReferTo(const std::vector<GmdjCondition>& conditions,
+                       const std::set<std::string>& names) {
+  for (const GmdjCondition& cond : conditions) {
+    if (cond.theta != nullptr && RefersToAny(*cond.theta, names)) return true;
+    for (const AggSpec& agg : cond.aggs) {
+      if (agg.arg != nullptr && RefersToAny(*agg.arg, names)) return true;
+    }
+  }
+  return false;
+}
+
+// Both plans scan the same table. When the aliases differ (but are both
+// non-empty), the scans are still coalescable after re-qualifying the
+// upper conditions; `rewrite_from`/`rewrite_to` report the rename.
+bool CoalescableScans(const PlanNode& a, const PlanNode& b,
+                      std::string* rewrite_from, std::string* rewrite_to) {
+  const auto* sa = dynamic_cast<const TableScanNode*>(&a);
+  const auto* sb = dynamic_cast<const TableScanNode*>(&b);
+  if (sa == nullptr || sb == nullptr) return false;
+  if (sa->table_name() != sb->table_name()) return false;
+  if (sa->alias() == sb->alias()) {
+    rewrite_from->clear();
+    return true;
+  }
+  if (sa->alias().empty() || sb->alias().empty()) return false;
+  *rewrite_from = sb->alias();  // Upper detail's alias...
+  *rewrite_to = sa->alias();    // ...renamed to the surviving lower alias.
+  return true;
+}
+
+// Rewrites `from.`-qualified references to `to.` in a condition list.
+void RequalifyConditions(std::vector<GmdjCondition>* conditions,
+                         const std::string& from, const std::string& to) {
+  if (from.empty()) return;
+  const std::string prefix = from + ".";
+  auto rewrite = [&](Expr* expr) {
+    std::vector<ColumnRefExpr*> refs;
+    CollectColumnRefsMutable(expr, &refs);
+    for (ColumnRefExpr* ref : refs) {
+      if (ref->ref().rfind(prefix, 0) == 0) {
+        ref->set_ref(to + "." + ref->ref().substr(prefix.size()));
+      }
+    }
+  };
+  for (GmdjCondition& cond : *conditions) {
+    if (cond.theta != nullptr) rewrite(cond.theta.get());
+    for (AggSpec& agg : cond.aggs) {
+      if (agg.arg != nullptr) rewrite(agg.arg.get());
+    }
+  }
+}
+
+// If `expr` is `<column> op <literal>` (either orientation, op mirrored
+// accordingly), returns the column spelling and fills op/literal.
+const ColumnRefExpr* MatchColOpLit(const Expr& expr, CompareOp* op,
+                                   const Value** literal) {
+  if (expr.kind() != ExprKind::kCompare) return nullptr;
+  const auto& cmp = static_cast<const CompareExpr&>(expr);
+  if (cmp.lhs().kind() == ExprKind::kColumnRef &&
+      cmp.rhs().kind() == ExprKind::kLiteral) {
+    *op = cmp.op();
+    *literal = &static_cast<const LiteralExpr&>(cmp.rhs()).value();
+    return static_cast<const ColumnRefExpr*>(&cmp.lhs());
+  }
+  if (cmp.lhs().kind() == ExprKind::kLiteral &&
+      cmp.rhs().kind() == ExprKind::kColumnRef) {
+    *op = MirrorCompareOp(cmp.op());
+    *literal = &static_cast<const LiteralExpr&>(cmp.lhs()).value();
+    return static_cast<const ColumnRefExpr*>(&cmp.rhs());
+  }
+  return nullptr;
+}
+
+// Index of the condition whose single/count(*) aggregate is named `name`;
+// -1 when absent. `sole` reports whether it is the condition's only agg.
+int FindCountCondition(const GmdjNode& gmdj, const std::string& name,
+                       bool* sole) {
+  for (size_t c = 0; c < gmdj.num_conditions(); ++c) {
+    const GmdjCondition& cond = gmdj.condition(c);
+    for (const AggSpec& agg : cond.aggs) {
+      if (agg.output_name != name) continue;
+      if (agg.kind != AggKind::kCountStar) return -1;  // Thm needs count(*).
+      *sole = cond.aggs.size() == 1;
+      return static_cast<int>(c);
+    }
+  }
+  return -1;
+}
+
+// How many column references across the whole predicate spell `name`.
+size_t CountRefSpellings(const Expr& expr, const std::string& name) {
+  std::vector<const ColumnRefExpr*> refs;
+  CollectColumnRefs(expr, &refs);
+  size_t n = 0;
+  for (const ColumnRefExpr* ref : refs) {
+    if (ref->ref() == name) ++n;
+  }
+  return n;
+}
+
+void EnsureActions(GmdjNode* gmdj) {
+  auto& actions = gmdj->mutable_completion()->actions;
+  if (actions.empty()) {
+    actions.resize(gmdj->num_conditions(), CompletionAction::kNone);
+  }
+}
+
+/// Theorem 4.2 pass: a top-level conjunct `cnt_i = 0` makes any θ_i match
+/// decide the tuple negatively, regardless of the rest of the predicate.
+void DeriveDiscardRules(GmdjNode* gmdj, const Expr& filter_pred) {
+  for (const Expr* conjunct : SplitConjuncts(filter_pred)) {
+    CompareOp op;
+    const Value* literal = nullptr;
+    const ColumnRefExpr* col = MatchColOpLit(*conjunct, &op, &literal);
+    if (col == nullptr || op != CompareOp::kEq) continue;
+    if (literal->type() != ValueType::kInt64 || literal->int64() != 0) {
+      continue;
+    }
+    bool sole = false;
+    const int cond = FindCountCondition(*gmdj, col->ref(), &sole);
+    if (cond < 0) continue;
+    EnsureActions(gmdj);
+    gmdj->mutable_completion()->actions[static_cast<size_t>(cond)] =
+        CompletionAction::kDiscardOnMatch;
+  }
+}
+
+/// Theorem 4.1 pass: `cnt_i > 0` in the filter + a projection that drops
+/// the count lets the first match freeze the condition. Requires the count
+/// to be the condition's only aggregate and its only use.
+void DeriveSatisfyRules(GmdjNode* gmdj, const Expr& filter_pred,
+                        const std::vector<ProjItem>& project_items) {
+  for (const Expr* conjunct : SplitConjuncts(filter_pred)) {
+    CompareOp op;
+    const Value* literal = nullptr;
+    const ColumnRefExpr* col = MatchColOpLit(*conjunct, &op, &literal);
+    if (col == nullptr || op != CompareOp::kGt) continue;
+    if (literal->type() != ValueType::kInt64 || literal->int64() != 0) {
+      continue;
+    }
+    bool sole = false;
+    const int cond = FindCountCondition(*gmdj, col->ref(), &sole);
+    if (cond < 0 || !sole) continue;
+    // The count must not be read anywhere else.
+    if (CountRefSpellings(filter_pred, col->ref()) != 1) continue;
+    bool projected = false;
+    for (const ProjItem& item : project_items) {
+      if (RefersToAny(*item.expr, {col->ref()})) {
+        projected = true;
+        break;
+      }
+    }
+    if (projected) continue;
+    EnsureActions(gmdj);
+    auto& action = gmdj->mutable_completion()->actions[static_cast<size_t>(cond)];
+    if (action == CompletionAction::kNone) {
+      action = CompletionAction::kSatisfyOnMatch;
+    }
+  }
+}
+
+PlanPtr Rewrite(PlanPtr plan, const OptimizeOptions& options) {
+  if (auto* project = dynamic_cast<ProjectNode*>(plan.get())) {
+    std::vector<ProjItem> items = project->TakeItems();
+    PlanPtr input = Rewrite(project->TakeInput(), options);
+    if (options.completion) {
+      if (auto* filter = dynamic_cast<FilterNode*>(input.get())) {
+        if (auto* gmdj = dynamic_cast<GmdjNode*>(filter->mutable_input())) {
+          DeriveSatisfyRules(gmdj, filter->predicate(), items);
+        }
+      }
+    }
+    return std::make_unique<ProjectNode>(std::move(input), std::move(items));
+  }
+
+  if (auto* filter = dynamic_cast<FilterNode*>(plan.get())) {
+    ExprPtr pred = filter->TakePredicate();
+    PlanPtr input = Rewrite(filter->TakeInput(), options);
+    if (options.completion) {
+      if (auto* gmdj = dynamic_cast<GmdjNode*>(input.get())) {
+        DeriveDiscardRules(gmdj, *pred);
+      }
+    }
+    return std::make_unique<FilterNode>(std::move(input), std::move(pred));
+  }
+
+  if (auto* gmdj = dynamic_cast<GmdjNode*>(plan.get())) {
+    GmdjNode::Parts parts = gmdj->TakeParts();
+    parts.base = Rewrite(std::move(parts.base), options);
+    parts.detail = Rewrite(std::move(parts.detail), options);
+    if (options.coalesce) {
+      // Fold chains of GMDJs over the same detail scan (Prop. 4.1).
+      // Conservative: nodes that already carry completion are not merged
+      // (their rule indexes would need shifting; the derivation passes
+      // run after coalescing anyway).
+      while (!parts.completion.enabled()) {
+        auto* below = dynamic_cast<GmdjNode*>(parts.base.get());
+        if (below == nullptr || below->completion().enabled()) break;
+        if (below->strategy() != parts.strategy) break;
+        std::string rewrite_from, rewrite_to;
+        if (!CoalescableScans(below->detail(), *parts.detail, &rewrite_from,
+                              &rewrite_to)) {
+          break;
+        }
+        GmdjNode::Parts lower = below->TakeParts();
+        if (ConditionsReferTo(parts.conditions,
+                              AggOutputNames(lower.conditions))) {
+          // Dependent conditions: re-assemble the lower node unchanged.
+          parts.base = std::make_unique<GmdjNode>(
+              std::move(lower.base), std::move(lower.detail),
+              std::move(lower.conditions), lower.strategy);
+          break;
+        }
+        RequalifyConditions(&parts.conditions, rewrite_from, rewrite_to);
+        for (GmdjCondition& cond : parts.conditions) {
+          lower.conditions.push_back(std::move(cond));
+        }
+        parts.conditions = std::move(lower.conditions);
+        parts.base = std::move(lower.base);
+        parts.detail = std::move(lower.detail);
+      }
+    }
+    auto merged = std::make_unique<GmdjNode>(
+        std::move(parts.base), std::move(parts.detail),
+        std::move(parts.conditions), parts.strategy);
+    if (parts.completion.enabled()) {
+      parts.completion.actions.resize(merged->num_conditions(),
+                                      CompletionAction::kNone);
+      merged->SetCompletion(std::move(parts.completion));
+    }
+    return merged;
+  }
+
+  // Any other node: left untouched (children inaccessible by design —
+  // the GMDJ spine is the rewrite target).
+  return plan;
+}
+
+}  // namespace
+
+PlanPtr OptimizeGmdjPlan(PlanPtr plan, const OptimizeOptions& options) {
+  return Rewrite(std::move(plan), options);
+}
+
+}  // namespace gmdj

@@ -1,0 +1,44 @@
+#ifndef GMDJ_CORE_OPTIMIZER_H_
+#define GMDJ_CORE_OPTIMIZER_H_
+
+#include "core/gmdj_node.h"
+#include "exec/plan.h"
+
+namespace gmdj {
+
+/// Options for the Section 4 plan-rewrite passes.
+struct OptimizeOptions {
+  /// Proposition 4.1: merge adjacent GMDJs whose detail inputs scan the
+  /// same table under the same alias and whose conditions are independent
+  /// (the upper GMDJ's conditions must not reference the lower one's
+  /// aggregate outputs).
+  bool coalesce = true;
+
+  /// Theorems 4.1 / 4.2: derive base-tuple completion rules from the
+  /// selection placed directly on a GMDJ:
+  ///   Filter[... AND cnt = 0 AND ...](GMDJ)            -> discard-on-match
+  ///   Project[no cnt](Filter[... AND cnt > 0 ...](GMDJ)) -> satisfy
+  /// Discard rules need only the filter (a matched tuple is rejected no
+  /// matter what else happens); satisfy rules additionally require that
+  /// nothing above reads the count, which the Project pattern proves.
+  bool completion = true;
+};
+
+/// Applies the GMDJ algebraic optimizations to an already-built physical
+/// plan, bottom-up. The translator (core/translate.h) performs the same
+/// optimizations during translation; this standalone pass brings them to
+/// hand-built plans and to plans produced with TranslateOptions::Basic().
+///
+/// The pass consumes `plan` and returns the rewritten tree (possibly the
+/// same nodes). It only ever rewrites Filter/Project/GMDJ spines; every
+/// other node is left untouched. Rewrites are purely structural — no
+/// catalog access — so the result must still be Prepared before Execute.
+///
+/// Reference matching is textual (column-ref spelling vs. aggregate output
+/// names), which is exact for translator-generated plans (unique synthetic
+/// names) and conservative for hand-built ones.
+PlanPtr OptimizeGmdjPlan(PlanPtr plan, const OptimizeOptions& options = {});
+
+}  // namespace gmdj
+
+#endif  // GMDJ_CORE_OPTIMIZER_H_

@@ -1,0 +1,57 @@
+#ifndef GMDJ_CORE_TO_SQL_H_
+#define GMDJ_CORE_TO_SQL_H_
+
+#include <string>
+
+#include "core/gmdj_node.h"
+#include "exec/plan.h"
+
+namespace gmdj {
+
+/// Reduction of GMDJ plans to portable SQL, after the companion paper
+/// "Generalized MD-joins: Evaluation and Reduction to SQL" (Akinde &
+/// Böhlen, DBTel/VLDB 2001): every GMDJ becomes one left outer join with
+/// conditional aggregation,
+///
+///   MD(B, R, (l1..lm), (θ1..θm))  =>
+///   SELECT B.*, SUM(CASE WHEN θ1 THEN R.x END) AS ...,
+///          COUNT(CASE WHEN θm THEN 1 END) AS ...
+///   FROM B LEFT OUTER JOIN R ON θ1 OR ... OR θm
+///   GROUP BY B.*
+///
+/// so a translated subquery plan can be handed to any SQL DBMS. This is
+/// exactly the "conditional aggregation (CASE statements)" alternative the
+/// paper's Section 5 compares its engine against.
+///
+/// Supported plan spine: TableScan, GMDJ, Filter, Project, Distinct —
+/// i.e. everything Algorithm SubqueryToGMDJ emits except the row-id
+/// push-down (AttachRowId/NLJoin have no portable SQL-92 rendering here;
+/// they fail with Unimplemented). The plan must be Prepared (schemas and
+/// binding drive the rendering).
+///
+/// Caveats, faithfully inherited from the reduction:
+///  * The GROUP BY is over all base columns, so duplicate base tuples
+///    collapse. The translator's bases are dimension tables or DISTINCT
+///    projections, where this is exact; for bag-semantics bases add a key.
+///  * `x IS NOT TRUE` renders as the SQL:1999 boolean test.
+///  * A tautological θ (an uncorrelated count-everything condition, as in
+///    the ALL translation) renders as `1 = 1`; if the detail relation is
+///    *empty*, the outer join's padding row is then counted once. Guard
+///    with a non-NULL marker column on the detail side when that corner
+///    matters — the in-engine evaluator is exact either way.
+///
+/// Column naming: derived columns flatten `Q.name` to `Q_name` (dots are
+/// not legal in portable SQL identifiers); references adjust accordingly
+/// when they cross a derived-table boundary.
+Result<std::string> PlanToSql(const PlanNode& plan);
+
+/// Convenience: translate + render in one step (the plan is built with
+/// the given options and prepared against `catalog` internally).
+class NestedSelect;
+class Catalog;
+Result<std::string> NestedQueryToSql(const NestedSelect& query,
+                                     const Catalog& catalog);
+
+}  // namespace gmdj
+
+#endif  // GMDJ_CORE_TO_SQL_H_

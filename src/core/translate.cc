@@ -1,0 +1,678 @@
+#include "core/translate.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "common/check.h"
+#include "common/str_util.h"
+#include "exec/join.h"
+#include "exec/nodes.h"
+#include "expr/expr_analysis.h"
+#include "expr/expr_builder.h"
+#include "nested/normalize.h"
+
+namespace gmdj {
+namespace {
+
+using PlanFactory = std::function<PlanPtr()>;
+
+// ------------------------------------------------------------------ helpers
+
+ExprPtr AndMaybe(ExprPtr a, ExprPtr b) {
+  if (a == nullptr) return b;
+  if (b == nullptr) return a;
+  return And(std::move(a), std::move(b));
+}
+
+// Smallest frame referenced anywhere in the expression; SIZE_MAX if none.
+size_t MinFrame(const Expr& expr) {
+  size_t m = SIZE_MAX;
+  std::vector<const ColumnRefExpr*> refs;
+  CollectColumnRefs(expr, &refs);
+  for (const ColumnRefExpr* r : refs) m = std::min(m, r->bound_frame());
+  return m;
+}
+
+// Smallest frame referenced anywhere inside a whole (bound) block: its
+// where tree (including nested blocks and predicate lhs), and the select
+// expressions.
+size_t MinFrameOfBlock(const NestedSelect& sub);
+
+size_t MinFrameOfPred(const Pred& pred) {
+  switch (pred.kind()) {
+    case PredKind::kExpr:
+      return MinFrame(static_cast<const ExprPred&>(pred).expr());
+    case PredKind::kAnd: {
+      const auto& p = static_cast<const AndPred&>(pred);
+      return std::min(MinFrameOfPred(p.lhs()), MinFrameOfPred(p.rhs()));
+    }
+    case PredKind::kOr: {
+      const auto& p = static_cast<const OrPred&>(pred);
+      return std::min(MinFrameOfPred(p.lhs()), MinFrameOfPred(p.rhs()));
+    }
+    case PredKind::kNot:
+      return MinFrameOfPred(static_cast<const NotPred&>(pred).input());
+    case PredKind::kExists:
+      return MinFrameOfBlock(static_cast<const ExistsPred&>(pred).sub());
+    case PredKind::kCompareSub: {
+      const auto& p = static_cast<const CompareSubPred&>(pred);
+      return std::min(MinFrame(p.lhs()), MinFrameOfBlock(p.sub()));
+    }
+    case PredKind::kQuantSub: {
+      const auto& p = static_cast<const QuantSubPred&>(pred);
+      return std::min(MinFrame(p.lhs()), MinFrameOfBlock(p.sub()));
+    }
+  }
+  return SIZE_MAX;
+}
+
+size_t MinFrameOfBlock(const NestedSelect& sub) {
+  size_t m = SIZE_MAX;
+  if (sub.select_expr != nullptr) m = std::min(m, MinFrame(*sub.select_expr));
+  if (sub.select_agg.has_value() && sub.select_agg->arg != nullptr) {
+    m = std::min(m, MinFrame(*sub.select_agg->arg));
+  }
+  if (sub.where != nullptr) m = std::min(m, MinFrameOfPred(*sub.where));
+  return m;
+}
+
+// Smallest frame referenced by the *inner blocks* of `sub` (the subquery
+// predicates of its WHERE, including their lhs). References below the
+// sub's own frame from inner blocks are non-neighboring predicates
+// (Section 3.2) and force the Theorem 3.3/3.4 base push-down.
+size_t MinFrameOfInnerBlocks(const NestedSelect& sub) {
+  size_t m = SIZE_MAX;
+  std::function<void(const Pred&)> walk = [&](const Pred& pred) {
+    switch (pred.kind()) {
+      case PredKind::kExpr:
+        return;
+      case PredKind::kAnd: {
+        const auto& p = static_cast<const AndPred&>(pred);
+        walk(p.lhs());
+        walk(p.rhs());
+        return;
+      }
+      case PredKind::kOr: {
+        const auto& p = static_cast<const OrPred&>(pred);
+        walk(p.lhs());
+        walk(p.rhs());
+        return;
+      }
+      case PredKind::kNot:
+        walk(static_cast<const NotPred&>(pred).input());
+        return;
+      case PredKind::kExists:
+      case PredKind::kCompareSub:
+      case PredKind::kQuantSub:
+        m = std::min(m, MinFrameOfPred(pred));
+        return;
+    }
+  };
+  if (sub.where != nullptr) walk(*sub.where);
+  return m;
+}
+
+bool HasSubqueryPreds(const Pred& pred) {
+  switch (pred.kind()) {
+    case PredKind::kExpr:
+      return false;
+    case PredKind::kAnd: {
+      const auto& p = static_cast<const AndPred&>(pred);
+      return HasSubqueryPreds(p.lhs()) || HasSubqueryPreds(p.rhs());
+    }
+    case PredKind::kOr: {
+      const auto& p = static_cast<const OrPred&>(pred);
+      return HasSubqueryPreds(p.lhs()) || HasSubqueryPreds(p.rhs());
+    }
+    case PredKind::kNot:
+      return HasSubqueryPreds(static_cast<const NotPred&>(pred).input());
+    case PredKind::kExists:
+    case PredKind::kCompareSub:
+    case PredKind::kQuantSub:
+      return true;
+  }
+  return false;
+}
+
+// ----------------------------------------------------------- the translator
+
+/// One subquery predicate translated into GMDJ condition(s), waiting to be
+/// attached to the block's GMDJ chain.
+struct PendingGmdj {
+  std::string group_key;   // Non-empty: eligible for coalescing.
+  SourceSpec group_source; // Detail source for coalescable pendings.
+  std::string sub_alias;   // Qualifier its θ references use.
+  PlanPtr detail;          // Detail plan for non-coalescable pendings.
+  std::vector<GmdjCondition> conds;  // One, or two for an ALL pair.
+  ExprPtr pair_cmp;                  // ψ of the ALL pair.
+  CompletionAction hint = CompletionAction::kNone;
+  bool all_pair = false;
+  bool conjunctive = false;  // Leaf sits on a pure conjunction path.
+};
+
+class Translator {
+ public:
+  Translator(const Catalog& catalog, const TranslateOptions& options)
+      : catalog_(catalog), options_(options) {}
+
+  Result<PlanPtr> Run(std::unique_ptr<NestedSelect> query) {
+    if (options_.normalize) NormalizeSelect(query.get());
+    GMDJ_RETURN_IF_ERROR(query->Bind(catalog_, {}));
+
+    const Schema base_schema = query->schema();
+    const SourceSpec source = query->source;
+    PlanFactory factory = [source]() { return source.ToPlan(); };
+
+    std::vector<const Schema*> frames = {&query->schema()};
+    GMDJ_ASSIGN_OR_RETURN(
+        auto result,
+        ProcessBlock(factory, query->where.get(), frames,
+                     /*is_filter_context=*/true));
+    auto& [plan, where_expr, had_gmdjs] = result;
+    if (where_expr != nullptr) {
+      plan = std::make_unique<FilterNode>(std::move(plan),
+                                          std::move(where_expr));
+    }
+    if (had_gmdjs) {
+      // Project the synthetic count/aggregate columns away, restoring the
+      // base-values schema.
+      std::vector<ProjItem> items;
+      items.reserve(base_schema.num_fields());
+      for (const Field& f : base_schema.fields()) {
+        items.emplace_back(Col(f.QualifiedName()), f.name, f.qualifier);
+      }
+      plan = std::make_unique<ProjectNode>(std::move(plan), std::move(items));
+    }
+    return std::move(plan);
+  }
+
+ private:
+  struct BlockResult {
+    PlanPtr plan;
+    ExprPtr where;   // Rewritten predicate (null = TRUE).
+    bool had_gmdjs;  // Plan schema is wider than the block's base.
+  };
+
+  /// Translation state for one query block.
+  struct BlockState {
+    PlanFactory base_factory;
+    std::vector<const Schema*> frames;  // Schemas of frames 0..d.
+    std::string rid_col;                // Set once a push-down needs it.
+    std::vector<PendingGmdj> pendings;
+  };
+
+  std::string FreshName(const char* stem) {
+    return "__" + std::string(stem) + std::to_string(++name_counter_);
+  }
+
+  /// Rewrites every (bound) column reference to its fully qualified name,
+  /// so the expression re-binds unambiguously over the [base, detail]
+  /// frames of a GMDJ or over a joined push-down base. References bound to
+  /// `override_frame` are qualified with `override_alias` instead (used
+  /// when coalescing renames the detail).
+  void NormalizeRefs(Expr* expr, const std::vector<const Schema*>& frames,
+                     int override_frame = -1,
+                     const std::string& override_alias = "") const {
+    std::vector<ColumnRefExpr*> refs;
+    CollectColumnRefsMutable(expr, &refs);
+    for (ColumnRefExpr* ref : refs) {
+      const size_t f = ref->bound_frame();
+      if (f >= frames.size()) continue;  // Synthetic ref added by us.
+      const Field& field = frames[f]->field(ref->bound_column());
+      if (static_cast<int>(f) == override_frame) {
+        ref->set_ref(override_alias.empty()
+                         ? field.name
+                         : override_alias + "." + field.name);
+      } else {
+        ref->set_ref(field.QualifiedName());
+      }
+    }
+  }
+
+  ExprPtr CloneNormalized(const Expr& expr,
+                          const std::vector<const Schema*>& frames) const {
+    ExprPtr out = expr.Clone();
+    NormalizeRefs(out.get(), frames);
+    return out;
+  }
+
+  /// Converts a subquery-free predicate tree to a single expression.
+  Result<ExprPtr> PredToExpr(const Pred& pred,
+                             const std::vector<const Schema*>& frames) const {
+    switch (pred.kind()) {
+      case PredKind::kExpr:
+        return CloneNormalized(static_cast<const ExprPred&>(pred).expr(),
+                               frames);
+      case PredKind::kAnd: {
+        const auto& p = static_cast<const AndPred&>(pred);
+        GMDJ_ASSIGN_OR_RETURN(ExprPtr l, PredToExpr(p.lhs(), frames));
+        GMDJ_ASSIGN_OR_RETURN(ExprPtr r, PredToExpr(p.rhs(), frames));
+        return And(std::move(l), std::move(r));
+      }
+      case PredKind::kOr: {
+        const auto& p = static_cast<const OrPred&>(pred);
+        GMDJ_ASSIGN_OR_RETURN(ExprPtr l, PredToExpr(p.lhs(), frames));
+        GMDJ_ASSIGN_OR_RETURN(ExprPtr r, PredToExpr(p.rhs(), frames));
+        return Or(std::move(l), std::move(r));
+      }
+      case PredKind::kNot: {
+        const auto& p = static_cast<const NotPred&>(pred);
+        GMDJ_ASSIGN_OR_RETURN(ExprPtr in, PredToExpr(p.input(), frames));
+        return Not(std::move(in));
+      }
+      default:
+        return Status::Internal(
+            "PredToExpr called on a predicate with subqueries");
+    }
+  }
+
+  /// Translates one block: returns the GMDJ-extended plan for its base and
+  /// the rewritten WHERE expression. `is_filter_context` is true when the
+  /// caller will place Filter(where) directly on top (enabling completion).
+  Result<BlockResult> ProcessBlock(PlanFactory base_factory, Pred* where,
+                                   std::vector<const Schema*> frames,
+                                   bool is_filter_context) {
+    BlockState state;
+    state.base_factory = std::move(base_factory);
+    state.frames = std::move(frames);
+
+    ExprPtr rewritten;
+    if (where != nullptr) {
+      GMDJ_ASSIGN_OR_RETURN(rewritten,
+                            RewritePred(*where, &state,
+                                        /*conjunctive=*/true));
+    }
+    GMDJ_ASSIGN_OR_RETURN(PlanPtr plan,
+                          EmitChain(&state, is_filter_context));
+    BlockResult out;
+    out.had_gmdjs = !state.pendings.empty() || !state.rid_col.empty();
+    out.plan = std::move(plan);
+    out.where = std::move(rewritten);
+    return out;
+  }
+
+  Result<ExprPtr> RewritePred(Pred& pred, BlockState* state,
+                              bool conjunctive) {
+    switch (pred.kind()) {
+      case PredKind::kExpr:
+        return CloneNormalized(static_cast<ExprPred&>(pred).expr(),
+                               state->frames);
+      case PredKind::kAnd: {
+        auto& p = static_cast<AndPred&>(pred);
+        GMDJ_ASSIGN_OR_RETURN(ExprPtr l,
+                              RewritePred(p.lhs(), state, conjunctive));
+        GMDJ_ASSIGN_OR_RETURN(ExprPtr r,
+                              RewritePred(p.rhs(), state, conjunctive));
+        return And(std::move(l), std::move(r));
+      }
+      case PredKind::kOr: {
+        auto& p = static_cast<OrPred&>(pred);
+        GMDJ_ASSIGN_OR_RETURN(ExprPtr l, RewritePred(p.lhs(), state, false));
+        GMDJ_ASSIGN_OR_RETURN(ExprPtr r, RewritePred(p.rhs(), state, false));
+        return Or(std::move(l), std::move(r));
+      }
+      case PredKind::kNot: {
+        auto& p = static_cast<NotPred&>(pred);
+        if (HasSubqueryPreds(p.input())) {
+          return Status::InvalidArgument(
+              "negated subquery predicate survived normalization; run with "
+              "TranslateOptions::normalize");
+        }
+        GMDJ_ASSIGN_OR_RETURN(ExprPtr in,
+                              RewritePred(p.input(), state, false));
+        return Not(std::move(in));
+      }
+      case PredKind::kExists: {
+        auto& p = static_cast<ExistsPred&>(pred);
+        return TranslateSubquery(&p.mutable_sub(), state, conjunctive,
+                                 [&](ExprPtr theta, PendingGmdj* pending) {
+          const std::string cnt = FreshName("cnt");
+          pending->conds.emplace_back(std::move(theta),
+                                      std::vector<AggSpec>{});
+          pending->conds.back().aggs.push_back(CountStar(cnt));
+          if (p.negated()) {
+            pending->hint = CompletionAction::kDiscardOnMatch;
+            return Eq(Col(cnt), Lit(int64_t{0}));
+          }
+          pending->hint = CompletionAction::kSatisfyOnMatch;
+          return Gt(Col(cnt), Lit(int64_t{0}));
+        });
+      }
+      case PredKind::kCompareSub: {
+        auto& p = static_cast<CompareSubPred&>(pred);
+        ExprPtr lhs = CloneNormalized(p.lhs(), state->frames);
+        if (p.is_aggregate()) {
+          return TranslateSubquery(
+              &p.mutable_sub(), state, conjunctive,
+              [&](ExprPtr theta, PendingGmdj* pending) {
+            const std::string name = FreshName("agg");
+            AggSpec spec = p.sub().select_agg->Clone();
+            if (spec.arg != nullptr) {
+              NormalizeRefs(spec.arg.get(), SubFrames(state, p.sub()),
+                            SubFrameIndex(state),
+                            pending->sub_alias);
+            }
+            spec.output_name = name;
+            pending->conds.emplace_back(std::move(theta),
+                                        std::vector<AggSpec>{});
+            pending->conds.back().aggs.push_back(std::move(spec));
+            return Cmp(std::move(lhs), p.op(), Col(name));
+          });
+        }
+        // Scalar subquery: Table 1 row 1 — count over θ ∧ (x φ y),
+        // select cnt = 1 (well-defined under the at-most-one-row
+        // precondition; see paper).
+        return TranslateSubquery(
+            &p.mutable_sub(), state, conjunctive,
+            [&](ExprPtr theta, PendingGmdj* pending) {
+          ExprPtr y = p.sub().select_expr->Clone();
+          NormalizeRefs(y.get(), SubFrames(state, p.sub()),
+                        SubFrameIndex(state), pending->sub_alias);
+          const std::string cnt = FreshName("cnt");
+          pending->conds.emplace_back(
+              AndMaybe(std::move(theta),
+                       Cmp(std::move(lhs), p.op(), std::move(y))),
+              std::vector<AggSpec>{});
+          pending->conds.back().aggs.push_back(CountStar(cnt));
+          return Eq(Col(cnt), Lit(int64_t{1}));
+        });
+      }
+      case PredKind::kQuantSub: {
+        auto& p = static_cast<QuantSubPred&>(pred);
+        ExprPtr lhs = CloneNormalized(p.lhs(), state->frames);
+        return TranslateSubquery(
+            &p.mutable_sub(), state, conjunctive,
+            [&](ExprPtr theta, PendingGmdj* pending) {
+          ExprPtr y = p.sub().select_expr->Clone();
+          NormalizeRefs(y.get(), SubFrames(state, p.sub()),
+                        SubFrameIndex(state), pending->sub_alias);
+          ExprPtr cmp = Cmp(std::move(lhs), p.op(), std::move(y));
+          if (p.quant() == QuantKind::kSome) {
+            const std::string cnt = FreshName("cnt");
+            pending->conds.emplace_back(
+                AndMaybe(std::move(theta), std::move(cmp)),
+                std::vector<AggSpec>{});
+            pending->conds.back().aggs.push_back(CountStar(cnt));
+            pending->hint = CompletionAction::kSatisfyOnMatch;
+            return Gt(Col(cnt), Lit(int64_t{0}));
+          }
+          // ALL: two counts, selected with cnt1 = cnt2 (Table 1 row 4).
+          const std::string cnt1 = FreshName("cnt");
+          const std::string cnt2 = FreshName("cnt");
+          ExprPtr theta_f =
+              AndMaybe(theta == nullptr ? nullptr : theta->Clone(),
+                       cmp->Clone());
+          pending->conds.emplace_back(std::move(theta_f),
+                                      std::vector<AggSpec>{});
+          pending->conds.back().aggs.push_back(CountStar(cnt1));
+          pending->conds.emplace_back(std::move(theta),
+                                      std::vector<AggSpec>{});
+          pending->conds.back().aggs.push_back(CountStar(cnt2));
+          pending->pair_cmp = std::move(cmp);
+          pending->all_pair = true;
+          return Eq(Col(cnt1), Col(cnt2));
+        });
+      }
+    }
+    return Status::Internal("unknown predicate kind");
+  }
+
+  /// Frame index of a direct subquery of the current block.
+  static int SubFrameIndex(const BlockState* state) {
+    return static_cast<int>(state->frames.size());
+  }
+  /// Frame schemas extended with the subquery's own schema.
+  static std::vector<const Schema*> SubFrames(const BlockState* state,
+                                              const NestedSelect& sub) {
+    std::vector<const Schema*> frames = state->frames;
+    frames.push_back(&sub.schema());
+    return frames;
+  }
+
+  /// Shared translation of a subquery block into (θ_base, detail) — the
+  /// three structural cases — then hands θ_base to `build` to add the
+  /// kind-specific comparison/aggregates and produce the replacement
+  /// predicate.
+  template <typename BuildFn>
+  Result<ExprPtr> TranslateSubquery(NestedSelect* sub, BlockState* state,
+                                    bool conjunctive, BuildFn&& build) {
+    const size_t fs = state->frames.size();  // Sub's frame index.
+    PendingGmdj pending;
+    pending.conjunctive = conjunctive;
+    pending.sub_alias = sub->source.alias;
+
+    const bool has_nested =
+        sub->where != nullptr && HasSubqueryPreds(*sub->where);
+    const bool needs_push = MinFrameOfInnerBlocks(*sub) < fs;
+
+    ExprPtr theta_base;
+    if (!has_nested) {
+      // Case A: leaf subquery (Theorem 3.1 / Table 1).
+      if (sub->where != nullptr) {
+        std::vector<const Schema*> frames = SubFrames(state, *sub);
+        GMDJ_ASSIGN_OR_RETURN(theta_base, PredToExpr(*sub->where, frames));
+      }
+      if (options_.coalesce && !sub->source.alias.empty()) {
+        pending.group_key = GroupKey(sub->source);
+        pending.group_source = sub->source;
+      } else {
+        pending.detail = sub->SourcePlan();
+      }
+    } else if (!needs_push) {
+      // Case B: linear nesting (Theorem 3.2) — the inner block's GMDJ
+      // chain becomes the detail; its rewritten WHERE becomes part of the
+      // outer θ condition.
+      const SourceSpec inner_source = sub->source;
+      PlanFactory inner_factory = [inner_source]() {
+        return inner_source.ToPlan();
+      };
+      GMDJ_ASSIGN_OR_RETURN(
+          BlockResult inner,
+          ProcessBlock(inner_factory, sub->where.get(),
+                       SubFrames(state, *sub),
+                       /*is_filter_context=*/false));
+      pending.detail = std::move(inner.plan);
+      theta_base = std::move(inner.where);
+    } else {
+      // Case C: non-neighboring correlation (Theorems 3.3/3.4) — push the
+      // current base (with a row id) down into the inner block via a
+      // cross join; the outer θ degenerates to row-id equality.
+      if (state->rid_col.empty()) {
+        state->rid_col = FreshName("rid");
+        const PlanFactory inner = state->base_factory;
+        const std::string rid = state->rid_col;
+        state->base_factory = [inner, rid]() {
+          return std::make_unique<AttachRowIdNode>(inner(), rid);
+        };
+      }
+      // Prefilter the sub source with its purely local conjuncts to keep
+      // the cross join small (they also remain in the inner WHERE; the
+      // duplication is harmless).
+      std::vector<const Schema*> sub_frames = SubFrames(state, *sub);
+      std::vector<std::shared_ptr<Expr>> prefilters;
+      CollectLocalConjuncts(*sub->where, fs, sub_frames, &prefilters);
+
+      const PlanFactory base_factory = state->base_factory;
+      const SourceSpec sub_source = sub->source;
+      PlanFactory joined_factory = [base_factory, sub_source, prefilters]() {
+        PlanPtr right = sub_source.ToPlan();
+        if (!prefilters.empty()) {
+          std::vector<ExprPtr> clones;
+          clones.reserve(prefilters.size());
+          for (const auto& e : prefilters) clones.push_back(e->Clone());
+          right = std::make_unique<FilterNode>(std::move(right),
+                                               AndAll(std::move(clones)));
+        }
+        return std::make_unique<NLJoinNode>(base_factory(), std::move(right),
+                                            JoinKind::kInner, nullptr);
+      };
+      GMDJ_ASSIGN_OR_RETURN(
+          BlockResult inner,
+          ProcessBlock(joined_factory, sub->where.get(), sub_frames,
+                       /*is_filter_context=*/true));
+      PlanPtr detail = std::move(inner.plan);
+      if (inner.where != nullptr) {
+        detail = std::make_unique<FilterNode>(std::move(detail),
+                                              std::move(inner.where));
+      }
+      pending.detail = std::move(detail);
+      theta_base =
+          Eq(std::make_unique<ColumnRefExpr>(state->rid_col, /*pinned=*/0),
+             std::make_unique<ColumnRefExpr>(state->rid_col, /*pinned=*/1));
+    }
+
+    ExprPtr replacement = build(std::move(theta_base), &pending);
+    state->pendings.push_back(std::move(pending));
+    return replacement;
+  }
+
+  static std::string GroupKey(const SourceSpec& source) {
+    std::string key = source.table + "|";
+    for (const std::string& c : source.project_cols) key += c + ",";
+    key += source.distinct ? "|D" : "|-";
+    return key;
+  }
+
+  /// Collects conjunctive-position scalar conjuncts of `pred` that
+  /// reference only the sub's own frame `fs`; cloned + normalized.
+  void CollectLocalConjuncts(const Pred& pred, size_t fs,
+                             const std::vector<const Schema*>& frames,
+                             std::vector<std::shared_ptr<Expr>>* out) const {
+    if (pred.kind() == PredKind::kAnd) {
+      const auto& p = static_cast<const AndPred&>(pred);
+      CollectLocalConjuncts(p.lhs(), fs, frames, out);
+      CollectLocalConjuncts(p.rhs(), fs, frames, out);
+      return;
+    }
+    if (pred.kind() != PredKind::kExpr) return;
+    const Expr& e = static_cast<const ExprPred&>(pred).expr();
+    for (const Expr* conj : SplitConjuncts(e)) {
+      const std::set<size_t> used = FramesUsed(*conj);
+      bool local = true;
+      for (const size_t f : used) {
+        if (f != fs) {
+          local = false;
+          break;
+        }
+      }
+      if (!local) continue;
+      ExprPtr clone = conj->Clone();
+      NormalizeRefs(clone.get(), frames);
+      out->push_back(std::shared_ptr<Expr>(std::move(clone)));
+    }
+  }
+
+  /// Rewrites `from.`-qualified references to `to.` (coalescing merge).
+  static void RewriteQualifier(Expr* expr, const std::string& from,
+                               const std::string& to) {
+    if (from == to || from.empty()) return;
+    std::vector<ColumnRefExpr*> refs;
+    CollectColumnRefsMutable(expr, &refs);
+    const std::string prefix = from + ".";
+    for (ColumnRefExpr* ref : refs) {
+      if (StartsWith(ref->ref(), prefix)) {
+        ref->set_ref(to + "." + ref->ref().substr(prefix.size()));
+      }
+    }
+  }
+
+  static void RewriteCondQualifiers(GmdjCondition* cond,
+                                    const std::string& from,
+                                    const std::string& to) {
+    if (cond->theta != nullptr) RewriteQualifier(cond->theta.get(), from, to);
+    for (AggSpec& agg : cond->aggs) {
+      if (agg.arg != nullptr) RewriteQualifier(agg.arg.get(), from, to);
+    }
+  }
+
+  /// Materializes the block's pending GMDJs into a chain over its base.
+  Result<PlanPtr> EmitChain(BlockState* state, bool is_filter_context) {
+    struct NodeSpec {
+      PlanPtr detail;
+      std::string alias;  // Unified qualifier for coalesced members.
+      std::vector<GmdjCondition> conds;
+      CompletionSpec completion;
+    };
+    std::vector<NodeSpec> nodes;
+    std::map<std::string, size_t> group_index;
+
+    for (PendingGmdj& pending : state->pendings) {
+      size_t node_idx;
+      if (!pending.group_key.empty()) {
+        const auto it = group_index.find(pending.group_key);
+        if (it == group_index.end()) {
+          node_idx = nodes.size();
+          group_index[pending.group_key] = node_idx;
+          NodeSpec spec;
+          SourceSpec src = pending.group_source;
+          spec.alias = src.alias;
+          spec.detail = src.ToPlan();
+          nodes.push_back(std::move(spec));
+        } else {
+          node_idx = it->second;
+        }
+      } else {
+        node_idx = nodes.size();
+        NodeSpec spec;
+        spec.alias = pending.sub_alias;
+        spec.detail = std::move(pending.detail);
+        nodes.push_back(std::move(spec));
+      }
+      NodeSpec& node = nodes[node_idx];
+      // Coalesced members scanned under a different alias: re-qualify.
+      const bool realias =
+          !pending.group_key.empty() && pending.sub_alias != node.alias;
+      const size_t first_cond = node.conds.size();
+      for (GmdjCondition& cond : pending.conds) {
+        if (realias) {
+          RewriteCondQualifiers(&cond, pending.sub_alias, node.alias);
+        }
+        node.conds.push_back(std::move(cond));
+      }
+      if (is_filter_context && options_.completion && pending.conjunctive) {
+        auto& actions = node.completion.actions;
+        if (pending.all_pair) {
+          ExprPtr cmp = std::move(pending.pair_cmp);
+          if (realias) {
+            RewriteQualifier(cmp.get(), pending.sub_alias, node.alias);
+          }
+          node.completion.all_pairs.push_back(
+              AllPairRule{first_cond, first_cond + 1, std::move(cmp)});
+        } else if (pending.hint != CompletionAction::kNone) {
+          actions.resize(node.conds.size(), CompletionAction::kNone);
+          actions[first_cond] = pending.hint;
+        }
+      }
+    }
+
+    PlanPtr plan = state->base_factory();
+    for (NodeSpec& node : nodes) {
+      auto gmdj = std::make_unique<GmdjNode>(
+          std::move(plan), std::move(node.detail), std::move(node.conds),
+          options_.strategy);
+      if (node.completion.enabled()) {
+        node.completion.actions.resize(gmdj->num_conditions(),
+                                       CompletionAction::kNone);
+        gmdj->SetCompletion(std::move(node.completion));
+      }
+      plan = std::move(gmdj);
+    }
+    return plan;
+  }
+
+  const Catalog& catalog_;
+  TranslateOptions options_;
+  int name_counter_ = 0;
+};
+
+}  // namespace
+
+Result<PlanPtr> SubqueryToGmdj(std::unique_ptr<NestedSelect> query,
+                               const Catalog& catalog,
+                               const TranslateOptions& options) {
+  Translator translator(catalog, options);
+  return translator.Run(std::move(query));
+}
+
+}  // namespace gmdj

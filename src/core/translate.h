@@ -1,0 +1,62 @@
+#ifndef GMDJ_CORE_TRANSLATE_H_
+#define GMDJ_CORE_TRANSLATE_H_
+
+#include <memory>
+
+#include "core/gmdj_node.h"
+#include "exec/plan.h"
+#include "nested/nested_ast.h"
+
+namespace gmdj {
+
+/// Knobs of Algorithm SubqueryToGMDJ and the Section 4 optimizations.
+struct TranslateOptions {
+  /// Push down / eliminate negations first (Theorem 3.5 preamble).
+  /// Disable only for tests; subquery predicates under NOT are rejected.
+  bool normalize = true;
+
+  /// Coalesce same-level subqueries over the same detail source into a
+  /// single multi-condition GMDJ (Proposition 4.1): one scan of the
+  /// detail table computes all their counts.
+  bool coalesce = false;
+
+  /// Attach base-tuple completion rules (Theorems 4.1/4.2) to emitted
+  /// GMDJs when the enclosing selection permits it.
+  bool completion = false;
+
+  /// Evaluation strategy for the emitted GMDJ nodes.
+  GmdjStrategy strategy = GmdjStrategy::kAuto;
+
+  /// The basic algorithm with no optional optimizations.
+  static TranslateOptions Basic() { return TranslateOptions{}; }
+  /// Coalescing + completion ("Optimized GMDJ" in the paper's figures).
+  static TranslateOptions Optimized() {
+    TranslateOptions out;
+    out.coalesce = true;
+    out.completion = true;
+    return out;
+  }
+};
+
+/// Algorithm SubqueryToGMDJ (Theorem 3.5): translates a nested query
+/// expression σ[W](B) — where W may contain arbitrarily nested subquery
+/// predicates — into a flat physical plan built from GMDJ operators:
+///
+///   Project(B-columns)( Filter(W') ( GMDJ* ( B ) ) )
+///
+/// Every subquery predicate becomes a count/aggregate condition of a GMDJ
+/// (Table 1 of the paper); linearly nested subqueries chain GMDJs through
+/// the detail input (Theorem 3.2); non-neighboring correlation pushes the
+/// outer base-values table down into the inner GMDJ via a row-id join
+/// (Theorems 3.3/3.4 — the only case that introduces a join).
+///
+/// The translation consumes `query`. The resulting plan is unprepared;
+/// call Prepare(catalog) before Execute. The query must have been bound
+/// (or never bound) against the same catalog.
+Result<PlanPtr> SubqueryToGmdj(std::unique_ptr<NestedSelect> query,
+                               const Catalog& catalog,
+                               const TranslateOptions& options = {});
+
+}  // namespace gmdj
+
+#endif  // GMDJ_CORE_TRANSLATE_H_

@@ -1,0 +1,58 @@
+#ifndef GMDJ_ENGINE_ADVISOR_H_
+#define GMDJ_ENGINE_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/olap_engine.h"
+#include "nested/nested_ast.h"
+#include "storage/catalog.h"
+
+namespace gmdj {
+
+/// One strategy's estimated cost for a query, in abstract row operations.
+struct StrategyCostEstimate {
+  Strategy strategy = Strategy::kGmdj;
+  double cost = 0.0;        // +inf encodes "outside the supported fragment".
+  std::string rationale;    // One line: what dominated the estimate.
+};
+
+/// Heuristic cost advisor — a concrete take on the paper's closing
+/// suggestion that a cost-based optimizer should "select between a rich
+/// set of alternatives (joins, set-division and GMDJs) for the subquery
+/// evaluation".
+///
+/// The model walks the nested query, classifies every subquery block
+/// (equality-correlated? quantifier kind? nesting? non-neighboring?) and
+/// charges each strategy in abstract row operations:
+///
+///   * scans and hash builds cost |R|; probes cost O(1) per outer row,
+///   * tuple iteration costs |B|·|R| with an early-termination discount
+///     for EXISTS/SOME/ALL under "smart" evaluation,
+///   * non-indexable GMDJ conditions (and NL joins) cost |B|·|R|,
+///   * coalescing merges same-table detail scans; completion discounts
+///     scan-strategy conditions,
+///   * strategies outside their fragment (disjunctive subqueries or
+///     non-neighboring correlation for join unnesting) cost infinity.
+///
+/// The numbers are *ranks*, not milliseconds: the advisor answers "which
+/// strategy should run this query", the benchmarks answer "how fast".
+class StrategyAdvisor {
+ public:
+  explicit StrategyAdvisor(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Per-strategy estimates, sorted cheapest first. Binds a clone of the
+  /// query against the catalog; fails if the query does not bind.
+  Result<std::vector<StrategyCostEstimate>> EstimateAll(
+      const NestedSelect& query) const;
+
+  /// The cheapest strategy from EstimateAll.
+  Result<Strategy> Recommend(const NestedSelect& query) const;
+
+ private:
+  const Catalog* catalog_;
+};
+
+}  // namespace gmdj
+
+#endif  // GMDJ_ENGINE_ADVISOR_H_

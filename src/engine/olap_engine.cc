@@ -1,0 +1,189 @@
+#include "engine/olap_engine.h"
+
+#include "common/stopwatch.h"
+#include "core/optimizer.h"
+#include "core/gmdj.h"
+#include "nested/native_eval.h"
+#include "sql/parser.h"
+#include "unnest/unnest.h"
+
+namespace gmdj {
+
+const char* StrategyToString(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kNativeNaive:
+      return "native-naive";
+    case Strategy::kNativeSmart:
+      return "native-smart";
+    case Strategy::kNativeIndexed:
+      return "native-indexed";
+    case Strategy::kNativeMemo:
+      return "native-memo";
+    case Strategy::kUnnest:
+      return "unnest-joins";
+    case Strategy::kUnnestNoIndex:
+      return "unnest-joins-noindex";
+    case Strategy::kGmdjNaive:
+      return "gmdj-naive";
+    case Strategy::kGmdj:
+      return "gmdj";
+    case Strategy::kGmdjOptimized:
+      return "gmdj-optimized";
+  }
+  return "?";
+}
+
+const std::vector<Strategy>& AllStrategies() {
+  static const std::vector<Strategy>* kAll = new std::vector<Strategy>{
+      Strategy::kNativeNaive,   Strategy::kNativeSmart,
+      Strategy::kNativeIndexed, Strategy::kNativeMemo,
+      Strategy::kUnnest,        Strategy::kUnnestNoIndex,
+      Strategy::kGmdjNaive,     Strategy::kGmdj,
+      Strategy::kGmdjOptimized,
+  };
+  return *kAll;
+}
+
+namespace {
+
+NativeOptions NativeOptionsFor(Strategy strategy) {
+  NativeOptions options;
+  options.smart_termination = strategy != Strategy::kNativeNaive;
+  options.use_indexes = strategy == Strategy::kNativeIndexed ||
+                        strategy == Strategy::kNativeMemo;
+  options.memoize_invariants = strategy == Strategy::kNativeMemo;
+  return options;
+}
+
+TranslateOptions TranslateOptionsFor(Strategy strategy) {
+  if (strategy == Strategy::kGmdjOptimized) {
+    return TranslateOptions::Optimized();
+  }
+  TranslateOptions options = TranslateOptions::Basic();
+  if (strategy == Strategy::kGmdjNaive) {
+    options.strategy = GmdjStrategy::kNaive;
+  }
+  return options;
+}
+
+}  // namespace
+
+Result<PlanPtr> OlapEngine::Plan(const NestedSelect& query,
+                                 Strategy strategy) const {
+  switch (strategy) {
+    case Strategy::kUnnest:
+    case Strategy::kUnnestNoIndex: {
+      UnnestOptions options;
+      options.use_hash_joins = strategy == Strategy::kUnnest;
+      return UnnestToJoins(query.Clone(), catalog_, options);
+    }
+    case Strategy::kGmdjNaive:
+    case Strategy::kGmdj:
+    case Strategy::kGmdjOptimized:
+      return SubqueryToGmdj(query.Clone(), catalog_,
+                            TranslateOptionsFor(strategy));
+    default:
+      return Status::InvalidArgument(
+          std::string("strategy has no physical plan: ") +
+          StrategyToString(strategy));
+  }
+}
+
+Result<Table> OlapEngine::Execute(const NestedSelect& query,
+                                  Strategy strategy) {
+  Stopwatch watch;
+  switch (strategy) {
+    case Strategy::kNativeNaive:
+    case Strategy::kNativeSmart:
+    case Strategy::kNativeIndexed:
+    case Strategy::kNativeMemo: {
+      NativeEvaluator evaluator(&catalog_, NativeOptionsFor(strategy));
+      std::unique_ptr<NestedSelect> clone = query.Clone();
+      auto result = evaluator.Run(clone.get());
+      last_stats_ = evaluator.stats();
+      last_elapsed_ms_ = watch.ElapsedMillis();
+      return result;
+    }
+    default: {
+      GMDJ_ASSIGN_OR_RETURN(PlanPtr plan, Plan(query, strategy));
+      GMDJ_RETURN_IF_ERROR(plan->Prepare(catalog_));
+      ExecContext ctx(&catalog_);
+      auto result = plan->Execute(&ctx);
+      last_stats_ = ctx.stats();
+      last_elapsed_ms_ = watch.ElapsedMillis();
+      return result;
+    }
+  }
+}
+
+Result<Table> OlapEngine::ExecuteSql(std::string_view sql,
+                                     Strategy strategy) {
+  GMDJ_ASSIGN_OR_RETURN(SqlStatement statement, ParseStatement(sql));
+  GMDJ_ASSIGN_OR_RETURN(Table rows, Execute(*statement.select, strategy));
+  if (statement.projections.empty()) return rows;
+
+  PlanPtr plan = std::make_unique<ValuesNode>(std::move(rows));
+  if (!statement.select_subqueries.empty()) {
+    // Select-list aggregate subqueries: one GMDJ condition each over the
+    // qualifying rows, then coalesced by the optimizer so subqueries over
+    // the same detail table share a single scan (the paper's Example 2.1
+    // evaluation). The subqueries' correlation predicates become the θ
+    // conditions directly.
+    for (SelectSubquery& entry : statement.select_subqueries) {
+      NestedSelect& sub = *entry.sub;
+      if (sub.where != nullptr) {
+        // Nested subqueries inside a select-list subquery are out of
+        // scope; PredTreeToExpr reports them cleanly.
+      }
+      ExprPtr theta;
+      if (sub.where != nullptr) {
+        GMDJ_ASSIGN_OR_RETURN(theta, PredTreeToExpr(*sub.where));
+      }
+      std::vector<GmdjCondition> conditions;
+      GmdjCondition cond;
+      cond.theta = std::move(theta);
+      cond.aggs.push_back(sub.select_agg->Clone());
+      conditions.push_back(std::move(cond));
+      plan = std::make_unique<GmdjNode>(std::move(plan), sub.SourcePlan(),
+                                        std::move(conditions));
+    }
+    OptimizeOptions optimize;
+    optimize.completion = false;  // No selection above these GMDJs.
+    plan = OptimizeGmdjPlan(std::move(plan), optimize);
+  }
+  plan = std::make_unique<ProjectNode>(std::move(plan),
+                                       std::move(statement.projections));
+  GMDJ_RETURN_IF_ERROR(plan->Prepare(catalog_));
+  ExecContext ctx(&catalog_);
+  auto result = plan->Execute(&ctx);
+  last_stats_.gmdj_ops += ctx.stats().gmdj_ops;
+  return result;
+}
+
+Result<std::string> OlapEngine::Explain(const NestedSelect& query,
+                                        Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kNativeNaive:
+    case Strategy::kNativeSmart:
+    case Strategy::kNativeIndexed:
+    case Strategy::kNativeMemo:
+      return std::string(StrategyToString(strategy)) +
+             " (tuple iteration over): " + query.ToString();
+    default: {
+      GMDJ_ASSIGN_OR_RETURN(PlanPtr plan, Plan(query, strategy));
+      GMDJ_RETURN_IF_ERROR(plan->Prepare(catalog_));
+      return plan->ToString();
+    }
+  }
+}
+
+Result<Table> OlapEngine::Project(const Table& input,
+                                  std::vector<ProjItem> items) {
+  PlanPtr plan = std::make_unique<ValuesNode>(input);
+  plan = std::make_unique<ProjectNode>(std::move(plan), std::move(items));
+  GMDJ_RETURN_IF_ERROR(plan->Prepare(catalog_));
+  ExecContext ctx(&catalog_);
+  return plan->Execute(&ctx);
+}
+
+}  // namespace gmdj

@@ -1,0 +1,89 @@
+#ifndef GMDJ_ENGINE_OLAP_ENGINE_H_
+#define GMDJ_ENGINE_OLAP_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exec/nodes.h"
+#include "exec/plan.h"
+#include "nested/nested_ast.h"
+#include "storage/catalog.h"
+
+namespace gmdj {
+
+/// Subquery evaluation strategies the engine can dispatch to. The first
+/// three model the paper's "native" commercial DBMS at increasing levels
+/// of sophistication; the next two are the join/outer-join unnesting
+/// literature; the last three are this paper's contribution.
+enum class Strategy {
+  kNativeNaive,     // Tuple iteration, full inner scans.
+  kNativeSmart,     // + early termination (EXISTS/SOME/ALL).
+  kNativeIndexed,   // + hash index probes on equality correlation.
+  kNativeMemo,      // + Rao-Ross invariant memoization per correlation key.
+  kUnnest,          // Join/outer-join unnesting, hash joins.
+  kUnnestNoIndex,   // Same plans, nested-loop joins only.
+  kGmdjNaive,       // SubqueryToGMDJ, nested-loop GMDJ evaluation.
+  kGmdj,            // SubqueryToGMDJ, single-scan GMDJ evaluation.
+  kGmdjOptimized,   // + coalescing and base-tuple completion.
+};
+
+const char* StrategyToString(Strategy strategy);
+
+/// All strategies, in the order above (for sweeping in tests/benches).
+const std::vector<Strategy>& AllStrategies();
+
+/// Facade tying the pieces together: a catalog of tables plus a
+/// strategy-dispatched executor for nested query expressions.
+///
+/// Typical use:
+///
+///   OlapEngine engine;
+///   engine.catalog()->PutTable("Flow", GenFlowTable(cfg));
+///   NestedSelect q = ...;                       // nested_builder.h
+///   auto result = engine.Execute(q, Strategy::kGmdjOptimized);
+///
+/// Execute clones the query, so one definition can be run under every
+/// strategy (their results must agree — the integration tests sweep
+/// exactly that).
+class OlapEngine {
+ public:
+  OlapEngine() = default;
+  OlapEngine(const OlapEngine&) = delete;
+  OlapEngine& operator=(const OlapEngine&) = delete;
+
+  Catalog* catalog() { return &catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  /// Evaluates σ[W](B) and returns the qualifying base rows.
+  Result<Table> Execute(const NestedSelect& query, Strategy strategy);
+
+  /// Parses and runs a SQL statement (sql/parser.h), applying any
+  /// top-level projection list to the qualifying rows.
+  Result<Table> ExecuteSql(std::string_view sql, Strategy strategy);
+
+  /// Builds the physical plan a strategy would run (plan-based strategies
+  /// only; native strategies are interpreters without plans).
+  Result<PlanPtr> Plan(const NestedSelect& query, Strategy strategy) const;
+
+  /// Plan rendering (or a description for native strategies).
+  Result<std::string> Explain(const NestedSelect& query, Strategy strategy);
+
+  /// Convenience: evaluates projection expressions over a result table
+  /// (e.g. the paper's `sum1/sum2` output column).
+  Result<Table> Project(const Table& input, std::vector<ProjItem> items);
+
+  /// Statistics and wall time of the most recent Execute call.
+  const ExecStats& last_stats() const { return last_stats_; }
+  double last_elapsed_ms() const { return last_elapsed_ms_; }
+
+ private:
+  Catalog catalog_;
+  ExecStats last_stats_;
+  double last_elapsed_ms_ = 0.0;
+};
+
+}  // namespace gmdj
+
+#endif  // GMDJ_ENGINE_OLAP_ENGINE_H_

@@ -1,0 +1,55 @@
+#ifndef GMDJ_EXEC_GROUP_AGGREGATE_H_
+#define GMDJ_EXEC_GROUP_AGGREGATE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/plan.h"
+#include "expr/aggregate.h"
+#include "expr/expr.h"
+
+namespace gmdj {
+
+/// One grouping column: an expression over the input and its output name.
+struct GroupItem {
+  ExprPtr expr;
+  std::string name;
+
+  GroupItem(ExprPtr e, std::string n)
+      : expr(std::move(e)), name(std::move(n)) {}
+};
+
+/// Hash-based GROUP BY aggregation.
+///
+/// Output schema: the grouping columns followed by the aggregate columns.
+/// Grouping follows SQL GROUP BY semantics (NULLs form one group). With no
+/// grouping columns the node computes scalar aggregates and always emits
+/// exactly one row (aggregates of an empty input follow SQL semantics:
+/// counts are 0, other aggregates NULL).
+///
+/// The join-unnesting baseline builds `aggregate then outer join` plans out
+/// of this node, exactly like the Kim / Ganski-Wong / Muralikrishna
+/// rewrites the paper compares against.
+class GroupAggregateNode final : public PlanNode {
+ public:
+  GroupAggregateNode(PlanPtr input, std::vector<GroupItem> group_by,
+                     std::vector<AggSpec> aggs);
+
+  Status Prepare(const Catalog& catalog) override;
+  Result<Table> Execute(ExecContext* ctx) const override;
+  std::string label() const override;
+  std::vector<const PlanNode*> children() const override {
+    return {input_.get()};
+  }
+
+ private:
+  PlanPtr input_;
+  std::vector<GroupItem> group_by_;
+  std::vector<AggSpec> aggs_;
+  std::vector<ValueType> agg_arg_types_;
+};
+
+}  // namespace gmdj
+
+#endif  // GMDJ_EXEC_GROUP_AGGREGATE_H_

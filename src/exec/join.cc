@@ -1,0 +1,283 @@
+#include "exec/join.h"
+
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace gmdj {
+
+const char* JoinKindToString(JoinKind kind) {
+  switch (kind) {
+    case JoinKind::kInner:
+      return "Inner";
+    case JoinKind::kLeftOuter:
+      return "LeftOuter";
+    case JoinKind::kSemi:
+      return "Semi";
+    case JoinKind::kAnti:
+      return "Anti";
+  }
+  return "?";
+}
+
+namespace {
+
+Row ConcatRows(const Row& a, const Row& b) {
+  Row out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+Row NullPadded(const Row& a, size_t right_width) {
+  Row out;
+  out.reserve(a.size() + right_width);
+  out.insert(out.end(), a.begin(), a.end());
+  out.resize(a.size() + right_width);
+  return out;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- HashJoin
+
+HashJoinNode::HashJoinNode(PlanPtr left, PlanPtr right, JoinKind kind,
+                           std::vector<JoinKey> keys, ExprPtr residual)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      kind_(kind),
+      keys_(std::move(keys)),
+      residual_(std::move(residual)) {
+  GMDJ_CHECK(!keys_.empty());
+}
+
+Status HashJoinNode::Prepare(const Catalog& catalog) {
+  GMDJ_RETURN_IF_ERROR(left_->Prepare(catalog));
+  GMDJ_RETURN_IF_ERROR(right_->Prepare(catalog));
+  const Schema& ls = left_->output_schema();
+  const Schema& rs = right_->output_schema();
+  for (JoinKey& key : keys_) {
+    GMDJ_RETURN_IF_ERROR(key.left->Bind({&ls}));
+    GMDJ_RETURN_IF_ERROR(key.right->Bind({&rs}));
+  }
+  if (residual_ != nullptr) {
+    GMDJ_RETURN_IF_ERROR(residual_->Bind({&ls, &rs}));
+  }
+  switch (kind_) {
+    case JoinKind::kInner:
+    case JoinKind::kLeftOuter:
+      output_schema_ = ls.Concat(rs);
+      break;
+    case JoinKind::kSemi:
+    case JoinKind::kAnti:
+      output_schema_ = ls;
+      break;
+  }
+  return Status::OK();
+}
+
+Result<Table> HashJoinNode::Execute(ExecContext* ctx) const {
+  GMDJ_ASSIGN_OR_RETURN(Table l, left_->Execute(ctx));
+  GMDJ_ASSIGN_OR_RETURN(Table r, right_->Execute(ctx));
+  ctx->stats().joins += 1;
+  ctx->stats().table_scans += 2;
+  ctx->stats().rows_scanned += l.num_rows() + r.num_rows();
+
+  const Schema& ls = left_->output_schema();
+  const Schema& rs = right_->output_schema();
+
+  // Build side: the right input.
+  std::unordered_map<Row, std::vector<uint32_t>, RowHash, RowEq> build;
+  build.reserve(r.num_rows());
+  {
+    EvalContext rctx;
+    rctx.PushFrame(&rs, nullptr);
+    for (size_t i = 0; i < r.num_rows(); ++i) {
+      rctx.SetTopRow(&r.row(i));
+      Row key;
+      key.reserve(keys_.size());
+      bool null_key = false;
+      for (const JoinKey& k : keys_) {
+        Value v = k.right->Eval(rctx);
+        if (v.is_null()) {
+          null_key = true;
+          break;
+        }
+        key.push_back(std::move(v));
+      }
+      if (null_key) continue;  // NULL keys can never match.
+      build[std::move(key)].push_back(static_cast<uint32_t>(i));
+    }
+  }
+
+  Table out(output_schema_);
+  EvalContext lctx;
+  lctx.PushFrame(&ls, nullptr);
+  EvalContext pctx;  // Pair context for the residual.
+  pctx.PushFrame(&ls, nullptr);
+  pctx.PushFrame(&rs, nullptr);
+
+  const std::vector<uint32_t> no_matches;
+  for (size_t i = 0; i < l.num_rows(); ++i) {
+    const Row& lrow = l.row(i);
+    lctx.SetTopRow(&lrow);
+    Row key;
+    key.reserve(keys_.size());
+    bool null_key = false;
+    for (const JoinKey& k : keys_) {
+      Value v = k.left->Eval(lctx);
+      if (v.is_null()) {
+        null_key = true;
+        break;
+      }
+      key.push_back(std::move(v));
+    }
+    const std::vector<uint32_t>* matches = &no_matches;
+    if (!null_key) {
+      ctx->stats().hash_probes += 1;
+      const auto it = build.find(key);
+      if (it != build.end()) matches = &it->second;
+    }
+
+    pctx.SetRow(0, &lrow);
+    bool any = false;
+    for (const uint32_t ri : *matches) {
+      const Row& rrow = r.row(ri);
+      if (residual_ != nullptr) {
+        pctx.SetRow(1, &rrow);
+        ctx->stats().predicate_evals += 1;
+        if (!IsTrue(residual_->EvalPred(pctx))) continue;
+      }
+      any = true;
+      if (kind_ == JoinKind::kInner || kind_ == JoinKind::kLeftOuter) {
+        out.AppendRow(ConcatRows(lrow, rrow));
+      } else {
+        break;  // Semi/anti only need existence.
+      }
+    }
+    switch (kind_) {
+      case JoinKind::kInner:
+        break;
+      case JoinKind::kLeftOuter:
+        if (!any) out.AppendRow(NullPadded(lrow, rs.num_fields()));
+        break;
+      case JoinKind::kSemi:
+        if (any) out.AppendRow(lrow);
+        break;
+      case JoinKind::kAnti:
+        if (!any) out.AppendRow(lrow);
+        break;
+    }
+  }
+  ctx->stats().rows_output += out.num_rows();
+  return out;
+}
+
+std::string HashJoinNode::label() const {
+  std::string out = "HashJoin(";
+  out += JoinKindToString(kind_);
+  out += ")[";
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += keys_[i].left->ToString() + " = " + keys_[i].right->ToString();
+  }
+  if (residual_ != nullptr) out += " AND " + residual_->ToString();
+  out += "]";
+  return out;
+}
+
+// ------------------------------------------------------------------- NLJoin
+
+NLJoinNode::NLJoinNode(PlanPtr left, PlanPtr right, JoinKind kind,
+                       ExprPtr predicate)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      kind_(kind),
+      predicate_(std::move(predicate)) {}
+
+Status NLJoinNode::Prepare(const Catalog& catalog) {
+  GMDJ_RETURN_IF_ERROR(left_->Prepare(catalog));
+  GMDJ_RETURN_IF_ERROR(right_->Prepare(catalog));
+  const Schema& ls = left_->output_schema();
+  const Schema& rs = right_->output_schema();
+  if (predicate_ != nullptr) {
+    GMDJ_RETURN_IF_ERROR(predicate_->Bind({&ls, &rs}));
+  }
+  switch (kind_) {
+    case JoinKind::kInner:
+    case JoinKind::kLeftOuter:
+      output_schema_ = ls.Concat(rs);
+      break;
+    case JoinKind::kSemi:
+    case JoinKind::kAnti:
+      output_schema_ = ls;
+      break;
+  }
+  return Status::OK();
+}
+
+Result<Table> NLJoinNode::Execute(ExecContext* ctx) const {
+  GMDJ_ASSIGN_OR_RETURN(Table l, left_->Execute(ctx));
+  GMDJ_ASSIGN_OR_RETURN(Table r, right_->Execute(ctx));
+  ctx->stats().joins += 1;
+  ctx->stats().table_scans += 1;
+  ctx->stats().rows_scanned += l.num_rows();
+
+  const Schema& ls = left_->output_schema();
+  const Schema& rs = right_->output_schema();
+  Table out(output_schema_);
+  EvalContext pctx;
+  pctx.PushFrame(&ls, nullptr);
+  pctx.PushFrame(&rs, nullptr);
+
+  for (size_t i = 0; i < l.num_rows(); ++i) {
+    const Row& lrow = l.row(i);
+    pctx.SetRow(0, &lrow);
+    // Each probe re-scans the inner input: that is the cost profile the
+    // stats are meant to expose for tuple-iteration-style plans.
+    ctx->stats().table_scans += 1;
+    bool any = false;
+    for (size_t j = 0; j < r.num_rows(); ++j) {
+      const Row& rrow = r.row(j);
+      pctx.SetRow(1, &rrow);
+      ctx->stats().rows_scanned += 1;
+      if (predicate_ != nullptr) {
+        ctx->stats().predicate_evals += 1;
+        if (!IsTrue(predicate_->EvalPred(pctx))) continue;
+      }
+      any = true;
+      if (kind_ == JoinKind::kInner || kind_ == JoinKind::kLeftOuter) {
+        out.AppendRow(ConcatRows(lrow, rrow));
+      } else {
+        break;  // Existence decided.
+      }
+    }
+    switch (kind_) {
+      case JoinKind::kInner:
+        break;
+      case JoinKind::kLeftOuter:
+        if (!any) out.AppendRow(NullPadded(lrow, rs.num_fields()));
+        break;
+      case JoinKind::kSemi:
+        if (any) out.AppendRow(lrow);
+        break;
+      case JoinKind::kAnti:
+        if (!any) out.AppendRow(lrow);
+        break;
+    }
+  }
+  ctx->stats().rows_output += out.num_rows();
+  return out;
+}
+
+std::string NLJoinNode::label() const {
+  std::string out = "NLJoin(";
+  out += JoinKindToString(kind_);
+  out += ")[";
+  out += predicate_ == nullptr ? "true" : predicate_->ToString();
+  out += "]";
+  return out;
+}
+
+}  // namespace gmdj

@@ -1,0 +1,330 @@
+#include "exec/nodes.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace gmdj {
+
+// ---------------------------------------------------------------- TableScan
+
+TableScanNode::TableScanNode(std::string table_name, std::string alias)
+    : table_name_(std::move(table_name)), alias_(std::move(alias)) {}
+
+Status TableScanNode::Prepare(const Catalog& catalog) {
+  GMDJ_ASSIGN_OR_RETURN(table_, catalog.GetTable(table_name_));
+  output_schema_ =
+      alias_.empty() ? table_->schema() : table_->schema().WithQualifier(alias_);
+  return Status::OK();
+}
+
+Result<Table> TableScanNode::Execute(ExecContext* ctx) const {
+  (void)ctx;  // Scan is O(1); consumers account for the pass over the rows.
+  GMDJ_CHECK(table_ != nullptr);
+  Table out = *table_;
+  *out.mutable_schema() = output_schema_;
+  return out;
+}
+
+std::string TableScanNode::label() const {
+  std::string out = "TableScan(" + table_name_;
+  if (!alias_.empty()) out += " -> " + alias_;
+  out += ")";
+  return out;
+}
+
+// ------------------------------------------------------------------- Values
+
+ValuesNode::ValuesNode(Table table) : table_(std::move(table)) {}
+
+Status ValuesNode::Prepare(const Catalog& catalog) {
+  (void)catalog;
+  output_schema_ = table_.schema();
+  return Status::OK();
+}
+
+Result<Table> ValuesNode::Execute(ExecContext* ctx) const {
+  (void)ctx;
+  return table_;
+}
+
+std::string ValuesNode::label() const {
+  return "Values(" + std::to_string(table_.num_rows()) + " rows)";
+}
+
+// ------------------------------------------------------------------- Filter
+
+FilterNode::FilterNode(PlanPtr input, ExprPtr predicate)
+    : input_(std::move(input)), predicate_(std::move(predicate)) {}
+
+Status FilterNode::Prepare(const Catalog& catalog) {
+  GMDJ_RETURN_IF_ERROR(input_->Prepare(catalog));
+  output_schema_ = input_->output_schema();
+  return predicate_->Bind({&output_schema_});
+}
+
+Result<Table> FilterNode::Execute(ExecContext* ctx) const {
+  GMDJ_ASSIGN_OR_RETURN(Table in, input_->Execute(ctx));
+  Table out(output_schema_);
+  EvalContext ectx;
+  ectx.PushFrame(&output_schema_, nullptr);
+  ctx->stats().table_scans += 1;
+  ctx->stats().rows_scanned += in.num_rows();
+  for (const Row& row : in.rows()) {
+    ectx.SetTopRow(&row);
+    ctx->stats().predicate_evals += 1;
+    if (IsTrue(predicate_->EvalPred(ectx))) {
+      out.AppendRow(row);
+    }
+  }
+  ctx->stats().rows_output += out.num_rows();
+  return out;
+}
+
+std::string FilterNode::label() const {
+  return "Filter[" + predicate_->ToString() + "]";
+}
+
+// ------------------------------------------------------------------ Project
+
+ProjectNode::ProjectNode(PlanPtr input, std::vector<ProjItem> items)
+    : input_(std::move(input)), items_(std::move(items)) {}
+
+Status ProjectNode::Prepare(const Catalog& catalog) {
+  GMDJ_RETURN_IF_ERROR(input_->Prepare(catalog));
+  const Schema& in = input_->output_schema();
+  output_schema_ = Schema();
+  for (ProjItem& item : items_) {
+    GMDJ_RETURN_IF_ERROR(item.expr->Bind({&in}));
+    output_schema_.AddField(
+        Field{item.name, item.expr->result_type(), item.qualifier});
+  }
+  return Status::OK();
+}
+
+Result<Table> ProjectNode::Execute(ExecContext* ctx) const {
+  GMDJ_ASSIGN_OR_RETURN(Table in, input_->Execute(ctx));
+  Table out(output_schema_);
+  out.Reserve(in.num_rows());
+  EvalContext ectx;
+  const Schema& in_schema = input_->output_schema();
+  ectx.PushFrame(&in_schema, nullptr);
+  ctx->stats().table_scans += 1;
+  ctx->stats().rows_scanned += in.num_rows();
+  for (const Row& row : in.rows()) {
+    ectx.SetTopRow(&row);
+    Row out_row;
+    out_row.reserve(items_.size());
+    for (const ProjItem& item : items_) {
+      out_row.push_back(item.expr->Eval(ectx));
+    }
+    out.AppendRow(std::move(out_row));
+  }
+  ctx->stats().rows_output += out.num_rows();
+  return out;
+}
+
+std::string ProjectNode::label() const {
+  std::string out = "Project[";
+  for (size_t i = 0; i < items_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += items_[i].expr->ToString() + " -> " + items_[i].name;
+  }
+  out += "]";
+  return out;
+}
+
+// ----------------------------------------------------------------- Distinct
+
+DistinctNode::DistinctNode(PlanPtr input) : input_(std::move(input)) {}
+
+Status DistinctNode::Prepare(const Catalog& catalog) {
+  GMDJ_RETURN_IF_ERROR(input_->Prepare(catalog));
+  output_schema_ = input_->output_schema();
+  return Status::OK();
+}
+
+Result<Table> DistinctNode::Execute(ExecContext* ctx) const {
+  GMDJ_ASSIGN_OR_RETURN(Table in, input_->Execute(ctx));
+  Table out(output_schema_);
+  std::unordered_set<Row, RowHash, RowEq> seen;
+  seen.reserve(in.num_rows());
+  ctx->stats().table_scans += 1;
+  ctx->stats().rows_scanned += in.num_rows();
+  for (const Row& row : in.rows()) {
+    if (seen.insert(row).second) {
+      out.AppendRow(row);
+    }
+  }
+  ctx->stats().rows_output += out.num_rows();
+  return out;
+}
+
+std::string DistinctNode::label() const { return "Distinct"; }
+
+// ----------------------------------------------------------------- UnionAll
+
+UnionAllNode::UnionAllNode(PlanPtr left, PlanPtr right)
+    : left_(std::move(left)), right_(std::move(right)) {}
+
+Status UnionAllNode::Prepare(const Catalog& catalog) {
+  GMDJ_RETURN_IF_ERROR(left_->Prepare(catalog));
+  GMDJ_RETURN_IF_ERROR(right_->Prepare(catalog));
+  if (left_->output_schema().num_fields() !=
+      right_->output_schema().num_fields()) {
+    return Status::InvalidArgument("UNION ALL inputs have different widths");
+  }
+  output_schema_ = left_->output_schema();
+  return Status::OK();
+}
+
+Result<Table> UnionAllNode::Execute(ExecContext* ctx) const {
+  GMDJ_ASSIGN_OR_RETURN(Table l, left_->Execute(ctx));
+  GMDJ_ASSIGN_OR_RETURN(Table r, right_->Execute(ctx));
+  Table out(output_schema_);
+  out.Reserve(l.num_rows() + r.num_rows());
+  for (const Row& row : l.rows()) out.AppendRow(row);
+  for (const Row& row : r.rows()) out.AppendRow(row);
+  ctx->stats().rows_output += out.num_rows();
+  return out;
+}
+
+std::string UnionAllNode::label() const { return "UnionAll"; }
+
+// ------------------------------------------------------------------- Except
+
+ExceptNode::ExceptNode(PlanPtr left, PlanPtr right)
+    : left_(std::move(left)), right_(std::move(right)) {}
+
+Status ExceptNode::Prepare(const Catalog& catalog) {
+  GMDJ_RETURN_IF_ERROR(left_->Prepare(catalog));
+  GMDJ_RETURN_IF_ERROR(right_->Prepare(catalog));
+  if (left_->output_schema().num_fields() !=
+      right_->output_schema().num_fields()) {
+    return Status::InvalidArgument("EXCEPT inputs have different widths");
+  }
+  output_schema_ = left_->output_schema();
+  return Status::OK();
+}
+
+Result<Table> ExceptNode::Execute(ExecContext* ctx) const {
+  GMDJ_ASSIGN_OR_RETURN(Table l, left_->Execute(ctx));
+  GMDJ_ASSIGN_OR_RETURN(Table r, right_->Execute(ctx));
+  std::unordered_set<Row, RowHash, RowEq> removed(r.rows().begin(),
+                                                  r.rows().end());
+  std::unordered_set<Row, RowHash, RowEq> emitted;
+  Table out(output_schema_);
+  ctx->stats().table_scans += 2;
+  ctx->stats().rows_scanned += l.num_rows() + r.num_rows();
+  for (const Row& row : l.rows()) {
+    if (removed.count(row) > 0) continue;
+    if (emitted.insert(row).second) out.AppendRow(row);
+  }
+  ctx->stats().rows_output += out.num_rows();
+  return out;
+}
+
+std::string ExceptNode::label() const { return "Except"; }
+
+// ------------------------------------------------------------------- Assert
+
+AssertNode::AssertNode(PlanPtr input, ExprPtr predicate, std::string message)
+    : input_(std::move(input)),
+      predicate_(std::move(predicate)),
+      message_(std::move(message)) {}
+
+Status AssertNode::Prepare(const Catalog& catalog) {
+  GMDJ_RETURN_IF_ERROR(input_->Prepare(catalog));
+  output_schema_ = input_->output_schema();
+  return predicate_->Bind({&output_schema_});
+}
+
+Result<Table> AssertNode::Execute(ExecContext* ctx) const {
+  GMDJ_ASSIGN_OR_RETURN(Table in, input_->Execute(ctx));
+  EvalContext ectx;
+  ectx.PushFrame(&output_schema_, nullptr);
+  for (const Row& row : in.rows()) {
+    ectx.SetTopRow(&row);
+    if (!IsTrue(predicate_->EvalPred(ectx))) {
+      return Status::RuntimeError(message_);
+    }
+  }
+  return in;
+}
+
+std::string AssertNode::label() const {
+  return "Assert[" + predicate_->ToString() + "]";
+}
+
+// -------------------------------------------------------------- AttachRowId
+
+AttachRowIdNode::AttachRowIdNode(PlanPtr input, std::string col_name)
+    : input_(std::move(input)), col_name_(std::move(col_name)) {}
+
+Status AttachRowIdNode::Prepare(const Catalog& catalog) {
+  GMDJ_RETURN_IF_ERROR(input_->Prepare(catalog));
+  output_schema_ = input_->output_schema();
+  output_schema_.AddField(Field{col_name_, ValueType::kInt64, ""});
+  return Status::OK();
+}
+
+Result<Table> AttachRowIdNode::Execute(ExecContext* ctx) const {
+  GMDJ_ASSIGN_OR_RETURN(Table in, input_->Execute(ctx));
+  Table out(output_schema_);
+  out.Reserve(in.num_rows());
+  for (size_t i = 0; i < in.num_rows(); ++i) {
+    Row row = in.row(i);
+    row.push_back(Value(static_cast<int64_t>(i)));
+    out.AppendRow(std::move(row));
+  }
+  ctx->stats().rows_output += out.num_rows();
+  return out;
+}
+
+std::string AttachRowIdNode::label() const {
+  return "AttachRowId(" + col_name_ + ")";
+}
+
+// --------------------------------------------------------------------- Sort
+
+SortNode::SortNode(PlanPtr input, std::vector<std::string> sort_cols)
+    : input_(std::move(input)), sort_cols_(std::move(sort_cols)) {}
+
+Status SortNode::Prepare(const Catalog& catalog) {
+  GMDJ_RETURN_IF_ERROR(input_->Prepare(catalog));
+  output_schema_ = input_->output_schema();
+  sort_indices_.clear();
+  for (const std::string& col : sort_cols_) {
+    GMDJ_ASSIGN_OR_RETURN(const size_t idx, output_schema_.Resolve(col));
+    sort_indices_.push_back(idx);
+  }
+  return Status::OK();
+}
+
+Result<Table> SortNode::Execute(ExecContext* ctx) const {
+  GMDJ_ASSIGN_OR_RETURN(Table in, input_->Execute(ctx));
+  std::vector<Row>* rows = in.mutable_rows();
+  std::stable_sort(rows->begin(), rows->end(),
+                   [this](const Row& a, const Row& b) {
+                     for (const size_t idx : sort_indices_) {
+                       const int c = a[idx].Compare(b[idx]);
+                       if (c != 0) return c < 0;
+                     }
+                     return false;
+                   });
+  ctx->stats().rows_output += in.num_rows();
+  return in;
+}
+
+std::string SortNode::label() const {
+  std::string out = "Sort[";
+  for (size_t i = 0; i < sort_cols_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += sort_cols_[i];
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace gmdj

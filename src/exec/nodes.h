@@ -1,0 +1,225 @@
+#ifndef GMDJ_EXEC_NODES_H_
+#define GMDJ_EXEC_NODES_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/plan.h"
+#include "expr/expr.h"
+
+namespace gmdj {
+
+/// Scans a catalog table, optionally renaming its qualifier
+/// (`Flow -> F`). O(1) at execution time thanks to shared row storage; the
+/// scan cost is attributed to the consuming operator.
+class TableScanNode final : public PlanNode {
+ public:
+  explicit TableScanNode(std::string table_name, std::string alias = "");
+
+  Status Prepare(const Catalog& catalog) override;
+  Result<Table> Execute(ExecContext* ctx) const override;
+  std::string label() const override;
+  std::vector<const PlanNode*> children() const override { return {}; }
+
+  const std::string& table_name() const { return table_name_; }
+  const std::string& alias() const { return alias_; }
+
+ private:
+  std::string table_name_;
+  std::string alias_;
+  const Table* table_ = nullptr;
+};
+
+/// Emits a fixed in-memory table (literal data in tests/examples).
+class ValuesNode final : public PlanNode {
+ public:
+  explicit ValuesNode(Table table);
+
+  Status Prepare(const Catalog& catalog) override;
+  Result<Table> Execute(ExecContext* ctx) const override;
+  std::string label() const override;
+  std::vector<const PlanNode*> children() const override { return {}; }
+
+ private:
+  Table table_;
+};
+
+/// σ[pred]: keeps rows whose predicate is TRUE (where-clause truncation).
+class FilterNode final : public PlanNode {
+ public:
+  FilterNode(PlanPtr input, ExprPtr predicate);
+
+  Status Prepare(const Catalog& catalog) override;
+  Result<Table> Execute(ExecContext* ctx) const override;
+  std::string label() const override;
+  std::vector<const PlanNode*> children() const override {
+    return {input_.get()};
+  }
+
+  const Expr& predicate() const { return *predicate_; }
+  const PlanNode& input() const { return *input_; }
+
+  /// Plan-rewrite access: moves the parts out (node dead afterwards).
+  ExprPtr TakePredicate() { return std::move(predicate_); }
+  PlanPtr TakeInput() { return std::move(input_); }
+  PlanNode* mutable_input() { return input_.get(); }
+
+ private:
+  PlanPtr input_;
+  ExprPtr predicate_;
+};
+
+/// One output column of a projection: an expression, its name, and an
+/// optional output qualifier (used to preserve `F.Col` naming when
+/// projecting synthetic columns away).
+struct ProjItem {
+  ExprPtr expr;
+  std::string name;
+  std::string qualifier;
+
+  ProjItem(ExprPtr e, std::string n, std::string q = "")
+      : expr(std::move(e)), name(std::move(n)), qualifier(std::move(q)) {}
+};
+
+/// π[items]: computes expressions over each input row.
+class ProjectNode final : public PlanNode {
+ public:
+  ProjectNode(PlanPtr input, std::vector<ProjItem> items);
+
+  Status Prepare(const Catalog& catalog) override;
+  Result<Table> Execute(ExecContext* ctx) const override;
+  std::string label() const override;
+  std::vector<const PlanNode*> children() const override {
+    return {input_.get()};
+  }
+
+  const std::vector<ProjItem>& items() const { return items_; }
+
+  /// Plan-rewrite access: moves the parts out (node dead afterwards).
+  std::vector<ProjItem> TakeItems() { return std::move(items_); }
+  PlanPtr TakeInput() { return std::move(input_); }
+
+ private:
+  PlanPtr input_;
+  std::vector<ProjItem> items_;
+};
+
+/// Duplicate elimination (NULLs compare equal, like SQL DISTINCT).
+class DistinctNode final : public PlanNode {
+ public:
+  explicit DistinctNode(PlanPtr input);
+
+  Status Prepare(const Catalog& catalog) override;
+  Result<Table> Execute(ExecContext* ctx) const override;
+  std::string label() const override;
+  std::vector<const PlanNode*> children() const override {
+    return {input_.get()};
+  }
+
+ private:
+  PlanPtr input_;
+};
+
+/// Bag union; inputs must have equal-width schemas (left names win).
+class UnionAllNode final : public PlanNode {
+ public:
+  UnionAllNode(PlanPtr left, PlanPtr right);
+
+  Status Prepare(const Catalog& catalog) override;
+  Result<Table> Execute(ExecContext* ctx) const override;
+  std::string label() const override;
+  std::vector<const PlanNode*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  PlanPtr left_;
+  PlanPtr right_;
+};
+
+/// SQL EXCEPT (set difference with duplicate elimination). The classic
+/// unnesting of universal quantification via relational division needs it.
+class ExceptNode final : public PlanNode {
+ public:
+  ExceptNode(PlanPtr left, PlanPtr right);
+
+  Status Prepare(const Catalog& catalog) override;
+  Result<Table> Execute(ExecContext* ctx) const override;
+  std::string label() const override;
+  std::vector<const PlanNode*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  PlanPtr left_;
+  PlanPtr right_;
+};
+
+/// Passes rows through unchanged, but fails execution with RuntimeError
+/// when `predicate` is not TRUE for some row.
+///
+/// The unnesting baseline plants it above the grouped scalar-subquery
+/// aggregation to reproduce SQL's "scalar subquery returned more than one
+/// row" error, which the tuple-iteration engine raises natively.
+class AssertNode final : public PlanNode {
+ public:
+  AssertNode(PlanPtr input, ExprPtr predicate, std::string message);
+
+  Status Prepare(const Catalog& catalog) override;
+  Result<Table> Execute(ExecContext* ctx) const override;
+  std::string label() const override;
+  std::vector<const PlanNode*> children() const override {
+    return {input_.get()};
+  }
+
+ private:
+  PlanPtr input_;
+  ExprPtr predicate_;
+  std::string message_;
+};
+
+/// Appends an INT64 column holding the input row number (0-based).
+///
+/// The GMDJ translator attaches a row id to the outer base-values table
+/// before pushing it down into an inner GMDJ (Theorems 3.3/3.4): the id
+/// gives an exact join-back key for non-neighboring correlation, without
+/// assuming the base has a declared primary key.
+class AttachRowIdNode final : public PlanNode {
+ public:
+  AttachRowIdNode(PlanPtr input, std::string col_name);
+
+  Status Prepare(const Catalog& catalog) override;
+  Result<Table> Execute(ExecContext* ctx) const override;
+  std::string label() const override;
+  std::vector<const PlanNode*> children() const override {
+    return {input_.get()};
+  }
+
+ private:
+  PlanPtr input_;
+  std::string col_name_;
+};
+
+/// Sorts the input by the given column references (internal total order,
+/// NULLs first). Used to stabilize example/benchmark output.
+class SortNode final : public PlanNode {
+ public:
+  SortNode(PlanPtr input, std::vector<std::string> sort_cols);
+
+  Status Prepare(const Catalog& catalog) override;
+  Result<Table> Execute(ExecContext* ctx) const override;
+  std::string label() const override;
+  std::vector<const PlanNode*> children() const override {
+    return {input_.get()};
+  }
+
+ private:
+  PlanPtr input_;
+  std::vector<std::string> sort_cols_;
+  std::vector<size_t> sort_indices_;
+};
+
+}  // namespace gmdj
+
+#endif  // GMDJ_EXEC_NODES_H_

@@ -1,0 +1,35 @@
+#include "exec/plan.h"
+
+namespace gmdj {
+namespace {
+
+void Render(const PlanNode& node, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(node.label());
+  out->push_back('\n');
+  for (const PlanNode* child : node.children()) {
+    Render(*child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string ExecStats::ToString() const {
+  std::string out;
+  out += "table_scans=" + std::to_string(table_scans);
+  out += " rows_scanned=" + std::to_string(rows_scanned);
+  out += " rows_output=" + std::to_string(rows_output);
+  out += " hash_probes=" + std::to_string(hash_probes);
+  out += " predicate_evals=" + std::to_string(predicate_evals);
+  out += " joins=" + std::to_string(joins);
+  out += " gmdj_ops=" + std::to_string(gmdj_ops);
+  return out;
+}
+
+std::string PlanNode::ToString() const {
+  std::string out;
+  Render(*this, 0, &out);
+  return out;
+}
+
+}  // namespace gmdj

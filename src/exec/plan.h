@@ -1,0 +1,84 @@
+#ifndef GMDJ_EXEC_PLAN_H_
+#define GMDJ_EXEC_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace gmdj {
+
+/// Counters collected during plan execution. The paper's argument is about
+/// *scans of the detail relation* being the dominant cost; `table_scans`
+/// and `rows_scanned` make that observable in tests and benchmarks.
+struct ExecStats {
+  uint64_t table_scans = 0;      // Full passes over a stored/derived table.
+  uint64_t rows_scanned = 0;     // Rows read by those passes.
+  uint64_t rows_output = 0;      // Rows emitted by operators.
+  uint64_t hash_probes = 0;      // Hash table lookups (joins, GMDJ, index).
+  uint64_t predicate_evals = 0;  // θ / residual predicate evaluations.
+  uint64_t joins = 0;            // Join operators executed.
+  uint64_t gmdj_ops = 0;         // GMDJ operators executed.
+
+  void Reset() { *this = ExecStats{}; }
+  std::string ToString() const;
+};
+
+/// Execution environment handed to every operator: the catalog for table
+/// resolution plus shared statistics.
+class ExecContext {
+ public:
+  explicit ExecContext(const Catalog* catalog) : catalog_(catalog) {}
+
+  const Catalog& catalog() const { return *catalog_; }
+  ExecStats& stats() { return stats_; }
+  const ExecStats& stats() const { return stats_; }
+
+ private:
+  const Catalog* catalog_;
+  ExecStats stats_;
+};
+
+/// Base class of the physical plan tree.
+///
+/// Lifecycle: construct the tree, `Prepare` it once against a catalog
+/// (resolves table names, binds expressions, computes output schemas), then
+/// `Execute` any number of times. All operators materialize their output.
+class PlanNode {
+ public:
+  virtual ~PlanNode() = default;
+  PlanNode(const PlanNode&) = delete;
+  PlanNode& operator=(const PlanNode&) = delete;
+
+  /// Resolves names/expressions and computes `output_schema`.
+  virtual Status Prepare(const Catalog& catalog) = 0;
+
+  /// Runs the subtree and returns the materialized result.
+  virtual Result<Table> Execute(ExecContext* ctx) const = 0;
+
+  /// Output layout; valid after a successful Prepare.
+  const Schema& output_schema() const { return output_schema_; }
+
+  /// One-line operator description (no children).
+  virtual std::string label() const = 0;
+
+  /// Child operators (for plan printing and rewrites).
+  virtual std::vector<const PlanNode*> children() const = 0;
+
+  /// Multi-line indented plan rendering.
+  std::string ToString() const;
+
+ protected:
+  PlanNode() = default;
+  Schema output_schema_;
+};
+
+using PlanPtr = std::unique_ptr<PlanNode>;
+
+}  // namespace gmdj
+
+#endif  // GMDJ_EXEC_PLAN_H_

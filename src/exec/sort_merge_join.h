@@ -1,0 +1,44 @@
+#ifndef GMDJ_EXEC_SORT_MERGE_JOIN_H_
+#define GMDJ_EXEC_SORT_MERGE_JOIN_H_
+
+#include <vector>
+
+#include "exec/join.h"
+#include "exec/plan.h"
+#include "expr/expr.h"
+
+namespace gmdj {
+
+/// Sort-merge equi-join: sorts both inputs on the key expressions, then
+/// merges matching runs. Supports the same kinds and NULL-key semantics
+/// as HashJoinNode (NULL keys never match).
+///
+/// This is the algorithm the paper's commercial DBMS picked for the
+/// Figure 3 aggregate/outer-join plans ("despite using a sort-merge join,
+/// the optimizer seemed unable to handle the query efficiently"); it is
+/// provided so the unnesting baseline can be benchmarked with either join
+/// implementation. Performance profile: O(n log n) sorts + linear merge,
+/// but quadratic within equal-key runs (like any merge join).
+class SortMergeJoinNode final : public PlanNode {
+ public:
+  SortMergeJoinNode(PlanPtr left, PlanPtr right, JoinKind kind,
+                    std::vector<JoinKey> keys, ExprPtr residual = nullptr);
+
+  Status Prepare(const Catalog& catalog) override;
+  Result<Table> Execute(ExecContext* ctx) const override;
+  std::string label() const override;
+  std::vector<const PlanNode*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  PlanPtr left_;
+  PlanPtr right_;
+  JoinKind kind_;
+  std::vector<JoinKey> keys_;
+  ExprPtr residual_;
+};
+
+}  // namespace gmdj
+
+#endif  // GMDJ_EXEC_SORT_MERGE_JOIN_H_

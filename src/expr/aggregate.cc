@@ -1,0 +1,142 @@
+#include "expr/aggregate.h"
+
+#include "common/check.h"
+
+namespace gmdj {
+
+const char* AggKindToString(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCountStar:
+      return "count(*)";
+    case AggKind::kCount:
+      return "count";
+    case AggKind::kSum:
+      return "sum";
+    case AggKind::kMin:
+      return "min";
+    case AggKind::kMax:
+      return "max";
+    case AggKind::kAvg:
+      return "avg";
+  }
+  return "?";
+}
+
+Status AggSpec::Bind(const std::vector<const Schema*>& frames) {
+  if (kind == AggKind::kCountStar) {
+    if (arg != nullptr) {
+      return Status::InvalidArgument("count(*) takes no argument");
+    }
+    output_type_ = ValueType::kInt64;
+    return Status::OK();
+  }
+  if (arg == nullptr) {
+    return Status::InvalidArgument(std::string(AggKindToString(kind)) +
+                                   " requires an argument");
+  }
+  GMDJ_RETURN_IF_ERROR(arg->Bind(frames));
+  switch (kind) {
+    case AggKind::kCount:
+      output_type_ = ValueType::kInt64;
+      break;
+    case AggKind::kAvg:
+      output_type_ = ValueType::kDouble;
+      break;
+    case AggKind::kSum:
+    case AggKind::kMin:
+    case AggKind::kMax:
+      output_type_ = arg->result_type();
+      break;
+    case AggKind::kCountStar:
+      break;  // Unreachable.
+  }
+  return Status::OK();
+}
+
+std::string AggSpec::ToString() const {
+  std::string out = AggKindToString(kind);
+  if (kind != AggKind::kCountStar) {
+    out += "(" + arg->ToString() + ")";
+  }
+  out += " -> " + output_name;
+  return out;
+}
+
+AggSpec CountStar(std::string name) {
+  return AggSpec(AggKind::kCountStar, nullptr, std::move(name));
+}
+AggSpec CountOf(ExprPtr arg, std::string name) {
+  return AggSpec(AggKind::kCount, std::move(arg), std::move(name));
+}
+AggSpec SumOf(ExprPtr arg, std::string name) {
+  return AggSpec(AggKind::kSum, std::move(arg), std::move(name));
+}
+AggSpec MinOf(ExprPtr arg, std::string name) {
+  return AggSpec(AggKind::kMin, std::move(arg), std::move(name));
+}
+AggSpec MaxOf(ExprPtr arg, std::string name) {
+  return AggSpec(AggKind::kMax, std::move(arg), std::move(name));
+}
+AggSpec AvgOf(ExprPtr arg, std::string name) {
+  return AggSpec(AggKind::kAvg, std::move(arg), std::move(name));
+}
+
+void AggState::Update(AggKind kind, const Value& v) {
+  if (kind == AggKind::kCountStar) {
+    ++count;
+    return;
+  }
+  if (v.is_null()) return;  // SQL aggregates skip NULLs.
+  switch (kind) {
+    case AggKind::kCount:
+      ++count;
+      break;
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      ++count;
+      if (v.type() == ValueType::kInt64 && sum_is_int) {
+        sum_i += v.int64();
+      } else {
+        if (sum_is_int) {
+          // First double input: migrate the integer accumulator.
+          sum_d = static_cast<double>(sum_i);
+          sum_is_int = false;
+        }
+        sum_d += v.AsDouble();
+      }
+      break;
+    case AggKind::kMin:
+      ++count;
+      if (extreme.is_null() || v.Compare(extreme) < 0) extreme = v;
+      break;
+    case AggKind::kMax:
+      ++count;
+      if (extreme.is_null() || v.Compare(extreme) > 0) extreme = v;
+      break;
+    case AggKind::kCountStar:
+      break;  // Unreachable.
+  }
+}
+
+Value AggState::Finalize(AggKind kind, ValueType arg_type) const {
+  switch (kind) {
+    case AggKind::kCountStar:
+    case AggKind::kCount:
+      return Value(count);
+    case AggKind::kSum:
+      if (count == 0) return Value::Null();  // SUM of nothing is NULL.
+      if (sum_is_int && arg_type == ValueType::kInt64) return Value(sum_i);
+      return Value(sum_is_int ? static_cast<double>(sum_i) : sum_d);
+    case AggKind::kAvg: {
+      if (count == 0) return Value::Null();
+      const double total = sum_is_int ? static_cast<double>(sum_i) : sum_d;
+      return Value(total / static_cast<double>(count));
+    }
+    case AggKind::kMin:
+    case AggKind::kMax:
+      return extreme;  // NULL when no inputs: MIN/MAX of nothing is NULL.
+  }
+  return Value::Null();
+}
+
+}  // namespace gmdj

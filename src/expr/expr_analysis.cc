@@ -1,0 +1,134 @@
+#include "expr/expr_analysis.h"
+
+namespace gmdj {
+namespace {
+
+// Invokes `fn` on every node of the tree (pre-order).
+template <typename Fn>
+void Visit(const Expr& expr, Fn&& fn) {
+  fn(expr);
+  switch (expr.kind()) {
+    case ExprKind::kColumnRef:
+    case ExprKind::kLiteral:
+      return;
+    case ExprKind::kCompare: {
+      const auto& e = static_cast<const CompareExpr&>(expr);
+      Visit(e.lhs(), fn);
+      Visit(e.rhs(), fn);
+      return;
+    }
+    case ExprKind::kArith: {
+      const auto& e = static_cast<const ArithExpr&>(expr);
+      Visit(e.lhs(), fn);
+      Visit(e.rhs(), fn);
+      return;
+    }
+    case ExprKind::kAnd: {
+      const auto& e = static_cast<const AndExpr&>(expr);
+      Visit(e.lhs(), fn);
+      Visit(e.rhs(), fn);
+      return;
+    }
+    case ExprKind::kOr: {
+      const auto& e = static_cast<const OrExpr&>(expr);
+      Visit(e.lhs(), fn);
+      Visit(e.rhs(), fn);
+      return;
+    }
+    case ExprKind::kNot:
+      Visit(static_cast<const NotExpr&>(expr).input(), fn);
+      return;
+    case ExprKind::kIsNull:
+      Visit(static_cast<const IsNullExpr&>(expr).input(), fn);
+      return;
+    case ExprKind::kIsNotTrue:
+      Visit(static_cast<const IsNotTrueExpr&>(expr).input(), fn);
+      return;
+    case ExprKind::kCoalesce: {
+      const auto& e = static_cast<const CoalesceExpr&>(expr);
+      Visit(e.first(), fn);
+      Visit(e.second(), fn);
+      return;
+    }
+    case ExprKind::kCase: {
+      const auto& e = static_cast<const CaseExpr&>(expr);
+      Visit(e.condition(), fn);
+      Visit(e.then_branch(), fn);
+      Visit(e.else_branch(), fn);
+      return;
+    }
+    case ExprKind::kLike:
+      Visit(static_cast<const LikeExpr&>(expr).input(), fn);
+      return;
+  }
+}
+
+}  // namespace
+
+std::vector<const Expr*> SplitConjuncts(const Expr& expr) {
+  std::vector<const Expr*> out;
+  if (expr.kind() == ExprKind::kAnd) {
+    const auto& e = static_cast<const AndExpr&>(expr);
+    for (const Expr* side : {&e.lhs(), &e.rhs()}) {
+      std::vector<const Expr*> sub = SplitConjuncts(*side);
+      out.insert(out.end(), sub.begin(), sub.end());
+    }
+  } else {
+    out.push_back(&expr);
+  }
+  return out;
+}
+
+void CollectColumnRefs(const Expr& expr,
+                       std::vector<const ColumnRefExpr*>* out) {
+  Visit(expr, [out](const Expr& node) {
+    if (node.kind() == ExprKind::kColumnRef) {
+      out->push_back(static_cast<const ColumnRefExpr*>(&node));
+    }
+  });
+}
+
+std::set<size_t> FramesUsed(const Expr& expr) {
+  std::set<size_t> frames;
+  std::vector<const ColumnRefExpr*> refs;
+  CollectColumnRefs(expr, &refs);
+  for (const ColumnRefExpr* ref : refs) frames.insert(ref->bound_frame());
+  return frames;
+}
+
+bool UsesOnlyFrames(const Expr& expr, size_t min_frame, size_t max_frame) {
+  for (const size_t f : FramesUsed(expr)) {
+    if (f < min_frame || f > max_frame) return false;
+  }
+  return true;
+}
+
+bool HasFreeReferenceBelow(const Expr& expr, size_t frame) {
+  for (const size_t f : FramesUsed(expr)) {
+    if (f < frame) return true;
+  }
+  return false;
+}
+
+void QualifyColumnRefs(Expr* expr, const std::vector<const Schema*>& frames) {
+  std::vector<ColumnRefExpr*> refs;
+  CollectColumnRefsMutable(expr, &refs);
+  for (ColumnRefExpr* ref : refs) {
+    const size_t f = ref->bound_frame();
+    if (f >= frames.size()) continue;
+    ref->set_ref(frames[f]->field(ref->bound_column()).QualifiedName());
+  }
+}
+
+void CollectColumnRefsMutable(Expr* expr, std::vector<ColumnRefExpr*>* out) {
+  // The const walk is structurally identical; we own the tree, so shedding
+  // constness on the collected leaves is safe.
+  std::vector<const ColumnRefExpr*> refs;
+  CollectColumnRefs(*expr, &refs);
+  out->reserve(out->size() + refs.size());
+  for (const ColumnRefExpr* ref : refs) {
+    out->push_back(const_cast<ColumnRefExpr*>(ref));
+  }
+}
+
+}  // namespace gmdj

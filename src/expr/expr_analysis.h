@@ -1,0 +1,45 @@
+#ifndef GMDJ_EXPR_EXPR_ANALYSIS_H_
+#define GMDJ_EXPR_EXPR_ANALYSIS_H_
+
+#include <set>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace gmdj {
+
+/// Flattens a (possibly nested) conjunction into its conjuncts, in
+/// left-to-right order. A non-AND expression is its own single conjunct.
+std::vector<const Expr*> SplitConjuncts(const Expr& expr);
+
+/// Collects every column reference node in the tree (pre-order).
+void CollectColumnRefs(const Expr& expr,
+                       std::vector<const ColumnRefExpr*>* out);
+
+/// Set of frame indices referenced by the (bound) expression.
+std::set<size_t> FramesUsed(const Expr& expr);
+
+/// True if the bound expression references only frames in
+/// [min_frame, max_frame].
+bool UsesOnlyFrames(const Expr& expr, size_t min_frame, size_t max_frame);
+
+/// True if the expression tree contains any reference to a frame
+/// strictly below `frame` (i.e. a free/correlated reference when `frame`
+/// is the local scope).
+bool HasFreeReferenceBelow(const Expr& expr, size_t frame);
+
+/// Rewrites every bound column reference in `expr` to its fully qualified
+/// name, as declared by the schema of the frame it resolved to. After
+/// qualification the expression re-binds deterministically over any frame
+/// stack that exposes the same qualified names (used by the plan
+/// translators, which rearrange scopes).
+void QualifyColumnRefs(Expr* expr, const std::vector<const Schema*>& frames);
+
+/// Mutable variant of CollectColumnRefs for in-place reference rewriting
+/// (the GMDJ translator re-qualifies references when coalescing
+/// conditions over differently-aliased scans of the same table).
+void CollectColumnRefsMutable(Expr* expr, std::vector<ColumnRefExpr*>* out);
+
+}  // namespace gmdj
+
+#endif  // GMDJ_EXPR_EXPR_ANALYSIS_H_

@@ -1,0 +1,81 @@
+#include "expr/expr_builder.h"
+
+namespace gmdj {
+
+ExprPtr Col(std::string ref) {
+  return std::make_unique<ColumnRefExpr>(std::move(ref));
+}
+
+ExprPtr Lit(Value v) { return std::make_unique<LiteralExpr>(std::move(v)); }
+
+ExprPtr Cmp(ExprPtr lhs, CompareOp op, ExprPtr rhs) {
+  return std::make_unique<CompareExpr>(op, std::move(lhs), std::move(rhs));
+}
+
+ExprPtr Eq(ExprPtr lhs, ExprPtr rhs) {
+  return Cmp(std::move(lhs), CompareOp::kEq, std::move(rhs));
+}
+ExprPtr Ne(ExprPtr lhs, ExprPtr rhs) {
+  return Cmp(std::move(lhs), CompareOp::kNe, std::move(rhs));
+}
+ExprPtr Lt(ExprPtr lhs, ExprPtr rhs) {
+  return Cmp(std::move(lhs), CompareOp::kLt, std::move(rhs));
+}
+ExprPtr Le(ExprPtr lhs, ExprPtr rhs) {
+  return Cmp(std::move(lhs), CompareOp::kLe, std::move(rhs));
+}
+ExprPtr Gt(ExprPtr lhs, ExprPtr rhs) {
+  return Cmp(std::move(lhs), CompareOp::kGt, std::move(rhs));
+}
+ExprPtr Ge(ExprPtr lhs, ExprPtr rhs) {
+  return Cmp(std::move(lhs), CompareOp::kGe, std::move(rhs));
+}
+
+ExprPtr And(ExprPtr lhs, ExprPtr rhs) {
+  return std::make_unique<AndExpr>(std::move(lhs), std::move(rhs));
+}
+ExprPtr Or(ExprPtr lhs, ExprPtr rhs) {
+  return std::make_unique<OrExpr>(std::move(lhs), std::move(rhs));
+}
+ExprPtr Not(ExprPtr input) {
+  return std::make_unique<NotExpr>(std::move(input));
+}
+ExprPtr IsNull(ExprPtr input) {
+  return std::make_unique<IsNullExpr>(std::move(input), /*negated=*/false);
+}
+ExprPtr IsNotNull(ExprPtr input) {
+  return std::make_unique<IsNullExpr>(std::move(input), /*negated=*/true);
+}
+ExprPtr IsNotTrue(ExprPtr input) {
+  return std::make_unique<IsNotTrueExpr>(std::move(input));
+}
+
+ExprPtr Add(ExprPtr lhs, ExprPtr rhs) {
+  return std::make_unique<ArithExpr>(ArithOp::kAdd, std::move(lhs),
+                                     std::move(rhs));
+}
+ExprPtr Sub(ExprPtr lhs, ExprPtr rhs) {
+  return std::make_unique<ArithExpr>(ArithOp::kSub, std::move(lhs),
+                                     std::move(rhs));
+}
+ExprPtr Mul(ExprPtr lhs, ExprPtr rhs) {
+  return std::make_unique<ArithExpr>(ArithOp::kMul, std::move(lhs),
+                                     std::move(rhs));
+}
+ExprPtr Div(ExprPtr lhs, ExprPtr rhs) {
+  return std::make_unique<ArithExpr>(ArithOp::kDiv, std::move(lhs),
+                                     std::move(rhs));
+}
+
+ExprPtr AndAll(std::vector<ExprPtr> conjuncts) {
+  if (conjuncts.empty()) return True();
+  ExprPtr out = std::move(conjuncts[0]);
+  for (size_t i = 1; i < conjuncts.size(); ++i) {
+    out = And(std::move(out), std::move(conjuncts[i]));
+  }
+  return out;
+}
+
+ExprPtr True() { return Lit(Value(int64_t{1})); }
+
+}  // namespace gmdj

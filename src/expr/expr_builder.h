@@ -1,0 +1,45 @@
+#ifndef GMDJ_EXPR_EXPR_BUILDER_H_
+#define GMDJ_EXPR_EXPR_BUILDER_H_
+
+#include <string>
+#include <utility>
+
+#include "expr/expr.h"
+
+namespace gmdj {
+
+/// Terse factory functions for building expression trees; queries in tests,
+/// examples and benchmarks read close to the paper's algebra:
+///
+///   And(Cmp(Col("F.StartTime"), CompareOp::kGe, Col("H.StartInterval")),
+///       Eq(Col("F.Protocol"), Lit("HTTP")))
+
+ExprPtr Col(std::string ref);
+ExprPtr Lit(Value v);
+ExprPtr Cmp(ExprPtr lhs, CompareOp op, ExprPtr rhs);
+ExprPtr Eq(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Ne(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Lt(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Le(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Gt(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Ge(ExprPtr lhs, ExprPtr rhs);
+ExprPtr And(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Or(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Not(ExprPtr input);
+ExprPtr IsNull(ExprPtr input);
+ExprPtr IsNotNull(ExprPtr input);
+ExprPtr IsNotTrue(ExprPtr input);
+ExprPtr Add(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Sub(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Mul(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Div(ExprPtr lhs, ExprPtr rhs);
+
+/// Conjunction of a list; returns TRUE literal when empty.
+ExprPtr AndAll(std::vector<ExprPtr> conjuncts);
+
+/// The constant TRUE predicate.
+ExprPtr True();
+
+}  // namespace gmdj
+
+#endif  // GMDJ_EXPR_EXPR_BUILDER_H_

@@ -1,0 +1,265 @@
+#ifndef GMDJ_NESTED_NESTED_AST_H_
+#define GMDJ_NESTED_NESTED_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/plan.h"
+#include "expr/aggregate.h"
+#include "expr/expr.h"
+#include "storage/catalog.h"
+
+namespace gmdj {
+
+/// Source relation of a (sub)query block: a named catalog table with an
+/// optional alias (`Flow -> F`), an optional column projection, and an
+/// optional DISTINCT. This covers all base expressions appearing in the
+/// paper (`Hours -> H`, `π[SourceIP]Flow -> F0`, ...), while staying
+/// trivially clonable — the nested AST is consumed by three different
+/// engines which each lower it independently.
+struct SourceSpec {
+  std::string table;
+  std::string alias;
+  std::vector<std::string> project_cols;  // Empty = all columns.
+  bool distinct = false;
+
+  /// Lowers the source to an executable plan.
+  PlanPtr ToPlan() const;
+
+  /// "π[SourceIP](Flow -> F)" style rendering.
+  std::string ToString() const;
+};
+
+/// Convenience constructors.
+SourceSpec From(std::string table, std::string alias = "");
+SourceSpec DistinctProject(std::string table, std::string alias,
+                           std::vector<std::string> cols);
+
+enum class PredKind : unsigned char {
+  kExpr,        // Plain scalar predicate (leaf).
+  kAnd,
+  kOr,
+  kNot,
+  kExists,      // [NOT] EXISTS (subquery)
+  kCompareSub,  // x φ (scalar or aggregate subquery)
+  kQuantSub,    // x φ SOME/ALL (subquery); IN/NOT IN are synonyms.
+};
+
+enum class QuantKind : unsigned char { kSome, kAll };
+
+struct NestedSelect;
+class Pred;
+using PredPtr = std::unique_ptr<Pred>;
+
+/// Node of a WHERE predicate tree whose leaves may be subquery predicates.
+/// This is the nested query algebra of Section 2.1 of the paper.
+class Pred {
+ public:
+  virtual ~Pred() = default;
+  virtual PredKind kind() const = 0;
+
+  /// Binds contained expressions/subqueries. `frames` lists the scope
+  /// schemas from outermost to the local block (last entry); free
+  /// references resolve innermost-first across the stack.
+  virtual Status Bind(const Catalog& catalog,
+                      const std::vector<const Schema*>& frames) = 0;
+
+  virtual PredPtr Clone() const = 0;
+  virtual std::string ToString() const = 0;
+};
+
+/// Leaf: plain scalar predicate (comparisons, IS NULL, ... over any
+/// in-scope attributes; correlation predicates are just free column refs).
+class ExprPred final : public Pred {
+ public:
+  explicit ExprPred(ExprPtr expr) : expr_(std::move(expr)) {}
+
+  PredKind kind() const override { return PredKind::kExpr; }
+  Status Bind(const Catalog& catalog,
+              const std::vector<const Schema*>& frames) override;
+  PredPtr Clone() const override;
+  std::string ToString() const override { return expr_->ToString(); }
+
+  const Expr& expr() const { return *expr_; }
+  ExprPtr TakeExpr() { return std::move(expr_); }
+
+ private:
+  ExprPtr expr_;
+};
+
+class AndPred final : public Pred {
+ public:
+  AndPred(PredPtr lhs, PredPtr rhs)
+      : lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  PredKind kind() const override { return PredKind::kAnd; }
+  Status Bind(const Catalog& catalog,
+              const std::vector<const Schema*>& frames) override;
+  PredPtr Clone() const override;
+  std::string ToString() const override;
+
+  Pred& lhs() const { return *lhs_; }
+  Pred& rhs() const { return *rhs_; }
+  PredPtr TakeLhs() { return std::move(lhs_); }
+  PredPtr TakeRhs() { return std::move(rhs_); }
+
+ private:
+  PredPtr lhs_;
+  PredPtr rhs_;
+};
+
+class OrPred final : public Pred {
+ public:
+  OrPred(PredPtr lhs, PredPtr rhs)
+      : lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  PredKind kind() const override { return PredKind::kOr; }
+  Status Bind(const Catalog& catalog,
+              const std::vector<const Schema*>& frames) override;
+  PredPtr Clone() const override;
+  std::string ToString() const override;
+
+  Pred& lhs() const { return *lhs_; }
+  Pred& rhs() const { return *rhs_; }
+  PredPtr TakeLhs() { return std::move(lhs_); }
+  PredPtr TakeRhs() { return std::move(rhs_); }
+
+ private:
+  PredPtr lhs_;
+  PredPtr rhs_;
+};
+
+class NotPred final : public Pred {
+ public:
+  explicit NotPred(PredPtr input) : input_(std::move(input)) {}
+
+  PredKind kind() const override { return PredKind::kNot; }
+  Status Bind(const Catalog& catalog,
+              const std::vector<const Schema*>& frames) override;
+  PredPtr Clone() const override;
+  std::string ToString() const override;
+
+  Pred& input() const { return *input_; }
+  PredPtr TakeInput() { return std::move(input_); }
+
+ private:
+  PredPtr input_;
+};
+
+/// One query block: σ[where](source), optionally exposing a selected
+/// column (`select_expr`) or aggregate (`select_agg`) when used as a
+/// subquery of a comparison / quantified / IN predicate.
+struct NestedSelect {
+  SourceSpec source;
+  PredPtr where;                        // Null = TRUE.
+  ExprPtr select_expr;                  // π[R.y] for compare/quant/IN.
+  std::optional<AggSpec> select_agg;    // π[f(R.y)] for aggregate compare.
+
+  NestedSelect() = default;
+
+  /// Resolves the source, computes `schema()`, binds `where` and the
+  /// select expressions with `outer_frames` + the local schema.
+  Status Bind(const Catalog& catalog,
+              const std::vector<const Schema*>& outer_frames);
+
+  /// Schema of the block's source (valid after Bind).
+  const Schema& schema() const { return schema_; }
+
+  /// The source lowered to a plan (valid after Bind; caller-owned clone).
+  PlanPtr SourcePlan() const { return source.ToPlan(); }
+
+  std::unique_ptr<NestedSelect> Clone() const;
+  std::string ToString() const;
+
+ private:
+  Schema schema_;
+};
+
+/// Converts a subquery-free predicate tree into a single (cloned)
+/// expression: AND/OR/NOT over the leaf expressions. Fails with
+/// InvalidArgument when the tree contains subquery predicates. Used to
+/// turn a block's WHERE into a GMDJ θ condition.
+Result<ExprPtr> PredTreeToExpr(const Pred& pred);
+
+/// [NOT] EXISTS (subquery). Two-valued: never UNKNOWN.
+class ExistsPred final : public Pred {
+ public:
+  ExistsPred(std::unique_ptr<NestedSelect> sub, bool negated)
+      : sub_(std::move(sub)), negated_(negated) {}
+
+  PredKind kind() const override { return PredKind::kExists; }
+  Status Bind(const Catalog& catalog,
+              const std::vector<const Schema*>& frames) override;
+  PredPtr Clone() const override;
+  std::string ToString() const override;
+
+  const NestedSelect& sub() const { return *sub_; }
+  NestedSelect& mutable_sub() { return *sub_; }
+  bool negated() const { return negated_; }
+  void set_negated(bool negated) { negated_ = negated; }
+
+ private:
+  std::unique_ptr<NestedSelect> sub_;
+  bool negated_;
+};
+
+/// x φ (SELECT y FROM ...) — scalar subquery comparison (the subquery must
+/// produce at most one row at runtime; more is a RuntimeError), or
+/// x φ (SELECT f(y) FROM ...) when the subquery carries `select_agg`.
+class CompareSubPred final : public Pred {
+ public:
+  CompareSubPred(ExprPtr lhs, CompareOp op, std::unique_ptr<NestedSelect> sub)
+      : lhs_(std::move(lhs)), op_(op), sub_(std::move(sub)) {}
+
+  PredKind kind() const override { return PredKind::kCompareSub; }
+  Status Bind(const Catalog& catalog,
+              const std::vector<const Schema*>& frames) override;
+  PredPtr Clone() const override;
+  std::string ToString() const override;
+
+  const Expr& lhs() const { return *lhs_; }
+  CompareOp op() const { return op_; }
+  void set_op(CompareOp op) { op_ = op; }
+  const NestedSelect& sub() const { return *sub_; }
+  NestedSelect& mutable_sub() { return *sub_; }
+  bool is_aggregate() const { return sub_->select_agg.has_value(); }
+
+ private:
+  ExprPtr lhs_;
+  CompareOp op_;
+  std::unique_ptr<NestedSelect> sub_;
+};
+
+/// x φ SOME/ALL (SELECT y FROM ...). IN is `= SOME`, NOT IN is `<> ALL`.
+class QuantSubPred final : public Pred {
+ public:
+  QuantSubPred(ExprPtr lhs, CompareOp op, QuantKind quant,
+               std::unique_ptr<NestedSelect> sub)
+      : lhs_(std::move(lhs)), op_(op), quant_(quant), sub_(std::move(sub)) {}
+
+  PredKind kind() const override { return PredKind::kQuantSub; }
+  Status Bind(const Catalog& catalog,
+              const std::vector<const Schema*>& frames) override;
+  PredPtr Clone() const override;
+  std::string ToString() const override;
+
+  const Expr& lhs() const { return *lhs_; }
+  CompareOp op() const { return op_; }
+  void set_op(CompareOp op) { op_ = op; }
+  QuantKind quant() const { return quant_; }
+  void set_quant(QuantKind quant) { quant_ = quant; }
+  const NestedSelect& sub() const { return *sub_; }
+  NestedSelect& mutable_sub() { return *sub_; }
+
+ private:
+  ExprPtr lhs_;
+  CompareOp op_;
+  QuantKind quant_;
+  std::unique_ptr<NestedSelect> sub_;
+};
+
+}  // namespace gmdj
+
+#endif  // GMDJ_NESTED_NESTED_AST_H_

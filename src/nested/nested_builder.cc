@@ -1,0 +1,74 @@
+#include "nested/nested_builder.h"
+
+namespace gmdj {
+
+std::unique_ptr<NestedSelect> Sub(SourceSpec source, PredPtr where) {
+  auto out = std::make_unique<NestedSelect>();
+  out->source = std::move(source);
+  out->where = std::move(where);
+  return out;
+}
+
+std::unique_ptr<NestedSelect> SubSelect(SourceSpec source, ExprPtr select,
+                                        PredPtr where) {
+  auto out = Sub(std::move(source), std::move(where));
+  out->select_expr = std::move(select);
+  return out;
+}
+
+std::unique_ptr<NestedSelect> SubAgg(SourceSpec source, AggSpec agg,
+                                     PredPtr where) {
+  auto out = Sub(std::move(source), std::move(where));
+  out->select_agg = std::move(agg);
+  return out;
+}
+
+PredPtr WherePred(ExprPtr expr) {
+  return std::make_unique<ExprPred>(std::move(expr));
+}
+
+PredPtr AndP(PredPtr lhs, PredPtr rhs) {
+  return std::make_unique<AndPred>(std::move(lhs), std::move(rhs));
+}
+
+PredPtr OrP(PredPtr lhs, PredPtr rhs) {
+  return std::make_unique<OrPred>(std::move(lhs), std::move(rhs));
+}
+
+PredPtr NotP(PredPtr input) {
+  return std::make_unique<NotPred>(std::move(input));
+}
+
+PredPtr Exists(std::unique_ptr<NestedSelect> sub) {
+  return std::make_unique<ExistsPred>(std::move(sub), /*negated=*/false);
+}
+
+PredPtr NotExists(std::unique_ptr<NestedSelect> sub) {
+  return std::make_unique<ExistsPred>(std::move(sub), /*negated=*/true);
+}
+
+PredPtr CompareSub(ExprPtr lhs, CompareOp op,
+                   std::unique_ptr<NestedSelect> sub) {
+  return std::make_unique<CompareSubPred>(std::move(lhs), op, std::move(sub));
+}
+
+PredPtr SomeSub(ExprPtr lhs, CompareOp op,
+                std::unique_ptr<NestedSelect> sub) {
+  return std::make_unique<QuantSubPred>(std::move(lhs), op, QuantKind::kSome,
+                                        std::move(sub));
+}
+
+PredPtr AllSub(ExprPtr lhs, CompareOp op, std::unique_ptr<NestedSelect> sub) {
+  return std::make_unique<QuantSubPred>(std::move(lhs), op, QuantKind::kAll,
+                                        std::move(sub));
+}
+
+PredPtr InSub(ExprPtr lhs, std::unique_ptr<NestedSelect> sub) {
+  return SomeSub(std::move(lhs), CompareOp::kEq, std::move(sub));
+}
+
+PredPtr NotInSub(ExprPtr lhs, std::unique_ptr<NestedSelect> sub) {
+  return AllSub(std::move(lhs), CompareOp::kNe, std::move(sub));
+}
+
+}  // namespace gmdj

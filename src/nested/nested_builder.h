@@ -1,0 +1,47 @@
+#ifndef GMDJ_NESTED_NESTED_BUILDER_H_
+#define GMDJ_NESTED_NESTED_BUILDER_H_
+
+#include <memory>
+#include <utility>
+
+#include "nested/nested_ast.h"
+
+namespace gmdj {
+
+/// Terse factories for nested query expressions; paired with
+/// expr_builder.h, a bench/test query reads close to the paper:
+///
+///   NestedSelect q;
+///   q.source = From("Hours", "H");
+///   q.where = Exists(Sub(From("Flow", "F"),
+///                        WherePred(And(...correlation...))));
+
+/// A subquery block with a WHERE predicate.
+std::unique_ptr<NestedSelect> Sub(SourceSpec source, PredPtr where);
+
+/// A subquery block selecting a column (for compare/quant/IN).
+std::unique_ptr<NestedSelect> SubSelect(SourceSpec source, ExprPtr select,
+                                        PredPtr where);
+
+/// A subquery block selecting an aggregate.
+std::unique_ptr<NestedSelect> SubAgg(SourceSpec source, AggSpec agg,
+                                     PredPtr where);
+
+PredPtr WherePred(ExprPtr expr);
+PredPtr AndP(PredPtr lhs, PredPtr rhs);
+PredPtr OrP(PredPtr lhs, PredPtr rhs);
+PredPtr NotP(PredPtr input);
+PredPtr Exists(std::unique_ptr<NestedSelect> sub);
+PredPtr NotExists(std::unique_ptr<NestedSelect> sub);
+PredPtr CompareSub(ExprPtr lhs, CompareOp op,
+                   std::unique_ptr<NestedSelect> sub);
+PredPtr SomeSub(ExprPtr lhs, CompareOp op, std::unique_ptr<NestedSelect> sub);
+PredPtr AllSub(ExprPtr lhs, CompareOp op, std::unique_ptr<NestedSelect> sub);
+
+/// IN / NOT IN as defined by the paper: synonyms for `= SOME` / `<> ALL`.
+PredPtr InSub(ExprPtr lhs, std::unique_ptr<NestedSelect> sub);
+PredPtr NotInSub(ExprPtr lhs, std::unique_ptr<NestedSelect> sub);
+
+}  // namespace gmdj
+
+#endif  // GMDJ_NESTED_NESTED_BUILDER_H_

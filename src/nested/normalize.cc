@@ -1,0 +1,79 @@
+#include "nested/normalize.h"
+
+#include "expr/expr_builder.h"
+
+namespace gmdj {
+namespace {
+
+// Rebuilds `pred` with an optional pending negation from above.
+PredPtr Normalize(PredPtr pred, bool negated) {
+  switch (pred->kind()) {
+    case PredKind::kNot: {
+      auto* node = static_cast<NotPred*>(pred.get());
+      return Normalize(node->TakeInput(), !negated);
+    }
+    case PredKind::kAnd: {
+      auto* node = static_cast<AndPred*>(pred.get());
+      PredPtr l = Normalize(node->TakeLhs(), negated);
+      PredPtr r = Normalize(node->TakeRhs(), negated);
+      if (negated) {
+        // De Morgan: ¬(a ∧ b) = ¬a ∨ ¬b.
+        return std::make_unique<OrPred>(std::move(l), std::move(r));
+      }
+      return std::make_unique<AndPred>(std::move(l), std::move(r));
+    }
+    case PredKind::kOr: {
+      auto* node = static_cast<OrPred*>(pred.get());
+      PredPtr l = Normalize(node->TakeLhs(), negated);
+      PredPtr r = Normalize(node->TakeRhs(), negated);
+      if (negated) {
+        return std::make_unique<AndPred>(std::move(l), std::move(r));
+      }
+      return std::make_unique<OrPred>(std::move(l), std::move(r));
+    }
+    case PredKind::kExpr: {
+      if (!negated) return pred;
+      auto* node = static_cast<ExprPred*>(pred.get());
+      // Kleene NOT on the scalar predicate: flips true/false, preserves
+      // unknown — exactly the semantics the atomic rewrite rules rely on.
+      return std::make_unique<ExprPred>(Not(node->TakeExpr()));
+    }
+    case PredKind::kExists: {
+      auto* node = static_cast<ExistsPred*>(pred.get());
+      if (negated) node->set_negated(!node->negated());
+      NormalizeSelect(&node->mutable_sub());
+      return pred;
+    }
+    case PredKind::kCompareSub: {
+      auto* node = static_cast<CompareSubPred*>(pred.get());
+      if (negated) node->set_op(NegateCompareOp(node->op()));
+      NormalizeSelect(&node->mutable_sub());
+      return pred;
+    }
+    case PredKind::kQuantSub: {
+      auto* node = static_cast<QuantSubPred*>(pred.get());
+      if (negated) {
+        node->set_op(NegateCompareOp(node->op()));
+        node->set_quant(node->quant() == QuantKind::kSome ? QuantKind::kAll
+                                                          : QuantKind::kSome);
+      }
+      NormalizeSelect(&node->mutable_sub());
+      return pred;
+    }
+  }
+  return pred;
+}
+
+}  // namespace
+
+PredPtr NormalizeNegations(PredPtr pred) {
+  return Normalize(std::move(pred), /*negated=*/false);
+}
+
+void NormalizeSelect(NestedSelect* select) {
+  if (select->where != nullptr) {
+    select->where = NormalizeNegations(std::move(select->where));
+  }
+}
+
+}  // namespace gmdj

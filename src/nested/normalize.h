@@ -1,0 +1,33 @@
+#ifndef GMDJ_NESTED_NORMALIZE_H_
+#define GMDJ_NESTED_NORMALIZE_H_
+
+#include "nested/nested_ast.h"
+
+namespace gmdj {
+
+/// Negation normalization — the first step of Algorithm SubqueryToGMDJ.
+///
+/// Pushes NOT down to the atomic predicates with De Morgan's laws and
+/// eliminates negations in front of subqueries with the paper's rules:
+///
+///   ¬(t φ S)        =>  t φ̄ S
+///   ¬(t φ_some S)   =>  t φ̄_all S
+///   ¬(t φ_all S)    =>  t φ̄_some S
+///   ¬ EXISTS S      =>  NOT EXISTS S     (and vice versa)
+///
+/// A residual NOT over a plain scalar predicate stays as a Kleene NOT on
+/// the expression (3VL-correct as-is). Subquery bodies are normalized
+/// recursively. The input is consumed; the normalized tree is returned.
+///
+/// NOTE on 3VL: the comparison-negation rules are sound here because the
+/// rewritten predicate sits under where-clause truncation and negation of
+/// a comparison flips true/false while preserving unknown.
+PredPtr NormalizeNegations(PredPtr pred);
+
+/// Applies NormalizeNegations to a whole query block (its WHERE and,
+/// recursively, every subquery's WHERE).
+void NormalizeSelect(NestedSelect* select);
+
+}  // namespace gmdj
+
+#endif  // GMDJ_NESTED_NORMALIZE_H_

@@ -1,0 +1,161 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <set>
+
+namespace gmdj {
+namespace {
+
+const std::set<std::string>& Keywords() {
+  static const auto* keywords = new std::set<std::string>{
+      "SELECT", "DISTINCT", "FROM",  "WHERE", "AND",  "OR",   "NOT",
+      "EXISTS", "IN",       "SOME",  "ANY",   "ALL",  "AS",   "IS",
+      "NULL",   "COUNT",    "SUM",   "MIN",   "MAX",  "AVG",  "TRUE",
+      "FALSE",  "BETWEEN",  "COALESCE", "CASE", "WHEN", "THEN", "ELSE",
+      "END",    "LIKE"};
+  return *keywords;
+}
+
+std::string ToUpper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::toupper(c));
+  return out;
+}
+
+}  // namespace
+
+bool IsKeyword(const std::string& upper) {
+  return Keywords().count(upper) > 0;
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.position = i;
+    // Identifiers / keywords.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '_')) {
+        ++j;
+      }
+      const std::string word(input.substr(i, j - i));
+      const std::string upper = ToUpper(word);
+      if (IsKeyword(upper)) {
+        token.kind = TokenKind::kKeyword;
+        token.text = upper;
+      } else {
+        token.kind = TokenKind::kIdent;
+        token.text = word;
+      }
+      out.push_back(std::move(token));
+      i = j;
+      continue;
+    }
+    // Numbers: 42, 3.5 (a '.' is part of a number only when followed by a
+    // digit and preceded by digits, so `F.col` still lexes as ident . id).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      bool is_double = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) {
+        ++j;
+      }
+      if (j + 1 < n && input[j] == '.' &&
+          std::isdigit(static_cast<unsigned char>(input[j + 1]))) {
+        is_double = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) {
+          ++j;
+        }
+      }
+      const std::string digits(input.substr(i, j - i));
+      if (is_double) {
+        token.kind = TokenKind::kDouble;
+        token.double_value = std::stod(digits);
+      } else {
+        token.kind = TokenKind::kInt;
+        token.int_value = std::stoll(digits);
+      }
+      token.text = digits;
+      out.push_back(std::move(token));
+      i = j;
+      continue;
+    }
+    // Strings: single quotes, '' escapes a quote.
+    if (c == '\'') {
+      std::string value;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (input[j] == '\'') {
+          if (j + 1 < n && input[j + 1] == '\'') {
+            value.push_back('\'');
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        value.push_back(input[j]);
+        ++j;
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            "unterminated string literal at offset " + std::to_string(i));
+      }
+      token.kind = TokenKind::kString;
+      token.text = std::move(value);
+      out.push_back(std::move(token));
+      i = j;
+      continue;
+    }
+    // Multi-char operators first.
+    auto symbol = [&](const char* text, size_t len) {
+      token.kind = TokenKind::kSymbol;
+      token.text = text;
+      out.push_back(token);
+      i += len;
+    };
+    if (c == '<' && i + 1 < n && input[i + 1] == '>') {
+      symbol("<>", 2);
+      continue;
+    }
+    if (c == '<' && i + 1 < n && input[i + 1] == '=') {
+      symbol("<=", 2);
+      continue;
+    }
+    if (c == '>' && i + 1 < n && input[i + 1] == '=') {
+      symbol(">=", 2);
+      continue;
+    }
+    if (c == '!' && i + 1 < n && input[i + 1] == '=') {
+      symbol("<>", 2);  // Normalize != to <>.
+      continue;
+    }
+    static constexpr char kSingles[] = "(),.+-*/=<>";
+    if (std::string_view(kSingles).find(c) != std::string_view::npos) {
+      const char text[2] = {c, '\0'};
+      symbol(text, 1);
+      continue;
+    }
+    return Status::InvalidArgument("unexpected character '" +
+                                   std::string(1, c) + "' at offset " +
+                                   std::to_string(i));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.position = n;
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace gmdj

@@ -1,0 +1,41 @@
+#ifndef GMDJ_SQL_LEXER_H_
+#define GMDJ_SQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gmdj {
+
+/// Token categories of the SQL-ish OLAP query language.
+enum class TokenKind : unsigned char {
+  kIdent,    // column / table names (possibly later qualified via '.')
+  kInt,      // 42
+  kDouble,   // 3.5
+  kString,   // 'text'
+  kSymbol,   // ( ) , . + - * / = <> < <= > >=
+  kKeyword,  // SELECT FROM WHERE AND OR NOT EXISTS IN SOME ANY ALL ...
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // Normalized: keywords upper-cased, idents verbatim.
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  size_t position = 0;  // Byte offset in the input, for error messages.
+};
+
+/// Splits `input` into tokens. Keywords are recognized case-insensitively;
+/// anything alphabetic that is not a keyword is an identifier. Fails with
+/// InvalidArgument on unterminated strings or unexpected characters.
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+/// True if `word` (upper-cased) is a reserved keyword.
+bool IsKeyword(const std::string& upper);
+
+}  // namespace gmdj
+
+#endif  // GMDJ_SQL_LEXER_H_

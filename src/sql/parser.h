@@ -1,0 +1,87 @@
+#ifndef GMDJ_SQL_PARSER_H_
+#define GMDJ_SQL_PARSER_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/nodes.h"
+#include "nested/nested_ast.h"
+
+namespace gmdj {
+
+/// Parses the SQL-like OLAP query language into a NestedSelect — the
+/// textual front end to everything in this repository. Supported grammar
+/// (keywords case-insensitive):
+///
+///   query     := SELECT select FROM ident [alias] [WHERE pred]
+///   select    := '*'
+///              | DISTINCT column (',' column)*      -- projected base
+///              | expr [AS ident] (',' expr [AS ident])*  -- ParseStatement
+///                (such exprs may embed '(' subquery ')' aggregate
+///                 subqueries, evaluated per outer row via a GMDJ)
+///   pred      := or_pred
+///   or_pred   := and_pred (OR and_pred)*
+///   and_pred  := unary (AND unary)*
+///   unary     := NOT unary | primary
+///   primary   := '(' pred ')'
+///              | [NOT] EXISTS '(' query ')'
+///              | expr cmp [SOME|ANY|ALL] '(' subquery ')'
+///              | expr cmp expr
+///              | expr [NOT] IN '(' subquery ')'
+///              | expr [NOT] LIKE 'pattern'
+///              | expr BETWEEN expr AND expr
+///              | expr IS [NOT] NULL
+///   subquery  := SELECT (column | agg '(' (expr|'*') ')')
+///                FROM ident [alias] [WHERE pred]
+///   expr      := term (('+'|'-') term)*
+///   term      := factor (('*'|'/') factor)*
+///   factor    := INT | DOUBLE | 'string' | column | '(' expr ')'
+///              | COALESCE '(' expr ',' expr ')'
+///              | CASE WHEN cond THEN expr [ELSE expr] END
+///   column    := ident | ident '.' ident
+///   cmp       := '=' | '<>' | '!=' | '<' | '<=' | '>' | '>='
+///   agg       := COUNT | SUM | MIN | MAX | AVG
+///
+/// Correlation works exactly like SQL: a column that does not resolve in
+/// the local block binds in the nearest enclosing block. Subqueries nest
+/// arbitrarily. The result is unbound; hand it to OlapEngine::Execute or
+/// bind it against a catalog yourself.
+Result<std::unique_ptr<NestedSelect>> ParseQuery(std::string_view sql);
+
+/// An aggregate subquery appearing in the SELECT list: it computes one
+/// value per qualifying outer row and is exposed to the projection
+/// expressions under `column`. The engine evaluates all of them with a
+/// (coalesced) GMDJ over the filtered base — the paper's Example 2.1
+/// pattern, where one scan of Flow feeds several per-hour aggregates.
+struct SelectSubquery {
+  std::string column;                    // Placeholder name, e.g. __sel1.
+  std::unique_ptr<NestedSelect> sub;     // Must carry select_agg.
+};
+
+/// A full statement: the filtered block plus an optional output
+/// projection. `projections` is empty for `SELECT *` (the base columns
+/// pass through) and for `SELECT DISTINCT cols` (which reshapes the base
+/// itself, as in the paper's π[SourceIP]Flow). Projection expressions may
+/// reference `select_subqueries` results through their placeholder
+/// columns.
+struct SqlStatement {
+  std::unique_ptr<NestedSelect> select;
+  std::vector<ProjItem> projections;
+  std::vector<SelectSubquery> select_subqueries;
+};
+
+/// Like ParseQuery, but the top-level select list may also be a list of
+/// scalar expressions with optional `AS` names:
+///
+///   SELECT H.HourDescription, sum1 / sum2 AS frac FROM ... WHERE ...
+///
+/// Unnamed expressions get their column spelling (for bare columns) or a
+/// positional `colN` name. `OlapEngine::ExecuteSql` evaluates the
+/// projections over the filtered rows.
+Result<SqlStatement> ParseStatement(std::string_view sql);
+
+}  // namespace gmdj
+
+#endif  // GMDJ_SQL_PARSER_H_

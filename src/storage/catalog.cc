@@ -1,0 +1,39 @@
+#include "storage/catalog.h"
+
+namespace gmdj {
+
+Status Catalog::RegisterTable(const std::string& name, Table table) {
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table already registered: " + name);
+  }
+  tables_[name] = std::make_unique<Table>(std::move(table));
+  return Status::OK();
+}
+
+void Catalog::PutTable(const std::string& name, Table table) {
+  tables_[name] = std::make_unique<Table>(std::move(table));
+}
+
+Result<const Table*> Catalog::GetTable(const std::string& name) const {
+  const auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table not found: " + name);
+  }
+  return static_cast<const Table*>(it->second.get());
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound("table not found: " + name);
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace gmdj

@@ -1,0 +1,49 @@
+#ifndef GMDJ_STORAGE_CATALOG_H_
+#define GMDJ_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace gmdj {
+
+/// Named-table registry shared by all query engines in the repository.
+///
+/// The catalog owns its tables; lookups return stable pointers (tables are
+/// heap-allocated and never moved after registration).
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Registers `table` under `name`; fails if the name is taken.
+  Status RegisterTable(const std::string& name, Table table);
+
+  /// Replaces or inserts `table` under `name`.
+  void PutTable(const std::string& name, Table table);
+
+  /// Looks up a table by name.
+  Result<const Table*> GetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+
+  /// Removes a table; fails when absent.
+  Status DropTable(const std::string& name);
+
+  /// Registered names in sorted order.
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace gmdj
+
+#endif  // GMDJ_STORAGE_CATALOG_H_

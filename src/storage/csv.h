@@ -1,0 +1,36 @@
+#ifndef GMDJ_STORAGE_CSV_H_
+#define GMDJ_STORAGE_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace gmdj {
+
+/// CSV interchange for tables, so the engine can consume external data
+/// and results can be inspected with standard tooling.
+///
+/// Dialect: comma separator, double-quote quoting with "" escapes, one
+/// header line. NULL is encoded as an empty unquoted field; an empty
+/// *quoted* field ("") is the empty string. Numbers render without
+/// padding; doubles round-trip through %.17g.
+
+/// Serializes `table` (header = qualified column names).
+std::string TableToCsv(const Table& table);
+
+/// Writes TableToCsv(table) to `path`.
+Status WriteCsvFile(const Table& table, const std::string& path);
+
+/// Parses CSV text into a table with the given schema. The header line is
+/// validated against the schema's field count (names are not required to
+/// match). Values are parsed per the declared column type; a malformed
+/// value fails with InvalidArgument naming the row.
+Result<Table> CsvToTable(const std::string& csv, const Schema& schema);
+
+/// Reads `path` and parses it against `schema`.
+Result<Table> ReadCsvFile(const std::string& path, const Schema& schema);
+
+}  // namespace gmdj
+
+#endif  // GMDJ_STORAGE_CSV_H_

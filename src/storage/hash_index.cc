@@ -1,0 +1,46 @@
+#include "storage/hash_index.h"
+
+#include "common/check.h"
+
+namespace gmdj {
+
+HashIndex::HashIndex(const Table& table, std::vector<size_t> key_columns)
+    : key_columns_(std::move(key_columns)) {
+  GMDJ_CHECK(!key_columns_.empty());
+  for (const size_t c : key_columns_) {
+    GMDJ_CHECK(c < table.num_columns());
+  }
+  map_.reserve(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    const Row& row = table.row(r);
+    bool has_null = false;
+    Row key;
+    key.reserve(key_columns_.size());
+    for (const size_t c : key_columns_) {
+      if (row[c].is_null()) {
+        has_null = true;
+        break;
+      }
+      key.push_back(row[c]);
+    }
+    if (has_null) continue;
+    map_[std::move(key)].push_back(static_cast<uint32_t>(r));
+  }
+}
+
+const std::vector<uint32_t>& HashIndex::Probe(const Row& key) const {
+  for (const Value& v : key) {
+    if (v.is_null()) return empty_;
+  }
+  const auto it = map_.find(key);
+  return it == map_.end() ? empty_ : it->second;
+}
+
+Row HashIndex::ExtractKey(const Row& row) const {
+  Row key;
+  key.reserve(key_columns_.size());
+  for (const size_t c : key_columns_) key.push_back(row[c]);
+  return key;
+}
+
+}  // namespace gmdj

@@ -1,0 +1,46 @@
+#ifndef GMDJ_STORAGE_HASH_INDEX_H_
+#define GMDJ_STORAGE_HASH_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/table.h"
+#include "types/row.h"
+
+namespace gmdj {
+
+/// Equality hash index over one or more columns of a table.
+///
+/// Maps a composite key (the values of `key_columns`) to the list of row
+/// indices holding that key. Rows where any key component is NULL are not
+/// indexed: under SQL semantics an equality predicate can never evaluate to
+/// TRUE against a NULL key, so such rows can never match an equality probe.
+///
+/// Used by (a) the GMDJ evaluator to locate base tuples from equality
+/// bindings, (b) the "native with indexes" baseline to probe inner tables,
+/// and (c) the hash join operators.
+class HashIndex {
+ public:
+  /// Builds the index over `table` on `key_columns` (column indices).
+  HashIndex(const Table& table, std::vector<size_t> key_columns);
+
+  /// Row indices whose key equals `key` (same width as key_columns).
+  /// Returns an empty list when the key is absent or contains NULL.
+  const std::vector<uint32_t>& Probe(const Row& key) const;
+
+  size_t num_keys() const { return map_.size(); }
+  const std::vector<size_t>& key_columns() const { return key_columns_; }
+
+  /// Extracts the probe key from a full row of the indexed table's layout.
+  Row ExtractKey(const Row& row) const;
+
+ private:
+  std::vector<size_t> key_columns_;
+  std::unordered_map<Row, std::vector<uint32_t>, RowHash, RowEq> map_;
+  std::vector<uint32_t> empty_;
+};
+
+}  // namespace gmdj
+
+#endif  // GMDJ_STORAGE_HASH_INDEX_H_

@@ -1,0 +1,88 @@
+#include "storage/interval_index.h"
+
+#include <algorithm>
+
+namespace gmdj {
+
+IntervalIndex::IntervalIndex(std::vector<IndexedInterval> intervals,
+                             bool lo_strict, bool hi_strict)
+    : lo_strict_(lo_strict),
+      hi_strict_(hi_strict),
+      num_intervals_(intervals.size()) {
+  // Drop empty intervals up front; they can never be stabbed.
+  std::erase_if(intervals, [&](const IndexedInterval& iv) {
+    if (lo_strict_ || hi_strict_) return iv.lo >= iv.hi;
+    return iv.lo > iv.hi;
+  });
+  root_ = Build(std::move(intervals));
+}
+
+bool IntervalIndex::Contains(const IndexedInterval& iv, double x) const {
+  const bool above_lo = lo_strict_ ? (iv.lo < x) : (iv.lo <= x);
+  const bool below_hi = hi_strict_ ? (x < iv.hi) : (x <= iv.hi);
+  return above_lo && below_hi;
+}
+
+std::unique_ptr<IntervalIndex::Node> IntervalIndex::Build(
+    std::vector<IndexedInterval> intervals) {
+  if (intervals.empty()) return nullptr;
+  // Median of interval midpoints keeps the tree balanced enough for the
+  // batch-built, read-only use here.
+  std::vector<double> mids;
+  mids.reserve(intervals.size());
+  for (const auto& iv : intervals) mids.push_back(0.5 * (iv.lo + iv.hi));
+  std::nth_element(mids.begin(), mids.begin() + mids.size() / 2, mids.end());
+  const double center = mids[mids.size() / 2];
+
+  auto node = std::make_unique<Node>();
+  node->center = center;
+  std::vector<IndexedInterval> left_set;
+  std::vector<IndexedInterval> right_set;
+  for (auto& iv : intervals) {
+    if (iv.hi < center) {
+      left_set.push_back(iv);
+    } else if (iv.lo > center) {
+      right_set.push_back(iv);
+    } else {
+      node->by_lo.push_back(iv);
+    }
+  }
+  node->by_hi = node->by_lo;
+  std::sort(node->by_lo.begin(), node->by_lo.end(),
+            [](const auto& a, const auto& b) { return a.lo < b.lo; });
+  std::sort(node->by_hi.begin(), node->by_hi.end(),
+            [](const auto& a, const auto& b) { return a.hi > b.hi; });
+  node->left = Build(std::move(left_set));
+  node->right = Build(std::move(right_set));
+  return node;
+}
+
+void IntervalIndex::Stab(double x, std::vector<uint32_t>* out) const {
+  const Node* node = root_.get();
+  while (node != nullptr) {
+    if (x < node->center) {
+      // Candidates must have lo <= x (they all have hi >= center > x... no:
+      // hi >= center is guaranteed only for overlap with center; strictness
+      // still checked per candidate).
+      for (const auto& iv : node->by_lo) {
+        if (iv.lo > x) break;
+        if (Contains(iv, x)) out->push_back(iv.id);
+      }
+      node = node->left.get();
+    } else if (x > node->center) {
+      for (const auto& iv : node->by_hi) {
+        if (iv.hi < x) break;
+        if (Contains(iv, x)) out->push_back(iv.id);
+      }
+      node = node->right.get();
+    } else {
+      // x == center: every interval stored at the node overlaps center.
+      for (const auto& iv : node->by_lo) {
+        if (Contains(iv, x)) out->push_back(iv.id);
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace gmdj

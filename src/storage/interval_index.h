@@ -1,0 +1,64 @@
+#ifndef GMDJ_STORAGE_INTERVAL_INDEX_H_
+#define GMDJ_STORAGE_INTERVAL_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace gmdj {
+
+/// One indexed interval: [lo, hi] with per-index strictness, carrying the
+/// id of the base tuple it came from.
+struct IndexedInterval {
+  double lo;
+  double hi;
+  uint32_t id;
+};
+
+/// Static centered interval tree for stabbing queries.
+///
+/// Supports the GMDJ's *interval bindings*: conditions of the form
+/// `R.x >= B.lo AND R.x < B.hi` (the Hours-table pattern from the paper's
+/// motivating example). The base table contributes one interval per tuple;
+/// each detail value `x` then retrieves all base tuples whose interval
+/// contains it in O(log n + answers) instead of scanning all of B.
+///
+/// Strictness of the two bounds is fixed per index (it comes from the
+/// comparison operators in the θ condition, which are shared by all base
+/// tuples).
+class IntervalIndex {
+ public:
+  /// `lo_strict`: the lower bound comparison is `<` (else `<=`);
+  /// `hi_strict`: the upper bound comparison is `<` (else `<=`).
+  IntervalIndex(std::vector<IndexedInterval> intervals, bool lo_strict,
+                bool hi_strict);
+
+  /// Appends the ids of all intervals containing `x` to `out`
+  /// (unordered). Does not clear `out`.
+  void Stab(double x, std::vector<uint32_t>* out) const;
+
+  size_t num_intervals() const { return num_intervals_; }
+
+ private:
+  struct Node {
+    double center;
+    // Intervals overlapping `center`, sorted ascending by lo and (a copy)
+    // descending by hi.
+    std::vector<IndexedInterval> by_lo;
+    std::vector<IndexedInterval> by_hi;
+    std::unique_ptr<Node> left;
+    std::unique_ptr<Node> right;
+  };
+
+  std::unique_ptr<Node> Build(std::vector<IndexedInterval> intervals);
+  bool Contains(const IndexedInterval& iv, double x) const;
+
+  bool lo_strict_;
+  bool hi_strict_;
+  size_t num_intervals_;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace gmdj
+
+#endif  // GMDJ_STORAGE_INTERVAL_INDEX_H_

@@ -1,0 +1,96 @@
+#ifndef GMDJ_STORAGE_TABLE_H_
+#define GMDJ_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "types/row.h"
+#include "types/schema.h"
+
+namespace gmdj {
+
+/// An in-memory, row-oriented relation: a schema plus rows.
+///
+/// Tables are the unit of exchange between operators; the executor fully
+/// materializes intermediate results (OLAP batch style), which keeps the
+/// three competing engines in this repository directly comparable and makes
+/// the GMDJ's single-scan property easy to observe via ExecStats.
+///
+/// Row storage is shared copy-on-write: copying a Table (e.g. a scan
+/// returning a catalog table, or `WithQualifier` renaming) is O(1); any
+/// mutating accessor detaches a private copy first. This keeps benchmark
+/// timings about the algorithms, not about redundant materialization.
+class Table {
+ public:
+  Table() : rows_(std::make_shared<std::vector<Row>>()) {}
+  explicit Table(Schema schema)
+      : schema_(std::move(schema)),
+        rows_(std::make_shared<std::vector<Row>>()) {}
+  Table(Schema schema, std::vector<Row> rows)
+      : schema_(std::move(schema)),
+        rows_(std::make_shared<std::vector<Row>>(std::move(rows))) {}
+
+  const Schema& schema() const { return schema_; }
+  Schema* mutable_schema() { return &schema_; }
+
+  size_t num_rows() const { return rows_->size(); }
+  size_t num_columns() const { return schema_.num_fields(); }
+  bool empty() const { return rows_->empty(); }
+
+  const Row& row(size_t i) const { return (*rows_)[i]; }
+  const std::vector<Row>& rows() const { return *rows_; }
+
+  /// Mutable row access; detaches from any sharing first.
+  std::vector<Row>* mutable_rows() {
+    Detach();
+    return rows_.get();
+  }
+
+  /// Appends a row; must have schema width (checked in debug builds).
+  void AppendRow(Row row);
+
+  /// Appends from an initializer list of values.
+  void AppendRow(std::initializer_list<Value> values);
+
+  void Reserve(size_t n) { mutable_rows()->reserve(n); }
+
+  /// Copy with every field's qualifier replaced (O(1): rows shared).
+  /// Mirrors `Flow -> F` renaming in the paper's algebra.
+  Table WithQualifier(std::string_view qualifier) const {
+    Table out = *this;
+    out.schema_ = schema_.WithQualifier(qualifier);
+    return out;
+  }
+
+  /// Validates that every row value matches the declared column type
+  /// (NULL always allowed). Used by tests and generators.
+  Status Validate() const;
+
+  /// Sorts rows into the internal total order (canonical form for
+  /// order-insensitive result comparison in tests).
+  void SortRows();
+
+  /// True if both tables hold the same multiset of rows (column names are
+  /// ignored; width must match).
+  bool SameRowsAs(const Table& other) const;
+
+  /// ASCII rendering with a header line; `max_rows` truncates output.
+  std::string ToString(size_t max_rows = 50) const;
+
+ private:
+  void Detach() {
+    if (rows_.use_count() != 1) {
+      rows_ = std::make_shared<std::vector<Row>>(*rows_);
+    }
+  }
+
+  Schema schema_;
+  std::shared_ptr<std::vector<Row>> rows_;
+};
+
+}  // namespace gmdj
+
+#endif  // GMDJ_STORAGE_TABLE_H_

@@ -1,0 +1,50 @@
+#ifndef GMDJ_TYPES_ROW_H_
+#define GMDJ_TYPES_ROW_H_
+
+#include <vector>
+
+#include "types/value.h"
+
+namespace gmdj {
+
+/// A tuple of values. Rows are schema-less; their layout is described by a
+/// Schema held alongside (by the Table or the executor).
+using Row = std::vector<Value>;
+
+/// Hash/equality for rows (and composite keys), consistent with
+/// Value::Compare equality; usable in unordered containers.
+struct RowHash {
+  size_t operator()(const Row& row) const {
+    size_t h = 0x51ed270b;
+    for (const Value& v : row) {
+      h ^= v.Hash() + 0x9e3779b9 + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+struct RowEq {
+  bool operator()(const Row& a, const Row& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i].Compare(b[i]) != 0) return false;
+    }
+    return true;
+  }
+};
+
+/// Lexicographic row order (internal total order; NULLs first).
+struct RowLess {
+  bool operator()(const Row& a, const Row& b) const {
+    const size_t n = a.size() < b.size() ? a.size() : b.size();
+    for (size_t i = 0; i < n; ++i) {
+      const int c = a[i].Compare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  }
+};
+
+}  // namespace gmdj
+
+#endif  // GMDJ_TYPES_ROW_H_

@@ -1,0 +1,88 @@
+#include "types/schema.h"
+
+#include <string>
+
+namespace gmdj {
+namespace {
+
+// Splits "Q.name" into (qualifier, name); qualifier empty when there is no
+// dot. Column names themselves never contain dots in this engine.
+std::pair<std::string_view, std::string_view> SplitRef(std::string_view ref) {
+  const size_t pos = ref.find('.');
+  if (pos == std::string_view::npos) return {std::string_view{}, ref};
+  return {ref.substr(0, pos), ref.substr(pos + 1)};
+}
+
+}  // namespace
+
+size_t Schema::TryResolve(std::string_view ref) const {
+  const auto [qual, name] = SplitRef(ref);
+  size_t found = kNotFound;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    const Field& f = fields_[i];
+    if (f.name != name) continue;
+    if (!qual.empty() && f.qualifier != qual) continue;
+    if (found != kNotFound) return kNotFound;  // Ambiguous.
+    found = i;
+  }
+  return found;
+}
+
+Result<size_t> Schema::Resolve(std::string_view ref) const {
+  const auto [qual, name] = SplitRef(ref);
+  size_t found = kNotFound;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    const Field& f = fields_[i];
+    if (f.name != name) continue;
+    if (!qual.empty() && f.qualifier != qual) continue;
+    if (found != kNotFound) {
+      return Status::InvalidArgument("ambiguous column reference: " +
+                                     std::string(ref));
+    }
+    found = i;
+  }
+  if (found == kNotFound) {
+    return Status::NotFound("column not found: " + std::string(ref) + " in " +
+                            ToString());
+  }
+  return found;
+}
+
+Schema Schema::WithQualifier(std::string_view qualifier) const {
+  Schema out = *this;
+  for (Field& f : out.fields_) f.qualifier = std::string(qualifier);
+  return out;
+}
+
+Schema Schema::Concat(const Schema& other) const {
+  Schema out = *this;
+  out.fields_.insert(out.fields_.end(), other.fields_.begin(),
+                     other.fields_.end());
+  return out;
+}
+
+bool Schema::Equals(const Schema& other) const {
+  if (fields_.size() != other.fields_.size()) return false;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    const Field& a = fields_[i];
+    const Field& b = other.fields_[i];
+    if (a.name != b.name || a.qualifier != b.qualifier || a.type != b.type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].QualifiedName();
+    out += " ";
+    out += ValueTypeToString(fields_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace gmdj

@@ -1,0 +1,78 @@
+#ifndef GMDJ_TYPES_SCHEMA_H_
+#define GMDJ_TYPES_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "types/value.h"
+
+namespace gmdj {
+
+/// One column of a schema: a name, an optional table qualifier (the alias
+/// introduced by `Flow -> F` style renaming in the paper's algebra), and a
+/// declared type.
+struct Field {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+  std::string qualifier;  // Empty when unqualified.
+
+  /// "F.StartTime" or "StartTime".
+  std::string QualifiedName() const {
+    return qualifier.empty() ? name : qualifier + "." + name;
+  }
+};
+
+/// Ordered list of fields describing the layout of rows in a table or
+/// intermediate result.
+///
+/// Attribute references resolve like SQL: "name" matches any field with that
+/// name regardless of qualifier (ambiguity is an error), "Q.name" matches
+/// the field with qualifier Q. Renaming a table (`WithQualifier`) replaces
+/// every field's qualifier, mirroring `Flow -> F` in the paper.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  /// Convenience: builds a schema of fields all typed/qualified as given.
+  static Schema Of(std::initializer_list<Field> fields) {
+    return Schema(std::vector<Field>(fields));
+  }
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Appends a field.
+  void AddField(Field field) { fields_.push_back(std::move(field)); }
+
+  /// Resolves "name" or "qualifier.name" to a column index.
+  /// Fails with NotFound when absent and InvalidArgument when ambiguous.
+  Result<size_t> Resolve(std::string_view ref) const;
+
+  /// Index of the unique field matching `ref`, or npos when absent or
+  /// ambiguous (non-Status variant for probing).
+  static constexpr size_t kNotFound = static_cast<size_t>(-1);
+  size_t TryResolve(std::string_view ref) const;
+
+  /// Copy with every field's qualifier replaced by `qualifier`.
+  Schema WithQualifier(std::string_view qualifier) const;
+
+  /// Concatenation (join output): fields of `this` then of `other`.
+  Schema Concat(const Schema& other) const;
+
+  /// Schema equality: same names, qualifiers, and types in order.
+  bool Equals(const Schema& other) const;
+
+  /// "(F.StartTime INT64, F.Protocol STRING)".
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace gmdj
+
+#endif  // GMDJ_TYPES_SCHEMA_H_

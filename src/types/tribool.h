@@ -1,0 +1,55 @@
+#ifndef GMDJ_TYPES_TRIBOOL_H_
+#define GMDJ_TYPES_TRIBOOL_H_
+
+namespace gmdj {
+
+/// SQL three-valued logic value.
+///
+/// All predicate evaluation in the engine yields a TriBool. The paper's
+/// correctness argument (Theorem 3.1) depends on *where-clause truncation*:
+/// a WHERE clause keeps a tuple only when its predicate is kTrue; both
+/// kFalse and kUnknown discard it. The numeric encoding (false=0,
+/// unknown=1, true=2) makes And = min and Or = max.
+enum class TriBool : unsigned char {
+  kFalse = 0,
+  kUnknown = 1,
+  kTrue = 2,
+};
+
+/// Kleene conjunction: false dominates, else unknown dominates.
+constexpr TriBool And(TriBool a, TriBool b) { return a < b ? a : b; }
+
+/// Kleene disjunction: true dominates, else unknown dominates.
+constexpr TriBool Or(TriBool a, TriBool b) { return a > b ? a : b; }
+
+/// Kleene negation; NOT unknown = unknown.
+constexpr TriBool Not(TriBool a) {
+  return static_cast<TriBool>(2 - static_cast<unsigned char>(a));
+}
+
+/// Lifts a bool into TriBool.
+constexpr TriBool MakeTriBool(bool b) {
+  return b ? TriBool::kTrue : TriBool::kFalse;
+}
+
+/// Where-clause truncation: only kTrue passes a selection.
+constexpr bool IsTrue(TriBool a) { return a == TriBool::kTrue; }
+constexpr bool IsFalse(TriBool a) { return a == TriBool::kFalse; }
+constexpr bool IsUnknown(TriBool a) { return a == TriBool::kUnknown; }
+
+/// "FALSE", "UNKNOWN", or "TRUE".
+constexpr const char* ToString(TriBool a) {
+  switch (a) {
+    case TriBool::kFalse:
+      return "FALSE";
+    case TriBool::kUnknown:
+      return "UNKNOWN";
+    case TriBool::kTrue:
+      return "TRUE";
+  }
+  return "?";
+}
+
+}  // namespace gmdj
+
+#endif  // GMDJ_TYPES_TRIBOOL_H_

@@ -1,0 +1,188 @@
+#include "types/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+#include "common/check.h"
+
+namespace gmdj {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+double Value::AsDouble() const {
+  if (type() == ValueType::kInt64) return static_cast<double>(int64());
+  GMDJ_DCHECK(type() == ValueType::kDouble);
+  return dbl();
+}
+
+namespace {
+
+// Compares two numeric values (int64/double) by numeric value. Comparing an
+// int64 against a double goes through double; with benchmark-scale values
+// (well below 2^53) this is exact.
+int CompareNumeric(const Value& a, const Value& b) {
+  if (a.type() == ValueType::kInt64 && b.type() == ValueType::kInt64) {
+    const int64_t x = a.int64(), y = b.int64();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  const double x = a.AsDouble(), y = b.AsDouble();
+  return x < y ? -1 : (x > y ? 1 : 0);
+}
+
+bool IsNumeric(ValueType t) {
+  return t == ValueType::kInt64 || t == ValueType::kDouble;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  const ValueType ta = type(), tb = other.type();
+  // Type rank for the total order: NULL(0) < numeric(1) < string(2).
+  auto rank = [](ValueType t) {
+    if (t == ValueType::kNull) return 0;
+    if (t == ValueType::kString) return 2;
+    return 1;
+  };
+  const int ra = rank(ta), rb = rank(tb);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (ra) {
+    case 0:
+      return 0;  // NULL == NULL internally.
+    case 1:
+      return CompareNumeric(*this, other);
+    default:
+      return str().compare(other.str()) < 0
+                 ? -1
+                 : (str() == other.str() ? 0 : 1);
+  }
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9b1a6e2fULL;
+    case ValueType::kInt64: {
+      // Hash integers through double when they are exactly representable so
+      // that Compare-equal mixed numerics hash alike.
+      const int64_t v = int64();
+      const double d = static_cast<double>(v);
+      if (static_cast<int64_t>(d) == v) {
+        return std::hash<double>()(d);
+      }
+      return std::hash<int64_t>()(v);
+    }
+    case ValueType::kDouble:
+      return std::hash<double>()(dbl() == 0.0 ? 0.0 : dbl());
+    case ValueType::kString:
+      return std::hash<std::string>()(str());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(int64());
+    case ValueType::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%g", dbl());
+      return buf;
+    }
+    case ValueType::kString:
+      return str();
+  }
+  return "?";
+}
+
+const char* CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+CompareOp NegateCompareOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return CompareOp::kNe;
+    case CompareOp::kNe:
+      return CompareOp::kEq;
+    case CompareOp::kLt:
+      return CompareOp::kGe;
+    case CompareOp::kLe:
+      return CompareOp::kGt;
+    case CompareOp::kGt:
+      return CompareOp::kLe;
+    case CompareOp::kGe:
+      return CompareOp::kLt;
+  }
+  return op;
+}
+
+CompareOp MirrorCompareOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return CompareOp::kEq;
+    case CompareOp::kNe:
+      return CompareOp::kNe;
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+  }
+  return op;
+}
+
+TriBool SqlCompare(const Value& a, CompareOp op, const Value& b) {
+  if (a.is_null() || b.is_null()) return TriBool::kUnknown;
+  const bool a_num = IsNumeric(a.type()), b_num = IsNumeric(b.type());
+  if (a_num != b_num) return TriBool::kUnknown;  // Incomparable types.
+  const int c = a_num ? CompareNumeric(a, b) : a.str().compare(b.str());
+  switch (op) {
+    case CompareOp::kEq:
+      return MakeTriBool(c == 0);
+    case CompareOp::kNe:
+      return MakeTriBool(c != 0);
+    case CompareOp::kLt:
+      return MakeTriBool(c < 0);
+    case CompareOp::kLe:
+      return MakeTriBool(c <= 0);
+    case CompareOp::kGt:
+      return MakeTriBool(c > 0);
+    case CompareOp::kGe:
+      return MakeTriBool(c >= 0);
+  }
+  return TriBool::kUnknown;
+}
+
+}  // namespace gmdj

@@ -1,0 +1,104 @@
+#ifndef GMDJ_TYPES_VALUE_H_
+#define GMDJ_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "types/tribool.h"
+
+namespace gmdj {
+
+/// Runtime type of a Value / column.
+enum class ValueType : unsigned char {
+  kNull = 0,  // Only valid for values, not column declarations.
+  kInt64,
+  kDouble,
+  kString,
+};
+
+const char* ValueTypeToString(ValueType type);
+
+/// A single SQL value: NULL, 64-bit integer, double, or string.
+///
+/// Values are small, copyable, and totally ordered *internally* (see
+/// `Compare`, used for hashing, sorting, and grouping, where NULLs compare
+/// equal to each other and smallest). SQL comparison semantics, where any
+/// comparison involving NULL is UNKNOWN, live in `SqlCompare`.
+class Value {
+ public:
+  /// NULL value.
+  Value() : rep_(std::monostate{}) {}
+  Value(int64_t v) : rep_(v) {}              // NOLINT(runtime/explicit)
+  Value(int v) : rep_(int64_t{v}) {}         // NOLINT(runtime/explicit)
+  Value(double v) : rep_(v) {}               // NOLINT(runtime/explicit)
+  Value(std::string v) : rep_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  Value(const char* v) : rep_(std::string(v)) {}  // NOLINT(runtime/explicit)
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return rep_.index() == 0; }
+  ValueType type() const { return static_cast<ValueType>(rep_.index()); }
+
+  /// Typed accessors; the value must hold that type.
+  int64_t int64() const { return std::get<int64_t>(rep_); }
+  double dbl() const { return std::get<double>(rep_); }
+  const std::string& str() const { return std::get<std::string>(rep_); }
+
+  /// Numeric value as double (int64 or double); must not be NULL/string.
+  double AsDouble() const;
+
+  /// Internal total order: NULL < int/double (numeric order, mixed numeric
+  /// compares by value) < string. Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  /// Internal equality consistent with Compare (NULL == NULL here).
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Hash consistent with Compare-equality (mixed int/double with equal
+  /// numeric value hash alike).
+  size_t Hash() const;
+
+  /// Display form: "NULL", "42", "3.5", "abc".
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> rep_;
+};
+
+/// SQL comparison operators.
+enum class CompareOp : unsigned char {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+/// "=", "<>", "<", "<=", ">", ">=".
+const char* CompareOpToString(CompareOp op);
+
+/// Negation of the comparison: NOT(a op b) == (a Negate(op) b) under 2VL.
+/// (Used by the negation-elimination rules of Algorithm SubqueryToGMDJ.)
+CompareOp NegateCompareOp(CompareOp op);
+
+/// Mirror of the comparison: (a op b) == (b Mirror(op) a).
+CompareOp MirrorCompareOp(CompareOp op);
+
+/// SQL comparison with 3VL: UNKNOWN if either side is NULL, else the 2VL
+/// outcome. Numeric values compare by value across int64/double; comparing
+/// a number with a string is UNKNOWN (the engine's binder prevents it, but
+/// the runtime is total).
+TriBool SqlCompare(const Value& a, CompareOp op, const Value& b);
+
+/// Hash functor for Value usable in unordered containers.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace gmdj
+
+#endif  // GMDJ_TYPES_VALUE_H_

@@ -1,0 +1,77 @@
+#include "workload/ipflow.h"
+
+#include "common/rng.h"
+
+namespace gmdj {
+
+std::string SourceIpString(int64_t k) {
+  return "10." + std::to_string((k / 256) % 256) + "." +
+         std::to_string(k % 256) + ".1";
+}
+
+std::string DestIpString(int64_t k) {
+  return "167.167." + std::to_string((k / 256) % 256) + "." +
+         std::to_string(k % 256);
+}
+
+Table GenFlowTable(const IpFlowConfig& config) {
+  Schema schema(std::vector<Field>{
+      {"SourceIP", ValueType::kString, ""},
+      {"DestIP", ValueType::kString, ""},
+      {"Protocol", ValueType::kString, ""},
+      {"StartTime", ValueType::kInt64, ""},
+      {"EndTime", ValueType::kInt64, ""},
+      {"NumPackets", ValueType::kInt64, ""},
+      {"NumBytes", ValueType::kInt64, ""},
+  });
+  Table out(schema);
+  out.Reserve(static_cast<size_t>(config.num_flows));
+  Rng rng(config.seed);
+  const std::vector<std::string> other_protocols = {"FTP", "DNS", "SMTP"};
+  const int64_t horizon = 60 * config.num_hours;
+  for (int64_t i = 0; i < config.num_flows; ++i) {
+    const int64_t src = rng.Zipf(config.num_source_ips, 0.8) - 1;
+    const int64_t dst = rng.Zipf(config.num_dest_ips, 0.8) - 1;
+    const std::string protocol = rng.Chance(config.http_fraction)
+                                     ? "HTTP"
+                                     : rng.Pick(other_protocols);
+    const int64_t start = rng.Uniform(0, horizon - 1);
+    const int64_t duration = rng.Uniform(1, 30);
+    const int64_t packets = rng.Uniform(1, 2000);
+    Value bytes = rng.Chance(config.null_bytes_fraction)
+                      ? Value::Null()
+                      : Value(packets * rng.Uniform(40, 1500));
+    out.AppendRow({SourceIpString(src), DestIpString(dst), protocol, start,
+                   start + duration, packets, std::move(bytes)});
+  }
+  return out;
+}
+
+Table GenHoursTable(const IpFlowConfig& config) {
+  Schema schema(std::vector<Field>{
+      {"HourDescription", ValueType::kInt64, ""},
+      {"StartInterval", ValueType::kInt64, ""},
+      {"EndInterval", ValueType::kInt64, ""},
+  });
+  Table out(schema);
+  out.Reserve(static_cast<size_t>(config.num_hours));
+  for (int64_t h = 0; h < config.num_hours; ++h) {
+    out.AppendRow({h + 1, 60 * h, 60 * (h + 1)});
+  }
+  return out;
+}
+
+Table GenUserTable(const IpFlowConfig& config) {
+  Schema schema(std::vector<Field>{
+      {"UserName", ValueType::kString, ""},
+      {"IPAddress", ValueType::kString, ""},
+  });
+  Table out(schema);
+  out.Reserve(static_cast<size_t>(config.num_users));
+  for (int64_t u = 0; u < config.num_users; ++u) {
+    out.AppendRow({"user" + std::to_string(u), SourceIpString(u)});
+  }
+  return out;
+}
+
+}  // namespace gmdj

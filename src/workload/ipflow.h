@@ -1,0 +1,50 @@
+#ifndef GMDJ_WORKLOAD_IPFLOW_H_
+#define GMDJ_WORKLOAD_IPFLOW_H_
+
+#include <cstdint>
+
+#include "storage/table.h"
+
+namespace gmdj {
+
+/// Generator for the paper's motivating IP-flow data warehouse
+/// (Section 2.3):
+///
+///   Flow (SourceIP, DestIP, Protocol, StartTime, EndTime, NumPackets,
+///         NumBytes)
+///   Hours(HourDescription, StartInterval, EndInterval)
+///   User (UserName, IPAddress)
+///
+/// IPs are encoded as strings "a.b.c.d"; times are INT64 minutes. All
+/// generation is deterministic in `seed`.
+struct IpFlowConfig {
+  uint64_t seed = 42;
+  int64_t num_flows = 10'000;
+  int64_t num_hours = 24;          // Hour buckets of 60 minutes each.
+  int64_t num_source_ips = 200;    // Distinct SourceIP values.
+  int64_t num_dest_ips = 200;      // Distinct DestIP values.
+  int64_t num_users = 50;          // User accounts (subset of source IPs).
+  double http_fraction = 0.55;     // Remaining traffic split FTP/DNS/SMTP.
+  double null_bytes_fraction = 0;  // Fraction of NULL NumBytes (tests).
+};
+
+/// "167.167.167.<k>"-style IP for source index `k` (also used by queries
+/// to pick constants that exist in the data).
+std::string SourceIpString(int64_t k);
+std::string DestIpString(int64_t k);
+
+/// Generates the Flow fact table: `num_flows` rows with StartTime uniform
+/// in [0, 60*num_hours), flow duration 1..30 minutes, skewed source/dest
+/// IP popularity (Zipf 0.8), and byte counts correlated with duration.
+Table GenFlowTable(const IpFlowConfig& config);
+
+/// Generates the Hours dimension: one row per hour, HourDescription
+/// 1..num_hours, [StartInterval, EndInterval) = [60h, 60(h+1)).
+Table GenHoursTable(const IpFlowConfig& config);
+
+/// Generates the User dimension: user `u` owns SourceIpString(u).
+Table GenUserTable(const IpFlowConfig& config);
+
+}  // namespace gmdj
+
+#endif  // GMDJ_WORKLOAD_IPFLOW_H_

@@ -1,0 +1,55 @@
+#include "workload/paper_queries.h"
+
+#include "expr/expr_builder.h"
+#include "nested/nested_builder.h"
+
+namespace gmdj {
+
+NestedSelect Fig2ExistsQuery() {
+  NestedSelect q;
+  q.source = From("customer", "C");
+  q.where = Exists(
+      Sub(From("orders", "O"),
+          WherePred(And(Eq(Col("O.o_custkey"), Col("C.c_custkey")),
+                        Gt(Col("O.o_totalprice"), Lit(150000.0))))));
+  return q;
+}
+
+NestedSelect Fig3AggCompareQuery() {
+  NestedSelect q;
+  q.source = From("customer", "C");
+  q.where = CompareSub(
+      Col("C.c_acctbal"), CompareOp::kGt,
+      SubAgg(From("orders", "O"),
+             AvgOf(Div(Col("O.o_totalprice"), Lit(100.0)), "avg_price"),
+             WherePred(Eq(Col("O.o_custkey"), Col("C.c_custkey")))));
+  return q;
+}
+
+NestedSelect Fig4AllQuery() {
+  NestedSelect q;
+  q.source = From("customer", "C");
+  q.where = AllSub(Col("C.c_custkey"), CompareOp::kNe,
+                   SubSelect(From("orders", "O"), Col("O.o_custkey"),
+                             nullptr));
+  return q;
+}
+
+NestedSelect Fig5TreeExistsQuery() {
+  NestedSelect q;
+  q.source = From("customer", "C");
+  q.where =
+      AndP(Exists(Sub(From("orders", "O1"),
+                      WherePred(And(Eq(Col("O1.o_custkey"),
+                                       Col("C.c_custkey")),
+                                    Eq(Col("O1.o_orderpriority"),
+                                       Lit("1-URGENT")))))),
+           Exists(Sub(From("orders", "O2"),
+                      WherePred(And(Eq(Col("O2.o_custkey"),
+                                       Col("C.c_custkey")),
+                                    Gt(Col("O2.o_totalprice"),
+                                       Lit(300000.0)))))));
+  return q;
+}
+
+}  // namespace gmdj

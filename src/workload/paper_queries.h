@@ -1,0 +1,32 @@
+#ifndef GMDJ_WORKLOAD_PAPER_QUERIES_H_
+#define GMDJ_WORKLOAD_PAPER_QUERIES_H_
+
+#include "nested/nested_ast.h"
+
+namespace gmdj {
+
+/// The nested query expressions behind the paper's Section 5 experiments,
+/// phrased over the TPC-style tables of tpch_gen.h. The benchmark
+/// binaries time these; the integration tests pin their cross-strategy
+/// equivalence at small scale, so the benchmarks are guaranteed to be
+/// measuring engines that agree on the answer.
+
+/// Figure 2: correlated EXISTS —
+///   customers holding an order above 150k.
+NestedSelect Fig2ExistsQuery();
+
+/// Figure 3: comparison against a correlated aggregate —
+///   customers whose balance exceeds their average order value / 100.
+NestedSelect Fig3AggCompareQuery();
+
+/// Figure 4: ALL quantifier with <> correlation on key attributes —
+///   customers whose key appears in no order (the NOT IN pattern).
+NestedSelect Fig4AllQuery();
+
+/// Figure 5: two EXISTS over the same table with disjoint predicates —
+///   customers with both an urgent order and a 300k+ order.
+NestedSelect Fig5TreeExistsQuery();
+
+}  // namespace gmdj
+
+#endif  // GMDJ_WORKLOAD_PAPER_QUERIES_H_

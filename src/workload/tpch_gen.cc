@@ -1,0 +1,132 @@
+#include "workload/tpch_gen.h"
+
+#include "common/rng.h"
+
+namespace gmdj {
+namespace {
+
+constexpr int64_t kDateLo = 8036;   // ~1992-01-01 as days-since-epoch.
+constexpr int64_t kDateHi = 10591;  // ~1998-12-31.
+
+}  // namespace
+
+Table GenCustomerTable(const TpchConfig& config) {
+  Schema schema(std::vector<Field>{
+      {"c_custkey", ValueType::kInt64, ""},
+      {"c_name", ValueType::kString, ""},
+      {"c_nationkey", ValueType::kInt64, ""},
+      {"c_acctbal", ValueType::kDouble, ""},
+      {"c_mktsegment", ValueType::kString, ""},
+  });
+  Table out(schema);
+  out.Reserve(static_cast<size_t>(config.num_customers));
+  Rng rng(config.seed * 31 + 1);
+  const std::vector<std::string> segments = {"AUTOMOBILE", "BUILDING",
+                                             "FURNITURE", "MACHINERY",
+                                             "HOUSEHOLD"};
+  for (int64_t k = 1; k <= config.num_customers; ++k) {
+    out.AppendRow({k, "Customer#" + std::to_string(k), rng.Uniform(0, 24),
+                   static_cast<double>(rng.Uniform(-99999, 999999)) / 100.0,
+                   rng.Pick(segments)});
+  }
+  return out;
+}
+
+Table GenOrdersTable(const TpchConfig& config) {
+  Schema schema(std::vector<Field>{
+      {"o_orderkey", ValueType::kInt64, ""},
+      {"o_custkey", ValueType::kInt64, ""},
+      {"o_orderstatus", ValueType::kString, ""},
+      {"o_totalprice", ValueType::kDouble, ""},
+      {"o_orderdate", ValueType::kInt64, ""},
+      {"o_orderpriority", ValueType::kString, ""},
+  });
+  Table out(schema);
+  out.Reserve(static_cast<size_t>(config.num_orders));
+  Rng rng(config.seed * 31 + 2);
+  const std::vector<std::string> priorities = {"1-URGENT", "2-HIGH",
+                                               "3-MEDIUM", "4-NOT SPECIFIED",
+                                               "5-LOW"};
+  const std::vector<std::string> statuses = {"O", "F", "P"};
+  // dbgen leaves every third customer without orders.
+  const int64_t active_customers =
+      std::max<int64_t>(1, config.num_customers * 2 / 3);
+  for (int64_t k = 1; k <= config.num_orders; ++k) {
+    const int64_t cust = rng.Zipf(active_customers, 0.5);
+    // Map to custkeys not divisible by 3 (sparse like dbgen).
+    const int64_t custkey = cust + (cust - 1) / 2;
+    out.AppendRow({k, std::min(custkey, config.num_customers),
+                   rng.Pick(statuses),
+                   static_cast<double>(rng.Uniform(90000, 50000000)) / 100.0,
+                   rng.Uniform(kDateLo, kDateHi), rng.Pick(priorities)});
+  }
+  return out;
+}
+
+Table GenLineitemTable(const TpchConfig& config) {
+  Schema schema(std::vector<Field>{
+      {"l_orderkey", ValueType::kInt64, ""},
+      {"l_partkey", ValueType::kInt64, ""},
+      {"l_suppkey", ValueType::kInt64, ""},
+      {"l_quantity", ValueType::kInt64, ""},
+      {"l_extendedprice", ValueType::kDouble, ""},
+      {"l_discount", ValueType::kDouble, ""},
+      {"l_shipdate", ValueType::kInt64, ""},
+      {"l_returnflag", ValueType::kString, ""},
+  });
+  Table out(schema);
+  out.Reserve(static_cast<size_t>(config.num_lineitems));
+  Rng rng(config.seed * 31 + 3);
+  const std::vector<std::string> flags = {"R", "A", "N"};
+  for (int64_t k = 1; k <= config.num_lineitems; ++k) {
+    const int64_t qty = rng.Uniform(1, 50);
+    out.AppendRow({rng.Uniform(1, std::max<int64_t>(1, config.num_orders)),
+                   rng.Uniform(1, std::max<int64_t>(1, config.num_parts)),
+                   rng.Uniform(1, std::max<int64_t>(1, config.num_suppliers)),
+                   qty,
+                   static_cast<double>(qty) *
+                       (static_cast<double>(rng.Uniform(90000, 200000)) /
+                        100.0),
+                   static_cast<double>(rng.Uniform(0, 10)) / 100.0,
+                   rng.Uniform(kDateLo, kDateHi), rng.Pick(flags)});
+  }
+  return out;
+}
+
+Table GenSupplierTable(const TpchConfig& config) {
+  Schema schema(std::vector<Field>{
+      {"s_suppkey", ValueType::kInt64, ""},
+      {"s_name", ValueType::kString, ""},
+      {"s_nationkey", ValueType::kInt64, ""},
+      {"s_acctbal", ValueType::kDouble, ""},
+  });
+  Table out(schema);
+  out.Reserve(static_cast<size_t>(config.num_suppliers));
+  Rng rng(config.seed * 31 + 4);
+  for (int64_t k = 1; k <= config.num_suppliers; ++k) {
+    out.AppendRow({k, "Supplier#" + std::to_string(k), rng.Uniform(0, 24),
+                   static_cast<double>(rng.Uniform(-99999, 999999)) / 100.0});
+  }
+  return out;
+}
+
+Table GenPartTable(const TpchConfig& config) {
+  Schema schema(std::vector<Field>{
+      {"p_partkey", ValueType::kInt64, ""},
+      {"p_name", ValueType::kString, ""},
+      {"p_retailprice", ValueType::kDouble, ""},
+      {"p_size", ValueType::kInt64, ""},
+  });
+  Table out(schema);
+  out.Reserve(static_cast<size_t>(config.num_parts));
+  Rng rng(config.seed * 31 + 5);
+  for (int64_t k = 1; k <= config.num_parts; ++k) {
+    out.AppendRow({k, "part" + std::to_string(k) + rng.NextString(3, 8),
+                   900.0 + static_cast<double>(k % 1000) +
+                       static_cast<double>(rng.Uniform(0, 99)) / 100.0,
+                   rng.Uniform(1, 50)});
+  }
+  return out;
+}
+
+}  // namespace gmdj

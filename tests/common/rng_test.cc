@@ -1,0 +1,110 @@
+#include "common/rng.h"
+
+#include <map>
+#include <set>
+
+#include "gtest/gtest.h"
+
+namespace gmdj {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.Uniform(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 9u);  // Every value of [-3, 5] hit.
+}
+
+TEST(RngTest, UniformSingletonRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.Uniform(4, 4), 4);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(RngTest, ZipfSkewsTowardSmallRanks) {
+  Rng rng(13);
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) {
+    const int64_t v = rng.Zipf(100, 1.0);
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, 100);
+    counts[v]++;
+  }
+  EXPECT_GT(counts[1], counts[50] * 5);
+}
+
+TEST(RngTest, ZipfZeroExponentIsUniformish) {
+  Rng rng(17);
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) counts[rng.Zipf(10, 0.0)]++;
+  for (int64_t k = 1; k <= 10; ++k) {
+    EXPECT_GT(counts[k], 1500);
+    EXPECT_LT(counts[k], 2500);
+  }
+}
+
+TEST(RngTest, NextStringBoundsAndAlphabet) {
+  Rng rng(19);
+  for (int i = 0; i < 200; ++i) {
+    const std::string s = rng.NextString(2, 6);
+    EXPECT_GE(s.size(), 2u);
+    EXPECT_LE(s.size(), 6u);
+    for (const char c : s) {
+      EXPECT_GE(c, 'a');
+      EXPECT_LE(c, 'z');
+    }
+  }
+}
+
+TEST(RngTest, PickCoversAllItems) {
+  Rng rng(23);
+  const std::vector<int> items = {10, 20, 30};
+  std::set<int> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(rng.Pick(items));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+}  // namespace
+}  // namespace gmdj

@@ -1,0 +1,136 @@
+#include "core/condition_analysis.h"
+
+#include "expr/expr_builder.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace gmdj {
+namespace {
+
+using testutil::MakeTable;
+
+class ConditionAnalysisTest : public ::testing::Test {
+ protected:
+  ConditionAnalysisTest()
+      : base_(MakeTable({"B.k", "B.lo", "B.hi", "B.name:s"}, {})),
+        detail_(MakeTable({"R.k", "R.t", "R.p:s", "R.v:d"}, {})) {}
+
+  ConditionAnalysis Analyze(ExprPtr theta) {
+    const Status s = theta->Bind({&base_.schema(), &detail_.schema()});
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    owned_.push_back(std::move(theta));
+    return AnalyzeCondition(*owned_.back(), base_.schema(), detail_.schema());
+  }
+
+  Table base_;
+  Table detail_;
+  std::vector<ExprPtr> owned_;
+};
+
+TEST_F(ConditionAnalysisTest, EqualityBindingBothOrientations) {
+  auto a = Analyze(Eq(Col("B.k"), Col("R.k")));
+  ASSERT_EQ(a.strategy, CondStrategy::kHash);
+  ASSERT_EQ(a.eq_bindings.size(), 1u);
+  EXPECT_EQ(a.eq_bindings[0].base_col, 0u);
+  EXPECT_EQ(a.eq_bindings[0].detail_col, 0u);
+  EXPECT_TRUE(a.residual.empty());
+
+  auto b = Analyze(Eq(Col("R.k"), Col("B.k")));
+  EXPECT_EQ(b.strategy, CondStrategy::kHash);
+  EXPECT_EQ(b.eq_bindings.size(), 1u);
+}
+
+TEST_F(ConditionAnalysisTest, IntervalBindingHoursPattern) {
+  auto a = Analyze(And(Ge(Col("R.t"), Col("B.lo")),
+                       Lt(Col("R.t"), Col("B.hi"))));
+  ASSERT_EQ(a.strategy, CondStrategy::kInterval);
+  ASSERT_TRUE(a.interval.has_value());
+  EXPECT_EQ(a.interval->detail_col, 1u);
+  EXPECT_EQ(a.interval->base_lo_col, 1u);
+  EXPECT_FALSE(a.interval->lo_strict);  // >= is inclusive.
+  EXPECT_EQ(a.interval->base_hi_col, 2u);
+  EXPECT_TRUE(a.interval->hi_strict);  // < is exclusive.
+}
+
+TEST_F(ConditionAnalysisTest, IntervalMirroredOrientation) {
+  // base.lo < R.t AND base.hi >= R.t.
+  auto a = Analyze(And(Lt(Col("B.lo"), Col("R.t")),
+                       Ge(Col("B.hi"), Col("R.t"))));
+  ASSERT_EQ(a.strategy, CondStrategy::kInterval);
+  EXPECT_TRUE(a.interval->lo_strict);
+  EXPECT_FALSE(a.interval->hi_strict);
+}
+
+TEST_F(ConditionAnalysisTest, DetailOnlyConjunctsSplitOff) {
+  auto a = Analyze(And(And(Eq(Col("B.k"), Col("R.k")),
+                           Eq(Col("R.p"), Lit("HTTP"))),
+                       Gt(Col("R.v"), Lit(0.5))));
+  EXPECT_EQ(a.strategy, CondStrategy::kHash);
+  EXPECT_EQ(a.detail_only.size(), 2u);
+  EXPECT_TRUE(a.residual.empty());
+}
+
+TEST_F(ConditionAnalysisTest, HashBeatsInterval) {
+  auto a = Analyze(And(Eq(Col("B.k"), Col("R.k")),
+                       And(Ge(Col("R.t"), Col("B.lo")),
+                           Lt(Col("R.t"), Col("B.hi")))));
+  EXPECT_EQ(a.strategy, CondStrategy::kHash);
+  EXPECT_FALSE(a.interval.has_value());
+  EXPECT_EQ(a.residual.size(), 2u);  // Range conjuncts become residual.
+}
+
+TEST_F(ConditionAnalysisTest, NonEquiFallsToScan) {
+  auto a = Analyze(Ne(Col("B.k"), Col("R.k")));
+  EXPECT_EQ(a.strategy, CondStrategy::kScan);
+  EXPECT_EQ(a.residual.size(), 1u);
+}
+
+TEST_F(ConditionAnalysisTest, LoneLowerBoundIsScanResidual) {
+  auto a = Analyze(Ge(Col("R.t"), Col("B.lo")));
+  EXPECT_EQ(a.strategy, CondStrategy::kScan);
+  EXPECT_FALSE(a.interval.has_value());
+  EXPECT_EQ(a.residual.size(), 1u);
+}
+
+TEST_F(ConditionAnalysisTest, StringBoundsNotIntervalIndexed) {
+  auto a = Analyze(And(Ge(Col("R.p"), Col("B.name")),
+                       Lt(Col("R.p"), Col("B.name"))));
+  EXPECT_EQ(a.strategy, CondStrategy::kScan);
+}
+
+TEST_F(ConditionAnalysisTest, DisjunctionIsOpaque) {
+  auto a = Analyze(Or(Eq(Col("B.k"), Col("R.k")),
+                      Gt(Col("R.t"), Col("B.lo"))));
+  EXPECT_EQ(a.strategy, CondStrategy::kScan);
+  EXPECT_EQ(a.residual.size(), 1u);
+  EXPECT_TRUE(a.eq_bindings.empty());
+}
+
+TEST_F(ConditionAnalysisTest, CompositeEqualityKeys) {
+  auto a = Analyze(And(Eq(Col("B.k"), Col("R.k")),
+                       Eq(Col("B.name"), Col("R.p"))));
+  EXPECT_EQ(a.strategy, CondStrategy::kHash);
+  EXPECT_EQ(a.eq_bindings.size(), 2u);
+}
+
+TEST_F(ConditionAnalysisTest, ComputedEqualityIsResidual) {
+  // B.k = R.k + 1 is not a bare column binding.
+  auto a = Analyze(Eq(Col("B.k"), Add(Col("R.k"), Lit(1))));
+  EXPECT_EQ(a.strategy, CondStrategy::kScan);
+  EXPECT_TRUE(a.eq_bindings.empty());
+  EXPECT_EQ(a.residual.size(), 1u);
+}
+
+TEST_F(ConditionAnalysisTest, BaseOnlyConjunctIsResidual) {
+  auto a = Analyze(And(Eq(Col("B.k"), Col("R.k")), Gt(Col("B.lo"), Lit(5))));
+  EXPECT_EQ(a.strategy, CondStrategy::kHash);
+  EXPECT_EQ(a.residual.size(), 1u);  // Base-only pred checked per pair.
+}
+
+TEST_F(ConditionAnalysisTest, ToStringSummarizes) {
+  auto a = Analyze(Eq(Col("B.k"), Col("R.k")));
+  EXPECT_NE(a.ToString().find("hash"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gmdj

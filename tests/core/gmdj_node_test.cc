@@ -1,0 +1,251 @@
+#include "core/gmdj_node.h"
+
+#include "common/rng.h"
+#include "exec/nodes.h"
+#include "expr/expr_builder.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace gmdj {
+namespace {
+
+using testutil::MakeTable;
+using testutil::RunPlan;
+using testutil::SameRows;
+
+class GmdjNodeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_.PutTable("B", MakeTable({"B.k", "B.lo", "B.hi"},
+                                     {{1, 0, 10}, {2, 10, 20}, {3, 5, 15},
+                                      {Value::Null(), 0, 100}}));
+    catalog_.PutTable(
+        "R", MakeTable({"R.k", "R.t", "R.v"},
+                       {{1, 1, 100},
+                        {1, 12, 200},
+                        {2, 12, 300},
+                        {3, 7, 400},
+                        {Value::Null(), 7, 500},
+                        {2, Value::Null(), 600}}));
+  }
+
+  PlanPtr Scan(const char* name) {
+    return std::make_unique<TableScanNode>(name);
+  }
+
+  Table RunBoth(std::vector<GmdjCondition> conds, ExecStats* auto_stats = nullptr) {
+    // Clone the conditions for the second node.
+    std::vector<GmdjCondition> conds2;
+    for (const GmdjCondition& c : conds) {
+      GmdjCondition copy;
+      if (c.theta != nullptr) copy.theta = c.theta->Clone();
+      for (const AggSpec& a : c.aggs) copy.aggs.push_back(a.Clone());
+      conds2.push_back(std::move(copy));
+    }
+    GmdjNode naive(Scan("B"), Scan("R"), std::move(conds2),
+                   GmdjStrategy::kNaive);
+    GmdjNode autod(Scan("B"), Scan("R"), std::move(conds),
+                   GmdjStrategy::kAuto);
+    const Table expected = RunPlan(&naive, catalog_);
+    const Table actual = RunPlan(&autod, catalog_, auto_stats);
+    EXPECT_TRUE(SameRows(actual, expected));
+    return actual;
+  }
+
+  Catalog catalog_;
+};
+
+GmdjCondition CountCond(ExprPtr theta, const char* name) {
+  GmdjCondition cond;
+  cond.theta = std::move(theta);
+  cond.aggs.push_back(CountStar(name));
+  return cond;
+}
+
+TEST_F(GmdjNodeTest, EqualityConditionCounts) {
+  std::vector<GmdjCondition> conds;
+  conds.push_back(CountCond(Eq(Col("B.k"), Col("R.k")), "cnt"));
+  const Table out = RunBoth(std::move(conds));
+  Table expected = MakeTable({"k", "lo", "hi", "cnt"},
+                             {{1, 0, 10, 2},
+                              {2, 10, 20, 2},
+                              {3, 5, 15, 1},
+                              {Value::Null(), 0, 100, 0}});
+  EXPECT_TRUE(SameRows(out, expected));
+}
+
+TEST_F(GmdjNodeTest, IntervalConditionCounts) {
+  std::vector<GmdjCondition> conds;
+  conds.push_back(CountCond(
+      And(Ge(Col("R.t"), Col("B.lo")), Lt(Col("R.t"), Col("B.hi"))), "cnt"));
+  const Table out = RunBoth(std::move(conds));
+  // t values: 1,12,12,7,7,NULL. [0,10): {1,7,7}=3; [10,20): {12,12}=2;
+  // [5,15): {12,12,7,7}=4; [0,100): all 5 non-null.
+  Table expected = MakeTable({"k", "lo", "hi", "cnt"},
+                             {{1, 0, 10, 3},
+                              {2, 10, 20, 2},
+                              {3, 5, 15, 4},
+                              {Value::Null(), 0, 100, 5}});
+  EXPECT_TRUE(SameRows(out, expected));
+}
+
+TEST_F(GmdjNodeTest, ScanConditionNonEqui) {
+  std::vector<GmdjCondition> conds;
+  conds.push_back(CountCond(Ne(Col("B.k"), Col("R.k")), "cnt"));
+  const Table out = RunBoth(std::move(conds));
+  // k=1: rows with R.k not 1 and non-null: {2,3,2} = 3. k=2: {1,1,3} = 3.
+  // k=3: {1,1,2,2} = 4. NULL B.k: comparison never TRUE -> 0.
+  Table expected = MakeTable({"k", "lo", "hi", "cnt"},
+                             {{1, 0, 10, 3},
+                              {2, 10, 20, 3},
+                              {3, 5, 15, 4},
+                              {Value::Null(), 0, 100, 0}});
+  EXPECT_TRUE(SameRows(out, expected));
+}
+
+TEST_F(GmdjNodeTest, NullThetaMatchesEverything) {
+  std::vector<GmdjCondition> conds;
+  conds.push_back(CountCond(nullptr, "cnt"));
+  const Table out = RunBoth(std::move(conds));
+  for (size_t i = 0; i < out.num_rows(); ++i) {
+    EXPECT_EQ(out.row(i)[3].int64(), 6);
+  }
+}
+
+TEST_F(GmdjNodeTest, MultipleConditionsAndAggs) {
+  std::vector<GmdjCondition> conds;
+  GmdjCondition c1;
+  c1.theta = Eq(Col("B.k"), Col("R.k"));
+  c1.aggs.push_back(CountStar("cnt"));
+  c1.aggs.push_back(SumOf(Col("R.v"), "sum_v"));
+  c1.aggs.push_back(MinOf(Col("R.t"), "min_t"));
+  conds.push_back(std::move(c1));
+  conds.push_back(CountCond(Gt(Col("R.t"), Col("B.hi")), "cnt_gt"));
+  const Table out = RunBoth(std::move(conds));
+  ASSERT_EQ(out.num_columns(), 7u);
+  Table expected =
+      MakeTable({"k", "lo", "hi", "cnt", "sum_v", "min_t", "cnt_gt"},
+                {{1, 0, 10, 2, 300, 1, 2},
+                 {2, 10, 20, 2, 900, 12, 0},
+                 {3, 5, 15, 1, 400, 7, 0},
+                 {Value::Null(), 0, 100, 0, Value::Null(), Value::Null(), 0}});
+  EXPECT_TRUE(SameRows(out, expected));
+}
+
+TEST_F(GmdjNodeTest, EmptyDetailYieldsZeroCountsNullAggs) {
+  catalog_.PutTable("Empty", MakeTable({"R.k", "R.t", "R.v"}, {}));
+  std::vector<GmdjCondition> conds;
+  GmdjCondition c;
+  c.theta = Eq(Col("B.k"), Col("R.k"));
+  c.aggs.push_back(CountStar("cnt"));
+  c.aggs.push_back(SumOf(Col("R.v"), "s"));
+  conds.push_back(std::move(c));
+  GmdjNode node(Scan("B"), std::make_unique<TableScanNode>("Empty"),
+                std::move(conds));
+  const Table out = RunPlan(&node, catalog_);
+  ASSERT_EQ(out.num_rows(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(out.row(i)[3].int64(), 0);
+    EXPECT_TRUE(out.row(i)[4].is_null());
+  }
+}
+
+TEST_F(GmdjNodeTest, EmptyBaseYieldsEmptyOutput) {
+  catalog_.PutTable("EmptyB", MakeTable({"B.k", "B.lo", "B.hi"}, {}));
+  std::vector<GmdjCondition> conds;
+  conds.push_back(CountCond(Eq(Col("B.k"), Col("R.k")), "cnt"));
+  GmdjNode node(std::make_unique<TableScanNode>("EmptyB"), Scan("R"),
+                std::move(conds));
+  EXPECT_EQ(RunPlan(&node, catalog_).num_rows(), 0u);
+}
+
+TEST_F(GmdjNodeTest, OutputBoundedByBaseSize) {
+  // |output| == |B| regardless of join multiplicity — the GMDJ property
+  // the paper's efficiency argument rests on.
+  std::vector<GmdjCondition> conds;
+  conds.push_back(CountCond(nullptr, "cnt"));
+  GmdjNode node(Scan("B"), Scan("R"), std::move(conds));
+  EXPECT_EQ(RunPlan(&node, catalog_).num_rows(), 4u);
+}
+
+TEST_F(GmdjNodeTest, SharedHashIndexAcrossConditions) {
+  // Two conditions with the same equality binding share one hash index;
+  // results must still be independent.
+  std::vector<GmdjCondition> conds;
+  conds.push_back(CountCond(Eq(Col("B.k"), Col("R.k")), "c1"));
+  conds.push_back(CountCond(
+      And(Eq(Col("B.k"), Col("R.k")), Gt(Col("R.v"), Lit(150))), "c2"));
+  const Table out = RunBoth(std::move(conds));
+  Table expected = MakeTable({"k", "lo", "hi", "c1", "c2"},
+                             {{1, 0, 10, 2, 1},
+                              {2, 10, 20, 2, 2},
+                              {3, 5, 15, 1, 1},
+                              {Value::Null(), 0, 100, 0, 0}});
+  EXPECT_TRUE(SameRows(out, expected));
+}
+
+TEST_F(GmdjNodeTest, DetailOnlyPrefilterCorrect) {
+  ExecStats stats;
+  std::vector<GmdjCondition> conds;
+  conds.push_back(CountCond(
+      And(Eq(Col("B.k"), Col("R.k")), Gt(Col("R.v"), Lit(250))), "cnt"));
+  const Table out = RunBoth(std::move(conds), &stats);
+  Table expected = MakeTable({"k", "lo", "hi", "cnt"},
+                             {{1, 0, 10, 0},
+                              {2, 10, 20, 2},
+                              {3, 5, 15, 1},
+                              {Value::Null(), 0, 100, 0}});
+  EXPECT_TRUE(SameRows(out, expected));
+}
+
+TEST_F(GmdjNodeTest, SingleDetailScanStats) {
+  ExecStats stats;
+  std::vector<GmdjCondition> conds;
+  conds.push_back(CountCond(Eq(Col("B.k"), Col("R.k")), "c1"));
+  conds.push_back(CountCond(Ne(Col("B.k"), Col("R.k")), "c2"));
+  RunBoth(std::move(conds), &stats);
+  // One GMDJ consuming base + detail exactly once despite two conditions.
+  EXPECT_EQ(stats.gmdj_ops, 1u);
+  EXPECT_EQ(stats.table_scans, 2u);
+  EXPECT_EQ(stats.rows_scanned, 10u);
+}
+
+// Randomized differential test: kAuto must equal kNaive on arbitrary
+// mixed-strategy conditions and data with NULLs.
+TEST_F(GmdjNodeTest, RandomizedAutoMatchesNaive) {
+  Rng rng(99);
+  for (int round = 0; round < 8; ++round) {
+    Table base = MakeTable({"B.k", "B.lo", "B.hi"}, {});
+    const int nb = 1 + static_cast<int>(rng.Uniform(0, 30));
+    for (int i = 0; i < nb; ++i) {
+      const int64_t lo = rng.Uniform(0, 50);
+      base.AppendRow({rng.Chance(0.1) ? Value::Null()
+                                      : Value(rng.Uniform(0, 8)),
+                      lo, lo + rng.Uniform(0, 30)});
+    }
+    Table detail = MakeTable({"R.k", "R.t", "R.v"}, {});
+    const int nr = static_cast<int>(rng.Uniform(0, 60));
+    for (int i = 0; i < nr; ++i) {
+      detail.AppendRow({rng.Chance(0.1) ? Value::Null()
+                                        : Value(rng.Uniform(0, 8)),
+                        rng.Chance(0.1) ? Value::Null()
+                                        : Value(rng.Uniform(0, 80)),
+                        rng.Uniform(0, 1000)});
+    }
+    catalog_.PutTable("B", base);
+    catalog_.PutTable("R", detail);
+
+    std::vector<GmdjCondition> conds;
+    conds.push_back(CountCond(Eq(Col("B.k"), Col("R.k")), "c1"));
+    GmdjCondition c2;
+    c2.theta = And(Ge(Col("R.t"), Col("B.lo")), Lt(Col("R.t"), Col("B.hi")));
+    c2.aggs.push_back(SumOf(Col("R.v"), "s2"));
+    c2.aggs.push_back(MaxOf(Col("R.t"), "m2"));
+    conds.push_back(std::move(c2));
+    conds.push_back(CountCond(Ne(Col("B.k"), Col("R.k")), "c3"));
+    RunBoth(std::move(conds));  // Asserts naive == auto internally.
+  }
+}
+
+}  // namespace
+}  // namespace gmdj

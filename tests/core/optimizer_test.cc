@@ -1,0 +1,208 @@
+// The standalone Section 4 plan-rewrite pass: coalescing and completion
+// derivation applied to already-built plans.
+
+#include "core/optimizer.h"
+
+#include "core/translate.h"
+#include "engine/olap_engine.h"
+#include "exec/nodes.h"
+#include "expr/expr_builder.h"
+#include "gtest/gtest.h"
+#include "nested/nested_builder.h"
+#include "test_util.h"
+
+namespace gmdj {
+namespace {
+
+using testutil::MakeTable;
+using testutil::RunPlan;
+using testutil::SameRows;
+
+size_t CountNodes(const PlanNode& plan, const std::string& needle) {
+  size_t n = plan.label().find(needle) != std::string::npos ? 1 : 0;
+  for (const PlanNode* child : plan.children()) {
+    n += CountNodes(*child, needle);
+  }
+  return n;
+}
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    engine_.catalog()->PutTable(
+        "B", MakeTable({"B.k", "B.x"}, {{1, 5}, {2, 50}, {3, 7}, {4, 2}}));
+    engine_.catalog()->PutTable(
+        "R",
+        MakeTable({"R.k", "R.y"},
+                  {{1, 10}, {1, 3}, {2, 10}, {3, 7}, {4, 1}, {9, 0}}));
+    engine_.catalog()->PutTable("S", MakeTable({"S.k"}, {{2}, {3}}));
+  }
+
+  /// Hand-built chain: GMDJ(GMDJ(B, R, cnt1-cond), R, cnt2-cond).
+  PlanPtr TwoGmdjChain(const char* detail2 = "R") {
+    std::vector<GmdjCondition> c1;
+    c1.emplace_back(Eq(Col("B.k"), Col("R.k")), std::vector<AggSpec>{});
+    c1[0].aggs.push_back(CountStar("cnt1"));
+    auto lower = std::make_unique<GmdjNode>(
+        std::make_unique<TableScanNode>("B"),
+        std::make_unique<TableScanNode>("R", "R"), std::move(c1));
+
+    std::vector<GmdjCondition> c2;
+    c2.emplace_back(And(Eq(Col("B.k"), Col("R.k")), Gt(Col("R.y"), Lit(5))),
+                    std::vector<AggSpec>{});
+    c2[0].aggs.push_back(CountStar("cnt2"));
+    return std::make_unique<GmdjNode>(
+        std::move(lower), std::make_unique<TableScanNode>(detail2, "R"),
+        std::move(c2));
+  }
+
+  OlapEngine engine_;
+};
+
+TEST_F(OptimizerTest, CoalescesChainOverSameScan) {
+  PlanPtr plan = TwoGmdjChain();
+  const Table before = RunPlan(plan.get(), *engine_.catalog());
+  plan = OptimizeGmdjPlan(std::move(plan));
+  EXPECT_EQ(CountNodes(*plan, "GMDJ"), 1u);
+  EXPECT_EQ(CountNodes(*plan, "theta2"), 1u);
+  const Table after = RunPlan(plan.get(), *engine_.catalog());
+  EXPECT_TRUE(SameRows(after, before));
+}
+
+TEST_F(OptimizerTest, DoesNotCoalesceDifferentDetails) {
+  PlanPtr plan = TwoGmdjChain("S");
+  plan = OptimizeGmdjPlan(std::move(plan));
+  EXPECT_EQ(CountNodes(*plan, "GMDJ"), 2u);
+}
+
+TEST_F(OptimizerTest, DoesNotCoalesceDependentConditions) {
+  // Upper condition references the lower GMDJ's count output: the
+  // conditions are not independent (Prop. 4.1's precondition).
+  std::vector<GmdjCondition> c1;
+  c1.emplace_back(Eq(Col("B.k"), Col("R.k")), std::vector<AggSpec>{});
+  c1[0].aggs.push_back(CountStar("cnt1"));
+  auto lower = std::make_unique<GmdjNode>(
+      std::make_unique<TableScanNode>("B"),
+      std::make_unique<TableScanNode>("R", "R"), std::move(c1));
+  std::vector<GmdjCondition> c2;
+  c2.emplace_back(And(Eq(Col("B.k"), Col("R.k")),
+                      Gt(Col("cnt1"), Lit(int64_t{0}))),
+                  std::vector<AggSpec>{});
+  c2[0].aggs.push_back(CountStar("cnt2"));
+  PlanPtr plan = std::make_unique<GmdjNode>(
+      std::move(lower), std::make_unique<TableScanNode>("R", "R"),
+      std::move(c2));
+
+  const Table before = RunPlan(plan.get(), *engine_.catalog());
+  plan = OptimizeGmdjPlan(std::move(plan));
+  EXPECT_EQ(CountNodes(*plan, "GMDJ"), 2u);
+  EXPECT_TRUE(SameRows(RunPlan(plan.get(), *engine_.catalog()), before));
+}
+
+TEST_F(OptimizerTest, DerivesDiscardFromCntEqZeroFilter) {
+  std::vector<GmdjCondition> conds;
+  conds.emplace_back(Eq(Col("B.k"), Col("R.k")), std::vector<AggSpec>{});
+  conds[0].aggs.push_back(CountStar("cnt"));
+  PlanPtr plan = std::make_unique<FilterNode>(
+      std::make_unique<GmdjNode>(std::make_unique<TableScanNode>("B"),
+                                 std::make_unique<TableScanNode>("R", "R"),
+                                 std::move(conds)),
+      Eq(Col("cnt"), Lit(int64_t{0})));
+  const Table before = RunPlan(plan.get(), *engine_.catalog());
+  plan = OptimizeGmdjPlan(std::move(plan));
+  EXPECT_EQ(CountNodes(*plan, "+completion"), 1u);
+  EXPECT_TRUE(SameRows(RunPlan(plan.get(), *engine_.catalog()), before));
+}
+
+TEST_F(OptimizerTest, DerivesDiscardWithMirroredLiteral) {
+  std::vector<GmdjCondition> conds;
+  conds.emplace_back(Eq(Col("B.k"), Col("R.k")), std::vector<AggSpec>{});
+  conds[0].aggs.push_back(CountStar("cnt"));
+  PlanPtr plan = std::make_unique<FilterNode>(
+      std::make_unique<GmdjNode>(std::make_unique<TableScanNode>("B"),
+                                 std::make_unique<TableScanNode>("R", "R"),
+                                 std::move(conds)),
+      Eq(Lit(int64_t{0}), Col("cnt")));
+  plan = OptimizeGmdjPlan(std::move(plan));
+  EXPECT_EQ(CountNodes(*plan, "+completion"), 1u);
+}
+
+TEST_F(OptimizerTest, NoDiscardForNonCountAggregates) {
+  // cnt here is count(y), which skips NULLs: a θ match need not bump it,
+  // so Theorem 4.2 does not apply and the pass must leave it alone.
+  std::vector<GmdjCondition> conds;
+  conds.emplace_back(Eq(Col("B.k"), Col("R.k")), std::vector<AggSpec>{});
+  conds[0].aggs.push_back(CountOf(Col("R.y"), "cnt"));
+  PlanPtr plan = std::make_unique<FilterNode>(
+      std::make_unique<GmdjNode>(std::make_unique<TableScanNode>("B"),
+                                 std::make_unique<TableScanNode>("R", "R"),
+                                 std::move(conds)),
+      Eq(Col("cnt"), Lit(int64_t{0})));
+  plan = OptimizeGmdjPlan(std::move(plan));
+  EXPECT_EQ(CountNodes(*plan, "+completion"), 0u);
+}
+
+TEST_F(OptimizerTest, DerivesSatisfyUnderProjection) {
+  auto make_plan = [&](bool project_count) {
+    std::vector<GmdjCondition> conds;
+    conds.emplace_back(Eq(Col("B.k"), Col("R.k")), std::vector<AggSpec>{});
+    conds[0].aggs.push_back(CountStar("cnt"));
+    PlanPtr filter = std::make_unique<FilterNode>(
+        std::make_unique<GmdjNode>(std::make_unique<TableScanNode>("B"),
+                                   std::make_unique<TableScanNode>("R", "R"),
+                                   std::move(conds)),
+        Gt(Col("cnt"), Lit(int64_t{0})));
+    std::vector<ProjItem> items;
+    items.emplace_back(Col("B.k"), "k", "B");
+    if (project_count) items.emplace_back(Col("cnt"), "cnt");
+    return PlanPtr(
+        std::make_unique<ProjectNode>(std::move(filter), std::move(items)));
+  };
+
+  PlanPtr dropped = OptimizeGmdjPlan(make_plan(false));
+  EXPECT_EQ(CountNodes(*dropped, "+completion"), 1u);
+
+  // If the projection still reads the count, freezing would corrupt it.
+  PlanPtr kept = OptimizeGmdjPlan(make_plan(true));
+  EXPECT_EQ(CountNodes(*kept, "+completion"), 0u);
+}
+
+TEST_F(OptimizerTest, BasicTranslationPlusOptimizerMatchesOptimized) {
+  // SubqueryToGmdj(Basic) + OptimizeGmdjPlan should reach the same shape
+  // as SubqueryToGmdj(Optimized) for coalescable multi-EXISTS queries.
+  NestedSelect q;
+  q.source = From("B", "B");
+  q.where = AndP(
+      Exists(Sub(From("R", "R1"),
+                 WherePred(Eq(Col("R1.k"), Col("B.k"))))),
+      NotExists(Sub(From("R", "R2"),
+                    WherePred(And(Eq(Col("R2.k"), Col("B.k")),
+                                  Gt(Col("R2.y"), Lit(8)))))));
+
+  Result<PlanPtr> basic =
+      SubqueryToGmdj(q.Clone(), *engine_.catalog(), TranslateOptions::Basic());
+  ASSERT_TRUE(basic.ok());
+  PlanPtr optimized = OptimizeGmdjPlan(std::move(*basic));
+  // Coalesced to one GMDJ; discard + satisfy rules derived.
+  EXPECT_EQ(CountNodes(*optimized, "GMDJ"), 1u);
+  EXPECT_EQ(CountNodes(*optimized, "+completion"), 1u);
+
+  const Table via_pass = RunPlan(optimized.get(), *engine_.catalog());
+  const Result<Table> direct = engine_.Execute(q, Strategy::kGmdjOptimized);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_TRUE(SameRows(via_pass, *direct));
+  const Result<Table> native = engine_.Execute(q, Strategy::kNativeNaive);
+  ASSERT_TRUE(native.ok());
+  EXPECT_TRUE(SameRows(via_pass, *native));
+}
+
+TEST_F(OptimizerTest, UntouchedPlansPassThrough) {
+  PlanPtr plan = std::make_unique<DistinctNode>(
+      std::make_unique<TableScanNode>("B"));
+  const Table before = RunPlan(plan.get(), *engine_.catalog());
+  plan = OptimizeGmdjPlan(std::move(plan));
+  EXPECT_TRUE(SameRows(RunPlan(plan.get(), *engine_.catalog()), before));
+}
+
+}  // namespace
+}  // namespace gmdj

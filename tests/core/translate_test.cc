@@ -1,0 +1,217 @@
+// Structural tests of Algorithm SubqueryToGMDJ: the shape of emitted
+// plans (counts of GMDJs, joins, filters), not just their results.
+
+#include "core/translate.h"
+
+#include "engine/olap_engine.h"
+#include "expr/expr_builder.h"
+#include "gtest/gtest.h"
+#include "nested/nested_builder.h"
+#include "test_util.h"
+
+namespace gmdj {
+namespace {
+
+using testutil::MakeTable;
+using testutil::SameRows;
+
+// Counts plan nodes whose label contains `needle`.
+size_t CountNodes(const PlanNode& plan, const std::string& needle) {
+  size_t n = plan.label().find(needle) != std::string::npos ? 1 : 0;
+  for (const PlanNode* child : plan.children()) {
+    n += CountNodes(*child, needle);
+  }
+  return n;
+}
+
+class TranslateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    engine_.catalog()->PutTable(
+        "B", MakeTable({"B.k", "B.x"}, {{1, 5}, {2, 50}, {3, 7}}));
+    engine_.catalog()->PutTable(
+        "R", MakeTable({"R.k", "R.y"}, {{1, 10}, {2, 10}, {3, 7}}));
+    engine_.catalog()->PutTable(
+        "S", MakeTable({"S.k", "S.z"}, {{1, 1}, {9, 9}}));
+  }
+
+  PlanPtr Translate(const NestedSelect& q, TranslateOptions options) {
+    Result<PlanPtr> plan =
+        SubqueryToGmdj(q.Clone(), *engine_.catalog(), options);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    PlanPtr out = std::move(*plan);
+    EXPECT_TRUE(out->Prepare(*engine_.catalog()).ok());
+    return out;
+  }
+
+  OlapEngine engine_;
+};
+
+TEST_F(TranslateTest, NoSubqueriesIsPlainFilter) {
+  NestedSelect q;
+  q.source = From("B", "B");
+  q.where = WherePred(Gt(Col("B.x"), Lit(6)));
+  PlanPtr plan = Translate(q, TranslateOptions::Basic());
+  EXPECT_EQ(CountNodes(*plan, "GMDJ"), 0u);
+  EXPECT_EQ(CountNodes(*plan, "Filter"), 1u);
+  // No synthetic columns -> no restoring projection.
+  EXPECT_EQ(CountNodes(*plan, "Project"), 0u);
+}
+
+TEST_F(TranslateTest, NoWhereIsBareScan) {
+  NestedSelect q;
+  q.source = From("B", "B");
+  PlanPtr plan = Translate(q, TranslateOptions::Basic());
+  EXPECT_EQ(CountNodes(*plan, "GMDJ"), 0u);
+  EXPECT_EQ(CountNodes(*plan, "Filter"), 0u);
+}
+
+TEST_F(TranslateTest, SingleExistsOneGmdj) {
+  NestedSelect q;
+  q.source = From("B", "B");
+  q.where = Exists(Sub(From("R", "R"),
+                       WherePred(Eq(Col("R.k"), Col("B.k")))));
+  PlanPtr plan = Translate(q, TranslateOptions::Basic());
+  EXPECT_EQ(CountNodes(*plan, "GMDJ"), 1u);
+  EXPECT_EQ(CountNodes(*plan, "Filter"), 1u);
+  EXPECT_EQ(CountNodes(*plan, "Project"), 1u);  // Drops the count column.
+  EXPECT_EQ(CountNodes(*plan, "Join"), 0u);     // Never a join here.
+}
+
+TEST_F(TranslateTest, ThreeSubqueriesWithoutCoalescingThreeGmdjs) {
+  NestedSelect q;
+  q.source = From("B", "B");
+  PredPtr w = Exists(Sub(From("R", "R1"),
+                         WherePred(Eq(Col("R1.k"), Col("B.k")))));
+  w = AndP(std::move(w),
+           NotExists(Sub(From("R", "R2"),
+                         WherePred(And(Eq(Col("R2.k"), Col("B.k")),
+                                       Gt(Col("R2.y"), Lit(9)))))));
+  w = AndP(std::move(w), Exists(Sub(From("S", "S"),
+                                    WherePred(Eq(Col("S.k"), Col("B.k"))))));
+  q.where = std::move(w);
+
+  PlanPtr basic = Translate(q, TranslateOptions::Basic());
+  EXPECT_EQ(CountNodes(*basic, "GMDJ"), 3u);
+
+  // Coalescing merges the two R-subqueries into one GMDJ; S stays apart.
+  TranslateOptions coalesced = TranslateOptions::Basic();
+  coalesced.coalesce = true;
+  PlanPtr opt = Translate(q, coalesced);
+  EXPECT_EQ(CountNodes(*opt, "GMDJ"), 2u);
+
+  // Both shapes compute the same rows.
+  const Result<Table> a = engine_.Execute(q, Strategy::kGmdj);
+  const Result<Table> b = engine_.Execute(q, Strategy::kGmdjOptimized);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(SameRows(*a, *b));
+}
+
+TEST_F(TranslateTest, AllQuantifierEmitsTwoConditionsOneGmdj) {
+  NestedSelect q;
+  q.source = From("B", "B");
+  q.where = AllSub(Col("B.x"), CompareOp::kNe,
+                   SubSelect(From("R", "R"), Col("R.y"),
+                             WherePred(Eq(Col("R.k"), Col("B.k")))));
+  PlanPtr plan = Translate(q, TranslateOptions::Basic());
+  EXPECT_EQ(CountNodes(*plan, "GMDJ"), 1u);
+  // Both counts live in the same operator: label mentions theta2.
+  EXPECT_EQ(CountNodes(*plan, "theta2"), 1u);
+}
+
+TEST_F(TranslateTest, LinearNestingChainsGmdjsThroughDetail) {
+  // B with EXISTS(R with EXISTS(S correlated to R)): Theorem 3.2 —
+  // inner GMDJ over R becomes the detail of the outer GMDJ; no joins.
+  NestedSelect q;
+  q.source = From("B", "B");
+  q.where = Exists(Sub(
+      From("R", "R"),
+      AndP(WherePred(Eq(Col("R.k"), Col("B.k"))),
+           Exists(Sub(From("S", "S"),
+                      WherePred(Eq(Col("S.k"), Col("R.k"))))))));
+  PlanPtr plan = Translate(q, TranslateOptions::Basic());
+  EXPECT_EQ(CountNodes(*plan, "GMDJ"), 2u);
+  EXPECT_EQ(CountNodes(*plan, "Join"), 0u);
+  // Exactly one Filter (the top selection): the inner block's rewritten
+  // predicate lives in the outer GMDJ's theta, not in a filter.
+  EXPECT_EQ(CountNodes(*plan, "Filter"), 1u);
+}
+
+TEST_F(TranslateTest, NonNeighboringAddsExactlyOneJoin) {
+  // B with NOT EXISTS(R with NOT EXISTS(S correlated to B)): S's predicate
+  // skips the R level -> Theorem 3.3/3.4 push-down with a row-id join.
+  NestedSelect q;
+  q.source = From("B", "B");
+  q.where = NotExists(Sub(
+      From("R", "R"),
+      AndP(WherePred(Eq(Col("R.k"), Col("B.k"))),
+           NotExists(Sub(From("S", "S"),
+                         WherePred(Eq(Col("S.z"), Col("B.x"))))))));
+  PlanPtr plan = Translate(q, TranslateOptions::Basic());
+  EXPECT_EQ(CountNodes(*plan, "Join"), 1u);
+  EXPECT_EQ(CountNodes(*plan, "AttachRowId"), 2u);  // Factory used twice.
+  EXPECT_EQ(CountNodes(*plan, "GMDJ"), 2u);
+}
+
+TEST_F(TranslateTest, DisjunctiveSubqueriesStillTranslate) {
+  // Counting handles OR-combined subquery predicates (joins cannot).
+  NestedSelect q;
+  q.source = From("B", "B");
+  q.where = OrP(Exists(Sub(From("R", "R"),
+                           WherePred(And(Eq(Col("R.k"), Col("B.k")),
+                                         Gt(Col("R.y"), Lit(9)))))),
+                Exists(Sub(From("S", "S"),
+                           WherePred(Eq(Col("S.k"), Col("B.k"))))));
+  PlanPtr plan = Translate(q, TranslateOptions::Basic());
+  EXPECT_EQ(CountNodes(*plan, "GMDJ"), 2u);
+  const Result<Table> out = engine_.Execute(q, Strategy::kGmdj);
+  ASSERT_TRUE(out.ok());
+  const Result<Table> native = engine_.Execute(q, Strategy::kNativeNaive);
+  ASSERT_TRUE(native.ok());
+  EXPECT_TRUE(SameRows(*out, *native));
+}
+
+TEST_F(TranslateTest, NegationWithoutNormalizationRejected) {
+  NestedSelect q;
+  q.source = From("B", "B");
+  q.where = NotP(Exists(Sub(From("R", "R"), nullptr)));
+  TranslateOptions options = TranslateOptions::Basic();
+  options.normalize = false;
+  const Result<PlanPtr> plan =
+      SubqueryToGmdj(q.Clone(), *engine_.catalog(), options);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(TranslateTest, OutputSchemaRestoresBaseColumns) {
+  NestedSelect q;
+  q.source = From("B", "B");
+  q.where = Exists(Sub(From("R", "R"),
+                       WherePred(Eq(Col("R.k"), Col("B.k")))));
+  PlanPtr plan = Translate(q, TranslateOptions::Basic());
+  const Schema& schema = plan->output_schema();
+  ASSERT_EQ(schema.num_fields(), 2u);
+  EXPECT_EQ(schema.field(0).QualifiedName(), "B.k");
+  EXPECT_EQ(schema.field(1).QualifiedName(), "B.x");
+}
+
+TEST_F(TranslateTest, CompletionSpecAttachedOnlyWhenConjunctive) {
+  NestedSelect conjunctive;
+  conjunctive.source = From("B", "B");
+  conjunctive.where = NotExists(Sub(From("R", "R"),
+                                    WherePred(Eq(Col("R.k"), Col("B.k")))));
+  PlanPtr plan = Translate(conjunctive, TranslateOptions::Optimized());
+  EXPECT_EQ(CountNodes(*plan, "+completion"), 1u);
+
+  NestedSelect disjunctive;
+  disjunctive.source = From("B", "B");
+  disjunctive.where =
+      OrP(NotExists(Sub(From("R", "R"),
+                        WherePred(Eq(Col("R.k"), Col("B.k"))))),
+          WherePred(Gt(Col("B.x"), Lit(100))));
+  PlanPtr plan2 = Translate(disjunctive, TranslateOptions::Optimized());
+  EXPECT_EQ(CountNodes(*plan2, "+completion"), 0u);
+}
+
+}  // namespace
+}  // namespace gmdj

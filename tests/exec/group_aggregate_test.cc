@@ -1,0 +1,121 @@
+#include "exec/group_aggregate.h"
+
+#include "exec/nodes.h"
+#include "expr/expr_builder.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace gmdj {
+namespace {
+
+using testutil::MakeTable;
+using testutil::RunPlan;
+using testutil::SameRows;
+
+class GroupAggregateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_.PutTable("t", MakeTable({"g:s", "v"},
+                                     {{"a", 1},
+                                      {"b", 10},
+                                      {"a", 2},
+                                      {"b", Value::Null()},
+                                      {Value::Null(), 5},
+                                      {Value::Null(), 7}}));
+  }
+
+  std::vector<GroupItem> ByG() {
+    std::vector<GroupItem> out;
+    out.emplace_back(Col("g"), "g");
+    return out;
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(GroupAggregateTest, GroupedCountsAndSums) {
+  std::vector<AggSpec> aggs;
+  aggs.push_back(CountStar("cnt"));
+  aggs.push_back(CountOf(Col("v"), "cnt_v"));
+  aggs.push_back(SumOf(Col("v"), "sum_v"));
+  GroupAggregateNode node(std::make_unique<TableScanNode>("t"), ByG(),
+                          std::move(aggs));
+  const Table out = RunPlan(&node, catalog_);
+  // NULL group keys form one group (SQL GROUP BY).
+  EXPECT_TRUE(SameRows(out, MakeTable({"g:s", "cnt", "cnt_v", "sum_v"},
+                                      {{"a", 2, 2, 3},
+                                       {"b", 2, 1, 10},
+                                       {Value::Null(), 2, 2, 12}})));
+}
+
+TEST_F(GroupAggregateTest, MinMaxAvg) {
+  std::vector<AggSpec> aggs;
+  aggs.push_back(MinOf(Col("v"), "mn"));
+  aggs.push_back(MaxOf(Col("v"), "mx"));
+  aggs.push_back(AvgOf(Col("v"), "av"));
+  GroupAggregateNode node(std::make_unique<TableScanNode>("t"), ByG(),
+                          std::move(aggs));
+  const Table out = RunPlan(&node, catalog_);
+  EXPECT_TRUE(SameRows(out, MakeTable({"g:s", "mn", "mx", "av:d"},
+                                      {{"a", 1, 2, 1.5},
+                                       {"b", 10, 10, 10.0},
+                                       {Value::Null(), 5, 7, 6.0}})));
+}
+
+TEST_F(GroupAggregateTest, ScalarAggregateAlwaysOneRow) {
+  std::vector<AggSpec> aggs;
+  aggs.push_back(CountStar("cnt"));
+  aggs.push_back(SumOf(Col("v"), "s"));
+  GroupAggregateNode node(std::make_unique<TableScanNode>("t"), {},
+                          std::move(aggs));
+  const Table out = RunPlan(&node, catalog_);
+  EXPECT_TRUE(SameRows(out, MakeTable({"cnt", "s"}, {{6, 25}})));
+}
+
+TEST_F(GroupAggregateTest, ScalarAggregateOfEmptyInput) {
+  catalog_.PutTable("empty", MakeTable({"g:s", "v"}, {}));
+  std::vector<AggSpec> aggs;
+  aggs.push_back(CountStar("cnt"));
+  aggs.push_back(SumOf(Col("v"), "s"));
+  aggs.push_back(MinOf(Col("v"), "mn"));
+  GroupAggregateNode node(std::make_unique<TableScanNode>("empty"), {},
+                          std::move(aggs));
+  const Table out = RunPlan(&node, catalog_);
+  // COUNT of nothing is 0; SUM/MIN of nothing are NULL.
+  EXPECT_TRUE(SameRows(out, MakeTable({"cnt", "s", "mn"},
+                                      {{0, Value::Null(), Value::Null()}})));
+}
+
+TEST_F(GroupAggregateTest, GroupedAggregateOfEmptyInputIsEmpty) {
+  catalog_.PutTable("empty", MakeTable({"g:s", "v"}, {}));
+  std::vector<AggSpec> aggs;
+  aggs.push_back(CountStar("cnt"));
+  GroupAggregateNode node(std::make_unique<TableScanNode>("empty"), ByG(),
+                          std::move(aggs));
+  EXPECT_EQ(RunPlan(&node, catalog_).num_rows(), 0u);
+}
+
+TEST_F(GroupAggregateTest, GroupByExpression) {
+  std::vector<GroupItem> groups;
+  groups.emplace_back(IsNotNull(Col("g")), "has_g");
+  std::vector<AggSpec> aggs;
+  aggs.push_back(CountStar("cnt"));
+  GroupAggregateNode node(std::make_unique<TableScanNode>("t"),
+                          std::move(groups), std::move(aggs));
+  const Table out = RunPlan(&node, catalog_);
+  EXPECT_TRUE(SameRows(out, MakeTable({"has_g", "cnt"}, {{1, 4}, {0, 2}})));
+}
+
+TEST_F(GroupAggregateTest, OutputSchemaNamesAndTypes) {
+  std::vector<AggSpec> aggs;
+  aggs.push_back(AvgOf(Col("v"), "av"));
+  GroupAggregateNode node(std::make_unique<TableScanNode>("t"), ByG(),
+                          std::move(aggs));
+  ASSERT_TRUE(node.Prepare(catalog_).ok());
+  EXPECT_EQ(node.output_schema().field(0).name, "g");
+  EXPECT_EQ(node.output_schema().field(1).name, "av");
+  EXPECT_EQ(node.output_schema().field(1).type, ValueType::kDouble);
+}
+
+}  // namespace
+}  // namespace gmdj

@@ -1,0 +1,156 @@
+#include "exec/join.h"
+
+#include "exec/nodes.h"
+#include "expr/expr_builder.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace gmdj {
+namespace {
+
+using testutil::MakeTable;
+using testutil::RunPlan;
+using testutil::SameRows;
+
+class JoinTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_.PutTable("L", MakeTable({"L.k", "L.v:s"},
+                                     {{1, "a"}, {2, "b"}, {3, "c"},
+                                      {Value::Null(), "n"}}));
+    catalog_.PutTable("R", MakeTable({"R.k", "R.w"},
+                                     {{1, 10}, {1, 11}, {3, 30},
+                                      {Value::Null(), 99}, {4, 40}}));
+  }
+
+  PlanPtr Scan(const char* name) {
+    return std::make_unique<TableScanNode>(name);
+  }
+
+  std::vector<JoinKey> KeyOnK() {
+    std::vector<JoinKey> keys;
+    keys.emplace_back(Col("L.k"), Col("R.k"));
+    return keys;
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(JoinTest, HashInnerJoin) {
+  HashJoinNode join(Scan("L"), Scan("R"), JoinKind::kInner, KeyOnK());
+  const Table out = RunPlan(&join, catalog_);
+  EXPECT_TRUE(SameRows(out, MakeTable({"k", "v:s", "k2", "w"},
+                                      {{1, "a", 1, 10},
+                                       {1, "a", 1, 11},
+                                       {3, "c", 3, 30}})));
+}
+
+TEST_F(JoinTest, HashLeftOuterJoinPadsNulls) {
+  HashJoinNode join(Scan("L"), Scan("R"), JoinKind::kLeftOuter, KeyOnK());
+  const Table out = RunPlan(&join, catalog_);
+  EXPECT_TRUE(SameRows(
+      out,
+      MakeTable({"k", "v:s", "k2", "w"},
+                {{1, "a", 1, 10},
+                 {1, "a", 1, 11},
+                 {2, "b", Value::Null(), Value::Null()},
+                 {3, "c", 3, 30},
+                 {Value::Null(), "n", Value::Null(), Value::Null()}})));
+}
+
+TEST_F(JoinTest, HashSemiAndAntiArePartition) {
+  HashJoinNode semi(Scan("L"), Scan("R"), JoinKind::kSemi, KeyOnK());
+  const Table semi_out = RunPlan(&semi, catalog_);
+  EXPECT_TRUE(SameRows(semi_out,
+                       MakeTable({"k", "v:s"}, {{1, "a"}, {3, "c"}})));
+
+  HashJoinNode anti(Scan("L"), Scan("R"), JoinKind::kAnti, KeyOnK());
+  const Table anti_out = RunPlan(&anti, catalog_);
+  // NULL key never matches -> kept by anti join.
+  EXPECT_TRUE(SameRows(
+      anti_out,
+      MakeTable({"k", "v:s"}, {{2, "b"}, {Value::Null(), "n"}})));
+}
+
+TEST_F(JoinTest, HashJoinResidualPredicate) {
+  std::vector<JoinKey> keys;
+  keys.emplace_back(Col("L.k"), Col("R.k"));
+  HashJoinNode join(Scan("L"), Scan("R"), JoinKind::kInner, std::move(keys),
+                    Gt(Col("R.w"), Lit(10)));
+  const Table out = RunPlan(&join, catalog_);
+  EXPECT_TRUE(SameRows(out, MakeTable({"k", "v:s", "k2", "w"},
+                                      {{1, "a", 1, 11}, {3, "c", 3, 30}})));
+}
+
+TEST_F(JoinTest, HashJoinExpressionKeys) {
+  // Join on k+1 = w/10: exercises non-column key expressions.
+  std::vector<JoinKey> keys;
+  keys.emplace_back(Mul(Col("L.k"), Lit(10)), Col("R.w"));
+  HashJoinNode join(Scan("L"), Scan("R"), JoinKind::kSemi, std::move(keys));
+  const Table out = RunPlan(&join, catalog_);
+  EXPECT_TRUE(SameRows(out, MakeTable({"k", "v:s"}, {{1, "a"}, {3, "c"}})));
+}
+
+TEST_F(JoinTest, NLInnerJoinNonEqui) {
+  NLJoinNode join(Scan("L"), Scan("R"), JoinKind::kInner,
+                  Gt(Col("L.k"), Col("R.k")));
+  const Table out = RunPlan(&join, catalog_);
+  EXPECT_TRUE(SameRows(out, MakeTable({"k", "v:s", "k2", "w"},
+                                      {{2, "b", 1, 10},
+                                       {2, "b", 1, 11},
+                                       {3, "c", 1, 10},
+                                       {3, "c", 1, 11}})));
+}
+
+TEST_F(JoinTest, NLSemiAntiOuter) {
+  NLJoinNode semi(Scan("L"), Scan("R"), JoinKind::kSemi,
+                  Eq(Col("L.k"), Col("R.k")));
+  EXPECT_TRUE(SameRows(RunPlan(&semi, catalog_),
+                       MakeTable({"k", "v:s"}, {{1, "a"}, {3, "c"}})));
+
+  NLJoinNode anti(Scan("L"), Scan("R"), JoinKind::kAnti,
+                  Eq(Col("L.k"), Col("R.k")));
+  EXPECT_TRUE(SameRows(RunPlan(&anti, catalog_),
+                       MakeTable({"k", "v:s"},
+                                 {{2, "b"}, {Value::Null(), "n"}})));
+
+  NLJoinNode louter(Scan("L"), Scan("R"), JoinKind::kLeftOuter,
+                    Eq(Col("L.k"), Col("R.k")));
+  EXPECT_EQ(RunPlan(&louter, catalog_).num_rows(), 5u);
+}
+
+TEST_F(JoinTest, NLCrossJoinWithNullPredicate) {
+  NLJoinNode cross(Scan("L"), Scan("R"), JoinKind::kInner, nullptr);
+  EXPECT_EQ(RunPlan(&cross, catalog_).num_rows(), 20u);
+}
+
+TEST_F(JoinTest, AntiJoinWithIsNotTrueModelsAllQuantifier) {
+  // L.k <> ALL (R.k): keep L rows where no R row has k equal... i.e. the
+  // NOT IN pattern: the NULL R.k makes the comparison UNKNOWN for every
+  // outer row, so NOTHING qualifies (classic NOT IN + NULL trap).
+  NLJoinNode anti(Scan("L"), Scan("R"), JoinKind::kAnti,
+                  IsNotTrue(Ne(Col("L.k"), Col("R.k"))));
+  const Table out = RunPlan(&anti, catalog_);
+  EXPECT_EQ(out.num_rows(), 0u);
+}
+
+TEST_F(JoinTest, HashAndNLAgreeOnEquiJoins) {
+  for (const JoinKind kind : {JoinKind::kInner, JoinKind::kLeftOuter,
+                              JoinKind::kSemi, JoinKind::kAnti}) {
+    HashJoinNode hash(Scan("L"), Scan("R"), kind, KeyOnK());
+    NLJoinNode nl(Scan("L"), Scan("R"), kind, Eq(Col("L.k"), Col("R.k")));
+    EXPECT_TRUE(SameRows(RunPlan(&hash, catalog_), RunPlan(&nl, catalog_)))
+        << "kind=" << JoinKindToString(kind);
+  }
+}
+
+TEST_F(JoinTest, JoinStatsCounted) {
+  ExecStats stats;
+  HashJoinNode join(Scan("L"), Scan("R"), JoinKind::kInner, KeyOnK());
+  RunPlan(&join, catalog_, &stats);
+  EXPECT_EQ(stats.joins, 1u);
+  EXPECT_GT(stats.hash_probes, 0u);
+}
+
+}  // namespace
+}  // namespace gmdj

@@ -1,0 +1,165 @@
+#include "exec/nodes.h"
+
+#include "expr/expr_builder.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace gmdj {
+namespace {
+
+using testutil::MakeTable;
+using testutil::RunPlan;
+using testutil::SameRows;
+
+class NodesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_.PutTable(
+        "t", MakeTable({"a", "b:s"},
+                       {{1, "x"}, {2, "y"}, {3, "x"}, {Value::Null(), "z"}}));
+  }
+  Catalog catalog_;
+};
+
+TEST_F(NodesTest, TableScanWithAlias) {
+  TableScanNode scan("t", "T");
+  const Table out = RunPlan(&scan, catalog_);
+  EXPECT_EQ(out.num_rows(), 4u);
+  EXPECT_EQ(out.schema().field(0).QualifiedName(), "T.a");
+}
+
+TEST_F(NodesTest, TableScanMissingTable) {
+  TableScanNode scan("nope");
+  EXPECT_EQ(scan.Prepare(catalog_).code(), StatusCode::kNotFound);
+}
+
+TEST_F(NodesTest, ValuesNodeEmits) {
+  ValuesNode values(MakeTable({"v"}, {{10}, {20}}));
+  const Table out = RunPlan(&values, catalog_);
+  EXPECT_EQ(out.num_rows(), 2u);
+}
+
+TEST_F(NodesTest, FilterAppliesTruncation) {
+  // NULL comparison is UNKNOWN and must be dropped like FALSE.
+  auto plan = std::make_unique<FilterNode>(
+      std::make_unique<TableScanNode>("t"), Ge(Col("a"), Lit(2)));
+  const Table out = RunPlan(plan.get(), catalog_);
+  EXPECT_TRUE(SameRows(out, MakeTable({"a", "b:s"}, {{2, "y"}, {3, "x"}})));
+}
+
+TEST_F(NodesTest, ProjectComputesExpressions) {
+  std::vector<ProjItem> items;
+  items.emplace_back(Mul(Col("a"), Lit(10)), "a10");
+  items.emplace_back(Col("b"), "b", "Q");
+  auto plan = std::make_unique<ProjectNode>(
+      std::make_unique<TableScanNode>("t"), std::move(items));
+  const Table out = RunPlan(plan.get(), catalog_);
+  EXPECT_EQ(out.schema().field(1).QualifiedName(), "Q.b");
+  EXPECT_TRUE(SameRows(out, MakeTable({"a10", "b:s"},
+                                      {{10, "x"},
+                                       {20, "y"},
+                                       {30, "x"},
+                                       {Value::Null(), "z"}})));
+}
+
+TEST_F(NodesTest, DistinctTreatsNullsEqual) {
+  catalog_.PutTable("d", MakeTable({"x"}, {{1}, {1}, {Value::Null()},
+                                           {Value::Null()}, {2}}));
+  auto plan =
+      std::make_unique<DistinctNode>(std::make_unique<TableScanNode>("d"));
+  const Table out = RunPlan(plan.get(), catalog_);
+  EXPECT_TRUE(
+      SameRows(out, MakeTable({"x"}, {{1}, {2}, {Value::Null()}})));
+}
+
+TEST_F(NodesTest, UnionAll) {
+  auto plan = std::make_unique<UnionAllNode>(
+      std::make_unique<ValuesNode>(MakeTable({"x"}, {{1}, {2}})),
+      std::make_unique<ValuesNode>(MakeTable({"x"}, {{2}, {3}})));
+  const Table out = RunPlan(plan.get(), catalog_);
+  EXPECT_TRUE(SameRows(out, MakeTable({"x"}, {{1}, {2}, {2}, {3}})));
+}
+
+TEST_F(NodesTest, UnionAllWidthMismatch) {
+  UnionAllNode plan(
+      std::make_unique<ValuesNode>(MakeTable({"x"}, {})),
+      std::make_unique<ValuesNode>(MakeTable({"x", "y"}, {})));
+  EXPECT_FALSE(plan.Prepare(catalog_).ok());
+}
+
+TEST_F(NodesTest, ExceptIsSetDifferenceWithDistinct) {
+  auto plan = std::make_unique<ExceptNode>(
+      std::make_unique<ValuesNode>(MakeTable({"x"}, {{1}, {1}, {2}, {3}})),
+      std::make_unique<ValuesNode>(MakeTable({"x"}, {{2}})));
+  const Table out = RunPlan(plan.get(), catalog_);
+  EXPECT_TRUE(SameRows(out, MakeTable({"x"}, {{1}, {3}})));
+}
+
+TEST_F(NodesTest, SortOrdersNullsFirst) {
+  auto plan = std::make_unique<SortNode>(
+      std::make_unique<TableScanNode>("t"), std::vector<std::string>{"a"});
+  const Table out = RunPlan(plan.get(), catalog_);
+  EXPECT_TRUE(out.row(0)[0].is_null());
+  EXPECT_EQ(out.row(1)[0].int64(), 1);
+  EXPECT_EQ(out.row(3)[0].int64(), 3);
+}
+
+TEST_F(NodesTest, SortUnknownColumnFails) {
+  SortNode plan(std::make_unique<TableScanNode>("t"),
+                std::vector<std::string>{"zzz"});
+  EXPECT_FALSE(plan.Prepare(catalog_).ok());
+}
+
+TEST_F(NodesTest, AttachRowIdNumbersRows) {
+  auto plan = std::make_unique<AttachRowIdNode>(
+      std::make_unique<TableScanNode>("t"), "__rid");
+  const Table out = RunPlan(plan.get(), catalog_);
+  ASSERT_EQ(out.num_columns(), 3u);
+  EXPECT_EQ(out.schema().field(2).name, "__rid");
+  for (size_t i = 0; i < out.num_rows(); ++i) {
+    EXPECT_EQ(out.row(i)[2].int64(), static_cast<int64_t>(i));
+  }
+}
+
+TEST_F(NodesTest, AssertPassesAndFails) {
+  {
+    auto plan = std::make_unique<AssertNode>(
+        std::make_unique<TableScanNode>("t"),
+        IsNotNull(Col("b")), "b must not be null");
+    const Table out = RunPlan(plan.get(), catalog_);
+    EXPECT_EQ(out.num_rows(), 4u);
+  }
+  {
+    AssertNode plan(std::make_unique<TableScanNode>("t"),
+                    IsNotNull(Col("a")), "a must not be null");
+    ASSERT_TRUE(plan.Prepare(catalog_).ok());
+    ExecContext ctx(&catalog_);
+    const auto result = plan.Execute(&ctx);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kRuntimeError);
+    EXPECT_EQ(result.status().message(), "a must not be null");
+  }
+}
+
+TEST_F(NodesTest, StatsAccumulate) {
+  ExecStats stats;
+  auto plan = std::make_unique<FilterNode>(
+      std::make_unique<TableScanNode>("t"), Ge(Col("a"), Lit(0)));
+  RunPlan(plan.get(), catalog_, &stats);
+  EXPECT_EQ(stats.table_scans, 1u);
+  EXPECT_EQ(stats.rows_scanned, 4u);
+  EXPECT_EQ(stats.predicate_evals, 4u);
+  EXPECT_EQ(stats.rows_output, 3u);
+}
+
+TEST_F(NodesTest, PlanToStringNests) {
+  auto plan = std::make_unique<FilterNode>(
+      std::make_unique<TableScanNode>("t", "T"), Ge(Col("a"), Lit(0)));
+  ASSERT_TRUE(plan->Prepare(catalog_).ok());
+  const std::string s = plan->ToString();
+  EXPECT_NE(s.find("Filter[(a >= 0)]"), std::string::npos);
+  EXPECT_NE(s.find("  TableScan(t -> T)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gmdj

@@ -1,0 +1,131 @@
+#include "exec/sort_merge_join.h"
+
+#include "common/rng.h"
+#include "exec/nodes.h"
+#include "expr/expr_builder.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace gmdj {
+namespace {
+
+using testutil::MakeTable;
+using testutil::RunPlan;
+using testutil::SameRows;
+
+class SortMergeJoinTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_.PutTable("L", MakeTable({"L.k", "L.v:s"},
+                                     {{3, "c"}, {1, "a"}, {2, "b"},
+                                      {Value::Null(), "n"}, {1, "a2"}}));
+    catalog_.PutTable("R", MakeTable({"R.k", "R.w"},
+                                     {{1, 10}, {4, 40}, {1, 11},
+                                      {Value::Null(), 99}, {3, 30}}));
+  }
+
+  PlanPtr Scan(const char* name) {
+    return std::make_unique<TableScanNode>(name);
+  }
+
+  std::vector<JoinKey> KeyOnK() {
+    std::vector<JoinKey> keys;
+    keys.emplace_back(Col("L.k"), Col("R.k"));
+    return keys;
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(SortMergeJoinTest, MatchesHashJoinOnAllKinds) {
+  for (const JoinKind kind : {JoinKind::kInner, JoinKind::kLeftOuter,
+                              JoinKind::kSemi, JoinKind::kAnti}) {
+    SortMergeJoinNode smj(Scan("L"), Scan("R"), kind, KeyOnK());
+    HashJoinNode hash(Scan("L"), Scan("R"), kind, KeyOnK());
+    EXPECT_TRUE(SameRows(RunPlan(&smj, catalog_), RunPlan(&hash, catalog_)))
+        << JoinKindToString(kind);
+  }
+}
+
+TEST_F(SortMergeJoinTest, DuplicateRunsCrossProduct) {
+  // L has two k=1 rows, R has two k=1 rows: 4 inner pairs.
+  SortMergeJoinNode smj(Scan("L"), Scan("R"), JoinKind::kInner, KeyOnK());
+  const Table out = RunPlan(&smj, catalog_);
+  size_t ones = 0;
+  for (const Row& row : out.rows()) {
+    if (row[0].int64() == 1) ++ones;
+  }
+  EXPECT_EQ(ones, 4u);
+}
+
+TEST_F(SortMergeJoinTest, NullKeysNeverMatch) {
+  SortMergeJoinNode anti(Scan("L"), Scan("R"), JoinKind::kAnti, KeyOnK());
+  const Table out = RunPlan(&anti, catalog_);
+  // k=2 (no partner) and the NULL-key row survive the anti join.
+  EXPECT_TRUE(SameRows(
+      out, MakeTable({"k", "v:s"}, {{2, "b"}, {Value::Null(), "n"}})));
+}
+
+TEST_F(SortMergeJoinTest, ResidualPredicate) {
+  SortMergeJoinNode smj(Scan("L"), Scan("R"), JoinKind::kInner, KeyOnK(),
+                        Gt(Col("R.w"), Lit(10)));
+  const Table out = RunPlan(&smj, catalog_);
+  for (const Row& row : out.rows()) {
+    EXPECT_GT(row[3].int64(), 10);
+  }
+  EXPECT_EQ(out.num_rows(), 3u);  // (1,11) x2 left rows + (3,30).
+}
+
+TEST_F(SortMergeJoinTest, EmptyInputs) {
+  catalog_.PutTable("E", MakeTable({"E.k", "E.v"}, {}));
+  {
+    std::vector<JoinKey> keys;
+    keys.emplace_back(Col("L.k"), Col("E.k"));
+    SortMergeJoinNode smj(Scan("L"), Scan("E"), JoinKind::kLeftOuter,
+                          std::move(keys));
+    EXPECT_EQ(RunPlan(&smj, catalog_).num_rows(), 5u);  // All padded.
+  }
+  {
+    std::vector<JoinKey> keys;
+    keys.emplace_back(Col("E.k"), Col("R.k"));
+    SortMergeJoinNode smj(Scan("E"), Scan("R"), JoinKind::kInner,
+                          std::move(keys));
+    EXPECT_EQ(RunPlan(&smj, catalog_).num_rows(), 0u);
+  }
+}
+
+// Randomized differential test against the hash join.
+TEST_F(SortMergeJoinTest, RandomizedMatchesHashJoin) {
+  Rng rng(77);
+  for (int round = 0; round < 6; ++round) {
+    Table l = MakeTable({"L.k", "L.v"}, {});
+    Table r = MakeTable({"R.k", "R.w"}, {});
+    const int nl = static_cast<int>(rng.Uniform(0, 120));
+    const int nr = static_cast<int>(rng.Uniform(0, 120));
+    for (int i = 0; i < nl; ++i) {
+      l.AppendRow({rng.Chance(0.1) ? Value::Null()
+                                   : Value(rng.Uniform(0, 15)),
+                   rng.Uniform(0, 100)});
+    }
+    for (int i = 0; i < nr; ++i) {
+      r.AppendRow({rng.Chance(0.1) ? Value::Null()
+                                   : Value(rng.Uniform(0, 15)),
+                   rng.Uniform(0, 100)});
+    }
+    catalog_.PutTable("L", l);
+    catalog_.PutTable("R", r);
+    for (const JoinKind kind : {JoinKind::kInner, JoinKind::kLeftOuter,
+                                JoinKind::kSemi, JoinKind::kAnti}) {
+      SortMergeJoinNode smj(Scan("L"), Scan("R"), kind, KeyOnK(),
+                            Ne(Col("L.v"), Col("R.w")));
+      HashJoinNode hash(Scan("L"), Scan("R"), kind, KeyOnK(),
+                        Ne(Col("L.v"), Col("R.w")));
+      EXPECT_TRUE(
+          SameRows(RunPlan(&smj, catalog_), RunPlan(&hash, catalog_)))
+          << "round=" << round << " kind=" << JoinKindToString(kind);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gmdj

@@ -1,0 +1,87 @@
+#include "expr/expr_analysis.h"
+
+#include "expr/expr_builder.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace gmdj {
+namespace {
+
+using testutil::MakeTable;
+
+class ExprAnalysisTest : public ::testing::Test {
+ protected:
+  ExprAnalysisTest()
+      : base_(MakeTable({"B.x", "B.lo", "B.hi"}, {})),
+        detail_(MakeTable({"R.y", "R.t", "R.p:s"}, {})) {}
+
+  ExprPtr Bound(ExprPtr e) {
+    const Status s = e->Bind({&base_.schema(), &detail_.schema()});
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return e;
+  }
+
+  Table base_;
+  Table detail_;
+};
+
+TEST_F(ExprAnalysisTest, SplitConjunctsFlattensAndTree) {
+  const ExprPtr e = Bound(And(And(Gt(Col("B.x"), Lit(1)), Lt(Col("R.y"), Lit(2))),
+                              Eq(Col("R.p"), Lit("a"))));
+  const auto conjuncts = SplitConjuncts(*e);
+  ASSERT_EQ(conjuncts.size(), 3u);
+  EXPECT_EQ(conjuncts[0]->kind(), ExprKind::kCompare);
+}
+
+TEST_F(ExprAnalysisTest, SplitConjunctsDoesNotCrossOr) {
+  const ExprPtr e = Bound(Or(Gt(Col("B.x"), Lit(1)), Lt(Col("R.y"), Lit(2))));
+  EXPECT_EQ(SplitConjuncts(*e).size(), 1u);
+}
+
+TEST_F(ExprAnalysisTest, CollectColumnRefs) {
+  const ExprPtr e =
+      Bound(And(Eq(Col("B.x"), Col("R.y")), Gt(Col("R.t"), Lit(0))));
+  std::vector<const ColumnRefExpr*> refs;
+  CollectColumnRefs(*e, &refs);
+  ASSERT_EQ(refs.size(), 3u);
+  EXPECT_EQ(refs[0]->ref(), "B.x");
+  EXPECT_EQ(refs[2]->ref(), "R.t");
+}
+
+TEST_F(ExprAnalysisTest, FramesUsed) {
+  const ExprPtr both = Bound(Eq(Col("B.x"), Col("R.y")));
+  EXPECT_EQ(FramesUsed(*both), (std::set<size_t>{0, 1}));
+  const ExprPtr detail_only = Bound(Gt(Col("R.t"), Lit(0)));
+  EXPECT_EQ(FramesUsed(*detail_only), (std::set<size_t>{1}));
+  const ExprPtr none = Bound(Lit(1));
+  EXPECT_TRUE(FramesUsed(*none).empty());
+}
+
+TEST_F(ExprAnalysisTest, UsesOnlyFramesAndFreeRefs) {
+  const ExprPtr e = Bound(Eq(Col("B.x"), Col("R.y")));
+  EXPECT_TRUE(UsesOnlyFrames(*e, 0, 1));
+  EXPECT_FALSE(UsesOnlyFrames(*e, 1, 1));
+  EXPECT_TRUE(HasFreeReferenceBelow(*e, 1));
+  EXPECT_FALSE(HasFreeReferenceBelow(*e, 0));
+}
+
+TEST_F(ExprAnalysisTest, QualifyColumnRefsRewritesBareNames) {
+  ExprPtr e = And(Eq(Col("x"), Col("y")), Gt(Col("t"), Lit(0)));
+  ASSERT_TRUE(e->Bind({&base_.schema(), &detail_.schema()}).ok());
+  QualifyColumnRefs(e.get(), {&base_.schema(), &detail_.schema()});
+  EXPECT_EQ(e->ToString(), "((B.x = R.y) AND (R.t > 0))");
+}
+
+TEST_F(ExprAnalysisTest, VisitsCoalesceAndIsNotTrue) {
+  ExprPtr e = IsNotTrue(Eq(std::make_unique<CoalesceExpr>(Col("B.x"),
+                                                          Col("R.y")),
+                           Lit(0)));
+  ASSERT_TRUE(e->Bind({&base_.schema(), &detail_.schema()}).ok());
+  std::vector<const ColumnRefExpr*> refs;
+  CollectColumnRefs(*e, &refs);
+  EXPECT_EQ(refs.size(), 2u);
+  EXPECT_EQ(FramesUsed(*e), (std::set<size_t>{0, 1}));
+}
+
+}  // namespace
+}  // namespace gmdj

@@ -1,0 +1,185 @@
+// Targeted NULL / three-valued-logic edge cases from the paper's
+// correctness argument (Theorem 3.1 and footnote 2). Each scenario pins
+// the exact expected rows AND sweeps all strategies.
+
+#include "engine/olap_engine.h"
+#include "expr/expr_builder.h"
+#include "gtest/gtest.h"
+#include "nested/nested_builder.h"
+#include "test_util.h"
+
+namespace gmdj {
+namespace {
+
+using testutil::ExpectAllStrategiesAgree;
+using testutil::MakeTable;
+using testutil::SameRows;
+
+class NullSemanticsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    engine_.catalog()->PutTable(
+        "B", MakeTable({"B.id", "B.x"},
+                       {{1, 10}, {2, Value::Null()}, {3, 0}}));
+  }
+  OlapEngine engine_;
+};
+
+// Footnote 2 of the paper: x >all S is NOT equivalent to x > max(S) when
+// S is empty — ALL is vacuously true, max yields NULL (unknown).
+TEST_F(NullSemanticsTest, AllVersusMaxOnEmptyRange) {
+  engine_.catalog()->PutTable("R", MakeTable({"R.id", "R.y"}, {}));
+
+  NestedSelect all_q;
+  all_q.source = From("B", "B");
+  all_q.where = AllSub(Col("B.x"), CompareOp::kGt,
+                       SubSelect(From("R", "R"), Col("R.y"),
+                                 WherePred(Eq(Col("R.id"), Col("B.id")))));
+  const Table all_result =
+      ExpectAllStrategiesAgree(&engine_, all_q, "all empty");
+  // ALL over the empty range is TRUE for every tuple (even NULL x).
+  EXPECT_EQ(all_result.num_rows(), 3u);
+
+  NestedSelect max_q;
+  max_q.source = From("B", "B");
+  max_q.where = CompareSub(Col("B.x"), CompareOp::kGt,
+                           SubAgg(From("R", "R"), MaxOf(Col("R.y"), "m"),
+                                  WherePred(Eq(Col("R.id"), Col("B.id")))));
+  const Table max_result =
+      ExpectAllStrategiesAgree(&engine_, max_q, "max empty");
+  // max of nothing is NULL -> comparison UNKNOWN -> nothing qualifies.
+  EXPECT_EQ(max_result.num_rows(), 0u);
+}
+
+TEST_F(NullSemanticsTest, NullLhsNeverQualifiesForSome) {
+  engine_.catalog()->PutTable("R", MakeTable({"R.id", "R.y"},
+                                             {{1, 5}, {2, 5}, {3, 5}}));
+  NestedSelect q;
+  q.source = From("B", "B");
+  q.where = SomeSub(Col("B.x"), CompareOp::kGt,
+                    SubSelect(From("R", "R"), Col("R.y"),
+                              WherePred(Eq(Col("R.id"), Col("B.id")))));
+  const Table r = ExpectAllStrategiesAgree(&engine_, q, "null lhs some");
+  // Only id=1 (10 > 5); id=2 has NULL x (unknown), id=3 has 0 > 5 false.
+  EXPECT_TRUE(SameRows(r, MakeTable({"id", "x"}, {{1, 10}})));
+}
+
+TEST_F(NullSemanticsTest, NullInRangeMakesAllUnknownButNotSome) {
+  engine_.catalog()->PutTable(
+      "R", MakeTable({"R.id", "R.y"},
+                     {{1, 5}, {1, Value::Null()}, {3, Value::Null()}}));
+  // x >all {5, NULL}: 10 > 5 true but 10 > NULL unknown -> overall UNKNOWN.
+  NestedSelect all_q;
+  all_q.source = From("B", "B");
+  all_q.where = AllSub(Col("B.x"), CompareOp::kGt,
+                       SubSelect(From("R", "R"), Col("R.y"),
+                                 WherePred(Eq(Col("R.id"), Col("B.id")))));
+  const Table all_r = ExpectAllStrategiesAgree(&engine_, all_q, "all null");
+  // id=1: unknown. id=2: empty range -> true. id=3: range {NULL} unknown.
+  EXPECT_TRUE(SameRows(all_r,
+                       MakeTable({"id", "x"}, {{2, Value::Null()}})));
+
+  // x >some {5, NULL}: 10 > 5 true suffices despite the NULL.
+  NestedSelect some_q;
+  some_q.source = From("B", "B");
+  some_q.where = SomeSub(Col("B.x"), CompareOp::kGt,
+                         SubSelect(From("R", "R"), Col("R.y"),
+                                   WherePred(Eq(Col("R.id"), Col("B.id")))));
+  const Table some_r =
+      ExpectAllStrategiesAgree(&engine_, some_q, "some null");
+  EXPECT_TRUE(SameRows(some_r, MakeTable({"id", "x"}, {{1, 10}})));
+}
+
+TEST_F(NullSemanticsTest, NotInPoisonedByNull) {
+  engine_.catalog()->PutTable("R", MakeTable({"R.id", "R.y"},
+                                             {{1, 99}, {2, Value::Null()}}));
+  NestedSelect q;
+  q.source = From("B", "B");
+  q.where = NotInSub(Col("B.x"),
+                     SubSelect(From("R", "R"), Col("R.y"), nullptr));
+  const Table r = ExpectAllStrategiesAgree(&engine_, q, "not in null");
+  EXPECT_EQ(r.num_rows(), 0u);
+
+  // Filtering the NULLs restores the intuitive behaviour.
+  NestedSelect q2;
+  q2.source = From("B", "B");
+  q2.where = NotInSub(Col("B.x"),
+                      SubSelect(From("R", "R"), Col("R.y"),
+                                WherePred(IsNotNull(Col("R.y")))));
+  const Table r2 =
+      ExpectAllStrategiesAgree(&engine_, q2, "not in null filtered");
+  EXPECT_TRUE(SameRows(r2, MakeTable({"id", "x"}, {{1, 10}, {3, 0}})));
+}
+
+TEST_F(NullSemanticsTest, InWithNullLhs) {
+  engine_.catalog()->PutTable("R", MakeTable({"R.id", "R.y"},
+                                             {{1, 10}, {2, 7}}));
+  NestedSelect q;
+  q.source = From("B", "B");
+  q.where = InSub(Col("B.x"),
+                  SubSelect(From("R", "R"), Col("R.y"), nullptr));
+  const Table r = ExpectAllStrategiesAgree(&engine_, q, "in null lhs");
+  // 10 in {10, 7}: yes. NULL in {...}: unknown. 0 in {...}: false.
+  EXPECT_TRUE(SameRows(r, MakeTable({"id", "x"}, {{1, 10}})));
+}
+
+TEST_F(NullSemanticsTest, ExistsIgnoresNulls) {
+  engine_.catalog()->PutTable(
+      "R", MakeTable({"R.id", "R.y"},
+                     {{1, Value::Null()}, {Value::Null(), 5}}));
+  // EXISTS only needs a row where the predicate is TRUE; the NULL id rows
+  // can never match the equality.
+  NestedSelect q;
+  q.source = From("B", "B");
+  q.where = Exists(Sub(From("R", "R"),
+                       WherePred(Eq(Col("R.id"), Col("B.id")))));
+  const Table r = ExpectAllStrategiesAgree(&engine_, q, "exists nulls");
+  EXPECT_TRUE(SameRows(r, MakeTable({"id", "x"}, {{1, 10}})));
+
+  NestedSelect q2;
+  q2.source = From("B", "B");
+  q2.where = NotExists(Sub(From("R", "R"),
+                           WherePred(Eq(Col("R.id"), Col("B.id")))));
+  const Table r2 = ExpectAllStrategiesAgree(&engine_, q2, "not exists nulls");
+  EXPECT_TRUE(SameRows(
+      r2, MakeTable({"id", "x"}, {{2, Value::Null()}, {3, 0}})));
+}
+
+TEST_F(NullSemanticsTest, AggregatesSkipNullsInsideSubquery) {
+  engine_.catalog()->PutTable(
+      "R", MakeTable({"R.id", "R.y"},
+                     {{1, 4}, {1, Value::Null()}, {1, 6},
+                      {3, Value::Null()}}));
+  // avg skips NULLs: id=1 -> avg{4,6}=5 -> 10 > 5 qualifies. id=3's range
+  // is all NULL -> avg NULL -> unknown.
+  NestedSelect q;
+  q.source = From("B", "B");
+  q.where = CompareSub(Col("B.x"), CompareOp::kGt,
+                       SubAgg(From("R", "R"), AvgOf(Col("R.y"), "a"),
+                              WherePred(Eq(Col("R.id"), Col("B.id")))));
+  const Table r = ExpectAllStrategiesAgree(&engine_, q, "agg null skip");
+  EXPECT_TRUE(SameRows(r, MakeTable({"id", "x"}, {{1, 10}})));
+
+  // count(y) counts non-NULL only: id=3 -> count 1... 0 < 1 qualifies?
+  NestedSelect q2;
+  q2.source = From("B", "B");
+  q2.where = CompareSub(Col("B.x"), CompareOp::kLt,
+                        SubAgg(From("R", "R"), CountOf(Col("R.y"), "c"),
+                               WherePred(Eq(Col("R.id"), Col("B.id")))));
+  const Table r2 = ExpectAllStrategiesAgree(&engine_, q2, "count non-null");
+  // id=1: 10 < 2 false. id=2: NULL unknown. id=3: 0 < 0 false.
+  EXPECT_EQ(r2.num_rows(), 0u);
+}
+
+TEST_F(NullSemanticsTest, WhereClauseTruncationOnPlainPredicates) {
+  NestedSelect q;
+  q.source = From("B", "B");
+  // NOT(x > 5): id=1 false, id=2 unknown (NOT unknown = unknown), id=3
+  // true. Both false and unknown rows are discarded.
+  q.where = NotP(WherePred(Gt(Col("B.x"), Lit(5))));
+  const Table r = ExpectAllStrategiesAgree(&engine_, q, "truncation");
+  EXPECT_TRUE(SameRows(r, MakeTable({"id", "x"}, {{3, 0}})));
+}
+
+}  // namespace
+}  // namespace gmdj

@@ -1,0 +1,203 @@
+// Cross-engine equivalence on realistic workloads: every strategy must
+// produce identical rows for a battery of OLAP subquery shapes over the
+// IP-flow warehouse and the TPC-style tables.
+
+#include "engine/olap_engine.h"
+#include "expr/expr_builder.h"
+#include "gtest/gtest.h"
+#include "nested/nested_builder.h"
+#include "test_util.h"
+#include "workload/ipflow.h"
+#include "workload/tpch_gen.h"
+
+namespace gmdj {
+namespace {
+
+using testutil::ExpectAllStrategiesAgree;
+
+class StrategyEquivalenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    IpFlowConfig flow_config;
+    flow_config.num_flows = 800;
+    flow_config.num_hours = 12;
+    flow_config.num_source_ips = 40;
+    flow_config.num_dest_ips = 40;
+    flow_config.num_users = 15;
+    flow_config.null_bytes_fraction = 0.05;
+    engine_.catalog()->PutTable("Flow", GenFlowTable(flow_config));
+    engine_.catalog()->PutTable("Hours", GenHoursTable(flow_config));
+    engine_.catalog()->PutTable("User", GenUserTable(flow_config));
+
+    TpchConfig tpch;
+    tpch.num_customers = 60;
+    tpch.num_orders = 400;
+    tpch.num_lineitems = 900;
+    tpch.num_suppliers = 15;
+    tpch.num_parts = 50;
+    engine_.catalog()->PutTable("customer", GenCustomerTable(tpch));
+    engine_.catalog()->PutTable("orders", GenOrdersTable(tpch));
+    engine_.catalog()->PutTable("lineitem", GenLineitemTable(tpch));
+    engine_.catalog()->PutTable("supplier", GenSupplierTable(tpch));
+  }
+
+  OlapEngine engine_;
+};
+
+TEST_F(StrategyEquivalenceTest, HoursWithDestTraffic) {
+  NestedSelect q;
+  q.source = From("Hours", "H");
+  q.where = Exists(Sub(
+      From("Flow", "F"),
+      WherePred(And(And(Ge(Col("F.StartTime"), Col("H.StartInterval")),
+                        Lt(Col("F.StartTime"), Col("H.EndInterval"))),
+                    Eq(Col("F.DestIP"), Lit(DestIpString(0)))))));
+  const Table r = ExpectAllStrategiesAgree(&engine_, q, "hours with traffic");
+  EXPECT_GT(r.num_rows(), 0u);
+  EXPECT_LE(r.num_rows(), 12u);
+}
+
+TEST_F(StrategyEquivalenceTest, SourcesWithoutFtpTraffic) {
+  NestedSelect q;
+  q.source = DistinctProject("Flow", "F0", {"F0.SourceIP"});
+  q.where = NotExists(
+      Sub(From("Flow", "F1"),
+          WherePred(And(Eq(Col("F0.SourceIP"), Col("F1.SourceIP")),
+                        Eq(Col("F1.Protocol"), Lit("FTP"))))));
+  ExpectAllStrategiesAgree(&engine_, q, "sources without ftp");
+}
+
+TEST_F(StrategyEquivalenceTest, CustomersAboveTheirAvgOrder) {
+  NestedSelect q;
+  q.source = From("customer", "C");
+  q.where = CompareSub(
+      Col("C.c_acctbal"), CompareOp::kGt,
+      SubAgg(From("orders", "O"), AvgOf(Col("O.o_totalprice"), "avg_price"),
+             WherePred(Eq(Col("O.o_custkey"), Col("C.c_custkey")))));
+  const Table r =
+      ExpectAllStrategiesAgree(&engine_, q, "customers above avg");
+  EXPECT_LT(r.num_rows(), 60u);
+}
+
+TEST_F(StrategyEquivalenceTest, CustomersWithManyOrders) {
+  NestedSelect q;
+  q.source = From("customer", "C");
+  q.where = CompareSub(
+      Lit(5), CompareOp::kLe,
+      SubAgg(From("orders", "O"), CountStar("cnt"),
+             WherePred(Eq(Col("O.o_custkey"), Col("C.c_custkey")))));
+  ExpectAllStrategiesAgree(&engine_, q, "customers with many orders");
+}
+
+TEST_F(StrategyEquivalenceTest, SuppliersNotInHighValueLineitems) {
+  NestedSelect q;
+  q.source = From("supplier", "S");
+  q.where = NotInSub(
+      Col("S.s_suppkey"),
+      SubSelect(From("lineitem", "L"), Col("L.l_suppkey"),
+                WherePred(Gt(Col("L.l_extendedprice"), Lit(80000.0)))));
+  ExpectAllStrategiesAgree(&engine_, q, "suppliers not in");
+}
+
+TEST_F(StrategyEquivalenceTest, AllQuantifierOverPrices) {
+  NestedSelect q;
+  q.source = From("customer", "C");
+  q.where = AllSub(
+      Col("C.c_acctbal"), CompareOp::kLt,
+      SubSelect(From("orders", "O"), Col("O.o_totalprice"),
+                WherePred(Eq(Col("O.o_custkey"), Col("C.c_custkey")))));
+  // Customers without orders qualify vacuously; the count-based ALL
+  // translation must reproduce that.
+  const Table r = ExpectAllStrategiesAgree(&engine_, q, "all over prices");
+  EXPECT_GT(r.num_rows(), 0u);
+}
+
+TEST_F(StrategyEquivalenceTest, TreeNestedExists) {
+  // Customers with an order that contains a returned line item.
+  NestedSelect q;
+  q.source = From("customer", "C");
+  q.where = Exists(Sub(
+      From("orders", "O"),
+      AndP(WherePred(Eq(Col("O.o_custkey"), Col("C.c_custkey"))),
+           Exists(Sub(From("lineitem", "L"),
+                      WherePred(And(Eq(Col("L.l_orderkey"),
+                                       Col("O.o_orderkey")),
+                                    Eq(Col("L.l_returnflag"),
+                                       Lit("R")))))))));
+  ExpectAllStrategiesAgree(&engine_, q, "tree nested exists");
+}
+
+TEST_F(StrategyEquivalenceTest, TwoExistsDifferentPredicates) {
+  // The Figure 5 query shape: two EXISTS over the same table with
+  // disjoint predicates, conjunctively combined.
+  NestedSelect q;
+  q.source = From("customer", "C");
+  q.where =
+      AndP(Exists(Sub(From("orders", "O1"),
+                      WherePred(And(Eq(Col("O1.o_custkey"),
+                                       Col("C.c_custkey")),
+                                    Eq(Col("O1.o_orderpriority"),
+                                       Lit("1-URGENT")))))),
+           Exists(Sub(From("orders", "O2"),
+                      WherePred(And(Eq(Col("O2.o_custkey"),
+                                       Col("C.c_custkey")),
+                                    Gt(Col("O2.o_totalprice"),
+                                       Lit(200000.0)))))));
+  ExpectAllStrategiesAgree(&engine_, q, "two exists");
+}
+
+TEST_F(StrategyEquivalenceTest, MixedPlainAndSubqueryPredicates) {
+  NestedSelect q;
+  q.source = From("customer", "C");
+  q.where =
+      AndP(WherePred(Gt(Col("C.c_acctbal"), Lit(0.0))),
+           AndP(Exists(Sub(From("orders", "O"),
+                           WherePred(Eq(Col("O.o_custkey"),
+                                        Col("C.c_custkey"))))),
+                WherePred(Eq(Col("C.c_mktsegment"), Lit("BUILDING")))));
+  ExpectAllStrategiesAgree(&engine_, q, "mixed predicates");
+}
+
+TEST_F(StrategyEquivalenceTest, DisjunctionOfSubqueries) {
+  // OR of two EXISTS: native and GMDJ handle it; join unnesting reports
+  // Unimplemented (skipped by the harness) — the counting advantage.
+  NestedSelect q;
+  q.source = From("customer", "C");
+  q.where =
+      OrP(Exists(Sub(From("orders", "O"),
+                     WherePred(And(Eq(Col("O.o_custkey"),
+                                      Col("C.c_custkey")),
+                                   Eq(Col("O.o_orderstatus"), Lit("P")))))),
+          WherePred(Lt(Col("C.c_acctbal"), Lit(-500.0))));
+  ExpectAllStrategiesAgree(&engine_, q, "disjunction");
+}
+
+TEST_F(StrategyEquivalenceTest, ActiveUsersNonNeighboring) {
+  // Example 3.3 at workload scale: users with traffic in every hour.
+  NestedSelect q;
+  q.source = From("User", "U");
+  q.where = NotExists(Sub(
+      From("Hours", "H"),
+      NotExists(Sub(
+          From("Flow", "F"),
+          WherePred(And(And(Ge(Col("F.StartTime"), Col("H.StartInterval")),
+                            Lt(Col("F.StartTime"), Col("H.EndInterval"))),
+                        Eq(Col("F.SourceIP"), Col("U.IPAddress"))))))));
+  ExpectAllStrategiesAgree(&engine_, q, "active users");
+}
+
+TEST_F(StrategyEquivalenceTest, QuantifiedSomeOverBytes) {
+  NestedSelect q;
+  q.source = From("Hours", "H");
+  q.where = SomeSub(
+      Mul(Col("H.HourDescription"), Lit(2000)), CompareOp::kLt,
+      SubSelect(From("Flow", "F"), Col("F.NumBytes"),
+                WherePred(And(Ge(Col("F.StartTime"),
+                                 Col("H.StartInterval")),
+                              Lt(Col("F.StartTime"),
+                                 Col("H.EndInterval"))))));
+  ExpectAllStrategiesAgree(&engine_, q, "some over bytes");
+}
+
+}  // namespace
+}  // namespace gmdj

@@ -1,0 +1,227 @@
+#include "nested/native_eval.h"
+
+#include "expr/expr_builder.h"
+#include "gtest/gtest.h"
+#include "nested/nested_builder.h"
+#include "test_util.h"
+
+namespace gmdj {
+namespace {
+
+using testutil::MakeTable;
+using testutil::SameRows;
+
+class NativeEvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_.PutTable("B", MakeTable({"B.k", "B.x"},
+                                     {{1, 5}, {2, 50}, {3, 7},
+                                      {4, Value::Null()}}));
+    catalog_.PutTable("R", MakeTable({"R.k", "R.y"},
+                                     {{1, 10}, {1, 3}, {2, 10}, {3, 7},
+                                      {5, 1}, {1, Value::Null()}}));
+  }
+
+  Table Run(const NestedSelect& query, NativeOptions options,
+            ExecStats* stats = nullptr) {
+    NativeEvaluator evaluator(&catalog_, options);
+    std::unique_ptr<NestedSelect> clone = query.Clone();
+    Result<Table> result = evaluator.Run(clone.get());
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    if (stats != nullptr) *stats = evaluator.stats();
+    return std::move(*result);
+  }
+
+  /// All three native configurations must agree.
+  Table RunAllConfigs(const NestedSelect& query) {
+    const Table naive = Run(query, NativeOptions{false, false});
+    const Table smart = Run(query, NativeOptions{true, false});
+    const Table indexed = Run(query, NativeOptions{true, true});
+    EXPECT_TRUE(SameRows(naive, smart));
+    EXPECT_TRUE(SameRows(naive, indexed));
+    return naive;
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(NativeEvalTest, NoWhereReturnsAllRows) {
+  NestedSelect q;
+  q.source = From("B", "B");
+  EXPECT_EQ(RunAllConfigs(q).num_rows(), 4u);
+}
+
+TEST_F(NativeEvalTest, PlainPredicate) {
+  NestedSelect q;
+  q.source = From("B", "B");
+  q.where = WherePred(Gt(Col("B.x"), Lit(6)));
+  // NULL x is UNKNOWN -> dropped.
+  EXPECT_TRUE(SameRows(RunAllConfigs(q),
+                       MakeTable({"k", "x"}, {{2, 50}, {3, 7}})));
+}
+
+TEST_F(NativeEvalTest, ExistsCorrelated) {
+  NestedSelect q;
+  q.source = From("B", "B");
+  q.where = Exists(Sub(From("R", "R"),
+                       WherePred(And(Eq(Col("R.k"), Col("B.k")),
+                                     Gt(Col("R.y"), Lit(5))))));
+  EXPECT_TRUE(SameRows(RunAllConfigs(q),
+                       MakeTable({"k", "x"},
+                                 {{1, 5}, {2, 50}, {3, 7}})));
+}
+
+TEST_F(NativeEvalTest, NotExistsCorrelated) {
+  NestedSelect q;
+  q.source = From("B", "B");
+  q.where = NotExists(Sub(From("R", "R"),
+                          WherePred(Eq(Col("R.k"), Col("B.k")))));
+  EXPECT_TRUE(SameRows(RunAllConfigs(q),
+                       MakeTable({"k", "x"}, {{4, Value::Null()}})));
+}
+
+TEST_F(NativeEvalTest, ScalarCompareSubquery) {
+  // B.x > (select y from R where R.k = B.k and R.y = 7): singleton per key.
+  NestedSelect q;
+  q.source = From("B", "B");
+  q.where = CompareSub(
+      Col("B.x"), CompareOp::kEq,
+      SubSelect(From("R", "R"), Col("R.y"),
+                WherePred(And(Eq(Col("R.k"), Col("B.k")),
+                              Eq(Col("R.y"), Lit(7))))));
+  // Only B.k=3 has matching singleton {7} and B.x=7 equals it.
+  EXPECT_TRUE(SameRows(RunAllConfigs(q), MakeTable({"k", "x"}, {{3, 7}})));
+}
+
+TEST_F(NativeEvalTest, ScalarSubqueryCardinalityError) {
+  NestedSelect q;
+  q.source = From("B", "B");
+  q.where = CompareSub(Col("B.x"), CompareOp::kLt,
+                       SubSelect(From("R", "R"), Col("R.y"),
+                                 WherePred(Eq(Col("R.k"), Col("B.k")))));
+  NativeEvaluator evaluator(&catalog_, NativeOptions{});
+  std::unique_ptr<NestedSelect> clone = q.Clone();
+  const auto result = evaluator.Run(clone.get());
+  ASSERT_FALSE(result.ok());  // B.k=1 matches 3 rows.
+  EXPECT_EQ(result.status().code(), StatusCode::kRuntimeError);
+}
+
+TEST_F(NativeEvalTest, EmptyScalarSubqueryIsUnknown) {
+  NestedSelect q;
+  q.source = From("B", "B");
+  q.where = CompareSub(Col("B.x"), CompareOp::kGt,
+                       SubSelect(From("R", "R"), Col("R.y"),
+                                 WherePred(Eq(Col("R.k"), Lit(777)))));
+  EXPECT_EQ(RunAllConfigs(q).num_rows(), 0u);
+}
+
+TEST_F(NativeEvalTest, AggregateCompareSubquery) {
+  // B.x > avg(R.y where R.k = B.k).
+  NestedSelect q;
+  q.source = From("B", "B");
+  q.where = CompareSub(Col("B.x"), CompareOp::kGt,
+                       SubAgg(From("R", "R"), AvgOf(Col("R.y"), "a"),
+                              WherePred(Eq(Col("R.k"), Col("B.k")))));
+  // k=1: avg(10,3)=6.5 < 5? no... 5 > 6.5 false. k=2: avg=10, 50>10 yes.
+  // k=3: avg=7, 7>7 false. k=4: empty avg=NULL -> unknown.
+  EXPECT_TRUE(SameRows(RunAllConfigs(q), MakeTable({"k", "x"}, {{2, 50}})));
+}
+
+TEST_F(NativeEvalTest, CountAggregateOverEmptyRangeIsZero) {
+  // B.x > count(*) of empty range: count = 0, so every non-null x > 0.
+  NestedSelect q;
+  q.source = From("B", "B");
+  q.where = CompareSub(Col("B.x"), CompareOp::kGt,
+                       SubAgg(From("R", "R"), CountStar("c"),
+                              WherePred(Eq(Col("R.k"), Lit(777)))));
+  EXPECT_EQ(RunAllConfigs(q).num_rows(), 3u);
+}
+
+TEST_F(NativeEvalTest, SomeQuantifier) {
+  NestedSelect q;
+  q.source = From("B", "B");
+  q.where = SomeSub(Col("B.x"), CompareOp::kLt,
+                    SubSelect(From("R", "R"), Col("R.y"),
+                              WherePred(Eq(Col("R.k"), Col("B.k")))));
+  // k=1: 5 < {10,3,NULL}: true. k=2: 50 < {10}: false. k=3: 7 < {7}: false.
+  // k=4 x NULL: unknown.
+  EXPECT_TRUE(SameRows(RunAllConfigs(q), MakeTable({"k", "x"}, {{1, 5}})));
+}
+
+TEST_F(NativeEvalTest, AllQuantifierWithEmptyRangeIsTrue) {
+  NestedSelect q;
+  q.source = From("B", "B");
+  q.where = AllSub(Col("B.x"), CompareOp::kGt,
+                   SubSelect(From("R", "R"), Col("R.y"),
+                             WherePred(And(Eq(Col("R.k"), Col("B.k")),
+                                           IsNotNull(Col("R.y"))))));
+  // k=1: 5 > all {10,3}: false. k=2: 50 > {10}: true. k=3: 7 > {7}: false.
+  // k=4: NULL x over empty range: vacuous TRUE (the paper's footnote 2!).
+  EXPECT_TRUE(SameRows(RunAllConfigs(q),
+                       MakeTable({"k", "x"}, {{2, 50}, {4, Value::Null()}})));
+}
+
+TEST_F(NativeEvalTest, AllQuantifierNullInRangeBlocksTruth) {
+  NestedSelect q;
+  q.source = From("B", "B");
+  q.where = AllSub(Col("B.x"), CompareOp::kGt,
+                   SubSelect(From("R", "R"), Col("R.y"),
+                             WherePred(Eq(Col("R.k"), Col("B.k")))));
+  // k=1's range now includes NULL y -> comparison UNKNOWN -> not TRUE.
+  // k=2: {10} all < 50: true. k=4: empty range -> TRUE.
+  EXPECT_TRUE(SameRows(RunAllConfigs(q),
+                       MakeTable({"k", "x"}, {{2, 50}, {4, Value::Null()}})));
+}
+
+TEST_F(NativeEvalTest, BooleanCombinationsOfSubqueries) {
+  NestedSelect q;
+  q.source = From("B", "B");
+  q.where = OrP(Exists(Sub(From("R", "R"),
+                           WherePred(And(Eq(Col("R.k"), Col("B.k")),
+                                         Gt(Col("R.y"), Lit(9)))))),
+                WherePred(Eq(Col("B.x"), Lit(7))));
+  EXPECT_TRUE(SameRows(RunAllConfigs(q),
+                       MakeTable({"k", "x"}, {{1, 5}, {2, 50}, {3, 7}})));
+}
+
+TEST_F(NativeEvalTest, NestedSubqueryTwoLevels) {
+  // B rows whose R-partners have at least one R-partner of their own with
+  // the same y (self-referencing two-level nesting).
+  NestedSelect q;
+  q.source = From("B", "B");
+  q.where = Exists(Sub(
+      From("R", "R1"),
+      AndP(WherePred(Eq(Col("R1.k"), Col("B.k"))),
+           Exists(Sub(From("R", "R2"),
+                      WherePred(And(Eq(Col("R2.y"), Col("R1.y")),
+                                    Ne(Col("R2.k"), Col("R1.k")))))))));
+  // R1 rows with same-y partner in a different k: (1,10)&(2,10).
+  EXPECT_TRUE(SameRows(RunAllConfigs(q),
+                       MakeTable({"k", "x"}, {{1, 5}, {2, 50}})));
+}
+
+TEST_F(NativeEvalTest, SmartTerminationScansFewerRows) {
+  NestedSelect q;
+  q.source = From("B", "B");
+  q.where = Exists(Sub(From("R", "R"), nullptr));  // Uncorrelated EXISTS.
+  ExecStats naive_stats, smart_stats;
+  Run(q, NativeOptions{false, false}, &naive_stats);
+  Run(q, NativeOptions{true, false}, &smart_stats);
+  EXPECT_LT(smart_stats.rows_scanned, naive_stats.rows_scanned);
+}
+
+TEST_F(NativeEvalTest, IndexProbesInsteadOfScans) {
+  NestedSelect q;
+  q.source = From("B", "B");
+  q.where = Exists(Sub(From("R", "R"),
+                       WherePred(Eq(Col("R.k"), Col("B.k")))));
+  ExecStats stats;
+  Run(q, NativeOptions{true, true}, &stats);
+  EXPECT_EQ(stats.hash_probes, 4u);  // One probe per outer row.
+  ExecStats unindexed;
+  Run(q, NativeOptions{true, false}, &unindexed);
+  EXPECT_GT(unindexed.rows_scanned, stats.rows_scanned);
+}
+
+}  // namespace
+}  // namespace gmdj

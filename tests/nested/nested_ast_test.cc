@@ -1,0 +1,120 @@
+#include "nested/nested_ast.h"
+
+#include "expr/expr_builder.h"
+#include "gtest/gtest.h"
+#include "nested/nested_builder.h"
+#include "test_util.h"
+
+namespace gmdj {
+namespace {
+
+using testutil::MakeTable;
+
+class NestedAstTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_.PutTable("Flow",
+                      MakeTable({"SourceIP:s", "DestIP:s", "NumBytes"},
+                                {{"a", "x", 1}, {"b", "y", 2}, {"a", "x", 3}}));
+    catalog_.PutTable("Hours", MakeTable({"H0", "H1"}, {{0, 60}}));
+  }
+  Catalog catalog_;
+};
+
+TEST_F(NestedAstTest, SourceSpecPlainScan) {
+  const SourceSpec src = From("Flow", "F");
+  PlanPtr plan = src.ToPlan();
+  ASSERT_TRUE(plan->Prepare(catalog_).ok());
+  EXPECT_EQ(plan->output_schema().field(0).QualifiedName(), "F.SourceIP");
+  EXPECT_EQ(src.ToString(), "Flow -> F");
+}
+
+TEST_F(NestedAstTest, SourceSpecDistinctProject) {
+  const SourceSpec src = DistinctProject("Flow", "F", {"F.SourceIP"});
+  PlanPtr plan = src.ToPlan();
+  ASSERT_TRUE(plan->Prepare(catalog_).ok());
+  // Projection keeps the alias as qualifier and dedupes rows.
+  EXPECT_EQ(plan->output_schema().num_fields(), 1u);
+  EXPECT_EQ(plan->output_schema().field(0).QualifiedName(), "F.SourceIP");
+  ExecContext ctx(&catalog_);
+  EXPECT_EQ((*plan->Execute(&ctx)).num_rows(), 2u);
+}
+
+TEST_F(NestedAstTest, BindResolvesSchemasAndCorrelation) {
+  NestedSelect q;
+  q.source = From("Hours", "H");
+  q.where = Exists(Sub(From("Flow", "F"),
+                       WherePred(Gt(Col("F.NumBytes"), Col("H.H0")))));
+  ASSERT_TRUE(q.Bind(catalog_, {}).ok());
+  EXPECT_EQ(q.schema().field(0).QualifiedName(), "H.H0");
+}
+
+TEST_F(NestedAstTest, BindFailsOnUnknownTable) {
+  NestedSelect q;
+  q.source = From("Nope", "N");
+  EXPECT_EQ(q.Bind(catalog_, {}).code(), StatusCode::kNotFound);
+}
+
+TEST_F(NestedAstTest, BindFailsOnUnresolvedColumn) {
+  NestedSelect q;
+  q.source = From("Flow", "F");
+  q.where = WherePred(Gt(Col("F.Bogus"), Lit(0)));
+  EXPECT_FALSE(q.Bind(catalog_, {}).ok());
+}
+
+TEST_F(NestedAstTest, CompareSubRequiresSelect) {
+  NestedSelect q;
+  q.source = From("Hours", "H");
+  q.where = CompareSub(Col("H.H0"), CompareOp::kLt,
+                       Sub(From("Flow", "F"), nullptr));
+  EXPECT_EQ(q.Bind(catalog_, {}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(NestedAstTest, QuantSubRejectsAggregateSelect) {
+  NestedSelect q;
+  q.source = From("Hours", "H");
+  q.where = SomeSub(Col("H.H0"), CompareOp::kLt,
+                    SubAgg(From("Flow", "F"), SumOf(Col("F.NumBytes"), "s"),
+                           nullptr));
+  EXPECT_EQ(q.Bind(catalog_, {}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(NestedAstTest, InAndNotInDesugarToQuantifiers) {
+  PredPtr in = InSub(Col("H.H0"), SubSelect(From("Flow", "F"),
+                                            Col("F.NumBytes"), nullptr));
+  ASSERT_EQ(in->kind(), PredKind::kQuantSub);
+  const auto& in_q = static_cast<const QuantSubPred&>(*in);
+  EXPECT_EQ(in_q.op(), CompareOp::kEq);
+  EXPECT_EQ(in_q.quant(), QuantKind::kSome);
+
+  PredPtr not_in = NotInSub(Col("H.H0"), SubSelect(From("Flow", "F"),
+                                                   Col("F.NumBytes"),
+                                                   nullptr));
+  const auto& ni_q = static_cast<const QuantSubPred&>(*not_in);
+  EXPECT_EQ(ni_q.op(), CompareOp::kNe);
+  EXPECT_EQ(ni_q.quant(), QuantKind::kAll);
+}
+
+TEST_F(NestedAstTest, CloneIsDeepAndRebindable) {
+  NestedSelect q;
+  q.source = From("Hours", "H");
+  q.where = NotExists(Sub(From("Flow", "F"),
+                          WherePred(Gt(Col("F.NumBytes"), Col("H.H0")))));
+  ASSERT_TRUE(q.Bind(catalog_, {}).ok());
+  const std::unique_ptr<NestedSelect> clone = q.Clone();
+  ASSERT_TRUE(clone->Bind(catalog_, {}).ok());
+  EXPECT_EQ(clone->ToString(), q.ToString());
+  EXPECT_NE(clone->where.get(), q.where.get());
+}
+
+TEST_F(NestedAstTest, ToStringReflectsStructure) {
+  NestedSelect q;
+  q.source = From("Hours", "H");
+  q.where = Exists(Sub(From("Flow", "F"),
+                       WherePred(Gt(Col("F.NumBytes"), Lit(1)))));
+  EXPECT_EQ(q.ToString(),
+            "sigma[EXISTS sigma[(F.NumBytes > 1)](Flow -> F)](Hours -> H)");
+}
+
+}  // namespace
+}  // namespace gmdj

@@ -1,0 +1,101 @@
+#include "nested/normalize.h"
+
+#include "expr/expr_builder.h"
+#include "gtest/gtest.h"
+#include "nested/nested_builder.h"
+
+namespace gmdj {
+namespace {
+
+std::unique_ptr<NestedSelect> FlowSub() {
+  return SubSelect(From("Flow", "F"), Col("F.NumBytes"),
+                   WherePred(Gt(Col("F.NumBytes"), Lit(0))));
+}
+
+TEST(NormalizeTest, NotExistsFlips) {
+  PredPtr p = NotP(Exists(Sub(From("Flow", "F"), nullptr)));
+  p = NormalizeNegations(std::move(p));
+  ASSERT_EQ(p->kind(), PredKind::kExists);
+  EXPECT_TRUE(static_cast<const ExistsPred&>(*p).negated());
+}
+
+TEST(NormalizeTest, DoubleNegationCancels) {
+  PredPtr p = NotP(NotP(Exists(Sub(From("Flow", "F"), nullptr))));
+  p = NormalizeNegations(std::move(p));
+  ASSERT_EQ(p->kind(), PredKind::kExists);
+  EXPECT_FALSE(static_cast<const ExistsPred&>(*p).negated());
+}
+
+TEST(NormalizeTest, DeMorganAndToOr) {
+  PredPtr p = NotP(AndP(Exists(Sub(From("Flow", "F"), nullptr)),
+                        Exists(Sub(From("Flow", "G"), nullptr))));
+  p = NormalizeNegations(std::move(p));
+  ASSERT_EQ(p->kind(), PredKind::kOr);
+  const auto& orp = static_cast<const OrPred&>(*p);
+  EXPECT_TRUE(static_cast<const ExistsPred&>(orp.lhs()).negated());
+  EXPECT_TRUE(static_cast<const ExistsPred&>(orp.rhs()).negated());
+}
+
+TEST(NormalizeTest, DeMorganOrToAnd) {
+  PredPtr p = NotP(OrP(WherePred(Gt(Col("x"), Lit(0))),
+                       WherePred(Lt(Col("x"), Lit(9)))));
+  p = NormalizeNegations(std::move(p));
+  ASSERT_EQ(p->kind(), PredKind::kAnd);
+  const auto& andp = static_cast<const AndPred&>(*p);
+  // Leaves got a Kleene NOT wrapper.
+  EXPECT_EQ(static_cast<const ExprPred&>(andp.lhs()).expr().kind(),
+            ExprKind::kNot);
+}
+
+TEST(NormalizeTest, NegatedComparisonSubqueryFlipsOperator) {
+  PredPtr p = NotP(CompareSub(Col("x"), CompareOp::kLt, FlowSub()));
+  p = NormalizeNegations(std::move(p));
+  ASSERT_EQ(p->kind(), PredKind::kCompareSub);
+  EXPECT_EQ(static_cast<const CompareSubPred&>(*p).op(), CompareOp::kGe);
+}
+
+TEST(NormalizeTest, NegatedSomeBecomesAllWithNegatedOp) {
+  PredPtr p = NotP(SomeSub(Col("x"), CompareOp::kEq, FlowSub()));
+  p = NormalizeNegations(std::move(p));
+  ASSERT_EQ(p->kind(), PredKind::kQuantSub);
+  const auto& q = static_cast<const QuantSubPred&>(*p);
+  EXPECT_EQ(q.quant(), QuantKind::kAll);
+  EXPECT_EQ(q.op(), CompareOp::kNe);
+}
+
+TEST(NormalizeTest, NegatedAllBecomesSomeWithNegatedOp) {
+  PredPtr p = NotP(AllSub(Col("x"), CompareOp::kGt, FlowSub()));
+  p = NormalizeNegations(std::move(p));
+  const auto& q = static_cast<const QuantSubPred&>(*p);
+  EXPECT_EQ(q.quant(), QuantKind::kSome);
+  EXPECT_EQ(q.op(), CompareOp::kLe);
+}
+
+TEST(NormalizeTest, RecursesIntoSubqueryBodies) {
+  auto sub = Sub(From("Flow", "F"),
+                 NotP(Exists(Sub(From("Flow", "G"), nullptr))));
+  PredPtr p = Exists(std::move(sub));
+  p = NormalizeNegations(std::move(p));
+  const auto& outer = static_cast<const ExistsPred&>(*p);
+  const auto& inner =
+      static_cast<const ExistsPred&>(*outer.sub().where);
+  EXPECT_TRUE(inner.negated());
+}
+
+TEST(NormalizeTest, PlainPredicatesUntouchedWithoutNegation) {
+  PredPtr p = AndP(WherePred(Gt(Col("x"), Lit(0))),
+                   Exists(Sub(From("Flow", "F"), nullptr)));
+  const std::string before = p->ToString();
+  p = NormalizeNegations(std::move(p));
+  EXPECT_EQ(p->ToString(), before);
+}
+
+TEST(NormalizeTest, NormalizeSelectHandlesNullWhere) {
+  NestedSelect q;
+  q.source = From("Flow", "F");
+  NormalizeSelect(&q);  // Must not crash.
+  EXPECT_EQ(q.where, nullptr);
+}
+
+}  // namespace
+}  // namespace gmdj

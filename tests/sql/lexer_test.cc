@@ -1,0 +1,88 @@
+#include "sql/lexer.h"
+
+#include "gtest/gtest.h"
+
+namespace gmdj {
+namespace {
+
+std::vector<Token> Lex(const std::string& s) {
+  auto result = Tokenize(s);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(*result);
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  const auto tokens = Lex("select FROM Where aNd");
+  ASSERT_EQ(tokens.size(), 5u);  // 4 + end.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(tokens[i].kind, TokenKind::kKeyword);
+  }
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[3].text, "AND");
+}
+
+TEST(LexerTest, IdentifiersKeepCase) {
+  const auto tokens = Lex("Flow F0 c_custkey");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[0].text, "Flow");
+  EXPECT_EQ(tokens[1].text, "F0");
+  EXPECT_EQ(tokens[2].text, "c_custkey");
+}
+
+TEST(LexerTest, Numbers) {
+  const auto tokens = Lex("42 3.5 0.25");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kInt);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kDouble);
+  EXPECT_DOUBLE_EQ(tokens[1].double_value, 3.5);
+  EXPECT_DOUBLE_EQ(tokens[2].double_value, 0.25);
+}
+
+TEST(LexerTest, QualifiedNameIsThreeTokens) {
+  const auto tokens = Lex("F.StartTime");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[1].text, ".");
+  EXPECT_EQ(tokens[2].text, "StartTime");
+}
+
+TEST(LexerTest, Strings) {
+  const auto tokens = Lex("'HTTP' 'it''s'");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].text, "HTTP");
+  EXPECT_EQ(tokens[1].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(LexerTest, Operators) {
+  const auto tokens = Lex("<> <= >= < > = != ( ) , + - * /");
+  EXPECT_EQ(tokens[0].text, "<>");
+  EXPECT_EQ(tokens[1].text, "<=");
+  EXPECT_EQ(tokens[2].text, ">=");
+  EXPECT_EQ(tokens[6].text, "<>");  // != normalized.
+  EXPECT_EQ(tokens[7].text, "(");
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  const auto result = Tokenize("a ; b");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("';'"), std::string::npos);
+}
+
+TEST(LexerTest, PositionsRecorded) {
+  const auto tokens = Lex("ab  cd");
+  EXPECT_EQ(tokens[0].position, 0u);
+  EXPECT_EQ(tokens[1].position, 4u);
+}
+
+TEST(LexerTest, EndTokenAlwaysPresent) {
+  const auto tokens = Lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEnd);
+}
+
+}  // namespace
+}  // namespace gmdj

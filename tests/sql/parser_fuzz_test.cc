@@ -1,0 +1,103 @@
+// Robustness: the parser must never crash or hang on malformed input —
+// every outcome is either a parsed statement or an InvalidArgument with a
+// position. The generator produces random token soup, mutated valid
+// queries, and pathological nesting.
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "sql/parser.h"
+
+namespace gmdj {
+namespace {
+
+const std::vector<std::string>& Vocabulary() {
+  static const auto* words = new std::vector<std::string>{
+      "SELECT", "FROM",  "WHERE", "AND",  "OR",    "NOT",  "EXISTS",
+      "IN",     "SOME",  "ALL",   "AS",   "IS",    "NULL", "DISTINCT",
+      "COUNT",  "SUM",   "AVG",   "LIKE", "CASE",  "WHEN", "THEN",
+      "ELSE",   "END",   "(",     ")",    ",",     ".",    "*",
+      "+",      "-",     "/",     "=",    "<>",    "<",    "<=",
+      ">",      ">=",    "42",    "3.5",  "'str'", "tbl",  "col",
+      "T",      "x"};
+  return *words;
+}
+
+TEST(ParserFuzzTest, RandomTokenSoupNeverCrashes) {
+  Rng rng(20260704);
+  size_t parsed_ok = 0;
+  for (int i = 0; i < 3000; ++i) {
+    std::string input;
+    const int len = static_cast<int>(rng.Uniform(0, 40));
+    for (int w = 0; w < len; ++w) {
+      input += rng.Pick(Vocabulary());
+      input += " ";
+    }
+    const auto result = ParseStatement(input);
+    if (result.ok()) {
+      ++parsed_ok;
+    } else {
+      EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument)
+          << input;
+    }
+  }
+  // Random soup occasionally forms valid statements; mostly it must not.
+  EXPECT_LT(parsed_ok, 300u);
+}
+
+TEST(ParserFuzzTest, MutatedValidQueriesNeverCrash) {
+  const std::string base =
+      "SELECT * FROM customer C WHERE C.c_acctbal > (SELECT AVG(O.o_total) "
+      "FROM orders O WHERE O.o_custkey = C.c_custkey) AND EXISTS (SELECT * "
+      "FROM lineitem L WHERE L.l_orderkey = C.c_custkey)";
+  Rng rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    std::string mutated = base;
+    const int edits = 1 + static_cast<int>(rng.Uniform(0, 3));
+    for (int e = 0; e < edits; ++e) {
+      const size_t pos =
+          static_cast<size_t>(rng.Uniform(0, static_cast<int64_t>(
+                                                 mutated.size() - 1)));
+      switch (rng.Uniform(0, 2)) {
+        case 0:  // Delete a span.
+          mutated.erase(pos, static_cast<size_t>(rng.Uniform(1, 5)));
+          break;
+        case 1:  // Duplicate a span.
+          mutated.insert(pos, mutated.substr(
+                                  pos, static_cast<size_t>(
+                                           rng.Uniform(1, 8))));
+          break;
+        default:  // Replace a character.
+          mutated[pos] = static_cast<char>("()*=<>,.'x5 "[rng.Uniform(0, 11)]);
+          break;
+      }
+    }
+    const auto result = ParseStatement(mutated);  // Must not crash.
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST(ParserFuzzTest, DeepNestingParsesOrFailsGracefully) {
+  // 200 nested EXISTS: recursion depth must be handled (linear input).
+  std::string query = "SELECT * FROM t0 WHERE ";
+  for (int i = 0; i < 200; ++i) {
+    query += "EXISTS (SELECT * FROM t" + std::to_string(i + 1) + " WHERE ";
+  }
+  query += "1 = 1";
+  for (int i = 0; i < 200; ++i) query += ")";
+  const auto result = ParseStatement(query);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+
+  // Unbalanced deep parens fail cleanly.
+  std::string unbalanced = "SELECT * FROM t WHERE ";
+  for (int i = 0; i < 500; ++i) unbalanced += "(";
+  unbalanced += "1 = 1";
+  EXPECT_FALSE(ParseStatement(unbalanced).ok());
+}
+
+}  // namespace
+}  // namespace gmdj

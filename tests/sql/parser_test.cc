@@ -1,0 +1,222 @@
+#include "sql/parser.h"
+
+#include "engine/olap_engine.h"
+#include "expr/expr_builder.h"
+#include "gtest/gtest.h"
+#include "nested/nested_builder.h"
+#include "test_util.h"
+
+namespace gmdj {
+namespace {
+
+using testutil::MakeTable;
+using testutil::SameRows;
+
+std::unique_ptr<NestedSelect> Parse(const std::string& sql) {
+  auto result = ParseQuery(sql);
+  EXPECT_TRUE(result.ok()) << sql << "\n" << result.status().ToString();
+  return result.ok() ? std::move(*result) : nullptr;
+}
+
+TEST(ParserTest, MinimalQuery) {
+  auto q = Parse("SELECT * FROM Flow");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->source.table, "Flow");
+  EXPECT_TRUE(q->source.alias.empty());
+  EXPECT_EQ(q->where, nullptr);
+}
+
+TEST(ParserTest, AliasWithAndWithoutAs) {
+  EXPECT_EQ(Parse("SELECT * FROM Flow F")->source.alias, "F");
+  EXPECT_EQ(Parse("SELECT * FROM Flow AS F")->source.alias, "F");
+}
+
+TEST(ParserTest, DistinctProjection) {
+  auto q = Parse("SELECT DISTINCT F.SourceIP FROM Flow F");
+  ASSERT_NE(q, nullptr);
+  EXPECT_TRUE(q->source.distinct);
+  ASSERT_EQ(q->source.project_cols.size(), 1u);
+  EXPECT_EQ(q->source.project_cols[0], "F.SourceIP");
+}
+
+TEST(ParserTest, PlainPredicates) {
+  auto q = Parse(
+      "SELECT * FROM t WHERE a > 1 AND (b = 'x' OR c <= 2.5) AND d IS NOT "
+      "NULL");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->where->ToString(),
+            "(((a > 1) AND ((b = \"x\") OR (c <= 2.5))) AND (d IS NOT "
+            "NULL))");
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  auto q = Parse("SELECT * FROM t WHERE a + b * 2 >= c / 4 - 1");
+  EXPECT_EQ(q->where->ToString(), "((a + (b * 2)) >= ((c / 4) - 1))");
+}
+
+TEST(ParserTest, ParenthesizedExpressionVsPredicate) {
+  // '(' opening an expression, not a predicate group.
+  auto q = Parse("SELECT * FROM t WHERE (a + b) > 2");
+  EXPECT_EQ(q->where->ToString(), "((a + b) > 2)");
+  // '(' opening a real predicate group.
+  auto q2 = Parse("SELECT * FROM t WHERE (a > 1 OR b > 2) AND c = 3");
+  EXPECT_EQ(q2->where->kind(), PredKind::kAnd);
+}
+
+TEST(ParserTest, UnaryMinusAndConstants) {
+  auto q = Parse("SELECT * FROM t WHERE a > -5 AND b = NULL");
+  EXPECT_EQ(q->where->ToString(), "((a > (0 - 5)) AND (b = NULL))");
+}
+
+TEST(ParserTest, Between) {
+  auto q = Parse("SELECT * FROM t WHERE a BETWEEN 1 AND 10");
+  EXPECT_EQ(q->where->ToString(), "((a >= 1) AND (a <= 10))");
+}
+
+TEST(ParserTest, CaseWhen) {
+  auto q = Parse(
+      "SELECT * FROM t WHERE CASE WHEN a > 1 THEN b ELSE c END >= 5");
+  EXPECT_EQ(q->where->ToString(),
+            "(CASE WHEN (a > 1) THEN b ELSE c END >= 5)");
+  // ELSE defaults to NULL; IS NULL condition form.
+  auto q2 = Parse(
+      "SELECT * FROM t WHERE CASE WHEN a IS NULL THEN 1 END = 1");
+  EXPECT_EQ(q2->where->ToString(),
+            "(CASE WHEN (a IS NULL) THEN 1 ELSE NULL END = 1)");
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t WHERE CASE a THEN 1 END = 1").ok());
+}
+
+TEST(ParserTest, LikeAndNotLike) {
+  auto q = Parse("SELECT * FROM t WHERE s LIKE 'HT%' AND u NOT LIKE '%x_'");
+  EXPECT_EQ(q->where->ToString(),
+            "((s LIKE \"HT%\") AND (u NOT LIKE \"%x_\"))");
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t WHERE s LIKE 5").ok());
+}
+
+TEST(ParserTest, Coalesce) {
+  auto q = Parse("SELECT * FROM t WHERE COALESCE(a, 0) > 1");
+  EXPECT_EQ(q->where->ToString(), "(COALESCE(a, 0) > 1)");
+}
+
+TEST(ParserTest, ExistsAndNotExists) {
+  auto q = Parse(
+      "SELECT * FROM Hours H WHERE EXISTS (SELECT * FROM Flow F WHERE "
+      "F.StartTime >= H.StartInterval)");
+  ASSERT_EQ(q->where->kind(), PredKind::kExists);
+  EXPECT_FALSE(static_cast<const ExistsPred&>(*q->where).negated());
+
+  auto q2 = Parse(
+      "SELECT * FROM Hours H WHERE NOT EXISTS (SELECT * FROM Flow F)");
+  ASSERT_EQ(q2->where->kind(), PredKind::kExists);
+  EXPECT_TRUE(static_cast<const ExistsPred&>(*q2->where).negated());
+}
+
+TEST(ParserTest, QuantifiedComparisons) {
+  auto q = Parse(
+      "SELECT * FROM B WHERE x > ALL (SELECT y FROM R WHERE R.k = B.k)");
+  ASSERT_EQ(q->where->kind(), PredKind::kQuantSub);
+  const auto& all = static_cast<const QuantSubPred&>(*q->where);
+  EXPECT_EQ(all.quant(), QuantKind::kAll);
+  EXPECT_EQ(all.op(), CompareOp::kGt);
+
+  auto q2 = Parse("SELECT * FROM B WHERE x = ANY (SELECT y FROM R)");
+  const auto& some = static_cast<const QuantSubPred&>(*q2->where);
+  EXPECT_EQ(some.quant(), QuantKind::kSome);
+}
+
+TEST(ParserTest, InAndNotIn) {
+  auto q = Parse("SELECT * FROM B WHERE x IN (SELECT y FROM R)");
+  ASSERT_EQ(q->where->kind(), PredKind::kQuantSub);
+  auto q2 = Parse("SELECT * FROM B WHERE x NOT IN (SELECT y FROM R)");
+  const auto& ni = static_cast<const QuantSubPred&>(*q2->where);
+  EXPECT_EQ(ni.op(), CompareOp::kNe);
+  EXPECT_EQ(ni.quant(), QuantKind::kAll);
+}
+
+TEST(ParserTest, ScalarAndAggregateSubqueries) {
+  auto q = Parse(
+      "SELECT * FROM B WHERE x > (SELECT AVG(y) FROM R WHERE R.k = B.k)");
+  ASSERT_EQ(q->where->kind(), PredKind::kCompareSub);
+  const auto& agg = static_cast<const CompareSubPred&>(*q->where);
+  EXPECT_TRUE(agg.is_aggregate());
+  EXPECT_EQ(agg.sub().select_agg->kind, AggKind::kAvg);
+
+  auto q2 = Parse(
+      "SELECT * FROM B WHERE x = (SELECT y FROM R WHERE R.k = B.k)");
+  const auto& scalar = static_cast<const CompareSubPred&>(*q2->where);
+  EXPECT_FALSE(scalar.is_aggregate());
+
+  auto q3 = Parse("SELECT * FROM B WHERE 3 <= (SELECT COUNT(*) FROM R)");
+  const auto& count = static_cast<const CompareSubPred&>(*q3->where);
+  EXPECT_EQ(count.sub().select_agg->kind, AggKind::kCountStar);
+}
+
+TEST(ParserTest, NestedSubqueries) {
+  auto q = Parse(
+      "SELECT * FROM User U WHERE NOT EXISTS (SELECT * FROM Hours H WHERE "
+      "NOT EXISTS (SELECT * FROM Flow F WHERE F.SourceIP = U.IPAddress AND "
+      "F.StartTime >= H.StartInterval))");
+  ASSERT_NE(q, nullptr);
+  const auto& outer = static_cast<const ExistsPred&>(*q->where);
+  EXPECT_TRUE(outer.negated());
+  EXPECT_EQ(outer.sub().where->kind(), PredKind::kExists);
+}
+
+TEST(ParserTest, ErrorsCarryPosition) {
+  const auto missing_from = ParseQuery("SELECT * Flow");
+  ASSERT_FALSE(missing_from.ok());
+  EXPECT_NE(missing_from.status().message().find("expected FROM"),
+            std::string::npos);
+
+  EXPECT_FALSE(ParseQuery("SELECT a FROM t").ok());  // Top-level col list.
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t WHERE").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t WHERE a >").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t extra_garbage boom").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t WHERE x IN (1, 2)").ok());
+}
+
+// Parsed queries must run identically to builder-constructed ones.
+TEST(ParserTest, ParsedQueryExecutesAcrossStrategies) {
+  OlapEngine engine;
+  engine.catalog()->PutTable("B", MakeTable({"B.k", "B.x"},
+                                            {{1, 5}, {2, 50}, {3, 7}}));
+  engine.catalog()->PutTable(
+      "R", MakeTable({"R.k", "R.y"}, {{1, 10}, {2, 10}, {9, 1}}));
+
+  auto q = Parse(
+      "SELECT * FROM B WHERE EXISTS (SELECT * FROM R WHERE R.k = B.k AND "
+      "R.y > 5)");
+  ASSERT_NE(q, nullptr);
+  const Table result =
+      testutil::ExpectAllStrategiesAgree(&engine, *q, "parsed exists");
+  EXPECT_TRUE(SameRows(result, MakeTable({"k", "x"}, {{1, 5}, {2, 50}})));
+
+  auto q2 = Parse(
+      "SELECT * FROM B WHERE B.x > (SELECT AVG(R.y) FROM R WHERE R.k = "
+      "B.k)");
+  ASSERT_NE(q2, nullptr);
+  testutil::ExpectAllStrategiesAgree(&engine, *q2, "parsed aggregate");
+
+  auto q3 = Parse(
+      "SELECT DISTINCT B.k FROM B WHERE B.k NOT IN (SELECT R.k FROM R)");
+  ASSERT_NE(q3, nullptr);
+  const Table r3 =
+      testutil::ExpectAllStrategiesAgree(&engine, *q3, "parsed not in");
+  EXPECT_TRUE(SameRows(r3, MakeTable({"k"}, {{3}})));
+}
+
+TEST(ParserTest, PaperExample22AsSql) {
+  OlapEngine engine;
+  testutil::LoadPaperTables(&engine);
+  auto q = Parse(
+      "SELECT * FROM Hours H WHERE EXISTS (SELECT * FROM Flow FI WHERE "
+      "FI.DestIP = '167.167.167.0' AND FI.StartTime >= H.StartInterval AND "
+      "FI.StartTime < H.EndInterval)");
+  ASSERT_NE(q, nullptr);
+  const Table result =
+      testutil::ExpectAllStrategiesAgree(&engine, *q, "sql example 2.2");
+  EXPECT_EQ(result.num_rows(), 3u);
+}
+
+}  // namespace
+}  // namespace gmdj

@@ -1,0 +1,67 @@
+#include "storage/catalog.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace gmdj {
+namespace {
+
+using testutil::MakeTable;
+
+TEST(CatalogTest, RegisterAndGet) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterTable("t", MakeTable({"x"}, {{1}})).ok());
+  const auto t = catalog.GetTable("t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->num_rows(), 1u);
+  EXPECT_TRUE(catalog.HasTable("t"));
+}
+
+TEST(CatalogTest, DuplicateRegistrationFails) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterTable("t", MakeTable({"x"}, {})).ok());
+  const Status s = catalog.RegisterTable("t", MakeTable({"x"}, {}));
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, PutReplaces) {
+  Catalog catalog;
+  catalog.PutTable("t", MakeTable({"x"}, {{1}}));
+  catalog.PutTable("t", MakeTable({"x"}, {{1}, {2}}));
+  EXPECT_EQ((*catalog.GetTable("t"))->num_rows(), 2u);
+}
+
+TEST(CatalogTest, GetMissing) {
+  Catalog catalog;
+  EXPECT_EQ(catalog.GetTable("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, DropTable) {
+  Catalog catalog;
+  catalog.PutTable("t", MakeTable({"x"}, {}));
+  ASSERT_TRUE(catalog.DropTable("t").ok());
+  EXPECT_FALSE(catalog.HasTable("t"));
+  EXPECT_EQ(catalog.DropTable("t").code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, TableNamesSorted) {
+  Catalog catalog;
+  catalog.PutTable("b", MakeTable({"x"}, {}));
+  catalog.PutTable("a", MakeTable({"x"}, {}));
+  catalog.PutTable("c", MakeTable({"x"}, {}));
+  EXPECT_EQ(catalog.TableNames(),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CatalogTest, PointerStableAcrossInserts) {
+  Catalog catalog;
+  catalog.PutTable("t", MakeTable({"x"}, {{1}}));
+  const Table* t = *catalog.GetTable("t");
+  for (int i = 0; i < 50; ++i) {
+    catalog.PutTable("t" + std::to_string(i), MakeTable({"x"}, {}));
+  }
+  EXPECT_EQ(*catalog.GetTable("t"), t);
+}
+
+}  // namespace
+}  // namespace gmdj

@@ -1,0 +1,110 @@
+#include "storage/csv.h"
+
+#include <cstdio>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "workload/tpch_gen.h"
+
+namespace gmdj {
+namespace {
+
+using testutil::MakeTable;
+using testutil::SameRows;
+
+TEST(CsvTest, SerializeBasicTable) {
+  const Table t = MakeTable({"F.a", "F.s:s", "F.d:d"},
+                            {{1, "x", 2.5}, {2, "y", -1.0}});
+  EXPECT_EQ(TableToCsv(t),
+            "F.a,F.s,F.d\n"
+            "1,x,2.5\n"
+            "2,y,-1\n");
+}
+
+TEST(CsvTest, NullVersusEmptyString) {
+  const Table t = MakeTable({"a", "s:s"},
+                            {{Value::Null(), ""}, {1, Value::Null()}});
+  const std::string csv = TableToCsv(t);
+  EXPECT_EQ(csv,
+            "a,s\n"
+            ",\"\"\n"
+            "1,\n");
+  const Result<Table> back = CsvToTable(csv, t.schema());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(SameRows(*back, t));
+  EXPECT_TRUE(back->row(0)[0].is_null());
+  EXPECT_EQ(back->row(0)[1].str(), "");
+  EXPECT_TRUE(back->row(1)[1].is_null());
+}
+
+TEST(CsvTest, QuotingRoundTrip) {
+  const Table t = MakeTable(
+      {"s:s"},
+      {{"has,comma"}, {"has\"quote"}, {"has\nnewline"}, {"plain"}});
+  const Result<Table> back = CsvToTable(TableToCsv(t), t.schema());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(SameRows(*back, t));
+}
+
+TEST(CsvTest, NumericRoundTripIncludingDoubles) {
+  const Table t = MakeTable({"i", "d:d"},
+                            {{-42, 0.1}, {int64_t{9000000000}, 1e-17},
+                             {0, 123456.789}});
+  const Result<Table> back = CsvToTable(TableToCsv(t), t.schema());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(SameRows(*back, t));
+}
+
+TEST(CsvTest, HeaderWidthValidated) {
+  const Table t = MakeTable({"a", "b"}, {});
+  EXPECT_FALSE(CsvToTable("a\n1\n", t.schema()).ok());
+  EXPECT_FALSE(CsvToTable("", t.schema()).ok());
+}
+
+TEST(CsvTest, RowWidthValidated) {
+  const Table t = MakeTable({"a", "b"}, {});
+  const auto r = CsvToTable("a,b\n1,2,3\n", t.schema());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("row 1"), std::string::npos);
+}
+
+TEST(CsvTest, BadValuesRejectedWithRowNumber) {
+  const Table t = MakeTable({"a"}, {});
+  const auto r = CsvToTable("a\n1\nxyz\n", t.schema());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("row 2"), std::string::npos);
+  EXPECT_FALSE(CsvToTable("a\n1.5x\n",
+                          MakeTable({"a:d"}, {}).schema()).ok());
+}
+
+TEST(CsvTest, UnterminatedQuoteRejected) {
+  const Table t = MakeTable({"s:s"}, {});
+  EXPECT_FALSE(CsvToTable("s\n\"oops\n", t.schema()).ok());
+}
+
+TEST(CsvTest, CrlfLineEndings) {
+  const Table t = MakeTable({"a", "s:s"}, {});
+  const auto r = CsvToTable("a,s\r\n1,x\r\n2,y\r\n", t.schema());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 2u);
+  EXPECT_EQ(r->row(1)[1].str(), "y");
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const Table t = GenSupplierTable(TpchConfig{.num_suppliers = 50});
+  const std::string path = ::testing::TempDir() + "/gmdj_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(t, path).ok());
+  const Result<Table> back = ReadCsvFile(path, t.schema());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(SameRows(*back, t));
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  const Table t = MakeTable({"a"}, {});
+  EXPECT_EQ(ReadCsvFile("/nonexistent/nope.csv", t.schema()).status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace gmdj

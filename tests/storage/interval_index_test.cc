@@ -1,0 +1,101 @@
+#include "storage/interval_index.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace gmdj {
+namespace {
+
+std::vector<uint32_t> StabSorted(const IntervalIndex& index, double x) {
+  std::vector<uint32_t> out;
+  index.Stab(x, &out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(IntervalIndexTest, DisjointHourBuckets) {
+  // The paper's Hours pattern: [0,60), [61,120), [121,180).
+  std::vector<IndexedInterval> intervals = {
+      {0, 60, 0}, {61, 120, 1}, {121, 180, 2}};
+  IntervalIndex index(std::move(intervals), /*lo_strict=*/false,
+                      /*hi_strict=*/true);
+  EXPECT_EQ(StabSorted(index, 43), (std::vector<uint32_t>{0}));
+  EXPECT_EQ(StabSorted(index, 86), (std::vector<uint32_t>{1}));
+  EXPECT_EQ(StabSorted(index, 161), (std::vector<uint32_t>{2}));
+  EXPECT_TRUE(StabSorted(index, 60.5).empty());  // Gap between buckets.
+  EXPECT_TRUE(StabSorted(index, -1).empty());
+  EXPECT_TRUE(StabSorted(index, 180).empty());  // hi_strict.
+  EXPECT_EQ(StabSorted(index, 0), (std::vector<uint32_t>{0}));  // lo incl.
+}
+
+TEST(IntervalIndexTest, StrictnessFlags) {
+  std::vector<IndexedInterval> intervals = {{10, 20, 0}};
+  {
+    IntervalIndex index(intervals, /*lo_strict=*/true, /*hi_strict=*/false);
+    EXPECT_TRUE(StabSorted(index, 10).empty());
+    EXPECT_EQ(StabSorted(index, 20), (std::vector<uint32_t>{0}));
+  }
+  {
+    IntervalIndex index(intervals, /*lo_strict=*/false, /*hi_strict=*/false);
+    EXPECT_EQ(StabSorted(index, 10), (std::vector<uint32_t>{0}));
+    EXPECT_EQ(StabSorted(index, 20), (std::vector<uint32_t>{0}));
+  }
+}
+
+TEST(IntervalIndexTest, OverlappingIntervals) {
+  std::vector<IndexedInterval> intervals = {
+      {0, 100, 0}, {50, 150, 1}, {75, 80, 2}, {200, 300, 3}};
+  IntervalIndex index(std::move(intervals), false, true);
+  EXPECT_EQ(StabSorted(index, 77), (std::vector<uint32_t>{0, 1, 2}));
+  EXPECT_EQ(StabSorted(index, 25), (std::vector<uint32_t>{0}));
+  EXPECT_EQ(StabSorted(index, 120), (std::vector<uint32_t>{1}));
+  EXPECT_EQ(StabSorted(index, 250), (std::vector<uint32_t>{3}));
+}
+
+TEST(IntervalIndexTest, EmptyIndexAndEmptyIntervals) {
+  IntervalIndex empty({}, false, true);
+  std::vector<uint32_t> out;
+  empty.Stab(5, &out);
+  EXPECT_TRUE(out.empty());
+
+  // [5, 5) is empty under a strict bound and must never be stabbed.
+  IntervalIndex degenerate({{5, 5, 0}}, false, true);
+  EXPECT_TRUE(StabSorted(degenerate, 5).empty());
+  // [5, 5] under inclusive bounds contains exactly 5.
+  IntervalIndex point({{5, 5, 0}}, false, false);
+  EXPECT_EQ(StabSorted(point, 5), (std::vector<uint32_t>{0}));
+}
+
+// Randomized differential test against brute force.
+TEST(IntervalIndexTest, RandomizedMatchesBruteForce) {
+  Rng rng(2024);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<IndexedInterval> intervals;
+    const int n = 1 + static_cast<int>(rng.Uniform(0, 200));
+    for (int i = 0; i < n; ++i) {
+      const double lo = static_cast<double>(rng.Uniform(0, 1000));
+      const double len = static_cast<double>(rng.Uniform(0, 100));
+      intervals.push_back({lo, lo + len, static_cast<uint32_t>(i)});
+    }
+    const bool lo_strict = rng.Chance(0.5);
+    const bool hi_strict = rng.Chance(0.5);
+    IntervalIndex index(intervals, lo_strict, hi_strict);
+    for (int q = 0; q < 100; ++q) {
+      const double x = static_cast<double>(rng.Uniform(-10, 1110));
+      std::vector<uint32_t> expected;
+      for (const auto& iv : intervals) {
+        const bool above = lo_strict ? iv.lo < x : iv.lo <= x;
+        const bool below = hi_strict ? x < iv.hi : x <= iv.hi;
+        if (above && below) expected.push_back(iv.id);
+      }
+      std::sort(expected.begin(), expected.end());
+      EXPECT_EQ(StabSorted(index, x), expected)
+          << "round=" << round << " x=" << x;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gmdj

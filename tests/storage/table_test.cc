@@ -1,0 +1,87 @@
+#include "storage/table.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace gmdj {
+namespace {
+
+using testutil::MakeTable;
+
+TEST(TableTest, AppendAndAccess) {
+  Table t = MakeTable({"a", "b:s"}, {});
+  t.AppendRow({1, "x"});
+  t.AppendRow({2, "y"});
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_EQ(t.row(1)[1].str(), "y");
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(TableTest, ValidateCatchesTypeMismatch) {
+  Table t = MakeTable({"a"}, {});
+  t.AppendRow({Value("oops")});
+  EXPECT_FALSE(t.Validate().ok());
+}
+
+TEST(TableTest, NullsAlwaysValid) {
+  Table t = MakeTable({"a", "b:s"}, {{Value::Null(), Value::Null()}});
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(TableTest, CopyIsSharedUntilMutation) {
+  Table a = MakeTable({"x"}, {{1}, {2}});
+  Table b = a;  // O(1) shared copy.
+  EXPECT_EQ(&a.rows(), &b.rows());
+  b.AppendRow({3});  // Detaches.
+  EXPECT_NE(&a.rows(), &b.rows());
+  EXPECT_EQ(a.num_rows(), 2u);
+  EXPECT_EQ(b.num_rows(), 3u);
+}
+
+TEST(TableTest, WithQualifierSharesRows) {
+  Table a = MakeTable({"x"}, {{1}});
+  const Table b = a.WithQualifier("Q");
+  EXPECT_EQ(&a.rows(), &b.rows());
+  EXPECT_EQ(b.schema().field(0).QualifiedName(), "Q.x");
+  EXPECT_EQ(a.schema().field(0).QualifiedName(), "x");
+}
+
+TEST(TableTest, SameRowsAsIgnoresOrderAndNames) {
+  const Table a = MakeTable({"x", "y"}, {{1, 2}, {3, 4}});
+  const Table b = MakeTable({"p", "q"}, {{3, 4}, {1, 2}});
+  EXPECT_TRUE(a.SameRowsAs(b));
+}
+
+TEST(TableTest, SameRowsAsRespectsMultiplicity) {
+  const Table a = MakeTable({"x"}, {{1}, {1}, {2}});
+  const Table b = MakeTable({"x"}, {{1}, {2}, {2}});
+  EXPECT_FALSE(a.SameRowsAs(b));
+  const Table c = MakeTable({"x"}, {{1}, {2}});
+  EXPECT_FALSE(a.SameRowsAs(c));
+}
+
+TEST(TableTest, SameRowsAsHandlesNulls) {
+  const Table a = MakeTable({"x"}, {{Value::Null()}, {1}});
+  const Table b = MakeTable({"x"}, {{1}, {Value::Null()}});
+  EXPECT_TRUE(a.SameRowsAs(b));
+}
+
+TEST(TableTest, SortRows) {
+  Table t = MakeTable({"x"}, {{3}, {1}, {Value::Null()}, {2}});
+  t.SortRows();
+  EXPECT_TRUE(t.row(0)[0].is_null());  // NULLs first in internal order.
+  EXPECT_EQ(t.row(1)[0].int64(), 1);
+  EXPECT_EQ(t.row(3)[0].int64(), 3);
+}
+
+TEST(TableTest, ToStringTruncates) {
+  Table t = MakeTable({"x"}, {});
+  for (int i = 0; i < 100; ++i) t.AppendRow({i});
+  const std::string s = t.ToString(5);
+  EXPECT_NE(s.find("95 more rows"), std::string::npos);
+  EXPECT_NE(s.find("| x"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gmdj

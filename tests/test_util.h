@@ -1,0 +1,47 @@
+#ifndef GMDJ_TESTS_TEST_UTIL_H_
+#define GMDJ_TESTS_TEST_UTIL_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "engine/olap_engine.h"
+#include "exec/plan.h"
+#include "gtest/gtest.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace gmdj {
+namespace testutil {
+
+/// Builds a table from terse field specs ("name:i", "name:d", "name:s")
+/// and rows.
+Table MakeTable(const std::vector<std::string>& field_specs,
+                const std::vector<Row>& rows);
+
+/// Prepares and executes a plan against `catalog`, asserting success.
+Table RunPlan(PlanNode* plan, const Catalog& catalog,
+              ExecStats* stats = nullptr);
+
+/// Gtest predicate: both tables hold the same multiset of rows.
+::testing::AssertionResult SameRows(const Table& actual,
+                                    const Table& expected);
+
+/// The paper's Figure 1 literal tables (Hours with 3 rows, Flow with 6).
+Table PaperHoursTable();
+Table PaperFlowTable();
+
+/// Loads the Figure 1 tables plus a small User table into an engine's
+/// catalog under names "Hours", "Flow", "User".
+void LoadPaperTables(OlapEngine* engine);
+
+/// Runs `query` under every strategy in AllStrategies() and asserts all
+/// results agree with the native-naive reference. Returns the reference
+/// result. `context` labels failures.
+Table ExpectAllStrategiesAgree(OlapEngine* engine, const NestedSelect& query,
+                               const std::string& context);
+
+}  // namespace testutil
+}  // namespace gmdj
+
+#endif  // GMDJ_TESTS_TEST_UTIL_H_

@@ -1,0 +1,81 @@
+#include "types/schema.h"
+
+#include "gtest/gtest.h"
+
+namespace gmdj {
+namespace {
+
+Schema FlowSchema() {
+  return Schema(std::vector<Field>{
+      {"SourceIP", ValueType::kString, "F"},
+      {"StartTime", ValueType::kInt64, "F"},
+      {"NumBytes", ValueType::kInt64, "F"},
+  });
+}
+
+TEST(SchemaTest, QualifiedNames) {
+  const Schema s = FlowSchema();
+  EXPECT_EQ(s.field(0).QualifiedName(), "F.SourceIP");
+  Field bare{"x", ValueType::kInt64, ""};
+  EXPECT_EQ(bare.QualifiedName(), "x");
+}
+
+TEST(SchemaTest, ResolveBareAndQualified) {
+  const Schema s = FlowSchema();
+  EXPECT_EQ(*s.Resolve("StartTime"), 1u);
+  EXPECT_EQ(*s.Resolve("F.StartTime"), 1u);
+  EXPECT_EQ(s.TryResolve("NumBytes"), 2u);
+}
+
+TEST(SchemaTest, ResolveMissing) {
+  const Schema s = FlowSchema();
+  const auto r = s.Resolve("Nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.TryResolve("G.StartTime"), Schema::kNotFound);
+}
+
+TEST(SchemaTest, ResolveAmbiguous) {
+  Schema s = FlowSchema();
+  s.AddField(Field{"StartTime", ValueType::kInt64, "G"});
+  const auto r = s.Resolve("StartTime");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // Qualification disambiguates.
+  EXPECT_EQ(*s.Resolve("G.StartTime"), 3u);
+  EXPECT_EQ(*s.Resolve("F.StartTime"), 1u);
+}
+
+TEST(SchemaTest, WithQualifierReplacesAll) {
+  const Schema s = FlowSchema().WithQualifier("X");
+  for (const Field& f : s.fields()) {
+    EXPECT_EQ(f.qualifier, "X");
+  }
+  EXPECT_EQ(s.TryResolve("X.NumBytes"), 2u);
+  EXPECT_EQ(s.TryResolve("F.NumBytes"), Schema::kNotFound);
+}
+
+TEST(SchemaTest, ConcatPreservesOrder) {
+  const Schema a = FlowSchema();
+  Schema b(std::vector<Field>{{"HourDescription", ValueType::kInt64, "H"}});
+  const Schema c = a.Concat(b);
+  EXPECT_EQ(c.num_fields(), 4u);
+  EXPECT_EQ(c.field(3).QualifiedName(), "H.HourDescription");
+  EXPECT_EQ(c.TryResolve("F.SourceIP"), 0u);
+}
+
+TEST(SchemaTest, Equals) {
+  EXPECT_TRUE(FlowSchema().Equals(FlowSchema()));
+  EXPECT_FALSE(FlowSchema().Equals(FlowSchema().WithQualifier("X")));
+  Schema shorter(std::vector<Field>{{"SourceIP", ValueType::kString, "F"}});
+  EXPECT_FALSE(FlowSchema().Equals(shorter));
+}
+
+TEST(SchemaTest, ToStringMentionsTypes) {
+  const std::string s = FlowSchema().ToString();
+  EXPECT_NE(s.find("F.SourceIP STRING"), std::string::npos);
+  EXPECT_NE(s.find("F.NumBytes INT64"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gmdj

@@ -1,0 +1,64 @@
+#include "types/tribool.h"
+
+#include "gtest/gtest.h"
+
+namespace gmdj {
+namespace {
+
+constexpr TriBool kF = TriBool::kFalse;
+constexpr TriBool kU = TriBool::kUnknown;
+constexpr TriBool kT = TriBool::kTrue;
+
+TEST(TriBoolTest, KleeneAndTruthTable) {
+  EXPECT_EQ(And(kT, kT), kT);
+  EXPECT_EQ(And(kT, kU), kU);
+  EXPECT_EQ(And(kT, kF), kF);
+  EXPECT_EQ(And(kU, kU), kU);
+  EXPECT_EQ(And(kU, kF), kF);
+  EXPECT_EQ(And(kF, kF), kF);
+}
+
+TEST(TriBoolTest, KleeneOrTruthTable) {
+  EXPECT_EQ(Or(kT, kT), kT);
+  EXPECT_EQ(Or(kT, kU), kT);
+  EXPECT_EQ(Or(kT, kF), kT);
+  EXPECT_EQ(Or(kU, kU), kU);
+  EXPECT_EQ(Or(kU, kF), kU);
+  EXPECT_EQ(Or(kF, kF), kF);
+}
+
+TEST(TriBoolTest, NotTruthTable) {
+  EXPECT_EQ(Not(kT), kF);
+  EXPECT_EQ(Not(kF), kT);
+  EXPECT_EQ(Not(kU), kU);
+}
+
+TEST(TriBoolTest, CommutativityAndDeMorgan) {
+  for (const TriBool a : {kF, kU, kT}) {
+    for (const TriBool b : {kF, kU, kT}) {
+      EXPECT_EQ(And(a, b), And(b, a));
+      EXPECT_EQ(Or(a, b), Or(b, a));
+      EXPECT_EQ(Not(And(a, b)), Or(Not(a), Not(b)));
+      EXPECT_EQ(Not(Or(a, b)), And(Not(a), Not(b)));
+    }
+  }
+}
+
+TEST(TriBoolTest, WhereClauseTruncation) {
+  EXPECT_TRUE(IsTrue(kT));
+  EXPECT_FALSE(IsTrue(kU));
+  EXPECT_FALSE(IsTrue(kF));
+  EXPECT_TRUE(IsUnknown(kU));
+  EXPECT_TRUE(IsFalse(kF));
+}
+
+TEST(TriBoolTest, MakeAndToString) {
+  EXPECT_EQ(MakeTriBool(true), kT);
+  EXPECT_EQ(MakeTriBool(false), kF);
+  EXPECT_STREQ(ToString(kT), "TRUE");
+  EXPECT_STREQ(ToString(kF), "FALSE");
+  EXPECT_STREQ(ToString(kU), "UNKNOWN");
+}
+
+}  // namespace
+}  // namespace gmdj

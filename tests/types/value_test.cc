@@ -1,0 +1,126 @@
+#include "types/value.h"
+
+#include "gtest/gtest.h"
+
+namespace gmdj {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value().type(), ValueType::kNull);
+  EXPECT_EQ(Value(int64_t{7}).int64(), 7);
+  EXPECT_EQ(Value(7).type(), ValueType::kInt64);
+  EXPECT_DOUBLE_EQ(Value(2.5).dbl(), 2.5);
+  EXPECT_EQ(Value("abc").str(), "abc");
+  EXPECT_EQ(Value(std::string("xy")).type(), ValueType::kString);
+}
+
+TEST(ValueTest, AsDoubleCrossesNumericTypes) {
+  EXPECT_DOUBLE_EQ(Value(4).AsDouble(), 4.0);
+  EXPECT_DOUBLE_EQ(Value(4.5).AsDouble(), 4.5);
+}
+
+TEST(ValueTest, InternalTotalOrder) {
+  // NULL < numeric < string.
+  EXPECT_LT(Value().Compare(Value(0)), 0);
+  EXPECT_LT(Value(int64_t{1} << 40).Compare(Value("a")), 0);
+  EXPECT_EQ(Value().Compare(Value()), 0);
+  EXPECT_GT(Value("b").Compare(Value("a")), 0);
+  EXPECT_EQ(Value(3).Compare(Value(3.0)), 0);  // Mixed numerics by value.
+  EXPECT_LT(Value(3).Compare(Value(3.5)), 0);
+  EXPECT_GT(Value(4.0).Compare(Value(3)), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(3).Hash(), Value(3.0).Hash());
+  EXPECT_EQ(Value("abc").Hash(), Value(std::string("abc")).Hash());
+  EXPECT_EQ(Value(0.0).Hash(), Value(-0.0).Hash());
+  EXPECT_EQ(Value().Hash(), Value::Null().Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value().ToString(), "NULL");
+  EXPECT_EQ(Value(42).ToString(), "42");
+  EXPECT_EQ(Value(3.5).ToString(), "3.5");
+  EXPECT_EQ(Value("hi").ToString(), "hi");
+}
+
+TEST(SqlCompareTest, NullAlwaysUnknown) {
+  for (const CompareOp op : {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                             CompareOp::kLe, CompareOp::kGt, CompareOp::kGe}) {
+    EXPECT_EQ(SqlCompare(Value(), op, Value(1)), TriBool::kUnknown);
+    EXPECT_EQ(SqlCompare(Value(1), op, Value()), TriBool::kUnknown);
+    EXPECT_EQ(SqlCompare(Value(), op, Value()), TriBool::kUnknown);
+  }
+}
+
+TEST(SqlCompareTest, NumericComparisons) {
+  EXPECT_EQ(SqlCompare(Value(1), CompareOp::kLt, Value(2)), TriBool::kTrue);
+  EXPECT_EQ(SqlCompare(Value(2), CompareOp::kLt, Value(1)), TriBool::kFalse);
+  EXPECT_EQ(SqlCompare(Value(2), CompareOp::kEq, Value(2.0)), TriBool::kTrue);
+  EXPECT_EQ(SqlCompare(Value(2), CompareOp::kNe, Value(2.0)), TriBool::kFalse);
+  EXPECT_EQ(SqlCompare(Value(2.5), CompareOp::kGe, Value(2.5)),
+            TriBool::kTrue);
+  EXPECT_EQ(SqlCompare(Value(2.5), CompareOp::kGt, Value(2.5)),
+            TriBool::kFalse);
+  EXPECT_EQ(SqlCompare(Value(-1), CompareOp::kLe, Value(-1)), TriBool::kTrue);
+}
+
+TEST(SqlCompareTest, StringComparisons) {
+  EXPECT_EQ(SqlCompare(Value("a"), CompareOp::kLt, Value("b")),
+            TriBool::kTrue);
+  EXPECT_EQ(SqlCompare(Value("abc"), CompareOp::kEq, Value("abc")),
+            TriBool::kTrue);
+  EXPECT_EQ(SqlCompare(Value("b"), CompareOp::kGe, Value("ba")),
+            TriBool::kFalse);
+}
+
+TEST(SqlCompareTest, MixedNumberStringIsUnknown) {
+  EXPECT_EQ(SqlCompare(Value(1), CompareOp::kEq, Value("1")),
+            TriBool::kUnknown);
+  EXPECT_EQ(SqlCompare(Value("x"), CompareOp::kLt, Value(2.0)),
+            TriBool::kUnknown);
+}
+
+TEST(CompareOpTest, NegationTable) {
+  EXPECT_EQ(NegateCompareOp(CompareOp::kEq), CompareOp::kNe);
+  EXPECT_EQ(NegateCompareOp(CompareOp::kNe), CompareOp::kEq);
+  EXPECT_EQ(NegateCompareOp(CompareOp::kLt), CompareOp::kGe);
+  EXPECT_EQ(NegateCompareOp(CompareOp::kGe), CompareOp::kLt);
+  EXPECT_EQ(NegateCompareOp(CompareOp::kGt), CompareOp::kLe);
+  EXPECT_EQ(NegateCompareOp(CompareOp::kLe), CompareOp::kGt);
+}
+
+TEST(CompareOpTest, MirrorTable) {
+  EXPECT_EQ(MirrorCompareOp(CompareOp::kEq), CompareOp::kEq);
+  EXPECT_EQ(MirrorCompareOp(CompareOp::kNe), CompareOp::kNe);
+  EXPECT_EQ(MirrorCompareOp(CompareOp::kLt), CompareOp::kGt);
+  EXPECT_EQ(MirrorCompareOp(CompareOp::kGt), CompareOp::kLt);
+  EXPECT_EQ(MirrorCompareOp(CompareOp::kLe), CompareOp::kGe);
+  EXPECT_EQ(MirrorCompareOp(CompareOp::kGe), CompareOp::kLe);
+}
+
+// Negation and mirroring must agree with direct evaluation on all pairs.
+class CompareOpPropertyTest : public ::testing::TestWithParam<CompareOp> {};
+
+TEST_P(CompareOpPropertyTest, NegateFlipsNonNullOutcomes) {
+  const CompareOp op = GetParam();
+  const std::vector<Value> values = {Value(1), Value(2), Value(2.0),
+                                     Value(-3.5)};
+  for (const Value& a : values) {
+    for (const Value& b : values) {
+      const TriBool direct = SqlCompare(a, op, b);
+      const TriBool negated = SqlCompare(a, NegateCompareOp(op), b);
+      EXPECT_EQ(direct, Not(negated));
+      EXPECT_EQ(direct, SqlCompare(b, MirrorCompareOp(op), a));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, CompareOpPropertyTest,
+                         ::testing::Values(CompareOp::kEq, CompareOp::kNe,
+                                           CompareOp::kLt, CompareOp::kLe,
+                                           CompareOp::kGt, CompareOp::kGe));
+
+}  // namespace
+}  // namespace gmdj

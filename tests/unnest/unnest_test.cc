@@ -1,0 +1,307 @@
+// The join/outer-join unnesting baseline: plan shapes, supported-fragment
+// boundaries, and agreement with native semantics (including the classic
+// COUNT bug the rewrite must avoid).
+
+#include "unnest/unnest.h"
+
+#include "engine/olap_engine.h"
+#include "expr/expr_builder.h"
+#include "gtest/gtest.h"
+#include "nested/nested_builder.h"
+#include "test_util.h"
+
+namespace gmdj {
+namespace {
+
+using testutil::MakeTable;
+using testutil::SameRows;
+
+size_t CountNodes(const PlanNode& plan, const std::string& needle) {
+  size_t n = plan.label().find(needle) != std::string::npos ? 1 : 0;
+  for (const PlanNode* child : plan.children()) {
+    n += CountNodes(*child, needle);
+  }
+  return n;
+}
+
+class UnnestTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    engine_.catalog()->PutTable(
+        "B", MakeTable({"B.k", "B.x"},
+                       {{1, 5}, {2, 50}, {3, 7}, {4, Value::Null()}}));
+    engine_.catalog()->PutTable(
+        "R", MakeTable({"R.k", "R.y"},
+                       {{1, 10}, {1, 3}, {2, 10}, {3, 7}, {5, 1}}));
+  }
+
+  PlanPtr Unnest(const NestedSelect& q, UnnestOptions options = {}) {
+    Result<PlanPtr> plan =
+        UnnestToJoins(q.Clone(), *engine_.catalog(), options);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    PlanPtr out = std::move(*plan);
+    EXPECT_TRUE(out->Prepare(*engine_.catalog()).ok());
+    return out;
+  }
+
+  void ExpectMatchesNative(const NestedSelect& q, const char* label) {
+    const Result<Table> native = engine_.Execute(q, Strategy::kNativeNaive);
+    for (const Strategy s : {Strategy::kUnnest, Strategy::kUnnestNoIndex}) {
+      const Result<Table> unnested = engine_.Execute(q, s);
+      if (!native.ok()) {
+        EXPECT_FALSE(unnested.ok()) << label;
+        continue;
+      }
+      ASSERT_TRUE(unnested.ok()) << label << ": "
+                                 << unnested.status().ToString();
+      EXPECT_TRUE(SameRows(*unnested, *native)) << label;
+    }
+  }
+
+  OlapEngine engine_;
+};
+
+TEST_F(UnnestTest, ExistsBecomesSemiJoin) {
+  NestedSelect q;
+  q.source = From("B", "B");
+  q.where = Exists(Sub(From("R", "R"),
+                       WherePred(Eq(Col("R.k"), Col("B.k")))));
+  PlanPtr plan = Unnest(q);
+  EXPECT_EQ(CountNodes(*plan, "HashJoin(Semi)"), 1u);
+  ExpectMatchesNative(q, "exists semi");
+}
+
+TEST_F(UnnestTest, NotExistsBecomesAntiJoin) {
+  NestedSelect q;
+  q.source = From("B", "B");
+  q.where = NotExists(Sub(From("R", "R"),
+                          WherePred(Eq(Col("R.k"), Col("B.k")))));
+  PlanPtr plan = Unnest(q);
+  EXPECT_EQ(CountNodes(*plan, "HashJoin(Anti)"), 1u);
+  ExpectMatchesNative(q, "not exists anti");
+}
+
+TEST_F(UnnestTest, NoIndexVariantUsesNestedLoops) {
+  NestedSelect q;
+  q.source = From("B", "B");
+  q.where = Exists(Sub(From("R", "R"),
+                       WherePred(Eq(Col("R.k"), Col("B.k")))));
+  UnnestOptions options;
+  options.use_hash_joins = false;
+  PlanPtr plan = Unnest(q, options);
+  EXPECT_EQ(CountNodes(*plan, "NLJoin(Semi)"), 1u);
+  EXPECT_EQ(CountNodes(*plan, "HashJoin"), 0u);
+}
+
+TEST_F(UnnestTest, SomeQuantifierSemiJoinWithComparison) {
+  NestedSelect q;
+  q.source = From("B", "B");
+  q.where = SomeSub(Col("B.x"), CompareOp::kLt,
+                    SubSelect(From("R", "R"), Col("R.y"),
+                              WherePred(Eq(Col("R.k"), Col("B.k")))));
+  PlanPtr plan = Unnest(q);
+  EXPECT_EQ(CountNodes(*plan, "Semi"), 1u);
+  ExpectMatchesNative(q, "some");
+}
+
+TEST_F(UnnestTest, AllQuantifierAntiJoinOnIsNotTrue) {
+  NestedSelect q;
+  q.source = From("B", "B");
+  q.where = AllSub(Col("B.x"), CompareOp::kGt,
+                   SubSelect(From("R", "R"), Col("R.y"),
+                             WherePred(Eq(Col("R.k"), Col("B.k")))));
+  PlanPtr plan = Unnest(q);
+  EXPECT_EQ(CountNodes(*plan, "Anti"), 1u);
+  EXPECT_EQ(CountNodes(*plan, "IS NOT TRUE"), 1u);
+  ExpectMatchesNative(q, "all");
+}
+
+TEST_F(UnnestTest, NonEquiAllFallsBackToNLAntiJoin) {
+  // The Figure 4 shape: <> correlation has no usable equality key.
+  NestedSelect q;
+  q.source = From("B", "B");
+  q.where = AllSub(Col("B.k"), CompareOp::kNe,
+                   SubSelect(From("R", "R"), Col("R.k"), nullptr));
+  PlanPtr plan = Unnest(q);
+  EXPECT_EQ(CountNodes(*plan, "NLJoin(Anti)"), 1u);
+  ExpectMatchesNative(q, "non-equi all");
+}
+
+TEST_F(UnnestTest, SortMergeVariantMatchesHash) {
+  // Every join-producing construct, executed with sort-merge joins.
+  std::vector<NestedSelect> queries;
+  {
+    NestedSelect q;
+    q.source = From("B", "B");
+    q.where = Exists(Sub(From("R", "R"),
+                         WherePred(Eq(Col("R.k"), Col("B.k")))));
+    queries.push_back(std::move(q));
+  }
+  {
+    NestedSelect q;
+    q.source = From("B", "B");
+    q.where = CompareSub(Col("B.x"), CompareOp::kGt,
+                         SubAgg(From("R", "R"), AvgOf(Col("R.y"), "a"),
+                                WherePred(Eq(Col("R.k"), Col("B.k")))));
+    queries.push_back(std::move(q));
+  }
+  UnnestOptions options;
+  options.use_sort_merge = true;
+  for (const NestedSelect& q : queries) {
+    Result<PlanPtr> plan =
+        UnnestToJoins(q.Clone(), *engine_.catalog(), options);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    EXPECT_EQ(CountNodes(**plan, "SortMergeJoin"), 1u);
+    ASSERT_TRUE((*plan)->Prepare(*engine_.catalog()).ok());
+    ExecContext ctx(engine_.catalog());
+    Result<Table> out = (*plan)->Execute(&ctx);
+    ASSERT_TRUE(out.ok());
+    const Result<Table> reference = engine_.Execute(q, Strategy::kUnnest);
+    ASSERT_TRUE(reference.ok());
+    EXPECT_TRUE(SameRows(*out, *reference));
+  }
+}
+
+TEST_F(UnnestTest, AllViaOuterJoinCountVariant) {
+  // The historically faithful ALL pipeline (outer join + count) must agree
+  // with the anti-join form and with native semantics, for equi and
+  // non-equi correlations, including NULLs.
+  for (const CompareOp op : {CompareOp::kNe, CompareOp::kGt}) {
+    NestedSelect q;
+    q.source = From("B", "B");
+    q.where = AllSub(Col("B.x"), op,
+                     SubSelect(From("R", "R"), Col("R.y"),
+                               WherePred(Ne(Col("R.k"), Col("B.k")))));
+    UnnestOptions options;
+    options.all_via_outer_join_count = true;
+    Result<PlanPtr> plan =
+        UnnestToJoins(q.Clone(), *engine_.catalog(), options);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    ASSERT_TRUE((*plan)->Prepare(*engine_.catalog()).ok());
+    ExecContext ctx(engine_.catalog());
+    Result<Table> out = (*plan)->Execute(&ctx);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    const Result<Table> native = engine_.Execute(q, Strategy::kNativeNaive);
+    ASSERT_TRUE(native.ok());
+    EXPECT_TRUE(SameRows(*out, *native))
+        << "op=" << CompareOpToString(op);
+  }
+}
+
+TEST_F(UnnestTest, AggregateCompareGroupByOuterJoin) {
+  NestedSelect q;
+  q.source = From("B", "B");
+  q.where = CompareSub(Col("B.x"), CompareOp::kGt,
+                       SubAgg(From("R", "R"), AvgOf(Col("R.y"), "a"),
+                              WherePred(Eq(Col("R.k"), Col("B.k")))));
+  PlanPtr plan = Unnest(q);
+  EXPECT_EQ(CountNodes(*plan, "GroupAggregate"), 1u);
+  EXPECT_EQ(CountNodes(*plan, "LeftOuter"), 1u);
+  ExpectMatchesNative(q, "aggregate compare");
+}
+
+TEST_F(UnnestTest, CountBugAvoidedViaCoalesce) {
+  // B.x > count(...): customers with NO matching rows have count 0, which
+  // the naive join rewrite would lose (the classic COUNT bug).
+  NestedSelect q;
+  q.source = From("B", "B");
+  q.where = CompareSub(Col("B.x"), CompareOp::kGt,
+                       SubAgg(From("R", "R"), CountStar("c"),
+                              WherePred(And(Eq(Col("R.k"), Col("B.k")),
+                                            Gt(Col("R.y"), Lit(100))))));
+  PlanPtr plan = Unnest(q);
+  EXPECT_EQ(CountNodes(*plan, "COALESCE"), 1u);
+  const Result<Table> out = engine_.Execute(q, Strategy::kUnnest);
+  ASSERT_TRUE(out.ok());
+  // No R.y exceeds 100, so every count is 0; all non-NULL x qualify.
+  EXPECT_EQ(out->num_rows(), 3u);
+  ExpectMatchesNative(q, "count bug");
+}
+
+TEST_F(UnnestTest, ScalarSubqueryCardinalityAssert) {
+  NestedSelect q;
+  q.source = From("B", "B");
+  q.where = CompareSub(Col("B.x"), CompareOp::kLt,
+                       SubSelect(From("R", "R"), Col("R.y"),
+                                 WherePred(Eq(Col("R.k"), Col("B.k")))));
+  // Key 1 has two rows -> runtime error, like the native engine.
+  const Result<Table> out = engine_.Execute(q, Strategy::kUnnest);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kRuntimeError);
+}
+
+TEST_F(UnnestTest, ScalarSubquerySingletonWorks) {
+  NestedSelect q;
+  q.source = From("B", "B");
+  q.where = CompareSub(Col("B.x"), CompareOp::kGe,
+                       SubSelect(From("R", "R"), Col("R.y"),
+                                 WherePred(And(Eq(Col("R.k"), Col("B.k")),
+                                               Gt(Col("R.y"), Lit(5))))));
+  ExpectMatchesNative(q, "scalar singleton");
+}
+
+TEST_F(UnnestTest, TreeNestedExistsUnnestsInnerFirst) {
+  engine_.catalog()->PutTable("S",
+                              MakeTable({"S.k", "S.z"}, {{1, 1}, {3, 1}}));
+  NestedSelect q;
+  q.source = From("B", "B");
+  q.where = Exists(Sub(
+      From("R", "R"),
+      AndP(WherePred(Eq(Col("R.k"), Col("B.k"))),
+           Exists(Sub(From("S", "S"),
+                      WherePred(Eq(Col("S.k"), Col("R.k"))))))));
+  PlanPtr plan = Unnest(q);
+  EXPECT_EQ(CountNodes(*plan, "Semi"), 2u);
+  ExpectMatchesNative(q, "tree nested");
+}
+
+TEST_F(UnnestTest, DisjunctiveSubqueryUnsupported) {
+  NestedSelect q;
+  q.source = From("B", "B");
+  q.where = OrP(Exists(Sub(From("R", "R"),
+                           WherePred(Eq(Col("R.k"), Col("B.k"))))),
+                WherePred(Gt(Col("B.x"), Lit(100))));
+  const Result<PlanPtr> plan = UnnestToJoins(q.Clone(), *engine_.catalog());
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(UnnestTest, NonNeighboringCorrelationUnsupported) {
+  engine_.catalog()->PutTable("S", MakeTable({"S.k", "S.z"}, {{1, 1}}));
+  NestedSelect q;
+  q.source = From("B", "B");
+  q.where = Exists(Sub(
+      From("R", "R"),
+      AndP(WherePred(Eq(Col("R.k"), Col("B.k"))),
+           Exists(Sub(From("S", "S"),
+                      WherePred(Eq(Col("S.z"), Col("B.x"))))))));
+  const Result<PlanPtr> plan = UnnestToJoins(q.Clone(), *engine_.catalog());
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(UnnestTest, NonEquiAggregateCorrelationUnsupported) {
+  NestedSelect q;
+  q.source = From("B", "B");
+  q.where = CompareSub(Col("B.x"), CompareOp::kGt,
+                       SubAgg(From("R", "R"), AvgOf(Col("R.y"), "a"),
+                              WherePred(Lt(Col("R.k"), Col("B.k")))));
+  const Result<PlanPtr> plan = UnnestToJoins(q.Clone(), *engine_.catalog());
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(UnnestTest, LocalPredicatesPushedIntoDetail) {
+  NestedSelect q;
+  q.source = From("B", "B");
+  q.where = Exists(Sub(From("R", "R"),
+                       AndP(WherePred(Eq(Col("R.k"), Col("B.k"))),
+                            WherePred(Gt(Col("R.y"), Lit(5))))));
+  PlanPtr plan = Unnest(q);
+  // The local conjunct became a Filter below the join.
+  EXPECT_EQ(CountNodes(*plan, "Filter[(R.y > 5)]"), 1u);
+  ExpectMatchesNative(q, "local pushdown");
+}
+
+}  // namespace
+}  // namespace gmdj

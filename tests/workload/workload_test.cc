@@ -1,0 +1,156 @@
+#include <set>
+#include <unordered_set>
+
+#include "gtest/gtest.h"
+#include "workload/ipflow.h"
+#include "workload/tpch_gen.h"
+
+namespace gmdj {
+namespace {
+
+TEST(IpFlowTest, FlowShapeAndDeterminism) {
+  IpFlowConfig config;
+  config.num_flows = 500;
+  const Table a = GenFlowTable(config);
+  const Table b = GenFlowTable(config);
+  EXPECT_EQ(a.num_rows(), 500u);
+  EXPECT_TRUE(a.Validate().ok());
+  EXPECT_TRUE(a.SameRowsAs(b));  // Deterministic in the seed.
+
+  IpFlowConfig other = config;
+  other.seed = 43;
+  EXPECT_FALSE(a.SameRowsAs(GenFlowTable(other)));
+}
+
+TEST(IpFlowTest, FlowInvariants) {
+  IpFlowConfig config;
+  config.num_flows = 2000;
+  const Table flow = GenFlowTable(config);
+  const size_t start = *flow.schema().Resolve("StartTime");
+  const size_t end = *flow.schema().Resolve("EndTime");
+  const size_t bytes = *flow.schema().Resolve("NumBytes");
+  const size_t proto = *flow.schema().Resolve("Protocol");
+  size_t http = 0;
+  for (const Row& row : flow.rows()) {
+    EXPECT_GE(row[start].int64(), 0);
+    EXPECT_LT(row[start].int64(), 60 * config.num_hours);
+    EXPECT_GT(row[end].int64(), row[start].int64());
+    EXPECT_FALSE(row[bytes].is_null());  // null fraction 0 by default.
+    if (row[proto].str() == "HTTP") ++http;
+  }
+  // ~55% HTTP with generous tolerance.
+  EXPECT_GT(http, flow.num_rows() * 45 / 100);
+  EXPECT_LT(http, flow.num_rows() * 65 / 100);
+}
+
+TEST(IpFlowTest, NullFractionRespected) {
+  IpFlowConfig config;
+  config.num_flows = 2000;
+  config.null_bytes_fraction = 0.25;
+  const Table flow = GenFlowTable(config);
+  const size_t bytes = *flow.schema().Resolve("NumBytes");
+  size_t nulls = 0;
+  for (const Row& row : flow.rows()) {
+    if (row[bytes].is_null()) ++nulls;
+  }
+  EXPECT_GT(nulls, 2000u * 15 / 100);
+  EXPECT_LT(nulls, 2000u * 35 / 100);
+}
+
+TEST(IpFlowTest, HoursPartitionTheHorizon) {
+  IpFlowConfig config;
+  config.num_hours = 24;
+  const Table hours = GenHoursTable(config);
+  ASSERT_EQ(hours.num_rows(), 24u);
+  for (size_t h = 0; h < hours.num_rows(); ++h) {
+    EXPECT_EQ(hours.row(h)[0].int64(), static_cast<int64_t>(h) + 1);
+    EXPECT_EQ(hours.row(h)[1].int64(), 60 * static_cast<int64_t>(h));
+    EXPECT_EQ(hours.row(h)[2].int64(), 60 * static_cast<int64_t>(h + 1));
+  }
+}
+
+TEST(IpFlowTest, UsersOwnGeneratedSourceIps) {
+  IpFlowConfig config;
+  config.num_users = 10;
+  const Table users = GenUserTable(config);
+  ASSERT_EQ(users.num_rows(), 10u);
+  for (size_t u = 0; u < users.num_rows(); ++u) {
+    EXPECT_EQ(users.row(u)[1].str(), SourceIpString(static_cast<int64_t>(u)));
+  }
+}
+
+TEST(TpchGenTest, CustomerKeysDenseAndUnique) {
+  TpchConfig config;
+  config.num_customers = 300;
+  const Table customers = GenCustomerTable(config);
+  ASSERT_EQ(customers.num_rows(), 300u);
+  EXPECT_TRUE(customers.Validate().ok());
+  std::set<int64_t> keys;
+  for (const Row& row : customers.rows()) keys.insert(row[0].int64());
+  EXPECT_EQ(keys.size(), 300u);
+  EXPECT_EQ(*keys.begin(), 1);
+  EXPECT_EQ(*keys.rbegin(), 300);
+}
+
+TEST(TpchGenTest, OrdersReferenceCustomersAndLeaveSomeWithout) {
+  TpchConfig config;
+  config.num_customers = 300;
+  config.num_orders = 3000;
+  const Table orders = GenOrdersTable(config);
+  EXPECT_TRUE(orders.Validate().ok());
+  std::unordered_set<int64_t> with_orders;
+  for (const Row& row : orders.rows()) {
+    const int64_t cust = row[1].int64();
+    EXPECT_GE(cust, 1);
+    EXPECT_LE(cust, 300);
+    with_orders.insert(cust);
+  }
+  // dbgen-style: a sizable fraction of customers place no orders, which
+  // exercises empty-range subquery semantics.
+  EXPECT_LT(with_orders.size(), 260u);
+  EXPECT_GT(with_orders.size(), 100u);
+}
+
+TEST(TpchGenTest, LineitemForeignKeysInRange) {
+  TpchConfig config;
+  config.num_orders = 500;
+  config.num_lineitems = 2000;
+  config.num_parts = 100;
+  config.num_suppliers = 20;
+  const Table items = GenLineitemTable(config);
+  EXPECT_TRUE(items.Validate().ok());
+  for (const Row& row : items.rows()) {
+    EXPECT_GE(row[0].int64(), 1);
+    EXPECT_LE(row[0].int64(), 500);
+    EXPECT_GE(row[1].int64(), 1);
+    EXPECT_LE(row[1].int64(), 100);
+    EXPECT_GE(row[2].int64(), 1);
+    EXPECT_LE(row[2].int64(), 20);
+    EXPECT_GE(row[3].int64(), 1);
+    EXPECT_LE(row[3].int64(), 50);
+  }
+}
+
+TEST(TpchGenTest, DeterministicPerSeed) {
+  TpchConfig config;
+  config.num_orders = 200;
+  EXPECT_TRUE(GenOrdersTable(config).SameRowsAs(GenOrdersTable(config)));
+  TpchConfig other = config;
+  other.seed = 1234;
+  EXPECT_FALSE(GenOrdersTable(config).SameRowsAs(GenOrdersTable(other)));
+}
+
+TEST(TpchGenTest, SupplierAndPartShapes) {
+  TpchConfig config;
+  config.num_suppliers = 50;
+  config.num_parts = 80;
+  const Table suppliers = GenSupplierTable(config);
+  const Table parts = GenPartTable(config);
+  EXPECT_EQ(suppliers.num_rows(), 50u);
+  EXPECT_EQ(parts.num_rows(), 80u);
+  EXPECT_TRUE(suppliers.Validate().ok());
+  EXPECT_TRUE(parts.Validate().ok());
+}
+
+}  // namespace
+}  // namespace gmdj
