@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bindings.dir/ablation_bindings.cc.o"
+  "CMakeFiles/ablation_bindings.dir/ablation_bindings.cc.o.d"
+  "ablation_bindings"
+  "ablation_bindings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bindings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_coalescing.cc" "bench/CMakeFiles/ablation_coalescing.dir/ablation_coalescing.cc.o" "gcc" "bench/CMakeFiles/ablation_coalescing.dir/ablation_coalescing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/gmdj_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/gmdj_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/gmdj_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gmdj_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/unnest/CMakeFiles/gmdj_unnest.dir/DependInfo.cmake"
+  "/root/repo/build/src/nested/CMakeFiles/gmdj_nested.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/gmdj_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gmdj_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/gmdj_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/gmdj_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gmdj_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

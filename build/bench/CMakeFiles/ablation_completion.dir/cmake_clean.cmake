@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_completion.dir/ablation_completion.cc.o"
+  "CMakeFiles/ablation_completion.dir/ablation_completion.cc.o.d"
+  "ablation_completion"
+  "ablation_completion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_completion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_exists.dir/fig2_exists.cc.o"
+  "CMakeFiles/fig2_exists.dir/fig2_exists.cc.o.d"
+  "fig2_exists"
+  "fig2_exists.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_exists.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

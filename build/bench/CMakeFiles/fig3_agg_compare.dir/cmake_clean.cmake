@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_agg_compare.dir/fig3_agg_compare.cc.o"
+  "CMakeFiles/fig3_agg_compare.dir/fig3_agg_compare.cc.o.d"
+  "fig3_agg_compare"
+  "fig3_agg_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_agg_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

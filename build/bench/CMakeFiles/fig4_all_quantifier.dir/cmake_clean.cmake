@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_all_quantifier.dir/fig4_all_quantifier.cc.o"
+  "CMakeFiles/fig4_all_quantifier.dir/fig4_all_quantifier.cc.o.d"
+  "fig4_all_quantifier"
+  "fig4_all_quantifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_all_quantifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

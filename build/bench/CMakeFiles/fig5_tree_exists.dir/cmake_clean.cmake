@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_tree_exists.dir/fig5_tree_exists.cc.o"
+  "CMakeFiles/fig5_tree_exists.dir/fig5_tree_exists.cc.o.d"
+  "fig5_tree_exists"
+  "fig5_tree_exists.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_tree_exists.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_gmdj.dir/micro_gmdj.cc.o"
+  "CMakeFiles/micro_gmdj.dir/micro_gmdj.cc.o.d"
+  "micro_gmdj"
+  "micro_gmdj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_gmdj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/active_users.dir/active_users.cpp.o"
+  "CMakeFiles/active_users.dir/active_users.cpp.o.d"
+  "active_users"
+  "active_users.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/active_users.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

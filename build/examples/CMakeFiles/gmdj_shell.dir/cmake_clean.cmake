@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmdj_shell.dir/gmdj_shell.cpp.o"
+  "CMakeFiles/gmdj_shell.dir/gmdj_shell.cpp.o.d"
+  "gmdj_shell"
+  "gmdj_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmdj_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

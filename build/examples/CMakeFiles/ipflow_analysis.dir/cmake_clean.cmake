@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipflow_analysis.dir/ipflow_analysis.cpp.o"
+  "CMakeFiles/ipflow_analysis.dir/ipflow_analysis.cpp.o.d"
+  "ipflow_analysis"
+  "ipflow_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipflow_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_reduction.dir/sql_reduction.cpp.o"
+  "CMakeFiles/sql_reduction.dir/sql_reduction.cpp.o.d"
+  "sql_reduction"
+  "sql_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

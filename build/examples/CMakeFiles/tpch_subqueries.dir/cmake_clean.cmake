@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_subqueries.dir/tpch_subqueries.cpp.o"
+  "CMakeFiles/tpch_subqueries.dir/tpch_subqueries.cpp.o.d"
+  "tpch_subqueries"
+  "tpch_subqueries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_subqueries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

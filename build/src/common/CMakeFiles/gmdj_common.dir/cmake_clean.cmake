@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmdj_common.dir/rng.cc.o"
+  "CMakeFiles/gmdj_common.dir/rng.cc.o.d"
+  "CMakeFiles/gmdj_common.dir/status.cc.o"
+  "CMakeFiles/gmdj_common.dir/status.cc.o.d"
+  "CMakeFiles/gmdj_common.dir/str_util.cc.o"
+  "CMakeFiles/gmdj_common.dir/str_util.cc.o.d"
+  "libgmdj_common.a"
+  "libgmdj_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmdj_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

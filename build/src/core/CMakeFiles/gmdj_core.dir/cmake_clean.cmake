@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmdj_core.dir/condition_analysis.cc.o"
+  "CMakeFiles/gmdj_core.dir/condition_analysis.cc.o.d"
+  "CMakeFiles/gmdj_core.dir/gmdj_node.cc.o"
+  "CMakeFiles/gmdj_core.dir/gmdj_node.cc.o.d"
+  "CMakeFiles/gmdj_core.dir/optimizer.cc.o"
+  "CMakeFiles/gmdj_core.dir/optimizer.cc.o.d"
+  "CMakeFiles/gmdj_core.dir/to_sql.cc.o"
+  "CMakeFiles/gmdj_core.dir/to_sql.cc.o.d"
+  "CMakeFiles/gmdj_core.dir/translate.cc.o"
+  "CMakeFiles/gmdj_core.dir/translate.cc.o.d"
+  "libgmdj_core.a"
+  "libgmdj_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmdj_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

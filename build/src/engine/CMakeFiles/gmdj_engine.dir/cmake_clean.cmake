@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmdj_engine.dir/advisor.cc.o"
+  "CMakeFiles/gmdj_engine.dir/advisor.cc.o.d"
+  "CMakeFiles/gmdj_engine.dir/olap_engine.cc.o"
+  "CMakeFiles/gmdj_engine.dir/olap_engine.cc.o.d"
+  "libgmdj_engine.a"
+  "libgmdj_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmdj_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

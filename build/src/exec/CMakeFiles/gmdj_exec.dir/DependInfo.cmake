@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/group_aggregate.cc" "src/exec/CMakeFiles/gmdj_exec.dir/group_aggregate.cc.o" "gcc" "src/exec/CMakeFiles/gmdj_exec.dir/group_aggregate.cc.o.d"
+  "/root/repo/src/exec/join.cc" "src/exec/CMakeFiles/gmdj_exec.dir/join.cc.o" "gcc" "src/exec/CMakeFiles/gmdj_exec.dir/join.cc.o.d"
+  "/root/repo/src/exec/nodes.cc" "src/exec/CMakeFiles/gmdj_exec.dir/nodes.cc.o" "gcc" "src/exec/CMakeFiles/gmdj_exec.dir/nodes.cc.o.d"
+  "/root/repo/src/exec/plan.cc" "src/exec/CMakeFiles/gmdj_exec.dir/plan.cc.o" "gcc" "src/exec/CMakeFiles/gmdj_exec.dir/plan.cc.o.d"
+  "/root/repo/src/exec/sort_merge_join.cc" "src/exec/CMakeFiles/gmdj_exec.dir/sort_merge_join.cc.o" "gcc" "src/exec/CMakeFiles/gmdj_exec.dir/sort_merge_join.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expr/CMakeFiles/gmdj_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gmdj_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/gmdj_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gmdj_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmdj_exec.dir/group_aggregate.cc.o"
+  "CMakeFiles/gmdj_exec.dir/group_aggregate.cc.o.d"
+  "CMakeFiles/gmdj_exec.dir/join.cc.o"
+  "CMakeFiles/gmdj_exec.dir/join.cc.o.d"
+  "CMakeFiles/gmdj_exec.dir/nodes.cc.o"
+  "CMakeFiles/gmdj_exec.dir/nodes.cc.o.d"
+  "CMakeFiles/gmdj_exec.dir/plan.cc.o"
+  "CMakeFiles/gmdj_exec.dir/plan.cc.o.d"
+  "CMakeFiles/gmdj_exec.dir/sort_merge_join.cc.o"
+  "CMakeFiles/gmdj_exec.dir/sort_merge_join.cc.o.d"
+  "libgmdj_exec.a"
+  "libgmdj_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmdj_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

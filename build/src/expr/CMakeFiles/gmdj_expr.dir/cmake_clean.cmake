@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmdj_expr.dir/aggregate.cc.o"
+  "CMakeFiles/gmdj_expr.dir/aggregate.cc.o.d"
+  "CMakeFiles/gmdj_expr.dir/expr.cc.o"
+  "CMakeFiles/gmdj_expr.dir/expr.cc.o.d"
+  "CMakeFiles/gmdj_expr.dir/expr_analysis.cc.o"
+  "CMakeFiles/gmdj_expr.dir/expr_analysis.cc.o.d"
+  "CMakeFiles/gmdj_expr.dir/expr_builder.cc.o"
+  "CMakeFiles/gmdj_expr.dir/expr_builder.cc.o.d"
+  "libgmdj_expr.a"
+  "libgmdj_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmdj_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmdj_nested.dir/native_eval.cc.o"
+  "CMakeFiles/gmdj_nested.dir/native_eval.cc.o.d"
+  "CMakeFiles/gmdj_nested.dir/nested_ast.cc.o"
+  "CMakeFiles/gmdj_nested.dir/nested_ast.cc.o.d"
+  "CMakeFiles/gmdj_nested.dir/nested_builder.cc.o"
+  "CMakeFiles/gmdj_nested.dir/nested_builder.cc.o.d"
+  "CMakeFiles/gmdj_nested.dir/normalize.cc.o"
+  "CMakeFiles/gmdj_nested.dir/normalize.cc.o.d"
+  "libgmdj_nested.a"
+  "libgmdj_nested.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmdj_nested.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

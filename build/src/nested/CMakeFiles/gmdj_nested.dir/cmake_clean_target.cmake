@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgmdj_nested.a"
+)

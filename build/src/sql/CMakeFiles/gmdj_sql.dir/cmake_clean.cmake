@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmdj_sql.dir/lexer.cc.o"
+  "CMakeFiles/gmdj_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/gmdj_sql.dir/parser.cc.o"
+  "CMakeFiles/gmdj_sql.dir/parser.cc.o.d"
+  "libgmdj_sql.a"
+  "libgmdj_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmdj_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

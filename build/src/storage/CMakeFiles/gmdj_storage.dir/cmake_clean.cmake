@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmdj_storage.dir/catalog.cc.o"
+  "CMakeFiles/gmdj_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/gmdj_storage.dir/csv.cc.o"
+  "CMakeFiles/gmdj_storage.dir/csv.cc.o.d"
+  "CMakeFiles/gmdj_storage.dir/hash_index.cc.o"
+  "CMakeFiles/gmdj_storage.dir/hash_index.cc.o.d"
+  "CMakeFiles/gmdj_storage.dir/interval_index.cc.o"
+  "CMakeFiles/gmdj_storage.dir/interval_index.cc.o.d"
+  "CMakeFiles/gmdj_storage.dir/table.cc.o"
+  "CMakeFiles/gmdj_storage.dir/table.cc.o.d"
+  "libgmdj_storage.a"
+  "libgmdj_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmdj_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

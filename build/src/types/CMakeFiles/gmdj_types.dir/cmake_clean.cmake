@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmdj_types.dir/schema.cc.o"
+  "CMakeFiles/gmdj_types.dir/schema.cc.o.d"
+  "CMakeFiles/gmdj_types.dir/value.cc.o"
+  "CMakeFiles/gmdj_types.dir/value.cc.o.d"
+  "libgmdj_types.a"
+  "libgmdj_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmdj_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

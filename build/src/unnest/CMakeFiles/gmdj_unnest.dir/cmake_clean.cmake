@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmdj_unnest.dir/unnest.cc.o"
+  "CMakeFiles/gmdj_unnest.dir/unnest.cc.o.d"
+  "libgmdj_unnest.a"
+  "libgmdj_unnest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmdj_unnest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmdj_workload.dir/ipflow.cc.o"
+  "CMakeFiles/gmdj_workload.dir/ipflow.cc.o.d"
+  "CMakeFiles/gmdj_workload.dir/paper_queries.cc.o"
+  "CMakeFiles/gmdj_workload.dir/paper_queries.cc.o.d"
+  "CMakeFiles/gmdj_workload.dir/tpch_gen.cc.o"
+  "CMakeFiles/gmdj_workload.dir/tpch_gen.cc.o.d"
+  "libgmdj_workload.a"
+  "libgmdj_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmdj_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/condition_analysis_test.dir/core/condition_analysis_test.cc.o"
+  "CMakeFiles/condition_analysis_test.dir/core/condition_analysis_test.cc.o.d"
+  "condition_analysis_test"
+  "condition_analysis_test.pdb"
+  "condition_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/condition_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deep_nesting_test.dir/integration/deep_nesting_test.cc.o"
+  "CMakeFiles/deep_nesting_test.dir/integration/deep_nesting_test.cc.o.d"
+  "deep_nesting_test"
+  "deep_nesting_test.pdb"
+  "deep_nesting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deep_nesting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expr_analysis_test.dir/expr/expr_analysis_test.cc.o"
+  "CMakeFiles/expr_analysis_test.dir/expr/expr_analysis_test.cc.o.d"
+  "expr_analysis_test"
+  "expr_analysis_test.pdb"
+  "expr_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expr_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

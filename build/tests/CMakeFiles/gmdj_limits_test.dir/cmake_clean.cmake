@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmdj_limits_test.dir/core/gmdj_limits_test.cc.o"
+  "CMakeFiles/gmdj_limits_test.dir/core/gmdj_limits_test.cc.o.d"
+  "gmdj_limits_test"
+  "gmdj_limits_test.pdb"
+  "gmdj_limits_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmdj_limits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmdj_node_test.dir/core/gmdj_node_test.cc.o"
+  "CMakeFiles/gmdj_node_test.dir/core/gmdj_node_test.cc.o.d"
+  "gmdj_node_test"
+  "gmdj_node_test.pdb"
+  "gmdj_node_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmdj_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

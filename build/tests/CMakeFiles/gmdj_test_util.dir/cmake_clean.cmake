@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmdj_test_util.dir/test_util.cc.o"
+  "CMakeFiles/gmdj_test_util.dir/test_util.cc.o.d"
+  "libgmdj_test_util.a"
+  "libgmdj_test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmdj_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

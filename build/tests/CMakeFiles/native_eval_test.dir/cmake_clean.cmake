@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_eval_test.dir/nested/native_eval_test.cc.o"
+  "CMakeFiles/native_eval_test.dir/nested/native_eval_test.cc.o.d"
+  "native_eval_test"
+  "native_eval_test.pdb"
+  "native_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

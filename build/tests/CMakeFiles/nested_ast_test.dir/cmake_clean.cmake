@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nested_ast_test.dir/nested/nested_ast_test.cc.o"
+  "CMakeFiles/nested_ast_test.dir/nested/nested_ast_test.cc.o.d"
+  "nested_ast_test"
+  "nested_ast_test.pdb"
+  "nested_ast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nested_ast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nodes_test.dir/exec/nodes_test.cc.o"
+  "CMakeFiles/nodes_test.dir/exec/nodes_test.cc.o.d"
+  "nodes_test"
+  "nodes_test.pdb"
+  "nodes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nodes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/results_roundtrip_test.dir/integration/results_roundtrip_test.cc.o"
+  "CMakeFiles/results_roundtrip_test.dir/integration/results_roundtrip_test.cc.o.d"
+  "results_roundtrip_test"
+  "results_roundtrip_test.pdb"
+  "results_roundtrip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/results_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

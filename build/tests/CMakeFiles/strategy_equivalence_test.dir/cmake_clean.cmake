@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strategy_equivalence_test.dir/integration/strategy_equivalence_test.cc.o"
+  "CMakeFiles/strategy_equivalence_test.dir/integration/strategy_equivalence_test.cc.o.d"
+  "strategy_equivalence_test"
+  "strategy_equivalence_test.pdb"
+  "strategy_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strategy_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/to_sql_test.dir/core/to_sql_test.cc.o"
+  "CMakeFiles/to_sql_test.dir/core/to_sql_test.cc.o.d"
+  "to_sql_test"
+  "to_sql_test.pdb"
+  "to_sql_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/to_sql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

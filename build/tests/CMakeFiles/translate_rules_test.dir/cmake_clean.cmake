@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translate_rules_test.dir/core/translate_rules_test.cc.o"
+  "CMakeFiles/translate_rules_test.dir/core/translate_rules_test.cc.o.d"
+  "translate_rules_test"
+  "translate_rules_test.pdb"
+  "translate_rules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translate_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
