@@ -82,7 +82,7 @@ void BM_Bindings(benchmark::State& state, Variant variant) {
       state.SkipWithError("prepare failed");
       return;
     }
-    ExecContext ctx(engine->catalog());
+    ExecContext ctx(engine->catalog(), bench::BenchExecConfig());
     const Result<Table> result = plan->Execute(&ctx);
     if (!result.ok()) {
       state.SkipWithError(result.status().ToString().c_str());
@@ -123,6 +123,7 @@ void RegisterAll() {
 }  // namespace gmdj
 
 int main(int argc, char** argv) {
+  gmdj::bench::ParseBenchArgs(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::AddCustomContext(
       "experiment",
@@ -132,6 +133,5 @@ int main(int argc, char** argv) {
       "value of single-scan evaluation, the gap between hash/interval and "
       "scan the value of binding extraction.");
   gmdj::RegisterAll();
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return gmdj::bench::RunBenchmarks();
 }

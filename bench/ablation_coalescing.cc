@@ -51,7 +51,7 @@ void BM_Coalescing(benchmark::State& state, bool coalesce) {
       state.SkipWithError("translation failed");
       return;
     }
-    ExecContext ctx(engine->catalog());
+    ExecContext ctx(engine->catalog(), bench::BenchExecConfig());
     const Result<Table> result = (*plan)->Execute(&ctx);
     if (!result.ok()) {
       state.SkipWithError(result.status().ToString().c_str());
@@ -85,6 +85,7 @@ void RegisterAll() {
 }  // namespace gmdj
 
 int main(int argc, char** argv) {
+  gmdj::bench::ParseBenchArgs(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::AddCustomContext(
       "experiment",
@@ -92,6 +93,5 @@ int main(int argc, char** argv) {
       "(three EXISTS over Flow). Expect gmdj_ops 3 -> 1 and rows_scanned "
       "to drop accordingly.");
   gmdj::RegisterAll();
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return gmdj::bench::RunBenchmarks();
 }

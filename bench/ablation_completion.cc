@@ -46,7 +46,7 @@ void Run(benchmark::State& state, const NestedSelect& query,
       state.SkipWithError("translation failed");
       return;
     }
-    ExecContext ctx(engine->catalog());
+    ExecContext ctx(engine->catalog(), bench::BenchExecConfig());
     const Result<Table> result = (*plan)->Execute(&ctx);
     if (!result.ok()) {
       state.SkipWithError(result.status().ToString().c_str());
@@ -97,6 +97,7 @@ void RegisterAll() {
 }  // namespace gmdj
 
 int main(int argc, char** argv) {
+  gmdj::bench::ParseBenchArgs(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::AddCustomContext(
       "experiment",
@@ -104,6 +105,5 @@ int main(int argc, char** argv) {
       "to collapse with completion on, most dramatically for all_ne (the "
       "Figure 4 pattern).");
   gmdj::RegisterAll();
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return gmdj::bench::RunBenchmarks();
 }

@@ -83,6 +83,7 @@ void RegisterAll() {
 }  // namespace gmdj
 
 int main(int argc, char** argv) {
+  gmdj::bench::ParseBenchArgs(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::AddCustomContext(
       "experiment",
@@ -91,6 +92,5 @@ int main(int argc, char** argv) {
       "native_memo to approach gmdj at few distinct keys and converge to "
       "native_indexed as keys become unique.");
   gmdj::RegisterAll();
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return gmdj::bench::RunBenchmarks();
 }

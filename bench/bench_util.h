@@ -3,13 +3,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <string>
 
 #include "engine/olap_engine.h"
 #include "nested/nested_ast.h"
+#include "parallel/exec_config.h"
 #include "workload/ipflow.h"
 #include "workload/tpch_gen.h"
 
@@ -76,10 +79,72 @@ inline OlapEngine* IpFlowEngine(int64_t flows, int64_t hours, int64_t users) {
   return slot;
 }
 
+/// The `--threads=N` flag shared by every benchmark binary. Default 1:
+/// benchmarks reproduce the sequential evaluator unless threads are
+/// requested explicitly, so figure sweeps stay comparable to the paper.
+inline size_t& ThreadsFlagStorage() {
+  static size_t threads = 1;
+  return threads;
+}
+inline size_t ThreadsFlag() { return ThreadsFlagStorage(); }
+
+/// Execution config every benchmark should install on its engine (or pass
+/// to ExecContext for raw plan loops).
+inline ExecConfig BenchExecConfig() {
+  ExecConfig config;
+  config.num_threads = ThreadsFlag();
+  return config;
+}
+
+/// Strips flags the benchmark library does not know (`--threads=N`) from
+/// argv. Call before benchmark::Initialize, which rejects unknown flags.
+inline void ParseBenchArgs(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      const long n = std::atol(argv[i] + 10);
+      ThreadsFlagStorage() = n > 0 ? static_cast<size_t>(n) : 0;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
+/// Console output plus one machine-readable JSON line per measurement:
+///   {"bench": "fig2/gmdj/30000", "threads": 4, "ms": 12.345}
+/// so sweep scripts can `grep '^{'` instead of scraping the table.
+class JsonLineReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      const double ms = run.real_accumulated_time / iters * 1e3;
+      // Leading newline: the console reporter leaves a color-reset escape
+      // at the start of the next line; keep the JSON at column zero.
+      std::fprintf(stdout,
+                   "\n{\"bench\": \"%s\", \"threads\": %zu, \"ms\": %.6f}\n",
+                   run.benchmark_name().c_str(), ThreadsFlag(), ms);
+    }
+    std::fflush(stdout);
+  }
+};
+
+/// Runs the registered benchmarks with the JSON-line reporter.
+inline int RunBenchmarks() {
+  JsonLineReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  return 0;
+}
+
 /// Executes the query under `strategy` inside the benchmark loop and
 /// exports result cardinality plus engine statistics as counters.
 inline void RunStrategy(benchmark::State& state, OlapEngine* engine,
                         const NestedSelect& query, Strategy strategy) {
+  engine->set_exec_config(BenchExecConfig());
   size_t rows = 0;
   for (auto _ : state) {
     const Result<Table> result = engine->Execute(query, strategy);
@@ -97,6 +162,7 @@ inline void RunStrategy(benchmark::State& state, OlapEngine* engine,
       static_cast<double>(engine->last_stats().table_scans);
   state.counters["pred_evals"] =
       static_cast<double>(engine->last_stats().predicate_evals);
+  state.counters["threads"] = static_cast<double>(ThreadsFlag());
 }
 
 }  // namespace bench

@@ -57,12 +57,12 @@ void RegisterAll() {
 }  // namespace gmdj
 
 int main(int argc, char** argv) {
+  gmdj::bench::ParseBenchArgs(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::AddCustomContext(
       "experiment",
       "Figure 2: EXISTS subquery (outer 1000 rows, inner sweep). Expected "
       "shape: unnest ~ gmdj < native; gmdj_optimized fastest.");
   gmdj::RegisterAll();
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return gmdj::bench::RunBenchmarks();
 }

@@ -42,7 +42,7 @@ void BM_Fig3SortMerge(benchmark::State& state) {
       state.SkipWithError("translation failed");
       return;
     }
-    ExecContext ctx(engine->catalog());
+    ExecContext ctx(engine->catalog(), bench::BenchExecConfig());
     const Result<Table> result = (*plan)->Execute(&ctx);
     if (!result.ok()) {
       state.SkipWithError(result.status().ToString().c_str());
@@ -92,6 +92,7 @@ void RegisterAll() {
 }  // namespace gmdj
 
 int main(int argc, char** argv) {
+  gmdj::bench::ParseBenchArgs(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::AddCustomContext(
       "experiment",
@@ -99,6 +100,5 @@ int main(int argc, char** argv) {
       "Expected shape: native nested loop slowest by a wide margin; unnest "
       "and gmdj comparable, gmdj stable at the largest size.");
   gmdj::RegisterAll();
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return gmdj::bench::RunBenchmarks();
 }

@@ -48,7 +48,7 @@ void BM_Fig4UnnestCount(benchmark::State& state) {
       state.SkipWithError("translation failed");
       return;
     }
-    ExecContext ctx(engine->catalog());
+    ExecContext ctx(engine->catalog(), bench::BenchExecConfig());
     const Result<Table> result = (*plan)->Execute(&ctx);
     if (!result.ok()) {
       state.SkipWithError(result.status().ToString().c_str());
@@ -95,6 +95,7 @@ void RegisterAll() {
 }  // namespace gmdj
 
 int main(int argc, char** argv) {
+  gmdj::bench::ParseBenchArgs(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::AddCustomContext(
       "experiment",
@@ -103,6 +104,5 @@ int main(int argc, char** argv) {
       "gmdj slow (tuple-iteration-like); gmdj_optimized (completion) "
       "competitive with the native smart nested loop.");
   gmdj::RegisterAll();
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return gmdj::bench::RunBenchmarks();
 }

@@ -67,6 +67,7 @@ void RegisterAll() {
 }  // namespace gmdj
 
 int main(int argc, char** argv) {
+  gmdj::bench::ParseBenchArgs(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::AddCustomContext(
       "experiment",
@@ -74,6 +75,5 @@ int main(int argc, char** argv) {
       "predicates. Expected shape: unindexed native/joins blow up; GMDJ "
       "unaffected by indexes; coalesced GMDJ (single orders scan) wins.");
   gmdj::RegisterAll();
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return gmdj::bench::RunBenchmarks();
 }

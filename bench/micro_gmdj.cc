@@ -45,7 +45,7 @@ void RunPlanLoop(benchmark::State& state, int conditions, int aggs,
       state.SkipWithError("prepare failed");
       return;
     }
-    ExecContext ctx(engine->catalog());
+    ExecContext ctx(engine->catalog(), bench::BenchExecConfig());
     const Result<Table> result = plan->Execute(&ctx);
     if (!result.ok()) {
       state.SkipWithError(result.status().ToString().c_str());
@@ -54,6 +54,7 @@ void RunPlanLoop(benchmark::State& state, int conditions, int aggs,
     benchmark::DoNotOptimize(result->num_rows());
   }
   state.SetItemsProcessed(state.iterations() * orders);
+  state.counters["threads"] = static_cast<double>(bench::ThreadsFlag());
 }
 
 void BM_Conditions(benchmark::State& state) {
@@ -68,6 +69,14 @@ void BM_BaseSize(benchmark::State& state) {
 void BM_Aggs(benchmark::State& state) {
   RunPlanLoop(state, 1, static_cast<int>(state.range(0)), 1000,
               bench::Scaled(60'000));
+}
+
+// Morsel-parallel detail scan over a fixed 1M-row detail relation (not
+// divided by GMDJ_BENCH_SCALE: the parallel/sequential comparison needs a
+// relation large enough that morsel scheduling is not the dominant cost).
+// Sweep with --threads=1 vs --threads=4 to measure the speedup.
+void BM_ParallelScan(benchmark::State& state) {
+  RunPlanLoop(state, 2, 2, 1000, 1'000'000);
 }
 
 }  // namespace
@@ -96,5 +105,13 @@ BENCHMARK(gmdj::BM_Aggs)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4);
+BENCHMARK(gmdj::BM_ParallelScan)
+    ->Name("micro/parallel_scan")
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.05);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  gmdj::bench::ParseBenchArgs(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  return gmdj::bench::RunBenchmarks();
+}

@@ -3,6 +3,8 @@
 #include <map>
 
 #include "common/check.h"
+#include "parallel/parallel_gmdj.h"
+#include "parallel/thread_pool.h"
 
 namespace gmdj {
 
@@ -126,37 +128,15 @@ Result<Table> GmdjNode::ExecuteNaive(ExecContext* ctx, const Table& base,
   return out;
 }
 
-namespace {
-
-/// Runtime dispatch data for one condition.
-struct CondRuntime {
-  const GmdjCondition* cond = nullptr;
-  const ConditionAnalysis* analysis = nullptr;
-  size_t agg_offset = 0;
-  CompletionAction action = CompletionAction::kNone;
-  // Fused ALL pair (set on the *unfiltered* condition when completion is
-  // enabled): after a θ match, `pair_cmp` decides whether the filtered
-  // condition also matches; a non-TRUE outcome discards the base tuple.
-  const Expr* pair_cmp = nullptr;
-  size_t pair_agg_offset = 0;
-  const GmdjCondition* pair_cond = nullptr;
-  bool skip = false;  // Filtered half of a fused pair.
-  std::shared_ptr<HashIndex> hash;
-  std::unique_ptr<IntervalIndex> interval;
-  uint64_t freeze_bit = 0;  // Nonzero for kSatisfyOnMatch conditions.
-};
-
-}  // namespace
-
-Result<Table> GmdjNode::ExecuteAuto(ExecContext* ctx, const Table& base,
-                                    const Table& detail) const {
-  const Schema& bs = base_->output_schema();
-  const Schema& ds = detail_->output_schema();
+/// Compiles conditions into runtime dispatch form (strategy, completion
+/// wiring, indexes). The result is read-only during evaluation and shared
+/// by the sequential loop below and the morsel-parallel evaluator.
+std::vector<GmdjCondRuntime> GmdjNode::CompileRuntimes(
+    ExecContext* ctx, const Table& base) const {
   const size_t n = base.num_rows();
   const bool completing = completion_.enabled();
 
-  // ---- Compile conditions into runtime form. ----
-  std::vector<CondRuntime> runtimes(conditions_.size());
+  std::vector<GmdjCondRuntime> runtimes(conditions_.size());
   for (size_t c = 0; c < conditions_.size(); ++c) {
     runtimes[c].cond = &conditions_[c];
     runtimes[c].analysis = &analyses_[c];
@@ -171,7 +151,7 @@ Result<Table> GmdjNode::ExecuteAuto(ExecContext* ctx, const Table& base,
   if (completing) {
     for (const AllPairRule& pair : completion_.all_pairs) {
       runtimes[pair.filtered].skip = true;
-      CondRuntime& u = runtimes[pair.unfiltered];
+      GmdjCondRuntime& u = runtimes[pair.unfiltered];
       u.pair_cmp = pair.cmp.get();
       u.pair_agg_offset = agg_offsets_[pair.filtered];
       u.pair_cond = &conditions_[pair.filtered];
@@ -180,8 +160,9 @@ Result<Table> GmdjNode::ExecuteAuto(ExecContext* ctx, const Table& base,
 
   // Hash indexes on the base, shared between conditions with identical key
   // columns (the common case for coalesced conditions and ALL pairs).
+  const size_t build_threads = ctx->config().ResolvedThreads();
   std::map<std::vector<size_t>, std::shared_ptr<HashIndex>> index_cache;
-  for (CondRuntime& rt : runtimes) {
+  for (GmdjCondRuntime& rt : runtimes) {
     if (rt.skip) continue;
     if (rt.analysis->strategy == CondStrategy::kHash) {
       std::vector<size_t> key_cols;
@@ -191,7 +172,7 @@ Result<Table> GmdjNode::ExecuteAuto(ExecContext* ctx, const Table& base,
       }
       auto& cached = index_cache[key_cols];
       if (cached == nullptr) {
-        cached = std::make_shared<HashIndex>(base, key_cols);
+        cached = std::make_shared<HashIndex>(base, key_cols, build_threads);
       }
       rt.hash = cached;
     } else if (rt.analysis->strategy == CondStrategy::kInterval) {
@@ -209,10 +190,23 @@ Result<Table> GmdjNode::ExecuteAuto(ExecContext* ctx, const Table& base,
           std::move(intervals), iv.lo_strict, iv.hi_strict);
     }
   }
+  return runtimes;
+}
+
+/// Sequential single-scan evaluation — the paper's algorithm, and the
+/// reference the morsel-parallel evaluator must reproduce exactly.
+void GmdjNode::ExecuteSequential(ExecContext* ctx, const GmdjEvalInput& in,
+                                 GmdjEvalResult* out) const {
+  const Table& base = *in.base;
+  const Table& detail = *in.detail;
+  const std::vector<GmdjCondRuntime>& runtimes = *in.runtimes;
+  const size_t n = base.num_rows();
 
   // ---- Base-result structure: one entry per base tuple. ----
-  std::vector<AggState> states(n * total_aggs_);
-  std::vector<uint8_t> discarded(n, 0);
+  std::vector<AggState>& states = out->states;
+  states.assign(n * total_aggs_, AggState{});
+  std::vector<uint8_t>& discarded = out->discarded;
+  discarded.assign(n, 0);
   std::vector<uint64_t> frozen(n, 0);
   size_t num_discarded = 0;
 
@@ -223,8 +217,8 @@ Result<Table> GmdjNode::ExecuteAuto(ExecContext* ctx, const Table& base,
   size_t active_dead = 0;
 
   EvalContext ectx;
-  ectx.PushFrame(&bs, nullptr);
-  ectx.PushFrame(&ds, nullptr);
+  ectx.PushFrame(in.base_schema, nullptr);
+  ectx.PushFrame(in.detail_schema, nullptr);
 
   std::vector<uint32_t> stab_scratch;
   Row probe_key;
@@ -247,7 +241,7 @@ Result<Table> GmdjNode::ExecuteAuto(ExecContext* ctx, const Table& base,
     const Row& drow = detail.row(r);
     ectx.SetRow(1, &drow);
 
-    for (CondRuntime& rt : runtimes) {
+    for (const GmdjCondRuntime& rt : runtimes) {
       if (rt.skip) continue;
       // Per-detail filters first (e.g. F.Protocol = "HTTP").
       bool detail_ok = true;
@@ -342,18 +336,54 @@ Result<Table> GmdjNode::ExecuteAuto(ExecContext* ctx, const Table& base,
       active_dead = 0;
     }
   }
+  out->num_discarded = num_discarded;
+}
+
+Result<Table> GmdjNode::ExecuteAuto(ExecContext* ctx, const Table& base,
+                                    const Table& detail) const {
+  const size_t n = base.num_rows();
+
+  std::vector<GmdjCondRuntime> runtimes = CompileRuntimes(ctx, base);
+
+  GmdjEvalInput in;
+  in.base = &base;
+  in.detail = &detail;
+  in.base_schema = &base_->output_schema();
+  in.detail_schema = &detail_->output_schema();
+  in.runtimes = &runtimes;
+  in.total_aggs = total_aggs_;
+  in.agg_kinds.reserve(total_aggs_);
+  for (const GmdjCondition& cond : conditions_) {
+    for (const AggSpec& agg : cond.aggs) in.agg_kinds.push_back(agg.kind);
+  }
+
+  // Morsel-parallel dispatch when the detail relation is large enough to
+  // amortize thread handoff, the config allows more than one thread, and
+  // the completion spec is order-independent (see ParallelGmdjSupported).
+  const ExecConfig& config = ctx->config();
+  const bool parallel = config.ResolvedThreads() > 1 &&
+                        detail.num_rows() >= config.min_parallel_rows &&
+                        detail.num_rows() > config.morsel_rows &&
+                        ParallelGmdjSupported(runtimes);
+
+  GmdjEvalResult result;
+  if (parallel) {
+    ExecuteGmdjMorselParallel(in, config, &ctx->stats(), &result);
+  } else {
+    ExecuteSequential(ctx, in, &result);
+  }
 
   // ---- Emit surviving base tuples extended with their aggregates. ----
   Table out(output_schema_);
-  out.Reserve(n - num_discarded);
+  out.Reserve(n - result.num_discarded);
   for (size_t b = 0; b < n; ++b) {
-    if (discarded[b]) continue;
+    if (result.discarded[b]) continue;
     Row row = base.row(b);
     row.reserve(row.size() + total_aggs_);
     size_t flat = 0;
     for (size_t c = 0; c < conditions_.size(); ++c) {
       for (size_t a = 0; a < conditions_[c].aggs.size(); ++a, ++flat) {
-        row.push_back(states[b * total_aggs_ + flat].Finalize(
+        row.push_back(result.states[b * total_aggs_ + flat].Finalize(
             conditions_[c].aggs[a].kind, agg_arg_types_[flat]));
       }
     }

@@ -14,6 +14,12 @@
 
 namespace gmdj {
 
+// Shared runtime structures of the GMDJ evaluators; defined in
+// parallel/parallel_gmdj.h (which includes this header).
+struct GmdjCondRuntime;
+struct GmdjEvalInput;
+struct GmdjEvalResult;
+
 /// One (θ_i, l_i) pair of a GMDJ: a condition over [base, detail] and the
 /// aggregate functions computed over RNG(b, R, θ_i).
 struct GmdjCondition {
@@ -145,6 +151,17 @@ class GmdjNode final : public PlanNode {
                              const Table& detail) const;
   Result<Table> ExecuteAuto(ExecContext* ctx, const Table& base,
                             const Table& detail) const;
+
+  /// Compiles conditions into dispatch runtimes (indexes included); the
+  /// hash-index build parallelizes on the shared pool for large bases.
+  std::vector<GmdjCondRuntime> CompileRuntimes(ExecContext* ctx,
+                                               const Table& base) const;
+
+  /// The paper's sequential single-scan algorithm. ExecuteAuto dispatches
+  /// here, or to ExecuteGmdjMorselParallel (parallel/parallel_gmdj.h)
+  /// when the config and completion spec allow morsel parallelism.
+  void ExecuteSequential(ExecContext* ctx, const GmdjEvalInput& in,
+                         GmdjEvalResult* out) const;
 
   PlanPtr base_;
   PlanPtr detail_;

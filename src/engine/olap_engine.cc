@@ -107,7 +107,7 @@ Result<Table> OlapEngine::Execute(const NestedSelect& query,
     default: {
       GMDJ_ASSIGN_OR_RETURN(PlanPtr plan, Plan(query, strategy));
       GMDJ_RETURN_IF_ERROR(plan->Prepare(catalog_));
-      ExecContext ctx(&catalog_);
+      ExecContext ctx(&catalog_, exec_config_);
       auto result = plan->Execute(&ctx);
       last_stats_ = ctx.stats();
       last_elapsed_ms_ = watch.ElapsedMillis();
@@ -154,7 +154,7 @@ Result<Table> OlapEngine::ExecuteSql(std::string_view sql,
   plan = std::make_unique<ProjectNode>(std::move(plan),
                                        std::move(statement.projections));
   GMDJ_RETURN_IF_ERROR(plan->Prepare(catalog_));
-  ExecContext ctx(&catalog_);
+  ExecContext ctx(&catalog_, exec_config_);
   auto result = plan->Execute(&ctx);
   last_stats_.gmdj_ops += ctx.stats().gmdj_ops;
   return result;
@@ -182,7 +182,7 @@ Result<Table> OlapEngine::Project(const Table& input,
   PlanPtr plan = std::make_unique<ValuesNode>(input);
   plan = std::make_unique<ProjectNode>(std::move(plan), std::move(items));
   GMDJ_RETURN_IF_ERROR(plan->Prepare(catalog_));
-  ExecContext ctx(&catalog_);
+  ExecContext ctx(&catalog_, exec_config_);
   return plan->Execute(&ctx);
 }
 

@@ -9,6 +9,7 @@
 #include "exec/nodes.h"
 #include "exec/plan.h"
 #include "nested/nested_ast.h"
+#include "parallel/exec_config.h"
 #include "storage/catalog.h"
 
 namespace gmdj {
@@ -78,8 +79,16 @@ class OlapEngine {
   const ExecStats& last_stats() const { return last_stats_; }
   double last_elapsed_ms() const { return last_elapsed_ms_; }
 
+  /// Execution knobs applied to every plan the engine runs. With
+  /// `num_threads` > 1 large GMDJ evaluations and hash-index builds use
+  /// the shared morsel pool; `num_threads == 1` reproduces the exact
+  /// sequential behavior. 0 (default) means hardware concurrency.
+  void set_exec_config(ExecConfig config) { exec_config_ = config; }
+  const ExecConfig& exec_config() const { return exec_config_; }
+
  private:
   Catalog catalog_;
+  ExecConfig exec_config_;
   ExecStats last_stats_;
   double last_elapsed_ms_ = 0.0;
 };

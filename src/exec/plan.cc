@@ -23,6 +23,7 @@ std::string ExecStats::ToString() const {
   out += " predicate_evals=" + std::to_string(predicate_evals);
   out += " joins=" + std::to_string(joins);
   out += " gmdj_ops=" + std::to_string(gmdj_ops);
+  out += " morsels=" + std::to_string(morsels);
   return out;
 }
 

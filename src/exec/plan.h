@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "parallel/exec_config.h"
 #include "storage/catalog.h"
 #include "storage/table.h"
 
@@ -23,23 +24,28 @@ struct ExecStats {
   uint64_t predicate_evals = 0;  // θ / residual predicate evaluations.
   uint64_t joins = 0;            // Join operators executed.
   uint64_t gmdj_ops = 0;         // GMDJ operators executed.
+  uint64_t morsels = 0;          // Morsels dispatched by parallel scans.
 
   void Reset() { *this = ExecStats{}; }
   std::string ToString() const;
 };
 
 /// Execution environment handed to every operator: the catalog for table
-/// resolution plus shared statistics.
+/// resolution, shared statistics, and the parallel-execution knobs.
 class ExecContext {
  public:
-  explicit ExecContext(const Catalog* catalog) : catalog_(catalog) {}
+  explicit ExecContext(const Catalog* catalog,
+                       ExecConfig config = ExecConfig())
+      : catalog_(catalog), config_(config) {}
 
   const Catalog& catalog() const { return *catalog_; }
   ExecStats& stats() { return stats_; }
   const ExecStats& stats() const { return stats_; }
+  const ExecConfig& config() const { return config_; }
 
  private:
   const Catalog* catalog_;
+  ExecConfig config_;
   ExecStats stats_;
 };
 

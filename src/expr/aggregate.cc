@@ -118,6 +118,42 @@ void AggState::Update(AggKind kind, const Value& v) {
   }
 }
 
+void AggState::Merge(AggKind kind, const AggState& other) {
+  switch (kind) {
+    case AggKind::kCountStar:
+    case AggKind::kCount:
+      count += other.count;
+      break;
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      count += other.count;
+      if (sum_is_int && other.sum_is_int) {
+        sum_i += other.sum_i;
+      } else {
+        const double mine = sum_is_int ? static_cast<double>(sum_i) : sum_d;
+        const double theirs =
+            other.sum_is_int ? static_cast<double>(other.sum_i) : other.sum_d;
+        sum_d = mine + theirs;
+        sum_is_int = false;
+      }
+      break;
+    case AggKind::kMin:
+      count += other.count;
+      if (!other.extreme.is_null() &&
+          (extreme.is_null() || other.extreme.Compare(extreme) < 0)) {
+        extreme = other.extreme;
+      }
+      break;
+    case AggKind::kMax:
+      count += other.count;
+      if (!other.extreme.is_null() &&
+          (extreme.is_null() || other.extreme.Compare(extreme) > 0)) {
+        extreme = other.extreme;
+      }
+      break;
+  }
+}
+
 Value AggState::Finalize(AggKind kind, ValueType arg_type) const {
   switch (kind) {
     case AggKind::kCountStar:

@@ -76,6 +76,13 @@ struct AggState {
   /// Folds `v` into the state for aggregate kind `kind`.
   void Update(AggKind kind, const Value& v);
 
+  /// Folds another partial state into this one. All supported aggregates
+  /// are commutative and associative over partials (counts and integer
+  /// sums exactly; double sums up to reassociation rounding), which is
+  /// what lets the parallel GMDJ evaluator accumulate into thread-local
+  /// tables and merge afterwards.
+  void Merge(AggKind kind, const AggState& other);
+
   /// Final value. `arg_type` disambiguates the SUM output type.
   Value Finalize(AggKind kind, ValueType arg_type) const;
 };

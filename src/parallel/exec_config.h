@@ -1,0 +1,57 @@
+#ifndef GMDJ_PARALLEL_EXEC_CONFIG_H_
+#define GMDJ_PARALLEL_EXEC_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace gmdj {
+
+/// Timing/row record for one morsel processed by the parallel GMDJ
+/// evaluator. Collected into ExecConfig::morsel_trace when set, so
+/// benchmarks can report per-worker scaling and load balance.
+struct MorselTiming {
+  uint32_t worker = 0;      // ParallelFor slot that ran the morsel.
+  uint64_t first_row = 0;   // First detail row of the morsel.
+  uint64_t num_rows = 0;    // Detail rows in the morsel.
+  double millis = 0.0;      // Wall time spent on the morsel.
+};
+
+/// Execution knobs threaded through ExecContext to every operator.
+///
+/// `num_threads = 1` reproduces the sequential evaluator exactly (same
+/// code path as before the parallel subsystem existed); the default (0)
+/// resolves to hardware_concurrency. Small inputs stay sequential via
+/// `min_parallel_rows` regardless of the thread count, which keeps
+/// unit-test-sized workloads byte-for-byte on the historical path.
+struct ExecConfig {
+  /// Maximum parallelism for one operator. 0 = hardware_concurrency.
+  size_t num_threads = 0;
+
+  /// Detail rows per morsel. ~16K rows keeps a morsel's footprint within
+  /// L2 while amortizing scheduling to ~1 atomic op per 16K rows.
+  size_t morsel_rows = 16 * 1024;
+
+  /// Inputs smaller than this run on the sequential path even when
+  /// num_threads > 1 (thread-pool dispatch would dominate the scan).
+  size_t min_parallel_rows = 8192;
+
+  /// Nonzero: deterministically shuffle the morsel dispatch order with
+  /// this seed (tests assert output is identical under any order).
+  uint64_t morsel_shuffle_seed = 0;
+
+  /// When set, the parallel GMDJ evaluator appends one MorselTiming per
+  /// morsel here (not thread-safe to share across concurrent queries).
+  std::vector<MorselTiming>* morsel_trace = nullptr;
+
+  size_t ResolvedThreads() const {
+    if (num_threads > 0) return num_threads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<size_t>(hw);
+  }
+};
+
+}  // namespace gmdj
+
+#endif  // GMDJ_PARALLEL_EXEC_CONFIG_H_

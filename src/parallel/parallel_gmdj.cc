@@ -1,0 +1,299 @@
+#include "parallel/parallel_gmdj.h"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "expr/expr.h"
+#include "parallel/thread_pool.h"
+#include "types/tribool.h"
+
+namespace gmdj {
+
+bool ParallelGmdjSupported(const std::vector<GmdjCondRuntime>& runtimes) {
+  for (const GmdjCondRuntime& rt : runtimes) {
+    if (rt.skip) continue;
+    if (rt.freeze_bit != 0) {
+      // Satisfy-on-match emits the aggregates of the first match in scan
+      // order; only count(*) makes that order-independent (always 1).
+      for (const AggSpec& agg : rt.cond->aggs) {
+        if (agg.kind != AggKind::kCountStar) return false;
+      }
+      if (rt.pair_cmp != nullptr) return false;
+    }
+    if (rt.pair_cmp != nullptr && rt.action != CompletionAction::kNone) {
+      return false;  // Pair check against a scan-order-dependent match.
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Thread-local evaluation state of one ParallelFor slot. A slot is
+/// pinned to one thread for the whole loop, so nothing here needs locks.
+struct SlotState {
+  bool initialized = false;
+  std::vector<AggState> states;  // |B| x total_aggs partial aggregates.
+  std::vector<uint32_t> active;  // Non-discarded bases for kScan dispatch.
+  size_t active_rebuild_mark = 0;  // num_discarded at last rebuild.
+  EvalContext ectx;
+  Row probe_key;
+  std::vector<uint32_t> stab_scratch;
+  ExecStats stats;
+  std::vector<MorselTiming> timings;
+};
+
+/// Shared, atomically updated completion state. Decision flags use
+/// relaxed ordering: correctness needs only the atomicity of the RMW
+/// (exactly-once discard/freeze); a slot observing a flag late merely
+/// does wasted work on a base tuple whose output is already decided or
+/// whose extra updates land in partials that are never read.
+struct SharedState {
+  explicit SharedState(size_t n) : discarded(n), frozen(n) {}
+  std::vector<std::atomic<uint8_t>> discarded;
+  std::vector<std::atomic<uint64_t>> frozen;
+  std::atomic<size_t> num_discarded{0};
+};
+
+void InitSlot(SlotState* slot, const GmdjEvalInput& in) {
+  slot->initialized = true;
+  const size_t n = in.base->num_rows();
+  slot->states.resize(n * in.total_aggs);
+  slot->active.resize(n);
+  std::iota(slot->active.begin(), slot->active.end(), 0);
+  slot->ectx.PushFrame(in.base_schema, nullptr);
+  slot->ectx.PushFrame(in.detail_schema, nullptr);
+}
+
+void UpdateAggs(const GmdjCondition& cond, size_t offset, size_t b,
+                const GmdjEvalInput& in, SlotState* slot) {
+  AggState* entry_states = &slot->states[b * in.total_aggs + offset];
+  for (size_t a = 0; a < cond.aggs.size(); ++a) {
+    const AggSpec& agg = cond.aggs[a];
+    if (agg.kind == AggKind::kCountStar) {
+      ++entry_states[a].count;  // Avoids a Value temporary per pair.
+    } else {
+      entry_states[a].Update(agg.kind, agg.arg->Eval(slot->ectx));
+    }
+  }
+}
+
+void Discard(size_t b, SharedState* shared) {
+  if (shared->discarded[b].exchange(1, std::memory_order_relaxed) == 0) {
+    shared->num_discarded.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+/// Processes detail rows [begin, end) — the same candidate loop as the
+/// sequential evaluator, with completion decisions routed through the
+/// shared atomic flags and aggregates into the slot-local table.
+void ProcessMorsel(const GmdjEvalInput& in, size_t begin, size_t end,
+                   SlotState* slot, SharedState* shared) {
+  const size_t n = in.base->num_rows();
+  const Table& base = *in.base;
+  const Table& detail = *in.detail;
+
+  // Rebuild the slot's active list when completion has retired a large
+  // fraction of base tuples since the last rebuild (kScan dispatch cost
+  // is proportional to the list length).
+  const size_t retired =
+      shared->num_discarded.load(std::memory_order_relaxed);
+  if (retired > slot->active_rebuild_mark &&
+      (retired - slot->active_rebuild_mark) * 2 > slot->active.size()) {
+    std::vector<uint32_t> next;
+    next.reserve(slot->active.size());
+    for (const uint32_t b : slot->active) {
+      if (shared->discarded[b].load(std::memory_order_relaxed) == 0) {
+        next.push_back(b);
+      }
+    }
+    slot->active = std::move(next);
+    slot->active_rebuild_mark = retired;
+  }
+
+  for (size_t r = begin; r < end; ++r) {
+    if (shared->num_discarded.load(std::memory_order_relaxed) == n) {
+      return;  // Every base tuple is decided.
+    }
+    const Row& drow = detail.row(r);
+    slot->ectx.SetRow(1, &drow);
+
+    for (const GmdjCondRuntime& rt : *in.runtimes) {
+      if (rt.skip) continue;
+      // Per-detail filters first (e.g. F.Protocol = "HTTP").
+      bool detail_ok = true;
+      for (const Expr* e : rt.analysis->detail_only) {
+        slot->stats.predicate_evals += 1;
+        if (!IsTrue(e->EvalPred(slot->ectx))) {
+          detail_ok = false;
+          break;
+        }
+      }
+      if (!detail_ok) continue;
+
+      // Locate candidate base tuples.
+      const std::vector<uint32_t>* candidates = nullptr;
+      switch (rt.analysis->strategy) {
+        case CondStrategy::kHash: {
+          slot->probe_key.clear();
+          bool null_key = false;
+          for (const EqBinding& eq : rt.analysis->eq_bindings) {
+            const Value& v = drow[eq.detail_col];
+            if (v.is_null()) {
+              null_key = true;
+              break;
+            }
+            slot->probe_key.push_back(v);
+          }
+          if (null_key) continue;
+          slot->stats.hash_probes += 1;
+          candidates = &rt.hash->Probe(slot->probe_key);
+          break;
+        }
+        case CondStrategy::kInterval: {
+          const Value& v = drow[rt.analysis->interval->detail_col];
+          if (v.is_null()) continue;
+          slot->stab_scratch.clear();
+          rt.interval->Stab(v.AsDouble(), &slot->stab_scratch);
+          candidates = &slot->stab_scratch;
+          break;
+        }
+        case CondStrategy::kScan:
+          candidates = &slot->active;
+          break;
+      }
+
+      for (const uint32_t b : *candidates) {
+        if (shared->discarded[b].load(std::memory_order_relaxed)) continue;
+        if (rt.freeze_bit != 0 &&
+            (shared->frozen[b].load(std::memory_order_relaxed) &
+             rt.freeze_bit)) {
+          continue;
+        }
+        slot->ectx.SetRow(0, &base.row(b));
+        bool match = true;
+        for (const Expr* e : rt.analysis->residual) {
+          slot->stats.predicate_evals += 1;
+          if (!IsTrue(e->EvalPred(slot->ectx))) {
+            match = false;
+            break;
+          }
+        }
+        if (!match) continue;
+
+        if (rt.action == CompletionAction::kDiscardOnMatch) {
+          Discard(b, shared);
+          continue;
+        }
+        if (rt.freeze_bit != 0) {
+          // Satisfy-on-match: the slot that wins the fetch_or races is
+          // the one (and only one) that counts the match, so the merged
+          // count is exactly 1 — the sequential frozen value.
+          const uint64_t prev = shared->frozen[b].fetch_or(
+              rt.freeze_bit, std::memory_order_relaxed);
+          if ((prev & rt.freeze_bit) == 0) {
+            UpdateAggs(*rt.cond, rt.agg_offset, b, in, slot);
+          }
+          continue;
+        }
+        UpdateAggs(*rt.cond, rt.agg_offset, b, in, slot);
+        if (rt.pair_cmp != nullptr) {
+          slot->stats.predicate_evals += 1;
+          if (IsTrue(rt.pair_cmp->EvalPred(slot->ectx))) {
+            UpdateAggs(*rt.pair_cond, rt.pair_agg_offset, b, in, slot);
+          } else {
+            // The ALL quantifier is violated; counts diverge forever.
+            Discard(b, shared);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void ExecuteGmdjMorselParallel(const GmdjEvalInput& in,
+                               const ExecConfig& config, ExecStats* stats,
+                               GmdjEvalResult* out) {
+  GMDJ_CHECK(ParallelGmdjSupported(*in.runtimes));
+  GMDJ_CHECK(in.agg_kinds.size() == in.total_aggs);
+  const size_t n = in.base->num_rows();
+  const size_t num_detail = in.detail->num_rows();
+  const size_t morsel_rows = std::max<size_t>(1, config.morsel_rows);
+  const size_t num_morsels = (num_detail + morsel_rows - 1) / morsel_rows;
+  const size_t parallelism =
+      std::max<size_t>(1, std::min(config.ResolvedThreads(), num_morsels));
+
+  // Dispatch order of morsels. Work stealing already makes the execution
+  // order nondeterministic; the explicit shuffle knob lets tests pin an
+  // adversarial order deterministically.
+  std::vector<size_t> order(num_morsels);
+  std::iota(order.begin(), order.end(), 0);
+  if (config.morsel_shuffle_seed != 0) {
+    Rng rng(config.morsel_shuffle_seed);
+    for (size_t i = num_morsels; i > 1; --i) {
+      std::swap(order[i - 1],
+                order[static_cast<size_t>(
+                    rng.Uniform(0, static_cast<int64_t>(i) - 1))]);
+    }
+  }
+
+  SharedState shared(n);
+  std::vector<SlotState> slots(parallelism);
+
+  ThreadPool::Shared()->ParallelFor(
+      num_morsels, parallelism, [&](size_t task, size_t slot_idx) {
+        SlotState& slot = slots[slot_idx];
+        if (!slot.initialized) InitSlot(&slot, in);
+        const size_t morsel = order[task];
+        const size_t begin = morsel * morsel_rows;
+        const size_t end = std::min(begin + morsel_rows, num_detail);
+        Stopwatch watch;
+        ProcessMorsel(in, begin, end, &slot, &shared);
+        slot.timings.push_back(MorselTiming{
+            static_cast<uint32_t>(slot_idx), static_cast<uint64_t>(begin),
+            static_cast<uint64_t>(end - begin), watch.ElapsedMillis()});
+      });
+
+  // ---- Merge thread-local partials (commutative, so slot order only
+  // affects double-sum rounding, exactly as morsel order does). ----
+  out->states.assign(n * in.total_aggs, AggState{});
+  for (const SlotState& slot : slots) {
+    if (!slot.initialized) continue;
+    for (size_t b = 0; b < n; ++b) {
+      if (shared.discarded[b].load(std::memory_order_relaxed)) continue;
+      AggState* dst = &out->states[b * in.total_aggs];
+      const AggState* src = &slot.states[b * in.total_aggs];
+      for (size_t a = 0; a < in.total_aggs; ++a) {
+        dst[a].Merge(in.agg_kinds[a], src[a]);
+      }
+    }
+    stats->predicate_evals += slot.stats.predicate_evals;
+    stats->hash_probes += slot.stats.hash_probes;
+  }
+  out->discarded.resize(n);
+  for (size_t b = 0; b < n; ++b) {
+    out->discarded[b] =
+        shared.discarded[b].load(std::memory_order_relaxed);
+  }
+  out->num_discarded = shared.num_discarded.load(std::memory_order_relaxed);
+
+  stats->morsels += num_morsels;
+  if (config.morsel_trace != nullptr) {
+    for (const SlotState& slot : slots) {
+      config.morsel_trace->insert(config.morsel_trace->end(),
+                                  slot.timings.begin(), slot.timings.end());
+    }
+    std::sort(config.morsel_trace->begin(), config.morsel_trace->end(),
+              [](const MorselTiming& a, const MorselTiming& b) {
+                return a.first_row < b.first_row;
+              });
+  }
+}
+
+}  // namespace gmdj

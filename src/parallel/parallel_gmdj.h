@@ -1,0 +1,90 @@
+#ifndef GMDJ_PARALLEL_PARALLEL_GMDJ_H_
+#define GMDJ_PARALLEL_PARALLEL_GMDJ_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/gmdj_node.h"
+#include "exec/plan.h"
+#include "expr/aggregate.h"
+#include "parallel/exec_config.h"
+#include "storage/hash_index.h"
+#include "storage/interval_index.h"
+#include "storage/table.h"
+
+namespace gmdj {
+
+/// Compiled runtime form of one GMDJ condition: dispatch strategy plus
+/// completion wiring. Built once per Execute by GmdjNode and shared
+/// read-only by the sequential and morsel-parallel evaluators.
+struct GmdjCondRuntime {
+  const GmdjCondition* cond = nullptr;
+  const ConditionAnalysis* analysis = nullptr;
+  size_t agg_offset = 0;
+  CompletionAction action = CompletionAction::kNone;
+  // Fused ALL pair (set on the *unfiltered* condition when completion is
+  // enabled): after a θ match, `pair_cmp` decides whether the filtered
+  // condition also matches; a non-TRUE outcome discards the base tuple.
+  const Expr* pair_cmp = nullptr;
+  size_t pair_agg_offset = 0;
+  const GmdjCondition* pair_cond = nullptr;
+  bool skip = false;  // Filtered half of a fused pair.
+  std::shared_ptr<HashIndex> hash;
+  std::unique_ptr<IntervalIndex> interval;
+  uint64_t freeze_bit = 0;  // Nonzero for kSatisfyOnMatch conditions.
+};
+
+/// Read-only inputs of one GMDJ evaluation pass over the detail relation.
+struct GmdjEvalInput {
+  const Table* base = nullptr;
+  const Table* detail = nullptr;
+  const Schema* base_schema = nullptr;
+  const Schema* detail_schema = nullptr;
+  const std::vector<GmdjCondRuntime>* runtimes = nullptr;
+  size_t total_aggs = 0;
+  /// Aggregate kind per flat slot (condition-major order); used to merge
+  /// thread-local partial states.
+  std::vector<AggKind> agg_kinds;
+};
+
+/// Per-base-tuple outcome of the detail pass, identical in layout between
+/// the sequential and parallel evaluators so GmdjNode emits output rows
+/// from either with the same code.
+struct GmdjEvalResult {
+  std::vector<AggState> states;    // |B| x total_aggs, condition-major.
+  std::vector<uint8_t> discarded;  // |B|; 1 = excluded from the output.
+  size_t num_discarded = 0;
+};
+
+/// Whether the morsel-parallel evaluator reproduces the sequential
+/// output exactly for these conditions. False in two (rare) cases that
+/// require the sequential scan order:
+///  - a kSatisfyOnMatch condition carrying aggregates other than
+///    count(*): its output is the *first* matching row's aggregate, which
+///    depends on scan order (the optimizer only derives the action for
+///    sole-count(*) conditions, where any first match yields count = 1);
+///  - a fused ALL pair whose unfiltered condition also has a completion
+///    action: freeze-after-first-match would pick a scan-order-dependent
+///    match to test the pair comparison against.
+bool ParallelGmdjSupported(const std::vector<GmdjCondRuntime>& runtimes);
+
+/// Morsel-driven parallel GMDJ evaluation (the tentpole of the parallel
+/// subsystem). Splits the detail relation into ExecConfig::morsel_rows
+/// chunks dispatched over a work-stealing loop; each slot accumulates
+/// into a thread-local |B| x total_aggs aggregate table, while base-tuple
+/// completion decisions (discard / satisfy-freeze) go through shared
+/// per-base atomic flags so they fire exactly once across threads.
+/// Thread-local partials are merged with the commutative AggState::Merge.
+///
+/// Precondition: ParallelGmdjSupported(runtimes). Produces the same
+/// GmdjEvalResult as the sequential pass for any thread count and any
+/// morsel dispatch order (aggregate inputs permitting: integer arithmetic
+/// is exact; double sums reassociate, as in any parallel database).
+/// Per-slot ExecStats are merged into `stats`.
+void ExecuteGmdjMorselParallel(const GmdjEvalInput& in,
+                               const ExecConfig& config, ExecStats* stats,
+                               GmdjEvalResult* out);
+
+}  // namespace gmdj
+
+#endif  // GMDJ_PARALLEL_PARALLEL_GMDJ_H_

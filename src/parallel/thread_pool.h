@@ -1,0 +1,111 @@
+#ifndef GMDJ_PARALLEL_THREAD_POOL_H_
+#define GMDJ_PARALLEL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gmdj {
+
+/// Per-slot task queue used by ThreadPool::ParallelFor. The owner pops
+/// from the front (preserving morsel locality); idle slots steal from the
+/// back, so contention between owner and thieves touches opposite ends.
+/// A mutex per queue is plenty here: one lock acquisition amortizes over
+/// a whole morsel (~16K rows of work).
+class WorkStealingQueue {
+ public:
+  void PushBack(size_t task) {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(task);
+  }
+
+  /// Owner side: pops the oldest task. False when empty.
+  bool PopFront(size_t* task) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tasks_.empty()) return false;
+    *task = tasks_.front();
+    tasks_.pop_front();
+    return true;
+  }
+
+  /// Thief side: pops the newest task. False when empty.
+  bool StealBack(size_t* task) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tasks_.empty()) return false;
+    *task = tasks_.back();
+    tasks_.pop_back();
+    return true;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tasks_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<size_t> tasks_;
+};
+
+/// Fixed set of worker threads with a shared job queue, plus a
+/// work-stealing ParallelFor for data-parallel loops (the morsel driver).
+///
+/// Ownership model: operators use the process-wide Shared() pool so a
+/// query pipeline never pays thread spawn latency; per-call `parallelism`
+/// caps how many workers join one loop. The calling thread always
+/// participates (slot 0), so `parallelism = 1` never touches a worker and
+/// a pool with zero workers still makes progress.
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` threads (0 is valid: everything runs inline).
+  explicit ThreadPool(size_t num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_workers() const;
+
+  /// Grows the worker set to at least `n` threads (never shrinks; capped
+  /// at kMaxWorkers). Lets tests and oversubscribed configs exercise more
+  /// parallelism than hardware_concurrency.
+  void EnsureWorkers(size_t n);
+
+  /// Runs `fn(task, slot)` for every task in [0, num_tasks), distributed
+  /// over at most `parallelism` slots (capped by workers + caller). Tasks
+  /// are block-partitioned across slots; a slot that drains its own queue
+  /// steals from the others. Blocks until every task has finished.
+  ///
+  /// Each slot index in [0, parallelism) is used by exactly one thread
+  /// for the whole loop, so `fn` may keep per-slot state without locking.
+  /// Called from inside a pool worker, the loop runs inline on slot 0
+  /// (no nested dispatch — avoids deadlocking a fully busy pool).
+  void ParallelFor(size_t num_tasks, size_t parallelism,
+                   const std::function<void(size_t task, size_t slot)>& fn);
+
+  /// Process-wide pool, created on first use with hardware_concurrency-1
+  /// workers and intentionally leaked (no shutdown-order hazards).
+  static ThreadPool* Shared();
+
+  /// Upper bound on workers a pool will spawn (oversubscription limit).
+  static constexpr size_t kMaxWorkers = 64;
+
+ private:
+  void WorkerMain();
+
+  using Job = std::function<void()>;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::thread> workers_;
+  std::deque<Job> jobs_;
+  bool stop_ = false;
+};
+
+}  // namespace gmdj
+
+#endif  // GMDJ_PARALLEL_THREAD_POOL_H_

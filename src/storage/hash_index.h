@@ -23,7 +23,16 @@ namespace gmdj {
 class HashIndex {
  public:
   /// Builds the index over `table` on `key_columns` (column indices).
-  HashIndex(const Table& table, std::vector<size_t> key_columns);
+  /// With `build_threads > 1` and a large table, contiguous row
+  /// partitions are hashed in parallel on the shared thread pool and
+  /// merged in partition order, which preserves the sequential build's
+  /// ascending row order inside every Probe list.
+  HashIndex(const Table& table, std::vector<size_t> key_columns,
+            size_t build_threads = 1);
+
+  /// Row count below which a parallel build falls back to sequential
+  /// (partition maps + merge would cost more than they save).
+  static constexpr size_t kParallelBuildMinRows = 64 * 1024;
 
   /// Row indices whose key equals `key` (same width as key_columns).
   /// Returns an empty list when the key is absent or contains NULL.
