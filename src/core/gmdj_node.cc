@@ -67,19 +67,133 @@ Status GmdjNode::Prepare(const Catalog& catalog) {
     }
     GMDJ_RETURN_IF_ERROR(pair.cmp->Bind(frames));
   }
+
+  // Canonical MQO signature over the now-bound conditions. Nullopt (not
+  // an error) when an input is not a bare catalog scan — such nodes are
+  // simply not shareable across queries.
+  std::vector<GmdjConditionView> views;
+  views.reserve(conditions_.size());
+  for (const GmdjCondition& cond : conditions_) {
+    GmdjConditionView view;
+    view.theta = cond.theta.get();
+    view.aggs.reserve(cond.aggs.size());
+    for (const AggSpec& agg : cond.aggs) view.aggs.push_back(&agg);
+    views.push_back(std::move(view));
+  }
+  signature_ = BuildGmdjSignature(*base_, *detail_, views);
   return Status::OK();
 }
 
 Result<Table> GmdjNode::Execute(ExecContext* ctx) const {
+  GmdjCacheHook* cache = ctx->gmdj_cache();
+  // Completion-enabled nodes never touch the cache: completion prunes
+  // (discards/freezes) base tuples according to *this query's* selection,
+  // so their output is not the query-independent full aggregate table the
+  // cache holds. Storing it would poison later consumers; probing it would
+  // skip the pruning. They fall through to normal evaluation.
+  const bool cache_eligible =
+      cache != nullptr && signature_.has_value() && !completion_.enabled();
+
+  // Versions are observed *before* any table is read: a mutation racing
+  // this query can only make the captured versions stale (a wasted store
+  // or a spurious miss), never validate a stale entry.
+  std::vector<GmdjCacheKey> keys;
+  if (cache_eligible) {
+    const TableVersion base_version =
+        ctx->catalog().GetTableVersion(signature_->base_table);
+    const TableVersion detail_version =
+        ctx->catalog().GetTableVersion(signature_->detail_table);
+    keys.reserve(signature_->conditions.size());
+    for (const GmdjCondSignature& cs : signature_->conditions) {
+      GmdjCacheKey key;
+      key.share_key = cs.share_key;
+      key.base_table = signature_->base_table;
+      key.detail_table = signature_->detail_table;
+      key.base_version = base_version;
+      key.detail_version = detail_version;
+      keys.push_back(std::move(key));
+    }
+  }
+
   GMDJ_ASSIGN_OR_RETURN(Table base, base_->Execute(ctx));
+
+  if (cache_eligible) {
+    for (GmdjCacheKey& key : keys) key.num_base_rows = base.num_rows();
+    std::vector<std::vector<CachedAggColumn>> columns(conditions_.size());
+    bool all_hit = true;
+    for (size_t c = 0; c < conditions_.size(); ++c) {
+      if (!cache->Probe(keys[c], signature_->conditions[c].agg_keys,
+                        &columns[c])) {
+        all_hit = false;
+        break;
+      }
+    }
+    if (all_hit) {
+      // The detail relation is never read — the whole point of the MQO
+      // cache: repeated GMDJ cost collapses to the base scan.
+      ctx->stats().gmdj_ops += 1;
+      ctx->stats().table_scans += 1;
+      ctx->stats().rows_scanned += base.num_rows();
+      ctx->stats().cache_hits += 1;
+      return BuildCachedOutput(ctx, base, columns);
+    }
+    ctx->stats().cache_misses += 1;
+  }
+
   GMDJ_ASSIGN_OR_RETURN(Table detail, detail_->Execute(ctx));
   ctx->stats().gmdj_ops += 1;
   ctx->stats().table_scans += 2;
   ctx->stats().rows_scanned += base.num_rows() + detail.num_rows();
-  if (strategy_ == GmdjStrategy::kNaive) {
-    return ExecuteNaive(ctx, base, detail);
+  Result<Table> result = strategy_ == GmdjStrategy::kNaive
+                             ? ExecuteNaive(ctx, base, detail)
+                             : ExecuteAuto(ctx, base, detail);
+  if (cache_eligible && result.ok()) {
+    StoreInCache(cache, keys, *result);
   }
-  return ExecuteAuto(ctx, base, detail);
+  return result;
+}
+
+Result<Table> GmdjNode::BuildCachedOutput(
+    ExecContext* ctx, const Table& base,
+    const std::vector<std::vector<CachedAggColumn>>& columns) const {
+  const size_t n = base.num_rows();
+  Table out(output_schema_);
+  out.Reserve(n);
+  for (size_t b = 0; b < n; ++b) {
+    Row row = base.row(b);
+    row.reserve(row.size() + total_aggs_);
+    for (const std::vector<CachedAggColumn>& cond_cols : columns) {
+      for (const CachedAggColumn& col : cond_cols) {
+        row.push_back((*col)[b]);
+      }
+    }
+    out.AppendRow(std::move(row));
+  }
+  ctx->stats().rows_output += out.num_rows();
+  return out;
+}
+
+void GmdjNode::StoreInCache(GmdjCacheHook* cache,
+                            const std::vector<GmdjCacheKey>& keys,
+                            const Table& out) const {
+  // Without completion no base tuple is discarded, so the output rows are
+  // exactly the base rows in scan order — the alignment the cache requires.
+  const size_t n = out.num_rows();
+  if (n != keys.front().num_base_rows) return;  // Defensive; see above.
+  const size_t base_width = base_->output_schema().num_fields();
+  for (size_t c = 0; c < conditions_.size(); ++c) {
+    const GmdjCondSignature& cs = signature_->conditions[c];
+    std::vector<CachedAggColumn> cols;
+    cols.reserve(cs.agg_keys.size());
+    for (size_t a = 0; a < cs.agg_keys.size(); ++a) {
+      auto col = std::make_shared<std::vector<Value>>();
+      col->reserve(n);
+      const size_t idx = base_width + agg_offsets_[c] + a;
+      for (size_t b = 0; b < n; ++b) col->push_back(out.row(b)[idx]);
+      cols.push_back(std::move(col));
+    }
+    cache->Store(keys[c], cs.agg_keys, std::move(cols));
+  }
 }
 
 // Reference implementation: literal transcription of Definition 2.1.

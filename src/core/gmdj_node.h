@@ -2,13 +2,16 @@
 #define GMDJ_CORE_GMDJ_NODE_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/condition_analysis.h"
+#include "exec/gmdj_cache.h"
 #include "exec/plan.h"
 #include "expr/aggregate.h"
 #include "expr/expr.h"
+#include "mqo/signature.h"
 #include "storage/hash_index.h"
 #include "storage/interval_index.h"
 
@@ -146,6 +149,10 @@ class GmdjNode final : public PlanNode {
   const PlanNode& detail() const { return *detail_; }
   GmdjStrategy strategy() const { return strategy_; }
 
+  /// Canonical MQO signature; set by Prepare when both inputs are bare
+  /// catalog-table scans (the cacheable/shareable shape), else nullopt.
+  const std::optional<GmdjSignature>& signature() const { return signature_; }
+
  private:
   Result<Table> ExecuteNaive(ExecContext* ctx, const Table& base,
                              const Table& detail) const;
@@ -163,6 +170,18 @@ class GmdjNode final : public PlanNode {
   void ExecuteSequential(ExecContext* ctx, const GmdjEvalInput& in,
                          GmdjEvalResult* out) const;
 
+  /// Assembles the output table from the base rows and per-condition
+  /// cached aggregate columns (cache-hit fast path: no detail scan).
+  Result<Table> BuildCachedOutput(
+      ExecContext* ctx, const Table& base,
+      const std::vector<std::vector<CachedAggColumn>>& columns) const;
+
+  /// Slices the computed output's aggregate columns into the cache, one
+  /// Store per condition under its share key.
+  void StoreInCache(GmdjCacheHook* cache,
+                    const std::vector<GmdjCacheKey>& keys,
+                    const Table& out) const;
+
   PlanPtr base_;
   PlanPtr detail_;
   std::vector<GmdjCondition> conditions_;
@@ -170,6 +189,7 @@ class GmdjNode final : public PlanNode {
   CompletionSpec completion_;
 
   // Populated by Prepare.
+  std::optional<GmdjSignature> signature_;
   std::vector<ConditionAnalysis> analyses_;
   std::vector<size_t> agg_offsets_;  // Start of each condition's aggs.
   size_t total_aggs_ = 0;

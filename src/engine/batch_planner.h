@@ -1,0 +1,74 @@
+#ifndef GMDJ_ENGINE_BATCH_PLANNER_H_
+#define GMDJ_ENGINE_BATCH_PLANNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/olap_engine.h"
+#include "mqo/agg_cache.h"
+#include "nested/nested_ast.h"
+#include "parallel/exec_config.h"
+#include "storage/catalog.h"
+
+namespace gmdj {
+
+/// Admission options for a query batch.
+struct BatchOptions {
+  /// Execution strategy; must be one of the GMDJ strategies (the native
+  /// interpreters produce no shareable plans).
+  Strategy strategy = Strategy::kGmdjOptimized;
+
+  /// Coalesce GMDJ work *across* the batch's queries: conditions over the
+  /// same (base, detail) scans are gathered into merged prewarm GMDJs,
+  /// evaluated once, and fanned out to every subscriber through the
+  /// cache. Requires a cache; without one this is a no-op.
+  bool coalesce_across_queries = true;
+};
+
+/// Outcome of a batch: per-query results plus batch-wide accounting.
+/// Returned by value — batch execution never touches engine-level mutable
+/// state, so concurrent batches against one engine are safe.
+struct BatchResult {
+  /// Admission-level failure (bad strategy, translation error). When not
+  /// OK, `results` is empty.
+  Status status;
+
+  /// One result per input query, in input order.
+  std::vector<Result<Table>> results;
+
+  /// Summed execution stats of prewarm + all queries. Cache gauges
+  /// (evictions/invalidations/bytes) are sampled from the cache at the
+  /// end of the batch.
+  ExecStats stats;
+
+  double elapsed_ms = 0.0;
+
+  /// (base, detail) scan groups that were shared by >= 2 queries and
+  /// prewarmed with a merged GMDJ.
+  uint64_t shared_groups = 0;
+
+  /// Conditions subscribed by >= 2 distinct GMDJ nodes — work evaluated
+  /// once instead of per-subscriber.
+  uint64_t shared_conditions = 0;
+};
+
+/// The batch admission planner: canonicalizes the GMDJs of all pending
+/// queries, coalesces identical and subsumed conditions across queries
+/// into merged prewarm GMDJs (evaluated once through the normal
+/// evaluator, results published via `cache`), then runs every query —
+/// each of which now serves its shared GMDJs from the cache.
+///
+/// `cache` may be null: the batch then degrades to sequential execution
+/// with no sharing. When a cache is present, plans are translated with
+/// base-tuple completion *disabled*: completion prunes base tuples
+/// according to each query's selection, which would make the GMDJ output
+/// query-specific and uncacheable; the enclosing Filter applies the same
+/// selection, so results are identical either way.
+BatchResult ExecuteGmdjBatch(const Catalog& catalog, const ExecConfig& config,
+                             GmdjAggCache* cache,
+                             const std::vector<const NestedSelect*>& queries,
+                             const BatchOptions& options = BatchOptions());
+
+}  // namespace gmdj
+
+#endif  // GMDJ_ENGINE_BATCH_PLANNER_H_

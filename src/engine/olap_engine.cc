@@ -1,6 +1,7 @@
 #include "engine/olap_engine.h"
 
 #include "common/stopwatch.h"
+#include "engine/batch_planner.h"
 #include "core/optimizer.h"
 #include "core/gmdj.h"
 #include "nested/native_eval.h"
@@ -108,12 +109,35 @@ Result<Table> OlapEngine::Execute(const NestedSelect& query,
       GMDJ_ASSIGN_OR_RETURN(PlanPtr plan, Plan(query, strategy));
       GMDJ_RETURN_IF_ERROR(plan->Prepare(catalog_));
       ExecContext ctx(&catalog_, exec_config_);
+      ctx.set_gmdj_cache(agg_cache_.get());
       auto result = plan->Execute(&ctx);
       last_stats_ = ctx.stats();
+      if (agg_cache_ != nullptr) {
+        const GmdjAggCache::Stats cache_stats = agg_cache_->stats();
+        last_stats_.cache_evictions = cache_stats.evictions;
+        last_stats_.cache_invalidations = cache_stats.invalidations;
+        last_stats_.cache_bytes = cache_stats.bytes;
+      }
       last_elapsed_ms_ = watch.ElapsedMillis();
       return result;
     }
   }
+}
+
+BatchResult OlapEngine::ExecuteBatch(
+    const std::vector<const NestedSelect*>& queries,
+    const BatchOptions& options) {
+  return ExecuteGmdjBatch(catalog_, exec_config_, agg_cache_.get(), queries,
+                          options);
+}
+
+BatchResult OlapEngine::ExecuteBatch(
+    const std::vector<const NestedSelect*>& queries) {
+  return ExecuteBatch(queries, BatchOptions());
+}
+
+void OlapEngine::EnableAggCache(GmdjAggCacheConfig config) {
+  agg_cache_ = std::make_unique<GmdjAggCache>(config);
 }
 
 Result<Table> OlapEngine::ExecuteSql(std::string_view sql,

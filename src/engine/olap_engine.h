@@ -8,11 +8,15 @@
 
 #include "exec/nodes.h"
 #include "exec/plan.h"
+#include "mqo/agg_cache.h"
 #include "nested/nested_ast.h"
 #include "parallel/exec_config.h"
 #include "storage/catalog.h"
 
 namespace gmdj {
+
+struct BatchOptions;
+struct BatchResult;
 
 /// Subquery evaluation strategies the engine can dispatch to. The first
 /// three model the paper's "native" commercial DBMS at increasing levels
@@ -75,6 +79,27 @@ class OlapEngine {
   /// (e.g. the paper's `sum1/sum2` output column).
   Result<Table> Project(const Table& input, std::vector<ProjItem> items);
 
+  /// Batch admission: canonicalizes the GMDJs of all `queries`, evaluates
+  /// conditions shared across queries once (publishing through the
+  /// aggregate cache when enabled), then runs each query. See
+  /// engine/batch_planner.h for options and the result layout.
+  ///
+  /// Thread-safe with respect to the engine: never writes `last_stats_`
+  /// or any other engine member, so concurrent ExecuteBatch calls on one
+  /// engine are allowed (the cache is internally synchronized). The
+  /// catalog must not be mutated concurrently.
+  BatchResult ExecuteBatch(const std::vector<const NestedSelect*>& queries,
+                           const BatchOptions& options);
+  BatchResult ExecuteBatch(const std::vector<const NestedSelect*>& queries);
+
+  /// Enables the cross-query GMDJ aggregate cache (mqo/agg_cache.h) for
+  /// Execute and ExecuteBatch. Replaces (and drops) any previous cache.
+  void EnableAggCache(GmdjAggCacheConfig config = GmdjAggCacheConfig());
+  void DisableAggCache() { agg_cache_.reset(); }
+
+  /// The active cache, or null when disabled.
+  GmdjAggCache* agg_cache() { return agg_cache_.get(); }
+
   /// Statistics and wall time of the most recent Execute call.
   const ExecStats& last_stats() const { return last_stats_; }
   double last_elapsed_ms() const { return last_elapsed_ms_; }
@@ -91,6 +116,7 @@ class OlapEngine {
   ExecConfig exec_config_;
   ExecStats last_stats_;
   double last_elapsed_ms_ = 0.0;
+  std::unique_ptr<GmdjAggCache> agg_cache_;
 };
 
 }  // namespace gmdj

@@ -1,0 +1,75 @@
+#ifndef GMDJ_EXEC_GMDJ_CACHE_H_
+#define GMDJ_EXEC_GMDJ_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/catalog.h"
+#include "types/row.h"
+
+namespace gmdj {
+
+/// Identity of one cacheable GMDJ condition: a canonical
+/// `(base, detail, theta)` key plus the catalog versions the consumer
+/// observed before execution. The canonical strings are produced by the
+/// MQO signature canonicalizer (mqo/signature.h); this header only defines
+/// the exchange format so the executor (core/GmdjNode) can talk to a cache
+/// without depending on the MQO subsystem.
+struct GmdjCacheKey {
+  /// Canonical `(base fingerprint, detail fingerprint, theta)` key. Alias
+  /// renames and commuted conjuncts canonicalize to the same string;
+  /// NULL-sensitive operators stay distinct.
+  std::string share_key;
+
+  /// Catalog names of the scanned tables (for diagnostics; versions below
+  /// carry the invalidation information).
+  std::string base_table;
+  std::string detail_table;
+
+  /// Versions observed from the catalog *before* evaluation, so a
+  /// mutation racing ahead of the store can only under-validate.
+  TableVersion base_version;
+  TableVersion detail_version;
+
+  /// Rows of the base input, in base scan order. Cached aggregate columns
+  /// are aligned to this order; a count mismatch is a miss.
+  uint64_t num_base_rows = 0;
+};
+
+/// A cached aggregate column: one finalized Value per base row, in base
+/// scan order. Shared ownership lets a consumer keep reading a column the
+/// cache has since evicted.
+using CachedAggColumn = std::shared_ptr<const std::vector<Value>>;
+
+/// Cache interface the GMDJ operator probes during execution.
+///
+/// Entries are stored per condition and per aggregate, keyed by canonical
+/// aggregate strings, which is what makes *subsumption* work: an entry
+/// holding `{count(*), sum($1.3)}` serves a consumer asking only for
+/// `count(*)` over the same `(base, detail, theta)`. Implementations must
+/// be thread-safe (concurrent batches share one cache).
+class GmdjCacheHook {
+ public:
+  virtual ~GmdjCacheHook() = default;
+
+  /// Looks up every aggregate in `agg_keys` under `key`. On a full hit
+  /// fills `columns` (one column per requested key, request order) and
+  /// returns true. Any missing aggregate, version mismatch, or row-count
+  /// mismatch is a miss; version mismatches drop the stale entry.
+  virtual bool Probe(const GmdjCacheKey& key,
+                     const std::vector<std::string>& agg_keys,
+                     std::vector<CachedAggColumn>* columns) = 0;
+
+  /// Stores the aggregate columns computed for `key` (one per entry of
+  /// `agg_keys`, aligned to base scan order). Merges into an existing
+  /// entry for the same key, so unioned aggregate sets accumulate.
+  virtual void Store(const GmdjCacheKey& key,
+                     const std::vector<std::string>& agg_keys,
+                     std::vector<CachedAggColumn> columns) = 0;
+};
+
+}  // namespace gmdj
+
+#endif  // GMDJ_EXEC_GMDJ_CACHE_H_

@@ -24,6 +24,15 @@ std::string ExecStats::ToString() const {
   out += " joins=" + std::to_string(joins);
   out += " gmdj_ops=" + std::to_string(gmdj_ops);
   out += " morsels=" + std::to_string(morsels);
+  if (cache_hits + cache_misses + cache_evictions + cache_invalidations +
+          cache_bytes >
+      0) {
+    out += " cache_hits=" + std::to_string(cache_hits);
+    out += " cache_misses=" + std::to_string(cache_misses);
+    out += " cache_evictions=" + std::to_string(cache_evictions);
+    out += " cache_invalidations=" + std::to_string(cache_invalidations);
+    out += " cache_bytes=" + std::to_string(cache_bytes);
+  }
   return out;
 }
 

@@ -26,9 +26,20 @@ struct ExecStats {
   uint64_t gmdj_ops = 0;         // GMDJ operators executed.
   uint64_t morsels = 0;          // Morsels dispatched by parallel scans.
 
+  // MQO aggregate-cache counters (src/mqo/). Hit/miss are counted per
+  // GMDJ operator execution; evictions/invalidations/bytes are copied
+  // from the cache by the engine after the query finishes.
+  uint64_t cache_hits = 0;           // GMDJs served entirely from cache.
+  uint64_t cache_misses = 0;         // Cache-eligible GMDJs that evaluated.
+  uint64_t cache_evictions = 0;      // Entries dropped by the byte budget.
+  uint64_t cache_invalidations = 0;  // Entries dropped by version mismatch.
+  uint64_t cache_bytes = 0;          // Resident cache footprint.
+
   void Reset() { *this = ExecStats{}; }
   std::string ToString() const;
 };
+
+class GmdjCacheHook;
 
 /// Execution environment handed to every operator: the catalog for table
 /// resolution, shared statistics, and the parallel-execution knobs.
@@ -43,10 +54,16 @@ class ExecContext {
   const ExecStats& stats() const { return stats_; }
   const ExecConfig& config() const { return config_; }
 
+  /// Cross-query GMDJ aggregate cache (exec/gmdj_cache.h); null disables
+  /// probing. The hook must outlive the context and be thread-safe.
+  void set_gmdj_cache(GmdjCacheHook* cache) { gmdj_cache_ = cache; }
+  GmdjCacheHook* gmdj_cache() const { return gmdj_cache_; }
+
  private:
   const Catalog* catalog_;
   ExecConfig config_;
   ExecStats stats_;
+  GmdjCacheHook* gmdj_cache_ = nullptr;
 };
 
 /// Base class of the physical plan tree.

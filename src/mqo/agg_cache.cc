@@ -1,0 +1,142 @@
+#include "mqo/agg_cache.h"
+
+namespace gmdj {
+namespace {
+
+size_t ColumnBytes(const CachedAggColumn& column) {
+  if (column == nullptr) return 0;
+  size_t bytes = sizeof(*column) + column->size() * sizeof(Value);
+  for (const Value& v : *column) {
+    if (v.type() == ValueType::kString) bytes += v.str().size();
+  }
+  return bytes;
+}
+
+}  // namespace
+
+bool GmdjAggCache::Probe(const GmdjCacheKey& key,
+                         const std::vector<std::string>& agg_keys,
+                         std::vector<CachedAggColumn>* columns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key.share_key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  Entry& entry = it->second;
+  if (entry.base_version != key.base_version ||
+      entry.detail_version != key.detail_version) {
+    // A table changed under the entry; the cached columns describe a world
+    // that no longer exists. Drop eagerly so it stops occupying budget.
+    ++stats_.invalidations;
+    EraseEntry(it);
+    ++stats_.misses;
+    return false;
+  }
+  if (entry.num_base_rows != key.num_base_rows) {
+    // Same versions but a different base-row count can only happen when
+    // the consumer scanned a differently-sized snapshot; treat as stale.
+    ++stats_.invalidations;
+    EraseEntry(it);
+    ++stats_.misses;
+    return false;
+  }
+  // All requested aggregates must be present (partial answers are useless
+  // to the operator); a superset entry serves a subset probe — subsumption.
+  std::vector<CachedAggColumn> found;
+  found.reserve(agg_keys.size());
+  for (const std::string& agg_key : agg_keys) {
+    auto col_it = entry.columns.find(agg_key);
+    if (col_it == entry.columns.end()) {
+      ++stats_.misses;
+      return false;
+    }
+    found.push_back(col_it->second);
+  }
+  Touch(&entry);
+  ++stats_.hits;
+  *columns = std::move(found);
+  return true;
+}
+
+void GmdjAggCache::Store(const GmdjCacheKey& key,
+                         const std::vector<std::string>& agg_keys,
+                         std::vector<CachedAggColumn> columns) {
+  if (agg_keys.size() != columns.size()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key.share_key);
+  if (it != entries_.end() &&
+      (it->second.base_version != key.base_version ||
+       it->second.detail_version != key.detail_version ||
+       it->second.num_base_rows != key.num_base_rows)) {
+    ++stats_.invalidations;
+    EraseEntry(it);
+    it = entries_.end();
+  }
+  if (it == entries_.end()) {
+    it = entries_.try_emplace(key.share_key).first;
+    Entry& entry = it->second;
+    entry.base_version = key.base_version;
+    entry.detail_version = key.detail_version;
+    entry.num_base_rows = key.num_base_rows;
+    lru_.push_front(it->first);
+    entry.lru_pos = lru_.begin();
+    ++stats_.entries;
+  }
+  Entry& entry = it->second;
+  bool added = false;
+  for (size_t i = 0; i < agg_keys.size(); ++i) {
+    if (columns[i] == nullptr) continue;
+    if (columns[i]->size() != key.num_base_rows) continue;
+    auto [col_it, inserted] =
+        entry.columns.try_emplace(agg_keys[i], std::move(columns[i]));
+    if (!inserted) continue;  // First writer wins; columns are identical.
+    const size_t bytes = ColumnBytes(col_it->second);
+    entry.bytes += bytes;
+    stats_.bytes += bytes;
+    added = true;
+  }
+  if (added) ++stats_.stores;
+  Touch(&entry);
+  if (entry.columns.empty()) {
+    // Nothing usable was stored (all columns misaligned); don't keep an
+    // empty entry resident.
+    EraseEntry(it);
+  }
+  EvictToBudget();
+}
+
+GmdjAggCache::Stats GmdjAggCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void GmdjAggCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+  stats_.bytes = 0;
+  stats_.entries = 0;
+}
+
+void GmdjAggCache::Touch(Entry* entry) {
+  lru_.splice(lru_.begin(), lru_, entry->lru_pos);
+  entry->lru_pos = lru_.begin();
+}
+
+void GmdjAggCache::EraseEntry(std::map<std::string, Entry>::iterator it) {
+  stats_.bytes -= it->second.bytes;
+  --stats_.entries;
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+}
+
+void GmdjAggCache::EvictToBudget() {
+  while (stats_.bytes > config_.byte_budget && !lru_.empty()) {
+    auto victim = entries_.find(lru_.back());
+    ++stats_.evictions;
+    EraseEntry(victim);
+  }
+}
+
+}  // namespace gmdj

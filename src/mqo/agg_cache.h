@@ -1,0 +1,93 @@
+#ifndef GMDJ_MQO_AGG_CACHE_H_
+#define GMDJ_MQO_AGG_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "exec/gmdj_cache.h"
+
+namespace gmdj {
+
+/// Tuning knobs for the GMDJ aggregate cache.
+struct GmdjAggCacheConfig {
+  /// Upper bound on resident cached-column bytes. When a store pushes the
+  /// footprint past the budget, least-recently-used entries are evicted
+  /// until it fits again.
+  size_t byte_budget = 64ull << 20;  // 64 MiB.
+};
+
+/// Cross-query GMDJ aggregate cache (the MQO subsystem's memory).
+///
+/// One entry per canonical `(base, detail, theta)` share key, holding the
+/// finalized aggregate columns computed for it — one column per canonical
+/// aggregate key, aligned to base scan order. Because columns are keyed
+/// individually, a probe asking for a *subset* of a stored entry's
+/// aggregates hits (subsumption), and a later store of extra aggregates
+/// merges into the same entry instead of duplicating it.
+///
+/// Invalidation is version-based: every entry remembers the catalog
+/// versions (registration epoch + mutation counter, storage/catalog.h) of
+/// both tables as observed before evaluation. A probe whose observed
+/// versions differ drops the entry. All methods are thread-safe.
+class GmdjAggCache final : public GmdjCacheHook {
+ public:
+  /// Monotonic counters plus current footprint. `bytes`/`entries` are
+  /// gauges; everything else only grows until Clear().
+  struct Stats {
+    uint64_t hits = 0;           // Probes fully served from cache.
+    uint64_t misses = 0;         // Probes that found no usable entry.
+    uint64_t evictions = 0;      // Entries dropped by the byte budget.
+    uint64_t invalidations = 0;  // Entries dropped by version mismatch.
+    uint64_t stores = 0;         // Store calls that added columns.
+    uint64_t bytes = 0;          // Resident cached-column bytes.
+    uint64_t entries = 0;        // Resident entries.
+  };
+
+  explicit GmdjAggCache(GmdjAggCacheConfig config = GmdjAggCacheConfig())
+      : config_(config) {}
+
+  GmdjAggCache(const GmdjAggCache&) = delete;
+  GmdjAggCache& operator=(const GmdjAggCache&) = delete;
+
+  bool Probe(const GmdjCacheKey& key, const std::vector<std::string>& agg_keys,
+             std::vector<CachedAggColumn>* columns) override;
+
+  void Store(const GmdjCacheKey& key, const std::vector<std::string>& agg_keys,
+             std::vector<CachedAggColumn> columns) override;
+
+  Stats stats() const;
+
+  /// Drops every entry (stats counters other than bytes/entries persist).
+  void Clear();
+
+  const GmdjAggCacheConfig& config() const { return config_; }
+
+ private:
+  struct Entry {
+    TableVersion base_version;
+    TableVersion detail_version;
+    uint64_t num_base_rows = 0;
+    std::map<std::string, CachedAggColumn> columns;  // By canonical agg key.
+    size_t bytes = 0;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  // All private helpers assume `mu_` is held.
+  void Touch(Entry* entry);
+  void EraseEntry(std::map<std::string, Entry>::iterator it);
+  void EvictToBudget();
+
+  GmdjAggCacheConfig config_;
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;  // By share key.
+  std::list<std::string> lru_;            // Front = most recently used.
+  Stats stats_;
+};
+
+}  // namespace gmdj
+
+#endif  // GMDJ_MQO_AGG_CACHE_H_

@@ -6,12 +6,14 @@ Status Catalog::RegisterTable(const std::string& name, Table table) {
   if (tables_.count(name) > 0) {
     return Status::AlreadyExists("table already registered: " + name);
   }
-  tables_[name] = std::make_unique<Table>(std::move(table));
+  tables_[name] =
+      NamedTable{std::make_unique<Table>(std::move(table)), next_epoch_++};
   return Status::OK();
 }
 
 void Catalog::PutTable(const std::string& name, Table table) {
-  tables_[name] = std::make_unique<Table>(std::move(table));
+  tables_[name] =
+      NamedTable{std::make_unique<Table>(std::move(table)), next_epoch_++};
 }
 
 Result<const Table*> Catalog::GetTable(const std::string& name) const {
@@ -19,7 +21,21 @@ Result<const Table*> Catalog::GetTable(const std::string& name) const {
   if (it == tables_.end()) {
     return Status::NotFound("table not found: " + name);
   }
-  return static_cast<const Table*>(it->second.get());
+  return static_cast<const Table*>(it->second.table.get());
+}
+
+Result<Table*> Catalog::GetMutableTable(const std::string& name) {
+  const auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table not found: " + name);
+  }
+  return it->second.table.get();
+}
+
+TableVersion Catalog::GetTableVersion(const std::string& name) const {
+  const auto it = tables_.find(name);
+  if (it == tables_.end()) return TableVersion{};
+  return TableVersion{it->second.registration, it->second.table->version()};
 }
 
 Status Catalog::DropTable(const std::string& name) {

@@ -1,6 +1,7 @@
 #ifndef GMDJ_STORAGE_CATALOG_H_
 #define GMDJ_STORAGE_CATALOG_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -10,6 +11,19 @@
 #include "storage/table.h"
 
 namespace gmdj {
+
+/// Version of a catalog table, combining when the name was last (re)bound
+/// to a table object with that table's in-place mutation counter. Two
+/// equal versions guarantee the rows behind the name have not changed; any
+/// mutation path — PutTable replacement, DropTable + re-register, or an
+/// in-place edit through GetMutableTable — produces a different version.
+/// The MQO aggregate cache keys entries on these.
+struct TableVersion {
+  uint64_t registration = 0;  // Catalog epoch of the last (re)registration.
+  uint64_t mutations = 0;     // Table::version() at observation time.
+
+  bool operator==(const TableVersion& other) const = default;
+};
 
 /// Named-table registry shared by all query engines in the repository.
 ///
@@ -30,6 +44,17 @@ class Catalog {
   /// Looks up a table by name.
   Result<const Table*> GetTable(const std::string& name) const;
 
+  /// Mutable lookup for in-place ingestion (appends, bulk loads). Any
+  /// mutation through the returned pointer bumps the table's version and
+  /// therefore invalidates dependent cache entries. Must not be used while
+  /// queries over this catalog are executing.
+  Result<Table*> GetMutableTable(const std::string& name);
+
+  /// Current version of a named table. Returns the never-matching zero
+  /// version for unknown names (registration epochs start at 1), so a
+  /// cache entry recorded against a since-dropped table can never hit.
+  TableVersion GetTableVersion(const std::string& name) const;
+
   bool HasTable(const std::string& name) const {
     return tables_.count(name) > 0;
   }
@@ -41,7 +66,13 @@ class Catalog {
   std::vector<std::string> TableNames() const;
 
  private:
-  std::map<std::string, std::unique_ptr<Table>> tables_;
+  struct NamedTable {
+    std::unique_ptr<Table> table;
+    uint64_t registration = 0;
+  };
+
+  std::map<std::string, NamedTable> tables_;
+  uint64_t next_epoch_ = 1;  // 0 is the reserved never-matching epoch.
 };
 
 }  // namespace gmdj

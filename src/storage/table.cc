@@ -16,6 +16,15 @@ void Table::AppendRow(std::initializer_list<Value> values) {
   AppendRow(Row(values));
 }
 
+void Table::AppendRows(std::vector<Row> rows) {
+  auto* dst = mutable_rows();
+  dst->reserve(dst->size() + rows.size());
+  for (Row& row : rows) {
+    GMDJ_DCHECK(row.size() == schema_.num_fields());
+    dst->push_back(std::move(row));
+  }
+}
+
 Status Table::Validate() const {
   for (size_t r = 0; r < num_rows(); ++r) {
     const Row& rw = row(r);

@@ -1,6 +1,7 @@
 #ifndef GMDJ_STORAGE_TABLE_H_
 #define GMDJ_STORAGE_TABLE_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <utility>
@@ -23,6 +24,14 @@ namespace gmdj {
 /// returning a catalog table, or `WithQualifier` renaming) is O(1); any
 /// mutating accessor detaches a private copy first. This keeps benchmark
 /// timings about the algorithms, not about redundant materialization.
+///
+/// Every mutation path (row appends, bulk loads, in-place edits via
+/// `mutable_rows`, schema edits) bumps a monotone `version` counter. The
+/// MQO aggregate cache (src/mqo/) keys cached GMDJ results on the version
+/// of the catalog table they were computed from, so any mutation — however
+/// it reached the rows — invalidates dependent entries. The counter is
+/// deliberately conservative: `Reserve` and `SortRows` also bump it, which
+/// can only cause a spurious recomputation, never a stale hit.
 class Table {
  public:
   Table() : rows_(std::make_shared<std::vector<Row>>()) {}
@@ -34,7 +43,15 @@ class Table {
         rows_(std::make_shared<std::vector<Row>>(std::move(rows))) {}
 
   const Schema& schema() const { return schema_; }
-  Schema* mutable_schema() { return &schema_; }
+  Schema* mutable_schema() {
+    ++version_;
+    return &schema_;
+  }
+
+  /// In-place mutation counter: bumped by every mutating accessor. Copies
+  /// inherit the current count and then diverge independently; catalog-
+  /// level identity additionally tracks re-registration (Catalog).
+  uint64_t version() const { return version_; }
 
   size_t num_rows() const { return rows_->size(); }
   size_t num_columns() const { return schema_.num_fields(); }
@@ -45,6 +62,7 @@ class Table {
 
   /// Mutable row access; detaches from any sharing first.
   std::vector<Row>* mutable_rows() {
+    ++version_;
     Detach();
     return rows_.get();
   }
@@ -54,6 +72,9 @@ class Table {
 
   /// Appends from an initializer list of values.
   void AppendRow(std::initializer_list<Value> values);
+
+  /// Bulk load: appends all rows in one detach/version bump.
+  void AppendRows(std::vector<Row> rows);
 
   void Reserve(size_t n) { mutable_rows()->reserve(n); }
 
@@ -89,6 +110,7 @@ class Table {
 
   Schema schema_;
   std::shared_ptr<std::vector<Row>> rows_;
+  uint64_t version_ = 0;
 };
 
 }  // namespace gmdj

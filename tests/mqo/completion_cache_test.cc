@@ -1,0 +1,140 @@
+// Base-tuple completion prunes base rows (and freezes decided conditions)
+// mid-scan, so a completion-enabled GMDJ's aggregate columns are NOT the
+// true RNG aggregates for every base tuple. The cache must therefore stay
+// out of completion's way entirely: completion-enabled nodes never store
+// into or probe the cache. These are the regression tests for the
+// stale-pruned-aggregate hazard: a cache poisoned by a completed run would
+// silently serve truncated counts to later, non-completed plans.
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/gmdj_node.h"
+#include "exec/nodes.h"
+#include "expr/aggregate.h"
+#include "expr/expr_builder.h"
+#include "gtest/gtest.h"
+#include "mqo/agg_cache.h"
+#include "storage/catalog.h"
+#include "test_util.h"
+
+namespace gmdj {
+namespace {
+
+using testutil::MakeTable;
+
+class CompletionCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_.PutTable("B", MakeTable({"bk"}, {{1}, {2}, {3}}));
+    // Key 1 matches three detail rows, key 2 one, key 3 none.
+    catalog_.PutTable(
+        "D", MakeTable({"dk"}, {{1}, {1}, {1}, {2}}));
+  }
+
+  /// A one-condition GMDJ `count(*) over dk = bk`, optionally with the
+  /// kSatisfyOnMatch completion a `cnt > 0` selection would install.
+  std::unique_ptr<GmdjNode> MakeNode(bool with_completion) {
+    std::vector<GmdjCondition> conditions;
+    std::vector<AggSpec> aggs;
+    aggs.push_back(CountStar("cnt"));
+    conditions.emplace_back(Eq(Col("D.dk"), Col("B.bk")), std::move(aggs));
+    auto node = std::make_unique<GmdjNode>(
+        std::make_unique<TableScanNode>("B", "B"),
+        std::make_unique<TableScanNode>("D", "D"), std::move(conditions));
+    if (with_completion) {
+      CompletionSpec spec;
+      spec.actions = {CompletionAction::kSatisfyOnMatch};
+      node->SetCompletion(std::move(spec));
+    }
+    EXPECT_TRUE(node->Prepare(catalog_).ok());
+    return node;
+  }
+
+  Table Run(GmdjNode* node, GmdjAggCache* cache) {
+    ExecContext ctx(&catalog_);
+    ctx.set_gmdj_cache(cache);
+    Result<Table> result = node->Execute(&ctx);
+    EXPECT_TRUE(result.ok()) << result.status().message();
+    return std::move(*result);
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(CompletionCacheTest, CompletionEnabledNodeNeverStores) {
+  GmdjAggCache cache;
+  auto completed = MakeNode(/*with_completion=*/true);
+  ASSERT_TRUE(completed->completion().enabled());
+  // The signature exists (the shape is shareable) — eligibility is about
+  // completion, not about the signature being computable.
+  ASSERT_TRUE(completed->signature().has_value());
+
+  Table out = Run(completed.get(), &cache);
+  // kSatisfyOnMatch froze the condition at its first match: counts are a
+  // truncated 1/1/0, not the true 3/1/0 — exactly what must never be
+  // published.
+  ASSERT_EQ(out.num_rows(), 3u);
+  EXPECT_EQ(out.row(0)[1], Value(1));
+
+  EXPECT_EQ(cache.stats().stores, 0u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);  // Not even probed.
+}
+
+TEST_F(CompletionCacheTest, FreshNodeAfterCompletedRunGetsTrueAggregates) {
+  GmdjAggCache cache;
+  // Regression: run the completed node first. If it (incorrectly) stored
+  // its pruned counts, the same-signature uncompleted node below would hit
+  // and return them.
+  auto completed = MakeNode(/*with_completion=*/true);
+  (void)Run(completed.get(), &cache);
+
+  auto plain = MakeNode(/*with_completion=*/false);
+  Table out = Run(plain.get(), &cache);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_GE(cache.stats().misses, 1u);  // Probed, found nothing.
+  ASSERT_EQ(out.num_rows(), 3u);
+  EXPECT_EQ(out.row(0)[1], Value(3));  // True count, not the frozen 1.
+  EXPECT_EQ(out.row(1)[1], Value(1));
+  EXPECT_EQ(out.row(2)[1], Value(0));
+}
+
+TEST_F(CompletionCacheTest, CompletedNodeIgnoresPopulatedCache) {
+  GmdjAggCache cache;
+  // Populate the cache with the TRUE aggregates first.
+  auto plain = MakeNode(/*with_completion=*/false);
+  (void)Run(plain.get(), &cache);
+  ASSERT_EQ(cache.stats().stores, 1u);
+
+  // A completion-enabled node with the same signature must not probe:
+  // its evaluator interleaves pruning decisions with aggregation, and
+  // serving precomputed columns would bypass the discard semantics.
+  auto completed = MakeNode(/*with_completion=*/true);
+  Table out = Run(completed.get(), &cache);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  ASSERT_EQ(out.num_rows(), 3u);
+  EXPECT_EQ(out.row(0)[1], Value(1));  // Frozen-at-first-match count.
+}
+
+TEST_F(CompletionCacheTest, PlainNodesRoundTripThroughCache) {
+  GmdjAggCache cache;
+  auto first = MakeNode(/*with_completion=*/false);
+  Table cold = Run(first.get(), &cache);
+  EXPECT_EQ(cache.stats().stores, 1u);
+
+  auto second = MakeNode(/*with_completion=*/false);
+  Table warm = Run(second.get(), &cache);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  ASSERT_EQ(warm.num_rows(), cold.num_rows());
+  for (size_t r = 0; r < cold.num_rows(); ++r) {
+    for (size_t c = 0; c < cold.row(r).size(); ++c) {
+      EXPECT_EQ(warm.row(r)[c], cold.row(r)[c]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gmdj
