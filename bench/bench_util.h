@@ -88,6 +88,50 @@ inline size_t& ThreadsFlagStorage() {
 }
 inline size_t ThreadsFlag() { return ThreadsFlagStorage(); }
 
+/// `--deadline-ms=D` / `--mem-budget-mb=M`: run every measured query under
+/// those governance limits (0 = ungoverned, the default), so sweeps can
+/// chart behavior at the budget edge. Tripped limits surface as skipped
+/// benchmarks plus nonzero governance counters in the JSON lines.
+inline double& DeadlineMsFlagStorage() {
+  static double deadline_ms = 0.0;
+  return deadline_ms;
+}
+inline size_t& MemBudgetMbFlagStorage() {
+  static size_t mem_budget_mb = 0;
+  return mem_budget_mb;
+}
+inline QueryLimits BenchQueryLimits() {
+  QueryLimits limits;
+  limits.deadline_ms = DeadlineMsFlagStorage();
+  limits.mem_budget_bytes = MemBudgetMbFlagStorage() << 20;
+  return limits;
+}
+
+/// Governance outcomes of the most recent RunStrategy engine, exported on
+/// every JSON line (cache evictions count pressure shedding too).
+struct BenchGovernanceCounters {
+  uint64_t cancellations = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t mem_rejections = 0;
+  uint64_t evictions = 0;
+  uint64_t peak_reserved_bytes = 0;
+};
+inline BenchGovernanceCounters& GovernanceCountersStorage() {
+  static BenchGovernanceCounters counters;
+  return counters;
+}
+inline void SnapshotGovernance(OlapEngine* engine) {
+  BenchGovernanceCounters& counters = GovernanceCountersStorage();
+  const GovernanceStats stats = engine->governance_stats();
+  counters.cancellations = stats.cancellations;
+  counters.deadline_exceeded = stats.deadline_exceeded;
+  counters.mem_rejections = stats.mem_rejections;
+  counters.peak_reserved_bytes = stats.peak_reserved_bytes;
+  counters.evictions =
+      engine->agg_cache() != nullptr ? engine->agg_cache()->stats().evictions
+                                     : 0;
+}
+
 /// Execution config every benchmark should install on its engine (or pass
 /// to ExecContext for raw plan loops).
 inline ExecConfig BenchExecConfig() {
@@ -96,14 +140,21 @@ inline ExecConfig BenchExecConfig() {
   return config;
 }
 
-/// Strips flags the benchmark library does not know (`--threads=N`) from
-/// argv. Call before benchmark::Initialize, which rejects unknown flags.
+/// Strips flags the benchmark library does not know (`--threads=N`,
+/// `--deadline-ms=D`, `--mem-budget-mb=M`) from argv. Call before
+/// benchmark::Initialize, which rejects unknown flags.
 inline void ParseBenchArgs(int* argc, char** argv) {
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       const long n = std::atol(argv[i] + 10);
       ThreadsFlagStorage() = n > 0 ? static_cast<size_t>(n) : 0;
+    } else if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
+      const double ms = std::atof(argv[i] + 14);
+      DeadlineMsFlagStorage() = ms > 0.0 ? ms : 0.0;
+    } else if (std::strncmp(argv[i], "--mem-budget-mb=", 16) == 0) {
+      const long mb = std::atol(argv[i] + 16);
+      MemBudgetMbFlagStorage() = mb > 0 ? static_cast<size_t>(mb) : 0;
     } else {
       argv[out++] = argv[i];
     }
@@ -112,7 +163,9 @@ inline void ParseBenchArgs(int* argc, char** argv) {
 }
 
 /// Console output plus one machine-readable JSON line per measurement:
-///   {"bench": "fig2/gmdj/30000", "threads": 4, "ms": 12.345}
+///   {"bench": "fig2/gmdj/30000", "threads": 4, "ms": 12.345,
+///    "cancellations": 0, "deadline_exceeded": 0, "mem_rejections": 0,
+///    "evictions": 0, "peak_reserved_bytes": 183500}
 /// so sweep scripts can `grep '^{'` instead of scraping the table.
 class JsonLineReporter : public benchmark::ConsoleReporter {
  public:
@@ -123,11 +176,20 @@ class JsonLineReporter : public benchmark::ConsoleReporter {
       const double iters =
           run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
       const double ms = run.real_accumulated_time / iters * 1e3;
+      const BenchGovernanceCounters& gov = GovernanceCountersStorage();
       // Leading newline: the console reporter leaves a color-reset escape
       // at the start of the next line; keep the JSON at column zero.
       std::fprintf(stdout,
-                   "\n{\"bench\": \"%s\", \"threads\": %zu, \"ms\": %.6f}\n",
-                   run.benchmark_name().c_str(), ThreadsFlag(), ms);
+                   "\n{\"bench\": \"%s\", \"threads\": %zu, \"ms\": %.6f, "
+                   "\"cancellations\": %llu, \"deadline_exceeded\": %llu, "
+                   "\"mem_rejections\": %llu, \"evictions\": %llu, "
+                   "\"peak_reserved_bytes\": %llu}\n",
+                   run.benchmark_name().c_str(), ThreadsFlag(), ms,
+                   static_cast<unsigned long long>(gov.cancellations),
+                   static_cast<unsigned long long>(gov.deadline_exceeded),
+                   static_cast<unsigned long long>(gov.mem_rejections),
+                   static_cast<unsigned long long>(gov.evictions),
+                   static_cast<unsigned long long>(gov.peak_reserved_bytes));
     }
     std::fflush(stdout);
   }
@@ -145,16 +207,21 @@ inline int RunBenchmarks() {
 inline void RunStrategy(benchmark::State& state, OlapEngine* engine,
                         const NestedSelect& query, Strategy strategy) {
   engine->set_exec_config(BenchExecConfig());
+  const QueryLimits limits = BenchQueryLimits();
   size_t rows = 0;
   for (auto _ : state) {
-    const Result<Table> result = engine->Execute(query, strategy);
+    const Result<Table> result = engine->Execute(query, strategy, limits);
     if (!result.ok()) {
+      // Tripped governance limits land here too; export the counters so
+      // the JSON line shows WHY the measurement is missing.
+      SnapshotGovernance(engine);
       state.SkipWithError(result.status().ToString().c_str());
       return;
     }
     rows = result->num_rows();
     benchmark::DoNotOptimize(rows);
   }
+  SnapshotGovernance(engine);
   state.counters["result_rows"] = static_cast<double>(rows);
   state.counters["rows_scanned"] =
       static_cast<double>(engine->last_stats().rows_scanned);
@@ -163,6 +230,8 @@ inline void RunStrategy(benchmark::State& state, OlapEngine* engine,
   state.counters["pred_evals"] =
       static_cast<double>(engine->last_stats().predicate_evals);
   state.counters["threads"] = static_cast<double>(ThreadsFlag());
+  state.counters["peak_reserved_bytes"] =
+      static_cast<double>(GovernanceCountersStorage().peak_reserved_bytes);
 }
 
 }  // namespace bench

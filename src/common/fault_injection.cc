@@ -1,0 +1,139 @@
+#include "common/fault_injection.h"
+
+#include <chrono>
+#include <thread>
+
+namespace gmdj {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashSite(const char* site) {
+  // FNV-1a; the value only seeds SplitMix64, so quality is plenty.
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const char* p = site; *p != '\0'; ++p) {
+    h = (h ^ static_cast<unsigned char>(*p)) * 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+FaultInjector* FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();  // Leaked; no dtor
+  return injector;                                       // order hazards.
+}
+
+Status FaultInjector::Check(const char* site) {
+  if (active_.load(std::memory_order_relaxed) == 0) return Status::OK();
+  return CheckSlow(site);
+}
+
+Status FaultInjector::CheckSlow(const char* site) {
+  uint64_t delay_micros = 0;
+  Status injected;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SiteState& state = sites_[site];
+    const uint64_t hit = ++state.hits;
+    if (state.armed && state.fires < state.spec.max_fires &&
+        hit >= state.spec.trigger_hit) {
+      ++state.fires;
+      switch (state.spec.kind) {
+        case FaultKind::kError:
+          injected = Status(state.spec.code,
+                            state.spec.message.empty()
+                                ? "injected fault at " + std::string(site)
+                                : state.spec.message);
+          break;
+        case FaultKind::kAllocFail:
+          injected = Status::ResourceExhausted(
+              "injected allocation failure at " + std::string(site));
+          break;
+        case FaultKind::kDelay:
+          delay_micros = state.spec.delay_micros;
+          break;
+      }
+    } else if (seeded_ &&
+               SplitMix64(seed_ ^ HashSite(site) ^ hit) %
+                       seed_denominator_ ==
+                   0) {
+      injected = Status::ResourceExhausted(
+          "seeded fault at " + std::string(site) + " (hit " +
+          std::to_string(hit) + ")");
+    }
+  }
+  if (delay_micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_micros));
+  }
+  return injected;
+}
+
+void FaultInjector::Arm(const std::string& site, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteState& state = sites_[site];
+  if (!state.armed) active_.fetch_add(1, std::memory_order_relaxed);
+  state.armed = true;
+  state.spec = std::move(spec);
+  state.hits = 0;
+  state.fires = 0;
+}
+
+void FaultInjector::ArmSeeded(uint64_t seed, uint64_t denominator) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!seeded_) active_.fetch_add(1, std::memory_order_relaxed);
+  seeded_ = true;
+  seed_ = seed;
+  seed_denominator_ = denominator == 0 ? 1 : denominator;
+  for (auto& [site, state] : sites_) state.hits = 0;
+}
+
+void FaultInjector::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end() || !it->second.armed) return;
+  it->second.armed = false;
+  active_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  seeded_ = false;
+  tracing_ = false;
+  active_.store(0, std::memory_order_relaxed);
+}
+
+uint64_t FaultInjector::hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+void FaultInjector::set_tracing(bool on) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (on == tracing_) return;
+  tracing_ = on;
+  if (on) {
+    active_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    active_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+std::vector<std::string> FaultInjector::TraversedSites() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [site, state] : sites_) {
+    if (state.hits > 0) out.push_back(site);
+  }
+  return out;
+}
+
+}  // namespace gmdj

@@ -1,0 +1,128 @@
+#ifndef GMDJ_COMMON_FAULT_INJECTION_H_
+#define GMDJ_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gmdj {
+
+/// What an armed fault point does when it fires.
+enum class FaultKind : unsigned char {
+  kError,      // Return the configured error Status.
+  kAllocFail,  // Return ResourceExhausted, modeling a failed allocation.
+  kDelay,      // Sleep for `delay_micros`, then return OK (race widener).
+};
+
+/// Arming spec for one named fault site.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kError;
+  /// The fault fires on the `trigger_hit`-th traversal of the site
+  /// (1-based) and on every later traversal until `max_fires` is spent.
+  uint64_t trigger_hit = 1;
+  uint64_t max_fires = UINT64_MAX;
+  /// For kError: the injected status.
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+  /// For kDelay: synthetic latency per firing.
+  uint64_t delay_micros = 0;
+};
+
+/// Deterministic fault-point registry (test-only infrastructure).
+///
+/// Production code marks abort paths with named sites:
+///
+///   GMDJ_RETURN_IF_ERROR(GMDJ_FAULT_POINT("gmdj/alloc"));
+///
+/// and tests arm them:
+///
+///   FaultInjector::Global()->Arm("gmdj/alloc",
+///                                {.kind = FaultKind::kAllocFail});
+///
+/// Determinism: a site armed with `trigger_hit = k` fires on exactly the
+/// k-th traversal of that site, counted from Arm/Reset — no wall clock,
+/// no randomness. The seeded chaos mode (`ArmSeeded`) derives fire/no-fire
+/// per (site, hit index) from a SplitMix64 hash of the seed, so a given
+/// seed injects the identical fault schedule on every run.
+///
+/// Cost: an unarmed build pays one relaxed atomic load per site traversal;
+/// configuring with -DGMDJ_FAULT_INJECTION=OFF compiles every site to a
+/// constant OK (release deployments).
+///
+/// All methods are thread-safe; Check is called concurrently from morsel
+/// workers.
+class FaultInjector {
+ public:
+  /// Process-wide registry used by the GMDJ_FAULT_POINT macro.
+  static FaultInjector* Global();
+
+  /// Evaluates the site: counts the traversal and fires if armed.
+  /// OK unless an armed kError/kAllocFail spec fires.
+  Status Check(const char* site);
+
+  /// Arms `site` with `spec`, resetting the site's hit counter.
+  void Arm(const std::string& site, FaultSpec spec);
+
+  /// Seeded chaos mode: every *registered or later-traversed* site fires
+  /// an allocation failure on hit `h` iff
+  /// SplitMix64(seed ^ hash(site) ^ h) % denominator == 0. Deterministic
+  /// per seed. `denominator = 1` fails every traversal of every site.
+  void ArmSeeded(uint64_t seed, uint64_t denominator);
+
+  /// Disarms one site (its hit count survives until Reset).
+  void Disarm(const std::string& site);
+
+  /// Disarms everything and zeroes all hit counters.
+  void Reset();
+
+  /// Traversals of `site` since Reset (counted while tracing or armed).
+  uint64_t hits(const std::string& site) const;
+
+  /// When tracing is on, unarmed traversals are counted too (used by the
+  /// test matrix to discover which sites a scenario crosses).
+  void set_tracing(bool on);
+
+  /// Sites traversed at least once since Reset, sorted.
+  std::vector<std::string> TraversedSites() const;
+
+ private:
+  struct SiteState {
+    bool armed = false;
+    FaultSpec spec;
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+  };
+
+  Status CheckSlow(const char* site);
+
+  // active_ counts reasons Check must take the slow path: armed sites,
+  // tracing, or seeded mode. Zero means every traversal is one relaxed
+  // load (the hot GMDJ scan loop crosses a site per morsel).
+  std::atomic<uint64_t> active_{0};
+  mutable std::mutex mu_;
+  std::map<std::string, SiteState> sites_;
+  bool tracing_ = false;
+  bool seeded_ = false;
+  uint64_t seed_ = 0;
+  uint64_t seed_denominator_ = 1;
+};
+
+}  // namespace gmdj
+
+// GMDJ_FAULT_POINT(site) evaluates to a Status: OK in normal operation,
+// the injected error when a test armed the site. Sites are named
+// "subsystem/step" ("parallel/morsel", "mqo/store"); see README.md for
+// the catalog and conventions. GMDJ_FAULT_INJECTION=OFF (CMake) compiles
+// sites to a constant OK so release binaries carry no registry code.
+#ifdef GMDJ_FAULT_INJECTION_DISABLED
+#define GMDJ_FAULT_POINT(site) ::gmdj::Status::OK()
+#else
+#define GMDJ_FAULT_POINT(site) ::gmdj::FaultInjector::Global()->Check(site)
+#endif
+
+#endif  // GMDJ_COMMON_FAULT_INJECTION_H_

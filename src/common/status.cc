@@ -21,6 +21,12 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kRuntimeError:
       return "RuntimeError";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -17,6 +17,9 @@ enum class StatusCode {
   kInternal,          // Invariant violation inside the engine.
   kRuntimeError,      // Data-dependent failure (e.g. scalar subquery with
                       // cardinality > 1, division by zero).
+  kCancelled,          // Query aborted via its cancellation token.
+  kDeadlineExceeded,   // Query ran past its wall-clock deadline.
+  kResourceExhausted,  // Memory budget (or another quota) exhausted.
 };
 
 /// Returns a human-readable name for `code` ("InvalidArgument", ...).
@@ -52,6 +55,15 @@ class Status {
   }
   static Status RuntimeError(std::string msg) {
     return Status(StatusCode::kRuntimeError, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

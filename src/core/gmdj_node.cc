@@ -3,6 +3,7 @@
 #include <map>
 
 #include "common/check.h"
+#include "common/fault_injection.h"
 #include "parallel/parallel_gmdj.h"
 #include "parallel/thread_pool.h"
 
@@ -116,8 +117,10 @@ Result<Table> GmdjNode::Execute(ExecContext* ctx) const {
   }
 
   GMDJ_ASSIGN_OR_RETURN(Table base, base_->Execute(ctx));
+  GMDJ_RETURN_IF_ERROR(ctx->PollQuery());
 
   if (cache_eligible) {
+    GMDJ_RETURN_IF_ERROR(GMDJ_FAULT_POINT("mqo/probe"));
     for (GmdjCacheKey& key : keys) key.num_base_rows = base.num_rows();
     std::vector<std::vector<CachedAggColumn>> columns(conditions_.size());
     bool all_hit = true;
@@ -147,7 +150,12 @@ Result<Table> GmdjNode::Execute(ExecContext* ctx) const {
   Result<Table> result = strategy_ == GmdjStrategy::kNaive
                              ? ExecuteNaive(ctx, base, detail)
                              : ExecuteAuto(ctx, base, detail);
+  // A cancelled or failed evaluation never publishes: `result` is only a
+  // complete aggregate table when it is ok, and partial aggregates in the
+  // cache would silently corrupt every later subscriber.
   if (cache_eligible && result.ok()) {
+    const Status store_gate = GMDJ_FAULT_POINT("mqo/store");
+    if (!store_gate.ok()) return store_gate;
     StoreInCache(cache, keys, *result);
   }
   return result;
@@ -208,6 +216,7 @@ Result<Table> GmdjNode::ExecuteNaive(ExecContext* ctx, const Table& base,
   ectx.PushFrame(&ds, nullptr);
 
   for (size_t b = 0; b < base.num_rows(); ++b) {
+    GMDJ_RETURN_IF_ERROR(ctx->PollQuery());
     ectx.SetRow(0, &base.row(b));
     std::vector<AggState> states(total_aggs_);
     for (size_t r = 0; r < detail.num_rows(); ++r) {
@@ -245,8 +254,9 @@ Result<Table> GmdjNode::ExecuteNaive(ExecContext* ctx, const Table& base,
 /// Compiles conditions into runtime dispatch form (strategy, completion
 /// wiring, indexes). The result is read-only during evaluation and shared
 /// by the sequential loop below and the morsel-parallel evaluator.
-std::vector<GmdjCondRuntime> GmdjNode::CompileRuntimes(
+Result<std::vector<GmdjCondRuntime>> GmdjNode::CompileRuntimes(
     ExecContext* ctx, const Table& base) const {
+  GMDJ_RETURN_IF_ERROR(GMDJ_FAULT_POINT("gmdj/index-build"));
   const size_t n = base.num_rows();
   const bool completing = completion_.enabled();
 
@@ -286,10 +296,14 @@ std::vector<GmdjCondRuntime> GmdjNode::CompileRuntimes(
       }
       auto& cached = index_cache[key_cols];
       if (cached == nullptr) {
+        // ~32 bytes/row approximates bucket + posting-list overhead; the
+        // budget governs order-of-magnitude runaway, not exact footprints.
+        GMDJ_RETURN_IF_ERROR(ctx->ReserveMemory(n * 32));
         cached = std::make_shared<HashIndex>(base, key_cols, build_threads);
       }
       rt.hash = cached;
     } else if (rt.analysis->strategy == CondStrategy::kInterval) {
+      GMDJ_RETURN_IF_ERROR(ctx->ReserveMemory(n * sizeof(IndexedInterval)));
       const IntervalBinding& iv = *rt.analysis->interval;
       std::vector<IndexedInterval> intervals;
       intervals.reserve(n);
@@ -309,8 +323,9 @@ std::vector<GmdjCondRuntime> GmdjNode::CompileRuntimes(
 
 /// Sequential single-scan evaluation — the paper's algorithm, and the
 /// reference the morsel-parallel evaluator must reproduce exactly.
-void GmdjNode::ExecuteSequential(ExecContext* ctx, const GmdjEvalInput& in,
-                                 GmdjEvalResult* out) const {
+Status GmdjNode::ExecuteSequential(ExecContext* ctx, const GmdjEvalInput& in,
+                                   GmdjEvalResult* out) const {
+  GMDJ_RETURN_IF_ERROR(GMDJ_FAULT_POINT("gmdj/scan"));
   const Table& base = *in.base;
   const Table& detail = *in.detail;
   const std::vector<GmdjCondRuntime>& runtimes = *in.runtimes;
@@ -352,6 +367,11 @@ void GmdjNode::ExecuteSequential(ExecContext* ctx, const GmdjEvalInput& in,
   const size_t num_detail = detail.num_rows();
   for (size_t r = 0; r < num_detail; ++r) {
     if (num_discarded == n) break;  // Every base tuple is decided.
+    // Same ~1k-row liveness stride as the morsel workers: a cancel or
+    // deadline lands within microseconds, not after the full detail scan.
+    if ((r & 1023u) == 0 && r != 0) {
+      GMDJ_RETURN_IF_ERROR(ctx->PollQuery());
+    }
     const Row& drow = detail.row(r);
     ectx.SetRow(1, &drow);
 
@@ -451,13 +471,26 @@ void GmdjNode::ExecuteSequential(ExecContext* ctx, const GmdjEvalInput& in,
     }
   }
   out->num_discarded = num_discarded;
+  return Status::OK();
 }
 
 Result<Table> GmdjNode::ExecuteAuto(ExecContext* ctx, const Table& base,
                                     const Table& detail) const {
   const size_t n = base.num_rows();
 
-  std::vector<GmdjCondRuntime> runtimes = CompileRuntimes(ctx, base);
+  // The |B| x total_aggs base-result table is the operator's bounded
+  // intermediate state (the paper's efficiency argument); charge it before
+  // allocating so a budget-governed query aborts cleanly instead.
+  {
+    Status alloc = GMDJ_FAULT_POINT("gmdj/alloc");
+    if (alloc.ok()) {
+      alloc = ctx->ReserveMemory(n * total_aggs_ * sizeof(AggState) + n);
+    }
+    GMDJ_RETURN_IF_ERROR(alloc);
+  }
+
+  GMDJ_ASSIGN_OR_RETURN(std::vector<GmdjCondRuntime> runtimes,
+                        CompileRuntimes(ctx, base));
 
   GmdjEvalInput in;
   in.base = &base;
@@ -466,6 +499,7 @@ Result<Table> GmdjNode::ExecuteAuto(ExecContext* ctx, const Table& base,
   in.detail_schema = &detail_->output_schema();
   in.runtimes = &runtimes;
   in.total_aggs = total_aggs_;
+  in.query = ctx->query_ctx();
   in.agg_kinds.reserve(total_aggs_);
   for (const GmdjCondition& cond : conditions_) {
     for (const AggSpec& agg : cond.aggs) in.agg_kinds.push_back(agg.kind);
@@ -482,9 +516,10 @@ Result<Table> GmdjNode::ExecuteAuto(ExecContext* ctx, const Table& base,
 
   GmdjEvalResult result;
   if (parallel) {
-    ExecuteGmdjMorselParallel(in, config, &ctx->stats(), &result);
+    GMDJ_RETURN_IF_ERROR(
+        ExecuteGmdjMorselParallel(in, config, &ctx->stats(), &result));
   } else {
-    ExecuteSequential(ctx, in, &result);
+    GMDJ_RETURN_IF_ERROR(ExecuteSequential(ctx, in, &result));
   }
 
   // ---- Emit surviving base tuples extended with their aggregates. ----

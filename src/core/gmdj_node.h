@@ -161,14 +161,18 @@ class GmdjNode final : public PlanNode {
 
   /// Compiles conditions into dispatch runtimes (indexes included); the
   /// hash-index build parallelizes on the shared pool for large bases.
-  std::vector<GmdjCondRuntime> CompileRuntimes(ExecContext* ctx,
-                                               const Table& base) const;
+  /// Non-OK on governance abort (index memory over budget) or an injected
+  /// "gmdj/index-build" fault.
+  Result<std::vector<GmdjCondRuntime>> CompileRuntimes(
+      ExecContext* ctx, const Table& base) const;
 
   /// The paper's sequential single-scan algorithm. ExecuteAuto dispatches
   /// here, or to ExecuteGmdjMorselParallel (parallel/parallel_gmdj.h)
   /// when the config and completion spec allow morsel parallelism.
-  void ExecuteSequential(ExecContext* ctx, const GmdjEvalInput& in,
-                         GmdjEvalResult* out) const;
+  /// Non-OK only on governance abort or an injected fault; `out` is then
+  /// incomplete and must be discarded.
+  Status ExecuteSequential(ExecContext* ctx, const GmdjEvalInput& in,
+                           GmdjEvalResult* out) const;
 
   /// Assembles the output table from the base rows and per-condition
   /// cached aggregate columns (cache-hit fast path: no detail scan).

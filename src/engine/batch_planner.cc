@@ -7,6 +7,7 @@
 #include <string>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "common/stopwatch.h"
 #include "core/gmdj_node.h"
 #include "core/translate.h"
@@ -30,6 +31,23 @@ void Accumulate(ExecStats* into, const ExecStats& s) {
   into->morsels += s.morsels;
   into->cache_hits += s.cache_hits;
   into->cache_misses += s.cache_misses;
+}
+
+// Buckets a per-query outcome into the batch's governance counters.
+void CountOutcome(GovernanceStats* governance, const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kCancelled:
+      ++governance->cancellations;
+      break;
+    case StatusCode::kDeadlineExceeded:
+      ++governance->deadline_exceeded;
+      break;
+    case StatusCode::kResourceExhausted:
+      ++governance->mem_rejections;
+      break;
+    default:
+      break;
+  }
 }
 
 TranslateOptions BatchTranslateOptions(Strategy strategy, bool with_cache) {
@@ -83,10 +101,20 @@ struct ShareGroup {
 // normal evaluator with the cache hook wired, so its Store path publishes
 // each condition's columns; the subscribers then hit during execution.
 void PrewarmSharedGmdjs(const Catalog& catalog, const ExecConfig& config,
-                        GmdjAggCache* cache,
+                        GmdjAggCache* cache, MemoryPool* pool,
+                        const QueryLimits& limits,
                         const std::vector<PlanPtr>& plans, BatchResult* out) {
+  // Prewarm is best-effort sharing: a fault here degrades the batch to
+  // per-query evaluation (subscribers miss and recompute), never to an
+  // error — the queries themselves stay correct.
+  if (!GMDJ_FAULT_POINT("batch/prewarm").ok()) return;
+  // One governance context covers all prewarm work; a cancelled or
+  // over-deadline batch aborts its prewarms cleanly, and an aborted
+  // prewarm publishes nothing (the GMDJ store path is ok()-gated).
+  QueryContext qctx(limits, pool);
   std::map<std::string, ShareGroup> groups;  // By base_fp|detail_fp.
   for (const PlanPtr& plan : plans) {
+    if (plan == nullptr) continue;  // Failed admission; runs as error below.
     std::vector<const GmdjNode*> nodes;
     CollectGmdjNodes(*plan, &nodes);
     for (const GmdjNode* node : nodes) {
@@ -177,6 +205,7 @@ void PrewarmSharedGmdjs(const Catalog& catalog, const ExecConfig& config,
       if (!prewarm.Prepare(catalog).ok()) continue;
       ExecContext ctx(&catalog, config);
       ctx.set_gmdj_cache(cache);
+      ctx.set_query_ctx(&qctx);
       Result<Table> ignored = prewarm.Execute(&ctx);
       (void)ignored;  // Value unused; the Store side effect is the point.
       Accumulate(&out->stats, ctx.stats());
@@ -187,7 +216,7 @@ void PrewarmSharedGmdjs(const Catalog& catalog, const ExecConfig& config,
 }  // namespace
 
 BatchResult ExecuteGmdjBatch(const Catalog& catalog, const ExecConfig& config,
-                             GmdjAggCache* cache,
+                             GmdjAggCache* cache, MemoryPool* pool,
                              const std::vector<const NestedSelect*>& queries,
                              const BatchOptions& options) {
   BatchResult out;
@@ -200,36 +229,66 @@ BatchResult ExecuteGmdjBatch(const Catalog& catalog, const ExecConfig& config,
         StrategyToString(options.strategy));
     return out;
   }
+  if (!options.per_query_limits.empty() &&
+      options.per_query_limits.size() != queries.size()) {
+    out.status = Status::InvalidArgument(
+        "per_query_limits must be empty or match the query count (" +
+        std::to_string(options.per_query_limits.size()) + " limits for " +
+        std::to_string(queries.size()) + " queries)");
+    return out;
+  }
 
+  // Admission: translate and prepare every query, recording failures
+  // per slot instead of aborting the batch — one malformed query must not
+  // take its neighbors down with it.
   const TranslateOptions translate =
       BatchTranslateOptions(options.strategy, cache != nullptr);
-  std::vector<PlanPtr> plans;
-  plans.reserve(queries.size());
-  for (const NestedSelect* query : queries) {
-    Result<PlanPtr> plan = SubqueryToGmdj(query->Clone(), catalog, translate);
+  std::vector<PlanPtr> plans(queries.size());
+  std::vector<Status> admission(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    Result<PlanPtr> plan =
+        SubqueryToGmdj(queries[i]->Clone(), catalog, translate);
     if (!plan.ok()) {
-      out.status = plan.status();
-      out.results.clear();
-      return out;
+      admission[i] = plan.status();
+      continue;
     }
     const Status prepared = (*plan)->Prepare(catalog);
     if (!prepared.ok()) {
-      out.status = prepared;
-      out.results.clear();
-      return out;
+      admission[i] = prepared;
+      continue;
     }
-    plans.push_back(std::move(*plan));
+    plans[i] = std::move(*plan);
   }
 
   if (cache != nullptr && options.coalesce_across_queries) {
-    PrewarmSharedGmdjs(catalog, config, cache, plans, &out);
+    PrewarmSharedGmdjs(catalog, config, cache, pool, options.limits, plans,
+                       &out);
   }
 
-  for (const PlanPtr& plan : plans) {
-    ExecContext ctx(&catalog, config);
-    ctx.set_gmdj_cache(cache);
-    out.results.push_back(plan->Execute(&ctx));
-    Accumulate(&out.stats, ctx.stats());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (plans[i] == nullptr) {
+      CountOutcome(&out.governance, admission[i]);
+      out.results.emplace_back(std::move(admission[i]));
+      continue;
+    }
+    const QueryLimits& limits = options.per_query_limits.empty()
+                                    ? options.limits
+                                    : options.per_query_limits[i];
+    // Fresh context per query: its deadline is pinned here and its
+    // reservation dies with it, so a tripped limit or injected fault is
+    // visible only in this slot of `results`.
+    QueryContext qctx(limits, pool);
+    Result<Table> result = [&]() -> Result<Table> {
+      GMDJ_RETURN_IF_ERROR(GMDJ_FAULT_POINT("batch/query"));
+      ExecContext ctx(&catalog, config);
+      ctx.set_gmdj_cache(cache);
+      ctx.set_query_ctx(&qctx);
+      auto executed = plans[i]->Execute(&ctx);
+      Accumulate(&out.stats, ctx.stats());
+      return executed;
+    }();
+    CountOutcome(&out.governance, result.status());
+    out.results.push_back(std::move(result));
   }
 
   if (cache != nullptr) {
@@ -237,6 +296,10 @@ BatchResult ExecuteGmdjBatch(const Catalog& catalog, const ExecConfig& config,
     out.stats.cache_evictions = cache_stats.evictions;
     out.stats.cache_invalidations = cache_stats.invalidations;
     out.stats.cache_bytes = cache_stats.bytes;
+  }
+  if (pool != nullptr) {
+    out.governance.pool_reclaims = pool->reclaims();
+    out.governance.peak_reserved_bytes = pool->peak_reserved();
   }
   out.elapsed_ms = watch.ElapsedMillis();
   return out;

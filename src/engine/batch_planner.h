@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "engine/olap_engine.h"
+#include "governance/query_context.h"
 #include "mqo/agg_cache.h"
 #include "nested/nested_ast.h"
 #include "parallel/exec_config.h"
@@ -23,18 +24,36 @@ struct BatchOptions {
   /// evaluated once, and fanned out to every subscriber through the
   /// cache. Requires a cache; without one this is a no-op.
   bool coalesce_across_queries = true;
+
+  /// Governance limits applied to every query in the batch. Each query
+  /// gets its OWN QueryContext built from these limits (the deadline is
+  /// pinned at that query's start, not batch admission), so one query
+  /// tripping a limit fails only itself. The shared cancellation token is
+  /// the exception by design: cancelling it aborts the whole batch.
+  QueryLimits limits;
+
+  /// Optional per-query override of `limits`; when non-empty, must have
+  /// exactly one entry per query (checked at admission).
+  std::vector<QueryLimits> per_query_limits;
 };
 
 /// Outcome of a batch: per-query results plus batch-wide accounting.
 /// Returned by value — batch execution never touches engine-level mutable
 /// state, so concurrent batches against one engine are safe.
 struct BatchResult {
-  /// Admission-level failure (bad strategy, translation error). When not
-  /// OK, `results` is empty.
+  /// Admission-level failure (bad strategy, malformed options). When not
+  /// OK, `results` is empty. Per-query failures — translation errors,
+  /// tripped limits, runtime faults — do NOT surface here; they land in
+  /// the failing query's own `results` slot while the rest of the batch
+  /// runs to completion.
   Status status;
 
   /// One result per input query, in input order.
   std::vector<Result<Table>> results;
+
+  /// Governance outcomes across the batch's queries (pool gauges are the
+  /// engine's to report; these count per-query result codes).
+  GovernanceStats governance;
 
   /// Summed execution stats of prewarm + all queries. Cache gauges
   /// (evictions/invalidations/bytes) are sampled from the cache at the
@@ -64,8 +83,10 @@ struct BatchResult {
 /// according to each query's selection, which would make the GMDJ output
 /// query-specific and uncacheable; the enclosing Filter applies the same
 /// selection, so results are identical either way.
+/// `pool` is the engine memory pool every query's reservation draws from;
+/// null means unbounded.
 BatchResult ExecuteGmdjBatch(const Catalog& catalog, const ExecConfig& config,
-                             GmdjAggCache* cache,
+                             GmdjAggCache* cache, MemoryPool* pool,
                              const std::vector<const NestedSelect*>& queries,
                              const BatchOptions& options = BatchOptions());
 

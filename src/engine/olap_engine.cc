@@ -1,5 +1,6 @@
 #include "engine/olap_engine.h"
 
+#include "common/fault_injection.h"
 #include "common/stopwatch.h"
 #include "engine/batch_planner.h"
 #include "core/optimizer.h"
@@ -92,43 +93,78 @@ Result<PlanPtr> OlapEngine::Plan(const NestedSelect& query,
 
 Result<Table> OlapEngine::Execute(const NestedSelect& query,
                                   Strategy strategy) {
+  return Execute(query, strategy, QueryLimits());
+}
+
+Result<Table> OlapEngine::Execute(const NestedSelect& query, Strategy strategy,
+                                  const QueryLimits& limits) {
   Stopwatch watch;
-  switch (strategy) {
-    case Strategy::kNativeNaive:
-    case Strategy::kNativeSmart:
-    case Strategy::kNativeIndexed:
-    case Strategy::kNativeMemo: {
-      NativeEvaluator evaluator(&catalog_, NativeOptionsFor(strategy));
-      std::unique_ptr<NestedSelect> clone = query.Clone();
-      auto result = evaluator.Run(clone.get());
-      last_stats_ = evaluator.stats();
-      last_elapsed_ms_ = watch.ElapsedMillis();
-      return result;
-    }
-    default: {
-      GMDJ_ASSIGN_OR_RETURN(PlanPtr plan, Plan(query, strategy));
-      GMDJ_RETURN_IF_ERROR(plan->Prepare(catalog_));
-      ExecContext ctx(&catalog_, exec_config_);
-      ctx.set_gmdj_cache(agg_cache_.get());
-      auto result = plan->Execute(&ctx);
-      last_stats_ = ctx.stats();
-      if (agg_cache_ != nullptr) {
-        const GmdjAggCache::Stats cache_stats = agg_cache_->stats();
-        last_stats_.cache_evictions = cache_stats.evictions;
-        last_stats_.cache_invalidations = cache_stats.invalidations;
-        last_stats_.cache_bytes = cache_stats.bytes;
+  // The context lives for exactly one query; its destruction returns every
+  // reserved byte to the pool, so error unwinds cannot leak budget.
+  QueryContext qctx(limits, &mem_pool_);
+  Result<Table> result = [&]() -> Result<Table> {
+    GMDJ_RETURN_IF_ERROR(GMDJ_FAULT_POINT("engine/execute"));
+    switch (strategy) {
+      case Strategy::kNativeNaive:
+      case Strategy::kNativeSmart:
+      case Strategy::kNativeIndexed:
+      case Strategy::kNativeMemo: {
+        // The native interpreters predate governance plumbing; they honor
+        // admission-time cancellation/deadline but do not poll mid-run.
+        GMDJ_RETURN_IF_ERROR(qctx.CheckAlive());
+        NativeEvaluator evaluator(&catalog_, NativeOptionsFor(strategy));
+        std::unique_ptr<NestedSelect> clone = query.Clone();
+        auto native = evaluator.Run(clone.get());
+        last_stats_ = evaluator.stats();
+        return native;
       }
-      last_elapsed_ms_ = watch.ElapsedMillis();
-      return result;
+      default: {
+        GMDJ_ASSIGN_OR_RETURN(PlanPtr plan, Plan(query, strategy));
+        GMDJ_RETURN_IF_ERROR(plan->Prepare(catalog_));
+        ExecContext ctx(&catalog_, exec_config_);
+        ctx.set_gmdj_cache(agg_cache_.get());
+        ctx.set_query_ctx(&qctx);
+        auto planned = plan->Execute(&ctx);
+        last_stats_ = ctx.stats();
+        if (agg_cache_ != nullptr) {
+          const GmdjAggCache::Stats cache_stats = agg_cache_->stats();
+          last_stats_.cache_evictions = cache_stats.evictions;
+          last_stats_.cache_invalidations = cache_stats.invalidations;
+          last_stats_.cache_bytes = cache_stats.bytes;
+        }
+        return planned;
+      }
     }
+  }();
+  last_elapsed_ms_ = watch.ElapsedMillis();
+  switch (result.status().code()) {
+    case StatusCode::kCancelled:
+      ++governance_.cancellations;
+      break;
+    case StatusCode::kDeadlineExceeded:
+      ++governance_.deadline_exceeded;
+      break;
+    case StatusCode::kResourceExhausted:
+      ++governance_.mem_rejections;
+      break;
+    default:
+      break;
   }
+  return result;
+}
+
+GovernanceStats OlapEngine::governance_stats() const {
+  GovernanceStats stats = governance_;
+  stats.pool_reclaims = mem_pool_.reclaims();
+  stats.peak_reserved_bytes = mem_pool_.peak_reserved();
+  return stats;
 }
 
 BatchResult OlapEngine::ExecuteBatch(
     const std::vector<const NestedSelect*>& queries,
     const BatchOptions& options) {
-  return ExecuteGmdjBatch(catalog_, exec_config_, agg_cache_.get(), queries,
-                          options);
+  return ExecuteGmdjBatch(catalog_, exec_config_, agg_cache_.get(),
+                          &mem_pool_, queries, options);
 }
 
 BatchResult OlapEngine::ExecuteBatch(
@@ -138,6 +174,18 @@ BatchResult OlapEngine::ExecuteBatch(
 
 void OlapEngine::EnableAggCache(GmdjAggCacheConfig config) {
   agg_cache_ = std::make_unique<GmdjAggCache>(config);
+  // Cache-before-query shedding: the cache charges its resident bytes to
+  // the pool, and pool pressure evicts cached aggregates (recomputable)
+  // before rejecting a live query's reservation.
+  agg_cache_->set_memory_pool(&mem_pool_);
+  mem_pool_.set_reclaimer(
+      [cache = agg_cache_.get()](size_t want) { return cache->ShedBytes(want); });
+}
+
+void OlapEngine::DisableAggCache() {
+  // Drop the reclaimer first; it captures the cache being destroyed.
+  mem_pool_.set_reclaimer(nullptr);
+  agg_cache_.reset();
 }
 
 Result<Table> OlapEngine::ExecuteSql(std::string_view sql,

@@ -8,6 +8,7 @@
 
 #include "exec/nodes.h"
 #include "exec/plan.h"
+#include "governance/query_context.h"
 #include "mqo/agg_cache.h"
 #include "nested/nested_ast.h"
 #include "parallel/exec_config.h"
@@ -64,6 +65,15 @@ class OlapEngine {
   /// Evaluates σ[W](B) and returns the qualifying base rows.
   Result<Table> Execute(const NestedSelect& query, Strategy strategy);
 
+  /// Governed execution: runs the query under `limits` (cancellation
+  /// token, wall-clock deadline, per-query memory cap) drawn against the
+  /// engine memory pool. A tripped limit unwinds cooperatively and
+  /// returns Cancelled / DeadlineExceeded / ResourceExhausted; the engine
+  /// stays fully usable afterwards and an identical re-run without the
+  /// fault is byte-identical to a fresh engine's.
+  Result<Table> Execute(const NestedSelect& query, Strategy strategy,
+                        const QueryLimits& limits);
+
   /// Parses and runs a SQL statement (sql/parser.h), applying any
   /// top-level projection list to the qualifying rows.
   Result<Table> ExecuteSql(std::string_view sql, Strategy strategy);
@@ -93,9 +103,12 @@ class OlapEngine {
   BatchResult ExecuteBatch(const std::vector<const NestedSelect*>& queries);
 
   /// Enables the cross-query GMDJ aggregate cache (mqo/agg_cache.h) for
-  /// Execute and ExecuteBatch. Replaces (and drops) any previous cache.
+  /// Execute and ExecuteBatch. Replaces (and drops) any previous cache,
+  /// and wires the cache as the memory pool's pressure reclaimer: under
+  /// budget pressure cached aggregates are LRU-shed before any live query
+  /// is rejected.
   void EnableAggCache(GmdjAggCacheConfig config = GmdjAggCacheConfig());
-  void DisableAggCache() { agg_cache_.reset(); }
+  void DisableAggCache();
 
   /// The active cache, or null when disabled.
   GmdjAggCache* agg_cache() { return agg_cache_.get(); }
@@ -111,12 +124,24 @@ class OlapEngine {
   void set_exec_config(ExecConfig config) { exec_config_ = config; }
   const ExecConfig& exec_config() const { return exec_config_; }
 
+  /// Caps the engine memory pool every governed query reserves against
+  /// (bytes; default unbounded). Shrinking below current usage only
+  /// affects new reservations.
+  void set_memory_capacity(size_t bytes) { mem_pool_.set_capacity(bytes); }
+  MemoryPool* memory_pool() { return &mem_pool_; }
+
+  /// Governance counters accumulated across governed Execute calls, with
+  /// pool gauges (reclaims, peak reserved bytes) sampled at call time.
+  GovernanceStats governance_stats() const;
+
  private:
   Catalog catalog_;
   ExecConfig exec_config_;
   ExecStats last_stats_;
   double last_elapsed_ms_ = 0.0;
   std::unique_ptr<GmdjAggCache> agg_cache_;
+  MemoryPool mem_pool_;
+  GovernanceStats governance_;
 };
 
 }  // namespace gmdj

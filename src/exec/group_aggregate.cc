@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "common/fault_injection.h"
+
 namespace gmdj {
 
 GroupAggregateNode::GroupAggregateNode(PlanPtr input,
@@ -49,7 +51,12 @@ Result<Table> GroupAggregateNode::Execute(ExecContext* ctx) const {
     states.emplace_back(aggs_.size());
   }
 
+  GMDJ_RETURN_IF_ERROR(GMDJ_FAULT_POINT("groupagg/scan"));
+  size_t row_index = 0;
   for (const Row& row : in.rows()) {
+    if ((row_index++ & 4095u) == 0) {
+      GMDJ_RETURN_IF_ERROR(ctx->PollQuery());
+    }
     ectx.SetTopRow(&row);
     size_t group;
     if (group_by_.empty()) {

@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "common/fault_injection.h"
 
 namespace gmdj {
 
@@ -88,12 +89,16 @@ Result<Table> HashJoinNode::Execute(ExecContext* ctx) const {
   const Schema& rs = right_->output_schema();
 
   // Build side: the right input.
+  GMDJ_RETURN_IF_ERROR(GMDJ_FAULT_POINT("join/build"));
+  GMDJ_RETURN_IF_ERROR(
+      ctx->ReserveMemory(r.num_rows() * (sizeof(Row) + sizeof(uint32_t))));
   std::unordered_map<Row, std::vector<uint32_t>, RowHash, RowEq> build;
   build.reserve(r.num_rows());
   {
     EvalContext rctx;
     rctx.PushFrame(&rs, nullptr);
     for (size_t i = 0; i < r.num_rows(); ++i) {
+      if ((i & 4095u) == 0) GMDJ_RETURN_IF_ERROR(ctx->PollQuery());
       rctx.SetTopRow(&r.row(i));
       Row key;
       key.reserve(keys_.size());
@@ -120,6 +125,7 @@ Result<Table> HashJoinNode::Execute(ExecContext* ctx) const {
 
   const std::vector<uint32_t> no_matches;
   for (size_t i = 0; i < l.num_rows(); ++i) {
+    if ((i & 4095u) == 0) GMDJ_RETURN_IF_ERROR(ctx->PollQuery());
     const Row& lrow = l.row(i);
     lctx.SetTopRow(&lrow);
     Row key;
@@ -232,6 +238,7 @@ Result<Table> NLJoinNode::Execute(ExecContext* ctx) const {
   pctx.PushFrame(&rs, nullptr);
 
   for (size_t i = 0; i < l.num_rows(); ++i) {
+    GMDJ_RETURN_IF_ERROR(ctx->PollQuery());
     const Row& lrow = l.row(i);
     pctx.SetRow(0, &lrow);
     // Each probe re-scans the inner input: that is the cost profile the

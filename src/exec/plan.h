@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "governance/query_context.h"
 #include "parallel/exec_config.h"
 #include "storage/catalog.h"
 #include "storage/table.h"
@@ -59,11 +60,33 @@ class ExecContext {
   void set_gmdj_cache(GmdjCacheHook* cache) { gmdj_cache_ = cache; }
   GmdjCacheHook* gmdj_cache() const { return gmdj_cache_; }
 
+  /// Lifecycle governance of the executing query (governance/
+  /// query_context.h); null runs ungoverned. The context must outlive
+  /// execution and is shared read-mostly across morsel workers.
+  void set_query_ctx(QueryContext* query_ctx) { query_ctx_ = query_ctx; }
+  QueryContext* query_ctx() const { return query_ctx_; }
+
+  /// Operator liveness poll: Cancelled/DeadlineExceeded aborts the query.
+  /// Call at loop-stride boundaries (~1k rows / once per morsel) and
+  /// unwind with the returned Status.
+  Status PollQuery() const {
+    return query_ctx_ == nullptr ? Status::OK() : query_ctx_->CheckAlive();
+  }
+
+  /// Charges `bytes` of operator state against the query's memory budget
+  /// (no-op when ungoverned). Reservations are returned in bulk when the
+  /// QueryContext dies, so error paths need no paired release.
+  Status ReserveMemory(size_t bytes) const {
+    return query_ctx_ == nullptr ? Status::OK()
+                                 : query_ctx_->ReserveMemory(bytes);
+  }
+
  private:
   const Catalog* catalog_;
   ExecConfig config_;
   ExecStats stats_;
   GmdjCacheHook* gmdj_cache_ = nullptr;
+  QueryContext* query_ctx_ = nullptr;
 };
 
 /// Base class of the physical plan tree.

@@ -1,0 +1,110 @@
+#include "governance/query_context.h"
+
+#include <algorithm>
+
+namespace gmdj {
+
+namespace {
+
+/// Lock-free max update for peak gauges.
+void UpdatePeak(std::atomic<size_t>* peak, size_t value) {
+  size_t prev = peak->load(std::memory_order_relaxed);
+  while (prev < value &&
+         !peak->compare_exchange_weak(prev, value,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+bool MemoryPool::TryReserve(size_t bytes) {
+  const size_t cap = capacity_.load(std::memory_order_relaxed);
+  size_t prev = reserved_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (bytes > cap || prev > cap - bytes) {
+      // Over capacity: shed reclaimable memory (the MQO cache's LRU tail)
+      // before rejecting, so cached aggregates never crowd out a live
+      // query. The reclaimer runs outside any pool lock (there is none)
+      // and is itself thread-safe.
+      if (reclaimer_ != nullptr) {
+        reclaims_.fetch_add(1, std::memory_order_relaxed);
+        const size_t shortfall = bytes > cap - std::min(cap, prev)
+                                     ? bytes - (cap - std::min(cap, prev))
+                                     : bytes;
+        if (reclaimer_(shortfall) > 0) {
+          prev = reserved_.load(std::memory_order_relaxed);
+          if (bytes <= cap && prev <= cap - bytes) continue;
+        }
+      }
+      rejections_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (reserved_.compare_exchange_weak(prev, prev + bytes,
+                                        std::memory_order_relaxed)) {
+      UpdatePeak(&peak_, prev + bytes);
+      return true;
+    }
+  }
+}
+
+void MemoryPool::Release(size_t bytes) {
+  reserved_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void MemoryPool::Charge(size_t bytes) {
+  const size_t prev = reserved_.fetch_add(bytes, std::memory_order_relaxed);
+  UpdatePeak(&peak_, prev + bytes);
+}
+
+MemoryReservation::~MemoryReservation() {
+  const size_t held = reserved_.load(std::memory_order_relaxed);
+  if (held > 0 && pool_ != nullptr) pool_->Release(held);
+}
+
+Status MemoryReservation::Reserve(size_t bytes) {
+  if (bytes == 0) return Status::OK();
+  const size_t prev = reserved_.fetch_add(bytes, std::memory_order_relaxed);
+  if (query_cap_ != 0 && prev + bytes > query_cap_) {
+    reserved_.fetch_sub(bytes, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        "query memory budget exceeded: " + std::to_string(prev + bytes) +
+        " > " + std::to_string(query_cap_) + " bytes");
+  }
+  if (pool_ != nullptr && !pool_->TryReserve(bytes)) {
+    reserved_.fetch_sub(bytes, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        "engine memory pool exhausted reserving " + std::to_string(bytes) +
+        " bytes (pool " + std::to_string(pool_->reserved()) + "/" +
+        std::to_string(pool_->capacity()) + ")");
+  }
+  UpdatePeak(&peak_, prev + bytes);
+  return Status::OK();
+}
+
+void MemoryReservation::Release(size_t bytes) {
+  if (bytes == 0) return;
+  reserved_.fetch_sub(bytes, std::memory_order_relaxed);
+  if (pool_ != nullptr) pool_->Release(bytes);
+}
+
+Status QueryContext::CheckAlive() const {
+  if (limits_.cancel.cancelled()) {
+    return Status::Cancelled("query cancelled");
+  }
+  if (has_deadline() && std::chrono::steady_clock::now() >= deadline_) {
+    return Status::DeadlineExceeded(
+        "query exceeded its deadline of " +
+        std::to_string(limits_.deadline_ms) + " ms");
+  }
+  return Status::OK();
+}
+
+std::string GovernanceStats::ToString() const {
+  return "cancellations=" + std::to_string(cancellations) +
+         " deadline_exceeded=" + std::to_string(deadline_exceeded) +
+         " mem_rejections=" + std::to_string(mem_rejections) +
+         " pool_reclaims=" + std::to_string(pool_reclaims) +
+         " peak_reserved_bytes=" + std::to_string(peak_reserved_bytes);
+}
+
+}  // namespace gmdj

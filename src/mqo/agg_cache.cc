@@ -14,6 +14,8 @@ size_t ColumnBytes(const CachedAggColumn& column) {
 
 }  // namespace
 
+GmdjAggCache::~GmdjAggCache() { Clear(); }
+
 bool GmdjAggCache::Probe(const GmdjCacheKey& key,
                          const std::vector<std::string>& agg_keys,
                          std::vector<CachedAggColumn>* columns) {
@@ -94,6 +96,7 @@ void GmdjAggCache::Store(const GmdjCacheKey& key,
     const size_t bytes = ColumnBytes(col_it->second);
     entry.bytes += bytes;
     stats_.bytes += bytes;
+    if (pool_ != nullptr) pool_->Charge(bytes);
     added = true;
   }
   if (added) ++stats_.stores;
@@ -111,8 +114,22 @@ GmdjAggCache::Stats GmdjAggCache::stats() const {
   return stats_;
 }
 
+size_t GmdjAggCache::ShedBytes(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t freed = 0;
+  while (freed < bytes && !lru_.empty()) {
+    auto victim = entries_.find(lru_.back());
+    freed += victim->second.bytes;
+    ++stats_.evictions;
+    EraseEntry(victim);
+  }
+  if (freed > 0) ++stats_.pressure_sheds;
+  return freed;
+}
+
 void GmdjAggCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
+  if (pool_ != nullptr) pool_->Release(stats_.bytes);
   entries_.clear();
   lru_.clear();
   stats_.bytes = 0;
@@ -125,6 +142,7 @@ void GmdjAggCache::Touch(Entry* entry) {
 }
 
 void GmdjAggCache::EraseEntry(std::map<std::string, Entry>::iterator it) {
+  if (pool_ != nullptr) pool_->Release(it->second.bytes);
   stats_.bytes -= it->second.bytes;
   --stats_.entries;
   lru_.erase(it->second.lru_pos);

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "exec/gmdj_cache.h"
+#include "governance/query_context.h"
 
 namespace gmdj {
 
@@ -42,6 +43,7 @@ class GmdjAggCache final : public GmdjCacheHook {
     uint64_t misses = 0;         // Probes that found no usable entry.
     uint64_t evictions = 0;      // Entries dropped by the byte budget.
     uint64_t invalidations = 0;  // Entries dropped by version mismatch.
+    uint64_t pressure_sheds = 0;  // ShedBytes calls that freed something.
     uint64_t stores = 0;         // Store calls that added columns.
     uint64_t bytes = 0;          // Resident cached-column bytes.
     uint64_t entries = 0;        // Resident entries.
@@ -49,9 +51,18 @@ class GmdjAggCache final : public GmdjCacheHook {
 
   explicit GmdjAggCache(GmdjAggCacheConfig config = GmdjAggCacheConfig())
       : config_(config) {}
+  ~GmdjAggCache() override;
 
   GmdjAggCache(const GmdjAggCache&) = delete;
   GmdjAggCache& operator=(const GmdjAggCache&) = delete;
+
+  /// Registers this cache's resident bytes with `pool` (MemoryPool::Charge
+  /// semantics: reclaimable accounting, never rejected). The engine pairs
+  /// this with installing ShedBytes as the pool's reclaimer, closing the
+  /// pressure loop: queries over budget shed cached bytes, which releases
+  /// pool usage, which lets the query's reservation retry succeed. Call
+  /// while the cache is empty and before concurrent use.
+  void set_memory_pool(MemoryPool* pool) { pool_ = pool; }
 
   bool Probe(const GmdjCacheKey& key, const std::vector<std::string>& agg_keys,
              std::vector<CachedAggColumn>* columns) override;
@@ -60,6 +71,13 @@ class GmdjAggCache final : public GmdjCacheHook {
              std::vector<CachedAggColumn> columns) override;
 
   Stats stats() const;
+
+  /// Memory-pressure hook: evicts LRU entries until at least `bytes` have
+  /// been freed or the cache is empty; returns the bytes actually freed.
+  /// The engine wires this as its MemoryPool reclaimer, so cached
+  /// aggregates are shed *before* a live query is rejected — the cache
+  /// degrades to recomputation, never the other way around. Thread-safe.
+  size_t ShedBytes(size_t bytes);
 
   /// Drops every entry (stats counters other than bytes/entries persist).
   void Clear();
@@ -82,6 +100,7 @@ class GmdjAggCache final : public GmdjCacheHook {
   void EvictToBudget();
 
   GmdjAggCacheConfig config_;
+  MemoryPool* pool_ = nullptr;  // Optional; charged with resident bytes.
   mutable std::mutex mu_;
   std::map<std::string, Entry> entries_;  // By share key.
   std::list<std::string> lru_;            // Front = most recently used.

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "common/fault_injection.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "expr/expr.h"
@@ -57,6 +58,21 @@ struct SharedState {
   std::vector<std::atomic<uint8_t>> discarded;
   std::vector<std::atomic<uint64_t>> frozen;
   std::atomic<size_t> num_discarded{0};
+
+  // First-error-wins abort channel. A worker that fails (cancellation,
+  // deadline, injected fault) records its Status here exactly once; every
+  // later morsel observes `failed` at its boundary and returns without
+  // running, so the ParallelFor drains and completes — no hung workers, no
+  // leaked pool slots, just wasted (already queued) no-op tasks.
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  Status first_error;
+
+  void RecordError(Status status) {
+    std::lock_guard<std::mutex> lock(error_mu);
+    if (first_error.ok()) first_error = std::move(status);
+    failed.store(true, std::memory_order_release);
+  }
 };
 
 void InitSlot(SlotState* slot, const GmdjEvalInput& in) {
@@ -90,9 +106,13 @@ void Discard(size_t b, SharedState* shared) {
 
 /// Processes detail rows [begin, end) — the same candidate loop as the
 /// sequential evaluator, with completion decisions routed through the
-/// shared atomic flags and aggregates into the slot-local table.
-void ProcessMorsel(const GmdjEvalInput& in, size_t begin, size_t end,
-                   SlotState* slot, SharedState* shared) {
+/// shared atomic flags and aggregates into the slot-local table. Non-OK
+/// only on governance abort (cancellation/deadline) or an injected fault;
+/// partial slot-local updates are then simply never merged.
+Status ProcessMorsel(const GmdjEvalInput& in, size_t begin, size_t end,
+                     SlotState* slot, SharedState* shared) {
+  GMDJ_RETURN_IF_ERROR(GMDJ_FAULT_POINT("parallel/morsel"));
+  if (in.query != nullptr) GMDJ_RETURN_IF_ERROR(in.query->CheckAlive());
   const size_t n = in.base->num_rows();
   const Table& base = *in.base;
   const Table& detail = *in.detail;
@@ -117,7 +137,15 @@ void ProcessMorsel(const GmdjEvalInput& in, size_t begin, size_t end,
 
   for (size_t r = begin; r < end; ++r) {
     if (shared->num_discarded.load(std::memory_order_relaxed) == n) {
-      return;  // Every base tuple is decided.
+      return Status::OK();  // Every base tuple is decided.
+    }
+    // Mid-morsel liveness: a sibling's failure or this query's
+    // cancellation stops the scan within ~1k rows, not a whole morsel.
+    if ((r & 1023u) == 0 && r != begin) {
+      if (shared->failed.load(std::memory_order_acquire)) {
+        return Status::OK();  // The recorded first error wins.
+      }
+      if (in.query != nullptr) GMDJ_RETURN_IF_ERROR(in.query->CheckAlive());
     }
     const Row& drow = detail.row(r);
     slot->ectx.SetRow(1, &drow);
@@ -213,13 +241,14 @@ void ProcessMorsel(const GmdjEvalInput& in, size_t begin, size_t end,
       }
     }
   }
+  return Status::OK();
 }
 
 }  // namespace
 
-void ExecuteGmdjMorselParallel(const GmdjEvalInput& in,
-                               const ExecConfig& config, ExecStats* stats,
-                               GmdjEvalResult* out) {
+Status ExecuteGmdjMorselParallel(const GmdjEvalInput& in,
+                                 const ExecConfig& config, ExecStats* stats,
+                                 GmdjEvalResult* out) {
   GMDJ_CHECK(ParallelGmdjSupported(*in.runtimes));
   GMDJ_CHECK(in.agg_kinds.size() == in.total_aggs);
   const size_t n = in.base->num_rows();
@@ -243,22 +272,49 @@ void ExecuteGmdjMorselParallel(const GmdjEvalInput& in,
     }
   }
 
+  // The dominant allocation: one |B| x total_aggs partial-aggregate table
+  // per slot, plus the shared completion flags. Charged against the query
+  // budget before any worker touches data, so an over-budget query aborts
+  // here with ResourceExhausted instead of thrashing the machine.
+  if (in.query != nullptr) {
+    const size_t partials_bytes =
+        parallelism * n * in.total_aggs * sizeof(AggState);
+    const size_t flags_bytes = n * (sizeof(std::atomic<uint8_t>) +
+                                    sizeof(std::atomic<uint64_t>));
+    Status reserve = GMDJ_FAULT_POINT("parallel/alloc");
+    if (reserve.ok()) {
+      reserve = in.query->ReserveMemory(partials_bytes + flags_bytes);
+    }
+    GMDJ_RETURN_IF_ERROR(reserve);
+  }
+
   SharedState shared(n);
   std::vector<SlotState> slots(parallelism);
 
   ThreadPool::Shared()->ParallelFor(
       num_morsels, parallelism, [&](size_t task, size_t slot_idx) {
+        if (shared.failed.load(std::memory_order_acquire)) {
+          return;  // First error won; drain the remaining morsels.
+        }
         SlotState& slot = slots[slot_idx];
         if (!slot.initialized) InitSlot(&slot, in);
         const size_t morsel = order[task];
         const size_t begin = morsel * morsel_rows;
         const size_t end = std::min(begin + morsel_rows, num_detail);
         Stopwatch watch;
-        ProcessMorsel(in, begin, end, &slot, &shared);
+        const Status morsel_status =
+            ProcessMorsel(in, begin, end, &slot, &shared);
+        if (!morsel_status.ok()) shared.RecordError(morsel_status);
         slot.timings.push_back(MorselTiming{
             static_cast<uint32_t>(slot_idx), static_cast<uint64_t>(begin),
             static_cast<uint64_t>(end - begin), watch.ElapsedMillis()});
       });
+
+  if (shared.failed.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(shared.error_mu);
+    return shared.first_error;
+  }
+  GMDJ_RETURN_IF_ERROR(GMDJ_FAULT_POINT("parallel/merge"));
 
   // ---- Merge thread-local partials (commutative, so slot order only
   // affects double-sum rounding, exactly as morsel order does). ----
@@ -294,6 +350,7 @@ void ExecuteGmdjMorselParallel(const GmdjEvalInput& in,
                 return a.first_row < b.first_row;
               });
   }
+  return Status::OK();
 }
 
 }  // namespace gmdj

@@ -45,6 +45,9 @@ struct GmdjEvalInput {
   /// Aggregate kind per flat slot (condition-major order); used to merge
   /// thread-local partial states.
   std::vector<AggKind> agg_kinds;
+  /// Lifecycle governance of the enclosing query; null = ungoverned.
+  /// Workers poll it at every morsel boundary.
+  QueryContext* query = nullptr;
 };
 
 /// Per-base-tuple outcome of the detail pass, identical in layout between
@@ -81,9 +84,16 @@ bool ParallelGmdjSupported(const std::vector<GmdjCondRuntime>& runtimes);
 /// morsel dispatch order (aggregate inputs permitting: integer arithmetic
 /// is exact; double sums reassociate, as in any parallel database).
 /// Per-slot ExecStats are merged into `stats`.
-void ExecuteGmdjMorselParallel(const GmdjEvalInput& in,
-                               const ExecConfig& config, ExecStats* stats,
-                               GmdjEvalResult* out);
+///
+/// Error unwinding: workers poll `in.query` (cancellation/deadline) and
+/// the "parallel/morsel" fault point at every morsel boundary. The first
+/// non-OK Status wins; every later morsel is skipped (drained, not run),
+/// so ParallelFor always completes, no pool slot leaks, and the loop
+/// returns that first error with `out` left empty. Other queries sharing
+/// the pool are unaffected.
+Status ExecuteGmdjMorselParallel(const GmdjEvalInput& in,
+                                 const ExecConfig& config, ExecStats* stats,
+                                 GmdjEvalResult* out);
 
 }  // namespace gmdj
 

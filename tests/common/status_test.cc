@@ -26,6 +26,19 @@ TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
   EXPECT_EQ(Status::Unimplemented("").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::Internal("").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::RuntimeError("").code(), StatusCode::kRuntimeError);
+  EXPECT_EQ(Status::Cancelled("").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::DeadlineExceeded("").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::ResourceExhausted("").code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(StatusTest, GovernanceCodesRenderTheirNames) {
+  EXPECT_EQ(Status::Cancelled("stop").ToString(), "Cancelled: stop");
+  EXPECT_EQ(Status::DeadlineExceeded("late").ToString(),
+            "DeadlineExceeded: late");
+  EXPECT_EQ(Status::ResourceExhausted("oom").ToString(),
+            "ResourceExhausted: oom");
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -1,0 +1,346 @@
+// Fault-point registry semantics plus the engine-level fault matrix: every
+// named site, injected in a realistic scenario, must surface as a clean
+// error Status (no crash, no hang, no leaked reservation), and an
+// un-faulted re-run on the same engine must be byte-identical to the
+// fresh-engine reference.
+
+#include "common/fault_injection.h"
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/olap_engine.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "workload/paper_queries.h"
+#include "workload/tpch_gen.h"
+
+namespace gmdj {
+namespace {
+
+class FaultRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global()->Reset(); }
+  void TearDown() override { FaultInjector::Global()->Reset(); }
+};
+
+TEST_F(FaultRegistryTest, UnarmedSiteIsOk) {
+  EXPECT_TRUE(FaultInjector::Global()->Check("test/site").ok());
+  EXPECT_TRUE(GMDJ_FAULT_POINT("test/site").ok());
+}
+
+TEST_F(FaultRegistryTest, ErrorFiresOnExactTriggerHit) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kError;
+  spec.trigger_hit = 3;
+  spec.code = StatusCode::kRuntimeError;
+  spec.message = "boom";
+  FaultInjector::Global()->Arm("test/site", spec);
+
+  EXPECT_TRUE(FaultInjector::Global()->Check("test/site").ok());
+  EXPECT_TRUE(FaultInjector::Global()->Check("test/site").ok());
+  const Status third = FaultInjector::Global()->Check("test/site");
+  EXPECT_EQ(third.code(), StatusCode::kRuntimeError);
+  EXPECT_EQ(third.message(), "boom");
+  // Default max_fires: keeps firing after the trigger.
+  EXPECT_FALSE(FaultInjector::Global()->Check("test/site").ok());
+  EXPECT_EQ(FaultInjector::Global()->hits("test/site"), 4u);
+}
+
+TEST_F(FaultRegistryTest, MaxFiresLimitsTheBlast) {
+  FaultSpec spec;
+  spec.trigger_hit = 1;
+  spec.max_fires = 2;
+  FaultInjector::Global()->Arm("test/site", spec);
+  EXPECT_FALSE(FaultInjector::Global()->Check("test/site").ok());
+  EXPECT_FALSE(FaultInjector::Global()->Check("test/site").ok());
+  EXPECT_TRUE(FaultInjector::Global()->Check("test/site").ok());
+}
+
+TEST_F(FaultRegistryTest, AllocFailInjectsResourceExhausted) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kAllocFail;
+  FaultInjector::Global()->Arm("test/site", spec);
+  EXPECT_EQ(FaultInjector::Global()->Check("test/site").code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST_F(FaultRegistryTest, DelayReturnsOk) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kDelay;
+  spec.delay_micros = 100;
+  FaultInjector::Global()->Arm("test/site", spec);
+  EXPECT_TRUE(FaultInjector::Global()->Check("test/site").ok());
+}
+
+TEST_F(FaultRegistryTest, DisarmStopsFiringArmResetsCounters) {
+  FaultSpec spec;
+  FaultInjector::Global()->Arm("test/site", spec);
+  EXPECT_FALSE(FaultInjector::Global()->Check("test/site").ok());
+  FaultInjector::Global()->Disarm("test/site");
+  EXPECT_TRUE(FaultInjector::Global()->Check("test/site").ok());
+
+  // Re-arming zeroes the site's hit count: trigger_hit counts afresh.
+  spec.trigger_hit = 2;
+  FaultInjector::Global()->Arm("test/site", spec);
+  EXPECT_TRUE(FaultInjector::Global()->Check("test/site").ok());
+  EXPECT_FALSE(FaultInjector::Global()->Check("test/site").ok());
+}
+
+TEST_F(FaultRegistryTest, TracingCollectsTraversedSites) {
+  FaultInjector::Global()->set_tracing(true);
+  EXPECT_TRUE(FaultInjector::Global()->Check("test/alpha").ok());
+  EXPECT_TRUE(FaultInjector::Global()->Check("test/beta").ok());
+  EXPECT_TRUE(FaultInjector::Global()->Check("test/alpha").ok());
+  const std::vector<std::string> sites =
+      FaultInjector::Global()->TraversedSites();
+  EXPECT_EQ(sites, (std::vector<std::string>{"test/alpha", "test/beta"}));
+  EXPECT_EQ(FaultInjector::Global()->hits("test/alpha"), 2u);
+  FaultInjector::Global()->set_tracing(false);
+  FaultInjector::Global()->Reset();
+  EXPECT_EQ(FaultInjector::Global()->hits("test/alpha"), 0u);
+}
+
+TEST_F(FaultRegistryTest, SeededScheduleIsDeterministic) {
+  // Record which of 200 traversals fire under a seed, then re-arm with the
+  // same seed: the schedule must repeat exactly. A different seed must be
+  // allowed to differ (and does, for these constants).
+  auto schedule = [](uint64_t seed) {
+    FaultInjector::Global()->Reset();
+    FaultInjector::Global()->ArmSeeded(seed, 4);
+    std::vector<bool> fired;
+    fired.reserve(200);
+    for (int i = 0; i < 200; ++i) {
+      fired.push_back(!FaultInjector::Global()->Check("test/seeded").ok());
+    }
+    FaultInjector::Global()->Reset();
+    return fired;
+  };
+  const std::vector<bool> first = schedule(42);
+  const std::vector<bool> second = schedule(42);
+  const std::vector<bool> other = schedule(43);
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first, other);
+  EXPECT_GT(std::count(first.begin(), first.end(), true), 0);
+}
+
+TEST_F(FaultRegistryTest, ConcurrentChecksCountEveryHit) {
+  FaultSpec spec;
+  spec.trigger_hit = 1u << 30;  // Armed (slow path) but never fires.
+  FaultInjector::Global()->Arm("test/site", spec);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kIters; ++i) {
+        ASSERT_TRUE(FaultInjector::Global()->Check("test/site").ok());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(FaultInjector::Global()->hits("test/site"),
+            static_cast<uint64_t>(kThreads) * kIters);
+}
+
+// ---------------------------------------------------------------- matrix
+
+void ExpectExactRows(const Table& actual, const Table& expected,
+                     const std::string& context) {
+  ASSERT_EQ(actual.num_rows(), expected.num_rows()) << context;
+  for (size_t r = 0; r < expected.num_rows(); ++r) {
+    const Row& got = actual.row(r);
+    const Row& want = expected.row(r);
+    ASSERT_EQ(got.size(), want.size()) << context << " row " << r;
+    for (size_t c = 0; c < want.size(); ++c) {
+      ASSERT_EQ(got[c], want[c]) << context << " row " << r << " col " << c;
+    }
+  }
+}
+
+// One engine-level injection scenario: a query, a strategy, and the named
+// sites its evaluation is expected to traverse (asserted via tracing, so
+// the matrix cannot silently go stale when code moves).
+struct FaultScenario {
+  std::string name;
+  Strategy strategy;
+  bool parallel = false;
+  std::vector<std::string> sites;
+};
+
+void LoadTables(OlapEngine* engine, bool parallel) {
+  TpchConfig config;
+  config.num_customers = 50;
+  // The parallel scenarios need the detail scan past min_parallel_rows
+  // (8192) so the morsel evaluator actually dispatches workers.
+  config.num_orders = parallel ? 9000 : 900;
+  config.num_lineitems = 1;
+  engine->catalog()->PutTable("customer", GenCustomerTable(config));
+  engine->catalog()->PutTable("orders", GenOrdersTable(config));
+  ExecConfig exec;
+  exec.num_threads = parallel ? 4 : 1;
+  exec.morsel_rows = 1024;  // Several morsels even at 9000 rows.
+  engine->set_exec_config(exec);
+  engine->EnableAggCache();
+}
+
+class FaultMatrixTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global()->Reset(); }
+  void TearDown() override {
+    FaultInjector::Global()->set_tracing(false);
+    FaultInjector::Global()->Reset();
+  }
+
+  void RunScenario(const FaultScenario& scenario, const NestedSelect& query) {
+    OlapEngine engine;
+    LoadTables(&engine, scenario.parallel);
+
+    // Reference run with tracing: pins the expected rows AND proves each
+    // listed site is really on this scenario's path.
+    FaultInjector::Global()->set_tracing(true);
+    Result<Table> reference = engine.Execute(query, scenario.strategy);
+    ASSERT_TRUE(reference.ok())
+        << scenario.name << ": " << reference.status().message();
+    const std::vector<std::string> traversed =
+        FaultInjector::Global()->TraversedSites();
+    FaultInjector::Global()->set_tracing(false);
+    FaultInjector::Global()->Reset();
+    for (const std::string& site : scenario.sites) {
+      EXPECT_TRUE(std::find(traversed.begin(), traversed.end(), site) !=
+                  traversed.end())
+          << scenario.name << " never traversed " << site;
+    }
+
+    for (const std::string& site : scenario.sites) {
+      const std::string context = scenario.name + " @ " + site;
+      engine.agg_cache()->Clear();  // Every trial starts cold.
+
+      const uint64_t stores_before = engine.agg_cache()->stats().stores;
+      FaultSpec spec;
+      spec.kind = FaultKind::kError;
+      spec.code = StatusCode::kInternal;
+      spec.message = "injected fault at " + site;
+      FaultInjector::Global()->Arm(site, spec);
+      Result<Table> faulted = engine.Execute(query, scenario.strategy);
+      EXPECT_FALSE(faulted.ok()) << context << " swallowed the fault";
+      if (!faulted.ok()) {
+        EXPECT_EQ(faulted.status().code(), StatusCode::kInternal) << context;
+        EXPECT_NE(faulted.status().message().find("injected fault"),
+                  std::string::npos)
+            << context << ": " << faulted.status().ToString();
+      }
+      // The aborted query must have returned every reserved byte: only
+      // the cache's resident bytes may remain charged to the pool.
+      EXPECT_EQ(engine.memory_pool()->reserved(),
+                engine.agg_cache()->stats().bytes)
+          << context << " leaked a reservation";
+      // A failed GMDJ must never publish partial aggregates.
+      EXPECT_EQ(engine.agg_cache()->stats().stores, stores_before)
+          << context << " published partial aggregates";
+
+      // Recovery: disarm, re-run on the SAME engine, expect the exact
+      // fresh-engine rows.
+      FaultInjector::Global()->Reset();
+      engine.agg_cache()->Clear();
+      Result<Table> rerun = engine.Execute(query, scenario.strategy);
+      ASSERT_TRUE(rerun.ok())
+          << context << " did not recover: " << rerun.status().message();
+      ExpectExactRows(*rerun, *reference, context + " recovery");
+    }
+  }
+};
+
+TEST_F(FaultMatrixTest, ParallelGmdjSitesFailCleanAndRecover) {
+  // Basic (non-completion) translation keeps the GMDJ cache-eligible, so
+  // this scenario crosses the MQO probe site as well as the morsel pool.
+  const NestedSelect query = Fig2ExistsQuery();
+  RunScenario({"parallel-gmdj",
+               Strategy::kGmdj,
+               /*parallel=*/true,
+               {"engine/execute", "gmdj/alloc", "gmdj/index-build",
+                "mqo/probe", "parallel/alloc", "parallel/morsel",
+                "parallel/merge"}},
+              query);
+}
+
+TEST_F(FaultMatrixTest, SequentialGmdjAndCacheSitesFailCleanAndRecover) {
+  const NestedSelect query = Fig3AggCompareQuery();
+  RunScenario({"sequential-gmdj",
+               Strategy::kGmdj,
+               /*parallel=*/false,
+               {"engine/execute", "gmdj/alloc", "gmdj/index-build",
+                "gmdj/scan", "mqo/probe", "mqo/store"}},
+              query);
+}
+
+TEST_F(FaultMatrixTest, UnnestJoinSitesFailCleanAndRecover) {
+  const NestedSelect query = Fig3AggCompareQuery();
+  RunScenario({"unnest-joins",
+               Strategy::kUnnest,
+               /*parallel=*/false,
+               {"engine/execute", "join/build", "groupagg/scan"}},
+              query);
+}
+
+TEST_F(FaultMatrixTest, AllocFailureFlavorSurfacesResourceExhausted) {
+  OlapEngine engine;
+  LoadTables(&engine, /*parallel=*/false);
+  const NestedSelect query = Fig2ExistsQuery();
+  FaultSpec spec;
+  spec.kind = FaultKind::kAllocFail;
+  FaultInjector::Global()->Arm("gmdj/alloc", spec);
+  Result<Table> faulted = engine.Execute(query, Strategy::kGmdjOptimized);
+  ASSERT_FALSE(faulted.ok());
+  EXPECT_EQ(faulted.status().code(), StatusCode::kResourceExhausted);
+  FaultInjector::Global()->Reset();
+  EXPECT_TRUE(engine.Execute(query, Strategy::kGmdjOptimized).ok());
+}
+
+TEST_F(FaultMatrixTest, DelayFlavorChangesNothingObservable) {
+  OlapEngine engine;
+  LoadTables(&engine, /*parallel=*/false);
+  const NestedSelect query = Fig2ExistsQuery();
+  Result<Table> reference = engine.Execute(query, Strategy::kGmdjOptimized);
+  ASSERT_TRUE(reference.ok());
+  engine.agg_cache()->Clear();
+  FaultSpec spec;
+  spec.kind = FaultKind::kDelay;
+  spec.delay_micros = 200;
+  FaultInjector::Global()->Arm("gmdj/scan", spec);
+  Result<Table> delayed = engine.Execute(query, Strategy::kGmdjOptimized);
+  ASSERT_TRUE(delayed.ok());
+  ExpectExactRows(*delayed, *reference, "delay flavor");
+}
+
+TEST_F(FaultMatrixTest, SeededChaosFailsThenFullyRecovers) {
+  OlapEngine engine;
+  LoadTables(&engine, /*parallel=*/false);
+  const NestedSelect query = Fig2ExistsQuery();
+  Result<Table> reference = engine.Execute(query, Strategy::kGmdjOptimized);
+  ASSERT_TRUE(reference.ok());
+
+  // Denominator 1: every traversal of every site fails. The two chaos
+  // runs must fail identically (same first site, same status).
+  engine.agg_cache()->Clear();
+  FaultInjector::Global()->ArmSeeded(7, 1);
+  Result<Table> chaos_a = engine.Execute(query, Strategy::kGmdjOptimized);
+  FaultInjector::Global()->Reset();
+  FaultInjector::Global()->ArmSeeded(7, 1);
+  Result<Table> chaos_b = engine.Execute(query, Strategy::kGmdjOptimized);
+  FaultInjector::Global()->Reset();
+  ASSERT_FALSE(chaos_a.ok());
+  ASSERT_FALSE(chaos_b.ok());
+  EXPECT_EQ(chaos_a.status().code(), chaos_b.status().code());
+  EXPECT_EQ(chaos_a.status().message(), chaos_b.status().message());
+
+  engine.agg_cache()->Clear();
+  Result<Table> recovered = engine.Execute(query, Strategy::kGmdjOptimized);
+  ASSERT_TRUE(recovered.ok());
+  ExpectExactRows(*recovered, *reference, "seeded chaos recovery");
+}
+
+}  // namespace
+}  // namespace gmdj

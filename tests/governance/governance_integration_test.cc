@@ -1,0 +1,271 @@
+// End-to-end governance through OlapEngine::Execute: cancellation,
+// deadlines, memory budgets, cache-before-query shedding, and the
+// determinism guarantee — after any governed abort, the same engine
+// re-runs the query byte-identically to a fresh engine.
+
+#include <string>
+#include <thread>
+
+#include "common/fault_injection.h"
+#include "engine/olap_engine.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "workload/paper_queries.h"
+#include "workload/tpch_gen.h"
+
+namespace gmdj {
+namespace {
+
+void ExpectExactRows(const Table& actual, const Table& expected,
+                     const std::string& context) {
+  ASSERT_EQ(actual.num_rows(), expected.num_rows()) << context;
+  for (size_t r = 0; r < expected.num_rows(); ++r) {
+    const Row& got = actual.row(r);
+    const Row& want = expected.row(r);
+    ASSERT_EQ(got.size(), want.size()) << context << " row " << r;
+    for (size_t c = 0; c < want.size(); ++c) {
+      ASSERT_EQ(got[c], want[c]) << context << " row " << r << " col " << c;
+    }
+  }
+}
+
+class GovernanceIntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::Global()->Reset();
+    TpchConfig config;
+    config.num_customers = 50;
+    config.num_orders = 900;
+    config.num_lineitems = 1;
+    engine_.catalog()->PutTable("customer", GenCustomerTable(config));
+    engine_.catalog()->PutTable("orders", GenOrdersTable(config));
+    ExecConfig exec;
+    exec.num_threads = 1;
+    engine_.set_exec_config(exec);
+    query_ = Fig2ExistsQuery();
+  }
+  void TearDown() override { FaultInjector::Global()->Reset(); }
+
+  // Fresh-engine reference for the determinism checks.
+  Table FreshReference() {
+    OlapEngine fresh;
+    TpchConfig config;
+    config.num_customers = 50;
+    config.num_orders = 900;
+    config.num_lineitems = 1;
+    fresh.catalog()->PutTable("customer", GenCustomerTable(config));
+    fresh.catalog()->PutTable("orders", GenOrdersTable(config));
+    ExecConfig exec;
+    exec.num_threads = 1;
+    fresh.set_exec_config(exec);
+    Result<Table> result = fresh.Execute(query_, Strategy::kGmdjOptimized);
+    EXPECT_TRUE(result.ok()) << result.status().message();
+    return std::move(*result);
+  }
+
+  OlapEngine engine_;
+  NestedSelect query_;
+};
+
+TEST_F(GovernanceIntegrationTest, PreCancelledTokenAbortsWithCancelled) {
+  QueryLimits limits;
+  limits.cancel.Cancel();
+  Result<Table> result =
+      engine_.Execute(query_, Strategy::kGmdjOptimized, limits);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(engine_.governance_stats().cancellations, 1u);
+
+  // The engine is fully usable afterwards and byte-identical to fresh.
+  Result<Table> rerun = engine_.Execute(query_, Strategy::kGmdjOptimized);
+  ASSERT_TRUE(rerun.ok());
+  ExpectExactRows(*rerun, FreshReference(), "after cancellation");
+}
+
+TEST_F(GovernanceIntegrationTest, CancellationAtFaultPointIsDeterministic) {
+  // Model "the user cancels exactly while the scan crosses gmdj/scan" by
+  // injecting Cancelled at that site: the run must end in kCancelled with
+  // no other observable effect, every time.
+  FaultSpec spec;
+  spec.kind = FaultKind::kError;
+  spec.code = StatusCode::kCancelled;
+  spec.message = "cancelled at injected point";
+  for (int round = 0; round < 2; ++round) {
+    FaultInjector::Global()->Arm("gmdj/scan", spec);
+    Result<Table> result = engine_.Execute(query_, Strategy::kGmdjOptimized);
+    ASSERT_FALSE(result.ok()) << "round " << round;
+    EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+    FaultInjector::Global()->Reset();
+  }
+  Result<Table> rerun = engine_.Execute(query_, Strategy::kGmdjOptimized);
+  ASSERT_TRUE(rerun.ok());
+  ExpectExactRows(*rerun, FreshReference(), "after injected cancellation");
+}
+
+TEST_F(GovernanceIntegrationTest, DeadlineTripsViaInjectedDelay) {
+  // A synthetic 20ms stall at admission pushes execution past a 5ms
+  // deadline; the next liveness poll (the GMDJ operator's, after its base
+  // input executes) unwinds with kDeadlineExceeded.
+  FaultSpec spec;
+  spec.kind = FaultKind::kDelay;
+  spec.delay_micros = 20000;
+  FaultInjector::Global()->Arm("engine/execute", spec);
+  QueryLimits limits;
+  limits.deadline_ms = 5.0;
+  Result<Table> result =
+      engine_.Execute(query_, Strategy::kGmdjOptimized, limits);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(engine_.governance_stats().deadline_exceeded, 1u);
+
+  FaultInjector::Global()->Reset();
+  Result<Table> rerun = engine_.Execute(query_, Strategy::kGmdjOptimized);
+  ASSERT_TRUE(rerun.ok());
+  ExpectExactRows(*rerun, FreshReference(), "after deadline");
+}
+
+TEST_F(GovernanceIntegrationTest, GenerousDeadlinePassesUntouched) {
+  QueryLimits limits;
+  limits.deadline_ms = 60000.0;
+  Result<Table> result =
+      engine_.Execute(query_, Strategy::kGmdjOptimized, limits);
+  ASSERT_TRUE(result.ok());
+  ExpectExactRows(*result, FreshReference(), "generous deadline");
+  EXPECT_EQ(engine_.governance_stats().deadline_exceeded, 0u);
+}
+
+TEST_F(GovernanceIntegrationTest, TinyQueryBudgetTripsResourceExhausted) {
+  QueryLimits limits;
+  limits.mem_budget_bytes = 64;  // Far below the aggregate-table estimate.
+  Result<Table> result =
+      engine_.Execute(query_, Strategy::kGmdjOptimized, limits);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(engine_.governance_stats().mem_rejections, 1u);
+  // Nothing stays reserved after the abort.
+  EXPECT_EQ(engine_.memory_pool()->reserved(), 0u);
+
+  Result<Table> rerun = engine_.Execute(query_, Strategy::kGmdjOptimized);
+  ASSERT_TRUE(rerun.ok());
+  ExpectExactRows(*rerun, FreshReference(), "after budget abort");
+}
+
+TEST_F(GovernanceIntegrationTest, TinyEnginePoolTripsResourceExhausted) {
+  engine_.set_memory_capacity(64);
+  QueryLimits limits;  // No per-query cap: the pool itself rejects.
+  Result<Table> result =
+      engine_.Execute(query_, Strategy::kGmdjOptimized, limits);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(engine_.memory_pool()->reserved(), 0u);
+
+  engine_.set_memory_capacity(SIZE_MAX);
+  Result<Table> rerun = engine_.Execute(query_, Strategy::kGmdjOptimized);
+  ASSERT_TRUE(rerun.ok());
+  ExpectExactRows(*rerun, FreshReference(), "after pool abort");
+}
+
+TEST_F(GovernanceIntegrationTest, PoolPressureShedsCacheBeforeAbortingQuery) {
+  // Measure the query's standing reservation on a scratch engine (every
+  // Execute reserves through the pool, so the peak after one run is the
+  // query's footprint).
+  OlapEngine scratch;
+  TpchConfig config;
+  config.num_customers = 50;
+  config.num_orders = 900;
+  config.num_lineitems = 1;
+  scratch.catalog()->PutTable("customer", GenCustomerTable(config));
+  scratch.catalog()->PutTable("orders", GenOrdersTable(config));
+  ExecConfig exec;
+  exec.num_threads = 1;
+  scratch.set_exec_config(exec);
+  ASSERT_TRUE(scratch.Execute(query_, Strategy::kGmdjOptimized).ok());
+  const size_t query_bytes = scratch.memory_pool()->peak_reserved();
+  ASSERT_GT(query_bytes, 0u);
+
+  // Warm the cache (kGmdj keeps the plan cache-eligible), then size the
+  // pool so the query fits alone but NOT beside the resident cache: the
+  // reclaimer must shed cached bytes and the query must SUCCEED.
+  engine_.EnableAggCache();
+  ASSERT_TRUE(engine_.Execute(query_, Strategy::kGmdj).ok());
+  const uint64_t cached = engine_.agg_cache()->stats().bytes;
+  ASSERT_GT(cached, 0u);
+  EXPECT_EQ(engine_.memory_pool()->reserved(), cached);
+
+  engine_.set_memory_capacity(query_bytes + cached - 1);
+  QueryLimits limits;
+  Result<Table> governed =
+      engine_.Execute(query_, Strategy::kGmdjOptimized, limits);
+  ASSERT_TRUE(governed.ok()) << governed.status().message();
+  const GovernanceStats stats = engine_.governance_stats();
+  EXPECT_GE(stats.pool_reclaims, 1u);
+  EXPECT_EQ(stats.mem_rejections, 0u);
+  EXPECT_GT(engine_.agg_cache()->stats().evictions, 0u);
+  EXPECT_GE(engine_.agg_cache()->stats().pressure_sheds, 1u);
+  ExpectExactRows(*governed, FreshReference(), "after shedding");
+}
+
+TEST_F(GovernanceIntegrationTest, FailedGmdjNeverPublishesToCache) {
+  engine_.EnableAggCache();
+  FaultSpec spec;
+  spec.kind = FaultKind::kError;
+  spec.code = StatusCode::kInternal;
+  spec.message = "injected mid-evaluation";
+  FaultInjector::Global()->Arm("gmdj/scan", spec);
+  Result<Table> faulted = engine_.Execute(query_, Strategy::kGmdj);
+  ASSERT_FALSE(faulted.ok());
+  EXPECT_EQ(engine_.agg_cache()->stats().stores, 0u);
+  EXPECT_EQ(engine_.agg_cache()->stats().bytes, 0u);
+  FaultInjector::Global()->Reset();
+
+  // With the fault gone, the same engine both stores and answers right.
+  Result<Table> rerun = engine_.Execute(query_, Strategy::kGmdj);
+  ASSERT_TRUE(rerun.ok());
+  EXPECT_GT(engine_.agg_cache()->stats().stores, 0u);
+}
+
+TEST_F(GovernanceIntegrationTest, ParallelWorkersUnwindOnCancellation) {
+  // Big detail table + several workers; cancellation injected at a morsel
+  // boundary must stop the whole evaluation with kCancelled — no hang, no
+  // stuck pool slot (the immediate re-run proves the pool drained).
+  TpchConfig config;
+  config.num_customers = 50;
+  config.num_orders = 9000;
+  config.num_lineitems = 1;
+  engine_.catalog()->PutTable("orders", GenOrdersTable(config));
+  ExecConfig exec;
+  exec.num_threads = 4;
+  exec.morsel_rows = 1024;
+  engine_.set_exec_config(exec);
+
+  FaultSpec spec;
+  spec.kind = FaultKind::kError;
+  spec.code = StatusCode::kCancelled;
+  spec.message = "cancelled at morsel boundary";
+  spec.trigger_hit = 3;  // A few morsels complete first.
+  FaultInjector::Global()->Arm("parallel/morsel", spec);
+  Result<Table> result = engine_.Execute(query_, Strategy::kGmdjOptimized);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(engine_.memory_pool()->reserved(), 0u);
+  FaultInjector::Global()->Reset();
+
+  Result<Table> reference = engine_.Execute(query_, Strategy::kGmdjOptimized);
+  ASSERT_TRUE(reference.ok());
+  Result<Table> again = engine_.Execute(query_, Strategy::kGmdjOptimized);
+  ASSERT_TRUE(again.ok());
+  ExpectExactRows(*again, *reference, "parallel rerun determinism");
+}
+
+TEST_F(GovernanceIntegrationTest, NativeStrategiesHonorAdmissionLimits) {
+  QueryLimits limits;
+  limits.cancel.Cancel();
+  Result<Table> result =
+      engine_.Execute(query_, Strategy::kNativeNaive, limits);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_TRUE(engine_.Execute(query_, Strategy::kNativeNaive).ok());
+}
+
+}  // namespace
+}  // namespace gmdj

@@ -1,0 +1,214 @@
+// Unit coverage for the governance primitives (governance/query_context.h):
+// cancellation tokens, the engine memory pool with its pressure reclaimer,
+// per-query reservations, and QueryContext liveness checks.
+
+#include "governance/query_context.h"
+
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace gmdj {
+namespace {
+
+TEST(CancellationTokenTest, CopiesAliasOneFlag) {
+  CancellationToken token;
+  CancellationToken copy = token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(copy.cancelled());
+  copy.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(copy.cancelled());
+}
+
+TEST(CancellationTokenTest, FreshTokensAreIndependent) {
+  CancellationToken a;
+  CancellationToken b;
+  a.Cancel();
+  EXPECT_TRUE(a.cancelled());
+  EXPECT_FALSE(b.cancelled());
+}
+
+TEST(MemoryPoolTest, DefaultPoolNeverRejects) {
+  MemoryPool pool;
+  EXPECT_TRUE(pool.TryReserve(1ull << 40));
+  EXPECT_EQ(pool.rejections(), 0u);
+  pool.Release(1ull << 40);
+  EXPECT_EQ(pool.reserved(), 0u);
+}
+
+TEST(MemoryPoolTest, CapacityRejectsAndCounts) {
+  MemoryPool pool(1000);
+  EXPECT_TRUE(pool.TryReserve(600));
+  EXPECT_FALSE(pool.TryReserve(600));
+  EXPECT_EQ(pool.rejections(), 1u);
+  EXPECT_EQ(pool.reserved(), 600u);
+  pool.Release(600);
+  EXPECT_TRUE(pool.TryReserve(1000));
+}
+
+TEST(MemoryPoolTest, PeakTracksHighWater) {
+  MemoryPool pool;
+  ASSERT_TRUE(pool.TryReserve(100));
+  ASSERT_TRUE(pool.TryReserve(300));
+  pool.Release(400);
+  ASSERT_TRUE(pool.TryReserve(50));
+  EXPECT_EQ(pool.peak_reserved(), 400u);
+}
+
+TEST(MemoryPoolTest, ReclaimerRunsUnderPressureOnly) {
+  MemoryPool pool(1000);
+  size_t reclaimable = 800;
+  pool.set_reclaimer([&](size_t want) {
+    // Model the cache: Charge()d bytes that Release on shedding.
+    const size_t freed = std::min(want, reclaimable);
+    reclaimable -= freed;
+    pool.Release(freed);
+    return freed;
+  });
+  pool.Charge(800);  // Cache-style accounting; never rejected.
+  EXPECT_EQ(pool.reserved(), 800u);
+  EXPECT_EQ(pool.reclaims(), 0u);
+
+  // 500 bytes do not fit beside the 800 charged; shedding makes room.
+  EXPECT_TRUE(pool.TryReserve(500));
+  EXPECT_EQ(pool.reclaims(), 1u);
+  EXPECT_EQ(pool.rejections(), 0u);
+  EXPECT_LE(pool.reserved(), 1000u);
+}
+
+TEST(MemoryPoolTest, RejectsWhenReclaimerCannotFreeEnough) {
+  MemoryPool pool(100);
+  uint64_t calls = 0;
+  pool.set_reclaimer([&](size_t) {
+    ++calls;
+    return size_t{0};
+  });
+  EXPECT_FALSE(pool.TryReserve(200));
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(pool.rejections(), 1u);
+  EXPECT_EQ(pool.reserved(), 0u);
+}
+
+TEST(MemoryPoolTest, ConcurrentReserveReleaseStaysConsistent) {
+  MemoryPool pool(1ull << 20);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool] {
+      for (int i = 0; i < kIters; ++i) {
+        if (pool.TryReserve(64)) pool.Release(64);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(pool.reserved(), 0u);
+  EXPECT_LE(pool.peak_reserved(), size_t{1} << 20);
+}
+
+TEST(MemoryReservationTest, QueryCapRejectsBeforePool) {
+  MemoryPool pool;  // Unbounded.
+  MemoryReservation reservation(&pool, /*query_cap=*/100);
+  EXPECT_TRUE(reservation.Reserve(80).ok());
+  const Status over = reservation.Reserve(40);
+  EXPECT_EQ(over.code(), StatusCode::kResourceExhausted);
+  // The failed attempt must not stick: cap-sized headroom remains.
+  EXPECT_TRUE(reservation.Reserve(20).ok());
+  EXPECT_EQ(reservation.reserved(), 100u);
+  EXPECT_EQ(pool.reserved(), 100u);
+}
+
+TEST(MemoryReservationTest, PoolRejectionRollsBackLocalCount) {
+  MemoryPool pool(50);
+  MemoryReservation reservation(&pool, 0);
+  const Status status = reservation.Reserve(100);
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(reservation.reserved(), 0u);
+  EXPECT_EQ(pool.reserved(), 0u);
+}
+
+TEST(MemoryReservationTest, DestructorReturnsEverythingToPool) {
+  MemoryPool pool(1000);
+  {
+    MemoryReservation reservation(&pool, 0);
+    ASSERT_TRUE(reservation.Reserve(300).ok());
+    ASSERT_TRUE(reservation.Reserve(200).ok());
+    EXPECT_EQ(pool.reserved(), 500u);
+    // No explicit Release: an aborting query unwinds exactly like this.
+  }
+  EXPECT_EQ(pool.reserved(), 0u);
+}
+
+TEST(MemoryReservationTest, NullPoolIsUnbounded) {
+  MemoryReservation reservation;
+  EXPECT_TRUE(reservation.Reserve(1ull << 40).ok());
+  EXPECT_EQ(reservation.reserved(), 1ull << 40);
+}
+
+TEST(QueryContextTest, UngovernedContextAlwaysAlive) {
+  QueryContext ctx;
+  EXPECT_TRUE(ctx.CheckAlive().ok());
+  EXPECT_FALSE(ctx.has_deadline());
+  EXPECT_TRUE(ctx.ReserveMemory(1ull << 30).ok());
+}
+
+TEST(QueryContextTest, CancelledTokenReportsCancelled) {
+  QueryLimits limits;
+  limits.cancel.Cancel();
+  QueryContext ctx(limits, nullptr);
+  const Status status = ctx.CheckAlive();
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+}
+
+TEST(QueryContextTest, ExpiredDeadlineReportsDeadlineExceeded) {
+  QueryLimits limits;
+  limits.deadline_ms = 0.001;  // Pinned at construction; expired by now.
+  QueryContext ctx(limits, nullptr);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const Status status = ctx.CheckAlive();
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(ctx.has_deadline());
+}
+
+TEST(QueryContextTest, CancellationWinsOverDeadline) {
+  QueryLimits limits;
+  limits.deadline_ms = 0.001;
+  limits.cancel.Cancel();
+  QueryContext ctx(limits, nullptr);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_EQ(ctx.CheckAlive().code(), StatusCode::kCancelled);
+}
+
+TEST(QueryContextTest, MemoryBudgetFlowsThroughContext) {
+  MemoryPool pool(1000);
+  QueryLimits limits;
+  limits.mem_budget_bytes = 100;
+  {
+    QueryContext ctx(limits, &pool);
+    EXPECT_TRUE(ctx.ReserveMemory(90).ok());
+    EXPECT_EQ(ctx.ReserveMemory(20).code(), StatusCode::kResourceExhausted);
+    EXPECT_EQ(pool.reserved(), 90u);
+  }
+  EXPECT_EQ(pool.reserved(), 0u);  // Context destruction released it.
+}
+
+TEST(GovernanceStatsTest, ToStringNamesEveryCounter) {
+  GovernanceStats stats;
+  stats.cancellations = 1;
+  stats.deadline_exceeded = 2;
+  stats.mem_rejections = 3;
+  stats.pool_reclaims = 4;
+  stats.peak_reserved_bytes = 5;
+  const std::string text = stats.ToString();
+  EXPECT_NE(text.find("cancellations=1"), std::string::npos);
+  EXPECT_NE(text.find("deadline_exceeded=2"), std::string::npos);
+  EXPECT_NE(text.find("mem_rejections=3"), std::string::npos);
+  EXPECT_NE(text.find("pool_reclaims=4"), std::string::npos);
+  EXPECT_NE(text.find("peak_reserved_bytes=5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gmdj
