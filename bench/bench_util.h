@@ -107,6 +107,33 @@ inline QueryLimits BenchQueryLimits() {
   return limits;
 }
 
+/// The expression evaluation mode every measurement in this process runs
+/// under (resolved once: GMDJ_EXPR_EVAL=interpret selects the tree
+/// interpreter, anything else the compiled register programs). Exported on
+/// every JSON line so interpreted/compiled sweeps are self-describing.
+inline const char* EvalModeName() {
+  static const char* name =
+      ExecConfig().ResolvedExprEvalMode() == ExprEvalMode::kInterpret
+          ? "interpret"
+          : "compiled";
+  return name;
+}
+
+/// Expression-compiler outcomes of the most recent measured query,
+/// exported on every JSON line alongside the governance counters.
+struct BenchExprCounters {
+  uint64_t compiled_conditions = 0;
+  uint64_t interpreter_fallbacks = 0;
+};
+inline BenchExprCounters& ExprCountersStorage() {
+  static BenchExprCounters counters;
+  return counters;
+}
+inline void SnapshotExprStats(const ExecStats& stats) {
+  ExprCountersStorage().compiled_conditions = stats.compiled_conditions;
+  ExprCountersStorage().interpreter_fallbacks = stats.interpreter_fallbacks;
+}
+
 /// Governance outcomes of the most recent RunStrategy engine, exported on
 /// every JSON line (cache evictions count pressure shedding too).
 struct BenchGovernanceCounters {
@@ -177,14 +204,20 @@ class JsonLineReporter : public benchmark::ConsoleReporter {
           run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
       const double ms = run.real_accumulated_time / iters * 1e3;
       const BenchGovernanceCounters& gov = GovernanceCountersStorage();
+      const BenchExprCounters& expr = ExprCountersStorage();
       // Leading newline: the console reporter leaves a color-reset escape
       // at the start of the next line; keep the JSON at column zero.
       std::fprintf(stdout,
                    "\n{\"bench\": \"%s\", \"threads\": %zu, \"ms\": %.6f, "
+                   "\"eval_mode\": \"%s\", \"compiled_conditions\": %llu, "
+                   "\"interpreter_fallbacks\": %llu, "
                    "\"cancellations\": %llu, \"deadline_exceeded\": %llu, "
                    "\"mem_rejections\": %llu, \"evictions\": %llu, "
                    "\"peak_reserved_bytes\": %llu}\n",
                    run.benchmark_name().c_str(), ThreadsFlag(), ms,
+                   EvalModeName(),
+                   static_cast<unsigned long long>(expr.compiled_conditions),
+                   static_cast<unsigned long long>(expr.interpreter_fallbacks),
                    static_cast<unsigned long long>(gov.cancellations),
                    static_cast<unsigned long long>(gov.deadline_exceeded),
                    static_cast<unsigned long long>(gov.mem_rejections),
@@ -222,6 +255,7 @@ inline void RunStrategy(benchmark::State& state, OlapEngine* engine,
     benchmark::DoNotOptimize(rows);
   }
   SnapshotGovernance(engine);
+  SnapshotExprStats(engine->last_stats());
   state.counters["result_rows"] = static_cast<double>(rows);
   state.counters["rows_scanned"] =
       static_cast<double>(engine->last_stats().rows_scanned);

@@ -52,9 +52,12 @@ void RunPlanLoop(benchmark::State& state, int conditions, int aggs,
       return;
     }
     benchmark::DoNotOptimize(result->num_rows());
+    bench::SnapshotExprStats(ctx.stats());
   }
   state.SetItemsProcessed(state.iterations() * orders);
   state.counters["threads"] = static_cast<double>(bench::ThreadsFlag());
+  state.counters["compiled_conditions"] = static_cast<double>(
+      bench::ExprCountersStorage().compiled_conditions);
 }
 
 void BM_Conditions(benchmark::State& state) {
@@ -77,6 +80,38 @@ void BM_Aggs(benchmark::State& state) {
 // Sweep with --threads=1 vs --threads=4 to measure the speedup.
 void BM_ParallelScan(benchmark::State& state) {
   RunPlanLoop(state, 2, 2, 1000, 1'000'000);
+}
+
+// CI smoke: one Fig. 2-shaped GMDJ (hash-dispatch equality + double
+// compare) over tiny tables, verifying the expression compiler actually
+// engaged (compiled_conditions > 0) unless GMDJ_EXPR_EVAL=interpret asked
+// for the tree interpreter. Returns the process exit code.
+int RunSmoke() {
+  OlapEngine* engine = bench::TpchEngine(100, 1000, 1);
+  PlanPtr plan = MakeGmdj(1, 1);
+  if (!plan->Prepare(*engine->catalog()).ok()) {
+    std::fprintf(stderr, "smoke: prepare failed\n");
+    return 1;
+  }
+  ExecContext ctx(engine->catalog(), bench::BenchExecConfig());
+  const Result<Table> result = plan->Execute(&ctx);
+  if (!result.ok()) {
+    std::fprintf(stderr, "smoke: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  const bool interpret =
+      ExecConfig().ResolvedExprEvalMode() == ExprEvalMode::kInterpret;
+  if (!interpret && ctx.stats().compiled_conditions == 0) {
+    std::fprintf(stderr,
+                 "smoke: expected compiled_conditions > 0 on the Fig. 2 "
+                 "plan, got stats: %s\n",
+                 ctx.stats().ToString().c_str());
+    return 1;
+  }
+  std::printf("smoke ok: rows=%zu eval_mode=%s %s\n", result->num_rows(),
+              bench::EvalModeName(), ctx.stats().ToString().c_str());
+  return 0;
 }
 
 }  // namespace
@@ -111,6 +146,9 @@ BENCHMARK(gmdj::BM_ParallelScan)
     ->MinTime(0.05);
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return gmdj::RunSmoke();
+  }
   gmdj::bench::ParseBenchArgs(&argc, argv);
   benchmark::Initialize(&argc, argv);
   return gmdj::bench::RunBenchmarks();

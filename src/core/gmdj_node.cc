@@ -2,12 +2,29 @@
 
 #include <map>
 
+#include <algorithm>
+
 #include "common/check.h"
 #include "common/fault_injection.h"
+#include "exec/detail_batch.h"
+#include "expr/program.h"
 #include "parallel/parallel_gmdj.h"
 #include "parallel/thread_pool.h"
 
 namespace gmdj {
+namespace {
+
+/// Extends `row` with the base tuple at exactly the final capacity, so the
+/// append loop below never reallocates (satellite of the compiled-
+/// expression PR: output assembly was reallocating twice per row).
+inline Row PresizedBaseRow(const Row& brow, size_t extra) {
+  Row row;
+  row.reserve(brow.size() + extra);
+  row.insert(row.end(), brow.begin(), brow.end());
+  return row;
+}
+
+}  // namespace
 
 GmdjNode::GmdjNode(PlanPtr base, PlanPtr detail,
                    std::vector<GmdjCondition> conditions,
@@ -168,8 +185,7 @@ Result<Table> GmdjNode::BuildCachedOutput(
   Table out(output_schema_);
   out.Reserve(n);
   for (size_t b = 0; b < n; ++b) {
-    Row row = base.row(b);
-    row.reserve(row.size() + total_aggs_);
+    Row row = PresizedBaseRow(base.row(b), total_aggs_);
     for (const std::vector<CachedAggColumn>& cond_cols : columns) {
       for (const CachedAggColumn& col : cond_cols) {
         row.push_back((*col)[b]);
@@ -235,8 +251,7 @@ Result<Table> GmdjNode::ExecuteNaive(ExecContext* ctx, const Table& base,
         }
       }
     }
-    Row row = base.row(b);
-    row.reserve(row.size() + total_aggs_);
+    Row row = PresizedBaseRow(base.row(b), total_aggs_);
     size_t flat = 0;
     for (size_t c = 0; c < conditions_.size(); ++c) {
       for (size_t a = 0; a < conditions_[c].aggs.size(); ++a, ++flat) {
@@ -252,10 +267,13 @@ Result<Table> GmdjNode::ExecuteNaive(ExecContext* ctx, const Table& base,
 }
 
 /// Compiles conditions into runtime dispatch form (strategy, completion
-/// wiring, indexes). The result is read-only during evaluation and shared
-/// by the sequential loop below and the morsel-parallel evaluator.
+/// wiring, indexes, expression programs). The result is read-only during
+/// evaluation and shared by the sequential loop below and the
+/// morsel-parallel evaluator.
 Result<std::vector<GmdjCondRuntime>> GmdjNode::CompileRuntimes(
-    ExecContext* ctx, const Table& base) const {
+    ExecContext* ctx, const Table& base,
+    std::vector<GmdjCondPrograms>* programs,
+    std::vector<uint32_t>* batch_columns) const {
   GMDJ_RETURN_IF_ERROR(GMDJ_FAULT_POINT("gmdj/index-build"));
   const size_t n = base.num_rows();
   const bool completing = completion_.enabled();
@@ -318,6 +336,139 @@ Result<std::vector<GmdjCondRuntime>> GmdjNode::CompileRuntimes(
           std::move(intervals), iv.lo_strict, iv.hi_strict);
     }
   }
+
+  // ---- Expression programs (the compiled evaluation mode). ----
+  // An armed "gmdj/expr-compile" fault degrades to the interpreter rather
+  // than failing the query: compilation is an optimization, never a
+  // correctness dependency.
+  const bool compiling =
+      programs != nullptr && GMDJ_FAULT_POINT("gmdj/expr-compile").ok();
+  if (!compiling) {
+    if (programs != nullptr) programs->clear();
+    for (const GmdjCondRuntime& rt : runtimes) {
+      if (!rt.skip) ctx->stats().interpreter_fallbacks += 1;
+    }
+    return runtimes;
+  }
+
+  const std::vector<const Schema*> frames = {&base_->output_schema(),
+                                             &detail_->output_schema()};
+  programs->clear();
+  programs->resize(conditions_.size());
+  for (size_t c = 0; c < conditions_.size(); ++c) {
+    GmdjCondPrograms& p = (*programs)[c];
+    const GmdjCondRuntime& rt = runtimes[c];
+    bool fully = true;
+    if (!rt.skip) {
+      // Skipped (filtered-pair) conditions never run their own θ; only
+      // their aggregate arguments execute, after a TRUE pair comparison.
+      for (const Expr* e : rt.analysis->detail_only) {
+        p.detail_only.push_back(Compile(*e, frames));
+        fully &= p.detail_only.back().fully_compiled();
+      }
+      for (const Expr* e : rt.analysis->residual) {
+        p.residual.push_back(Compile(*e, frames));
+        fully &= p.residual.back().fully_compiled();
+      }
+    }
+    for (const AggSpec& agg : conditions_[c].aggs) {
+      if (agg.arg == nullptr) {
+        p.agg_args.push_back(nullptr);
+        continue;
+      }
+      p.agg_args.push_back(
+          std::make_unique<ExprProgram>(Compile(*agg.arg, frames)));
+      fully &= p.agg_args.back()->fully_compiled();
+    }
+    if (rt.pair_cmp != nullptr) {
+      p.pair_cmp =
+          std::make_unique<ExprProgram>(Compile(*rt.pair_cmp, frames));
+      fully &= p.pair_cmp->fully_compiled();
+    }
+    p.fully_compiled = fully;
+  }
+  for (size_t c = 0; c < conditions_.size(); ++c) {
+    GmdjCondRuntime& rt = runtimes[c];
+    rt.progs = &(*programs)[c];
+    if (rt.pair_cond != nullptr) {
+      const size_t filtered =
+          static_cast<size_t>(rt.pair_cond - conditions_.data());
+      rt.pair_progs = &(*programs)[filtered];
+    }
+    if (rt.skip) continue;
+    const bool condition_compiled =
+        rt.progs->fully_compiled &&
+        (rt.pair_progs == nullptr || rt.pair_progs->fully_compiled);
+    if (condition_compiled) {
+      ctx->stats().compiled_conditions += 1;
+    } else {
+      ctx->stats().interpreter_fallbacks += 1;
+    }
+  }
+
+  // Typed probe fast path: a condition whose single equality binding joins
+  // two int64 columns probes an unboxed int64 index instead of the
+  // composite-Row map (one integer hash vs. a Row build + per-Value
+  // hashing). Strictly optional: a drift-y base column (Build returns
+  // null) or a failed reservation leaves the generic index authoritative.
+  {
+    const Schema& base_schema = base_->output_schema();
+    const Schema& detail_schema = detail_->output_schema();
+    std::map<size_t, std::shared_ptr<Int64HashIndex>> typed_cache;
+    for (GmdjCondRuntime& rt : runtimes) {
+      if (rt.skip || rt.analysis->strategy != CondStrategy::kHash ||
+          rt.analysis->eq_bindings.size() != 1) {
+        continue;
+      }
+      const EqBinding& eq = rt.analysis->eq_bindings[0];
+      if (base_schema.field(eq.base_col).type != ValueType::kInt64 ||
+          detail_schema.field(eq.detail_col).type != ValueType::kInt64) {
+        continue;
+      }
+      auto it = typed_cache.find(eq.base_col);
+      if (it == typed_cache.end()) {
+        std::shared_ptr<Int64HashIndex> built;
+        // ~24 bytes/row for the duplicate posting lists + buckets.
+        if (ctx->ReserveMemory(n * 24).ok()) {
+          built = Int64HashIndex::Build(base, eq.base_col);
+        }
+        it = typed_cache.emplace(eq.base_col, std::move(built)).first;
+      }
+      rt.typed_hash = it->second;
+    }
+  }
+
+  // Detail columns touched by typed loads or probe/stab key extraction;
+  // the evaluators stage exactly these per chunk.
+  if (batch_columns != nullptr) {
+    batch_columns->clear();
+    for (size_t c = 0; c < conditions_.size(); ++c) {
+      const GmdjCondPrograms& p = (*programs)[c];
+      for (const ExprProgram& prog : p.detail_only) {
+        prog.CollectColumns(1, batch_columns);
+      }
+      for (const ExprProgram& prog : p.residual) {
+        prog.CollectColumns(1, batch_columns);
+      }
+      for (const auto& prog : p.agg_args) {
+        if (prog != nullptr) prog->CollectColumns(1, batch_columns);
+      }
+      if (p.pair_cmp != nullptr) p.pair_cmp->CollectColumns(1, batch_columns);
+      const GmdjCondRuntime& rt = runtimes[c];
+      if (rt.skip) continue;
+      for (const EqBinding& eq : rt.analysis->eq_bindings) {
+        batch_columns->push_back(static_cast<uint32_t>(eq.detail_col));
+      }
+      if (rt.analysis->interval.has_value()) {
+        batch_columns->push_back(
+            static_cast<uint32_t>(rt.analysis->interval->detail_col));
+      }
+    }
+    std::sort(batch_columns->begin(), batch_columns->end());
+    batch_columns->erase(
+        std::unique(batch_columns->begin(), batch_columns->end()),
+        batch_columns->end());
+  }
   return runtimes;
 }
 
@@ -352,122 +503,256 @@ Status GmdjNode::ExecuteSequential(ExecContext* ctx, const GmdjEvalInput& in,
   std::vector<uint32_t> stab_scratch;
   Row probe_key;
 
-  auto update_aggs = [&](const GmdjCondition& cond, size_t offset, size_t b) {
+  // Compiled-mode state: per-chunk columnar staging plus the per-condition
+  // detail-only pass masks computed by the typed programs.
+  const bool compiled = in.compiled;
+  DetailBatch batch;
+  ExprScratch scratch;
+  ExprVecScratch vec_scratch;
+  std::vector<std::vector<uint8_t>> pass(runtimes.size());
+  if (compiled) {
+    batch.Configure(*in.detail_schema, in.batch_columns);
+    scratch.batch_frame = 1;
+  }
+
+  auto update_aggs = [&](const GmdjCondition& cond,
+                         const GmdjCondPrograms* progs, size_t offset,
+                         size_t b) {
     AggState* entry_states = &states[b * total_aggs_ + offset];
     for (size_t a = 0; a < cond.aggs.size(); ++a) {
       const AggSpec& agg = cond.aggs[a];
       if (agg.kind == AggKind::kCountStar) {
         ++entry_states[a].count;  // Avoids a Value temporary per pair.
+      } else if (progs != nullptr && progs->agg_args[a] != nullptr) {
+        entry_states[a].Update(agg.kind,
+                               progs->agg_args[a]->Eval(ectx, &scratch));
       } else {
         entry_states[a].Update(agg.kind, agg.arg->Eval(ectx));
       }
     }
   };
 
+  // The detail relation is consumed in staging chunks; the chunk size
+  // doubles as the liveness-poll stride (same ~1k cadence as before the
+  // columnar path existed, and as the morsel workers).
+  constexpr size_t kChunkRows = 1024;
   const size_t num_detail = detail.num_rows();
-  for (size_t r = 0; r < num_detail; ++r) {
+  for (size_t chunk = 0; chunk < num_detail; chunk += kChunkRows) {
     if (num_discarded == n) break;  // Every base tuple is decided.
-    // Same ~1k-row liveness stride as the morsel workers: a cancel or
-    // deadline lands within microseconds, not after the full detail scan.
-    if ((r & 1023u) == 0 && r != 0) {
+    if (chunk != 0) {
       GMDJ_RETURN_IF_ERROR(ctx->PollQuery());
     }
-    const Row& drow = detail.row(r);
-    ectx.SetRow(1, &drow);
+    const size_t chunk_rows = std::min(kChunkRows, num_detail - chunk);
 
-    for (const GmdjCondRuntime& rt : runtimes) {
-      if (rt.skip) continue;
-      // Per-detail filters first (e.g. F.Protocol = "HTTP").
-      bool detail_ok = true;
-      for (const Expr* e : rt.analysis->detail_only) {
-        ctx->stats().predicate_evals += 1;
-        if (!IsTrue(e->EvalPred(ectx))) {
-          detail_ok = false;
-          break;
+    if (compiled) {
+      // Decode the chunk once into typed columns, then run each
+      // condition's detail-only conjuncts as per-column loops. Conjunct j
+      // only visits rows that passed conjuncts < j, so predicate_evals
+      // matches the interpreter's short-circuit count exactly.
+      batch.Stage(detail, chunk, chunk_rows);
+      scratch.batch_cols = batch.column_ptrs();
+      scratch.batch_num_cols = batch.num_columns();
+      for (size_t ci = 0; ci < runtimes.size(); ++ci) {
+        const GmdjCondRuntime& rt = runtimes[ci];
+        if (rt.skip || rt.progs->detail_only.empty()) continue;
+        std::vector<uint8_t>& mask = pass[ci];
+        mask.assign(chunk_rows, 1);
+        for (const ExprProgram& prog : rt.progs->detail_only) {
+          // Short-circuit bookkeeping first: the interpreter evaluates
+          // conjunct j only on survivors of conjuncts < j, so that's what
+          // predicate_evals must count — even though the batch kernels
+          // evaluate every lane (dead-lane results are discarded by the
+          // mask AND, and ops are total, so this is invisible).
+          size_t survivors = 0;
+          for (size_t i = 0; i < chunk_rows; ++i) survivors += mask[i];
+          if (survivors == 0) break;
+          if (prog.EvalPredMask(ectx, scratch, &vec_scratch, chunk_rows,
+                                mask.data())) {
+            ctx->stats().predicate_evals += survivors;
+            continue;
+          }
+          for (size_t i = 0; i < chunk_rows; ++i) {
+            if (!mask[i]) continue;
+            scratch.batch_row = i;
+            ectx.SetRow(1, &detail.row(chunk + i));
+            ctx->stats().predicate_evals += 1;
+            if (!IsTrue(prog.EvalPred(ectx, &scratch))) mask[i] = 0;
+          }
         }
       }
-      if (!detail_ok) continue;
+    }
 
-      // Locate candidate base tuples.
-      const std::vector<uint32_t>* candidates = nullptr;
-      switch (rt.analysis->strategy) {
-        case CondStrategy::kHash: {
-          probe_key.clear();
-          bool null_key = false;
-          for (const EqBinding& eq : rt.analysis->eq_bindings) {
-            const Value& v = drow[eq.detail_col];
-            if (v.is_null()) {
-              null_key = true;
+    for (size_t i = 0; i < chunk_rows; ++i) {
+      if (num_discarded == n) break;
+      const size_t r = chunk + i;
+      const Row& drow = detail.row(r);
+      ectx.SetRow(1, &drow);
+      scratch.batch_row = i;
+
+      for (size_t ci = 0; ci < runtimes.size(); ++ci) {
+        const GmdjCondRuntime& rt = runtimes[ci];
+        if (rt.skip) continue;
+        // Per-detail filters first (e.g. F.Protocol = "HTTP").
+        if (compiled) {
+          if (!rt.progs->detail_only.empty() && !pass[ci][i]) continue;
+        } else {
+          bool detail_ok = true;
+          for (const Expr* e : rt.analysis->detail_only) {
+            ctx->stats().predicate_evals += 1;
+            if (!IsTrue(e->EvalPred(ectx))) {
+              detail_ok = false;
               break;
             }
-            probe_key.push_back(v);
           }
-          if (null_key) continue;
-          ctx->stats().hash_probes += 1;
-          candidates = &rt.hash->Probe(probe_key);
-          break;
+          if (!detail_ok) continue;
         }
-        case CondStrategy::kInterval: {
-          const Value& v = drow[rt.analysis->interval->detail_col];
-          if (v.is_null()) continue;
-          stab_scratch.clear();
-          rt.interval->Stab(v.AsDouble(), &stab_scratch);
-          candidates = &stab_scratch;
-          break;
-        }
-        case CondStrategy::kScan:
-          candidates = &active;
-          break;
-      }
 
-      for (const uint32_t b : *candidates) {
-        if (discarded[b]) continue;
-        if (frozen[b] & rt.freeze_bit) continue;
-        ectx.SetRow(0, &base.row(b));
-        bool match = true;
-        for (const Expr* e : rt.analysis->residual) {
-          ctx->stats().predicate_evals += 1;
-          if (!IsTrue(e->EvalPred(ectx))) {
-            match = false;
+        // Locate candidate base tuples; key extraction reads the staged
+        // typed columns when available.
+        const std::vector<uint32_t>* candidates = nullptr;
+        switch (rt.analysis->strategy) {
+          case CondStrategy::kHash: {
+            // Unboxed int64 probe when the condition's single key column
+            // was staged clean for this chunk (CompileRuntimes only built
+            // `typed_hash` for drift-free int64 = int64 bindings).
+            if (rt.typed_hash != nullptr) {
+              const ColumnVector* cv = batch.column(static_cast<uint32_t>(
+                  rt.analysis->eq_bindings[0].detail_col));
+              if (cv != nullptr && cv->type == ValueType::kInt64) {
+                if (cv->null[i]) continue;  // NULL key: no equality match.
+                ctx->stats().hash_probes += 1;
+                candidates = &rt.typed_hash->Probe(cv->i64[i]);
+                break;
+              }
+            }
+            probe_key.clear();
+            bool null_key = false;
+            for (const EqBinding& eq : rt.analysis->eq_bindings) {
+              const ColumnVector* cv =
+                  compiled ? batch.column(
+                                 static_cast<uint32_t>(eq.detail_col))
+                           : nullptr;
+              if (cv != nullptr) {
+                if (cv->null[i]) {
+                  null_key = true;
+                  break;
+                }
+                switch (cv->type) {
+                  case ValueType::kInt64:
+                    probe_key.push_back(Value(cv->i64[i]));
+                    break;
+                  case ValueType::kDouble:
+                    probe_key.push_back(Value(cv->dbl[i]));
+                    break;
+                  default:
+                    probe_key.push_back(Value(*cv->str[i]));
+                    break;
+                }
+                continue;
+              }
+              const Value& v = drow[eq.detail_col];
+              if (v.is_null()) {
+                null_key = true;
+                break;
+              }
+              probe_key.push_back(v);
+            }
+            if (null_key) continue;
+            ctx->stats().hash_probes += 1;
+            candidates = &rt.hash->Probe(probe_key);
             break;
           }
+          case CondStrategy::kInterval: {
+            const uint32_t col = static_cast<uint32_t>(
+                rt.analysis->interval->detail_col);
+            const ColumnVector* cv = compiled ? batch.column(col) : nullptr;
+            double stab_key;
+            if (cv != nullptr && cv->type != ValueType::kString) {
+              if (cv->null[i]) continue;
+              stab_key = cv->type == ValueType::kInt64
+                             ? static_cast<double>(cv->i64[i])
+                             : cv->dbl[i];
+            } else {
+              const Value& v = drow[col];
+              if (v.is_null()) continue;
+              stab_key = v.AsDouble();
+            }
+            stab_scratch.clear();
+            rt.interval->Stab(stab_key, &stab_scratch);
+            candidates = &stab_scratch;
+            break;
+          }
+          case CondStrategy::kScan:
+            candidates = &active;
+            break;
         }
-        if (!match) continue;
 
-        if (rt.action == CompletionAction::kDiscardOnMatch) {
-          discarded[b] = 1;
-          ++num_discarded;
-          ++active_dead;
-          continue;
-        }
-        update_aggs(*rt.cond, rt.agg_offset, b);
-        if (rt.pair_cmp != nullptr) {
-          ctx->stats().predicate_evals += 1;
-          if (IsTrue(rt.pair_cmp->EvalPred(ectx))) {
-            update_aggs(*rt.pair_cond, rt.pair_agg_offset, b);
+        const GmdjCondPrograms* progs = compiled ? rt.progs : nullptr;
+        for (const uint32_t b : *candidates) {
+          if (discarded[b]) continue;
+          if (frozen[b] & rt.freeze_bit) continue;
+          ectx.SetRow(0, &base.row(b));
+          bool match = true;
+          if (progs != nullptr) {
+            for (const ExprProgram& prog : progs->residual) {
+              ctx->stats().predicate_evals += 1;
+              if (!IsTrue(prog.EvalPred(ectx, &scratch))) {
+                match = false;
+                break;
+              }
+            }
           } else {
-            // The ALL quantifier is violated; counts diverge forever.
+            for (const Expr* e : rt.analysis->residual) {
+              ctx->stats().predicate_evals += 1;
+              if (!IsTrue(e->EvalPred(ectx))) {
+                match = false;
+                break;
+              }
+            }
+          }
+          if (!match) continue;
+
+          if (rt.action == CompletionAction::kDiscardOnMatch) {
             discarded[b] = 1;
             ++num_discarded;
             ++active_dead;
             continue;
           }
-        }
-        if (rt.action == CompletionAction::kSatisfyOnMatch) {
-          frozen[b] |= rt.freeze_bit;
+          update_aggs(*rt.cond, progs, rt.agg_offset, b);
+          if (rt.pair_cmp != nullptr) {
+            ctx->stats().predicate_evals += 1;
+            const TriBool pair_match =
+                progs != nullptr && progs->pair_cmp != nullptr
+                    ? progs->pair_cmp->EvalPred(ectx, &scratch)
+                    : rt.pair_cmp->EvalPred(ectx);
+            if (IsTrue(pair_match)) {
+              update_aggs(*rt.pair_cond,
+                          progs != nullptr ? rt.pair_progs : nullptr,
+                          rt.pair_agg_offset, b);
+            } else {
+              // The ALL quantifier is violated; counts diverge forever.
+              discarded[b] = 1;
+              ++num_discarded;
+              ++active_dead;
+              continue;
+            }
+          }
+          if (rt.action == CompletionAction::kSatisfyOnMatch) {
+            frozen[b] |= rt.freeze_bit;
+          }
         }
       }
-    }
 
-    // Compact the scan list when most of it is dead.
-    if (active_dead > 0 && active_dead * 2 > active.size()) {
-      std::vector<uint32_t> next;
-      next.reserve(active.size() - active_dead);
-      for (const uint32_t b : active) {
-        if (!discarded[b]) next.push_back(b);
+      // Compact the scan list when most of it is dead.
+      if (active_dead > 0 && active_dead * 2 > active.size()) {
+        std::vector<uint32_t> next;
+        next.reserve(active.size() - active_dead);
+        for (const uint32_t b : active) {
+          if (!discarded[b]) next.push_back(b);
+        }
+        active = std::move(next);
+        active_dead = 0;
       }
-      active = std::move(next);
-      active_dead = 0;
     }
   }
   out->num_discarded = num_discarded;
@@ -489,8 +774,16 @@ Result<Table> GmdjNode::ExecuteAuto(ExecContext* ctx, const Table& base,
     GMDJ_RETURN_IF_ERROR(alloc);
   }
 
-  GMDJ_ASSIGN_OR_RETURN(std::vector<GmdjCondRuntime> runtimes,
-                        CompileRuntimes(ctx, base));
+  // Evaluation mode: compiled typed programs by default; the interpreter
+  // on GMDJ_EXPR_EVAL=interpret (the ablation baseline / test oracle).
+  const bool want_compiled =
+      ctx->config().ResolvedExprEvalMode() != ExprEvalMode::kInterpret;
+  std::vector<GmdjCondPrograms> programs;
+  std::vector<uint32_t> batch_columns;
+  GMDJ_ASSIGN_OR_RETURN(
+      std::vector<GmdjCondRuntime> runtimes,
+      CompileRuntimes(ctx, base, want_compiled ? &programs : nullptr,
+                      want_compiled ? &batch_columns : nullptr));
 
   GmdjEvalInput in;
   in.base = &base;
@@ -500,6 +793,8 @@ Result<Table> GmdjNode::ExecuteAuto(ExecContext* ctx, const Table& base,
   in.runtimes = &runtimes;
   in.total_aggs = total_aggs_;
   in.query = ctx->query_ctx();
+  in.compiled = !programs.empty();
+  in.batch_columns = std::move(batch_columns);
   in.agg_kinds.reserve(total_aggs_);
   for (const GmdjCondition& cond : conditions_) {
     for (const AggSpec& agg : cond.aggs) in.agg_kinds.push_back(agg.kind);
@@ -527,8 +822,7 @@ Result<Table> GmdjNode::ExecuteAuto(ExecContext* ctx, const Table& base,
   out.Reserve(n - result.num_discarded);
   for (size_t b = 0; b < n; ++b) {
     if (result.discarded[b]) continue;
-    Row row = base.row(b);
-    row.reserve(row.size() + total_aggs_);
+    Row row = PresizedBaseRow(base.row(b), total_aggs_);
     size_t flat = 0;
     for (size_t c = 0; c < conditions_.size(); ++c) {
       for (size_t a = 0; a < conditions_[c].aggs.size(); ++a, ++flat) {

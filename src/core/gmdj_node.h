@@ -20,6 +20,7 @@ namespace gmdj {
 // Shared runtime structures of the GMDJ evaluators; defined in
 // parallel/parallel_gmdj.h (which includes this header).
 struct GmdjCondRuntime;
+struct GmdjCondPrograms;
 struct GmdjEvalInput;
 struct GmdjEvalResult;
 
@@ -163,8 +164,18 @@ class GmdjNode final : public PlanNode {
   /// hash-index build parallelizes on the shared pool for large bases.
   /// Non-OK on governance abort (index memory over budget) or an injected
   /// "gmdj/index-build" fault.
+  ///
+  /// When `programs` is non-null, θ conjuncts, pair comparisons, and
+  /// aggregate arguments are additionally lowered into typed register
+  /// programs (expr/program.h) wired into the runtimes, and
+  /// `batch_columns` receives the detail columns evaluation should stage
+  /// columnar. An armed "gmdj/expr-compile" fault forces the interpreter
+  /// (programs left empty) without failing the query. Per-condition
+  /// compiled/fallback outcomes are counted into ctx->stats().
   Result<std::vector<GmdjCondRuntime>> CompileRuntimes(
-      ExecContext* ctx, const Table& base) const;
+      ExecContext* ctx, const Table& base,
+      std::vector<GmdjCondPrograms>* programs,
+      std::vector<uint32_t>* batch_columns) const;
 
   /// The paper's sequential single-scan algorithm. ExecuteAuto dispatches
   /// here, or to ExecuteGmdjMorselParallel (parallel/parallel_gmdj.h)

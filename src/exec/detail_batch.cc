@@ -1,0 +1,72 @@
+#include "exec/detail_batch.h"
+
+#include <algorithm>
+
+namespace gmdj {
+
+void DetailBatch::Configure(const Schema& schema,
+                            const std::vector<uint32_t>& columns) {
+  // Dedup + drop out-of-range ids; staging an id twice would just waste
+  // decode work.
+  std::vector<uint32_t> ids(columns);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  while (!ids.empty() && ids.back() >= schema.num_fields()) ids.pop_back();
+
+  col_ids_ = std::move(ids);
+  cols_.assign(col_ids_.size(), ColumnVector{});
+  for (size_t i = 0; i < col_ids_.size(); ++i) {
+    cols_[i].type = schema.field(col_ids_[i]).type;
+  }
+  ptrs_.assign(schema.num_fields(), nullptr);
+  num_rows_ = 0;
+}
+
+void DetailBatch::Stage(const Table& table, size_t begin, size_t count) {
+  num_rows_ = count;
+  for (size_t i = 0; i < col_ids_.size(); ++i) {
+    ColumnVector& cv = cols_[i];
+    const uint32_t c = col_ids_[i];
+    cv.clean = true;
+    cv.null.resize(count);
+    switch (cv.type) {
+      case ValueType::kInt64:
+        cv.i64.resize(count);
+        break;
+      case ValueType::kDouble:
+        cv.dbl.resize(count);
+        break;
+      default:
+        cv.str.resize(count);
+        break;
+    }
+    for (size_t r = 0; r < count && cv.clean; ++r) {
+      const Value& v = table.row(begin + r)[c];
+      if (v.is_null()) {
+        cv.null[r] = 1;
+        continue;
+      }
+      cv.null[r] = 0;
+      if (v.type() != cv.type) {
+        // Runtime type drift: this column cannot be trusted with typed
+        // loads. Unpublish it; consumers use the row-wise path instead.
+        cv.clean = false;
+        break;
+      }
+      switch (cv.type) {
+        case ValueType::kInt64:
+          cv.i64[r] = v.int64();
+          break;
+        case ValueType::kDouble:
+          cv.dbl[r] = v.dbl();
+          break;
+        default:
+          cv.str[r] = &v.str();
+          break;
+      }
+    }
+    ptrs_[c] = cv.clean ? &cv : nullptr;
+  }
+}
+
+}  // namespace gmdj

@@ -1,0 +1,60 @@
+#ifndef GMDJ_EXEC_DETAIL_BATCH_H_
+#define GMDJ_EXEC_DETAIL_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "expr/program.h"
+#include "storage/table.h"
+#include "types/schema.h"
+
+namespace gmdj {
+
+/// Columnar staging buffer for one detail chunk.
+///
+/// The GMDJ consumes the detail relation row-at-a-time, but every
+/// per-tuple step — detail-only conjuncts, hash-probe key extraction,
+/// interval stab keys, residual θ evaluation — re-inspects the same boxed
+/// `Value`s. DetailBatch decodes a chunk of rows *once* into typed column
+/// vectors (payload array + null byte per row) and publishes them as a
+/// schema-width pointer table that `ExprScratch`/kLoadCol and the probe
+/// loops index directly.
+///
+/// Type-drift containment: staging verifies every non-NULL cell against the
+/// declared column type. A column holding a surprise runtime type is marked
+/// unclean and published as a null pointer, so consumers transparently fall
+/// back to the row-wise path for it — staging can never change results.
+class DetailBatch {
+ public:
+  /// Declares the schema and the set of columns worth staging (typically
+  /// the union of columns the compiled programs load from the detail frame
+  /// plus hash/interval key columns). Resets any previously staged data.
+  void Configure(const Schema& schema, const std::vector<uint32_t>& columns);
+
+  /// Decodes rows [begin, begin+count) of `table` into the configured
+  /// columns. `table` must match the configured schema width.
+  void Stage(const Table& table, size_t begin, size_t count);
+
+  /// Schema-width array; entry c is the staged vector for column c, or
+  /// nullptr when the column is unstaged or unclean. Valid until the next
+  /// Configure/Stage.
+  const ColumnVector* const* column_ptrs() const { return ptrs_.data(); }
+  uint32_t num_columns() const { return static_cast<uint32_t>(ptrs_.size()); }
+
+  /// Staged vector for `col`, or nullptr (unstaged / unclean).
+  const ColumnVector* column(uint32_t col) const {
+    return col < ptrs_.size() ? ptrs_[col] : nullptr;
+  }
+
+  size_t num_rows() const { return num_rows_; }
+
+ private:
+  std::vector<ColumnVector> cols_;        // One per configured column.
+  std::vector<uint32_t> col_ids_;         // Schema index of cols_[i].
+  std::vector<const ColumnVector*> ptrs_; // Schema-width publish table.
+  size_t num_rows_ = 0;
+};
+
+}  // namespace gmdj
+
+#endif  // GMDJ_EXEC_DETAIL_BATCH_H_

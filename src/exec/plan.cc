@@ -24,6 +24,10 @@ std::string ExecStats::ToString() const {
   out += " joins=" + std::to_string(joins);
   out += " gmdj_ops=" + std::to_string(gmdj_ops);
   out += " morsels=" + std::to_string(morsels);
+  if (compiled_conditions + interpreter_fallbacks > 0) {
+    out += " compiled_conditions=" + std::to_string(compiled_conditions);
+    out += " interpreter_fallbacks=" + std::to_string(interpreter_fallbacks);
+  }
   if (cache_hits + cache_misses + cache_evictions + cache_invalidations +
           cache_bytes >
       0) {

@@ -27,6 +27,13 @@ struct ExecStats {
   uint64_t gmdj_ops = 0;         // GMDJ operators executed.
   uint64_t morsels = 0;          // Morsels dispatched by parallel scans.
 
+  // Expression-compilation counters (expr/program.h). A GMDJ θ condition
+  // counts as compiled when every program it needs (detail-only filters,
+  // residual, completion pair, aggregate arguments) lowered without a
+  // kInterpret op; otherwise it counts as a fallback.
+  uint64_t compiled_conditions = 0;    // Conditions on typed programs.
+  uint64_t interpreter_fallbacks = 0;  // Conditions on the tree interpreter.
+
   // MQO aggregate-cache counters (src/mqo/). Hit/miss are counted per
   // GMDJ operator execution; evictions/invalidations/bytes are copied
   // from the cache by the engine after the query finishes.

@@ -1,0 +1,725 @@
+#include "expr/program.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace gmdj {
+namespace {
+
+TriBool CompareOrdered(int c, CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return MakeTriBool(c == 0);
+    case CompareOp::kNe:
+      return MakeTriBool(c != 0);
+    case CompareOp::kLt:
+      return MakeTriBool(c < 0);
+    case CompareOp::kLe:
+      return MakeTriBool(c <= 0);
+    case CompareOp::kGt:
+      return MakeTriBool(c > 0);
+    case CompareOp::kGe:
+      return MakeTriBool(c >= 0);
+  }
+  return TriBool::kUnknown;
+}
+
+/// Exact mirror of expr.cc's ValueToTri, applied to a typed register.
+TriBool RegToTri(const ExprReg& r, ValueType static_type) {
+  if (r.null) return TriBool::kUnknown;
+  switch (static_type) {
+    case ValueType::kInt64:
+      return MakeTriBool(r.i != 0);
+    case ValueType::kDouble:
+      return MakeTriBool(r.d != 0.0);
+    default:
+      return TriBool::kUnknown;  // Strings (and NULL statics) are UNKNOWN.
+  }
+}
+
+}  // namespace
+
+bool ExprProgram::Run(const EvalContext& ctx, ExprScratch* scratch) const {
+  ExprReg* regs = scratch->regs.data();
+  const size_t n = ops_.size();
+  for (size_t pc = 0; pc < n; ++pc) {
+    const ExprOp& op = ops_[pc];
+    switch (op.code) {
+      case OpCode::kConst:
+        regs[op.dst] = op.const_reg;
+        break;
+      case OpCode::kLoadCol: {
+        ExprReg& r = regs[op.dst];
+        // Columnar fast path: the staging buffer decoded this column once
+        // for the whole chunk, so the load is a typed array index.
+        if (op.frame == scratch->batch_frame &&
+            op.col < scratch->batch_num_cols &&
+            scratch->batch_cols[op.col] != nullptr) {
+          const ColumnVector& cv = *scratch->batch_cols[op.col];
+          const size_t row = scratch->batch_row;
+          if (cv.null[row]) {
+            r.null = true;
+            break;
+          }
+          r.null = false;
+          switch (op.expect) {
+            case ValueType::kInt64:
+              r.i = cv.i64[row];
+              break;
+            case ValueType::kDouble:
+              r.d = cv.dbl[row];
+              break;
+            default:
+              r.s = cv.str[row];
+              break;
+          }
+          break;
+        }
+        const Value& v = ctx.ValueAt(op.frame, op.col);
+        if (v.is_null()) {
+          r.null = true;
+          break;
+        }
+        if (v.type() != op.expect) return false;  // Bail: type surprise.
+        r.null = false;
+        switch (op.expect) {
+          case ValueType::kInt64:
+            r.i = v.int64();
+            break;
+          case ValueType::kDouble:
+            r.d = v.dbl();
+            break;
+          default:
+            r.s = &v.str();
+            break;
+        }
+        break;
+      }
+      case OpCode::kCmpI64: {
+        const ExprReg& a = regs[op.a];
+        const ExprReg& b = regs[op.b];
+        ExprReg& r = regs[op.dst];
+        if (a.null || b.null) {
+          r.t = TriBool::kUnknown;
+          break;
+        }
+        r.t = CompareOrdered(a.i < b.i ? -1 : (a.i > b.i ? 1 : 0), op.cmp);
+        break;
+      }
+      case OpCode::kCmpDbl: {
+        const ExprReg& a = regs[op.a];
+        const ExprReg& b = regs[op.b];
+        ExprReg& r = regs[op.dst];
+        if (a.null || b.null) {
+          r.t = TriBool::kUnknown;
+          break;
+        }
+        r.t = CompareOrdered(a.d < b.d ? -1 : (a.d > b.d ? 1 : 0), op.cmp);
+        break;
+      }
+      case OpCode::kCmpStr: {
+        const ExprReg& a = regs[op.a];
+        const ExprReg& b = regs[op.b];
+        ExprReg& r = regs[op.dst];
+        if (a.null || b.null) {
+          r.t = TriBool::kUnknown;
+          break;
+        }
+        r.t = CompareOrdered(a.s->compare(*b.s), op.cmp);
+        break;
+      }
+      case OpCode::kArithI64: {
+        const ExprReg& a = regs[op.a];
+        const ExprReg& b = regs[op.b];
+        ExprReg& r = regs[op.dst];
+        if (a.null || b.null) {
+          r.null = true;
+          break;
+        }
+        r.null = false;
+        switch (op.arith) {
+          case ArithOp::kAdd:
+            r.i = a.i + b.i;
+            break;
+          case ArithOp::kSub:
+            r.i = a.i - b.i;
+            break;
+          case ArithOp::kMul:
+            r.i = a.i * b.i;
+            break;
+          case ArithOp::kDiv:
+            break;  // Division compiles to kDivDbl.
+        }
+        break;
+      }
+      case OpCode::kArithDbl: {
+        const ExprReg& a = regs[op.a];
+        const ExprReg& b = regs[op.b];
+        ExprReg& r = regs[op.dst];
+        if (a.null || b.null) {
+          r.null = true;
+          break;
+        }
+        r.null = false;
+        switch (op.arith) {
+          case ArithOp::kAdd:
+            r.d = a.d + b.d;
+            break;
+          case ArithOp::kSub:
+            r.d = a.d - b.d;
+            break;
+          case ArithOp::kMul:
+            r.d = a.d * b.d;
+            break;
+          case ArithOp::kDiv:
+            break;  // Division compiles to kDivDbl.
+        }
+        break;
+      }
+      case OpCode::kDivDbl: {
+        const ExprReg& a = regs[op.a];
+        const ExprReg& b = regs[op.b];
+        ExprReg& r = regs[op.dst];
+        if (a.null || b.null || b.d == 0.0) {
+          r.null = true;
+          break;
+        }
+        r.null = false;
+        r.d = a.d / b.d;
+        break;
+      }
+      case OpCode::kCastDbl: {
+        const ExprReg& a = regs[op.a];
+        ExprReg& r = regs[op.dst];
+        r.null = a.null;
+        r.d = static_cast<double>(a.i);
+        break;
+      }
+      case OpCode::kAnd:
+        regs[op.dst].t = And(regs[op.a].t, regs[op.b].t);
+        break;
+      case OpCode::kOr:
+        regs[op.dst].t = Or(regs[op.a].t, regs[op.b].t);
+        break;
+      case OpCode::kNot:
+        regs[op.dst].t = Not(regs[op.a].t);
+        break;
+      case OpCode::kJmpIfFalse:
+        if (IsFalse(regs[op.a].t)) {
+          regs[op.dst].t = TriBool::kFalse;
+          pc = op.target - 1;  // Loop increment lands on target.
+        }
+        break;
+      case OpCode::kJmpIfTrue:
+        if (IsTrue(regs[op.a].t)) {
+          regs[op.dst].t = TriBool::kTrue;
+          pc = op.target - 1;
+        }
+        break;
+      case OpCode::kIsNull:
+        regs[op.dst].t = MakeTriBool(regs[op.a].null != op.flag);
+        break;
+      case OpCode::kIsNotTrue:
+        regs[op.dst].t = MakeTriBool(!IsTrue(regs[op.a].t));
+        break;
+      case OpCode::kTestScalar:
+        regs[op.dst].t = RegToTri(regs[op.a], op.expect);
+        break;
+      case OpCode::kBoolToScalar: {
+        ExprReg& r = regs[op.dst];
+        switch (regs[op.a].t) {
+          case TriBool::kFalse:
+            r.null = false;
+            r.i = 0;
+            break;
+          case TriBool::kTrue:
+            r.null = false;
+            r.i = 1;
+            break;
+          case TriBool::kUnknown:
+            r.null = true;
+            break;
+        }
+        break;
+      }
+      case OpCode::kInterpret: {
+        ExprReg& r = regs[op.dst];
+        if (op.flag) {
+          r.t = op.expr->EvalPred(ctx);
+          // Mirror of Expr::Eval-on-predicate so a scalar consumer of
+          // this register sees TriToValue(t).
+          r.null = IsUnknown(r.t);
+          r.i = IsTrue(r.t) ? 1 : 0;
+          break;
+        }
+        const Value v = op.expr->Eval(ctx);
+        if (v.is_null()) {
+          r.null = true;
+          break;
+        }
+        if (v.type() != op.expect) return false;  // Bail: type drift.
+        r.null = false;
+        switch (op.expect) {
+          case ValueType::kInt64:
+            r.i = v.int64();
+            break;
+          case ValueType::kDouble:
+            r.d = v.dbl();
+            break;
+          default:
+            // The interpreter returned a temporary string; registers only
+            // borrow. Bail to the tree interpreter, which is exact.
+            return false;
+        }
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+namespace {
+
+template <typename T>
+void Fit(std::vector<T>* v, size_t n) {
+  if (v->size() < n) v->resize(n);
+}
+
+}  // namespace
+
+bool ExprProgram::EvalPredMask(const EvalContext& ctx,
+                               const ExprScratch& scratch,
+                               ExprVecScratch* vec, size_t num_rows,
+                               uint8_t* mask) const {
+  if (interpret_ops_ != 0) return false;
+  if (vec->regs.size() < num_regs_) vec->regs.resize(num_regs_);
+  ExprVecReg* regs = vec->regs.data();
+  const size_t n = num_rows;
+
+  for (const ExprOp& op : ops_) {
+    switch (op.code) {
+      case OpCode::kConst: {
+        ExprVecReg& r = regs[op.dst];
+        const ExprReg& c = op.const_reg;
+        r.i.assign(n, c.i);
+        r.d.assign(n, c.d);
+        r.s.assign(n, c.s);
+        r.t.assign(n, c.t);
+        r.null.assign(n, c.null ? 1 : 0);
+        break;
+      }
+      case OpCode::kLoadCol: {
+        ExprVecReg& r = regs[op.dst];
+        if (op.frame == scratch.batch_frame) {
+          // The whole point of the batch VM: a staged column *is* the
+          // register. Unstaged/unclean columns disqualify the chunk.
+          if (op.col >= scratch.batch_num_cols ||
+              scratch.batch_cols[op.col] == nullptr) {
+            return false;
+          }
+          const ColumnVector& cv = *scratch.batch_cols[op.col];
+          r.null.assign(cv.null.begin(), cv.null.begin() + n);
+          switch (op.expect) {
+            case ValueType::kInt64:
+              r.i.assign(cv.i64.begin(), cv.i64.begin() + n);
+              break;
+            case ValueType::kDouble:
+              r.d.assign(cv.dbl.begin(), cv.dbl.begin() + n);
+              break;
+            default:
+              r.s.assign(cv.str.begin(), cv.str.begin() + n);
+              break;
+          }
+          break;
+        }
+        // Non-batch frame: the row is fixed for the chunk, so the load is
+        // a broadcast of one scalar.
+        const Value& v = ctx.ValueAt(op.frame, op.col);
+        if (v.is_null()) {
+          r.null.assign(n, 1);
+          // Pad the payloads: ops like kCastDbl mirror the scalar VM in
+          // copying payloads without consulting null flags, and registers
+          // must never be shorter than the chunk.
+          r.i.assign(n, 0);
+          r.d.assign(n, 0.0);
+          r.s.assign(n, nullptr);
+          break;
+        }
+        if (v.type() != op.expect) return false;  // Bail: type surprise.
+        r.null.assign(n, 0);
+        switch (op.expect) {
+          case ValueType::kInt64:
+            r.i.assign(n, v.int64());
+            break;
+          case ValueType::kDouble:
+            r.d.assign(n, v.dbl());
+            break;
+          default:
+            r.s.assign(n, &v.str());
+            break;
+        }
+        break;
+      }
+      case OpCode::kCmpI64: {
+        const ExprVecReg& a = regs[op.a];
+        const ExprVecReg& b = regs[op.b];
+        ExprVecReg& r = regs[op.dst];
+        Fit(&r.t, n);
+        for (size_t k = 0; k < n; ++k) {
+          if (a.null[k] | b.null[k]) {
+            r.t[k] = TriBool::kUnknown;
+            continue;
+          }
+          const int64_t x = a.i[k], y = b.i[k];
+          r.t[k] = CompareOrdered(x < y ? -1 : (x > y ? 1 : 0), op.cmp);
+        }
+        break;
+      }
+      case OpCode::kCmpDbl: {
+        const ExprVecReg& a = regs[op.a];
+        const ExprVecReg& b = regs[op.b];
+        ExprVecReg& r = regs[op.dst];
+        Fit(&r.t, n);
+        for (size_t k = 0; k < n; ++k) {
+          if (a.null[k] | b.null[k]) {
+            r.t[k] = TriBool::kUnknown;
+            continue;
+          }
+          const double x = a.d[k], y = b.d[k];
+          r.t[k] = CompareOrdered(x < y ? -1 : (x > y ? 1 : 0), op.cmp);
+        }
+        break;
+      }
+      case OpCode::kCmpStr: {
+        const ExprVecReg& a = regs[op.a];
+        const ExprVecReg& b = regs[op.b];
+        ExprVecReg& r = regs[op.dst];
+        Fit(&r.t, n);
+        for (size_t k = 0; k < n; ++k) {
+          if (a.null[k] | b.null[k]) {
+            r.t[k] = TriBool::kUnknown;
+            continue;
+          }
+          r.t[k] = CompareOrdered(a.s[k]->compare(*b.s[k]), op.cmp);
+        }
+        break;
+      }
+      case OpCode::kArithI64: {
+        const ExprVecReg& a = regs[op.a];
+        const ExprVecReg& b = regs[op.b];
+        ExprVecReg& r = regs[op.dst];
+        Fit(&r.i, n);
+        Fit(&r.null, n);
+        for (size_t k = 0; k < n; ++k) {
+          if ((r.null[k] = a.null[k] | b.null[k])) continue;
+          switch (op.arith) {
+            case ArithOp::kAdd:
+              r.i[k] = a.i[k] + b.i[k];
+              break;
+            case ArithOp::kSub:
+              r.i[k] = a.i[k] - b.i[k];
+              break;
+            case ArithOp::kMul:
+              r.i[k] = a.i[k] * b.i[k];
+              break;
+            case ArithOp::kDiv:
+              break;  // Division compiles to kDivDbl.
+          }
+        }
+        break;
+      }
+      case OpCode::kArithDbl: {
+        const ExprVecReg& a = regs[op.a];
+        const ExprVecReg& b = regs[op.b];
+        ExprVecReg& r = regs[op.dst];
+        Fit(&r.d, n);
+        Fit(&r.null, n);
+        for (size_t k = 0; k < n; ++k) {
+          if ((r.null[k] = a.null[k] | b.null[k])) continue;
+          switch (op.arith) {
+            case ArithOp::kAdd:
+              r.d[k] = a.d[k] + b.d[k];
+              break;
+            case ArithOp::kSub:
+              r.d[k] = a.d[k] - b.d[k];
+              break;
+            case ArithOp::kMul:
+              r.d[k] = a.d[k] * b.d[k];
+              break;
+            case ArithOp::kDiv:
+              break;  // Division compiles to kDivDbl.
+          }
+        }
+        break;
+      }
+      case OpCode::kDivDbl: {
+        const ExprVecReg& a = regs[op.a];
+        const ExprVecReg& b = regs[op.b];
+        ExprVecReg& r = regs[op.dst];
+        Fit(&r.d, n);
+        Fit(&r.null, n);
+        for (size_t k = 0; k < n; ++k) {
+          if ((r.null[k] = a.null[k] | b.null[k] | (b.d[k] == 0.0)))
+            continue;
+          r.d[k] = a.d[k] / b.d[k];
+        }
+        break;
+      }
+      case OpCode::kCastDbl: {
+        const ExprVecReg& a = regs[op.a];
+        ExprVecReg& r = regs[op.dst];
+        Fit(&r.d, n);
+        Fit(&r.null, n);
+        for (size_t k = 0; k < n; ++k) {
+          r.null[k] = a.null[k];
+          r.d[k] = static_cast<double>(a.i[k]);
+        }
+        break;
+      }
+      case OpCode::kAnd: {
+        const ExprVecReg& a = regs[op.a];
+        const ExprVecReg& b = regs[op.b];
+        ExprVecReg& r = regs[op.dst];
+        Fit(&r.t, n);
+        for (size_t k = 0; k < n; ++k) r.t[k] = And(a.t[k], b.t[k]);
+        break;
+      }
+      case OpCode::kOr: {
+        const ExprVecReg& a = regs[op.a];
+        const ExprVecReg& b = regs[op.b];
+        ExprVecReg& r = regs[op.dst];
+        Fit(&r.t, n);
+        for (size_t k = 0; k < n; ++k) r.t[k] = Or(a.t[k], b.t[k]);
+        break;
+      }
+      case OpCode::kNot: {
+        const ExprVecReg& a = regs[op.a];
+        ExprVecReg& r = regs[op.dst];
+        Fit(&r.t, n);
+        for (size_t k = 0; k < n; ++k) r.t[k] = Not(a.t[k]);
+        break;
+      }
+      case OpCode::kJmpIfFalse:
+      case OpCode::kJmpIfTrue:
+        // No short-circuit in batch mode: both And/Or operands are fully
+        // computed, so the combining op alone yields the jump's result.
+        break;
+      case OpCode::kIsNull: {
+        const ExprVecReg& a = regs[op.a];
+        ExprVecReg& r = regs[op.dst];
+        Fit(&r.t, n);
+        for (size_t k = 0; k < n; ++k) {
+          r.t[k] = MakeTriBool((a.null[k] != 0) != op.flag);
+        }
+        break;
+      }
+      case OpCode::kIsNotTrue: {
+        const ExprVecReg& a = regs[op.a];
+        ExprVecReg& r = regs[op.dst];
+        Fit(&r.t, n);
+        for (size_t k = 0; k < n; ++k) {
+          r.t[k] = MakeTriBool(!IsTrue(a.t[k]));
+        }
+        break;
+      }
+      case OpCode::kTestScalar: {
+        const ExprVecReg& a = regs[op.a];
+        ExprVecReg& r = regs[op.dst];
+        Fit(&r.t, n);
+        switch (op.expect) {
+          case ValueType::kInt64:
+            for (size_t k = 0; k < n; ++k) {
+              r.t[k] = a.null[k] ? TriBool::kUnknown
+                                 : MakeTriBool(a.i[k] != 0);
+            }
+            break;
+          case ValueType::kDouble:
+            for (size_t k = 0; k < n; ++k) {
+              r.t[k] = a.null[k] ? TriBool::kUnknown
+                                 : MakeTriBool(a.d[k] != 0.0);
+            }
+            break;
+          default:  // Strings (and NULL statics) are UNKNOWN.
+            for (size_t k = 0; k < n; ++k) r.t[k] = TriBool::kUnknown;
+            break;
+        }
+        break;
+      }
+      case OpCode::kBoolToScalar: {
+        const ExprVecReg& a = regs[op.a];
+        ExprVecReg& r = regs[op.dst];
+        Fit(&r.i, n);
+        Fit(&r.null, n);
+        for (size_t k = 0; k < n; ++k) {
+          r.null[k] = IsUnknown(a.t[k]);
+          r.i[k] = IsTrue(a.t[k]) ? 1 : 0;
+        }
+        break;
+      }
+      case OpCode::kInterpret:
+        return false;  // Unreachable (guarded above); defensive.
+    }
+  }
+
+  const ExprVecReg& root = regs[root_];
+  if (root_is_pred_) {
+    for (size_t k = 0; k < n; ++k) {
+      mask[k] &= static_cast<uint8_t>(IsTrue(root.t[k]));
+    }
+    return true;
+  }
+  switch (root_type_) {
+    case ValueType::kInt64:
+      for (size_t k = 0; k < n; ++k) {
+        mask[k] &= static_cast<uint8_t>(!root.null[k] && root.i[k] != 0);
+      }
+      break;
+    case ValueType::kDouble:
+      for (size_t k = 0; k < n; ++k) {
+        mask[k] &= static_cast<uint8_t>(!root.null[k] && root.d[k] != 0.0);
+      }
+      break;
+    default:  // String/NULL scalar roots are UNKNOWN — never TRUE.
+      for (size_t k = 0; k < n; ++k) mask[k] = 0;
+      break;
+  }
+  return true;
+}
+
+TriBool ExprProgram::EvalPred(const EvalContext& ctx,
+                              ExprScratch* scratch) const {
+  PrepareScratch(scratch);
+  if (!Run(ctx, scratch)) return source_->EvalPred(ctx);
+  const ExprReg& r = scratch->regs[root_];
+  if (root_is_pred_) return r.t;
+  return RegToTri(r, root_type_);
+}
+
+Value ExprProgram::Eval(const EvalContext& ctx, ExprScratch* scratch) const {
+  PrepareScratch(scratch);
+  if (!Run(ctx, scratch)) return source_->Eval(ctx);
+  const ExprReg& r = scratch->regs[root_];
+  if (root_is_pred_) {
+    switch (r.t) {
+      case TriBool::kFalse:
+        return Value(int64_t{0});
+      case TriBool::kTrue:
+        return Value(int64_t{1});
+      case TriBool::kUnknown:
+        return Value::Null();
+    }
+  }
+  if (r.null) return Value::Null();
+  switch (root_type_) {
+    case ValueType::kInt64:
+      return Value(r.i);
+    case ValueType::kDouble:
+      return Value(r.d);
+    case ValueType::kString:
+      return Value(*r.s);
+    case ValueType::kNull:
+      break;
+  }
+  return Value::Null();
+}
+
+void ExprProgram::CollectColumns(size_t frame,
+                                 std::vector<uint32_t>* cols) const {
+  for (const ExprOp& op : ops_) {
+    if (op.code == OpCode::kLoadCol && op.frame == frame) {
+      cols->push_back(op.col);
+    }
+  }
+}
+
+std::string ExprProgram::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    const ExprOp& op = ops_[i];
+    out += std::to_string(i) + ": ";
+    switch (op.code) {
+      case OpCode::kConst:
+        out += "const ";
+        if (op.const_reg.null && op.const_reg.t == TriBool::kUnknown) {
+          out += "NULL";
+        } else if (op.const_reg.s != nullptr) {
+          out += "\"" + *op.const_reg.s + "\"";
+        } else {
+          out += "i=" + std::to_string(op.const_reg.i) +
+                 "/d=" + std::to_string(op.const_reg.d) + "/t=" +
+                 gmdj::ToString(op.const_reg.t);
+        }
+        break;
+      case OpCode::kLoadCol:
+        out += "loadcol f" + std::to_string(op.frame) + " c" +
+               std::to_string(op.col) + " " + ValueTypeToString(op.expect);
+        break;
+      case OpCode::kCmpI64:
+        out += std::string("cmp_i64 ") + CompareOpToString(op.cmp) + " r" +
+               std::to_string(op.a) + " r" + std::to_string(op.b);
+        break;
+      case OpCode::kCmpDbl:
+        out += std::string("cmp_dbl ") + CompareOpToString(op.cmp) + " r" +
+               std::to_string(op.a) + " r" + std::to_string(op.b);
+        break;
+      case OpCode::kCmpStr:
+        out += std::string("cmp_str ") + CompareOpToString(op.cmp) + " r" +
+               std::to_string(op.a) + " r" + std::to_string(op.b);
+        break;
+      case OpCode::kArithI64:
+        out += "arith_i64 r" + std::to_string(op.a) + " r" +
+               std::to_string(op.b);
+        break;
+      case OpCode::kArithDbl:
+        out += "arith_dbl r" + std::to_string(op.a) + " r" +
+               std::to_string(op.b);
+        break;
+      case OpCode::kDivDbl:
+        out += "div_dbl r" + std::to_string(op.a) + " r" +
+               std::to_string(op.b);
+        break;
+      case OpCode::kCastDbl:
+        out += "cast_dbl r" + std::to_string(op.a);
+        break;
+      case OpCode::kAnd:
+        out += "and r" + std::to_string(op.a) + " r" + std::to_string(op.b);
+        break;
+      case OpCode::kOr:
+        out += "or r" + std::to_string(op.a) + " r" + std::to_string(op.b);
+        break;
+      case OpCode::kNot:
+        out += "not r" + std::to_string(op.a);
+        break;
+      case OpCode::kJmpIfFalse:
+        out += "jmp_if_false r" + std::to_string(op.a) + " -> " +
+               std::to_string(op.target);
+        break;
+      case OpCode::kJmpIfTrue:
+        out += "jmp_if_true r" + std::to_string(op.a) + " -> " +
+               std::to_string(op.target);
+        break;
+      case OpCode::kIsNull:
+        out += op.flag ? "is_not_null r" : "is_null r";
+        out += std::to_string(op.a);
+        break;
+      case OpCode::kIsNotTrue:
+        out += "is_not_true r" + std::to_string(op.a);
+        break;
+      case OpCode::kTestScalar:
+        out += "test_scalar r" + std::to_string(op.a);
+        break;
+      case OpCode::kBoolToScalar:
+        out += "bool_to_scalar r" + std::to_string(op.a);
+        break;
+      case OpCode::kInterpret:
+        out += std::string(op.flag ? "interpret_pred " : "interpret ") +
+               op.expr->ToString();
+        break;
+    }
+    out += " -> r" + std::to_string(op.dst) + "\n";
+  }
+  return out;
+}
+
+}  // namespace gmdj

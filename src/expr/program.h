@@ -1,0 +1,209 @@
+#ifndef GMDJ_EXPR_PROGRAM_H_
+#define GMDJ_EXPR_PROGRAM_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "types/tribool.h"
+#include "types/value.h"
+
+namespace gmdj {
+
+/// One typed register of the expression VM. Scalar results live in the
+/// payload fields gated by `null`; predicate results live in `t`. The
+/// struct is deliberately flat (no variant) so the hot evaluation loop is
+/// straight-line loads and stores.
+struct ExprReg {
+  int64_t i = 0;
+  double d = 0.0;
+  const std::string* s = nullptr;  // Borrowed from a row, batch, or pool.
+  TriBool t = TriBool::kUnknown;
+  bool null = true;
+};
+
+/// Columnar storage for one staged column: a typed payload vector plus a
+/// null byte per row. Only the vector matching `type` is populated.
+///
+/// Defined here (not in exec/) because kLoadCol reads it: the expression
+/// layer owns the register machine, the exec layer owns the staging
+/// policy (exec/detail_batch.h).
+struct ColumnVector {
+  ValueType type = ValueType::kInt64;
+  /// False when a non-NULL value of another runtime type was seen while
+  /// staging; unclean columns are never exposed to the VM (the producer
+  /// publishes a null pointer instead), so typed loads stay exact.
+  bool clean = true;
+  std::vector<uint8_t> null;
+  std::vector<int64_t> i64;
+  std::vector<double> dbl;
+  std::vector<const std::string*> str;
+};
+
+/// Mutable per-thread evaluation state: the register file plus an optional
+/// columnar source for one frame. When `batch_cols` is set, kLoadCol ops
+/// whose frame equals `batch_frame` read `batch_cols[col]->...[batch_row]`
+/// instead of indexing the frame's Row — the per-column staging done once
+/// per detail chunk replaces per-row Value inspection.
+struct ExprScratch {
+  static constexpr size_t kNoBatch = static_cast<size_t>(-1);
+
+  std::vector<ExprReg> regs;
+  size_t batch_frame = kNoBatch;
+  size_t batch_row = 0;
+  const ColumnVector* const* batch_cols = nullptr;
+  uint32_t batch_num_cols = 0;
+};
+
+/// One register of the *batch* VM: a column of ExprReg fields, one entry
+/// per chunk row. Vectors grow to the chunk size on first use and keep
+/// their capacity across chunks.
+struct ExprVecReg {
+  std::vector<int64_t> i;
+  std::vector<double> d;
+  std::vector<const std::string*> s;
+  std::vector<TriBool> t;
+  std::vector<uint8_t> null;
+};
+
+/// Per-thread register file of the batch VM (EvalPredMask). Kept separate
+/// from ExprScratch because only chunk-granular callers (the GMDJ
+/// detail-only pass) pay for the columnar registers.
+struct ExprVecScratch {
+  std::vector<ExprVecReg> regs;
+};
+
+/// Opcodes of the flat expression VM. Scalar ops are typed at compile time
+/// from the bound tree's static types; kLoadCol verifies the runtime type
+/// and bails the whole evaluation to the tree interpreter on a mismatch,
+/// so compilation can never change semantics.
+enum class OpCode : unsigned char {
+  kConst,       // regs[dst] = const_reg (payload + tribool prepared once).
+  kLoadCol,     // regs[dst] = frame[col]; bail unless NULL or `expect`.
+  kCmpI64,      // t[dst] = i[a] cmp i[b]; UNKNOWN when either is null.
+  kCmpDbl,      // t[dst] = d[a] cmp d[b]; UNKNOWN when either is null.
+  kCmpStr,      // t[dst] = *s[a] cmp *s[b]; UNKNOWN when either is null.
+  kArithI64,    // i[dst] = i[a] op i[b]; NULL propagates.
+  kArithDbl,    // d[dst] = d[a] op d[b]; NULL propagates.
+  kDivDbl,      // d[dst] = d[a] / d[b]; NULL on null input or zero divisor.
+  kCastDbl,     // d[dst] = (double) i[a]; inserted for mixed numerics.
+  kAnd,         // t[dst] = And(t[a], t[b])  (Kleene min).
+  kOr,          // t[dst] = Or(t[a], t[b])   (Kleene max).
+  kNot,         // t[dst] = Not(t[a]).
+  kJmpIfFalse,  // if t[a] == FALSE: t[dst] = FALSE; pc = target.
+  kJmpIfTrue,   // if t[a] == TRUE:  t[dst] = TRUE;  pc = target.
+  kIsNull,      // t[dst] = null[a] (xor `flag` for IS NOT NULL); 2VL.
+  kIsNotTrue,   // t[dst] = !(t[a] == TRUE); 2VL.
+  kTestScalar,  // t[dst] = ValueToTri(scalar reg a), per its static type.
+  kBoolToScalar,  // i[dst]/null[dst] = TriToValue(t[a]).
+  kInterpret,   // regs[dst] = expr->Eval/EvalPred(ctx); bail on type drift.
+};
+
+/// One instruction. Wider than strictly necessary; programs are tiny
+/// (typically < 16 ops) and built once per operator execution.
+struct ExprOp {
+  OpCode code = OpCode::kConst;
+  CompareOp cmp = CompareOp::kEq;    // kCmp*.
+  ArithOp arith = ArithOp::kAdd;     // kArith*.
+  bool flag = false;                 // kIsNull: negated; kInterpret: as-pred.
+  ValueType expect = ValueType::kNull;  // kLoadCol / kInterpret static type.
+  uint16_t a = 0;
+  uint16_t b = 0;
+  uint16_t dst = 0;
+  uint16_t frame = 0;                // kLoadCol.
+  uint32_t col = 0;                  // kLoadCol.
+  uint32_t target = 0;               // kJmpIf*.
+  const Expr* expr = nullptr;        // kInterpret subtree (borrowed).
+  ExprReg const_reg;                 // kConst payload.
+};
+
+/// A bound expression lowered to a flat register program.
+///
+/// Built by Compile (expr/compile.cc); evaluated with a caller-provided
+/// ExprScratch so one program can run concurrently on many threads. The
+/// program *borrows* the source expression tree: kInterpret ops call back
+/// into it, and any evaluation that trips a runtime type surprise re-runs
+/// the whole row through `Expr::EvalPred`/`Eval` — the tree must outlive
+/// the program.
+class ExprProgram {
+ public:
+  /// 3VL predicate evaluation (the compiled Expr::EvalPred).
+  TriBool EvalPred(const EvalContext& ctx, ExprScratch* scratch) const;
+
+  /// Batch predicate evaluation over rows [0, num_rows) of the staged
+  /// chunk described by `scratch` (batch_frame / batch_cols): each opcode
+  /// dispatches once per chunk and runs as a tight typed loop, so the
+  /// per-row cost is the kernel body instead of the VM switch. On success
+  /// ANDs IsTrue(predicate) for every row into `mask` and returns true.
+  ///
+  /// Returns false — with `mask` untouched — when the program cannot run
+  /// as column kernels for this chunk: a kInterpret op, a load from the
+  /// batch frame whose column is unstaged or unclean, or a non-batch-frame
+  /// load whose current value has drifted from its static type. Callers
+  /// then fall back to per-row EvalPred, which is exact.
+  ///
+  /// Evaluates all rows, including rows whose mask byte is already 0: ops
+  /// are pure and total (division by zero yields NULL), so the dead lanes
+  /// cannot raise errors and their results are discarded by the final AND.
+  /// kJmpIf* short-circuits become no-ops — both branches are computed and
+  /// kAnd/kOr produce the same Kleene result the scalar VM's jump would.
+  bool EvalPredMask(const EvalContext& ctx, const ExprScratch& scratch,
+                    ExprVecScratch* vec, size_t num_rows,
+                    uint8_t* mask) const;
+
+  /// Scalar evaluation (the compiled Expr::Eval).
+  Value Eval(const EvalContext& ctx, ExprScratch* scratch) const;
+
+  /// True when no opcode falls back to the tree interpreter. (Per-row
+  /// type-mismatch bails can still interpret, but never fire on tables
+  /// that satisfy Table::Validate.)
+  bool fully_compiled() const { return interpret_ops_ == 0; }
+  bool has_interpret() const { return interpret_ops_ != 0; }
+
+  size_t num_ops() const { return ops_.size(); }
+  size_t num_regs() const { return num_regs_; }
+  const ExprOp& op(size_t i) const { return ops_[i]; }
+  const Expr* source() const { return source_; }
+
+  /// Ensures `scratch` has enough registers for this program.
+  void PrepareScratch(ExprScratch* scratch) const {
+    if (scratch->regs.size() < num_regs_) scratch->regs.resize(num_regs_);
+  }
+
+  /// Appends every column id this program loads from `frame` to `cols`
+  /// (kLoadCol ops and, conservatively, nothing for kInterpret — the
+  /// interpreter reads rows directly, so its columns need no staging).
+  void CollectColumns(size_t frame, std::vector<uint32_t>* cols) const;
+
+  /// Disassembly, one op per line ("0: loadcol f1 c3 -> r0").
+  std::string ToString() const;
+
+ private:
+  friend class ExprCompiler;
+
+  /// Runs the program; false = bailed (caller re-interprets the tree).
+  bool Run(const EvalContext& ctx, ExprScratch* scratch) const;
+
+  std::vector<ExprOp> ops_;
+  std::deque<std::string> str_pool_;  // Stable storage for kConst strings.
+  uint16_t num_regs_ = 0;
+  uint16_t root_ = 0;
+  bool root_is_pred_ = false;
+  ValueType root_type_ = ValueType::kNull;
+  size_t interpret_ops_ = 0;
+  const Expr* source_ = nullptr;
+};
+
+/// Lowers a bound expression into an ExprProgram. Never fails: exotic or
+/// unbound nodes land in kInterpret fallback ops (semantics preserved
+/// exactly), constant subtrees are folded to kConst. `frames` are the
+/// schemas the expression was bound against, used to validate column
+/// bindings before trusting them with typed loads.
+ExprProgram Compile(const Expr& expr,
+                    const std::vector<const Schema*>& frames);
+
+}  // namespace gmdj
+
+#endif  // GMDJ_EXPR_PROGRAM_H_

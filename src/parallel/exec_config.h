@@ -3,10 +3,24 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <thread>
 #include <vector>
 
 namespace gmdj {
+
+/// How GMDJ θ conditions and aggregate arguments are evaluated.
+///
+/// kAuto defers to the GMDJ_EXPR_EVAL environment variable ("interpret" or
+/// "compiled"; anything else, or unset, means compiled). The interpreter is
+/// kept as the ablation baseline and as the oracle differential tests
+/// compare against.
+enum class ExprEvalMode : unsigned char {
+  kAuto = 0,
+  kCompiled,
+  kInterpret,
+};
 
 /// Timing/row record for one morsel processed by the parallel GMDJ
 /// evaluator. Collected into ExecConfig::morsel_trace when set, so
@@ -44,6 +58,23 @@ struct ExecConfig {
   /// When set, the parallel GMDJ evaluator appends one MorselTiming per
   /// morsel here (not thread-safe to share across concurrent queries).
   std::vector<MorselTiming>* morsel_trace = nullptr;
+
+  /// Expression evaluation mode for GMDJ conditions (see ExprEvalMode).
+  ExprEvalMode expr_eval_mode = ExprEvalMode::kAuto;
+
+  /// Resolves kAuto against the GMDJ_EXPR_EVAL environment variable. The
+  /// env lookup happens once per process; explicit modes win over the env.
+  ExprEvalMode ResolvedExprEvalMode() const {
+    if (expr_eval_mode != ExprEvalMode::kAuto) return expr_eval_mode;
+    static const ExprEvalMode env_mode = [] {
+      const char* env = std::getenv("GMDJ_EXPR_EVAL");
+      if (env != nullptr && std::strcmp(env, "interpret") == 0) {
+        return ExprEvalMode::kInterpret;
+      }
+      return ExprEvalMode::kCompiled;
+    }();
+    return env_mode;
+  }
 
   size_t ResolvedThreads() const {
     if (num_threads > 0) return num_threads;

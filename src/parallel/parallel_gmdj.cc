@@ -8,7 +8,9 @@
 #include "common/fault_injection.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "exec/detail_batch.h"
 #include "expr/expr.h"
+#include "expr/program.h"
 #include "parallel/thread_pool.h"
 #include "types/tribool.h"
 
@@ -44,6 +46,13 @@ struct SlotState {
   EvalContext ectx;
   Row probe_key;
   std::vector<uint32_t> stab_scratch;
+  // Compiled mode: the slot's columnar staging buffer, register files
+  // (row-wise and batch), and per-condition detail-only pass masks (all
+  // reused across chunks).
+  DetailBatch batch;
+  ExprScratch scratch;
+  ExprVecScratch vec_scratch;
+  std::vector<std::vector<uint8_t>> pass;
   ExecStats stats;
   std::vector<MorselTiming> timings;
 };
@@ -83,15 +92,24 @@ void InitSlot(SlotState* slot, const GmdjEvalInput& in) {
   std::iota(slot->active.begin(), slot->active.end(), 0);
   slot->ectx.PushFrame(in.base_schema, nullptr);
   slot->ectx.PushFrame(in.detail_schema, nullptr);
+  if (in.compiled) {
+    slot->batch.Configure(*in.detail_schema, in.batch_columns);
+    slot->scratch.batch_frame = 1;
+    slot->pass.resize(in.runtimes->size());
+  }
 }
 
-void UpdateAggs(const GmdjCondition& cond, size_t offset, size_t b,
-                const GmdjEvalInput& in, SlotState* slot) {
+void UpdateAggs(const GmdjCondition& cond, const GmdjCondPrograms* progs,
+                size_t offset, size_t b, const GmdjEvalInput& in,
+                SlotState* slot) {
   AggState* entry_states = &slot->states[b * in.total_aggs + offset];
   for (size_t a = 0; a < cond.aggs.size(); ++a) {
     const AggSpec& agg = cond.aggs[a];
     if (agg.kind == AggKind::kCountStar) {
       ++entry_states[a].count;  // Avoids a Value temporary per pair.
+    } else if (progs != nullptr && progs->agg_args[a] != nullptr) {
+      entry_states[a].Update(
+          agg.kind, progs->agg_args[a]->Eval(slot->ectx, &slot->scratch));
     } else {
       entry_states[a].Update(agg.kind, agg.arg->Eval(slot->ectx));
     }
@@ -135,107 +153,232 @@ Status ProcessMorsel(const GmdjEvalInput& in, size_t begin, size_t end,
     slot->active_rebuild_mark = retired;
   }
 
-  for (size_t r = begin; r < end; ++r) {
+  // The morsel is consumed in staging chunks; the chunk size doubles as
+  // the mid-morsel liveness stride (~1k rows, as before the columnar path
+  // existed): a sibling's failure or this query's cancellation stops the
+  // scan within a chunk, not a whole morsel.
+  constexpr size_t kChunkRows = 1024;
+  const bool compiled = in.compiled;
+  for (size_t chunk = begin; chunk < end; chunk += kChunkRows) {
     if (shared->num_discarded.load(std::memory_order_relaxed) == n) {
       return Status::OK();  // Every base tuple is decided.
     }
-    // Mid-morsel liveness: a sibling's failure or this query's
-    // cancellation stops the scan within ~1k rows, not a whole morsel.
-    if ((r & 1023u) == 0 && r != begin) {
+    if (chunk != begin) {
       if (shared->failed.load(std::memory_order_acquire)) {
         return Status::OK();  // The recorded first error wins.
       }
       if (in.query != nullptr) GMDJ_RETURN_IF_ERROR(in.query->CheckAlive());
     }
-    const Row& drow = detail.row(r);
-    slot->ectx.SetRow(1, &drow);
+    const size_t chunk_rows = std::min(kChunkRows, end - chunk);
 
-    for (const GmdjCondRuntime& rt : *in.runtimes) {
-      if (rt.skip) continue;
-      // Per-detail filters first (e.g. F.Protocol = "HTTP").
-      bool detail_ok = true;
-      for (const Expr* e : rt.analysis->detail_only) {
-        slot->stats.predicate_evals += 1;
-        if (!IsTrue(e->EvalPred(slot->ectx))) {
-          detail_ok = false;
-          break;
+    if (compiled) {
+      // Decode the chunk once into typed columns, then run each
+      // condition's detail-only conjuncts as per-column loops with
+      // progressive filtering (conjunct j only visits survivors of
+      // conjuncts < j, preserving short-circuit eval counts).
+      slot->batch.Stage(detail, chunk, chunk_rows);
+      slot->scratch.batch_cols = slot->batch.column_ptrs();
+      slot->scratch.batch_num_cols = slot->batch.num_columns();
+      for (size_t ci = 0; ci < in.runtimes->size(); ++ci) {
+        const GmdjCondRuntime& rt = (*in.runtimes)[ci];
+        if (rt.skip || rt.progs->detail_only.empty()) continue;
+        std::vector<uint8_t>& mask = slot->pass[ci];
+        mask.assign(chunk_rows, 1);
+        for (const ExprProgram& prog : rt.progs->detail_only) {
+          // predicate_evals counts survivors of conjuncts < j (the
+          // interpreter's short-circuit count), even though the batch
+          // kernels evaluate every lane — dead-lane results are discarded
+          // by the mask AND and ops are total, so this is invisible.
+          size_t survivors = 0;
+          for (size_t i = 0; i < chunk_rows; ++i) survivors += mask[i];
+          if (survivors == 0) break;
+          if (prog.EvalPredMask(slot->ectx, slot->scratch,
+                                &slot->vec_scratch, chunk_rows,
+                                mask.data())) {
+            slot->stats.predicate_evals += survivors;
+            continue;
+          }
+          for (size_t i = 0; i < chunk_rows; ++i) {
+            if (!mask[i]) continue;
+            slot->scratch.batch_row = i;
+            slot->ectx.SetRow(1, &detail.row(chunk + i));
+            slot->stats.predicate_evals += 1;
+            if (!IsTrue(prog.EvalPred(slot->ectx, &slot->scratch))) {
+              mask[i] = 0;
+            }
+          }
         }
       }
-      if (!detail_ok) continue;
+    }
 
-      // Locate candidate base tuples.
-      const std::vector<uint32_t>* candidates = nullptr;
-      switch (rt.analysis->strategy) {
-        case CondStrategy::kHash: {
-          slot->probe_key.clear();
-          bool null_key = false;
-          for (const EqBinding& eq : rt.analysis->eq_bindings) {
-            const Value& v = drow[eq.detail_col];
-            if (v.is_null()) {
-              null_key = true;
+    for (size_t i = 0; i < chunk_rows; ++i) {
+      if (shared->num_discarded.load(std::memory_order_relaxed) == n) {
+        return Status::OK();
+      }
+      const size_t r = chunk + i;
+      const Row& drow = detail.row(r);
+      slot->ectx.SetRow(1, &drow);
+      slot->scratch.batch_row = i;
+
+      for (size_t ci = 0; ci < in.runtimes->size(); ++ci) {
+        const GmdjCondRuntime& rt = (*in.runtimes)[ci];
+        if (rt.skip) continue;
+        // Per-detail filters first (e.g. F.Protocol = "HTTP").
+        if (compiled) {
+          if (!rt.progs->detail_only.empty() && !slot->pass[ci][i]) continue;
+        } else {
+          bool detail_ok = true;
+          for (const Expr* e : rt.analysis->detail_only) {
+            slot->stats.predicate_evals += 1;
+            if (!IsTrue(e->EvalPred(slot->ectx))) {
+              detail_ok = false;
               break;
             }
-            slot->probe_key.push_back(v);
           }
-          if (null_key) continue;
-          slot->stats.hash_probes += 1;
-          candidates = &rt.hash->Probe(slot->probe_key);
-          break;
+          if (!detail_ok) continue;
         }
-        case CondStrategy::kInterval: {
-          const Value& v = drow[rt.analysis->interval->detail_col];
-          if (v.is_null()) continue;
-          slot->stab_scratch.clear();
-          rt.interval->Stab(v.AsDouble(), &slot->stab_scratch);
-          candidates = &slot->stab_scratch;
-          break;
-        }
-        case CondStrategy::kScan:
-          candidates = &slot->active;
-          break;
-      }
 
-      for (const uint32_t b : *candidates) {
-        if (shared->discarded[b].load(std::memory_order_relaxed)) continue;
-        if (rt.freeze_bit != 0 &&
-            (shared->frozen[b].load(std::memory_order_relaxed) &
-             rt.freeze_bit)) {
-          continue;
-        }
-        slot->ectx.SetRow(0, &base.row(b));
-        bool match = true;
-        for (const Expr* e : rt.analysis->residual) {
-          slot->stats.predicate_evals += 1;
-          if (!IsTrue(e->EvalPred(slot->ectx))) {
-            match = false;
+        // Locate candidate base tuples; key extraction reads the staged
+        // typed columns when available.
+        const std::vector<uint32_t>* candidates = nullptr;
+        switch (rt.analysis->strategy) {
+          case CondStrategy::kHash: {
+            // Unboxed int64 probe when the condition's single key column
+            // was staged clean for this chunk (CompileRuntimes only built
+            // `typed_hash` for drift-free int64 = int64 bindings).
+            if (rt.typed_hash != nullptr) {
+              const ColumnVector* cv =
+                  slot->batch.column(static_cast<uint32_t>(
+                      rt.analysis->eq_bindings[0].detail_col));
+              if (cv != nullptr && cv->type == ValueType::kInt64) {
+                if (cv->null[i]) continue;  // NULL key: no equality match.
+                slot->stats.hash_probes += 1;
+                candidates = &rt.typed_hash->Probe(cv->i64[i]);
+                break;
+              }
+            }
+            slot->probe_key.clear();
+            bool null_key = false;
+            for (const EqBinding& eq : rt.analysis->eq_bindings) {
+              const ColumnVector* cv =
+                  compiled ? slot->batch.column(
+                                 static_cast<uint32_t>(eq.detail_col))
+                           : nullptr;
+              if (cv != nullptr) {
+                if (cv->null[i]) {
+                  null_key = true;
+                  break;
+                }
+                switch (cv->type) {
+                  case ValueType::kInt64:
+                    slot->probe_key.push_back(Value(cv->i64[i]));
+                    break;
+                  case ValueType::kDouble:
+                    slot->probe_key.push_back(Value(cv->dbl[i]));
+                    break;
+                  default:
+                    slot->probe_key.push_back(Value(*cv->str[i]));
+                    break;
+                }
+                continue;
+              }
+              const Value& v = drow[eq.detail_col];
+              if (v.is_null()) {
+                null_key = true;
+                break;
+              }
+              slot->probe_key.push_back(v);
+            }
+            if (null_key) continue;
+            slot->stats.hash_probes += 1;
+            candidates = &rt.hash->Probe(slot->probe_key);
             break;
           }
-        }
-        if (!match) continue;
-
-        if (rt.action == CompletionAction::kDiscardOnMatch) {
-          Discard(b, shared);
-          continue;
-        }
-        if (rt.freeze_bit != 0) {
-          // Satisfy-on-match: the slot that wins the fetch_or races is
-          // the one (and only one) that counts the match, so the merged
-          // count is exactly 1 — the sequential frozen value.
-          const uint64_t prev = shared->frozen[b].fetch_or(
-              rt.freeze_bit, std::memory_order_relaxed);
-          if ((prev & rt.freeze_bit) == 0) {
-            UpdateAggs(*rt.cond, rt.agg_offset, b, in, slot);
+          case CondStrategy::kInterval: {
+            const uint32_t col = static_cast<uint32_t>(
+                rt.analysis->interval->detail_col);
+            const ColumnVector* cv =
+                compiled ? slot->batch.column(col) : nullptr;
+            double stab_key;
+            if (cv != nullptr && cv->type != ValueType::kString) {
+              if (cv->null[i]) continue;
+              stab_key = cv->type == ValueType::kInt64
+                             ? static_cast<double>(cv->i64[i])
+                             : cv->dbl[i];
+            } else {
+              const Value& v = drow[col];
+              if (v.is_null()) continue;
+              stab_key = v.AsDouble();
+            }
+            slot->stab_scratch.clear();
+            rt.interval->Stab(stab_key, &slot->stab_scratch);
+            candidates = &slot->stab_scratch;
+            break;
           }
-          continue;
+          case CondStrategy::kScan:
+            candidates = &slot->active;
+            break;
         }
-        UpdateAggs(*rt.cond, rt.agg_offset, b, in, slot);
-        if (rt.pair_cmp != nullptr) {
-          slot->stats.predicate_evals += 1;
-          if (IsTrue(rt.pair_cmp->EvalPred(slot->ectx))) {
-            UpdateAggs(*rt.pair_cond, rt.pair_agg_offset, b, in, slot);
+
+        const GmdjCondPrograms* progs = compiled ? rt.progs : nullptr;
+        for (const uint32_t b : *candidates) {
+          if (shared->discarded[b].load(std::memory_order_relaxed)) continue;
+          if (rt.freeze_bit != 0 &&
+              (shared->frozen[b].load(std::memory_order_relaxed) &
+               rt.freeze_bit)) {
+            continue;
+          }
+          slot->ectx.SetRow(0, &base.row(b));
+          bool match = true;
+          if (progs != nullptr) {
+            for (const ExprProgram& prog : progs->residual) {
+              slot->stats.predicate_evals += 1;
+              if (!IsTrue(prog.EvalPred(slot->ectx, &slot->scratch))) {
+                match = false;
+                break;
+              }
+            }
           } else {
-            // The ALL quantifier is violated; counts diverge forever.
+            for (const Expr* e : rt.analysis->residual) {
+              slot->stats.predicate_evals += 1;
+              if (!IsTrue(e->EvalPred(slot->ectx))) {
+                match = false;
+                break;
+              }
+            }
+          }
+          if (!match) continue;
+
+          if (rt.action == CompletionAction::kDiscardOnMatch) {
             Discard(b, shared);
+            continue;
+          }
+          if (rt.freeze_bit != 0) {
+            // Satisfy-on-match: the slot that wins the fetch_or races is
+            // the one (and only one) that counts the match, so the merged
+            // count is exactly 1 — the sequential frozen value.
+            const uint64_t prev = shared->frozen[b].fetch_or(
+                rt.freeze_bit, std::memory_order_relaxed);
+            if ((prev & rt.freeze_bit) == 0) {
+              UpdateAggs(*rt.cond, progs, rt.agg_offset, b, in, slot);
+            }
+            continue;
+          }
+          UpdateAggs(*rt.cond, progs, rt.agg_offset, b, in, slot);
+          if (rt.pair_cmp != nullptr) {
+            slot->stats.predicate_evals += 1;
+            const TriBool pair_match =
+                progs != nullptr && progs->pair_cmp != nullptr
+                    ? progs->pair_cmp->EvalPred(slot->ectx, &slot->scratch)
+                    : rt.pair_cmp->EvalPred(slot->ectx);
+            if (IsTrue(pair_match)) {
+              UpdateAggs(*rt.pair_cond,
+                         progs != nullptr ? rt.pair_progs : nullptr,
+                         rt.pair_agg_offset, b, in, slot);
+            } else {
+              // The ALL quantifier is violated; counts diverge forever.
+              Discard(b, shared);
+            }
           }
         }
       }

@@ -7,12 +7,27 @@
 #include "core/gmdj_node.h"
 #include "exec/plan.h"
 #include "expr/aggregate.h"
+#include "expr/program.h"
 #include "parallel/exec_config.h"
 #include "storage/hash_index.h"
 #include "storage/interval_index.h"
 #include "storage/table.h"
 
 namespace gmdj {
+
+/// Compiled expression programs of one GMDJ condition (expr/program.h).
+/// Built by GmdjNode::CompileRuntimes unless the evaluation mode or the
+/// "gmdj/expr-compile" fault point forces the tree interpreter. Programs
+/// borrow the condition's bound expression trees, which outlive execution.
+struct GmdjCondPrograms {
+  std::vector<ExprProgram> detail_only;  // Aligned with analysis->detail_only.
+  std::vector<ExprProgram> residual;     // Aligned with analysis->residual.
+  std::unique_ptr<ExprProgram> pair_cmp; // ψ of a fused ALL pair, if any.
+  /// Aligned with cond->aggs; null for count(*) (no argument to evaluate).
+  std::vector<std::unique_ptr<ExprProgram>> agg_args;
+  /// Every program above lowered without a kInterpret fallback op.
+  bool fully_compiled = false;
+};
 
 /// Compiled runtime form of one GMDJ condition: dispatch strategy plus
 /// completion wiring. Built once per Execute by GmdjNode and shared
@@ -30,8 +45,19 @@ struct GmdjCondRuntime {
   const GmdjCondition* pair_cond = nullptr;
   bool skip = false;  // Filtered half of a fused pair.
   std::shared_ptr<HashIndex> hash;
+  /// Unboxed probe fast path, built only in compiled mode for conditions
+  /// with exactly one int64 = int64 equality binding (and only when the
+  /// base column is drift-free). Null = probe through `hash`. The probe
+  /// site additionally requires the staged detail column to be clean
+  /// int64 for the chunk, falling back to `hash` row-wise otherwise.
+  std::shared_ptr<Int64HashIndex> typed_hash;
   std::unique_ptr<IntervalIndex> interval;
   uint64_t freeze_bit = 0;  // Nonzero for kSatisfyOnMatch conditions.
+  /// Compiled programs for this condition (null = tree interpreter).
+  /// `pair_progs` holds the fused pair's *filtered* condition programs,
+  /// whose agg_args run after a TRUE pair comparison.
+  const GmdjCondPrograms* progs = nullptr;
+  const GmdjCondPrograms* pair_progs = nullptr;
 };
 
 /// Read-only inputs of one GMDJ evaluation pass over the detail relation.
@@ -48,6 +74,13 @@ struct GmdjEvalInput {
   /// Lifecycle governance of the enclosing query; null = ungoverned.
   /// Workers poll it at every morsel boundary.
   QueryContext* query = nullptr;
+  /// True when the runtimes carry compiled programs; evaluators then stage
+  /// detail chunks into a DetailBatch over `batch_columns` and run the
+  /// typed register programs instead of the tree interpreter.
+  bool compiled = false;
+  /// Detail-schema columns the compiled programs and probe/stab key
+  /// extraction read (union across conditions); empty in interpret mode.
+  std::vector<uint32_t> batch_columns;
 };
 
 /// Per-base-tuple outcome of the detail pass, identical in layout between

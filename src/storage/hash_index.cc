@@ -91,4 +91,19 @@ Row HashIndex::ExtractKey(const Row& row) const {
   return key;
 }
 
+std::unique_ptr<Int64HashIndex> Int64HashIndex::Build(const Table& table,
+                                                      size_t key_column) {
+  GMDJ_CHECK(key_column < table.num_columns());
+  auto index = std::make_unique<Int64HashIndex>();
+  const size_t num_rows = table.num_rows();
+  index->map_.reserve(num_rows);
+  for (size_t r = 0; r < num_rows; ++r) {
+    const Value& v = table.row(r)[key_column];
+    if (v.is_null()) continue;
+    if (v.type() != ValueType::kInt64) return nullptr;  // Drift: unusable.
+    index->map_[v.int64()].push_back(static_cast<uint32_t>(r));
+  }
+  return index;
+}
+
 }  // namespace gmdj

@@ -2,6 +2,7 @@
 #define GMDJ_STORAGE_HASH_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -47,6 +48,37 @@ class HashIndex {
  private:
   std::vector<size_t> key_columns_;
   std::unordered_map<Row, std::vector<uint32_t>, RowHash, RowEq> map_;
+  std::vector<uint32_t> empty_;
+};
+
+/// Single-column int64 equality index: the unboxed probe the compiled GMDJ
+/// evaluation mode uses when a condition's one equality binding joins two
+/// int64 columns. Probing costs one integer hash instead of a Row key
+/// build + per-Value hashing/comparison.
+///
+/// Only valid when every indexed value is int64-or-NULL: the generic
+/// HashIndex deliberately equates int64 and double keys of equal numeric
+/// value, so under runtime type drift it must stay authoritative — Build
+/// returns nullptr on the first non-int64 value. Probe lists hold row
+/// indices in ascending order, exactly like HashIndex, so candidate
+/// iteration (and thus double-sum rounding) is identical on either index.
+class Int64HashIndex {
+ public:
+  /// Builds over `table[key_column]`; nullptr when any value isn't
+  /// int64-or-NULL. NULL keys are not indexed (can never equality-match).
+  static std::unique_ptr<Int64HashIndex> Build(const Table& table,
+                                               size_t key_column);
+
+  /// Row indices whose key equals `key`; empty when absent.
+  const std::vector<uint32_t>& Probe(int64_t key) const {
+    const auto it = map_.find(key);
+    return it == map_.end() ? empty_ : it->second;
+  }
+
+  size_t num_keys() const { return map_.size(); }
+
+ private:
+  std::unordered_map<int64_t, std::vector<uint32_t>> map_;
   std::vector<uint32_t> empty_;
 };
 

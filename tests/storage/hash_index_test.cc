@@ -55,6 +55,34 @@ TEST(HashIndexTest, ExtractKey) {
   EXPECT_EQ(key[1].int64(), 1);
 }
 
+TEST(Int64HashIndexTest, ProbeMatchesGenericIndex) {
+  Table t = MakeTable({"k", "v"}, {});
+  for (int i = 0; i < 200; ++i) t.AppendRow({i % 17, i});
+  t.AppendRow({Value::Null(), Value(999)});  // NULL keys are not indexed.
+  const auto typed = Int64HashIndex::Build(t, 0);
+  ASSERT_NE(typed, nullptr);
+  const HashIndex generic(t, {0});
+  EXPECT_EQ(typed->num_keys(), generic.num_keys());
+  for (int k = -1; k < 18; ++k) {
+    // Identical hit lists in identical (ascending row) order, so the two
+    // probes are interchangeable in the GMDJ candidate loop.
+    EXPECT_EQ(typed->Probe(k), generic.Probe({Value(k)})) << "k=" << k;
+  }
+}
+
+TEST(Int64HashIndexTest, RefusesDriftedColumn) {
+  // The generic index equates int64 and double keys of equal value; the
+  // unboxed index cannot, so it must refuse to build over drifted data.
+  Table t = MakeTable({"k", "v"}, {{1, 10}});
+  t.AppendRow({Value(2.0), Value(20)});
+  EXPECT_EQ(Int64HashIndex::Build(t, 0), nullptr);
+}
+
+TEST(Int64HashIndexTest, RefusesStringColumn) {
+  const Table t = MakeTable({"k:s", "v"}, {{"a", 1}});
+  EXPECT_EQ(Int64HashIndex::Build(t, 0), nullptr);
+}
+
 TEST(HashIndexTest, LargeTableAllRowsFindable) {
   Table t = MakeTable({"k", "v"}, {});
   for (int i = 0; i < 5000; ++i) t.AppendRow({i % 100, i});
