@@ -12,6 +12,7 @@
 
 #include "engine/olap_engine.h"
 #include "nested/nested_ast.h"
+#include "obs/metrics.h"
 #include "parallel/exec_config.h"
 #include "workload/ipflow.h"
 #include "workload/tpch_gen.h"
@@ -119,44 +120,30 @@ inline const char* EvalModeName() {
   return name;
 }
 
-/// Expression-compiler outcomes of the most recent measured query,
-/// exported on every JSON line alongside the governance counters.
-struct BenchExprCounters {
-  uint64_t compiled_conditions = 0;
-  uint64_t interpreter_fallbacks = 0;
-};
-inline BenchExprCounters& ExprCountersStorage() {
-  static BenchExprCounters counters;
-  return counters;
-}
-inline void SnapshotExprStats(const ExecStats& stats) {
-  ExprCountersStorage().compiled_conditions = stats.compiled_conditions;
-  ExprCountersStorage().interpreter_fallbacks = stats.interpreter_fallbacks;
+/// Metrics of the most recent measured engine (or raw plan loop),
+/// exported on every JSON line through the one serialization path,
+/// obs::MetricsSnapshot::ToJsonFields. Replaces the per-subsystem
+/// governance/expr counter structs benches used to maintain by hand.
+inline obs::MetricsSnapshot& MetricsStorage() {
+  static auto* snapshot = new obs::MetricsSnapshot();
+  return *snapshot;
 }
 
-/// Governance outcomes of the most recent RunStrategy engine, exported on
-/// every JSON line (cache evictions count pressure shedding too).
-struct BenchGovernanceCounters {
-  uint64_t cancellations = 0;
-  uint64_t deadline_exceeded = 0;
-  uint64_t mem_rejections = 0;
-  uint64_t evictions = 0;
-  uint64_t peak_reserved_bytes = 0;
-};
-inline BenchGovernanceCounters& GovernanceCountersStorage() {
-  static BenchGovernanceCounters counters;
-  return counters;
+/// Engine-based benchmarks: capture every engine metric (governance
+/// outcomes, expr compile counters, cache gauges, pool gauges) at once.
+inline void SnapshotEngineMetrics(OlapEngine* engine) {
+  MetricsStorage() = engine->SnapshotMetrics();
 }
-inline void SnapshotGovernance(OlapEngine* engine) {
-  BenchGovernanceCounters& counters = GovernanceCountersStorage();
-  const GovernanceStats stats = engine->governance_stats();
-  counters.cancellations = stats.cancellations;
-  counters.deadline_exceeded = stats.deadline_exceeded;
-  counters.mem_rejections = stats.mem_rejections;
-  counters.peak_reserved_bytes = stats.peak_reserved_bytes;
-  counters.evictions =
-      engine->agg_cache() != nullptr ? engine->agg_cache()->stats().evictions
-                                     : 0;
+
+/// Raw plan loops that bypass the engine: build the exported snapshot
+/// from the loop's own ExecStats under the same metric names.
+inline void SnapshotExecStats(const ExecStats& stats) {
+  obs::MetricsSnapshot& snap = MetricsStorage();
+  snap.counters["exec.rows_scanned"] = stats.rows_scanned;
+  snap.counters["exec.predicate_evals"] = stats.predicate_evals;
+  snap.counters["exec.hash_probes"] = stats.hash_probes;
+  snap.counters["expr.compiled_conditions"] = stats.compiled_conditions;
+  snap.counters["expr.interpreter_fallbacks"] = stats.interpreter_fallbacks;
 }
 
 /// Execution config every benchmark should install on its engine (or pass
@@ -191,9 +178,11 @@ inline void ParseBenchArgs(int* argc, char** argv) {
 
 /// Console output plus one machine-readable JSON line per measurement:
 ///   {"bench": "fig2/gmdj/30000", "threads": 4, "ms": 12.345,
-///    "cancellations": 0, "deadline_exceeded": 0, "mem_rejections": 0,
-///    "evictions": 0, "peak_reserved_bytes": 183500}
-/// so sweep scripts can `grep '^{'` instead of scraping the table.
+///    "eval_mode": "compiled", "engine.queries": 7,
+///    "governance.deadline_exceeded": 0, ...}
+/// The metric fields are spliced verbatim from the last captured
+/// MetricsSnapshot, so sweep scripts can `grep '^{'` instead of scraping
+/// the table.
 class JsonLineReporter : public benchmark::ConsoleReporter {
  public:
   void ReportRuns(const std::vector<Run>& reports) override {
@@ -203,26 +192,15 @@ class JsonLineReporter : public benchmark::ConsoleReporter {
       const double iters =
           run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
       const double ms = run.real_accumulated_time / iters * 1e3;
-      const BenchGovernanceCounters& gov = GovernanceCountersStorage();
-      const BenchExprCounters& expr = ExprCountersStorage();
+      const std::string metrics = MetricsStorage().ToJsonFields();
       // Leading newline: the console reporter leaves a color-reset escape
       // at the start of the next line; keep the JSON at column zero.
       std::fprintf(stdout,
                    "\n{\"bench\": \"%s\", \"threads\": %zu, \"ms\": %.6f, "
-                   "\"eval_mode\": \"%s\", \"compiled_conditions\": %llu, "
-                   "\"interpreter_fallbacks\": %llu, "
-                   "\"cancellations\": %llu, \"deadline_exceeded\": %llu, "
-                   "\"mem_rejections\": %llu, \"evictions\": %llu, "
-                   "\"peak_reserved_bytes\": %llu}\n",
+                   "\"eval_mode\": \"%s\"%s%s}\n",
                    run.benchmark_name().c_str(), ThreadsFlag(), ms,
-                   EvalModeName(),
-                   static_cast<unsigned long long>(expr.compiled_conditions),
-                   static_cast<unsigned long long>(expr.interpreter_fallbacks),
-                   static_cast<unsigned long long>(gov.cancellations),
-                   static_cast<unsigned long long>(gov.deadline_exceeded),
-                   static_cast<unsigned long long>(gov.mem_rejections),
-                   static_cast<unsigned long long>(gov.evictions),
-                   static_cast<unsigned long long>(gov.peak_reserved_bytes));
+                   EvalModeName(), metrics.empty() ? "" : ", ",
+                   metrics.c_str());
     }
     std::fflush(stdout);
   }
@@ -247,15 +225,14 @@ inline void RunStrategy(benchmark::State& state, OlapEngine* engine,
     if (!result.ok()) {
       // Tripped governance limits land here too; export the counters so
       // the JSON line shows WHY the measurement is missing.
-      SnapshotGovernance(engine);
+      SnapshotEngineMetrics(engine);
       state.SkipWithError(result.status().ToString().c_str());
       return;
     }
     rows = result->num_rows();
     benchmark::DoNotOptimize(rows);
   }
-  SnapshotGovernance(engine);
-  SnapshotExprStats(engine->last_stats());
+  SnapshotEngineMetrics(engine);
   state.counters["result_rows"] = static_cast<double>(rows);
   state.counters["rows_scanned"] =
       static_cast<double>(engine->last_stats().rows_scanned);
@@ -265,7 +242,7 @@ inline void RunStrategy(benchmark::State& state, OlapEngine* engine,
       static_cast<double>(engine->last_stats().predicate_evals);
   state.counters["threads"] = static_cast<double>(ThreadsFlag());
   state.counters["peak_reserved_bytes"] =
-      static_cast<double>(GovernanceCountersStorage().peak_reserved_bytes);
+      static_cast<double>(engine->governance_stats().peak_reserved_bytes);
 }
 
 }  // namespace bench

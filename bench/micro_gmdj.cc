@@ -52,12 +52,12 @@ void RunPlanLoop(benchmark::State& state, int conditions, int aggs,
       return;
     }
     benchmark::DoNotOptimize(result->num_rows());
-    bench::SnapshotExprStats(ctx.stats());
+    bench::SnapshotExecStats(ctx.stats());
   }
   state.SetItemsProcessed(state.iterations() * orders);
   state.counters["threads"] = static_cast<double>(bench::ThreadsFlag());
   state.counters["compiled_conditions"] = static_cast<double>(
-      bench::ExprCountersStorage().compiled_conditions);
+      bench::MetricsStorage().counters["expr.compiled_conditions"]);
 }
 
 void BM_Conditions(benchmark::State& state) {

@@ -7,9 +7,11 @@
 //
 // Commands:
 //   <SQL>                 advisor picks the strategy, runs, prints rows
+//   EXPLAIN [ANALYZE] <SQL>  plan (ANALYZE: run + per-operator stats)
 //   \run <strategy> <SQL> force a strategy (see \strategies)
 //   \explain [strategy] <SQL>  show the physical plan
 //   \advise <SQL>         cost estimates for every strategy
+//   \metrics              engine metrics snapshot (JSON)
 //   \tables, \schema <t>, \export <t> <path>, \help, \quit
 
 #include <cmath>
@@ -43,9 +45,14 @@ void PrintHelp() {
   std::printf(
       "Commands:\n"
       "  <SQL>                      run (advisor picks the strategy)\n"
+      "  EXPLAIN [ANALYZE] <SQL>    plan; ANALYZE runs the statement and\n"
+      "                             annotates each operator with rows,\n"
+      "                             batches, predicate evals, timings, and\n"
+      "                             GMDJ detail (RNG sizes, completion)\n"
       "  \\run <strategy> <SQL>      force a strategy\n"
       "  \\explain [strategy] <SQL>  show the physical plan\n"
       "  \\advise <SQL>              per-strategy cost estimates\n"
+      "  \\metrics                   engine metrics snapshot (JSON)\n"
       "  \\tables                    list tables\n"
       "  \\schema <table>            show a table's schema\n"
       "  \\export <table> <path>     write a table as CSV\n"
@@ -88,14 +95,28 @@ void RunSql(OlapEngine* engine, const std::string& sql) {
     std::printf("advisor error: %s\n", strategy.status().ToString().c_str());
     return;
   }
-  const auto result = engine->ExecuteSql(sql, *strategy);
+  Strategy chosen = *strategy;
+  if (parsed->explain != SqlStatement::ExplainMode::kNone) {
+    // EXPLAIN needs a physical plan; native strategies are interpreters.
+    switch (chosen) {
+      case Strategy::kNativeNaive:
+      case Strategy::kNativeSmart:
+      case Strategy::kNativeIndexed:
+      case Strategy::kNativeMemo:
+        chosen = Strategy::kGmdjOptimized;
+        break;
+      default:
+        break;
+    }
+  }
+  const auto result = engine->ExecuteSql(sql, chosen);
   if (!result.ok()) {
     std::printf("error: %s\n", result.status().ToString().c_str());
     return;
   }
   std::printf("%s(%zu rows, %.2f ms, strategy %s)\n",
               result->ToString(25).c_str(), result->num_rows(),
-              engine->last_elapsed_ms(), StrategyToString(*strategy));
+              engine->last_elapsed_ms(), StrategyToString(chosen));
 }
 
 void RunForced(OlapEngine* engine, std::istringstream* rest) {
@@ -226,6 +247,8 @@ int main() {
         for (const Strategy s : AllStrategies()) {
           std::printf("  %s\n", StrategyToString(s));
         }
+      } else if (command == "metrics") {
+        std::printf("%s\n", engine.SnapshotMetrics().ToJson().c_str());
       } else if (command == "run") {
         RunForced(&engine, &stream);
       } else if (command == "explain") {

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Gate on the cost of hot-path metric instrumentation: micro_gmdj built
+# with GMDJ_METRICS=ON must stay within a tolerance (default 3%) of the
+# GMDJ_METRICS=OFF build on the same machine.
+#
+#   check_metrics_overhead.sh <micro_gmdj_metrics_on> <micro_gmdj_metrics_off> [tolerance_pct]
+#
+# Each binary runs the 4-condition coalesced micro benchmark three times;
+# the best (minimum) time per binary is compared, which filters scheduler
+# noise the way benchmark best-of-N reporting usually does.
+set -euo pipefail
+
+on_bin=$1
+off_bin=$2
+tol=${3:-3}
+filter='micro/conditions/4'
+
+run_best() {
+  local bin=$1 best= ms
+  for _ in 1 2 3; do
+    ms=$("$bin" --benchmark_filter="$filter" --benchmark_min_time=0.2 \
+        2>/dev/null | grep '^{' |
+        sed -n 's/.*"ms": \([0-9eE.+-]*\).*/\1/p' | head -1)
+    if [ -z "$ms" ]; then
+      echo "error: no JSON ms line from $bin" >&2
+      return 1
+    fi
+    if [ -z "$best" ] || awk -v a="$ms" -v b="$best" 'BEGIN{exit !(a<b)}'
+    then
+      best=$ms
+    fi
+  done
+  echo "$best"
+}
+
+on_ms=$(run_best "$on_bin")
+off_ms=$(run_best "$off_bin")
+
+awk -v on="$on_ms" -v off="$off_ms" -v tol="$tol" 'BEGIN {
+  delta = (on - off) / off * 100.0
+  printf "micro_gmdj %s: metrics ON %.3f ms, OFF %.3f ms, delta %+.2f%% (tolerance %s%%)\n",
+         "'"$filter"'", on, off, delta, tol
+  exit (delta > tol + 0.0) ? 1 : 0
+}'

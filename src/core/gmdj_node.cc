@@ -103,6 +103,7 @@ Status GmdjNode::Prepare(const Catalog& catalog) {
 }
 
 Result<Table> GmdjNode::Execute(ExecContext* ctx) const {
+  OpScope scope(ctx, this, label());
   GmdjCacheHook* cache = ctx->gmdj_cache();
   // Completion-enabled nodes never touch the cache: completion prunes
   // (discards/freezes) base tuples according to *this query's* selection,
@@ -155,18 +156,33 @@ Result<Table> GmdjNode::Execute(ExecContext* ctx) const {
       ctx->stats().table_scans += 1;
       ctx->stats().rows_scanned += base.num_rows();
       ctx->stats().cache_hits += 1;
-      return BuildCachedOutput(ctx, base, columns);
+      if (scope.stats() != nullptr) {
+        scope.stats()->cache_outcome = obs::CacheOutcome::kHit;
+        scope.stats()->coalesced_conditions += conditions_.size();
+      }
+      scope.AddRowsIn(base.num_rows());
+      scope.AddBatches(1);
+      Result<Table> cached = BuildCachedOutput(ctx, base, columns);
+      if (cached.ok()) scope.AddRowsOut(cached->num_rows());
+      return cached;
     }
     ctx->stats().cache_misses += 1;
+    if (scope.stats() != nullptr) {
+      scope.stats()->cache_outcome = obs::CacheOutcome::kMiss;
+    }
   }
 
   GMDJ_ASSIGN_OR_RETURN(Table detail, detail_->Execute(ctx));
   ctx->stats().gmdj_ops += 1;
   ctx->stats().table_scans += 2;
   ctx->stats().rows_scanned += base.num_rows() + detail.num_rows();
+  GMDJ_METRIC_ADD(ctx->hot_metrics().rows_scanned,
+                  base.num_rows() + detail.num_rows());
+  scope.AddRowsIn(base.num_rows() + detail.num_rows());
   Result<Table> result = strategy_ == GmdjStrategy::kNaive
                              ? ExecuteNaive(ctx, base, detail)
                              : ExecuteAuto(ctx, base, detail);
+  if (result.ok()) scope.AddRowsOut(result->num_rows());
   // A cancelled or failed evaluation never publishes: `result` is only a
   // complete aggregate table when it is ok, and partial aggregates in the
   // cache would silently corrupt every later subscriber.
@@ -231,10 +247,18 @@ Result<Table> GmdjNode::ExecuteNaive(ExecContext* ctx, const Table& base,
   ectx.PushFrame(&bs, nullptr);
   ectx.PushFrame(&ds, nullptr);
 
+  obs::OperatorStats* os = ctx->op_stats(this);
+  std::vector<uint64_t> match_counts;  // Per condition, reset per base row.
+  if (os != nullptr) {
+    os->coalesced_conditions += conditions_.size();
+    os->batches += 1;
+  }
+
   for (size_t b = 0; b < base.num_rows(); ++b) {
     GMDJ_RETURN_IF_ERROR(ctx->PollQuery());
     ectx.SetRow(0, &base.row(b));
     std::vector<AggState> states(total_aggs_);
+    if (os != nullptr) match_counts.assign(conditions_.size(), 0);
     for (size_t r = 0; r < detail.num_rows(); ++r) {
       ectx.SetRow(1, &detail.row(r));
       for (size_t c = 0; c < conditions_.size(); ++c) {
@@ -243,12 +267,18 @@ Result<Table> GmdjNode::ExecuteNaive(ExecContext* ctx, const Table& base,
           ctx->stats().predicate_evals += 1;
           if (!IsTrue(cond.theta->EvalPred(ectx))) continue;
         }
+        if (os != nullptr) ++match_counts[c];
         for (size_t a = 0; a < cond.aggs.size(); ++a) {
           const AggSpec& agg = cond.aggs[a];
           states[agg_offsets_[c] + a].Update(
               agg.kind,
               agg.kind == AggKind::kCountStar ? Value() : agg.arg->Eval(ectx));
         }
+      }
+    }
+    if (os != nullptr) {
+      for (const uint64_t count : match_counts) {
+        os->rng_sizes.Record(count);
       }
     }
     Row row = PresizedBaseRow(base.row(b), total_aggs_);
@@ -344,6 +374,12 @@ Result<std::vector<GmdjCondRuntime>> GmdjNode::CompileRuntimes(
   const bool compiling =
       programs != nullptr && GMDJ_FAULT_POINT("gmdj/expr-compile").ok();
   if (!compiling) {
+    if (programs != nullptr && ctx->tracer() != nullptr) {
+      // Compilation was requested but the fault point degraded it: leave
+      // a breadcrumb in the flight recorder naming this operator.
+      ctx->tracer()->Event("fault:gmdj/expr-compile", label(),
+                           ctx->current_span());
+    }
     if (programs != nullptr) programs->clear();
     for (const GmdjCondRuntime& rt : runtimes) {
       if (!rt.skip) ctx->stats().interpreter_fallbacks += 1;
@@ -542,6 +578,7 @@ Status GmdjNode::ExecuteSequential(ExecContext* ctx, const GmdjEvalInput& in,
     if (chunk != 0) {
       GMDJ_RETURN_IF_ERROR(ctx->PollQuery());
     }
+    out->batches += 1;
     const size_t chunk_rows = std::min(kChunkRows, num_detail - chunk);
 
     if (compiled) {
@@ -711,6 +748,9 @@ Status GmdjNode::ExecuteSequential(ExecContext* ctx, const GmdjEvalInput& in,
             }
           }
           if (!match) continue;
+          if (in.rng_counts != nullptr) {
+            ++(*in.rng_counts)[b * runtimes.size() + ci];
+          }
 
           if (rt.action == CompletionAction::kDiscardOnMatch) {
             discarded[b] = 1;
@@ -756,6 +796,10 @@ Status GmdjNode::ExecuteSequential(ExecContext* ctx, const GmdjEvalInput& in,
     }
   }
   out->num_discarded = num_discarded;
+  for (size_t b = 0; b < n; ++b) {
+    out->num_freezes +=
+        static_cast<size_t>(__builtin_popcountll(frozen[b]));
+  }
   return Status::OK();
 }
 
@@ -780,10 +824,20 @@ Result<Table> GmdjNode::ExecuteAuto(ExecContext* ctx, const Table& base,
       ctx->config().ResolvedExprEvalMode() != ExprEvalMode::kInterpret;
   std::vector<GmdjCondPrograms> programs;
   std::vector<uint32_t> batch_columns;
+  obs::OperatorStats* os = ctx->op_stats(this);
+  const uint64_t compiled_before = ctx->stats().compiled_conditions;
+  const uint64_t fallbacks_before = ctx->stats().interpreter_fallbacks;
   GMDJ_ASSIGN_OR_RETURN(
       std::vector<GmdjCondRuntime> runtimes,
       CompileRuntimes(ctx, base, want_compiled ? &programs : nullptr,
                       want_compiled ? &batch_columns : nullptr));
+  if (os != nullptr) {
+    os->coalesced_conditions += conditions_.size();
+    os->compiled_conditions +=
+        ctx->stats().compiled_conditions - compiled_before;
+    os->interpreter_fallbacks +=
+        ctx->stats().interpreter_fallbacks - fallbacks_before;
+  }
 
   GmdjEvalInput in;
   in.base = &base;
@@ -800,6 +854,19 @@ Result<Table> GmdjNode::ExecuteAuto(ExecContext* ctx, const Table& base,
     for (const AggSpec& agg : cond.aggs) in.agg_kinds.push_back(agg.kind);
   }
 
+  // RNG(b, R, θ) range-size collection: per-(base row, condition) match
+  // counters, recorded into the profile histogram and the registry metric
+  // after the pass. Skipped entirely (null pointer, zero hot-path cost)
+  // unless a profile is attached or the hot-path histogram is live.
+  std::vector<uint32_t> rng_counts;
+  const bool want_rng =
+      os != nullptr ||
+      (obs::kMetricsEnabled && ctx->hot_metrics().rng_size != nullptr);
+  if (want_rng) {
+    rng_counts.assign(n * conditions_.size(), 0);
+    in.rng_counts = &rng_counts;
+  }
+
   // Morsel-parallel dispatch when the detail relation is large enough to
   // amortize thread handoff, the config allows more than one thread, and
   // the completion spec is order-independent (see ParallelGmdjSupported).
@@ -810,11 +877,30 @@ Result<Table> GmdjNode::ExecuteAuto(ExecContext* ctx, const Table& base,
                         ParallelGmdjSupported(runtimes);
 
   GmdjEvalResult result;
+  const uint64_t predicate_evals_before = ctx->stats().predicate_evals;
   if (parallel) {
     GMDJ_RETURN_IF_ERROR(
         ExecuteGmdjMorselParallel(in, config, &ctx->stats(), &result));
   } else {
     GMDJ_RETURN_IF_ERROR(ExecuteSequential(ctx, in, &result));
+  }
+  GMDJ_METRIC_ADD(ctx->hot_metrics().predicate_evals,
+                  ctx->stats().predicate_evals - predicate_evals_before);
+
+  if (os != nullptr) {
+    os->batches += result.batches;
+    os->completion_discards += result.num_discarded;
+    os->completion_freezes += result.num_freezes;
+  }
+  if (want_rng) {
+    for (size_t c = 0; c < runtimes.size(); ++c) {
+      if (runtimes[c].skip) continue;  // Fused pairs never match directly.
+      for (size_t b = 0; b < n; ++b) {
+        const uint64_t count = rng_counts[b * runtimes.size() + c];
+        if (os != nullptr) os->rng_sizes.Record(count);
+        GMDJ_METRIC_RECORD(ctx->hot_metrics().rng_size, count);
+      }
+    }
   }
 
   // ---- Emit surviving base tuples extended with their aggregates. ----

@@ -70,6 +70,63 @@ TranslateOptions TranslateOptionsFor(Strategy strategy) {
 
 }  // namespace
 
+OlapEngine::OlapEngine() {
+  // Resolve every registry handle once; recording afterwards is lock-free.
+  m_queries_ = metrics_.GetCounter("engine.queries");
+  m_cancellations_ = metrics_.GetCounter("governance.cancellations");
+  m_deadline_exceeded_ = metrics_.GetCounter("governance.deadline_exceeded");
+  m_mem_rejections_ = metrics_.GetCounter("governance.mem_rejections");
+  g_pool_reclaims_ = metrics_.GetGauge("pool.reclaims");
+  g_peak_reserved_ = metrics_.GetGauge("pool.peak_reserved_bytes");
+  // Pre-register the sampled cache gauges so snapshots always carry them
+  // (zero while the cache is disabled).
+  metrics_.GetGauge("mqo.cache_bytes");
+  metrics_.GetGauge("mqo.cache_entries");
+  metrics_.GetGauge("mqo.cache_evictions");
+  metrics_.GetGauge("mqo.cache_invalidations");
+  // Per-query ExecStats folds (RecordQueryStats).
+  metrics_.GetCounter("exec.rows_scanned");
+  metrics_.GetCounter("exec.predicate_evals");
+  metrics_.GetCounter("exec.hash_probes");
+  metrics_.GetCounter("exec.gmdj_ops");
+  metrics_.GetCounter("exec.morsels");
+  metrics_.GetCounter("expr.compiled_conditions");
+  metrics_.GetCounter("expr.interpreter_fallbacks");
+  metrics_.GetCounter("mqo.cache_hits");
+  metrics_.GetCounter("mqo.cache_misses");
+  // Hot-path handles operators record through (GMDJ_METRIC_* macros).
+  hot_metrics_.rows_scanned = metrics_.GetCounter("gmdj.rows_scanned");
+  hot_metrics_.predicate_evals = metrics_.GetCounter("gmdj.predicate_evals");
+  hot_metrics_.rng_size = metrics_.GetHistogram("gmdj.rng_size");
+}
+
+void OlapEngine::WireContext(ExecContext* ctx) {
+  ctx->set_tracer(&tracer_);
+  ctx->set_hot_metrics(hot_metrics_);
+}
+
+namespace {
+
+/// Folds one finished query's ExecStats into the engine registry — the
+/// single cold-path bridge between per-query counters and the long-lived
+/// named metrics (replaces the per-subsystem counter structs benches used
+/// to carry around).
+void RecordQueryStats(obs::MetricRegistry* metrics, const ExecStats& stats) {
+  metrics->GetCounter("exec.rows_scanned")->Add(stats.rows_scanned);
+  metrics->GetCounter("exec.predicate_evals")->Add(stats.predicate_evals);
+  metrics->GetCounter("exec.hash_probes")->Add(stats.hash_probes);
+  metrics->GetCounter("exec.gmdj_ops")->Add(stats.gmdj_ops);
+  metrics->GetCounter("exec.morsels")->Add(stats.morsels);
+  metrics->GetCounter("expr.compiled_conditions")
+      ->Add(stats.compiled_conditions);
+  metrics->GetCounter("expr.interpreter_fallbacks")
+      ->Add(stats.interpreter_fallbacks);
+  metrics->GetCounter("mqo.cache_hits")->Add(stats.cache_hits);
+  metrics->GetCounter("mqo.cache_misses")->Add(stats.cache_misses);
+}
+
+}  // namespace
+
 Result<PlanPtr> OlapEngine::Plan(const NestedSelect& query,
                                  Strategy strategy) const {
   switch (strategy) {
@@ -99,9 +156,13 @@ Result<Table> OlapEngine::Execute(const NestedSelect& query,
 Result<Table> OlapEngine::Execute(const NestedSelect& query, Strategy strategy,
                                   const QueryLimits& limits) {
   Stopwatch watch;
+  m_queries_->Add(1);
   // The context lives for exactly one query; its destruction returns every
   // reserved byte to the pool, so error unwinds cannot leak budget.
   QueryContext qctx(limits, &mem_pool_);
+  const uint32_t query_span =
+      tracer_.Start("query", obs::SpanTracer::kNoSpan,
+                    StrategyToString(strategy));
   Result<Table> result = [&]() -> Result<Table> {
     GMDJ_RETURN_IF_ERROR(GMDJ_FAULT_POINT("engine/execute"));
     switch (strategy) {
@@ -124,6 +185,8 @@ Result<Table> OlapEngine::Execute(const NestedSelect& query, Strategy strategy,
         ExecContext ctx(&catalog_, exec_config_);
         ctx.set_gmdj_cache(agg_cache_.get());
         ctx.set_query_ctx(&qctx);
+        WireContext(&ctx);
+        ctx.set_current_span(query_span);
         auto planned = plan->Execute(&ctx);
         last_stats_ = ctx.stats();
         if (agg_cache_ != nullptr) {
@@ -136,28 +199,59 @@ Result<Table> OlapEngine::Execute(const NestedSelect& query, Strategy strategy,
       }
     }
   }();
+  tracer_.End(query_span);
   last_elapsed_ms_ = watch.ElapsedMillis();
+  RecordQueryStats(&metrics_, last_stats_);
   switch (result.status().code()) {
     case StatusCode::kCancelled:
-      ++governance_.cancellations;
+      m_cancellations_->Add(1);
       break;
     case StatusCode::kDeadlineExceeded:
-      ++governance_.deadline_exceeded;
+      m_deadline_exceeded_->Add(1);
       break;
     case StatusCode::kResourceExhausted:
-      ++governance_.mem_rejections;
+      m_mem_rejections_->Add(1);
       break;
     default:
       break;
+  }
+  if (result.ok()) {
+    last_abort_dump_.clear();
+  } else {
+    // Post-mortem: the ring's most recent spans name the operators that
+    // were executing (and any fault/abort events they left) when the
+    // query died — captured before the next query overwrites the ring.
+    last_abort_dump_ = tracer_.Dump();
   }
   return result;
 }
 
 GovernanceStats OlapEngine::governance_stats() const {
-  GovernanceStats stats = governance_;
+  GovernanceStats stats;
+  stats.cancellations = m_cancellations_->Total();
+  stats.deadline_exceeded = m_deadline_exceeded_->Total();
+  stats.mem_rejections = m_mem_rejections_->Total();
   stats.pool_reclaims = mem_pool_.reclaims();
   stats.peak_reserved_bytes = mem_pool_.peak_reserved();
   return stats;
+}
+
+obs::MetricsSnapshot OlapEngine::SnapshotMetrics() {
+  // Sample the point-in-time gauges, then merge every counter/histogram.
+  g_pool_reclaims_->Set(static_cast<int64_t>(mem_pool_.reclaims()));
+  g_peak_reserved_->Set(static_cast<int64_t>(mem_pool_.peak_reserved()));
+  if (agg_cache_ != nullptr) {
+    const GmdjAggCache::Stats cache = agg_cache_->stats();
+    metrics_.GetGauge("mqo.cache_bytes")
+        ->Set(static_cast<int64_t>(cache.bytes));
+    metrics_.GetGauge("mqo.cache_entries")
+        ->Set(static_cast<int64_t>(cache.entries));
+    metrics_.GetGauge("mqo.cache_evictions")
+        ->Set(static_cast<int64_t>(cache.evictions));
+    metrics_.GetGauge("mqo.cache_invalidations")
+        ->Set(static_cast<int64_t>(cache.invalidations));
+  }
+  return metrics_.Snapshot();
 }
 
 BatchResult OlapEngine::ExecuteBatch(
@@ -188,20 +282,22 @@ void OlapEngine::DisableAggCache() {
   agg_cache_.reset();
 }
 
-Result<Table> OlapEngine::ExecuteSql(std::string_view sql,
-                                     Strategy strategy) {
-  GMDJ_ASSIGN_OR_RETURN(SqlStatement statement, ParseStatement(sql));
-  GMDJ_ASSIGN_OR_RETURN(Table rows, Execute(*statement.select, strategy));
-  if (statement.projections.empty()) return rows;
+namespace {
 
-  PlanPtr plan = std::make_unique<ValuesNode>(std::move(rows));
-  if (!statement.select_subqueries.empty()) {
+/// Stacks one GMDJ per select-list aggregate subquery on top of `plan`,
+/// coalesces them, and applies the statement's projection list. Shared by
+/// the regular ExecuteSql path (where `plan` is the materialized
+/// qualifying rows) and the EXPLAIN [ANALYZE] path (where `plan` is the
+/// base query's physical plan, so the whole statement renders as one
+/// tree).
+Result<PlanPtr> ApplySqlOutput(PlanPtr plan, SqlStatement* statement) {
+  if (!statement->select_subqueries.empty()) {
     // Select-list aggregate subqueries: one GMDJ condition each over the
     // qualifying rows, then coalesced by the optimizer so subqueries over
     // the same detail table share a single scan (the paper's Example 2.1
     // evaluation). The subqueries' correlation predicates become the θ
     // conditions directly.
-    for (SelectSubquery& entry : statement.select_subqueries) {
+    for (SelectSubquery& entry : statement->select_subqueries) {
       NestedSelect& sub = *entry.sub;
       if (sub.where != nullptr) {
         // Nested subqueries inside a select-list subquery are out of
@@ -223,12 +319,70 @@ Result<Table> OlapEngine::ExecuteSql(std::string_view sql,
     optimize.completion = false;  // No selection above these GMDJs.
     plan = OptimizeGmdjPlan(std::move(plan), optimize);
   }
-  plan = std::make_unique<ProjectNode>(std::move(plan),
-                                       std::move(statement.projections));
+  if (!statement->projections.empty()) {
+    plan = std::make_unique<ProjectNode>(std::move(plan),
+                                         std::move(statement->projections));
+  }
+  return plan;
+}
+
+/// Wraps rendered plan text as the result table of an EXPLAIN statement:
+/// one string column "plan", one row per line.
+Table PlanTextTable(const std::string& text) {
+  Schema schema;
+  schema.AddField(Field{"plan", ValueType::kString, ""});
+  Table out(schema);
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    if (end > start) {
+      out.AppendRow({Value(text.substr(start, end - start))});
+    }
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Table> OlapEngine::ExecuteSql(std::string_view sql,
+                                     Strategy strategy) {
+  GMDJ_ASSIGN_OR_RETURN(SqlStatement statement, ParseStatement(sql));
+  if (statement.explain != SqlStatement::ExplainMode::kNone) {
+    switch (strategy) {
+      case Strategy::kNativeNaive:
+      case Strategy::kNativeSmart:
+      case Strategy::kNativeIndexed:
+      case Strategy::kNativeMemo:
+        return Status::InvalidArgument(
+            std::string("EXPLAIN requires a plan-based strategy: ") +
+            StrategyToString(strategy));
+      default:
+        break;
+    }
+    GMDJ_ASSIGN_OR_RETURN(PlanPtr plan, Plan(*statement.select, strategy));
+    GMDJ_ASSIGN_OR_RETURN(plan, ApplySqlOutput(std::move(plan), &statement));
+    if (statement.explain == SqlStatement::ExplainMode::kAnalyze) {
+      GMDJ_ASSIGN_OR_RETURN(std::string text,
+                            ExplainAnalyzePlan(std::move(plan), {}));
+      return PlanTextTable(text);
+    }
+    GMDJ_RETURN_IF_ERROR(plan->Prepare(catalog_));
+    return PlanTextTable(plan->ToString());
+  }
+
+  GMDJ_ASSIGN_OR_RETURN(Table rows, Execute(*statement.select, strategy));
+  if (statement.projections.empty()) return rows;
+
+  PlanPtr plan = std::make_unique<ValuesNode>(std::move(rows));
+  GMDJ_ASSIGN_OR_RETURN(plan, ApplySqlOutput(std::move(plan), &statement));
   GMDJ_RETURN_IF_ERROR(plan->Prepare(catalog_));
   ExecContext ctx(&catalog_, exec_config_);
+  WireContext(&ctx);
   auto result = plan->Execute(&ctx);
   last_stats_.gmdj_ops += ctx.stats().gmdj_ops;
+  RecordQueryStats(&metrics_, ctx.stats());
   return result;
 }
 
@@ -249,12 +403,60 @@ Result<std::string> OlapEngine::Explain(const NestedSelect& query,
   }
 }
 
+Result<std::string> OlapEngine::ExplainAnalyze(
+    const NestedSelect& query, Strategy strategy,
+    const AnalyzeRenderOptions& options) {
+  switch (strategy) {
+    case Strategy::kNativeNaive:
+    case Strategy::kNativeSmart:
+    case Strategy::kNativeIndexed:
+    case Strategy::kNativeMemo:
+      return Status::InvalidArgument(
+          std::string("EXPLAIN ANALYZE requires a plan-based strategy: ") +
+          StrategyToString(strategy));
+    default:
+      break;
+  }
+  GMDJ_ASSIGN_OR_RETURN(PlanPtr plan, Plan(query, strategy));
+  return ExplainAnalyzePlan(std::move(plan), options);
+}
+
+Result<std::string> OlapEngine::ExplainAnalyzePlan(
+    PlanPtr plan, const AnalyzeRenderOptions& options) {
+  Stopwatch watch;
+  m_queries_->Add(1);
+  const obs::Clock& clock = tracer_.clock();
+  const uint64_t prepare_start = clock.NowNanos();
+  GMDJ_RETURN_IF_ERROR(plan->Prepare(catalog_));
+  const uint64_t prepare_nanos = clock.NowNanos() - prepare_start;
+
+  obs::PlanProfile profile;
+  ExecContext ctx(&catalog_, exec_config_);
+  ctx.set_gmdj_cache(agg_cache_.get());
+  WireContext(&ctx);
+  ctx.set_profile(&profile);
+  const uint32_t span = tracer_.Start("explain-analyze");
+  ctx.set_current_span(span);
+  Result<Table> executed = plan->Execute(&ctx);
+  tracer_.End(span);
+  last_stats_ = ctx.stats();
+  last_elapsed_ms_ = watch.ElapsedMillis();
+  RecordQueryStats(&metrics_, ctx.stats());
+  GMDJ_RETURN_IF_ERROR(executed.status());
+  // Whole-plan Prepare cost (binding, index builds deferred to Execute
+  // excluded) lands on the root operator; per-operator Execute phases are
+  // timed exclusively by their OpScopes.
+  profile.Stats(plan.get())->prepare_nanos += prepare_nanos;
+  return RenderAnalyzedPlan(*plan, profile, options);
+}
+
 Result<Table> OlapEngine::Project(const Table& input,
                                   std::vector<ProjItem> items) {
   PlanPtr plan = std::make_unique<ValuesNode>(input);
   plan = std::make_unique<ProjectNode>(std::move(plan), std::move(items));
   GMDJ_RETURN_IF_ERROR(plan->Prepare(catalog_));
   ExecContext ctx(&catalog_, exec_config_);
+  WireContext(&ctx);
   return plan->Execute(&ctx);
 }
 

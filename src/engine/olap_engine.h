@@ -11,6 +11,9 @@
 #include "governance/query_context.h"
 #include "mqo/agg_cache.h"
 #include "nested/nested_ast.h"
+#include "obs/metrics.h"
+#include "obs/operator_stats.h"
+#include "obs/trace.h"
 #include "parallel/exec_config.h"
 #include "storage/catalog.h"
 
@@ -55,7 +58,7 @@ const std::vector<Strategy>& AllStrategies();
 /// exactly that).
 class OlapEngine {
  public:
-  OlapEngine() = default;
+  OlapEngine();
   OlapEngine(const OlapEngine&) = delete;
   OlapEngine& operator=(const OlapEngine&) = delete;
 
@@ -84,6 +87,17 @@ class OlapEngine {
 
   /// Plan rendering (or a description for native strategies).
   Result<std::string> Explain(const NestedSelect& query, Strategy strategy);
+
+  /// EXPLAIN ANALYZE: executes the query (plan-based strategies only)
+  /// with a per-operator profile and the engine tracer attached, then
+  /// renders the plan tree annotated with each operator's rows, batches,
+  /// predicate-eval / hash-probe counts, phase timings, and — for GMDJ
+  /// nodes — coalesced condition counts, completion retirements, the
+  /// RNG(b, R, θ) range-size histogram, and the cache probe outcome.
+  /// Golden tests pass `include_timings = false` to mask wall time.
+  Result<std::string> ExplainAnalyze(const NestedSelect& query,
+                                     Strategy strategy,
+                                     const AnalyzeRenderOptions& options = {});
 
   /// Convenience: evaluates projection expressions over a result table
   /// (e.g. the paper's `sum1/sum2` output column).
@@ -132,16 +146,56 @@ class OlapEngine {
 
   /// Governance counters accumulated across governed Execute calls, with
   /// pool gauges (reclaims, peak reserved bytes) sampled at call time.
+  /// A typed view over the registry metrics (the counters live there).
   GovernanceStats governance_stats() const;
 
+  /// The engine's metric registry. Every engine-level counter (governance
+  /// outcomes, scan/predicate totals, the RNG range-size histogram) lives
+  /// here; tests and benches read it through SnapshotMetrics().
+  obs::MetricRegistry* metrics() { return &metrics_; }
+
+  /// Point-in-time merge of every engine metric, with pool and cache
+  /// gauges sampled at call time. MetricsSnapshot::ToJson() is the one
+  /// serialization path (bench/bench_util.h splices ToJsonFields()).
+  obs::MetricsSnapshot SnapshotMetrics();
+
+  /// Span tracer / flight recorder shared by every query the engine runs.
+  obs::SpanTracer* tracer() { return &tracer_; }
+
+  /// Flight-recorder dump captured when the most recent governed Execute
+  /// aborted (cancelled, deadline exceeded, memory rejected, or an
+  /// injected fault); empty while the last query succeeded. The dump's
+  /// most recent spans name the operator that was executing.
+  const std::string& last_abort_dump() const { return last_abort_dump_; }
+
  private:
+  /// Tracer + hot-metric handles + clock applied to every ExecContext
+  /// the engine builds, so all execution paths feed the same registry.
+  void WireContext(ExecContext* ctx);
+
+  /// Profiled execution + rendering of an unprepared plan (the shared
+  /// back half of ExplainAnalyze and the SQL EXPLAIN ANALYZE path).
+  Result<std::string> ExplainAnalyzePlan(PlanPtr plan,
+                                         const AnalyzeRenderOptions& options);
+
   Catalog catalog_;
   ExecConfig exec_config_;
   ExecStats last_stats_;
   double last_elapsed_ms_ = 0.0;
   std::unique_ptr<GmdjAggCache> agg_cache_;
   MemoryPool mem_pool_;
-  GovernanceStats governance_;
+
+  obs::MetricRegistry metrics_;
+  obs::SpanTracer tracer_;
+  std::string last_abort_dump_;
+  // Handles resolved once against `metrics_` in the constructor.
+  obs::Counter* m_queries_ = nullptr;
+  obs::Counter* m_cancellations_ = nullptr;
+  obs::Counter* m_deadline_exceeded_ = nullptr;
+  obs::Counter* m_mem_rejections_ = nullptr;
+  obs::Gauge* g_pool_reclaims_ = nullptr;
+  obs::Gauge* g_peak_reserved_ = nullptr;
+  HotMetrics hot_metrics_;
 };
 
 }  // namespace gmdj

@@ -32,7 +32,10 @@ Status GroupAggregateNode::Prepare(const Catalog& catalog) {
 }
 
 Result<Table> GroupAggregateNode::Execute(ExecContext* ctx) const {
+  OpScope scope(ctx, this, label());
   GMDJ_ASSIGN_OR_RETURN(Table in, input_->Execute(ctx));
+  scope.AddRowsIn(in.num_rows());
+  scope.AddBatches(1);
   const Schema& in_schema = input_->output_schema();
   ctx->stats().table_scans += 1;
   ctx->stats().rows_scanned += in.num_rows();
@@ -97,6 +100,7 @@ Result<Table> GroupAggregateNode::Execute(ExecContext* ctx) const {
     out.AppendRow(std::move(row));
   }
   ctx->stats().rows_output += out.num_rows();
+  scope.AddRowsOut(out.num_rows());
   return out;
 }
 

@@ -79,8 +79,11 @@ Status HashJoinNode::Prepare(const Catalog& catalog) {
 }
 
 Result<Table> HashJoinNode::Execute(ExecContext* ctx) const {
+  OpScope scope(ctx, this, label());
   GMDJ_ASSIGN_OR_RETURN(Table l, left_->Execute(ctx));
   GMDJ_ASSIGN_OR_RETURN(Table r, right_->Execute(ctx));
+  scope.AddRowsIn(l.num_rows() + r.num_rows());
+  scope.AddBatches(2);
   ctx->stats().joins += 1;
   ctx->stats().table_scans += 2;
   ctx->stats().rows_scanned += l.num_rows() + r.num_rows();
@@ -177,6 +180,7 @@ Result<Table> HashJoinNode::Execute(ExecContext* ctx) const {
     }
   }
   ctx->stats().rows_output += out.num_rows();
+  scope.AddRowsOut(out.num_rows());
   return out;
 }
 
@@ -224,8 +228,11 @@ Status NLJoinNode::Prepare(const Catalog& catalog) {
 }
 
 Result<Table> NLJoinNode::Execute(ExecContext* ctx) const {
+  OpScope scope(ctx, this, label());
   GMDJ_ASSIGN_OR_RETURN(Table l, left_->Execute(ctx));
   GMDJ_ASSIGN_OR_RETURN(Table r, right_->Execute(ctx));
+  scope.AddRowsIn(l.num_rows() + r.num_rows());
+  scope.AddBatches(2);
   ctx->stats().joins += 1;
   ctx->stats().table_scans += 1;
   ctx->stats().rows_scanned += l.num_rows();
@@ -275,6 +282,7 @@ Result<Table> NLJoinNode::Execute(ExecContext* ctx) const {
     }
   }
   ctx->stats().rows_output += out.num_rows();
+  scope.AddRowsOut(out.num_rows());
   return out;
 }
 

@@ -20,10 +20,12 @@ Status TableScanNode::Prepare(const Catalog& catalog) {
 }
 
 Result<Table> TableScanNode::Execute(ExecContext* ctx) const {
-  (void)ctx;  // Scan is O(1); consumers account for the pass over the rows.
+  OpScope scope(ctx, this, label());
   GMDJ_CHECK(table_ != nullptr);
-  Table out = *table_;
+  Table out = *table_;  // Scan is O(1); consumers account for the pass.
   *out.mutable_schema() = output_schema_;
+  scope.AddRowsOut(out.num_rows());
+  scope.AddBatches(1);
   return out;
 }
 
@@ -45,7 +47,9 @@ Status ValuesNode::Prepare(const Catalog& catalog) {
 }
 
 Result<Table> ValuesNode::Execute(ExecContext* ctx) const {
-  (void)ctx;
+  OpScope scope(ctx, this, label());
+  scope.AddRowsOut(table_.num_rows());
+  scope.AddBatches(1);
   return table_;
 }
 
@@ -65,7 +69,10 @@ Status FilterNode::Prepare(const Catalog& catalog) {
 }
 
 Result<Table> FilterNode::Execute(ExecContext* ctx) const {
+  OpScope scope(ctx, this, label());
   GMDJ_ASSIGN_OR_RETURN(Table in, input_->Execute(ctx));
+  scope.AddRowsIn(in.num_rows());
+  scope.AddBatches(1);
   Table out(output_schema_);
   EvalContext ectx;
   ectx.PushFrame(&output_schema_, nullptr);
@@ -79,6 +86,7 @@ Result<Table> FilterNode::Execute(ExecContext* ctx) const {
     }
   }
   ctx->stats().rows_output += out.num_rows();
+  scope.AddRowsOut(out.num_rows());
   return out;
 }
 
@@ -104,7 +112,10 @@ Status ProjectNode::Prepare(const Catalog& catalog) {
 }
 
 Result<Table> ProjectNode::Execute(ExecContext* ctx) const {
+  OpScope scope(ctx, this, label());
   GMDJ_ASSIGN_OR_RETURN(Table in, input_->Execute(ctx));
+  scope.AddRowsIn(in.num_rows());
+  scope.AddBatches(1);
   Table out(output_schema_);
   out.Reserve(in.num_rows());
   EvalContext ectx;
@@ -122,6 +133,7 @@ Result<Table> ProjectNode::Execute(ExecContext* ctx) const {
     out.AppendRow(std::move(out_row));
   }
   ctx->stats().rows_output += out.num_rows();
+  scope.AddRowsOut(out.num_rows());
   return out;
 }
 
@@ -146,7 +158,10 @@ Status DistinctNode::Prepare(const Catalog& catalog) {
 }
 
 Result<Table> DistinctNode::Execute(ExecContext* ctx) const {
+  OpScope scope(ctx, this, label());
   GMDJ_ASSIGN_OR_RETURN(Table in, input_->Execute(ctx));
+  scope.AddRowsIn(in.num_rows());
+  scope.AddBatches(1);
   Table out(output_schema_);
   std::unordered_set<Row, RowHash, RowEq> seen;
   seen.reserve(in.num_rows());
@@ -158,6 +173,7 @@ Result<Table> DistinctNode::Execute(ExecContext* ctx) const {
     }
   }
   ctx->stats().rows_output += out.num_rows();
+  scope.AddRowsOut(out.num_rows());
   return out;
 }
 
@@ -180,13 +196,17 @@ Status UnionAllNode::Prepare(const Catalog& catalog) {
 }
 
 Result<Table> UnionAllNode::Execute(ExecContext* ctx) const {
+  OpScope scope(ctx, this, label());
   GMDJ_ASSIGN_OR_RETURN(Table l, left_->Execute(ctx));
   GMDJ_ASSIGN_OR_RETURN(Table r, right_->Execute(ctx));
+  scope.AddRowsIn(l.num_rows() + r.num_rows());
+  scope.AddBatches(2);
   Table out(output_schema_);
   out.Reserve(l.num_rows() + r.num_rows());
   for (const Row& row : l.rows()) out.AppendRow(row);
   for (const Row& row : r.rows()) out.AppendRow(row);
   ctx->stats().rows_output += out.num_rows();
+  scope.AddRowsOut(out.num_rows());
   return out;
 }
 
@@ -209,8 +229,11 @@ Status ExceptNode::Prepare(const Catalog& catalog) {
 }
 
 Result<Table> ExceptNode::Execute(ExecContext* ctx) const {
+  OpScope scope(ctx, this, label());
   GMDJ_ASSIGN_OR_RETURN(Table l, left_->Execute(ctx));
   GMDJ_ASSIGN_OR_RETURN(Table r, right_->Execute(ctx));
+  scope.AddRowsIn(l.num_rows() + r.num_rows());
+  scope.AddBatches(2);
   std::unordered_set<Row, RowHash, RowEq> removed(r.rows().begin(),
                                                   r.rows().end());
   std::unordered_set<Row, RowHash, RowEq> emitted;
@@ -222,6 +245,7 @@ Result<Table> ExceptNode::Execute(ExecContext* ctx) const {
     if (emitted.insert(row).second) out.AppendRow(row);
   }
   ctx->stats().rows_output += out.num_rows();
+  scope.AddRowsOut(out.num_rows());
   return out;
 }
 
@@ -241,7 +265,11 @@ Status AssertNode::Prepare(const Catalog& catalog) {
 }
 
 Result<Table> AssertNode::Execute(ExecContext* ctx) const {
+  OpScope scope(ctx, this, label());
   GMDJ_ASSIGN_OR_RETURN(Table in, input_->Execute(ctx));
+  scope.AddRowsIn(in.num_rows());
+  scope.AddRowsOut(in.num_rows());
+  scope.AddBatches(1);
   EvalContext ectx;
   ectx.PushFrame(&output_schema_, nullptr);
   for (const Row& row : in.rows()) {
@@ -270,7 +298,10 @@ Status AttachRowIdNode::Prepare(const Catalog& catalog) {
 }
 
 Result<Table> AttachRowIdNode::Execute(ExecContext* ctx) const {
+  OpScope scope(ctx, this, label());
   GMDJ_ASSIGN_OR_RETURN(Table in, input_->Execute(ctx));
+  scope.AddRowsIn(in.num_rows());
+  scope.AddBatches(1);
   Table out(output_schema_);
   out.Reserve(in.num_rows());
   for (size_t i = 0; i < in.num_rows(); ++i) {
@@ -279,6 +310,7 @@ Result<Table> AttachRowIdNode::Execute(ExecContext* ctx) const {
     out.AppendRow(std::move(row));
   }
   ctx->stats().rows_output += out.num_rows();
+  scope.AddRowsOut(out.num_rows());
   return out;
 }
 
@@ -303,7 +335,11 @@ Status SortNode::Prepare(const Catalog& catalog) {
 }
 
 Result<Table> SortNode::Execute(ExecContext* ctx) const {
+  OpScope scope(ctx, this, label());
   GMDJ_ASSIGN_OR_RETURN(Table in, input_->Execute(ctx));
+  scope.AddRowsIn(in.num_rows());
+  scope.AddRowsOut(in.num_rows());
+  scope.AddBatches(1);
   std::vector<Row>* rows = in.mutable_rows();
   std::stable_sort(rows->begin(), rows->end(),
                    [this](const Row& a, const Row& b) {

@@ -8,6 +8,10 @@
 
 #include "common/status.h"
 #include "governance/query_context.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/operator_stats.h"
+#include "obs/trace.h"
 #include "parallel/exec_config.h"
 #include "storage/catalog.h"
 #include "storage/table.h"
@@ -49,6 +53,15 @@ struct ExecStats {
 
 class GmdjCacheHook;
 
+/// Registry handles for the metrics operators record on the hot path.
+/// Resolved once by the engine (or left null: recording is null-safe and
+/// the GMDJ_METRIC_* macros compile out under GMDJ_METRICS=OFF).
+struct HotMetrics {
+  obs::Counter* rows_scanned = nullptr;
+  obs::Counter* predicate_evals = nullptr;
+  obs::Histogram* rng_size = nullptr;  // |RNG(b, R, theta)| per match set.
+};
+
 /// Execution environment handed to every operator: the catalog for table
 /// resolution, shared statistics, and the parallel-execution knobs.
 class ExecContext {
@@ -75,9 +88,16 @@ class ExecContext {
 
   /// Operator liveness poll: Cancelled/DeadlineExceeded aborts the query.
   /// Call at loop-stride boundaries (~1k rows / once per morsel) and
-  /// unwind with the returned Status.
+  /// unwind with the returned Status. A tripped poll drops an abort
+  /// marker into the flight recorder under the executing operator's span,
+  /// so the post-mortem dump names where the query died.
   Status PollQuery() const {
-    return query_ctx_ == nullptr ? Status::OK() : query_ctx_->CheckAlive();
+    if (query_ctx_ == nullptr) return Status::OK();
+    Status alive = query_ctx_->CheckAlive();
+    if (!alive.ok() && tracer_ != nullptr) {
+      tracer_->Event("governance/abort", alive.ToString(), current_span_);
+    }
+    return alive;
   }
 
   /// Charges `bytes` of operator state against the query's memory budget
@@ -88,12 +108,90 @@ class ExecContext {
                                  : query_ctx_->ReserveMemory(bytes);
   }
 
+  /// Per-operator profile sink (EXPLAIN ANALYZE). Null — the default —
+  /// disables collection; OpScope then costs one branch per operator.
+  void set_profile(obs::PlanProfile* profile) { profile_ = profile; }
+  obs::PlanProfile* profile() const { return profile_; }
+
+  /// Stats block for `node`, or null when profiling is off.
+  obs::OperatorStats* op_stats(const void* node) const {
+    return profile_ == nullptr ? nullptr : profile_->Stats(node);
+  }
+
+  /// Span tracer / flight recorder. Null disables span emission.
+  void set_tracer(obs::SpanTracer* tracer) { tracer_ = tracer; }
+  obs::SpanTracer* tracer() const { return tracer_; }
+
+  /// Innermost open operator span (parent handle for nested spans);
+  /// maintained by OpScope. SpanTracer::kNoSpan at query level.
+  uint32_t current_span() const { return current_span_; }
+  void set_current_span(uint32_t id) { current_span_ = id; }
+
+  /// Time source for per-phase operator timings; never null.
+  void set_clock(const obs::Clock* clock) {
+    clock_ = clock != nullptr ? clock : obs::SteadyClock::Instance();
+  }
+  const obs::Clock& clock() const { return *clock_; }
+
+  /// Hot-path metric handles (see HotMetrics); default all-null.
+  void set_hot_metrics(const HotMetrics& metrics) { hot_metrics_ = metrics; }
+  const HotMetrics& hot_metrics() const { return hot_metrics_; }
+
  private:
+  friend class OpScope;
+
   const Catalog* catalog_;
   ExecConfig config_;
   ExecStats stats_;
   GmdjCacheHook* gmdj_cache_ = nullptr;
   QueryContext* query_ctx_ = nullptr;
+  obs::PlanProfile* profile_ = nullptr;
+  obs::SpanTracer* tracer_ = nullptr;
+  uint32_t current_span_ = obs::SpanTracer::kNoSpan;
+  const obs::Clock* clock_ = obs::SteadyClock::Instance();
+  HotMetrics hot_metrics_;
+  class OpScope* active_scope_ = nullptr;
+};
+
+/// RAII guard an operator opens at the top of Execute. When a profile is
+/// attached it times the operator, opens a span under the enclosing
+/// operator's span, and attributes ExecStats deltas (predicate evals,
+/// hash probes) *exclusively* — nested scopes report their share to the
+/// parent, which subtracts it — so per-operator numbers sum to the query
+/// totals. With no profile and no tracer the whole guard is two branches.
+class OpScope {
+ public:
+  OpScope(ExecContext* ctx, const void* node, const std::string& label);
+  ~OpScope();
+  OpScope(const OpScope&) = delete;
+  OpScope& operator=(const OpScope&) = delete;
+
+  /// Explicit per-operator facts the delta attribution cannot infer.
+  void AddRowsIn(uint64_t n) {
+    if (stats_ != nullptr) stats_->rows_in += n;
+  }
+  void AddRowsOut(uint64_t n) {
+    if (stats_ != nullptr) stats_->rows_out += n;
+  }
+  void AddBatches(uint64_t n) {
+    if (stats_ != nullptr) stats_->batches += n;
+  }
+
+  /// Null when profiling is off; GMDJ fills its detail block through it.
+  obs::OperatorStats* stats() const { return stats_; }
+
+ private:
+  ExecContext* ctx_;
+  obs::OperatorStats* stats_;  // Null when profiling is off.
+  OpScope* parent_;
+  uint64_t start_nanos_ = 0;
+  uint64_t start_predicate_evals_ = 0;
+  uint64_t start_hash_probes_ = 0;
+  uint64_t child_nanos_ = 0;
+  uint64_t child_predicate_evals_ = 0;
+  uint64_t child_hash_probes_ = 0;
+  uint32_t span_ = obs::SpanTracer::kNoSpan;
+  uint32_t prev_span_ = obs::SpanTracer::kNoSpan;
 };
 
 /// Base class of the physical plan tree.
@@ -131,6 +229,20 @@ class PlanNode {
 };
 
 using PlanPtr = std::unique_ptr<PlanNode>;
+
+/// EXPLAIN ANALYZE rendering options.
+struct AnalyzeRenderOptions {
+  /// Emit the per-operator "time:" line. Golden tests turn it off (wall
+  /// time is nondeterministic); the shell leaves it on.
+  bool include_timings = true;
+};
+
+/// Renders the plan tree annotated with per-operator stats from a
+/// profiled execution. Operators the profile never saw (e.g. pruned by a
+/// cache hit upstream) render without a stats block.
+std::string RenderAnalyzedPlan(const PlanNode& root,
+                               const obs::PlanProfile& profile,
+                               const AnalyzeRenderOptions& options = {});
 
 }  // namespace gmdj
 

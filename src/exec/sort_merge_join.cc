@@ -94,8 +94,11 @@ Status SortMergeJoinNode::Prepare(const Catalog& catalog) {
 }
 
 Result<Table> SortMergeJoinNode::Execute(ExecContext* ctx) const {
+  OpScope scope(ctx, this, label());
   GMDJ_ASSIGN_OR_RETURN(Table l, left_->Execute(ctx));
   GMDJ_ASSIGN_OR_RETURN(Table r, right_->Execute(ctx));
+  scope.AddRowsIn(l.num_rows() + r.num_rows());
+  scope.AddBatches(2);
   ctx->stats().joins += 1;
   ctx->stats().table_scans += 2;
   ctx->stats().rows_scanned += l.num_rows() + r.num_rows();
@@ -178,6 +181,7 @@ Result<Table> SortMergeJoinNode::Execute(ExecContext* ctx) const {
     li = run_end;
   }
   ctx->stats().rows_output += out.num_rows();
+  scope.AddRowsOut(out.num_rows());
   return out;
 }
 

@@ -1,0 +1,53 @@
+#ifndef GMDJ_OBS_CLOCK_H_
+#define GMDJ_OBS_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace gmdj {
+namespace obs {
+
+/// Time source of the observability subsystem. Spans and per-phase
+/// operator timings read it instead of std::chrono directly, so tests can
+/// substitute a FakeClock and assert exact durations.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual uint64_t NowNanos() const = 0;
+};
+
+/// Production clock: monotonic, ns resolution, no allocation.
+class SteadyClock final : public Clock {
+ public:
+  uint64_t NowNanos() const override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  /// Process-wide instance (stateless, so sharing is free).
+  static SteadyClock* Instance() {
+    static SteadyClock clock;
+    return &clock;
+  }
+};
+
+/// Deterministic clock for tests: time moves only when advanced.
+class FakeClock final : public Clock {
+ public:
+  explicit FakeClock(uint64_t start_nanos = 0) : now_(start_nanos) {}
+
+  uint64_t NowNanos() const override { return now_; }
+  void AdvanceNanos(uint64_t nanos) { now_ += nanos; }
+  void AdvanceMicros(uint64_t micros) { now_ += micros * 1000; }
+  void AdvanceMillis(uint64_t millis) { now_ += millis * 1000 * 1000; }
+
+ private:
+  uint64_t now_;
+};
+
+}  // namespace obs
+}  // namespace gmdj
+
+#endif  // GMDJ_OBS_CLOCK_H_

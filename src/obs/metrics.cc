@@ -1,0 +1,184 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+
+namespace gmdj {
+namespace obs {
+
+size_t ThreadShardIndex() {
+  static std::atomic<size_t> next{0};
+  static thread_local const size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return slot;
+}
+
+void HistogramData::Record(uint64_t value) {
+  ++count;
+  sum += value;
+  if (value < min) min = value;
+  if (value > max) max = value;
+  ++buckets[HistogramBucket(value)];
+}
+
+void HistogramData::Merge(const HistogramData& other) {
+  count += other.count;
+  sum += other.sum;
+  if (other.count > 0) {
+    if (other.min < min) min = other.min;
+    if (other.max > max) max = other.max;
+  }
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    buckets[i] += other.buckets[i];
+  }
+}
+
+uint64_t HistogramData::Quantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the quantile among `count` recorded values (1-based).
+  const uint64_t rank =
+      static_cast<uint64_t>(q * static_cast<double>(count - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      // Clamp the bucket floor into the observed range so single-bucket
+      // histograms quote exact min/max.
+      uint64_t floor = HistogramBucketFloor(i);
+      if (floor < min) floor = min;
+      if (floor > max) floor = max;
+      return floor;
+    }
+  }
+  return max;
+}
+
+std::string HistogramData::Summary() const {
+  if (count == 0) return "count=0";
+  std::string out;
+  out += "count=" + std::to_string(count);
+  out += " sum=" + std::to_string(sum);
+  out += " min=" + std::to_string(min);
+  out += " p50=" + std::to_string(Quantile(0.5));
+  out += " p90=" + std::to_string(Quantile(0.9));
+  out += " max=" + std::to_string(max);
+  return out;
+}
+
+HistogramData ShardedHistogram::Snapshot() const {
+  HistogramData data;
+  for (const Shard& shard : shards_) {
+    uint64_t shard_count = 0;
+    for (size_t i = 0; i < kHistogramBuckets; ++i) {
+      const uint64_t n = shard.buckets[i].load(std::memory_order_relaxed);
+      shard_count += n;
+      data.buckets[i] += n;
+    }
+    if (shard_count == 0) continue;
+    data.count += shard_count;
+    data.sum += shard.sum.load(std::memory_order_relaxed);
+    const uint64_t shard_min = shard.min.load(std::memory_order_relaxed);
+    const uint64_t shard_max = shard.max.load(std::memory_order_relaxed);
+    if (shard_min < data.min) data.min = shard_min;
+    if (shard_max > data.max) data.max = shard_max;
+  }
+  return data;
+}
+
+void ShardedHistogram::Reset() {
+  for (Shard& shard : shards_) {
+    for (size_t i = 0; i < kHistogramBuckets; ++i) {
+      shard.buckets[i].store(0, std::memory_order_relaxed);
+    }
+    shard.sum.store(0, std::memory_order_relaxed);
+    shard.min.store(UINT64_MAX, std::memory_order_relaxed);
+    shard.max.store(0, std::memory_order_relaxed);
+  }
+}
+
+namespace {
+
+void AppendJsonKey(const std::string& name, std::string* out) {
+  if (!out->empty()) out->append(", ");
+  out->push_back('"');
+  out->append(name);  // Metric names are [a-z0-9._]; no escaping needed.
+  out->append("\": ");
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJsonFields() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    AppendJsonKey(name, &out);
+    out.append(std::to_string(value));
+  }
+  for (const auto& [name, value] : gauges) {
+    AppendJsonKey(name, &out);
+    out.append(std::to_string(value));
+  }
+  for (const auto& [name, hist] : histograms) {
+    AppendJsonKey(name, &out);
+    out.append("{\"count\": " + std::to_string(hist.count));
+    if (hist.count > 0) {
+      out.append(", \"sum\": " + std::to_string(hist.sum));
+      out.append(", \"min\": " + std::to_string(hist.min));
+      out.append(", \"p50\": " + std::to_string(hist.Quantile(0.5)));
+      out.append(", \"p90\": " + std::to_string(hist.Quantile(0.9)));
+      out.append(", \"max\": " + std::to_string(hist.max));
+    }
+    out.push_back('}');
+  }
+  return out;
+}
+
+MetricRegistry* MetricRegistry::Global() {
+  static MetricRegistry* registry = new MetricRegistry();
+  return registry;
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->Total();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms[name] = histogram->Snapshot();
+  }
+  return snapshot;
+}
+
+void MetricRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace obs
+}  // namespace gmdj

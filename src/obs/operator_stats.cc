@@ -1,0 +1,26 @@
+#include "obs/operator_stats.h"
+
+namespace gmdj {
+namespace obs {
+
+void OperatorStats::MergeFrom(const OperatorStats& other) {
+  rows_in += other.rows_in;
+  rows_out += other.rows_out;
+  batches += other.batches;
+  predicate_evals += other.predicate_evals;
+  hash_probes += other.hash_probes;
+  prepare_nanos += other.prepare_nanos;
+  exec_nanos += other.exec_nanos;
+  coalesced_conditions += other.coalesced_conditions;
+  completion_discards += other.completion_discards;
+  completion_freezes += other.completion_freezes;
+  compiled_conditions += other.compiled_conditions;
+  interpreter_fallbacks += other.interpreter_fallbacks;
+  if (other.cache_outcome != CacheOutcome::kNotProbed) {
+    cache_outcome = other.cache_outcome;
+  }
+  rng_sizes.Merge(other.rng_sizes);
+}
+
+}  // namespace obs
+}  // namespace gmdj

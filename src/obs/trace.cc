@@ -1,0 +1,135 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace gmdj {
+namespace obs {
+
+SpanTracer::SpanTracer(const Clock* clock, size_t capacity)
+    : clock_(clock != nullptr ? clock : SteadyClock::Instance()),
+      capacity_(capacity == 0 ? 1 : capacity) {}
+
+uint32_t SpanTracer::Start(std::string name, uint32_t parent,
+                           std::string detail) {
+  const uint64_t now = clock_->NowNanos();
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanRecord span;
+  span.id = next_id_++;
+  span.parent = parent;
+  span.name = std::move(name);
+  span.detail = std::move(detail);
+  span.start_nanos = now;
+  if (parent != kNoSpan) {
+    for (const SpanRecord& open : open_) {
+      if (open.id == parent) {
+        span.depth = open.depth + 1;
+        break;
+      }
+    }
+  }
+  open_.push_back(span);
+  return span.id;
+}
+
+void SpanTracer::SetDetail(uint32_t id, std::string detail) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (SpanRecord& open : open_) {
+    if (open.id == id) {
+      open.detail = std::move(detail);
+      return;
+    }
+  }
+}
+
+void SpanTracer::End(uint32_t id) {
+  const uint64_t now = clock_->NowNanos();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < open_.size(); ++i) {
+    if (open_[i].id != id) continue;
+    SpanRecord span = std::move(open_[i]);
+    open_.erase(open_.begin() + static_cast<ptrdiff_t>(i));
+    span.end_nanos = now;
+    if (ring_.size() < capacity_) {
+      ring_.push_back(std::move(span));
+    } else {
+      ring_[ring_pos_] = std::move(span);
+    }
+    ring_pos_ = (ring_pos_ + 1) % capacity_;
+    ++finished_;
+    return;
+  }
+}
+
+void SpanTracer::Event(std::string name, std::string detail, uint32_t parent) {
+  const uint32_t id = Start(std::move(name), parent, std::move(detail));
+  End(id);
+}
+
+std::vector<SpanRecord> SpanTracer::Recent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  // Oldest first: when the ring is full, ring_pos_ points at the oldest.
+  const size_t start = ring_.size() < capacity_ ? 0 : ring_pos_;
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<SpanRecord> SpanTracer::Open() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return open_;
+}
+
+std::string SpanTracer::Dump() const {
+  const std::vector<SpanRecord> open = Open();
+  const std::vector<SpanRecord> recent = Recent();
+
+  // Relative timestamps keep the dump stable under FakeClock and readable
+  // under a steady clock.
+  uint64_t base = UINT64_MAX;
+  for (const SpanRecord& span : open) base = std::min(base, span.start_nanos);
+  for (const SpanRecord& span : recent) base = std::min(base, span.start_nanos);
+  if (base == UINT64_MAX) base = 0;
+
+  std::string out = "flight recorder (" + std::to_string(open.size()) +
+                    " open, " + std::to_string(recent.size()) + " recent)\n";
+  auto line = [&](const SpanRecord& span, bool is_open) {
+    out.append("  ");
+    for (uint32_t d = 0; d < span.depth; ++d) out.append("  ");
+    out.append(is_open ? "* " : "- ");
+    out.append(span.name);
+    if (!span.detail.empty()) {
+      out.append(" [");
+      out.append(span.detail);
+      out.push_back(']');
+    }
+    out.append(" @");
+    out.append(std::to_string(span.start_nanos - base));
+    out.append("ns");
+    if (!is_open) {
+      out.append(" +");
+      out.append(std::to_string(span.duration_nanos()));
+      out.append("ns");
+    } else {
+      out.append(" (open)");
+    }
+    out.push_back('\n');
+  };
+  for (const SpanRecord& span : open) line(span, /*is_open=*/true);
+  for (const SpanRecord& span : recent) line(span, /*is_open=*/false);
+  return out;
+}
+
+void SpanTracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  open_.clear();
+  ring_.clear();
+  ring_pos_ = 0;
+  finished_ = 0;
+}
+
+}  // namespace obs
+}  // namespace gmdj

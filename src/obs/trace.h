@@ -1,0 +1,100 @@
+#ifndef GMDJ_OBS_TRACE_H_
+#define GMDJ_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/clock.h"
+
+namespace gmdj {
+namespace obs {
+
+/// One finished (or instantaneous) span.
+struct SpanRecord {
+  uint32_t id = 0;
+  uint32_t parent = UINT32_MAX;  // SpanTracer::kNoSpan when root.
+  uint32_t depth = 0;            // Nesting depth at start time.
+  std::string name;              // Stable site name ("gmdj", "query").
+  std::string detail;            // Free-form ("GMDJ[...]", an error text).
+  uint64_t start_nanos = 0;
+  uint64_t end_nanos = 0;
+
+  uint64_t duration_nanos() const { return end_nanos - start_nanos; }
+};
+
+/// Lightweight span tracer doubling as a flight recorder.
+///
+/// Spans carry explicit parent handles (no thread-local ambient context):
+/// the caller passes the parent's id to Start and keeps the returned id to
+/// End. Finished spans land in a fixed-capacity ring buffer — the flight
+/// recorder — whose contents Dump() renders when a query aborts
+/// (deadline exceeded, cancellation, injected fault), so the abort report
+/// names the operators that were running and what they had done.
+///
+/// The clock is pluggable: production uses SteadyClock, tests inject a
+/// FakeClock and assert exact durations and nesting.
+///
+/// All methods are thread-safe (one mutex; spans are coarse-grained —
+/// operators and queries, never per-row work).
+class SpanTracer {
+ public:
+  static constexpr uint32_t kNoSpan = UINT32_MAX;
+
+  /// Null `clock` uses the process SteadyClock. `capacity` bounds the
+  /// flight-recorder ring (oldest spans are overwritten).
+  explicit SpanTracer(const Clock* clock = nullptr, size_t capacity = 128);
+
+  SpanTracer(const SpanTracer&) = delete;
+  SpanTracer& operator=(const SpanTracer&) = delete;
+
+  /// Opens a span; the id stays valid until End. Unknown/finished parents
+  /// are allowed (depth falls back to 0): a parent may retire first when
+  /// an abort unwinds out of order.
+  uint32_t Start(std::string name, uint32_t parent = kNoSpan,
+                 std::string detail = "");
+
+  /// Replaces the span's detail text (e.g. filled after row counts are
+  /// known). No-op for unknown ids.
+  void SetDetail(uint32_t id, std::string detail);
+
+  /// Closes the span and commits it to the flight-recorder ring.
+  void End(uint32_t id);
+
+  /// Instantaneous span (start == end): fault fallbacks, abort markers.
+  void Event(std::string name, std::string detail = "",
+             uint32_t parent = kNoSpan);
+
+  /// Finished spans currently in the ring, oldest first.
+  std::vector<SpanRecord> Recent() const;
+
+  /// Spans started but not yet ended (the "currently executing" set).
+  std::vector<SpanRecord> Open() const;
+
+  /// Flight-recorder report: open spans (innermost last), then the ring,
+  /// one line per span with relative-ns timestamps. Deterministic given a
+  /// deterministic clock.
+  std::string Dump() const;
+
+  /// Drops all open spans and the ring.
+  void Clear();
+
+  const Clock& clock() const { return *clock_; }
+
+ private:
+  const Clock* clock_;
+  const size_t capacity_;
+
+  mutable std::mutex mu_;
+  uint32_t next_id_ = 0;
+  std::vector<SpanRecord> open_;  // Unordered; typically a handful.
+  std::vector<SpanRecord> ring_;  // Finished spans, ring_pos_ = next slot.
+  size_t ring_pos_ = 0;
+  uint64_t finished_ = 0;  // Total finished spans ever (ring may be full).
+};
+
+}  // namespace obs
+}  // namespace gmdj
+
+#endif  // GMDJ_OBS_TRACE_H_

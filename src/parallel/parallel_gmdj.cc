@@ -11,6 +11,7 @@
 #include "exec/detail_batch.h"
 #include "expr/expr.h"
 #include "expr/program.h"
+#include "obs/metrics.h"
 #include "parallel/thread_pool.h"
 #include "types/tribool.h"
 
@@ -53,7 +54,11 @@ struct SlotState {
   ExprScratch scratch;
   ExprVecScratch vec_scratch;
   std::vector<std::vector<uint8_t>> pass;
-  ExecStats stats;
+  // Morsel-local counters: plain adds on the hot path, flushed into the
+  // loop's sharded obs counters at each morsel boundary and then zeroed.
+  uint64_t predicate_evals = 0;
+  uint64_t hash_probes = 0;
+  std::vector<uint32_t> rng;  // |B| x |runtimes| when in.rng_counts set.
   std::vector<MorselTiming> timings;
 };
 
@@ -96,6 +101,9 @@ void InitSlot(SlotState* slot, const GmdjEvalInput& in) {
     slot->batch.Configure(*in.detail_schema, in.batch_columns);
     slot->scratch.batch_frame = 1;
     slot->pass.resize(in.runtimes->size());
+  }
+  if (in.rng_counts != nullptr) {
+    slot->rng.assign(n * in.runtimes->size(), 0);
   }
 }
 
@@ -195,14 +203,14 @@ Status ProcessMorsel(const GmdjEvalInput& in, size_t begin, size_t end,
           if (prog.EvalPredMask(slot->ectx, slot->scratch,
                                 &slot->vec_scratch, chunk_rows,
                                 mask.data())) {
-            slot->stats.predicate_evals += survivors;
+            slot->predicate_evals += survivors;
             continue;
           }
           for (size_t i = 0; i < chunk_rows; ++i) {
             if (!mask[i]) continue;
             slot->scratch.batch_row = i;
             slot->ectx.SetRow(1, &detail.row(chunk + i));
-            slot->stats.predicate_evals += 1;
+            slot->predicate_evals += 1;
             if (!IsTrue(prog.EvalPred(slot->ectx, &slot->scratch))) {
               mask[i] = 0;
             }
@@ -229,7 +237,7 @@ Status ProcessMorsel(const GmdjEvalInput& in, size_t begin, size_t end,
         } else {
           bool detail_ok = true;
           for (const Expr* e : rt.analysis->detail_only) {
-            slot->stats.predicate_evals += 1;
+            slot->predicate_evals += 1;
             if (!IsTrue(e->EvalPred(slot->ectx))) {
               detail_ok = false;
               break;
@@ -252,7 +260,7 @@ Status ProcessMorsel(const GmdjEvalInput& in, size_t begin, size_t end,
                       rt.analysis->eq_bindings[0].detail_col));
               if (cv != nullptr && cv->type == ValueType::kInt64) {
                 if (cv->null[i]) continue;  // NULL key: no equality match.
-                slot->stats.hash_probes += 1;
+                slot->hash_probes += 1;
                 candidates = &rt.typed_hash->Probe(cv->i64[i]);
                 break;
               }
@@ -290,7 +298,7 @@ Status ProcessMorsel(const GmdjEvalInput& in, size_t begin, size_t end,
               slot->probe_key.push_back(v);
             }
             if (null_key) continue;
-            slot->stats.hash_probes += 1;
+            slot->hash_probes += 1;
             candidates = &rt.hash->Probe(slot->probe_key);
             break;
           }
@@ -332,7 +340,7 @@ Status ProcessMorsel(const GmdjEvalInput& in, size_t begin, size_t end,
           bool match = true;
           if (progs != nullptr) {
             for (const ExprProgram& prog : progs->residual) {
-              slot->stats.predicate_evals += 1;
+              slot->predicate_evals += 1;
               if (!IsTrue(prog.EvalPred(slot->ectx, &slot->scratch))) {
                 match = false;
                 break;
@@ -340,7 +348,7 @@ Status ProcessMorsel(const GmdjEvalInput& in, size_t begin, size_t end,
             }
           } else {
             for (const Expr* e : rt.analysis->residual) {
-              slot->stats.predicate_evals += 1;
+              slot->predicate_evals += 1;
               if (!IsTrue(e->EvalPred(slot->ectx))) {
                 match = false;
                 break;
@@ -348,8 +356,10 @@ Status ProcessMorsel(const GmdjEvalInput& in, size_t begin, size_t end,
             }
           }
           if (!match) continue;
+          const size_t rng_slot = b * in.runtimes->size() + ci;
 
           if (rt.action == CompletionAction::kDiscardOnMatch) {
+            if (!slot->rng.empty()) ++slot->rng[rng_slot];
             Discard(b, shared);
             continue;
           }
@@ -360,13 +370,15 @@ Status ProcessMorsel(const GmdjEvalInput& in, size_t begin, size_t end,
             const uint64_t prev = shared->frozen[b].fetch_or(
                 rt.freeze_bit, std::memory_order_relaxed);
             if ((prev & rt.freeze_bit) == 0) {
+              if (!slot->rng.empty()) ++slot->rng[rng_slot];
               UpdateAggs(*rt.cond, progs, rt.agg_offset, b, in, slot);
             }
             continue;
           }
+          if (!slot->rng.empty()) ++slot->rng[rng_slot];
           UpdateAggs(*rt.cond, progs, rt.agg_offset, b, in, slot);
           if (rt.pair_cmp != nullptr) {
-            slot->stats.predicate_evals += 1;
+            slot->predicate_evals += 1;
             const TriBool pair_match =
                 progs != nullptr && progs->pair_cmp != nullptr
                     ? progs->pair_cmp->EvalPred(slot->ectx, &slot->scratch)
@@ -434,6 +446,15 @@ Status ExecuteGmdjMorselParallel(const GmdjEvalInput& in,
   SharedState shared(n);
   std::vector<SlotState> slots(parallelism);
 
+  // Worker counters route through sharded obs counters instead of an
+  // ad-hoc per-slot merge: each morsel's slot-local tallies flush with one
+  // relaxed fetch_add per counter (thread-private cache line), including
+  // for morsels that completed before an abort, and the totals fold into
+  // ExecStats exactly once below. Sequential and parallel runs of the
+  // same completion-free plan therefore report identical totals.
+  obs::ShardedCounter predicate_evals_counter;
+  obs::ShardedCounter hash_probes_counter;
+
   ThreadPool::Shared()->ParallelFor(
       num_morsels, parallelism, [&](size_t task, size_t slot_idx) {
         if (shared.failed.load(std::memory_order_acquire)) {
@@ -448,6 +469,10 @@ Status ExecuteGmdjMorselParallel(const GmdjEvalInput& in,
         const Status morsel_status =
             ProcessMorsel(in, begin, end, &slot, &shared);
         if (!morsel_status.ok()) shared.RecordError(morsel_status);
+        predicate_evals_counter.Add(slot.predicate_evals);
+        hash_probes_counter.Add(slot.hash_probes);
+        slot.predicate_evals = 0;
+        slot.hash_probes = 0;
         slot.timings.push_back(MorselTiming{
             static_cast<uint32_t>(slot_idx), static_cast<uint64_t>(begin),
             static_cast<uint64_t>(end - begin), watch.ElapsedMillis()});
@@ -472,15 +497,25 @@ Status ExecuteGmdjMorselParallel(const GmdjEvalInput& in,
         dst[a].Merge(in.agg_kinds[a], src[a]);
       }
     }
-    stats->predicate_evals += slot.stats.predicate_evals;
-    stats->hash_probes += slot.stats.hash_probes;
+    if (in.rng_counts != nullptr && !slot.rng.empty()) {
+      for (size_t i = 0; i < slot.rng.size(); ++i) {
+        (*in.rng_counts)[i] += slot.rng[i];
+      }
+    }
   }
+  stats->predicate_evals += predicate_evals_counter.Total();
+  stats->hash_probes += hash_probes_counter.Total();
   out->discarded.resize(n);
+  size_t num_freezes = 0;
   for (size_t b = 0; b < n; ++b) {
     out->discarded[b] =
         shared.discarded[b].load(std::memory_order_relaxed);
+    num_freezes += static_cast<size_t>(__builtin_popcountll(
+        shared.frozen[b].load(std::memory_order_relaxed)));
   }
   out->num_discarded = shared.num_discarded.load(std::memory_order_relaxed);
+  out->num_freezes = num_freezes;
+  out->batches = num_morsels;
 
   stats->morsels += num_morsels;
   if (config.morsel_trace != nullptr) {

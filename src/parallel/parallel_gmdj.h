@@ -81,6 +81,12 @@ struct GmdjEvalInput {
   /// Detail-schema columns the compiled programs and probe/stab key
   /// extraction read (union across conditions); empty in interpret mode.
   std::vector<uint32_t> batch_columns;
+  /// Optional |B| x |runtimes| match counters (base-major, then condition)
+  /// — the observed RNG(b, R, θ) range sizes EXPLAIN ANALYZE reports as a
+  /// histogram. Null (the default) skips collection entirely. Sized and
+  /// zeroed by the caller. Counts are "observed" sizes: completion may
+  /// retire a base tuple before all its matches are seen.
+  std::vector<uint32_t>* rng_counts = nullptr;
 };
 
 /// Per-base-tuple outcome of the detail pass, identical in layout between
@@ -90,6 +96,8 @@ struct GmdjEvalResult {
   std::vector<AggState> states;    // |B| x total_aggs, condition-major.
   std::vector<uint8_t> discarded;  // |B|; 1 = excluded from the output.
   size_t num_discarded = 0;
+  size_t num_freezes = 0;   // Satisfy-on-match freeze bits set.
+  uint64_t batches = 0;     // Staging chunks (sequential) / morsels run.
 };
 
 /// Whether the morsel-parallel evaluator reproduces the sequential
@@ -116,7 +124,10 @@ bool ParallelGmdjSupported(const std::vector<GmdjCondRuntime>& runtimes);
 /// GmdjEvalResult as the sequential pass for any thread count and any
 /// morsel dispatch order (aggregate inputs permitting: integer arithmetic
 /// is exact; double sums reassociate, as in any parallel database).
-/// Per-slot ExecStats are merged into `stats`.
+/// Worker counters (predicate evals, hash probes) accumulate slot-locally
+/// within a morsel, flush into sharded obs counters at every morsel
+/// boundary (so even aborted runs account their completed morsels), and
+/// fold into `stats` once after the loop.
 ///
 /// Error unwinding: workers poll `in.query` (cancellation/deadline) and
 /// the "parallel/morsel" fault point at every morsel boundary. The first

@@ -12,7 +12,7 @@ const std::set<std::string>& Keywords() {
       "EXISTS", "IN",       "SOME",  "ANY",   "ALL",  "AS",   "IS",
       "NULL",   "COUNT",    "SUM",   "MIN",   "MAX",  "AVG",  "TRUE",
       "FALSE",  "BETWEEN",  "COALESCE", "CASE", "WHEN", "THEN", "ELSE",
-      "END",    "LIKE"};
+      "END",    "LIKE",     "EXPLAIN", "ANALYZE"};
   return *keywords;
 }
 

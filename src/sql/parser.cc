@@ -20,15 +20,24 @@ class Parser {
     if (!statement.projections.empty()) {
       return Error("projection select lists need ParseStatement");
     }
+    if (statement.explain != SqlStatement::ExplainMode::kNone) {
+      return Error("EXPLAIN needs ParseStatement");
+    }
     return std::move(statement.select);
   }
 
   Result<SqlStatement> ParseStatementInternal() {
+    SqlStatement::ExplainMode explain = SqlStatement::ExplainMode::kNone;
+    if (ConsumeKeyword("EXPLAIN")) {
+      explain = ConsumeKeyword("ANALYZE") ? SqlStatement::ExplainMode::kAnalyze
+                                          : SqlStatement::ExplainMode::kPlan;
+    }
     GMDJ_ASSIGN_OR_RETURN(auto statement,
                           ParseSelectStatement());
     if (!AtEnd()) {
       return Error("unexpected trailing input");
     }
+    statement.explain = explain;
     return std::move(statement);
   }
 

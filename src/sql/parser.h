@@ -15,6 +15,7 @@ namespace gmdj {
 /// textual front end to everything in this repository. Supported grammar
 /// (keywords case-insensitive):
 ///
+///   statement := [EXPLAIN [ANALYZE]] query        -- ParseStatement only
 ///   query     := SELECT select FROM ident [alias] [WHERE pred]
 ///   select    := '*'
 ///              | DISTINCT column (',' column)*      -- projected base
@@ -67,9 +68,17 @@ struct SelectSubquery {
 /// reference `select_subqueries` results through their placeholder
 /// columns.
 struct SqlStatement {
+  /// EXPLAIN prefix parsed off the statement. `kPlan` (EXPLAIN) renders
+  /// the physical plan without running it; `kAnalyze` (EXPLAIN ANALYZE)
+  /// runs the statement with a per-operator profile and renders the
+  /// annotated tree. The engine returns either as a one-string-column
+  /// "plan" table, one row per output line.
+  enum class ExplainMode { kNone, kPlan, kAnalyze };
+
   std::unique_ptr<NestedSelect> select;
   std::vector<ProjItem> projections;
   std::vector<SelectSubquery> select_subqueries;
+  ExplainMode explain = ExplainMode::kNone;
 };
 
 /// Like ParseQuery, but the top-level select list may also be a list of

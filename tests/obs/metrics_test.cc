@@ -1,0 +1,183 @@
+#include "obs/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace gmdj {
+namespace obs {
+namespace {
+
+TEST(ShardedCounterTest, AddAndTotal) {
+  ShardedCounter counter;
+  EXPECT_EQ(counter.Total(), 0u);
+  counter.Add(3);
+  counter.Add(4);
+  EXPECT_EQ(counter.Total(), 7u);
+  counter.Reset();
+  EXPECT_EQ(counter.Total(), 0u);
+}
+
+// The satellite-2 contract: counters hammered from many threads lose
+// nothing. Run under TSan (the CI thread-sanitizer job includes this
+// binary) this also proves the sharded fast path is race-free.
+TEST(ShardedCounterTest, EightThreadsExactTotal) {
+  ShardedCounter counter;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter.Add(1);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.Total(), kThreads * kPerThread);
+}
+
+TEST(HistogramBucketTest, Log2Buckets) {
+  EXPECT_EQ(HistogramBucket(0), 0u);
+  EXPECT_EQ(HistogramBucket(1), 1u);
+  EXPECT_EQ(HistogramBucket(2), 2u);
+  EXPECT_EQ(HistogramBucket(3), 2u);
+  EXPECT_EQ(HistogramBucket(4), 3u);
+  EXPECT_EQ(HistogramBucket(UINT64_MAX), 64u);
+  EXPECT_EQ(HistogramBucketFloor(0), 0u);
+  EXPECT_EQ(HistogramBucketFloor(1), 1u);
+  EXPECT_EQ(HistogramBucketFloor(2), 2u);
+  EXPECT_EQ(HistogramBucketFloor(3), 4u);
+}
+
+TEST(HistogramDataTest, RecordMergeQuantile) {
+  HistogramData h;
+  EXPECT_EQ(h.Summary(), "count=0");
+  for (uint64_t v : {0u, 1u, 1u, 2u, 8u}) h.Record(v);
+  EXPECT_EQ(h.count, 5u);
+  EXPECT_EQ(h.sum, 12u);
+  EXPECT_EQ(h.min, 0u);
+  EXPECT_EQ(h.max, 8u);
+  EXPECT_EQ(h.Quantile(0.0), 0u);
+  EXPECT_EQ(h.Quantile(1.0), 8u);
+
+  HistogramData other;
+  other.Record(16);
+  h.Merge(other);
+  EXPECT_EQ(h.count, 6u);
+  EXPECT_EQ(h.sum, 28u);
+  EXPECT_EQ(h.max, 16u);
+}
+
+TEST(ShardedHistogramTest, EightThreadsExactCountAndSum) {
+  ShardedHistogram histogram;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        histogram.Record(static_cast<uint64_t>(t));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const HistogramData data = histogram.Snapshot();
+  EXPECT_EQ(data.count, kThreads * kPerThread);
+  // sum = kPerThread * (0 + 1 + ... + 7).
+  EXPECT_EQ(data.sum, kPerThread * 28);
+  EXPECT_EQ(data.min, 0u);
+  EXPECT_EQ(data.max, 7u);
+}
+
+TEST(MetricRegistryTest, HandlesAreStableAndNamed) {
+  MetricRegistry registry;
+  Counter* a = registry.GetCounter("x.count");
+  Counter* b = registry.GetCounter("x.count");
+  EXPECT_EQ(a, b);
+  a->Add(5);
+  EXPECT_EQ(registry.GetCounter("x.count")->Total(), 5u);
+
+  registry.GetGauge("x.gauge")->Set(-3);
+  registry.GetHistogram("x.hist")->Record(4);
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at("x.count"), 5u);
+  EXPECT_EQ(snapshot.gauges.at("x.gauge"), -3);
+  EXPECT_EQ(snapshot.histograms.at("x.hist").count, 1u);
+}
+
+// Many threads resolving and bumping the same names concurrently: handle
+// resolution is mutex-protected, recording is sharded; totals are exact.
+TEST(MetricRegistryTest, ConcurrentResolveAndRecord) {
+  MetricRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      Counter* counter = registry.GetCounter("shared.count");
+      Histogram* histogram = registry.GetHistogram("shared.hist");
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        counter->Add(1);
+        histogram->Record(i & 15);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at("shared.count"), kThreads * kPerThread);
+  EXPECT_EQ(snapshot.histograms.at("shared.hist").count,
+            kThreads * kPerThread);
+}
+
+TEST(MetricsSnapshotTest, ToJsonDeterministicSortedFields) {
+  MetricRegistry registry;
+  registry.GetCounter("b.count")->Add(2);
+  registry.GetCounter("a.count")->Add(1);
+  registry.GetGauge("g")->Set(7);
+  registry.GetHistogram("h")->Record(3);
+  const std::string json = registry.Snapshot().ToJson();
+  // Single-value histogram: quantiles clamp to the observed min/max.
+  EXPECT_EQ(json,
+            "{\"a.count\": 1, \"b.count\": 2, \"g\": 7, "
+            "\"h\": {\"count\": 1, \"sum\": 3, \"min\": 3, \"p50\": 3, "
+            "\"p90\": 3, \"max\": 3}}");
+}
+
+TEST(MetricRegistryTest, ResetForTestZeroesCountersKeepsGauges) {
+  MetricRegistry registry;
+  registry.GetCounter("c")->Add(9);
+  registry.GetGauge("g")->Set(4);
+  registry.GetHistogram("h")->Record(1);
+  registry.ResetForTest();
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at("c"), 0u);
+  EXPECT_EQ(snapshot.gauges.at("g"), 4);
+  EXPECT_EQ(snapshot.histograms.at("h").count, 0u);
+}
+
+TEST(MetricMacrosTest, NullSafeAndKnobGated) {
+  MetricRegistry registry;
+  Counter* counter = registry.GetCounter("m");
+  Histogram* histogram = registry.GetHistogram("mh");
+  Counter* null_counter = nullptr;
+  Histogram* null_histogram = nullptr;
+  GMDJ_METRIC_ADD(null_counter, 1);       // Must not crash.
+  GMDJ_METRIC_RECORD(null_histogram, 1);  // Must not crash.
+  GMDJ_METRIC_ADD(counter, 3);
+  GMDJ_METRIC_RECORD(histogram, 5);
+  if (kMetricsEnabled) {
+    EXPECT_EQ(counter->Total(), 3u);
+    EXPECT_EQ(histogram->Snapshot().count, 1u);
+  } else {
+    EXPECT_EQ(counter->Total(), 0u);
+    EXPECT_EQ(histogram->Snapshot().count, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace gmdj
