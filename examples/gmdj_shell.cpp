@@ -25,12 +25,20 @@
 #include "engine/olap_engine.h"
 #include "sql/parser.h"
 #include "storage/csv.h"
-#include "workload/ipflow.h"
-#include "workload/tpch_gen.h"
+#include "workload/warehouse.h"
 
 namespace {
 
 using namespace gmdj;
+
+/// Parse errors carry the byte offset of the offending token; point at
+/// it with a caret under the echoed statement.
+void PrintParseError(const std::string& sql, const Status& status) {
+  std::printf("parse error: %s\n", status.ToString().c_str());
+  if (!status.offset().has_value()) return;
+  const size_t offset = std::min(*status.offset(), sql.size());
+  std::printf("  %s\n  %*s^\n", sql.c_str(), static_cast<int>(offset), "");
+}
 
 Strategy StrategyFromName(const std::string& name, bool* ok) {
   *ok = true;
@@ -57,6 +65,10 @@ void PrintHelp() {
       "  \\schema <table>            show a table's schema\n"
       "  \\export <table> <path>     write a table as CSV\n"
       "  \\strategies                list strategy names\n"
+      "  \\limits [deadline_ms] [mem_mb] [threads]\n"
+      "                             session governance defaults applied to\n"
+      "                             every later statement (0 = unlimited;\n"
+      "                             no args: show current)\n"
       "  \\help   \\quit\n"
       "Examples:\n"
       "  SELECT * FROM Hours H WHERE EXISTS (SELECT * FROM Flow F WHERE\n"
@@ -67,26 +79,11 @@ void PrintHelp() {
       "    H.EndInterval) AS bytes FROM Hours H\n");
 }
 
-void LoadDefaultWarehouse(OlapEngine* engine) {
-  IpFlowConfig flow_config;
-  flow_config.num_flows = 50'000;
-  engine->catalog()->PutTable("Flow", GenFlowTable(flow_config));
-  engine->catalog()->PutTable("Hours", GenHoursTable(flow_config));
-  engine->catalog()->PutTable("User", GenUserTable(flow_config));
-  TpchConfig tpch;
-  tpch.num_customers = 1'000;
-  tpch.num_orders = 20'000;
-  tpch.num_lineitems = 40'000;
-  engine->catalog()->PutTable("customer", GenCustomerTable(tpch));
-  engine->catalog()->PutTable("orders", GenOrdersTable(tpch));
-  engine->catalog()->PutTable("lineitem", GenLineitemTable(tpch));
-  engine->catalog()->PutTable("supplier", GenSupplierTable(tpch));
-}
-
-void RunSql(OlapEngine* engine, const std::string& sql) {
+void RunSql(OlapEngine* engine, const SessionLimits& limits,
+            const std::string& sql) {
   auto parsed = ParseStatement(sql);
   if (!parsed.ok()) {
-    std::printf("parse error: %s\n", parsed.status().ToString().c_str());
+    PrintParseError(sql, parsed.status());
     return;
   }
   StrategyAdvisor advisor(engine->catalog());
@@ -109,17 +106,19 @@ void RunSql(OlapEngine* engine, const std::string& sql) {
         break;
     }
   }
-  const auto result = engine->ExecuteSql(sql, chosen);
+  QueryRun run;
+  const auto result = engine->ExecuteSql(sql, chosen, limits, &run);
   if (!result.ok()) {
     std::printf("error: %s\n", result.status().ToString().c_str());
     return;
   }
   std::printf("%s(%zu rows, %.2f ms, strategy %s)\n",
               result->ToString(25).c_str(), result->num_rows(),
-              engine->last_elapsed_ms(), StrategyToString(chosen));
+              run.elapsed_ms, StrategyToString(chosen));
 }
 
-void RunForced(OlapEngine* engine, std::istringstream* rest) {
+void RunForced(OlapEngine* engine, const SessionLimits& limits,
+               std::istringstream* rest) {
   std::string name;
   *rest >> name;
   bool ok = false;
@@ -130,13 +129,35 @@ void RunForced(OlapEngine* engine, std::istringstream* rest) {
   }
   std::string sql;
   std::getline(*rest, sql);
-  const auto result = engine->ExecuteSql(sql, strategy);
+  QueryRun run;
+  const auto result = engine->ExecuteSql(sql, strategy, limits, &run);
   if (!result.ok()) {
-    std::printf("error: %s\n", result.status().ToString().c_str());
+    if (result.status().offset().has_value()) {
+      PrintParseError(sql, result.status());
+    } else {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+    }
     return;
   }
   std::printf("%s(%zu rows, %.2f ms)\n", result->ToString(25).c_str(),
-              result->num_rows(), engine->last_elapsed_ms());
+              result->num_rows(), run.elapsed_ms);
+}
+
+void SetLimits(SessionLimits* limits, std::istringstream* rest) {
+  double deadline_ms = -1.0;
+  double mem_mb = -1.0;
+  int64_t threads = -1;
+  *rest >> deadline_ms >> mem_mb >> threads;
+  if (deadline_ms >= 0) limits->deadline_ms = deadline_ms;
+  if (mem_mb >= 0) {
+    limits->mem_budget_bytes =
+        static_cast<size_t>(mem_mb * 1024.0 * 1024.0);
+  }
+  if (threads >= 0) limits->num_threads = static_cast<size_t>(threads);
+  std::printf("limits: deadline %.0f ms, memory %zu bytes, threads %zu "
+              "(0 = unlimited/default)\n",
+              limits->deadline_ms, limits->mem_budget_bytes,
+              limits->num_threads);
 }
 
 void Explain(OlapEngine* engine, std::istringstream* rest) {
@@ -152,7 +173,7 @@ void Explain(OlapEngine* engine, std::istringstream* rest) {
   }
   auto parsed = ParseQuery(sql);
   if (!parsed.ok()) {
-    std::printf("parse error: %s\n", parsed.status().ToString().c_str());
+    PrintParseError(sql, parsed.status());
     return;
   }
   const auto plan = engine->Explain(**parsed, strategy);
@@ -166,7 +187,7 @@ void Explain(OlapEngine* engine, std::istringstream* rest) {
 void Advise(OlapEngine* engine, const std::string& sql) {
   auto parsed = ParseQuery(sql);
   if (!parsed.ok()) {
-    std::printf("parse error: %s\n", parsed.status().ToString().c_str());
+    PrintParseError(sql, parsed.status());
     return;
   }
   StrategyAdvisor advisor(engine->catalog());
@@ -191,7 +212,8 @@ void Advise(OlapEngine* engine, const std::string& sql) {
 
 int main() {
   OlapEngine engine;
-  LoadDefaultWarehouse(&engine);
+  LoadDefaultWarehouse(engine.catalog());
+  SessionLimits limits;  // \limits adjusts; applied to every statement.
   const bool interactive = isatty(fileno(stdin));
   if (interactive) {
     std::printf(
@@ -250,7 +272,9 @@ int main() {
       } else if (command == "metrics") {
         std::printf("%s\n", engine.SnapshotMetrics().ToJson().c_str());
       } else if (command == "run") {
-        RunForced(&engine, &stream);
+        RunForced(&engine, limits, &stream);
+      } else if (command == "limits") {
+        SetLimits(&limits, &stream);
       } else if (command == "explain") {
         Explain(&engine, &stream);
       } else if (command == "advise") {
@@ -262,7 +286,7 @@ int main() {
       }
       continue;
     }
-    RunSql(&engine, line);
+    RunSql(&engine, limits, line);
   }
   return 0;
 }

@@ -30,6 +30,11 @@ const char* StatusCodeToString(StatusCode code);
 /// The library does not use exceptions; every operation that can fail on
 /// user input returns `Status` or `Result<T>`. Internal invariants use the
 /// GMDJ_CHECK macros instead.
+///
+/// Statuses produced by the SQL front end additionally carry the byte
+/// offset of the offending token (`offset()`), so protocol layers can
+/// return structured errors and the shell can print a caret under the
+/// exact position instead of making users count characters.
 class Status {
  public:
   /// Constructs an OK status.
@@ -70,12 +75,27 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  /// Attaches the byte offset of the offending input token (SQL front
+  /// end). Returns *this so error factories chain:
+  ///   return Status::InvalidArgument("expected FROM").WithOffset(pos);
+  Status&& WithOffset(size_t offset) && {
+    offset_ = offset;
+    return std::move(*this);
+  }
+  Status& WithOffset(size_t offset) & {
+    offset_ = offset;
+    return *this;
+  }
+  /// Byte offset in the input this error points at, if any.
+  std::optional<size_t> offset() const { return offset_; }
+
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;
 
  private:
   StatusCode code_;
   std::string message_;
+  std::optional<size_t> offset_;
 };
 
 /// Either a value of type `T` or an error `Status`.

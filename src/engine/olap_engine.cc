@@ -155,11 +155,30 @@ Result<Table> OlapEngine::Execute(const NestedSelect& query,
 
 Result<Table> OlapEngine::Execute(const NestedSelect& query, Strategy strategy,
                                   const QueryLimits& limits) {
+  SessionLimits session;
+  session.deadline_ms = limits.deadline_ms;
+  session.mem_budget_bytes = limits.mem_budget_bytes;
+  session.cancel = limits.cancel;
+  QueryRun run;
+  Result<Table> result = Execute(query, strategy, session, &run);
+  last_stats_ = run.stats;
+  last_elapsed_ms_ = run.elapsed_ms;
+  last_abort_dump_ = std::move(run.abort_dump);
+  return result;
+}
+
+Result<Table> OlapEngine::Execute(const NestedSelect& query, Strategy strategy,
+                                  const SessionLimits& session,
+                                  QueryRun* run) {
+  QueryRun local;
+  if (run == nullptr) run = &local;
   Stopwatch watch;
   m_queries_->Add(1);
   // The context lives for exactly one query; its destruction returns every
   // reserved byte to the pool, so error unwinds cannot leak budget.
-  QueryContext qctx(limits, &mem_pool_);
+  QueryContext qctx(session.ToQueryLimits(), &mem_pool_);
+  ExecConfig config = exec_config_;
+  if (session.num_threads > 0) config.num_threads = session.num_threads;
   const uint32_t query_span =
       tracer_.Start("query", obs::SpanTracer::kNoSpan,
                     StrategyToString(strategy));
@@ -176,32 +195,32 @@ Result<Table> OlapEngine::Execute(const NestedSelect& query, Strategy strategy,
         NativeEvaluator evaluator(&catalog_, NativeOptionsFor(strategy));
         std::unique_ptr<NestedSelect> clone = query.Clone();
         auto native = evaluator.Run(clone.get());
-        last_stats_ = evaluator.stats();
+        run->stats = evaluator.stats();
         return native;
       }
       default: {
         GMDJ_ASSIGN_OR_RETURN(PlanPtr plan, Plan(query, strategy));
         GMDJ_RETURN_IF_ERROR(plan->Prepare(catalog_));
-        ExecContext ctx(&catalog_, exec_config_);
+        ExecContext ctx(&catalog_, config);
         ctx.set_gmdj_cache(agg_cache_.get());
         ctx.set_query_ctx(&qctx);
         WireContext(&ctx);
         ctx.set_current_span(query_span);
         auto planned = plan->Execute(&ctx);
-        last_stats_ = ctx.stats();
+        run->stats = ctx.stats();
         if (agg_cache_ != nullptr) {
           const GmdjAggCache::Stats cache_stats = agg_cache_->stats();
-          last_stats_.cache_evictions = cache_stats.evictions;
-          last_stats_.cache_invalidations = cache_stats.invalidations;
-          last_stats_.cache_bytes = cache_stats.bytes;
+          run->stats.cache_evictions = cache_stats.evictions;
+          run->stats.cache_invalidations = cache_stats.invalidations;
+          run->stats.cache_bytes = cache_stats.bytes;
         }
         return planned;
       }
     }
   }();
   tracer_.End(query_span);
-  last_elapsed_ms_ = watch.ElapsedMillis();
-  RecordQueryStats(&metrics_, last_stats_);
+  run->elapsed_ms = watch.ElapsedMillis();
+  RecordQueryStats(&metrics_, run->stats);
   switch (result.status().code()) {
     case StatusCode::kCancelled:
       m_cancellations_->Add(1);
@@ -216,12 +235,12 @@ Result<Table> OlapEngine::Execute(const NestedSelect& query, Strategy strategy,
       break;
   }
   if (result.ok()) {
-    last_abort_dump_.clear();
+    run->abort_dump.clear();
   } else {
     // Post-mortem: the ring's most recent spans name the operators that
     // were executing (and any fault/abort events they left) when the
     // query died — captured before the next query overwrites the ring.
-    last_abort_dump_ = tracer_.Dump();
+    run->abort_dump = tracer_.Dump();
   }
   return result;
 }
@@ -348,6 +367,19 @@ Table PlanTextTable(const std::string& text) {
 
 Result<Table> OlapEngine::ExecuteSql(std::string_view sql,
                                      Strategy strategy) {
+  QueryRun run;
+  Result<Table> result = ExecuteSql(sql, strategy, SessionLimits(), &run);
+  last_stats_ = run.stats;
+  last_elapsed_ms_ = run.elapsed_ms;
+  last_abort_dump_ = std::move(run.abort_dump);
+  return result;
+}
+
+Result<Table> OlapEngine::ExecuteSql(std::string_view sql, Strategy strategy,
+                                     const SessionLimits& session,
+                                     QueryRun* run) {
+  QueryRun local;
+  if (run == nullptr) run = &local;
   GMDJ_ASSIGN_OR_RETURN(SqlStatement statement, ParseStatement(sql));
   if (statement.explain != SqlStatement::ExplainMode::kNone) {
     switch (strategy) {
@@ -365,23 +397,31 @@ Result<Table> OlapEngine::ExecuteSql(std::string_view sql,
     GMDJ_ASSIGN_OR_RETURN(plan, ApplySqlOutput(std::move(plan), &statement));
     if (statement.explain == SqlStatement::ExplainMode::kAnalyze) {
       GMDJ_ASSIGN_OR_RETURN(std::string text,
-                            ExplainAnalyzePlan(std::move(plan), {}));
+                            ExplainAnalyzePlan(std::move(plan), {}, run));
       return PlanTextTable(text);
     }
     GMDJ_RETURN_IF_ERROR(plan->Prepare(catalog_));
     return PlanTextTable(plan->ToString());
   }
 
-  GMDJ_ASSIGN_OR_RETURN(Table rows, Execute(*statement.select, strategy));
+  GMDJ_ASSIGN_OR_RETURN(Table rows,
+                        Execute(*statement.select, strategy, session, run));
   if (statement.projections.empty()) return rows;
 
+  // The projection / select-list-subquery back half is governed by its
+  // own context (cancellation and memory caps still apply; the deadline
+  // clock restarts for this bounded, already-filtered step).
+  QueryContext qctx(session.ToQueryLimits(), &mem_pool_);
+  ExecConfig config = exec_config_;
+  if (session.num_threads > 0) config.num_threads = session.num_threads;
   PlanPtr plan = std::make_unique<ValuesNode>(std::move(rows));
   GMDJ_ASSIGN_OR_RETURN(plan, ApplySqlOutput(std::move(plan), &statement));
   GMDJ_RETURN_IF_ERROR(plan->Prepare(catalog_));
-  ExecContext ctx(&catalog_, exec_config_);
+  ExecContext ctx(&catalog_, config);
+  ctx.set_query_ctx(&qctx);
   WireContext(&ctx);
   auto result = plan->Execute(&ctx);
-  last_stats_.gmdj_ops += ctx.stats().gmdj_ops;
+  run->stats.gmdj_ops += ctx.stats().gmdj_ops;
   RecordQueryStats(&metrics_, ctx.stats());
   return result;
 }
@@ -418,11 +458,16 @@ Result<std::string> OlapEngine::ExplainAnalyze(
       break;
   }
   GMDJ_ASSIGN_OR_RETURN(PlanPtr plan, Plan(query, strategy));
-  return ExplainAnalyzePlan(std::move(plan), options);
+  QueryRun run;
+  Result<std::string> rendered =
+      ExplainAnalyzePlan(std::move(plan), options, &run);
+  last_stats_ = run.stats;
+  last_elapsed_ms_ = run.elapsed_ms;
+  return rendered;
 }
 
 Result<std::string> OlapEngine::ExplainAnalyzePlan(
-    PlanPtr plan, const AnalyzeRenderOptions& options) {
+    PlanPtr plan, const AnalyzeRenderOptions& options, QueryRun* run) {
   Stopwatch watch;
   m_queries_->Add(1);
   const obs::Clock& clock = tracer_.clock();
@@ -439,8 +484,8 @@ Result<std::string> OlapEngine::ExplainAnalyzePlan(
   ctx.set_current_span(span);
   Result<Table> executed = plan->Execute(&ctx);
   tracer_.End(span);
-  last_stats_ = ctx.stats();
-  last_elapsed_ms_ = watch.ElapsedMillis();
+  run->stats = ctx.stats();
+  run->elapsed_ms = watch.ElapsedMillis();
   RecordQueryStats(&metrics_, ctx.stats());
   GMDJ_RETURN_IF_ERROR(executed.status());
   // Whole-plan Prepare cost (binding, index builds deferred to Execute

@@ -22,6 +22,18 @@ namespace gmdj {
 struct BatchOptions;
 struct BatchResult;
 
+/// Caller-owned outputs of one governed execution: the per-query stats,
+/// wall time, and (on a governed abort) the flight-recorder dump that
+/// would otherwise land in the engine-level `last_*` members. Passing a
+/// QueryRun keeps a concurrent caller's diagnostics off shared engine
+/// state — the server gives every request its own.
+struct QueryRun {
+  ExecStats stats;
+  double elapsed_ms = 0.0;
+  /// Tracer dump captured when this query aborted; empty on success.
+  std::string abort_dump;
+};
+
 /// Subquery evaluation strategies the engine can dispatch to. The first
 /// three model the paper's "native" commercial DBMS at increasing levels
 /// of sophistication; the next two are the join/outer-join unnesting
@@ -77,9 +89,29 @@ class OlapEngine {
   Result<Table> Execute(const NestedSelect& query, Strategy strategy,
                         const QueryLimits& limits);
 
+  /// Session-governed execution, the path every multi-tenant caller
+  /// should use: `session` carries deadline/memory/threads in one struct
+  /// (governance/query_context.h), and per-query diagnostics land in the
+  /// caller's `run` instead of the engine's `last_*` members.
+  ///
+  /// Thread-safe: concurrent calls on one engine are allowed (alongside
+  /// ExecuteBatch) as long as each caller passes its own QueryRun and the
+  /// catalog is not mutated concurrently. Only this overload and
+  /// ExecuteSql-with-SessionLimits make that guarantee — the legacy
+  /// overloads above write `last_stats_` and friends.
+  Result<Table> Execute(const NestedSelect& query, Strategy strategy,
+                        const SessionLimits& session, QueryRun* run = nullptr);
+
   /// Parses and runs a SQL statement (sql/parser.h), applying any
   /// top-level projection list to the qualifying rows.
   Result<Table> ExecuteSql(std::string_view sql, Strategy strategy);
+
+  /// Session-governed SQL execution (thread-safe; see the SessionLimits
+  /// Execute overload). EXPLAIN [ANALYZE] statements are supported and
+  /// return the plan-text table.
+  Result<Table> ExecuteSql(std::string_view sql, Strategy strategy,
+                           const SessionLimits& session,
+                           QueryRun* run = nullptr);
 
   /// Builds the physical plan a strategy would run (plan-based strategies
   /// only; native strategies are interpreters without plans).
@@ -175,8 +207,10 @@ class OlapEngine {
 
   /// Profiled execution + rendering of an unprepared plan (the shared
   /// back half of ExplainAnalyze and the SQL EXPLAIN ANALYZE path).
+  /// Writes diagnostics to `run` (never null), not to engine members.
   Result<std::string> ExplainAnalyzePlan(PlanPtr plan,
-                                         const AnalyzeRenderOptions& options);
+                                         const AnalyzeRenderOptions& options,
+                                         QueryRun* run);
 
   Catalog catalog_;
   ExecConfig exec_config_;

@@ -136,6 +136,53 @@ struct QueryLimits {
   CancellationToken cancel;
 };
 
+/// The one documented way to configure per-query governance: deadline,
+/// memory cap, and thread count in a single struct, usable both as a
+/// session's standing defaults and as a per-request override. Replaces
+/// the previous split where deadline/memory rode on QueryLimits /
+/// BatchOptions::per_query_limits while threads rode on the engine-wide
+/// ExecConfig.
+///
+/// Zero means "inherit": a session default of zero falls through to the
+/// engine's configuration, and a per-request override of zero falls
+/// through to the session default (see Overridden). OlapEngine::Execute /
+/// ExecuteSql accept a SessionLimits directly; the query server builds one
+/// per request by layering the request's headers over the session's
+/// stored defaults, and the shell's \limits command sets one for the
+/// interactive session.
+struct SessionLimits {
+  /// Wall-clock deadline in milliseconds from admission; 0 = none.
+  double deadline_ms = 0.0;
+  /// Per-query memory cap in bytes; 0 = uncapped (pool still applies).
+  size_t mem_budget_bytes = 0;
+  /// Threads for parallel operators; 0 = the engine's ExecConfig value.
+  size_t num_threads = 0;
+  /// Cooperative cancellation. Each request should carry its own token
+  /// (Overridden adopts the override's token), so cancelling one request
+  /// — e.g. on client disconnect — never aborts the session's others.
+  CancellationToken cancel;
+
+  /// Layers per-request `overrides` over these session defaults: nonzero
+  /// override fields win, zero fields inherit, and the override's token is
+  /// always adopted.
+  SessionLimits Overridden(const SessionLimits& overrides) const {
+    SessionLimits merged = overrides;
+    if (merged.deadline_ms <= 0.0) merged.deadline_ms = deadline_ms;
+    if (merged.mem_budget_bytes == 0) merged.mem_budget_bytes = mem_budget_bytes;
+    if (merged.num_threads == 0) merged.num_threads = num_threads;
+    return merged;
+  }
+
+  /// The admission-time slice a QueryContext is built from.
+  QueryLimits ToQueryLimits() const {
+    QueryLimits limits;
+    limits.deadline_ms = deadline_ms;
+    limits.mem_budget_bytes = mem_budget_bytes;
+    limits.cancel = cancel;
+    return limits;
+  }
+};
+
 /// The governed lifecycle of one executing query: cancellation token,
 /// wall-clock deadline, and memory reservation, polled by every operator
 /// at row/morsel-stride boundaries. Construction pins the admission time;

@@ -1,0 +1,107 @@
+#ifndef GMDJ_SERVER_ADMISSION_H_
+#define GMDJ_SERVER_ADMISSION_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace gmdj {
+namespace server {
+
+/// Bounded MPMC admission queue with a batching window — the server's
+/// back-pressure point. Connection threads TryPush parsed requests
+/// (rejection → 503, the client's signal to back off); worker threads
+/// PopBatch: block for the first item, then keep the batch open for a
+/// short window so concurrent requests coalesce into one ExecuteBatch
+/// call — the cross-client sharing opportunity the MQO cache feeds on.
+///
+/// Close() drains cooperatively: pushes start failing immediately, pops
+/// keep returning queued items until the queue is empty, then return
+/// empty batches. Items must be movable; the queue never copies.
+template <typename T>
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(size_t capacity) : capacity_(capacity) {}
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// False when the queue is full or closed (caller rejects the request).
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until at least one item (or close), then collects up to
+  /// `max_batch` items arriving within `window`: a first-item-anchored
+  /// batching window, so an idle server adds at most `window` of latency
+  /// and a busy one fills batches without waiting at all. An empty result
+  /// means closed-and-drained: the worker should exit.
+  std::vector<T> PopBatch(std::chrono::microseconds window, size_t max_batch) {
+    std::vector<T> batch;
+    if (max_batch == 0) max_batch = 1;
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return batch;  // Closed and drained.
+    batch.push_back(TakeLocked());
+    const auto deadline = std::chrono::steady_clock::now() + window;
+    while (batch.size() < max_batch) {
+      if (items_.empty()) {
+        if (closed_ || window.count() == 0) break;
+        if (ready_.wait_until(lock, deadline, [&] {
+              return closed_ || !items_.empty();
+            })) {
+          if (items_.empty()) break;  // Woken by close.
+        } else {
+          break;  // Window expired.
+        }
+      }
+      batch.push_back(TakeLocked());
+    }
+    return batch;
+  }
+
+  /// Stops new pushes and wakes every blocked popper.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  T TakeLocked() {
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace server
+}  // namespace gmdj
+
+#endif  // GMDJ_SERVER_ADMISSION_H_

@@ -1,0 +1,259 @@
+#include "server/http.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace gmdj {
+namespace server {
+
+namespace {
+
+std::string ToLower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(c));
+  return s;
+}
+
+/// Appends socket bytes to `buffer`. Returns bytes received, 0 on orderly
+/// shutdown, -1 on error (EINTR retried).
+ssize_t RecvMore(int fd, std::string* buffer) {
+  char chunk[16 * 1024];
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n > 0) buffer->append(chunk, static_cast<size_t>(n));
+    return n;
+  }
+}
+
+Status SendAll(int fd, const std::string& data, size_t* bytes_written) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  if (bytes_written != nullptr) *bytes_written += sent;
+  return Status::OK();
+}
+
+/// Parses a head block (start line + headers, up to `head_end`) into the
+/// start-line words and a lower-cased header map.
+Status ParseHead(const std::string& buffer, size_t head_end,
+                 std::string words[3],
+                 std::map<std::string, std::string>* headers) {
+  size_t line_start = 0;
+  bool first = true;
+  while (line_start < head_end) {
+    size_t line_end = buffer.find("\r\n", line_start);
+    if (line_end == std::string::npos || line_end > head_end) {
+      line_end = head_end;
+    }
+    const std::string line = buffer.substr(line_start, line_end - line_start);
+    line_start = line_end + 2;
+    if (first) {
+      first = false;
+      const size_t sp1 = line.find(' ');
+      const size_t sp2 = sp1 == std::string::npos
+                             ? std::string::npos
+                             : line.find(' ', sp1 + 1);
+      if (sp1 == std::string::npos || sp2 == std::string::npos) {
+        return Status::InvalidArgument("malformed start line: " + line);
+      }
+      words[0] = line.substr(0, sp1);
+      words[1] = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      words[2] = line.substr(sp2 + 1);
+      continue;
+    }
+    if (line.empty()) continue;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("malformed header line: " + line);
+    }
+    size_t value_start = colon + 1;
+    while (value_start < line.size() && line[value_start] == ' ') {
+      ++value_start;
+    }
+    (*headers)[ToLower(line.substr(0, colon))] = line.substr(value_start);
+  }
+  return Status::OK();
+}
+
+/// Shared framing loop: reads until one full head + Content-Length body
+/// is buffered, then splits it off the front of `buffer`.
+ReadResult ReadMessage(int fd, const HttpLimits& limits, std::string* buffer,
+                       std::string words[3],
+                       std::map<std::string, std::string>* headers,
+                       std::string* body, size_t* bytes_read, Status* error) {
+  auto fail = [&](Status status) {
+    if (error != nullptr) *error = std::move(status);
+    return ReadResult::kError;
+  };
+  size_t head_end;
+  while ((head_end = buffer->find("\r\n\r\n")) == std::string::npos) {
+    if (buffer->size() > limits.max_head_bytes) {
+      return fail(Status::InvalidArgument("request head too large"));
+    }
+    const size_t before = buffer->size();
+    const ssize_t n = RecvMore(fd, buffer);
+    if (n == 0) {
+      // Clean close only at a message boundary; mid-head EOF is an error.
+      return buffer->empty() ? ReadResult::kClosed
+                             : fail(Status::InvalidArgument(
+                                   "connection closed mid-request"));
+    }
+    if (n < 0) {
+      return fail(Status::Internal(std::string("recv: ") +
+                                   std::strerror(errno)));
+    }
+    if (bytes_read != nullptr) *bytes_read += buffer->size() - before;
+  }
+  headers->clear();
+  Status head_status = ParseHead(*buffer, head_end, words, headers);
+  if (!head_status.ok()) return fail(std::move(head_status));
+  size_t body_len = 0;
+  const auto it = headers->find("content-length");
+  if (it != headers->end()) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(it->second.c_str(), &end,
+                                                    10);
+    if (end == nullptr || *end != '\0') {
+      return fail(Status::InvalidArgument("bad Content-Length"));
+    }
+    body_len = static_cast<size_t>(parsed);
+  }
+  if (headers->count("transfer-encoding") > 0) {
+    return fail(Status::Unimplemented(
+        "chunked transfer encoding is not supported"));
+  }
+  if (body_len > limits.max_body_bytes) {
+    return fail(Status::InvalidArgument("request body too large"));
+  }
+  const size_t message_end = head_end + 4 + body_len;
+  while (buffer->size() < message_end) {
+    const size_t before = buffer->size();
+    const ssize_t n = RecvMore(fd, buffer);
+    if (n <= 0) {
+      return fail(n == 0 ? Status::InvalidArgument(
+                               "connection closed mid-body")
+                         : Status::Internal(std::string("recv: ") +
+                                            std::strerror(errno)));
+    }
+    if (bytes_read != nullptr) *bytes_read += buffer->size() - before;
+  }
+  *body = buffer->substr(head_end + 4, body_len);
+  buffer->erase(0, message_end);
+  return ReadResult::kOk;
+}
+
+}  // namespace
+
+const std::string& HttpRequest::Header(const std::string& lower_name,
+                                       const std::string& fallback) const {
+  const auto it = headers.find(lower_name);
+  return it == headers.end() ? fallback : it->second;
+}
+
+bool HttpRequest::WantsClose() const {
+  return ToLower(Header("connection")) == "close";
+}
+
+ReadResult ReadHttpRequest(int fd, const HttpLimits& limits,
+                           std::string* buffer, HttpRequest* out,
+                           size_t* bytes_read, Status* error) {
+  std::string words[3];
+  const ReadResult result =
+      ReadMessage(fd, limits, buffer, words, &out->headers, &out->body,
+                  bytes_read, error);
+  if (result != ReadResult::kOk) return result;
+  out->method = std::move(words[0]);
+  out->target = std::move(words[1]);
+  out->version = std::move(words[2]);
+  return ReadResult::kOk;
+}
+
+ReadResult ReadHttpResponse(int fd, const HttpLimits& limits,
+                            std::string* buffer, HttpResponse* out,
+                            std::map<std::string, std::string>* headers) {
+  std::string words[3];
+  std::map<std::string, std::string> local_headers;
+  if (headers == nullptr) headers = &local_headers;
+  Status error;
+  const ReadResult result = ReadMessage(fd, limits, buffer, words, headers,
+                                        &out->body, nullptr, &error);
+  if (result != ReadResult::kOk) return result;
+  out->status = std::atoi(words[1].c_str());
+  const auto it = headers->find("content-type");
+  if (it != headers->end()) out->content_type = it->second;
+  return ReadResult::kOk;
+}
+
+Status WriteHttpResponse(int fd, const HttpResponse& response,
+                         size_t* bytes_written) {
+  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                     HttpReason(response.status) + "\r\n";
+  head += "Content-Type: " + response.content_type + "\r\n";
+  head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  for (const auto& [name, value] : response.extra_headers) {
+    head += name + ": " + value + "\r\n";
+  }
+  head += response.close ? "Connection: close\r\n\r\n"
+                         : "Connection: keep-alive\r\n\r\n";
+  GMDJ_RETURN_IF_ERROR(SendAll(fd, head, bytes_written));
+  return SendAll(fd, response.body, bytes_written);
+}
+
+Status WriteHttpRequest(
+    int fd, const std::string& method, const std::string& target,
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    const std::string& body, size_t* bytes_written) {
+  std::string head = method + " " + target + " HTTP/1.1\r\n";
+  head += "Host: gmdj\r\n";
+  head += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  for (const auto& [name, value] : headers) {
+    head += name + ": " + value + "\r\n";
+  }
+  head += "\r\n";
+  GMDJ_RETURN_IF_ERROR(SendAll(fd, head, bytes_written));
+  return SendAll(fd, body, bytes_written);
+}
+
+const char* HttpReason(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 409:
+      return "Conflict";
+    case 413:
+      return "Payload Too Large";
+    case 429:
+      return "Too Many Requests";
+    case 499:
+      return "Client Closed Request";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    case 504:
+      return "Gateway Timeout";
+    default:
+      return "Status";
+  }
+}
+
+}  // namespace server
+}  // namespace gmdj

@@ -1,0 +1,94 @@
+#ifndef GMDJ_SERVER_HTTP_H_
+#define GMDJ_SERVER_HTTP_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gmdj {
+namespace server {
+
+/// The server speaks HTTP/1.1 with keep-alive (see DESIGN.md §10): one
+/// request/response pair at a time per connection, framed by
+/// Content-Length (no chunked transfer, no pipelining). This header is
+/// the protocol's parsing/serialization layer, shared by the server, the
+/// in-repo HTTP client (http_client.h), and the load driver.
+
+/// One parsed request. Header names are lower-cased at parse time;
+/// lookups go through `Header`.
+struct HttpRequest {
+  std::string method;   // "GET", "POST" (upper-cased verbatim).
+  std::string target;   // "/query" — no query-string splitting.
+  std::string version;  // "HTTP/1.1".
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  /// Header value by lower-case name, or `fallback` when absent.
+  const std::string& Header(const std::string& lower_name,
+                            const std::string& fallback = std::string()) const;
+  /// True when the client asked for `Connection: close`.
+  bool WantsClose() const;
+};
+
+/// One response to serialize. `extra_headers` are emitted verbatim.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  bool close = false;  // Emit "Connection: close".
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+};
+
+/// Hard protocol limits, applied while reading.
+struct HttpLimits {
+  size_t max_head_bytes = 64 * 1024;
+  size_t max_body_bytes = 1 << 20;
+};
+
+/// Outcome of reading one message from a connection.
+enum class ReadResult {
+  kOk,      // One complete message parsed.
+  kClosed,  // Peer closed cleanly before a new message began.
+  kError,   // Malformed input or socket error; close the connection.
+};
+
+/// Blocking read of the next request from `fd`. `buffer` carries bytes
+/// left over from the previous read on this keep-alive connection — pass
+/// the same (initially empty) string for the connection's lifetime.
+/// `bytes_read` (optional) accumulates wire bytes consumed. On kError,
+/// `error` (optional) receives a Status suitable for a 400 response.
+ReadResult ReadHttpRequest(int fd, const HttpLimits& limits,
+                           std::string* buffer, HttpRequest* out,
+                           size_t* bytes_read = nullptr,
+                           Status* error = nullptr);
+
+/// Serializes and writes `response` to `fd` (adds Content-Length and
+/// Connection headers). `bytes_written` (optional) accumulates.
+Status WriteHttpResponse(int fd, const HttpResponse& response,
+                         size_t* bytes_written = nullptr);
+
+/// Client side: writes one request (adds Content-Length + Host).
+Status WriteHttpRequest(int fd, const std::string& method,
+                        const std::string& target,
+                        const std::vector<std::pair<std::string, std::string>>&
+                            headers,
+                        const std::string& body,
+                        size_t* bytes_written = nullptr);
+
+/// Client side: blocking read of one response (same buffer contract as
+/// ReadHttpRequest). Headers are lower-cased into `headers`.
+ReadResult ReadHttpResponse(int fd, const HttpLimits& limits,
+                            std::string* buffer, HttpResponse* out,
+                            std::map<std::string, std::string>* headers =
+                                nullptr);
+
+/// Reason phrase for a status code ("OK", "Bad Request", ...).
+const char* HttpReason(int status);
+
+}  // namespace server
+}  // namespace gmdj
+
+#endif  // GMDJ_SERVER_HTTP_H_

@@ -1,0 +1,91 @@
+#include "server/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace gmdj {
+namespace server {
+
+HttpClient& HttpClient::operator=(HttpClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+    buffer_ = std::move(other.buffer_);
+    limits_ = other.limits_;
+  }
+  return *this;
+}
+
+Status HttpClient::Connect(const std::string& host, int port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad host '" + host + "'");
+  }
+  int rc;
+  do {
+    rc = ::connect(fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    const Status status =
+        Status::Internal(std::string("connect: ") + std::strerror(errno));
+    Close();
+    return status;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  buffer_.clear();
+  return Status::OK();
+}
+
+Result<HttpResponse> HttpClient::Request(
+    const std::string& method, const std::string& target,
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    const std::string& body,
+    std::map<std::string, std::string>* response_headers) {
+  if (fd_ < 0) return Status::Internal("not connected");
+  const Status write_status =
+      WriteHttpRequest(fd_, method, target, headers, body);
+  if (!write_status.ok()) {
+    Close();
+    return write_status;
+  }
+  HttpResponse response;
+  const ReadResult result =
+      ReadHttpResponse(fd_, limits_, &buffer_, &response, response_headers);
+  if (result != ReadResult::kOk) {
+    Close();
+    return Status::Internal(result == ReadResult::kClosed
+                                ? "server closed the connection"
+                                : "malformed response");
+  }
+  return response;
+}
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+}  // namespace server
+}  // namespace gmdj

@@ -1,0 +1,56 @@
+#ifndef GMDJ_SERVER_HTTP_CLIENT_H_
+#define GMDJ_SERVER_HTTP_CLIENT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "server/http.h"
+
+namespace gmdj {
+namespace server {
+
+/// Minimal blocking HTTP/1.1 keep-alive client over one connection —
+/// the counterpart of query_server.h, used by the load driver
+/// (bench/serve_load.cc) and the integration tests. Not thread-safe:
+/// one client per thread (the protocol is one request/response at a
+/// time anyway).
+class HttpClient {
+ public:
+  HttpClient() = default;
+  ~HttpClient() { Close(); }
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+  HttpClient(HttpClient&& other) noexcept { *this = std::move(other); }
+  HttpClient& operator=(HttpClient&& other) noexcept;
+
+  /// Connects to host:port (IPv4 dotted quad, e.g. "127.0.0.1").
+  Status Connect(const std::string& host, int port);
+
+  /// One request/response round trip on the kept-alive connection.
+  /// `headers` are sent verbatim (Host and Content-Length are added).
+  /// On a transport error the connection is closed and the caller may
+  /// Connect() again. `response_headers` (optional) receives the
+  /// lower-cased response headers.
+  Result<HttpResponse> Request(
+      const std::string& method, const std::string& target,
+      const std::vector<std::pair<std::string, std::string>>& headers,
+      const std::string& body,
+      std::map<std::string, std::string>* response_headers = nullptr);
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // Keep-alive carryover between responses.
+  HttpLimits limits_;
+};
+
+}  // namespace server
+}  // namespace gmdj
+
+#endif  // GMDJ_SERVER_HTTP_CLIENT_H_

@@ -1,0 +1,712 @@
+#include "server/query_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <unordered_map>
+
+#include "engine/batch_planner.h"
+#include "server/wire.h"
+#include "sql/parser.h"
+
+namespace gmdj {
+namespace server {
+
+namespace {
+
+/// Poll granularity for the accept loop (drain checks) and the
+/// connection thread's disconnect watch while a query executes.
+constexpr int kPollMs = 20;
+
+bool EqualsIgnoreCase(const std::string& a, const char* b) {
+  size_t i = 0;
+  for (; i < a.size() && b[i] != '\0'; ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return i == a.size() && b[i] == '\0';
+}
+
+/// True once the peer has hung up: an orderly FIN (recv MSG_PEEK == 0) or
+/// a reset. Pending request bytes (which we would see as POLLIN with
+/// data) do not count — the protocol has no pipelining, so they are the
+/// client's problem, not a disconnect.
+bool PeerClosed(int fd) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  if (::poll(&pfd, 1, 0) <= 0) return false;
+  if ((pfd.revents & (POLLERR | POLLNVAL)) != 0) return true;
+  if ((pfd.revents & (POLLIN | POLLHUP)) != 0) {
+    char byte;
+    const ssize_t n = ::recv(fd, &byte, 1, MSG_PEEK | MSG_DONTWAIT);
+    if (n == 0) return true;
+    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseStrategyName(const std::string& name, Strategy* out) {
+  for (const Strategy s : AllStrategies()) {
+    if (EqualsIgnoreCase(name, StrategyToString(s))) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsGmdjStrategy(Strategy s) {
+  return s == Strategy::kGmdjNaive || s == Strategy::kGmdj ||
+         s == Strategy::kGmdjOptimized;
+}
+
+uint64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+HttpResponse ErrorResponse(int http_status, const Status& status) {
+  HttpResponse response;
+  response.status = http_status;
+  response.body = StatusToJson(status);
+  return response;
+}
+
+/// Renders the one-string-column "plan" table EXPLAIN [ANALYZE] returns
+/// as plain text, one line per row.
+std::string PlanTableToText(const Table& table) {
+  std::string out;
+  for (const Row& row : table.rows()) {
+    if (!row.empty()) {
+      out += row[0].type() == ValueType::kString ? row[0].str()
+                                                 : row[0].ToString();
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+QueryServer::QueryServer(OlapEngine* engine, ServerConfig config)
+    : engine_(engine),
+      config_(std::move(config)),
+      queue_(config_.queue_capacity),
+      batch_window_us_(config_.batch_window_us) {
+  obs::MetricRegistry* reg = engine_->metrics();
+  m_accepted_ = reg->GetCounter("server.requests_accepted");
+  m_rejected_ = reg->GetCounter("server.requests_rejected");
+  m_bytes_in_ = reg->GetCounter("server.bytes_in");
+  m_bytes_out_ = reg->GetCounter("server.bytes_out");
+  m_batches_ = reg->GetCounter("server.batches_executed");
+  m_disconnect_cancels_ = reg->GetCounter("server.disconnect_cancels");
+  g_in_flight_ = reg->GetGauge("server.in_flight");
+  g_open_connections_ = reg->GetGauge("server.open_connections");
+  h_batch_size_ = reg->GetHistogram("server.batch_size");
+  h_query_us_ = reg->GetHistogram("server.query_us");
+  h_explain_us_ = reg->GetHistogram("server.explain_us");
+  h_health_us_ = reg->GetHistogram("server.health_us");
+  h_metrics_us_ = reg->GetHistogram("server.metrics_us");
+}
+
+QueryServer::~QueryServer() {
+  Shutdown();
+  Wait();
+}
+
+Status QueryServer::Start() {
+  if (started_.load()) return Status::Internal("server already started");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(config_.port));
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad listen host '" + config_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const Status status =
+        Status::Internal(std::string("bind: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    const Status status =
+        Status::Internal(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  // Non-blocking so the accept loop can interleave drain checks.
+  ::fcntl(listen_fd_, F_SETFL,
+          ::fcntl(listen_fd_, F_GETFL, 0) | O_NONBLOCK);
+
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                &addr_len);
+  port_ = ntohs(addr.sin_port);
+
+  start_time_ = std::chrono::steady_clock::now();
+  started_.store(true);
+
+  size_t workers = config_.workers;
+  if (workers == 0) {
+    const size_t hw = std::thread::hardware_concurrency();
+    workers = hw > 4 ? hw / 2 : 2;
+  }
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back(&QueryServer::WorkerLoop, this);
+  }
+  accept_thread_ = std::thread(&QueryServer::AcceptLoop, this);
+  return Status::OK();
+}
+
+void QueryServer::Shutdown() {
+  bool expected = false;
+  if (!draining_.compare_exchange_strong(expected, true)) return;
+  queue_.Close();
+  // Wake a Wait() blocked on the shutdown signal (it shares active_cv_).
+  std::lock_guard<std::mutex> lock(active_mu_);
+  active_cv_.notify_all();
+}
+
+void QueryServer::Wait() {
+  if (!started_.load()) return;
+
+  // Block until someone calls Shutdown() (signal handler, /shutdown
+  // endpoint, or a test).
+  {
+    std::unique_lock<std::mutex> lock(active_mu_);
+    active_cv_.wait(lock, [&] { return draining_.load(); });
+  }
+
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // Drain watchdog: give queued + in-flight queries drain_deadline_ms,
+  // then cancel whatever is still running. Queued jobs popped after the
+  // deadline are cancelled as soon as they surface in active_jobs_.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::microseconds(
+          static_cast<int64_t>(config_.drain_deadline_ms * 1000.0));
+  {
+    std::unique_lock<std::mutex> lock(active_mu_);
+    while (in_flight_.load() > 0 || queue_.size() > 0) {
+      if (std::chrono::steady_clock::now() >= deadline) {
+        for (Job* job : active_jobs_) job->limits.cancel.Cancel();
+        active_cv_.wait_for(lock, std::chrono::milliseconds(kPollMs));
+      } else {
+        active_cv_.wait_until(lock, deadline);
+      }
+    }
+  }
+
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+
+  // Wake connection threads blocked in recv on idle keep-alive sockets,
+  // then join them.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const auto& conn : conns_) {
+      if (!conn->finished.load()) ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& conn : conns_) {
+      if (conn->thread.joinable()) conn->thread.join();
+      if (conn->fd >= 0) ::close(conn->fd);
+    }
+    conns_.clear();
+  }
+
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  started_.store(false);
+}
+
+void QueryServer::AcceptLoop() {
+  while (!draining_.load()) {
+    struct pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = ::poll(&pfd, 1, kPollMs);
+    if (draining_.load()) break;
+    if (ready <= 0) continue;
+
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
+          errno == ECONNABORTED) {
+        continue;
+      }
+      break;  // Listen socket gone.
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    ReapConnections();
+    if (open_connections_.load() >= config_.max_connections) {
+      HttpResponse response = ErrorResponse(
+          503, Status::ResourceExhausted("connection limit reached"));
+      response.close = true;
+      WriteHttpResponse(fd, response);
+      ::close(fd);
+      m_rejected_->Add(1);
+      continue;
+    }
+
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    Conn* raw = conn.get();
+    open_connections_.fetch_add(1);
+    g_open_connections_->Set(static_cast<int64_t>(open_connections_.load()));
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(std::move(conn));
+    }
+    raw->thread = std::thread(&QueryServer::ConnectionLoop, this, raw);
+  }
+}
+
+void QueryServer::ReapConnections() {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if ((*it)->finished.load()) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      if ((*it)->fd >= 0) ::close((*it)->fd);
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void QueryServer::ConnectionLoop(Conn* conn) {
+  std::string buffer;
+  HttpLimits limits;
+  limits.max_body_bytes = config_.max_body_bytes;
+
+  bool keep = true;
+  while (keep) {
+    HttpRequest request;
+    Status read_error;
+    size_t bytes_read = 0;
+    const ReadResult result = ReadHttpRequest(conn->fd, limits, &buffer,
+                                              &request, &bytes_read,
+                                              &read_error);
+    m_bytes_in_->Add(bytes_read);
+    if (result == ReadResult::kClosed) break;
+    if (result == ReadResult::kError) {
+      HttpResponse response = ErrorResponse(400, read_error);
+      response.close = true;
+      size_t written = 0;
+      WriteHttpResponse(conn->fd, response, &written);
+      m_bytes_out_->Add(written);
+      break;
+    }
+
+    HttpResponse response;
+    keep = HandleRequest(conn->fd, request, &response);
+    if (request.WantsClose()) keep = false;
+    response.close = !keep;
+    size_t written = 0;
+    if (!WriteHttpResponse(conn->fd, response, &written).ok()) keep = false;
+    m_bytes_out_->Add(written);
+  }
+
+  // FIN promptly; the fd itself is closed at reap/join time.
+  ::shutdown(conn->fd, SHUT_RDWR);
+  open_connections_.fetch_sub(1);
+  g_open_connections_->Set(static_cast<int64_t>(open_connections_.load()));
+  conn->finished.store(true);
+}
+
+bool QueryServer::HandleRequest(int fd, const HttpRequest& request,
+                                HttpResponse* response) {
+  std::string target = request.target;
+  const size_t qmark = target.find('?');
+  if (qmark != std::string::npos) target.resize(qmark);
+  const auto started = std::chrono::steady_clock::now();
+
+  if (request.method == "GET") {
+    if (target == "/health") {
+      *response = HandleHealth();
+      h_health_us_->Record(ElapsedUs(started));
+      return true;
+    }
+    if (target == "/metrics") {
+      *response = HandleMetrics();
+      h_metrics_us_->Record(ElapsedUs(started));
+      return true;
+    }
+    *response = ErrorResponse(404, Status::NotFound("no such endpoint: " +
+                                                    target));
+    return true;
+  }
+
+  if (request.method != "POST") {
+    *response = ErrorResponse(
+        405, Status::InvalidArgument("method not allowed: " + request.method));
+    return true;
+  }
+
+  if (target == "/query" || target == "/explain") {
+    const bool explain = target == "/explain";
+    *response = HandleQuery(fd, request, explain);
+    (explain ? h_explain_us_ : h_query_us_)->Record(ElapsedUs(started));
+    return true;
+  }
+  if (target == "/session") {
+    *response = HandleSession(request);
+    return true;
+  }
+  if (target == "/config") {
+    *response = HandleConfig(request);
+    return true;
+  }
+  if (target == "/shutdown") {
+    Shutdown();
+    response->body = "{\"status\": \"draining\"}";
+    return false;  // Close this connection once the response is written.
+  }
+  *response = ErrorResponse(404, Status::NotFound("no such endpoint: " +
+                                                  target));
+  return true;
+}
+
+SessionLimits QueryServer::LimitsFromHeaders(const HttpRequest& request) {
+  SessionLimits limits;  // Carries this request's fresh cancellation token.
+  const std::string& deadline = request.Header("x-deadline-ms");
+  if (!deadline.empty()) limits.deadline_ms = std::strtod(deadline.c_str(),
+                                                          nullptr);
+  const std::string& budget = request.Header("x-mem-budget-bytes");
+  if (!budget.empty()) {
+    limits.mem_budget_bytes =
+        static_cast<size_t>(std::strtoull(budget.c_str(), nullptr, 10));
+  }
+  const std::string& threads = request.Header("x-threads");
+  if (!threads.empty()) {
+    limits.num_threads =
+        static_cast<size_t>(std::strtoull(threads.c_str(), nullptr, 10));
+  }
+  return limits;
+}
+
+HttpResponse QueryServer::HandleQuery(int fd, const HttpRequest& request,
+                                      bool explain) {
+  if (draining_.load()) {
+    m_rejected_->Add(1);
+    return ErrorResponse(503,
+                         Status::ResourceExhausted("server is draining"));
+  }
+
+  auto session_or = sessions_.Get(request.Header("x-session"));
+  if (!session_or.ok()) {
+    m_rejected_->Add(1);
+    return ErrorResponse(404, session_or.status());
+  }
+  std::shared_ptr<Session> session = std::move(session_or).ValueOrDie();
+
+  Strategy strategy = config_.default_strategy;
+  const std::string& strategy_name = request.Header("x-strategy");
+  if (!strategy_name.empty() && !ParseStrategyName(strategy_name, &strategy)) {
+    m_rejected_->Add(1);
+    return ErrorResponse(400, Status::InvalidArgument(
+                                  "unknown strategy '" + strategy_name + "'"));
+  }
+
+  std::string sql = request.body;
+  if (explain) {
+    // The /explain endpoint is sugar for EXPLAIN ANALYZE <query>; accept
+    // bodies that already spell the prefix out.
+    size_t start = 0;
+    while (start < sql.size() &&
+           std::isspace(static_cast<unsigned char>(sql[start]))) {
+      ++start;
+    }
+    std::string head = sql.substr(start, 7);
+    for (char& c : head) c = static_cast<char>(std::toupper(c));
+    if (head != "EXPLAIN") sql = "EXPLAIN ANALYZE " + sql;
+  }
+
+  // Parse up front: syntax errors answer immediately (with the offending
+  // token's byte offset) without consuming a queue slot.
+  auto statement_or = ParseStatement(sql);
+  if (!statement_or.ok()) {
+    m_rejected_->Add(1);
+    session->rejected.fetch_add(1);
+    return ErrorResponse(400, statement_or.status());
+  }
+  SqlStatement statement = std::move(statement_or).ValueOrDie();
+
+  auto job = std::make_shared<Job>();
+  job->sql = std::move(sql);
+  job->strategy = strategy;
+  job->limits = session->defaults().Overridden(LimitsFromHeaders(request));
+  job->explain = explain;
+  job->session = session;
+  // Plain filtered selects on a GMDJ strategy are batchable: workers
+  // coalesce them across clients into one ExecuteBatch (MQO sharing).
+  // Everything else (EXPLAIN, projections, select-list subqueries,
+  // native strategies) runs singly through ExecuteSql.
+  if (!explain && statement.explain == SqlStatement::ExplainMode::kNone &&
+      statement.projections.empty() && statement.select_subqueries.empty() &&
+      IsGmdjStrategy(strategy)) {
+    job->select = std::move(statement.select);
+  }
+
+  if (!queue_.TryPush(job)) {
+    m_rejected_->Add(1);
+    session->rejected.fetch_add(1);
+    return ErrorResponse(
+        503, Status::ResourceExhausted(
+                 "admission queue full (capacity " +
+                 std::to_string(config_.queue_capacity) + ")"));
+  }
+  m_accepted_->Add(1);
+  session->queries.fetch_add(1);
+
+  // Wait for a worker, watching the socket: a client that hangs up
+  // cancels its own query (and only its own — the token is per-request).
+  bool cancelled = false;
+  {
+    std::unique_lock<std::mutex> lock(job->mu);
+    while (!job->done) {
+      job->cv.wait_for(lock, std::chrono::milliseconds(kPollMs));
+      if (!job->done && !cancelled && PeerClosed(fd)) {
+        job->limits.cancel.Cancel();
+        m_disconnect_cancels_->Add(1);
+        cancelled = true;
+      }
+    }
+  }
+
+  Result<Table>& result = *job->result;
+  if (!result.ok()) {
+    session->rejected.fetch_add(1);
+    return ErrorResponse(HttpStatusFor(result.status()), result.status());
+  }
+
+  HttpResponse response;
+  if (explain) {
+    response.content_type = "text/plain";
+    response.body = PlanTableToText(result.ValueOrDie());
+  } else if (EqualsIgnoreCase(request.Header("x-format"), "tsv")) {
+    response.content_type = "text/tab-separated-values";
+    response.body = TableToTsv(result.ValueOrDie());
+  } else {
+    response.body = TableToJson(result.ValueOrDie(), job->elapsed_ms,
+                                StrategyToString(job->strategy), job->batched);
+  }
+  return response;
+}
+
+HttpResponse QueryServer::HandleSession(const HttpRequest& request) {
+  const SessionLimits limits = LimitsFromHeaders(request);
+  std::shared_ptr<Session> session;
+  const std::string& id = request.Header("x-session");
+  if (!id.empty()) {
+    auto session_or = sessions_.Get(id);
+    if (!session_or.ok()) return ErrorResponse(404, session_or.status());
+    session = std::move(session_or).ValueOrDie();
+    session->set_defaults(limits);
+  } else {
+    session = sessions_.Create(limits);
+  }
+  HttpResponse response;
+  response.body = "{\"status\": \"ok\", \"session\": \"" +
+                  JsonEscape(session->id()) + "\", \"deadline_ms\": " +
+                  std::to_string(limits.deadline_ms) +
+                  ", \"mem_budget_bytes\": " +
+                  std::to_string(limits.mem_budget_bytes) +
+                  ", \"num_threads\": " + std::to_string(limits.num_threads) +
+                  "}";
+  return response;
+}
+
+HttpResponse QueryServer::HandleConfig(const HttpRequest& request) {
+  // Cache and batching toggles are admin knobs for A/B runs (the load
+  // driver flips them between sweeps); they must not race live queries.
+  if (in_flight_.load() > 0 || queue_.size() > 0) {
+    return ErrorResponse(
+        409, Status::InvalidArgument(
+                 "/config requires an idle server (queries in flight)"));
+  }
+  const std::string& cache = request.Header("x-mqo-cache");
+  if (!cache.empty()) {
+    if (EqualsIgnoreCase(cache, "on")) {
+      GmdjAggCacheConfig cache_config;
+      const std::string& mb = request.Header("x-cache-mb");
+      if (!mb.empty()) {
+        cache_config.byte_budget =
+            static_cast<size_t>(std::strtoull(mb.c_str(), nullptr, 10))
+            << 20;
+      }
+      engine_->EnableAggCache(cache_config);
+    } else if (EqualsIgnoreCase(cache, "off")) {
+      engine_->DisableAggCache();
+    } else {
+      return ErrorResponse(400, Status::InvalidArgument(
+                                    "X-Mqo-Cache must be 'on' or 'off'"));
+    }
+  }
+  const std::string& window = request.Header("x-batch-window-us");
+  if (!window.empty()) {
+    batch_window_us_.store(std::strtoull(window.c_str(), nullptr, 10));
+  }
+  HttpResponse response;
+  response.body =
+      std::string("{\"status\": \"ok\", \"mqo_cache\": ") +
+      (engine_->agg_cache() != nullptr ? "true" : "false") +
+      ", \"batch_window_us\": " + std::to_string(batch_window_us_.load()) +
+      "}";
+  return response;
+}
+
+HttpResponse QueryServer::HandleHealth() {
+  HttpResponse response;
+  response.body =
+      std::string("{\"status\": \"") + (draining_.load() ? "draining" : "ok") +
+      "\", \"in_flight\": " + std::to_string(in_flight_.load()) +
+      ", \"queued\": " + std::to_string(queue_.size()) +
+      ", \"open_connections\": " + std::to_string(open_connections_.load()) +
+      ", \"sessions\": " + std::to_string(sessions_.size()) +
+      ", \"uptime_ms\": " + std::to_string(ElapsedUs(start_time_) / 1000) +
+      "}";
+  return response;
+}
+
+HttpResponse QueryServer::HandleMetrics() {
+  engine_->metrics()->GetGauge("server.queued")->Set(
+      static_cast<int64_t>(queue_.size()));
+  HttpResponse response;
+  response.body = engine_->SnapshotMetrics().ToJson();
+  return response;
+}
+
+void QueryServer::WorkerLoop() {
+  while (true) {
+    std::vector<std::shared_ptr<Job>> jobs = queue_.PopBatch(
+        std::chrono::microseconds(batch_window_us_.load()), config_.max_batch);
+    if (jobs.empty()) return;  // Closed and drained.
+    ExecuteJobs(std::move(jobs));
+  }
+}
+
+void QueryServer::ExecuteJobs(std::vector<std::shared_ptr<Job>> jobs) {
+  {
+    std::lock_guard<std::mutex> lock(active_mu_);
+    for (const auto& job : jobs) active_jobs_.insert(job.get());
+    in_flight_.fetch_add(jobs.size());
+    g_in_flight_->Set(static_cast<int64_t>(in_flight_.load()));
+  }
+
+  // Coalesce batchable jobs per strategy (ExecuteBatch wants one); run
+  // the rest singly. A group of one skips batch admission overhead —
+  // the plain Execute path probes the same MQO cache.
+  std::unordered_map<int, std::vector<std::shared_ptr<Job>>> groups;
+  std::vector<std::shared_ptr<Job>> singles;
+  for (auto& job : jobs) {
+    if (job->select != nullptr) {
+      groups[static_cast<int>(job->strategy)].push_back(std::move(job));
+    } else {
+      singles.push_back(std::move(job));
+    }
+  }
+
+  for (auto& [strategy_key, group] : groups) {
+    if (group.size() == 1) {
+      singles.push_back(std::move(group.front()));
+      continue;
+    }
+    BatchOptions options;
+    options.strategy = static_cast<Strategy>(strategy_key);
+    options.coalesce_across_queries = true;
+    std::vector<const NestedSelect*> queries;
+    queries.reserve(group.size());
+    for (const auto& job : group) {
+      queries.push_back(job->select.get());
+      options.per_query_limits.push_back(job->limits.ToQueryLimits());
+    }
+    BatchResult batch = engine_->ExecuteBatch(queries, options);
+    m_batches_->Add(1);
+    h_batch_size_->Record(group.size());
+    for (size_t i = 0; i < group.size(); ++i) {
+      auto& job = group[i];
+      if (!batch.status.ok()) {
+        job->result = batch.status;
+      } else {
+        job->result = std::move(batch.results[i]);
+      }
+      job->elapsed_ms = batch.elapsed_ms;  // Whole-batch wall time.
+      job->batched = true;
+      FinishJob(job);
+    }
+  }
+
+  for (auto& job : singles) {
+    if (job->select != nullptr) {
+      job->result = engine_->Execute(*job->select, job->strategy, job->limits,
+                                     &job->run);
+    } else {
+      job->result = engine_->ExecuteSql(job->sql, job->strategy, job->limits,
+                                        &job->run);
+    }
+    job->elapsed_ms = job->run.elapsed_ms;
+    FinishJob(job);
+  }
+}
+
+void QueryServer::FinishJob(const std::shared_ptr<Job>& job) {
+  {
+    std::lock_guard<std::mutex> lock(active_mu_);
+    active_jobs_.erase(job.get());
+    in_flight_.fetch_sub(1);
+    g_in_flight_->Set(static_cast<int64_t>(in_flight_.load()));
+    active_cv_.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(job->mu);
+    job->done = true;
+  }
+  job->cv.notify_one();
+}
+
+}  // namespace server
+}  // namespace gmdj

@@ -1,0 +1,193 @@
+#ifndef GMDJ_SERVER_QUERY_SERVER_H_
+#define GMDJ_SERVER_QUERY_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "engine/olap_engine.h"
+#include "server/admission.h"
+#include "server/http.h"
+#include "server/session.h"
+
+namespace gmdj {
+namespace server {
+
+/// Knobs of one server instance. Defaults suit the demo warehouse; the
+/// serve binary exposes each as a --flag.
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  int port = 8080;  // 0 = bind an ephemeral port (read back via port()).
+
+  /// Worker threads executing admitted queries. 0 = hardware/2 (leaves
+  /// cores for the engine's own morsel parallelism).
+  size_t workers = 0;
+  /// Bounded admission queue; a full queue answers 503.
+  size_t queue_capacity = 256;
+  /// Batching window: after popping a request, a worker holds the batch
+  /// open this long so concurrent queries coalesce into one ExecuteBatch
+  /// (shared-condition prewarm + MQO cache hits). 0 = no coalescing.
+  uint64_t batch_window_us = 200;
+  size_t max_batch = 16;
+  /// Concurrent connections; excess connections are refused with 503.
+  size_t max_connections = 128;
+  size_t max_body_bytes = 1 << 20;
+  /// Graceful shutdown lets in-flight + queued queries finish for this
+  /// long, then cancels their tokens.
+  double drain_deadline_ms = 5000.0;
+  /// Strategy when the request carries no X-Strategy header.
+  Strategy default_strategy = Strategy::kGmdjOptimized;
+};
+
+/// Multi-tenant HTTP/1.1 front end over one OlapEngine (DESIGN.md §10).
+///
+/// Endpoints:
+///   POST /query     SQL body -> result rows (JSON, or TSV under
+///                   "X-Format: tsv"). Headers: X-Session, and per-request
+///                   governance overrides X-Deadline-Ms /
+///                   X-Mem-Budget-Bytes / X-Threads / X-Strategy.
+///   POST /explain   SQL body -> EXPLAIN ANALYZE text (plain text).
+///   POST /session   Create a session whose X-Deadline-Ms /
+///                   X-Mem-Budget-Bytes / X-Threads headers become the
+///                   session's standing defaults -> {"session": "s-1"}.
+///                   With X-Session: replace that session's defaults.
+///   POST /config    Idle-only admin: X-Mqo-Cache on|off toggles the MQO
+///                   aggregate cache, X-Batch-Window-Us retunes batching.
+///   POST /shutdown  Begin graceful drain (also SIGTERM in the binary).
+///   GET  /health    {"status": "ok"|"draining", in-flight/queue depths}.
+///   GET  /metrics   Engine MetricRegistry snapshot as JSON — includes
+///                   the server.* counters/histograms, which live in the
+///                   same registry.
+///
+/// Lifecycle: Start() binds and spawns the acceptor/worker threads;
+/// Shutdown() (idempotent, callable from any thread) stops accepting and
+/// begins the drain; Wait() blocks until drained and joined. The engine
+/// must outlive the server; its catalog must not be mutated while the
+/// server runs (queries only read it).
+class QueryServer {
+ public:
+  QueryServer(OlapEngine* engine, ServerConfig config);
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  Status Start();
+  void Shutdown();
+  void Wait();
+
+  /// The bound port (differs from config.port when it was 0).
+  int port() const { return port_; }
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
+  SessionManager* sessions() { return &sessions_; }
+
+ private:
+  /// One admitted /query or /explain request, owned jointly by the
+  /// connection thread (waits + writes the response) and a worker
+  /// (executes + signals).
+  struct Job {
+    // Inputs.
+    std::string sql;
+    Strategy strategy = Strategy::kGmdjOptimized;
+    SessionLimits limits;  // Session defaults + request overrides.
+    bool explain = false;  // /explain endpoint (plan text result).
+    /// Set for coalescable plain selects: parsed form for ExecuteBatch.
+    std::unique_ptr<NestedSelect> select;
+    std::shared_ptr<Session> session;
+
+    // Outputs.
+    std::optional<Result<Table>> result;
+    QueryRun run;
+    double elapsed_ms = 0.0;
+    bool batched = false;  // Shared an ExecuteBatch with other requests.
+
+    // Completion latch.
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+  };
+
+  struct Conn {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> finished{false};
+  };
+
+  void AcceptLoop();
+  void ConnectionLoop(Conn* conn);
+  void WorkerLoop();
+
+  /// Dispatches one parsed request; fills `response`. Returns false when
+  /// the connection should close afterwards.
+  bool HandleRequest(int fd, const HttpRequest& request,
+                     HttpResponse* response);
+  HttpResponse HandleQuery(int fd, const HttpRequest& request, bool explain);
+  HttpResponse HandleSession(const HttpRequest& request);
+  HttpResponse HandleConfig(const HttpRequest& request);
+  HttpResponse HandleHealth();
+  HttpResponse HandleMetrics();
+
+  /// Executes a popped batch: coalesces batchable jobs per strategy into
+  /// ExecuteBatch calls, runs the rest singly, signals every job.
+  void ExecuteJobs(std::vector<std::shared_ptr<Job>> jobs);
+  void FinishJob(const std::shared_ptr<Job>& job);
+
+  /// Parses governance headers (X-Deadline-Ms, X-Mem-Budget-Bytes,
+  /// X-Threads) into a SessionLimits override.
+  static SessionLimits LimitsFromHeaders(const HttpRequest& request);
+
+  void ReapConnections();
+
+  OlapEngine* const engine_;
+  const ServerConfig config_;
+  SessionManager sessions_;
+  AdmissionQueue<std::shared_ptr<Job>> queue_;
+  std::atomic<uint64_t> batch_window_us_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> started_{false};
+  std::chrono::steady_clock::time_point start_time_;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::mutex conns_mu_;
+  std::list<std::unique_ptr<Conn>> conns_;
+  std::atomic<size_t> open_connections_{0};
+
+  /// Jobs currently executing, so the drain watchdog can cancel their
+  /// tokens past the deadline.
+  std::mutex active_mu_;
+  std::condition_variable active_cv_;
+  std::unordered_set<Job*> active_jobs_;
+  std::atomic<size_t> in_flight_{0};
+
+  // Registry handles (engine->metrics()), resolved once.
+  obs::Counter* m_accepted_;
+  obs::Counter* m_rejected_;
+  obs::Counter* m_bytes_in_;
+  obs::Counter* m_bytes_out_;
+  obs::Counter* m_batches_;
+  obs::Counter* m_disconnect_cancels_;
+  obs::Gauge* g_in_flight_;
+  obs::Gauge* g_open_connections_;
+  obs::Histogram* h_batch_size_;
+  obs::Histogram* h_query_us_;
+  obs::Histogram* h_explain_us_;
+  obs::Histogram* h_health_us_;
+  obs::Histogram* h_metrics_us_;
+};
+
+}  // namespace server
+}  // namespace gmdj
+
+#endif  // GMDJ_SERVER_QUERY_SERVER_H_

@@ -1,0 +1,162 @@
+// gmdj_serve: the multi-tenant query server binary (DESIGN.md §10).
+//
+//   gmdj_serve --port=8080 --workers=4 --mqo-cache=on
+//   curl -d 'SELECT * FROM Flow WHERE Flow.Bytes > 900000' \
+//        http://127.0.0.1:8080/query
+//
+// Loads the deterministic demo warehouse (workload/warehouse.h), serves
+// until SIGINT/SIGTERM or POST /shutdown, then drains gracefully and
+// exits 0.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include <unistd.h>
+
+#include "engine/olap_engine.h"
+#include "server/query_server.h"
+#include "workload/warehouse.h"
+
+namespace {
+
+// Self-pipe: the signal handler only writes a byte (async-signal-safe);
+// a watcher thread turns it into a graceful Shutdown().
+int g_signal_pipe[2] = {-1, -1};
+
+void OnSignal(int) {
+  const char byte = 1;
+  ssize_t ignored = ::write(g_signal_pipe[1], &byte, 1);
+  (void)ignored;
+}
+
+struct Flags {
+  gmdj::server::ServerConfig server;
+  bool mqo_cache = true;
+  size_t cache_mb = 64;
+  size_t mem_budget_mb = 0;  // Engine pool capacity; 0 = unbounded.
+  size_t threads = 0;        // Engine ExecConfig threads; 0 = hardware.
+  double warehouse_scale = 1.0;
+};
+
+bool ParseFlag(const std::string& arg, const char* name, std::string* value) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--host=127.0.0.1] [--port=8080] [--workers=N]\n"
+      "  [--queue-capacity=N] [--batch-window-us=N] [--max-batch=N]\n"
+      "  [--max-connections=N] [--drain-deadline-ms=N]\n"
+      "  [--mqo-cache=on|off] [--cache-mb=N] [--mem-budget-mb=N]\n"
+      "  [--threads=N] [--warehouse-scale=X]\n",
+      argv0);
+}
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (ParseFlag(arg, "host", &value)) {
+      flags->server.host = value;
+    } else if (ParseFlag(arg, "port", &value)) {
+      flags->server.port = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "workers", &value)) {
+      flags->server.workers = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "queue-capacity", &value)) {
+      flags->server.queue_capacity = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "batch-window-us", &value)) {
+      flags->server.batch_window_us = std::strtoull(value.c_str(), nullptr,
+                                                    10);
+    } else if (ParseFlag(arg, "max-batch", &value)) {
+      flags->server.max_batch = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "max-connections", &value)) {
+      flags->server.max_connections = std::strtoull(value.c_str(), nullptr,
+                                                    10);
+    } else if (ParseFlag(arg, "drain-deadline-ms", &value)) {
+      flags->server.drain_deadline_ms = std::strtod(value.c_str(), nullptr);
+    } else if (ParseFlag(arg, "mqo-cache", &value)) {
+      flags->mqo_cache = value != "off";
+    } else if (ParseFlag(arg, "cache-mb", &value)) {
+      flags->cache_mb = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "mem-budget-mb", &value)) {
+      flags->mem_budget_mb = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "threads", &value)) {
+      flags->threads = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "warehouse-scale", &value)) {
+      flags->warehouse_scale = std::strtod(value.c_str(), nullptr);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  gmdj::OlapEngine engine;
+  {
+    gmdj::ExecConfig config = engine.exec_config();
+    config.num_threads = flags.threads;
+    engine.set_exec_config(config);
+  }
+  if (flags.mem_budget_mb > 0) {
+    engine.set_memory_capacity(flags.mem_budget_mb << 20);
+  }
+  if (flags.mqo_cache) {
+    gmdj::GmdjAggCacheConfig cache_config;
+    cache_config.byte_budget = flags.cache_mb << 20;
+    engine.EnableAggCache(cache_config);
+  }
+
+  gmdj::WarehouseConfig warehouse;
+  warehouse.scale = flags.warehouse_scale;
+  std::fprintf(stderr, "loading warehouse (scale %.2f)...\n",
+               warehouse.scale);
+  gmdj::LoadDefaultWarehouse(engine.catalog(), warehouse);
+
+  gmdj::server::QueryServer server(&engine, flags.server);
+  const gmdj::Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", status.message().c_str());
+    return 1;
+  }
+  // The driver and scripts scrape this line for the bound port.
+  std::printf("listening on %s:%d\n", flags.server.host.c_str(),
+              server.port());
+  std::fflush(stdout);
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "pipe failed\n");
+    return 1;
+  }
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::thread watcher([&server] {
+    char byte;
+    if (::read(g_signal_pipe[0], &byte, 1) > 0) server.Shutdown();
+  });
+
+  server.Wait();  // Returns once drained (signal or POST /shutdown).
+  OnSignal(0);    // Unblock the watcher if /shutdown got here first.
+  watcher.join();
+  std::fprintf(stderr, "drained, exiting\n");
+  return 0;
+}

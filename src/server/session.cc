@@ -1,0 +1,35 @@
+#include "server/session.h"
+
+namespace gmdj {
+namespace server {
+
+SessionManager::SessionManager()
+    : anonymous_(std::make_shared<Session>("", SessionLimits())) {}
+
+std::shared_ptr<Session> SessionManager::Create(
+    const SessionLimits& defaults) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string id = "s-" + std::to_string(++next_id_);
+  auto session = std::make_shared<Session>(id, defaults);
+  sessions_[id] = session;
+  return session;
+}
+
+Result<std::shared_ptr<Session>> SessionManager::Get(
+    const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id.empty()) return anonymous_;
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("unknown session '" + id + "'");
+  }
+  return it->second;
+}
+
+size_t SessionManager::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+}  // namespace server
+}  // namespace gmdj

@@ -1,0 +1,76 @@
+#ifndef GMDJ_SERVER_SESSION_H_
+#define GMDJ_SERVER_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "governance/query_context.h"
+
+namespace gmdj {
+namespace server {
+
+/// One tenant's standing state: governance defaults every query it
+/// submits inherits (per-request headers layered on top — see
+/// SessionLimits::Overridden), plus accounting the /metrics and /session
+/// endpoints report. Sessions are identified by the `X-Session` header;
+/// requests without one run under the anonymous session's defaults.
+class Session {
+ public:
+  Session(std::string id, SessionLimits defaults)
+      : id_(std::move(id)), defaults_(std::move(defaults)) {}
+
+  const std::string& id() const { return id_; }
+
+  /// Copy of the standing defaults (admission snapshots them, so a
+  /// concurrent /session update affects only later queries).
+  SessionLimits defaults() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return defaults_;
+  }
+  void set_defaults(const SessionLimits& defaults) {
+    std::lock_guard<std::mutex> lock(mu_);
+    defaults_ = defaults;
+  }
+
+  std::atomic<uint64_t> queries{0};   // Admitted to execution.
+  std::atomic<uint64_t> rejected{0};  // Failed (governed or otherwise).
+
+ private:
+  const std::string id_;
+  mutable std::mutex mu_;
+  SessionLimits defaults_;
+};
+
+/// Thread-safe session registry. Sessions are never expired (the demo
+/// server's tenants are short-lived load-driver clients).
+class SessionManager {
+ public:
+  SessionManager();
+
+  /// Registers a new session with the given defaults; returns it. IDs are
+  /// "s-1", "s-2", ... in creation order.
+  std::shared_ptr<Session> Create(const SessionLimits& defaults);
+
+  /// The session named by `id` — or, for an empty id, the shared
+  /// anonymous session. NotFound for unknown ids (clients must create
+  /// sessions before naming them).
+  Result<std::shared_ptr<Session>> Get(const std::string& id) const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t next_id_ = 0;
+  std::shared_ptr<Session> anonymous_;
+  std::unordered_map<std::string, std::shared_ptr<Session>> sessions_;
+};
+
+}  // namespace server
+}  // namespace gmdj
+
+#endif  // GMDJ_SERVER_SESSION_H_

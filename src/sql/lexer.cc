@@ -110,7 +110,9 @@ Result<std::vector<Token>> Tokenize(std::string_view input) {
       }
       if (!closed) {
         return Status::InvalidArgument(
-            "unterminated string literal at offset " + std::to_string(i));
+                   "unterminated string literal at offset " +
+                   std::to_string(i))
+            .WithOffset(i);
       }
       token.kind = TokenKind::kString;
       token.text = std::move(value);
@@ -149,7 +151,8 @@ Result<std::vector<Token>> Tokenize(std::string_view input) {
     }
     return Status::InvalidArgument("unexpected character '" +
                                    std::string(1, c) + "' at offset " +
-                                   std::to_string(i));
+                                   std::to_string(i))
+        .WithOffset(i);
   }
   Token end;
   end.kind = TokenKind::kEnd;

@@ -72,9 +72,11 @@ class Parser {
 
   Status Error(const std::string& message) const {
     return Status::InvalidArgument(
-        message + " at offset " + std::to_string(Peek().position) +
-        (Peek().kind == TokenKind::kEnd ? " (end of input)"
-                                        : " near '" + Peek().text + "'"));
+               message + " at offset " + std::to_string(Peek().position) +
+               (Peek().kind == TokenKind::kEnd ? " (end of input)"
+                                               : " near '" + Peek().text +
+                                                     "'"))
+        .WithOffset(Peek().position);
   }
   Status ExpectKeyword(const char* kw) {
     if (ConsumeKeyword(kw)) return Status::OK();

@@ -1,0 +1,31 @@
+#include "workload/warehouse.h"
+
+namespace gmdj {
+
+namespace {
+
+int64_t Scaled(int64_t n, double scale) {
+  const int64_t scaled = static_cast<int64_t>(static_cast<double>(n) * scale);
+  return scaled < 1 ? 1 : scaled;
+}
+
+}  // namespace
+
+void LoadDefaultWarehouse(Catalog* catalog, const WarehouseConfig& config) {
+  IpFlowConfig flow = config.flow;
+  flow.num_flows = Scaled(flow.num_flows, config.scale);
+  catalog->PutTable("Flow", GenFlowTable(flow));
+  catalog->PutTable("Hours", GenHoursTable(flow));
+  catalog->PutTable("User", GenUserTable(flow));
+
+  TpchConfig tpch = config.tpch;
+  tpch.num_customers = Scaled(tpch.num_customers, config.scale);
+  tpch.num_orders = Scaled(tpch.num_orders, config.scale);
+  tpch.num_lineitems = Scaled(tpch.num_lineitems, config.scale);
+  catalog->PutTable("customer", GenCustomerTable(tpch));
+  catalog->PutTable("orders", GenOrdersTable(tpch));
+  catalog->PutTable("lineitem", GenLineitemTable(tpch));
+  catalog->PutTable("supplier", GenSupplierTable(tpch));
+}
+
+}  // namespace gmdj

@@ -1,0 +1,38 @@
+#ifndef GMDJ_WORKLOAD_WAREHOUSE_H_
+#define GMDJ_WORKLOAD_WAREHOUSE_H_
+
+#include "storage/catalog.h"
+#include "workload/ipflow.h"
+#include "workload/tpch_gen.h"
+
+namespace gmdj {
+
+/// The demo warehouse every front end loads: the IP-flow tables
+/// (Flow/Hours/User) plus the TPC-style tables (customer/orders/
+/// lineitem/supplier). Generation is fully seeded, so two processes
+/// loading the same WarehouseConfig hold byte-identical tables — the
+/// closed-loop load driver relies on this to check the server's answers
+/// against a local engine without shipping data over the wire.
+struct WarehouseConfig {
+  /// Multiplies every row count below (1.0 = the shell's historical
+  /// sizes). Fractions round down per table.
+  double scale = 1.0;
+
+  IpFlowConfig flow;
+  TpchConfig tpch;
+
+  WarehouseConfig() {
+    flow.num_flows = 50'000;
+    tpch.num_customers = 1'000;
+    tpch.num_orders = 20'000;
+    tpch.num_lineitems = 40'000;
+  }
+};
+
+/// Generates and registers all seven warehouse tables.
+void LoadDefaultWarehouse(Catalog* catalog,
+                          const WarehouseConfig& config = WarehouseConfig());
+
+}  // namespace gmdj
+
+#endif  // GMDJ_WORKLOAD_WAREHOUSE_H_

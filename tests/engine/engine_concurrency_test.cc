@@ -1,0 +1,136 @@
+// Concurrent governed execution on ONE engine: Execute / ExecuteSql with
+// SessionLimits + caller-owned QueryRun racing ExecuteBatch, with the
+// MQO cache enabled and the memory pool small enough that catalog reads
+// race cache shedding. This is the TSan gate for the server's worker
+// pool, which drives the engine exactly this way.
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/batch_planner.h"
+#include "engine/olap_engine.h"
+#include "governance/query_context.h"
+#include "gtest/gtest.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace gmdj {
+namespace {
+
+const char* kExistsSql =
+    "SELECT * FROM Hours H WHERE EXISTS (SELECT * FROM Flow F WHERE "
+    "F.StartTime >= H.StartInterval AND F.StartTime < H.EndInterval)";
+
+TEST(EngineConcurrencyTest, GovernedExecutePathsRaceSafelyWithCache) {
+  OlapEngine engine;
+  testutil::LoadPaperTables(&engine);
+  // Small cache + small pool: stores trigger LRU shedding while other
+  // threads are mid-scan, exercising the reclaimer path under load.
+  GmdjAggCacheConfig cache_config;
+  cache_config.byte_budget = 4 * 1024;
+  engine.EnableAggCache(cache_config);
+  ExecConfig exec;
+  exec.num_threads = 1;  // The concurrency under test is between queries.
+  engine.set_exec_config(exec);
+
+  auto statement = ParseStatement(kExistsSql);
+  ASSERT_TRUE(statement.ok());
+  const NestedSelect& query = *statement->select;
+
+  // Sequential reference (legacy ungoverned path, before the races).
+  Result<Table> reference = engine.Execute(query, Strategy::kGmdjOptimized);
+  ASSERT_TRUE(reference.ok());
+
+  constexpr int kThreadsPerKind = 3;
+  constexpr int kRounds = 25;
+  std::atomic<int> failures{0};
+
+  auto check = [&](const Result<Table>& result) {
+    if (!result.ok() || !testutil::SameRows(*result, *reference)) {
+      failures.fetch_add(1);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  // Kind 1: governed Execute with per-call SessionLimits + QueryRun.
+  for (int t = 0; t < kThreadsPerKind; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kRounds; ++i) {
+        SessionLimits session;
+        session.deadline_ms = 30'000.0;
+        QueryRun run;
+        check(engine.Execute(query, Strategy::kGmdjOptimized, session, &run));
+      }
+    });
+  }
+  // Kind 2: governed ExecuteSql (parse + execute under limits).
+  for (int t = 0; t < kThreadsPerKind; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kRounds; ++i) {
+        SessionLimits session;
+        QueryRun run;
+        check(engine.ExecuteSql(kExistsSql, Strategy::kGmdj, session, &run));
+      }
+    });
+  }
+  // Kind 3: ExecuteBatch with per-query limits (the server's coalesced
+  // path), racing the singles above through the same cache.
+  for (int t = 0; t < kThreadsPerKind; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kRounds; ++i) {
+        BatchOptions options;
+        options.strategy = Strategy::kGmdjOptimized;
+        options.per_query_limits.assign(2, QueryLimits());
+        const BatchResult batch =
+            engine.ExecuteBatch({&query, &query}, options);
+        ASSERT_TRUE(batch.status.ok()) << batch.status.message();
+        for (const Result<Table>& result : batch.results) check(result);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(EngineConcurrencyTest, PerCallRunsStayIsolatedUnderRaces) {
+  OlapEngine engine;
+  testutil::LoadPaperTables(&engine);
+  engine.EnableAggCache();
+
+  auto statement = ParseStatement(kExistsSql);
+  ASSERT_TRUE(statement.ok());
+  const NestedSelect& query = *statement->select;
+
+  // One thread runs with a deadline so tight it may abort; others run
+  // ungoverned. Aborts must never leak into the healthy callers' runs or
+  // results — per-request isolation is what the server sells.
+  std::atomic<int> healthy_failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 20; ++i) {
+        SessionLimits session;
+        QueryRun run;
+        auto result =
+            engine.Execute(query, Strategy::kGmdjOptimized, session, &run);
+        if (!result.ok()) healthy_failures.fetch_add(1);
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (int i = 0; i < 20; ++i) {
+      SessionLimits session;
+      session.deadline_ms = 0.0001;
+      QueryRun run;
+      // Either outcome is legal; only isolation matters.
+      (void)engine.Execute(query, Strategy::kGmdjOptimized, session, &run);
+    }
+  });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(healthy_failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace gmdj

@@ -1,0 +1,114 @@
+// Admission queue: capacity back-pressure, the first-item-anchored
+// batching window, and close-with-drain semantics.
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "server/admission.h"
+
+namespace gmdj {
+namespace server {
+namespace {
+
+using std::chrono::microseconds;
+
+TEST(AdmissionQueueTest, TryPushRespectsCapacity) {
+  AdmissionQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));  // Full: the caller's 503.
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(AdmissionQueueTest, PopBatchCollectsQueuedItemsUpToMaxBatch) {
+  AdmissionQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(queue.TryPush(i));
+  const std::vector<int> batch = queue.PopBatch(microseconds(0), 3);
+  EXPECT_EQ(batch, (std::vector<int>{0, 1, 2}));  // FIFO, capped.
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(AdmissionQueueTest, ZeroWindowDisablesCoalescingAcrossWaits) {
+  AdmissionQueue<int> queue(8);
+  ASSERT_TRUE(queue.TryPush(42));
+  // window=0: take what is already queued, never wait for more.
+  const std::vector<int> batch = queue.PopBatch(microseconds(0), 16);
+  EXPECT_EQ(batch, std::vector<int>{42});
+}
+
+TEST(AdmissionQueueTest, WindowCoalescesAConcurrentPush) {
+  AdmissionQueue<int> queue(8);
+  ASSERT_TRUE(queue.TryPush(1));
+  std::thread producer([&queue] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    queue.TryPush(2);
+  });
+  // Generous window so the slow producer lands inside it.
+  const std::vector<int> batch =
+      queue.PopBatch(microseconds(2'000'000), 16);
+  producer.join();
+  EXPECT_EQ(batch, (std::vector<int>{1, 2}));
+}
+
+TEST(AdmissionQueueTest, CloseDrainsThenReturnsEmpty) {
+  AdmissionQueue<int> queue(8);
+  ASSERT_TRUE(queue.TryPush(7));
+  queue.Close();
+  EXPECT_FALSE(queue.TryPush(8));  // Closed: no new work.
+  EXPECT_EQ(queue.PopBatch(microseconds(0), 16), std::vector<int>{7});
+  EXPECT_TRUE(queue.PopBatch(microseconds(0), 16).empty());  // Drained.
+}
+
+TEST(AdmissionQueueTest, CloseWakesBlockedPopper) {
+  AdmissionQueue<int> queue(8);
+  std::atomic<bool> woke{false};
+  std::thread popper([&] {
+    EXPECT_TRUE(queue.PopBatch(microseconds(0), 4).empty());
+    woke.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue.Close();
+  popper.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(AdmissionQueueTest, ManyProducersManyConsumersLoseNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 2000;
+  AdmissionQueue<int> queue(64);
+  std::atomic<int> popped{0};
+  std::atomic<int> pushed{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (true) {
+        const std::vector<int> batch = queue.PopBatch(microseconds(50), 8);
+        if (batch.empty()) return;  // Closed and drained.
+        popped.fetch_add(static_cast<int>(batch.size()));
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        if (queue.TryPush(i)) pushed.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  queue.Close();
+  for (std::thread& t : consumers) t.join();
+  // Every accepted item came out exactly once (rejected ones never do).
+  EXPECT_EQ(popped.load(), pushed.load());
+  EXPECT_GT(pushed.load(), 0);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace gmdj

@@ -1,0 +1,185 @@
+// Protocol-layer tests: HTTP/1.1 framing over a socketpair (keep-alive
+// carryover, limits, malformed input) and the wire serializations the
+// server and load driver both rely on.
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+
+#include "gtest/gtest.h"
+#include "server/http.h"
+#include "server/wire.h"
+#include "test_util.h"
+
+namespace gmdj {
+namespace server {
+namespace {
+
+/// A connected socket pair; [0] plays the client, [1] the server.
+class SocketPair {
+ public:
+  SocketPair() { EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0); }
+  ~SocketPair() {
+    ::close(fds_[0]);
+    ::close(fds_[1]);
+  }
+  int client() const { return fds_[0]; }
+  int server() const { return fds_[1]; }
+  void CloseClient() { ::shutdown(fds_[0], SHUT_WR); }
+
+ private:
+  int fds_[2];
+};
+
+void SendRaw(int fd, const std::string& bytes) {
+  ASSERT_EQ(::send(fd, bytes.data(), bytes.size(), 0),
+            static_cast<ssize_t>(bytes.size()));
+}
+
+TEST(HttpTest, ParsesRequestWithBodyAndHeaders) {
+  SocketPair pair;
+  SendRaw(pair.client(),
+          "POST /query HTTP/1.1\r\n"
+          "Host: x\r\n"
+          "X-Session: s-1\r\n"
+          "Content-Length: 11\r\n"
+          "\r\n"
+          "SELECT 1+1x");
+  std::string buffer;
+  HttpRequest request;
+  size_t bytes_read = 0;
+  ASSERT_EQ(ReadHttpRequest(pair.server(), HttpLimits(), &buffer, &request,
+                            &bytes_read),
+            ReadResult::kOk);
+  EXPECT_EQ(request.method, "POST");
+  EXPECT_EQ(request.target, "/query");
+  EXPECT_EQ(request.body, "SELECT 1+1x");
+  EXPECT_EQ(request.Header("x-session"), "s-1");  // Lower-cased names.
+  EXPECT_EQ(request.Header("absent", "dflt"), "dflt");
+  EXPECT_FALSE(request.WantsClose());
+  EXPECT_GT(bytes_read, 0u);
+}
+
+TEST(HttpTest, KeepAliveCarryoverSplitsPipelinedBytes) {
+  // Two complete requests land in one recv; the buffer must carry the
+  // second across calls.
+  SocketPair pair;
+  SendRaw(pair.client(),
+          "GET /health HTTP/1.1\r\nContent-Length: 0\r\n\r\n"
+          "GET /metrics HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+  std::string buffer;
+  HttpRequest first, second;
+  ASSERT_EQ(ReadHttpRequest(pair.server(), HttpLimits(), &buffer, &first),
+            ReadResult::kOk);
+  EXPECT_EQ(first.target, "/health");
+  ASSERT_EQ(ReadHttpRequest(pair.server(), HttpLimits(), &buffer, &second),
+            ReadResult::kOk);
+  EXPECT_EQ(second.target, "/metrics");
+}
+
+TEST(HttpTest, CleanCloseAtMessageBoundaryIsClosedNotError) {
+  SocketPair pair;
+  pair.CloseClient();
+  std::string buffer;
+  HttpRequest request;
+  Status error;
+  EXPECT_EQ(ReadHttpRequest(pair.server(), HttpLimits(), &buffer, &request,
+                            nullptr, &error),
+            ReadResult::kClosed);
+}
+
+TEST(HttpTest, MidRequestCloseIsError) {
+  SocketPair pair;
+  SendRaw(pair.client(), "POST /query HTTP/1.1\r\nContent-Le");
+  pair.CloseClient();
+  std::string buffer;
+  HttpRequest request;
+  Status error;
+  EXPECT_EQ(ReadHttpRequest(pair.server(), HttpLimits(), &buffer, &request,
+                            nullptr, &error),
+            ReadResult::kError);
+  EXPECT_FALSE(error.ok());
+}
+
+TEST(HttpTest, BodyLargerThanLimitRejected) {
+  SocketPair pair;
+  SendRaw(pair.client(),
+          "POST /query HTTP/1.1\r\nContent-Length: 999999\r\n\r\n");
+  std::string buffer;
+  HttpRequest request;
+  Status error;
+  HttpLimits limits;
+  limits.max_body_bytes = 1024;
+  EXPECT_EQ(ReadHttpRequest(pair.server(), limits, &buffer, &request, nullptr,
+                            &error),
+            ReadResult::kError);
+  EXPECT_EQ(error.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HttpTest, ChunkedTransferEncodingUnsupported) {
+  SocketPair pair;
+  SendRaw(pair.client(),
+          "POST /query HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+  std::string buffer;
+  HttpRequest request;
+  Status error;
+  EXPECT_EQ(ReadHttpRequest(pair.server(), HttpLimits(), &buffer, &request,
+                            nullptr, &error),
+            ReadResult::kError);
+  EXPECT_EQ(error.code(), StatusCode::kUnimplemented);
+}
+
+TEST(HttpTest, ResponseRoundTrip) {
+  SocketPair pair;
+  HttpResponse out;
+  out.status = 429;
+  out.body = "{\"status\": \"error\"}";
+  ASSERT_TRUE(WriteHttpResponse(pair.server(), out).ok());
+  std::string buffer;
+  HttpResponse in;
+  std::map<std::string, std::string> headers;
+  ASSERT_EQ(ReadHttpResponse(pair.client(), HttpLimits(), &buffer, &in,
+                             &headers),
+            ReadResult::kOk);
+  EXPECT_EQ(in.status, 429);
+  EXPECT_EQ(in.body, out.body);
+  EXPECT_EQ(headers["connection"], "keep-alive");
+}
+
+TEST(WireTest, StatusToJsonIncludesOffsetOnlyWhenPresent) {
+  const std::string plain =
+      StatusToJson(Status::InvalidArgument("bad query"));
+  EXPECT_EQ(plain.find("offset"), std::string::npos);
+  EXPECT_NE(plain.find("\"code\": \"InvalidArgument\""), std::string::npos);
+
+  const std::string offset =
+      StatusToJson(Status::InvalidArgument("bad token").WithOffset(17));
+  EXPECT_NE(offset.find("\"offset\": 17"), std::string::npos);
+}
+
+TEST(WireTest, JsonEscapeControlCharacters) {
+  EXPECT_EQ(JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(WireTest, HttpStatusForMapsGovernanceOutcomes) {
+  EXPECT_EQ(HttpStatusFor(Status::InvalidArgument("x")), 400);
+  EXPECT_EQ(HttpStatusFor(Status::NotFound("x")), 404);
+  EXPECT_EQ(HttpStatusFor(Status::ResourceExhausted("x")), 429);
+  EXPECT_EQ(HttpStatusFor(Status::Cancelled("x")), 499);
+  EXPECT_EQ(HttpStatusFor(Status::DeadlineExceeded("x")), 504);
+  EXPECT_EQ(HttpStatusFor(Status::Internal("x")), 500);
+}
+
+TEST(WireTest, TableToTsvIsDeterministicHeaderPlusRows) {
+  const Table table = testutil::MakeTable({"a", "b:s"}, {{1, "x"}, {2, "y"}});
+  const std::string tsv = TableToTsv(table);
+  EXPECT_EQ(tsv, "a\tb\n1\tx\n2\ty\n");
+  EXPECT_EQ(tsv, TableToTsv(table));
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace gmdj
