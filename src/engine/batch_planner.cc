@@ -276,11 +276,14 @@ BatchResult ExecuteGmdjBatch(const Catalog& catalog, const ExecConfig& config,
                                     : options.per_query_limits[i];
     // Fresh context per query: its deadline is pinned here and its
     // reservation dies with it, so a tripped limit or injected fault is
-    // visible only in this slot of `results`.
+    // visible only in this slot of `results`. The thread cap is likewise
+    // per-query: a session's X-Threads holds on the batched path too.
     QueryContext qctx(limits, pool);
+    ExecConfig query_config = config;
+    if (limits.num_threads > 0) query_config.num_threads = limits.num_threads;
     Result<Table> result = [&]() -> Result<Table> {
       GMDJ_RETURN_IF_ERROR(GMDJ_FAULT_POINT("batch/query"));
-      ExecContext ctx(&catalog, config);
+      ExecContext ctx(&catalog, query_config);
       ctx.set_gmdj_cache(cache);
       ctx.set_query_ctx(&qctx);
       auto executed = plans[i]->Execute(&ctx);

@@ -158,6 +158,7 @@ Result<Table> OlapEngine::Execute(const NestedSelect& query, Strategy strategy,
   SessionLimits session;
   session.deadline_ms = limits.deadline_ms;
   session.mem_budget_bytes = limits.mem_budget_bytes;
+  session.num_threads = limits.num_threads;
   session.cancel = limits.cancel;
   QueryRun run;
   Result<Table> result = Execute(query, strategy, session, &run);

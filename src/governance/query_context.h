@@ -132,6 +132,11 @@ struct QueryLimits {
   double deadline_ms = 0.0;
   /// Per-query memory cap in bytes; 0 = uncapped (pool still applies).
   size_t mem_budget_bytes = 0;
+  /// Threads for parallel operators; 0 = the engine's ExecConfig value.
+  /// QueryContext ignores this (threading is ExecConfig's domain);
+  /// executors that take QueryLimits — e.g. the batch planner's
+  /// per_query_limits — apply it as a per-query ExecConfig override.
+  size_t num_threads = 0;
   /// Cooperative cancellation; callers keep a copy and Cancel() it.
   CancellationToken cancel;
 };
@@ -173,11 +178,13 @@ struct SessionLimits {
     return merged;
   }
 
-  /// The admission-time slice a QueryContext is built from.
+  /// The admission-time slice a QueryContext is built from. Carries the
+  /// thread cap too, so the batched path (per_query_limits) honors it.
   QueryLimits ToQueryLimits() const {
     QueryLimits limits;
     limits.deadline_ms = deadline_ms;
     limits.mem_budget_bytes = mem_budget_bytes;
+    limits.num_threads = num_threads;
     limits.cancel = cancel;
     return limits;
   }

@@ -55,14 +55,24 @@ class AdmissionQueue {
     const auto deadline = std::chrono::steady_clock::now() + window;
     while (batch.size() < max_batch) {
       if (items_.empty()) {
-        if (closed_ || window.count() == 0) break;
-        if (ready_.wait_until(lock, deadline, [&] {
+        if (closed_ || std::chrono::steady_clock::now() >= deadline) break;
+        if (!ready_.wait_until(lock, deadline, [&] {
               return closed_ || !items_.empty();
             })) {
-          if (items_.empty()) break;  // Woken by close.
-        } else {
           break;  // Window expired.
         }
+        if (items_.empty()) break;  // Woken by close.
+      }
+      // The window is a hard bound anchored at the first item: past the
+      // deadline, drain what is queued right now (the lock is held, so
+      // nothing can slip in) and ship, instead of re-checking the
+      // condition and letting a trickle of pushes extend batch assembly
+      // arbitrarily. Items already buffered cost no extra latency.
+      if (std::chrono::steady_clock::now() >= deadline) {
+        while (batch.size() < max_batch && !items_.empty()) {
+          batch.push_back(TakeLocked());
+        }
+        break;
       }
       batch.push_back(TakeLocked());
     }

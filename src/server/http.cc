@@ -122,10 +122,19 @@ ReadResult ReadMessage(int fd, const HttpLimits& limits, std::string* buffer,
   size_t body_len = 0;
   const auto it = headers->find("content-length");
   if (it != headers->end()) {
+    // Strict framing: digits only (strtoull alone would accept leading
+    // whitespace, '+', and a wrapping '-'), non-empty, no overflow.
+    const std::string& value = it->second;
+    if (value.empty() ||
+        value.find_first_not_of("0123456789") != std::string::npos) {
+      return fail(Status::InvalidArgument("bad Content-Length"));
+    }
+    errno = 0;
     char* end = nullptr;
-    const unsigned long long parsed = std::strtoull(it->second.c_str(), &end,
-                                                    10);
-    if (end == nullptr || *end != '\0') {
+    const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || errno == ERANGE ||
+        static_cast<unsigned long long>(static_cast<size_t>(parsed)) !=
+            parsed) {
       return fail(Status::InvalidArgument("bad Content-Length"));
     }
     body_len = static_cast<size_t>(parsed);
@@ -156,8 +165,8 @@ ReadResult ReadMessage(int fd, const HttpLimits& limits, std::string* buffer,
 
 }  // namespace
 
-const std::string& HttpRequest::Header(const std::string& lower_name,
-                                       const std::string& fallback) const {
+std::string HttpRequest::Header(const std::string& lower_name,
+                                const std::string& fallback) const {
   const auto it = headers.find(lower_name);
   return it == headers.end() ? fallback : it->second;
 }

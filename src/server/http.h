@@ -26,9 +26,11 @@ struct HttpRequest {
   std::map<std::string, std::string> headers;
   std::string body;
 
-  /// Header value by lower-case name, or `fallback` when absent.
-  const std::string& Header(const std::string& lower_name,
-                            const std::string& fallback = std::string()) const;
+  /// Header value by lower-case name, or `fallback` when absent. Returns
+  /// by value: the fallback is often a temporary, so a reference return
+  /// would dangle at the call site.
+  std::string Header(const std::string& lower_name,
+                     const std::string& fallback = std::string()) const;
   /// True when the client asked for `Connection: close`.
   bool WantsClose() const;
 };

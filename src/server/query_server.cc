@@ -219,10 +219,14 @@ void QueryServer::Wait() {
       std::chrono::microseconds(
           static_cast<int64_t>(config_.drain_deadline_ms * 1000.0));
   {
+    // `pending_` covers queued, popped-but-unregistered, and executing
+    // jobs, so the loop cannot exit while a worker holds a batch it has
+    // not yet surfaced in active_jobs_.
     std::unique_lock<std::mutex> lock(active_mu_);
-    while (in_flight_.load() > 0 || queue_.size() > 0) {
+    while (pending_.load() > 0) {
       if (std::chrono::steady_clock::now() >= deadline) {
         for (Job* job : active_jobs_) job->limits.cancel.Cancel();
+        for (CancellationToken& token : active_batch_tokens_) token.Cancel();
         active_cv_.wait_for(lock, std::chrono::milliseconds(kPollMs));
       } else {
         active_cv_.wait_until(lock, deadline);
@@ -412,15 +416,15 @@ bool QueryServer::HandleRequest(int fd, const HttpRequest& request,
 
 SessionLimits QueryServer::LimitsFromHeaders(const HttpRequest& request) {
   SessionLimits limits;  // Carries this request's fresh cancellation token.
-  const std::string& deadline = request.Header("x-deadline-ms");
+  const std::string deadline = request.Header("x-deadline-ms");
   if (!deadline.empty()) limits.deadline_ms = std::strtod(deadline.c_str(),
                                                           nullptr);
-  const std::string& budget = request.Header("x-mem-budget-bytes");
+  const std::string budget = request.Header("x-mem-budget-bytes");
   if (!budget.empty()) {
     limits.mem_budget_bytes =
         static_cast<size_t>(std::strtoull(budget.c_str(), nullptr, 10));
   }
-  const std::string& threads = request.Header("x-threads");
+  const std::string threads = request.Header("x-threads");
   if (!threads.empty()) {
     limits.num_threads =
         static_cast<size_t>(std::strtoull(threads.c_str(), nullptr, 10));
@@ -444,7 +448,7 @@ HttpResponse QueryServer::HandleQuery(int fd, const HttpRequest& request,
   std::shared_ptr<Session> session = std::move(session_or).ValueOrDie();
 
   Strategy strategy = config_.default_strategy;
-  const std::string& strategy_name = request.Header("x-strategy");
+  const std::string strategy_name = request.Header("x-strategy");
   if (!strategy_name.empty() && !ParseStrategyName(strategy_name, &strategy)) {
     m_rejected_->Add(1);
     return ErrorResponse(400, Status::InvalidArgument(
@@ -491,7 +495,15 @@ HttpResponse QueryServer::HandleQuery(int fd, const HttpRequest& request,
     job->select = std::move(statement.select);
   }
 
-  if (!queue_.TryPush(job)) {
+  bool admitted;
+  {
+    // Under the config gate, so /config's idle check can exclude
+    // admissions; `pending_` is bumped before the gate is released.
+    std::lock_guard<std::mutex> gate(config_mu_);
+    admitted = queue_.TryPush(job);
+    if (admitted) pending_.fetch_add(1);
+  }
+  if (!admitted) {
     m_rejected_->Add(1);
     session->rejected.fetch_add(1);
     return ErrorResponse(
@@ -540,7 +552,7 @@ HttpResponse QueryServer::HandleQuery(int fd, const HttpRequest& request,
 HttpResponse QueryServer::HandleSession(const HttpRequest& request) {
   const SessionLimits limits = LimitsFromHeaders(request);
   std::shared_ptr<Session> session;
-  const std::string& id = request.Header("x-session");
+  const std::string id = request.Header("x-session");
   if (!id.empty()) {
     auto session_or = sessions_.Get(id);
     if (!session_or.ok()) return ErrorResponse(404, session_or.status());
@@ -563,16 +575,20 @@ HttpResponse QueryServer::HandleSession(const HttpRequest& request) {
 HttpResponse QueryServer::HandleConfig(const HttpRequest& request) {
   // Cache and batching toggles are admin knobs for A/B runs (the load
   // driver flips them between sweeps); they must not race live queries.
-  if (in_flight_.load() > 0 || queue_.size() > 0) {
+  // Holding the admission gate for the whole handler blocks new /query
+  // admissions, and `pending_` covers queued + executing jobs, so the
+  // idle check cannot race an admission on another connection.
+  std::lock_guard<std::mutex> gate(config_mu_);
+  if (pending_.load() > 0) {
     return ErrorResponse(
         409, Status::InvalidArgument(
                  "/config requires an idle server (queries in flight)"));
   }
-  const std::string& cache = request.Header("x-mqo-cache");
+  const std::string cache = request.Header("x-mqo-cache");
   if (!cache.empty()) {
     if (EqualsIgnoreCase(cache, "on")) {
       GmdjAggCacheConfig cache_config;
-      const std::string& mb = request.Header("x-cache-mb");
+      const std::string mb = request.Header("x-cache-mb");
       if (!mb.empty()) {
         cache_config.byte_budget =
             static_cast<size_t>(std::strtoull(mb.c_str(), nullptr, 10))
@@ -586,7 +602,7 @@ HttpResponse QueryServer::HandleConfig(const HttpRequest& request) {
                                     "X-Mqo-Cache must be 'on' or 'off'"));
     }
   }
-  const std::string& window = request.Header("x-batch-window-us");
+  const std::string window = request.Header("x-batch-window-us");
   if (!window.empty()) {
     batch_window_us_.store(std::strtoull(window.c_str(), nullptr, 10));
   }
@@ -658,6 +674,15 @@ void QueryServer::ExecuteJobs(std::vector<std::shared_ptr<Job>> jobs) {
     BatchOptions options;
     options.strategy = static_cast<Strategy>(strategy_key);
     options.coalesce_across_queries = true;
+    // Shared prewarm runs under batch-level limits, not any one query's;
+    // register a batch token so the drain watchdog can cancel it too.
+    std::list<CancellationToken>::iterator batch_token;
+    {
+      std::lock_guard<std::mutex> lock(active_mu_);
+      batch_token =
+          active_batch_tokens_.emplace(active_batch_tokens_.end());
+    }
+    options.limits.cancel = *batch_token;
     std::vector<const NestedSelect*> queries;
     queries.reserve(group.size());
     for (const auto& job : group) {
@@ -665,6 +690,10 @@ void QueryServer::ExecuteJobs(std::vector<std::shared_ptr<Job>> jobs) {
       options.per_query_limits.push_back(job->limits.ToQueryLimits());
     }
     BatchResult batch = engine_->ExecuteBatch(queries, options);
+    {
+      std::lock_guard<std::mutex> lock(active_mu_);
+      active_batch_tokens_.erase(batch_token);
+    }
     m_batches_->Add(1);
     h_batch_size_->Record(group.size());
     for (size_t i = 0; i < group.size(); ++i) {
@@ -698,6 +727,7 @@ void QueryServer::FinishJob(const std::shared_ptr<Job>& job) {
     std::lock_guard<std::mutex> lock(active_mu_);
     active_jobs_.erase(job.get());
     in_flight_.fetch_sub(1);
+    pending_.fetch_sub(1);
     g_in_flight_->Set(static_cast<int64_t>(in_flight_.load()));
     active_cv_.notify_all();
   }

@@ -152,6 +152,15 @@ class QueryServer {
   AdmissionQueue<std::shared_ptr<Job>> queue_;
   std::atomic<uint64_t> batch_window_us_;
 
+  /// Admission gate: /query pushes onto the queue (and bumps `pending_`)
+  /// while holding this, and /config holds it for the whole config
+  /// change. `pending_` counts jobs from admission to FinishJob, so
+  /// `pending_ == 0` under the gate means no query is queued or
+  /// executing — and none can be admitted — for the duration of the
+  /// change (no check-then-act window).
+  std::mutex config_mu_;
+  std::atomic<size_t> pending_{0};
+
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> draining_{false};
@@ -165,10 +174,14 @@ class QueryServer {
   std::atomic<size_t> open_connections_{0};
 
   /// Jobs currently executing, so the drain watchdog can cancel their
-  /// tokens past the deadline.
+  /// tokens past the deadline. `active_batch_tokens_` holds one
+  /// batch-level token per in-flight ExecuteBatch — the handle that lets
+  /// the watchdog also stop shared prewarm work, which runs under batch
+  /// (not per-query) limits.
   std::mutex active_mu_;
   std::condition_variable active_cv_;
   std::unordered_set<Job*> active_jobs_;
+  std::list<CancellationToken> active_batch_tokens_;
   std::atomic<size_t> in_flight_{0};
 
   // Registry handles (engine->metrics()), resolved once.

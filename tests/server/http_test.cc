@@ -118,6 +118,26 @@ TEST(HttpTest, BodyLargerThanLimitRejected) {
   EXPECT_EQ(error.code(), StatusCode::kInvalidArgument);
 }
 
+TEST(HttpTest, MalformedContentLengthRejected) {
+  // strtoull alone would accept these lenient framings; strict framing
+  // must not (a negative value would wrap to a huge unsigned one).
+  for (const char* value : {"-1", "+5", "7 ", "", "0x10",
+                            "99999999999999999999999999"}) {
+    SocketPair pair;
+    SendRaw(pair.client(), std::string("POST /query HTTP/1.1\r\n"
+                                       "Content-Length: ") +
+                               value + "\r\n\r\n");
+    std::string buffer;
+    HttpRequest request;
+    Status error;
+    EXPECT_EQ(ReadHttpRequest(pair.server(), HttpLimits(), &buffer, &request,
+                              nullptr, &error),
+              ReadResult::kError)
+        << "value: '" << value << "'";
+    EXPECT_EQ(error.code(), StatusCode::kInvalidArgument);
+  }
+}
+
 TEST(HttpTest, ChunkedTransferEncodingUnsupported) {
   SocketPair pair;
   SendRaw(pair.client(),
