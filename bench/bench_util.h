@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 
+#include "common/byte_size.h"
 #include "engine/olap_engine.h"
 #include "nested/nested_ast.h"
 #include "obs/metrics.h"
@@ -91,21 +92,54 @@ inline size_t ThreadsFlag() { return ThreadsFlagStorage(); }
 
 /// `--deadline-ms=D` / `--mem-budget-mb=M`: run every measured query under
 /// those governance limits (0 = ungoverned, the default), so sweeps can
-/// chart behavior at the budget edge. Tripped limits surface as skipped
-/// benchmarks plus nonzero governance counters in the JSON lines.
+/// chart behavior at the budget edge. `--mem-budget-mb` accepts a bare
+/// number (MB) or a suffixed byte size (`64mb`, `1gb`) through the shared
+/// parser in common/byte_size.h. Without spilling, tripped limits surface
+/// as skipped benchmarks plus nonzero governance counters in the JSON
+/// lines; with `--spill-dir` the over-budget operators degrade to
+/// multi-pass spill evaluation instead.
 inline double& DeadlineMsFlagStorage() {
   static double deadline_ms = 0.0;
   return deadline_ms;
 }
-inline size_t& MemBudgetMbFlagStorage() {
-  static size_t mem_budget_mb = 0;
-  return mem_budget_mb;
+inline size_t& MemBudgetBytesFlagStorage() {
+  static size_t mem_budget_bytes = 0;
+  return mem_budget_bytes;
 }
 inline QueryLimits BenchQueryLimits() {
   QueryLimits limits;
   limits.deadline_ms = DeadlineMsFlagStorage();
-  limits.mem_budget_bytes = MemBudgetMbFlagStorage() << 20;
+  limits.mem_budget_bytes = MemBudgetBytesFlagStorage();
   return limits;
+}
+
+/// `--spill-dir=DIR` / `--spill-max-bytes=N|512mb` / `--spill-partitions=P`:
+/// spill-to-disk knobs. An empty dir (default) leaves spilling off;
+/// `--spill-partitions` > 1 forces partitioned evaluation even when memory
+/// would have sufficed (deterministic multi-pass runs for CI).
+inline std::string& SpillDirFlagStorage() {
+  static auto* dir = new std::string();
+  return *dir;
+}
+inline size_t& SpillMaxBytesFlagStorage() {
+  static size_t max_bytes = 0;
+  return max_bytes;
+}
+inline size_t& SpillPartitionsFlagStorage() {
+  static size_t partitions = 1;
+  return partitions;
+}
+
+/// Applies the spill flags to an engine (idempotent; no-op without
+/// `--spill-dir`). Benchmarks call this next to set_exec_config.
+inline void ApplyBenchSpill(OlapEngine* engine) {
+  if (SpillDirFlagStorage().empty()) return;
+  if (engine->spill_manager() != nullptr) return;
+  spill::SpillConfig config;
+  config.dir = SpillDirFlagStorage();
+  config.max_bytes = SpillMaxBytesFlagStorage();
+  config.min_spill_partitions = SpillPartitionsFlagStorage();
+  engine->EnableSpill(config);
 }
 
 /// The expression evaluation mode every measurement in this process runs
@@ -155,8 +189,8 @@ inline ExecConfig BenchExecConfig() {
 }
 
 /// Strips flags the benchmark library does not know (`--threads=N`,
-/// `--deadline-ms=D`, `--mem-budget-mb=M`) from argv. Call before
-/// benchmark::Initialize, which rejects unknown flags.
+/// `--deadline-ms=D`, `--mem-budget-mb=M`, the `--spill-*` family) from
+/// argv. Call before benchmark::Initialize, which rejects unknown flags.
 inline void ParseBenchArgs(int* argc, char** argv) {
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
@@ -167,8 +201,26 @@ inline void ParseBenchArgs(int* argc, char** argv) {
       const double ms = std::atof(argv[i] + 14);
       DeadlineMsFlagStorage() = ms > 0.0 ? ms : 0.0;
     } else if (std::strncmp(argv[i], "--mem-budget-mb=", 16) == 0) {
-      const long mb = std::atol(argv[i] + 16);
-      MemBudgetMbFlagStorage() = mb > 0 ? static_cast<size_t>(mb) : 0;
+      const auto bytes = ParseByteSizeDefaultMb(argv[i] + 16);
+      if (!bytes.ok()) {
+        std::fprintf(stderr, "--mem-budget-mb: %s\n",
+                     bytes.status().message().c_str());
+        std::exit(2);
+      }
+      MemBudgetBytesFlagStorage() = bytes.ValueOrDie();
+    } else if (std::strncmp(argv[i], "--spill-dir=", 12) == 0) {
+      SpillDirFlagStorage() = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--spill-max-bytes=", 18) == 0) {
+      const auto bytes = ParseByteSize(argv[i] + 18);
+      if (!bytes.ok()) {
+        std::fprintf(stderr, "--spill-max-bytes: %s\n",
+                     bytes.status().message().c_str());
+        std::exit(2);
+      }
+      SpillMaxBytesFlagStorage() = bytes.ValueOrDie();
+    } else if (std::strncmp(argv[i], "--spill-partitions=", 19) == 0) {
+      const long p = std::atol(argv[i] + 19);
+      SpillPartitionsFlagStorage() = p > 1 ? static_cast<size_t>(p) : 1;
     } else {
       argv[out++] = argv[i];
     }
@@ -218,6 +270,7 @@ inline int RunBenchmarks() {
 inline void RunStrategy(benchmark::State& state, OlapEngine* engine,
                         const NestedSelect& query, Strategy strategy) {
   engine->set_exec_config(BenchExecConfig());
+  ApplyBenchSpill(engine);
   const QueryLimits limits = BenchQueryLimits();
   size_t rows = 0;
   for (auto _ : state) {
@@ -243,6 +296,12 @@ inline void RunStrategy(benchmark::State& state, OlapEngine* engine,
   state.counters["threads"] = static_cast<double>(ThreadsFlag());
   state.counters["peak_reserved_bytes"] =
       static_cast<double>(engine->governance_stats().peak_reserved_bytes);
+  if (engine->last_stats().spill_passes > 0) {
+    state.counters["spill_passes"] =
+        static_cast<double>(engine->last_stats().spill_passes);
+    state.counters["spill_bytes_written"] =
+        static_cast<double>(engine->last_stats().spill_bytes_written);
+  }
 }
 
 }  // namespace bench

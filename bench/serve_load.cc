@@ -28,6 +28,10 @@
 //   --smoke                        2s run + per-session governance
 //                                  isolation checks; exit nonzero on any
 //                                  error/mismatch or zero QPS
+//   --expect-spill                 the server runs with --spill-dir: the
+//                                  smoke probe expects tight budgets to
+//                                  degrade (200, identical rows) and only
+//                                  sub-row budgets to be 429-rejected
 //
 // Exit code: 0 iff the run completed with zero transport errors, zero
 // row mismatches, nonzero QPS, and (under --smoke) the governance
@@ -64,6 +68,7 @@ struct Args {
   double warehouse_scale = 1.0;
   bool check = true;
   bool smoke = false;
+  bool expect_spill = false;
 };
 
 Args ParseArgs(int argc, char** argv) {
@@ -93,6 +98,8 @@ Args ParseArgs(int argc, char** argv) {
     } else if (std::strcmp(arg, "--smoke") == 0) {
       args.smoke = true;
       args.seconds = 2.0;
+    } else if (std::strcmp(arg, "--expect-spill") == 0) {
+      args.expect_spill = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg);
       std::exit(2);
@@ -207,14 +214,18 @@ void ClientLoop(const Args& args, int client_id,
 /// --smoke extra: per-session governance isolation. A session created
 /// with a starvation memory budget must get a structured
 /// ResourceExhausted rejection, while a concurrent unlimited session
-/// keeps getting correct rows. Returns the number of check failures.
+/// keeps getting correct rows. With --expect-spill (the server has a
+/// spill dir), a merely-tight budget must instead *degrade* — 200 with
+/// the identical rows — and only a budget below a single row's working
+/// share still earns the 429. Returns the number of check failures.
 int GovernanceIsolationCheck(const Args& args,
                              const std::vector<std::string>& mix,
                              const std::vector<std::string>& expected) {
   int failures = 0;
-  server::HttpClient starved, roomy;
+  server::HttpClient starved, roomy, tight;
   if (!starved.Connect(args.host, args.port).ok() ||
-      !roomy.Connect(args.host, args.port).ok()) {
+      !roomy.Connect(args.host, args.port).ok() ||
+      (args.expect_spill && !tight.Connect(args.host, args.port).ok())) {
     std::fprintf(stderr, "smoke: connect failed\n");
     return 1;
   }
@@ -230,9 +241,17 @@ int GovernanceIsolationCheck(const Args& args,
                ? std::string()
                : body.substr(start, body.find('"', start) - start);
   };
-  const std::string starved_id =
-      make_session(&starved, {{"X-Mem-Budget-Bytes", "2048"}});
+  // Without spill, 2 KB starves any query outright. With spill the same
+  // budget degrades to multi-pass execution, so the hard-rejection probe
+  // drops below even one base row's share (a 16-byte budget cannot admit
+  // the first hash-index slot no matter how finely the input splits).
+  const std::string starved_id = make_session(
+      &starved, {{"X-Mem-Budget-Bytes", args.expect_spill ? "16" : "2048"}});
   const std::string roomy_id = make_session(&roomy, {});
+  const std::string tight_id =
+      args.expect_spill
+          ? make_session(&tight, {{"X-Mem-Budget-Bytes", "2048"}})
+          : std::string();
 
   const std::string& query = mix[0];
   for (int round = 0; round < 3; ++round) {
@@ -259,6 +278,22 @@ int GovernanceIsolationCheck(const Args& args,
                    "smoke: starved session not rejected (status %d): %s\n",
                    status, body.c_str());
       ++failures;
+    }
+    // ...and a tight-but-spillable session gets the full correct answer
+    // rather than a rejection: graceful degradation, end to end.
+    if (args.expect_spill) {
+      status = Post(&tight, args, "/query",
+                    {{"X-Format", "tsv"},
+                     {"X-Strategy", args.strategy},
+                     {"X-Session", tight_id}},
+                    query, &body);
+      if (status != 200 || (args.check && body != expected[0])) {
+        std::fprintf(stderr,
+                     "smoke: tight session did not degrade via spill "
+                     "(status %d): %s\n",
+                     status, body.c_str());
+        ++failures;
+      }
     }
   }
   return failures;

@@ -21,6 +21,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/byte_size.h"
 #include "engine/advisor.h"
 #include "engine/olap_engine.h"
 #include "sql/parser.h"
@@ -69,6 +70,10 @@ void PrintHelp() {
       "                             session governance defaults applied to\n"
       "                             every later statement (0 = unlimited;\n"
       "                             no args: show current)\n"
+      "  \\snapshot <dir>            save every catalog table to <dir>\n"
+      "                             (also SQL: SAVE SNAPSHOT '<dir>')\n"
+      "  \\restore <dir>             replace catalog tables from a snapshot\n"
+      "                             (also SQL: RESTORE SNAPSHOT '<dir>')\n"
       "  \\help   \\quit\n"
       "Examples:\n"
       "  SELECT * FROM Hours H WHERE EXISTS (SELECT * FROM Flow F WHERE\n"
@@ -84,6 +89,19 @@ void RunSql(OlapEngine* engine, const SessionLimits& limits,
   auto parsed = ParseStatement(sql);
   if (!parsed.ok()) {
     PrintParseError(sql, parsed.status());
+    return;
+  }
+  if (parsed->kind != SqlStatement::Kind::kSelect) {
+    // SAVE/RESTORE SNAPSHOT carry no query for the advisor; run directly.
+    QueryRun run;
+    const auto result =
+        engine->ExecuteSql(sql, Strategy::kGmdjOptimized, limits, &run);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+    } else if (result->num_rows() > 0 && !result->row(0).empty()) {
+      std::printf("%s (%.2f ms)\n", result->row(0)[0].ToString().c_str(),
+                  run.elapsed_ms);
+    }
     return;
   }
   StrategyAdvisor advisor(engine->catalog());
@@ -210,8 +228,36 @@ void Advise(OlapEngine* engine, const std::string& sql) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   OlapEngine engine;
+  // Flags: --spill-dir=DIR [--spill-max-bytes=N|512mb] enable disk spill
+  // for over-budget queries (see \limits for the budget itself).
+  spill::SpillConfig spill_config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto flag_value = [&arg](const char* name) -> std::string {
+      const std::string prefix = std::string("--") + name + "=";
+      return arg.rfind(prefix, 0) == 0 ? arg.substr(prefix.size())
+                                       : std::string();
+    };
+    if (std::string v = flag_value("spill-dir"); !v.empty()) {
+      spill_config.dir = v;
+    } else if (std::string v = flag_value("spill-max-bytes"); !v.empty()) {
+      const auto bytes_or = ParseByteSize(v);
+      if (!bytes_or.ok()) {
+        std::fprintf(stderr, "--spill-max-bytes: %s\n",
+                     bytes_or.status().message().c_str());
+        return 2;
+      }
+      spill_config.max_bytes = bytes_or.ValueOrDie();
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--spill-dir=DIR] [--spill-max-bytes=N|512mb]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (!spill_config.dir.empty()) engine.EnableSpill(spill_config);
   LoadDefaultWarehouse(engine.catalog());
   SessionLimits limits;  // \limits adjusts; applied to every statement.
   const bool interactive = isatty(fileno(stdin));
@@ -271,6 +317,24 @@ int main() {
         }
       } else if (command == "metrics") {
         std::printf("%s\n", engine.SnapshotMetrics().ToJson().c_str());
+      } else if (command == "snapshot" || command == "restore") {
+        std::string dir;
+        stream >> dir;
+        if (dir.empty()) {
+          std::printf("usage: \\%s <dir>\n", command.c_str());
+          continue;
+        }
+        const Status status = command == "snapshot"
+                                  ? engine.SaveSnapshot(dir)
+                                  : engine.RestoreSnapshot(dir);
+        if (status.ok()) {
+          std::printf("%s %s (%zu tables)\n",
+                      command == "snapshot" ? "saved snapshot to"
+                                            : "restored snapshot from",
+                      dir.c_str(), engine.catalog()->TableNames().size());
+        } else {
+          std::printf("%s\n", status.ToString().c_str());
+        }
       } else if (command == "run") {
         RunForced(&engine, limits, &stream);
       } else if (command == "limits") {

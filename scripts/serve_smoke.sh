@@ -16,9 +16,13 @@ load_bin=$2
 port=${3:-18123}
 
 log=$(mktemp)
-"$serve_bin" --port="$port" --warehouse-scale=0.25 >"$log" 2>&1 &
+# Spill directory in a mktemp -d, trap-cleaned so failed runs leave no
+# litter; the tiny cap exercises the spill byte-budget path too.
+spill_dir=$(mktemp -d)
+"$serve_bin" --port="$port" --warehouse-scale=0.25 \
+  --spill-dir="$spill_dir" --spill-max-bytes=256mb >"$log" 2>&1 &
 server_pid=$!
-trap 'kill -9 $server_pid 2>/dev/null || true; rm -f "$log"' EXIT
+trap 'kill -9 $server_pid 2>/dev/null || true; rm -f "$log"; rm -rf "$spill_dir"' EXIT
 
 # Wait for the listen line (the binary prints it once bound).
 for _ in $(seq 1 100); do
@@ -33,7 +37,9 @@ done
 grep -q "listening on" "$log" || { echo "error: server never bound" >&2; exit 1; }
 
 # Closed-loop run with row-equality checking + governance isolation probe.
-"$load_bin" --port="$port" --warehouse-scale=0.25 --smoke
+# The server has a spill dir, so the probe expects graceful degradation:
+# tight budgets answer correctly via spill, sub-row budgets still 429.
+"$load_bin" --port="$port" --warehouse-scale=0.25 --smoke --expect-spill
 
 # /health must answer ok while idle.
 health=$(curl -sf "http://127.0.0.1:$port/health")
@@ -52,5 +58,5 @@ if [ "$server_rc" -ne 0 ]; then
   cat "$log" >&2
   exit 1
 fi
-trap 'rm -f "$log"' EXIT
+trap 'rm -f "$log"; rm -rf "$spill_dir"' EXIT
 echo "serve smoke OK (graceful shutdown exit 0)"

@@ -1,0 +1,106 @@
+#include "common/byte_size.h"
+
+#include <cctype>
+#include <cstdint>
+#include <limits>
+
+namespace gmdj {
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+Result<size_t> ParseImpl(std::string_view text, size_t bare_multiplier) {
+  std::string_view s = Trim(text);
+  if (s.empty()) {
+    return Status::InvalidArgument("empty byte size");
+  }
+  size_t i = 0;
+  uint64_t value = 0;
+  while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+    uint64_t digit = static_cast<uint64_t>(s[i] - '0');
+    if (value > (std::numeric_limits<uint64_t>::max() - digit) / 10) {
+      return Status::InvalidArgument("byte size overflows: " +
+                                     std::string(text));
+    }
+    value = value * 10 + digit;
+    ++i;
+  }
+  if (i == 0) {
+    return Status::InvalidArgument("byte size must start with a digit: " +
+                                   std::string(text));
+  }
+  std::string_view suffix = Trim(s.substr(i));
+  uint64_t multiplier;
+  if (suffix.empty()) {
+    multiplier = bare_multiplier;
+  } else {
+    std::string lower;
+    lower.reserve(suffix.size());
+    for (char c : suffix) {
+      lower.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+    if (lower == "b") {
+      multiplier = 1;
+    } else if (lower == "k" || lower == "kb") {
+      multiplier = uint64_t{1} << 10;
+    } else if (lower == "m" || lower == "mb") {
+      multiplier = uint64_t{1} << 20;
+    } else if (lower == "g" || lower == "gb") {
+      multiplier = uint64_t{1} << 30;
+    } else if (lower == "t" || lower == "tb") {
+      multiplier = uint64_t{1} << 40;
+    } else {
+      return Status::InvalidArgument("unknown byte-size suffix '" +
+                                     std::string(suffix) + "' in: " +
+                                     std::string(text));
+    }
+  }
+  if (value != 0 &&
+      value > std::numeric_limits<uint64_t>::max() / multiplier) {
+    return Status::InvalidArgument("byte size overflows: " +
+                                   std::string(text));
+  }
+  uint64_t bytes = value * multiplier;
+  if (bytes > std::numeric_limits<size_t>::max()) {
+    return Status::InvalidArgument("byte size overflows: " +
+                                   std::string(text));
+  }
+  return static_cast<size_t>(bytes);
+}
+
+}  // namespace
+
+Result<size_t> ParseByteSize(std::string_view text) {
+  return ParseImpl(text, 1);
+}
+
+Result<size_t> ParseByteSizeDefaultMb(std::string_view text) {
+  return ParseImpl(text, uint64_t{1} << 20);
+}
+
+std::string FormatByteSize(size_t bytes) {
+  struct Unit {
+    size_t shift;
+    const char* suffix;
+  };
+  static constexpr Unit kUnits[] = {
+      {40, "tb"}, {30, "gb"}, {20, "mb"}, {10, "kb"}};
+  for (const Unit& u : kUnits) {
+    size_t unit = size_t{1} << u.shift;
+    if (bytes >= unit && bytes % unit == 0) {
+      return std::to_string(bytes >> u.shift) + u.suffix;
+    }
+  }
+  return std::to_string(bytes) + "b";
+}
+
+}  // namespace gmdj

@@ -1,0 +1,33 @@
+#ifndef GMDJ_COMMON_BYTE_SIZE_H_
+#define GMDJ_COMMON_BYTE_SIZE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace gmdj {
+
+/// Parses a human-friendly byte size: a non-negative integer with an
+/// optional case-insensitive suffix `b`, `kb`, `mb`, `gb`, or `tb`
+/// (powers of 1024). `"64mb"`, `"1GB"`, and `"1048576"` are all valid;
+/// whitespace around the number or between number and suffix is
+/// tolerated. This is the one shared parser behind the bench
+/// `--mem-budget-mb` / `--spill-max-bytes` flags and the server's
+/// `X-Mem-Budget-Bytes` header, so every surface accepts the same forms.
+///
+/// InvalidArgument on empty input, unknown suffix, or overflow.
+Result<size_t> ParseByteSize(std::string_view text);
+
+/// Like ParseByteSize but a bare number means megabytes, not bytes —
+/// for flags historically documented as MB (`--mem-budget-mb`).
+Result<size_t> ParseByteSizeDefaultMb(std::string_view text);
+
+/// Renders bytes with the largest exact binary suffix: 64 << 20 ->
+/// "64mb", 1536 -> "1536b" (no fractional units).
+std::string FormatByteSize(size_t bytes);
+
+}  // namespace gmdj
+
+#endif  // GMDJ_COMMON_BYTE_SIZE_H_

@@ -160,6 +160,25 @@ class GmdjNode final : public PlanNode {
   Result<Table> ExecuteAuto(ExecContext* ctx, const Table& base,
                             const Table& detail) const;
 
+  /// ExecuteAuto with graceful memory degradation. When a spill scope is
+  /// attached and the in-memory attempt (or the scope's forced-partition
+  /// config) says the base does not fit, falls back to ExecuteSpilled;
+  /// without a scope a failed reservation stays fatal, as before.
+  Result<Table> ExecuteAutoOrSpill(ExecContext* ctx, OpScope* scope,
+                                   const Table& base,
+                                   const Table& detail) const;
+
+  /// Partitioned evaluation: splits the base into contiguous ranges, runs
+  /// ExecuteAuto per range against the vacated budget (re-scanning the
+  /// detail each pass), streams each range's output through a spill file,
+  /// and concatenates in base order — exactly the single-pass output,
+  /// since GMDJ base tuples are independent (state is per base row).
+  /// Ranges that still do not fit split recursively; a single base row
+  /// over budget is the hard ResourceExhausted fallback.
+  Result<Table> ExecuteSpilled(ExecContext* ctx, OpScope* scope,
+                               const Table& base, const Table& detail,
+                               size_t initial_partitions) const;
+
   /// Compiles conditions into dispatch runtimes (indexes included); the
   /// hash-index build parallelizes on the shared pool for large bases.
   /// Non-OK on governance abort (index memory over budget) or an injected

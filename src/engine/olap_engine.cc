@@ -6,6 +6,7 @@
 #include "core/optimizer.h"
 #include "core/gmdj.h"
 #include "nested/native_eval.h"
+#include "spill/snapshot.h"
 #include "sql/parser.h"
 #include "unnest/unnest.h"
 
@@ -94,6 +95,19 @@ OlapEngine::OlapEngine() {
   metrics_.GetCounter("expr.interpreter_fallbacks");
   metrics_.GetCounter("mqo.cache_hits");
   metrics_.GetCounter("mqo.cache_misses");
+  // Spill subsystem feeds (SpillManager resolves the same names when
+  // enabled); pre-registered so snapshots always carry them.
+  metrics_.GetCounter("spill.bytes_written");
+  metrics_.GetCounter("spill.bytes_read");
+  metrics_.GetCounter("spill.blocks_written");
+  metrics_.GetCounter("spill.blocks_read");
+  metrics_.GetCounter("spill.files_created");
+  metrics_.GetCounter("spill.partitions");
+  metrics_.GetCounter("spill.passes");
+  metrics_.GetCounter("spill.queries");
+  metrics_.GetCounter("spill.budget_rejections");
+  metrics_.GetGauge("spill.bytes_in_use");
+  metrics_.GetGauge("spill.open_files");
   // Hot-path handles operators record through (GMDJ_METRIC_* macros).
   hot_metrics_.rows_scanned = metrics_.GetCounter("gmdj.rows_scanned");
   hot_metrics_.predicate_evals = metrics_.GetCounter("gmdj.predicate_evals");
@@ -207,6 +221,13 @@ Result<Table> OlapEngine::Execute(const NestedSelect& query, Strategy strategy,
         ctx.set_query_ctx(&qctx);
         WireContext(&ctx);
         ctx.set_current_span(query_span);
+        // The scope (and the spill files of any operator that degraded)
+        // lives exactly as long as this query's execution.
+        std::unique_ptr<spill::SpillScope> spill_scope;
+        if (spill_manager_ != nullptr) {
+          spill_scope = spill_manager_->CreateScope(StrategyToString(strategy));
+          ctx.set_spill(spill_scope.get());
+        }
         auto planned = plan->Execute(&ctx);
         run->stats = ctx.stats();
         if (agg_cache_ != nullptr) {
@@ -302,6 +323,21 @@ void OlapEngine::DisableAggCache() {
   agg_cache_.reset();
 }
 
+void OlapEngine::EnableSpill(spill::SpillConfig config) {
+  spill_manager_ = std::make_unique<spill::SpillManager>(std::move(config),
+                                                         &metrics_);
+}
+
+void OlapEngine::DisableSpill() { spill_manager_.reset(); }
+
+Status OlapEngine::SaveSnapshot(const std::string& dir) const {
+  return spill::SaveSnapshot(catalog_, dir);
+}
+
+Status OlapEngine::RestoreSnapshot(const std::string& dir) {
+  return spill::RestoreSnapshot(&catalog_, dir);
+}
+
 namespace {
 
 /// Stacks one GMDJ per select-list aggregate subquery on top of `plan`,
@@ -382,6 +418,17 @@ Result<Table> OlapEngine::ExecuteSql(std::string_view sql, Strategy strategy,
   QueryRun local;
   if (run == nullptr) run = &local;
   GMDJ_ASSIGN_OR_RETURN(SqlStatement statement, ParseStatement(sql));
+  if (statement.kind != SqlStatement::Kind::kSelect) {
+    const bool saving = statement.kind == SqlStatement::Kind::kSaveSnapshot;
+    Stopwatch snapshot_watch;
+    GMDJ_RETURN_IF_ERROR(saving ? SaveSnapshot(statement.snapshot_dir)
+                                : RestoreSnapshot(statement.snapshot_dir));
+    run->elapsed_ms = snapshot_watch.ElapsedMillis();
+    return PlanTextTable(
+        std::string(saving ? "saved snapshot to " : "restored snapshot from ") +
+        statement.snapshot_dir + " (" +
+        std::to_string(catalog_.TableNames().size()) + " tables)");
+  }
   if (statement.explain != SqlStatement::ExplainMode::kNone) {
     switch (strategy) {
       case Strategy::kNativeNaive:
@@ -421,6 +468,11 @@ Result<Table> OlapEngine::ExecuteSql(std::string_view sql, Strategy strategy,
   ExecContext ctx(&catalog_, config);
   ctx.set_query_ctx(&qctx);
   WireContext(&ctx);
+  std::unique_ptr<spill::SpillScope> spill_scope;
+  if (spill_manager_ != nullptr) {
+    spill_scope = spill_manager_->CreateScope("sql-output");
+    ctx.set_spill(spill_scope.get());
+  }
   auto result = plan->Execute(&ctx);
   run->stats.gmdj_ops += ctx.stats().gmdj_ops;
   RecordQueryStats(&metrics_, ctx.stats());
@@ -480,6 +532,11 @@ Result<std::string> OlapEngine::ExplainAnalyzePlan(
   ExecContext ctx(&catalog_, exec_config_);
   ctx.set_gmdj_cache(agg_cache_.get());
   WireContext(&ctx);
+  std::unique_ptr<spill::SpillScope> spill_scope;
+  if (spill_manager_ != nullptr) {
+    spill_scope = spill_manager_->CreateScope("explain-analyze");
+    ctx.set_spill(spill_scope.get());
+  }
   ctx.set_profile(&profile);
   const uint32_t span = tracer_.Start("explain-analyze");
   ctx.set_current_span(span);

@@ -15,6 +15,7 @@
 #include "obs/operator_stats.h"
 #include "obs/trace.h"
 #include "parallel/exec_config.h"
+#include "spill/spill_manager.h"
 #include "storage/catalog.h"
 
 namespace gmdj {
@@ -159,6 +160,26 @@ class OlapEngine {
   /// The active cache, or null when disabled.
   GmdjAggCache* agg_cache() { return agg_cache_.get(); }
 
+  /// Enables spill-to-disk (src/spill/): every governed query gets a
+  /// per-query SpillScope, and a GMDJ or hash-join build whose memory
+  /// reservation is rejected degrades to partitioned multi-pass
+  /// evaluation over spill files instead of failing — after the MQO cache
+  /// reclaimer (when enabled) has already shed what it could. Results are
+  /// row- and order-identical to in-memory evaluation; the trade is extra
+  /// detail/probe scans, visible in ExecStats and `spill.*` metrics.
+  void EnableSpill(spill::SpillConfig config);
+  void DisableSpill();
+
+  /// The active spill manager, or null when disabled.
+  spill::SpillManager* spill_manager() { return spill_manager_.get(); }
+
+  /// Serializes every catalog table into `dir` (spill block format plus a
+  /// MANIFEST); RestoreSnapshot replaces same-named tables from `dir`.
+  /// Also reachable as SQL `SAVE SNAPSHOT '<dir>'` / `RESTORE SNAPSHOT
+  /// '<dir>'` through ExecuteSql. Not safe against concurrent queries.
+  Status SaveSnapshot(const std::string& dir) const;
+  Status RestoreSnapshot(const std::string& dir);
+
   /// Statistics and wall time of the most recent Execute call.
   const ExecStats& last_stats() const { return last_stats_; }
   double last_elapsed_ms() const { return last_elapsed_ms_; }
@@ -217,6 +238,7 @@ class OlapEngine {
   ExecStats last_stats_;
   double last_elapsed_ms_ = 0.0;
   std::unique_ptr<GmdjAggCache> agg_cache_;
+  std::unique_ptr<spill::SpillManager> spill_manager_;
   MemoryPool mem_pool_;
 
   obs::MetricRegistry metrics_;

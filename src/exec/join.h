@@ -48,6 +48,18 @@ class HashJoinNode final : public PlanNode {
   }
 
  private:
+  /// Build-side spilling: partitions the right input into contiguous
+  /// ranges, builds a hash table per range against the vacated budget, and
+  /// probes the full left input each pass. Inner/left-outer match rows are
+  /// staged in per-pass spill files tagged with their probe-row index and
+  /// merged back in exact single-pass order; semi/anti only need the
+  /// cross-pass match bitmap. Ranges that still do not fit split
+  /// recursively; a single build row over budget is the hard
+  /// ResourceExhausted fallback.
+  Result<Table> ExecuteSpilled(ExecContext* ctx, OpScope* scope,
+                               const Table& l, const Table& r,
+                               size_t initial_partitions) const;
+
   PlanPtr left_;
   PlanPtr right_;
   JoinKind kind_;

@@ -39,6 +39,13 @@ std::string ExecStats::ToString() const {
     out += " cache_invalidations=" + std::to_string(cache_invalidations);
     out += " cache_bytes=" + std::to_string(cache_bytes);
   }
+  if (spill_partitions + spill_passes + spill_bytes_written + spill_bytes_read >
+      0) {
+    out += " spill_partitions=" + std::to_string(spill_partitions);
+    out += " spill_passes=" + std::to_string(spill_passes);
+    out += " spill_bytes_written=" + std::to_string(spill_bytes_written);
+    out += " spill_bytes_read=" + std::to_string(spill_bytes_read);
+  }
   return out;
 }
 
@@ -136,6 +143,16 @@ void RenderAnalyzed(const PlanNode& node, const obs::PlanProfile& profile,
       out->push_back('\n');
       out->append(indent);
       out->append("    rng: " + stats->rng_sizes.Summary());
+      out->push_back('\n');
+    }
+    if (stats->spill_passes > 0) {
+      out->append(indent);
+      out->append("    spill: partitions=" +
+                  std::to_string(stats->spill_partitions));
+      out->append(" passes=" + std::to_string(stats->spill_passes));
+      out->append(" bytes_written=" +
+                  std::to_string(stats->spill_bytes_written));
+      out->append(" bytes_read=" + std::to_string(stats->spill_bytes_read));
       out->push_back('\n');
     }
     if (options.include_timings) {

@@ -18,6 +18,10 @@
 
 namespace gmdj {
 
+namespace spill {
+class SpillScope;
+}  // namespace spill
+
 /// Counters collected during plan execution. The paper's argument is about
 /// *scans of the detail relation* being the dominant cost; `table_scans`
 /// and `rows_scanned` make that observable in tests and benchmarks.
@@ -46,6 +50,14 @@ struct ExecStats {
   uint64_t cache_evictions = 0;      // Entries dropped by the byte budget.
   uint64_t cache_invalidations = 0;  // Entries dropped by version mismatch.
   uint64_t cache_bytes = 0;          // Resident cache footprint.
+
+  // Spill-to-disk counters (src/spill/). A spilled operator evaluates in
+  // `spill_passes` per-partition passes; each extra pass re-scans its
+  // probe/detail input, which the scan counters above also reflect.
+  uint64_t spill_partitions = 0;     // Partitions spilled operators split into.
+  uint64_t spill_passes = 0;         // Per-partition evaluation passes.
+  uint64_t spill_bytes_written = 0;  // Encoded bytes written to spill files.
+  uint64_t spill_bytes_read = 0;     // Encoded bytes read back.
 
   void Reset() { *this = ExecStats{}; }
   std::string ToString() const;
@@ -108,6 +120,26 @@ class ExecContext {
                                  : query_ctx_->ReserveMemory(bytes);
   }
 
+  /// Returns `bytes` of a prior reservation early. Spilling operators use
+  /// this between passes so partition N+1 runs against the budget
+  /// partition N just vacated; plain operators still rely on the bulk
+  /// release at QueryContext destruction.
+  void ReleaseMemory(size_t bytes) const {
+    if (query_ctx_ != nullptr) query_ctx_->ReleaseMemory(bytes);
+  }
+
+  /// Bytes currently reserved by this query (0 when ungoverned). Spilling
+  /// operators snapshot this before an attempt and release the delta after
+  /// it, capturing reservations made behind callee interfaces too.
+  size_t reserved_memory() const {
+    return query_ctx_ == nullptr ? 0 : query_ctx_->memory().reserved();
+  }
+
+  /// Per-query spill scope (src/spill/); null means spilling is disabled
+  /// and a failed reservation stays fatal for the operator.
+  void set_spill(spill::SpillScope* spill) { spill_ = spill; }
+  spill::SpillScope* spill() const { return spill_; }
+
   /// Per-operator profile sink (EXPLAIN ANALYZE). Null — the default —
   /// disables collection; OpScope then costs one branch per operator.
   void set_profile(obs::PlanProfile* profile) { profile_ = profile; }
@@ -145,6 +177,7 @@ class ExecContext {
   ExecStats stats_;
   GmdjCacheHook* gmdj_cache_ = nullptr;
   QueryContext* query_ctx_ = nullptr;
+  spill::SpillScope* spill_ = nullptr;
   obs::PlanProfile* profile_ = nullptr;
   obs::SpanTracer* tracer_ = nullptr;
   uint32_t current_span_ = obs::SpanTracer::kNoSpan;

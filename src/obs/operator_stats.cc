@@ -20,6 +20,10 @@ void OperatorStats::MergeFrom(const OperatorStats& other) {
     cache_outcome = other.cache_outcome;
   }
   rng_sizes.Merge(other.rng_sizes);
+  spill_partitions += other.spill_partitions;
+  spill_passes += other.spill_passes;
+  spill_bytes_written += other.spill_bytes_written;
+  spill_bytes_read += other.spill_bytes_read;
 }
 
 }  // namespace obs

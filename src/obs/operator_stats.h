@@ -55,6 +55,12 @@ struct OperatorStats {
   CacheOutcome cache_outcome = CacheOutcome::kNotProbed;
   HistogramData rng_sizes;  // |RNG(b, R, theta)| per (base row, condition).
 
+  // Spill detail (zero when the operator ran fully in memory).
+  uint64_t spill_partitions = 0;
+  uint64_t spill_passes = 0;
+  uint64_t spill_bytes_written = 0;
+  uint64_t spill_bytes_read = 0;
+
   void MergeFrom(const OperatorStats& other);
 };
 

@@ -14,6 +14,7 @@
 #include <cstring>
 #include <unordered_map>
 
+#include "common/byte_size.h"
 #include "engine/batch_planner.h"
 #include "server/wire.h"
 #include "sql/parser.h"
@@ -346,7 +347,7 @@ void QueryServer::ConnectionLoop(Conn* conn) {
     }
 
     HttpResponse response;
-    keep = HandleRequest(conn->fd, request, &response);
+    keep = HandleRequest(conn, request, &response);
     if (request.WantsClose()) keep = false;
     response.close = !keep;
     size_t written = 0;
@@ -355,13 +356,22 @@ void QueryServer::ConnectionLoop(Conn* conn) {
   }
 
   // FIN promptly; the fd itself is closed at reap/join time.
+  BindConnection(conn, nullptr);
   ::shutdown(conn->fd, SHUT_RDWR);
   open_connections_.fetch_sub(1);
   g_open_connections_->Set(static_cast<int64_t>(open_connections_.load()));
   conn->finished.store(true);
 }
 
-bool QueryServer::HandleRequest(int fd, const HttpRequest& request,
+void QueryServer::BindConnection(Conn* conn,
+                                 std::shared_ptr<Session> session) {
+  if (conn->session == session) return;
+  if (conn->session != nullptr) conn->session->connections.fetch_sub(1);
+  if (session != nullptr) session->connections.fetch_add(1);
+  conn->session = std::move(session);
+}
+
+bool QueryServer::HandleRequest(Conn* conn, const HttpRequest& request,
                                 HttpResponse* response) {
   std::string target = request.target;
   const size_t qmark = target.find('?');
@@ -392,12 +402,12 @@ bool QueryServer::HandleRequest(int fd, const HttpRequest& request,
 
   if (target == "/query" || target == "/explain") {
     const bool explain = target == "/explain";
-    *response = HandleQuery(fd, request, explain);
+    *response = HandleQuery(conn, request, explain);
     (explain ? h_explain_us_ : h_query_us_)->Record(ElapsedUs(started));
     return true;
   }
   if (target == "/session") {
-    *response = HandleSession(request);
+    *response = HandleSession(conn, request);
     return true;
   }
   if (target == "/config") {
@@ -421,8 +431,11 @@ SessionLimits QueryServer::LimitsFromHeaders(const HttpRequest& request) {
                                                           nullptr);
   const std::string budget = request.Header("x-mem-budget-bytes");
   if (!budget.empty()) {
-    limits.mem_budget_bytes =
-        static_cast<size_t>(std::strtoull(budget.c_str(), nullptr, 10));
+    // Shared parser (common/byte_size.h): accepts "65536" and "64mb"
+    // alike, the same forms the bench flags take. Unparseable values are
+    // ignored (keeps the header best-effort, as before).
+    auto bytes_or = ParseByteSize(budget);
+    if (bytes_or.ok()) limits.mem_budget_bytes = bytes_or.ValueOrDie();
   }
   const std::string threads = request.Header("x-threads");
   if (!threads.empty()) {
@@ -432,8 +445,9 @@ SessionLimits QueryServer::LimitsFromHeaders(const HttpRequest& request) {
   return limits;
 }
 
-HttpResponse QueryServer::HandleQuery(int fd, const HttpRequest& request,
+HttpResponse QueryServer::HandleQuery(Conn* conn, const HttpRequest& request,
                                       bool explain) {
+  const int fd = conn->fd;
   if (draining_.load()) {
     m_rejected_->Add(1);
     return ErrorResponse(503,
@@ -446,6 +460,7 @@ HttpResponse QueryServer::HandleQuery(int fd, const HttpRequest& request,
     return ErrorResponse(404, session_or.status());
   }
   std::shared_ptr<Session> session = std::move(session_or).ValueOrDie();
+  BindConnection(conn, session);
 
   Strategy strategy = config_.default_strategy;
   const std::string strategy_name = request.Header("x-strategy");
@@ -513,6 +528,7 @@ HttpResponse QueryServer::HandleQuery(int fd, const HttpRequest& request,
   }
   m_accepted_->Add(1);
   session->queries.fetch_add(1);
+  session->in_flight.fetch_add(1);  // Dropped by FinishJob.
 
   // Wait for a worker, watching the socket: a client that hangs up
   // cancels its own query (and only its own — the token is per-request).
@@ -549,7 +565,8 @@ HttpResponse QueryServer::HandleQuery(int fd, const HttpRequest& request,
   return response;
 }
 
-HttpResponse QueryServer::HandleSession(const HttpRequest& request) {
+HttpResponse QueryServer::HandleSession(Conn* conn,
+                                        const HttpRequest& request) {
   const SessionLimits limits = LimitsFromHeaders(request);
   std::shared_ptr<Session> session;
   const std::string id = request.Header("x-session");
@@ -561,6 +578,7 @@ HttpResponse QueryServer::HandleSession(const HttpRequest& request) {
   } else {
     session = sessions_.Create(limits);
   }
+  BindConnection(conn, session);
   HttpResponse response;
   response.body = "{\"status\": \"ok\", \"session\": \"" +
                   JsonEscape(session->id()) + "\", \"deadline_ms\": " +
@@ -629,8 +647,29 @@ HttpResponse QueryServer::HandleHealth() {
 }
 
 HttpResponse QueryServer::HandleMetrics() {
-  engine_->metrics()->GetGauge("server.queued")->Set(
-      static_cast<int64_t>(queue_.size()));
+  obs::MetricRegistry* reg = engine_->metrics();
+  reg->GetGauge("server.queued")->Set(static_cast<int64_t>(queue_.size()));
+  // Per-tenant gauges: refresh every session's connection and in-flight
+  // counts right before the snapshot. A session is "active" while it has
+  // a bound connection or a query between admission and completion.
+  int64_t active_sessions = 0;
+  for (const auto& session : sessions_.List()) {
+    const int64_t connections = session->connections.load();
+    const int64_t in_flight = session->in_flight.load();
+    if (connections > 0 || in_flight > 0) ++active_sessions;
+    const std::string prefix =
+        "server.session." +
+        (session->id().empty() ? std::string("anonymous") : session->id());
+    reg->GetGauge(prefix + ".connections")->Set(connections);
+    reg->GetGauge(prefix + ".in_flight")->Set(in_flight);
+    reg->GetGauge(prefix + ".queries")
+        ->Set(static_cast<int64_t>(session->queries.load()));
+    reg->GetGauge(prefix + ".rejected")
+        ->Set(static_cast<int64_t>(session->rejected.load()));
+  }
+  reg->GetGauge("server.sessions")
+      ->Set(static_cast<int64_t>(sessions_.size()));
+  reg->GetGauge("server.sessions_active")->Set(active_sessions);
   HttpResponse response;
   response.body = engine_->SnapshotMetrics().ToJson();
   return response;
@@ -723,6 +762,7 @@ void QueryServer::ExecuteJobs(std::vector<std::shared_ptr<Job>> jobs) {
 }
 
 void QueryServer::FinishJob(const std::shared_ptr<Job>& job) {
+  if (job->session != nullptr) job->session->in_flight.fetch_sub(1);
   {
     std::lock_guard<std::mutex> lock(active_mu_);
     active_jobs_.erase(job.get());

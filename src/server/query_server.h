@@ -119,18 +119,27 @@ class QueryServer {
     int fd = -1;
     std::thread thread;
     std::atomic<bool> finished{false};
+    /// The session the most recent request on this connection ran under;
+    /// only the connection thread touches it. Backs the per-tenant
+    /// connection-count gauges.
+    std::shared_ptr<Session> session;
   };
 
   void AcceptLoop();
   void ConnectionLoop(Conn* conn);
   void WorkerLoop();
 
+  /// Re-points `conn` at `session`, moving its count between the two
+  /// sessions' connection gauges.
+  static void BindConnection(Conn* conn, std::shared_ptr<Session> session);
+
   /// Dispatches one parsed request; fills `response`. Returns false when
   /// the connection should close afterwards.
-  bool HandleRequest(int fd, const HttpRequest& request,
+  bool HandleRequest(Conn* conn, const HttpRequest& request,
                      HttpResponse* response);
-  HttpResponse HandleQuery(int fd, const HttpRequest& request, bool explain);
-  HttpResponse HandleSession(const HttpRequest& request);
+  HttpResponse HandleQuery(Conn* conn, const HttpRequest& request,
+                           bool explain);
+  HttpResponse HandleSession(Conn* conn, const HttpRequest& request);
   HttpResponse HandleConfig(const HttpRequest& request);
   HttpResponse HandleHealth();
   HttpResponse HandleMetrics();

@@ -17,6 +17,7 @@
 
 #include <unistd.h>
 
+#include "common/byte_size.h"
 #include "engine/olap_engine.h"
 #include "server/query_server.h"
 #include "workload/warehouse.h"
@@ -37,9 +38,12 @@ struct Flags {
   gmdj::server::ServerConfig server;
   bool mqo_cache = true;
   size_t cache_mb = 64;
-  size_t mem_budget_mb = 0;  // Engine pool capacity; 0 = unbounded.
-  size_t threads = 0;        // Engine ExecConfig threads; 0 = hardware.
+  size_t mem_budget_bytes = 0;  // Engine pool capacity; 0 = unbounded.
+  size_t threads = 0;           // Engine ExecConfig threads; 0 = hardware.
   double warehouse_scale = 1.0;
+  std::string spill_dir;        // Empty = spilling disabled.
+  size_t spill_max_bytes = 0;   // 0 = unbounded spill disk use.
+  std::string restore_dir;      // Snapshot to restore over the warehouse.
 };
 
 bool ParseFlag(const std::string& arg, const char* name, std::string* value) {
@@ -55,8 +59,9 @@ void Usage(const char* argv0) {
       "usage: %s [--host=127.0.0.1] [--port=8080] [--workers=N]\n"
       "  [--queue-capacity=N] [--batch-window-us=N] [--max-batch=N]\n"
       "  [--max-connections=N] [--drain-deadline-ms=N]\n"
-      "  [--mqo-cache=on|off] [--cache-mb=N] [--mem-budget-mb=N]\n"
-      "  [--threads=N] [--warehouse-scale=X]\n",
+      "  [--mqo-cache=on|off] [--cache-mb=N] [--mem-budget-mb=N|64mb|1gb]\n"
+      "  [--threads=N] [--warehouse-scale=X]\n"
+      "  [--spill-dir=DIR] [--spill-max-bytes=N|512mb] [--restore=DIR]\n",
       argv0);
 }
 
@@ -87,7 +92,25 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
     } else if (ParseFlag(arg, "cache-mb", &value)) {
       flags->cache_mb = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(arg, "mem-budget-mb", &value)) {
-      flags->mem_budget_mb = std::strtoull(value.c_str(), nullptr, 10);
+      auto bytes_or = gmdj::ParseByteSizeDefaultMb(value);
+      if (!bytes_or.ok()) {
+        std::fprintf(stderr, "--mem-budget-mb: %s\n",
+                     bytes_or.status().message().c_str());
+        return false;
+      }
+      flags->mem_budget_bytes = bytes_or.ValueOrDie();
+    } else if (ParseFlag(arg, "spill-dir", &value)) {
+      flags->spill_dir = value;
+    } else if (ParseFlag(arg, "spill-max-bytes", &value)) {
+      auto bytes_or = gmdj::ParseByteSize(value);
+      if (!bytes_or.ok()) {
+        std::fprintf(stderr, "--spill-max-bytes: %s\n",
+                     bytes_or.status().message().c_str());
+        return false;
+      }
+      flags->spill_max_bytes = bytes_or.ValueOrDie();
+    } else if (ParseFlag(arg, "restore", &value)) {
+      flags->restore_dir = value;
     } else if (ParseFlag(arg, "threads", &value)) {
       flags->threads = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(arg, "warehouse-scale", &value)) {
@@ -115,13 +138,21 @@ int main(int argc, char** argv) {
     config.num_threads = flags.threads;
     engine.set_exec_config(config);
   }
-  if (flags.mem_budget_mb > 0) {
-    engine.set_memory_capacity(flags.mem_budget_mb << 20);
+  if (flags.mem_budget_bytes > 0) {
+    engine.set_memory_capacity(flags.mem_budget_bytes);
   }
   if (flags.mqo_cache) {
     gmdj::GmdjAggCacheConfig cache_config;
     cache_config.byte_budget = flags.cache_mb << 20;
     engine.EnableAggCache(cache_config);
+  }
+  if (!flags.spill_dir.empty()) {
+    gmdj::spill::SpillConfig spill_config;
+    spill_config.dir = flags.spill_dir;
+    spill_config.max_bytes = flags.spill_max_bytes;
+    engine.EnableSpill(spill_config);
+    std::fprintf(stderr, "spill enabled: dir=%s max_bytes=%zu\n",
+                 flags.spill_dir.c_str(), flags.spill_max_bytes);
   }
 
   gmdj::WarehouseConfig warehouse;
@@ -129,6 +160,17 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "loading warehouse (scale %.2f)...\n",
                warehouse.scale);
   gmdj::LoadDefaultWarehouse(engine.catalog(), warehouse);
+
+  if (!flags.restore_dir.empty()) {
+    const gmdj::Status restored = engine.RestoreSnapshot(flags.restore_dir);
+    if (!restored.ok()) {
+      std::fprintf(stderr, "--restore failed: %s\n",
+                   restored.message().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "restored snapshot from %s\n",
+                 flags.restore_dir.c_str());
+  }
 
   gmdj::server::QueryServer server(&engine, flags.server);
   const gmdj::Status status = server.Start();

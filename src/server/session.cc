@@ -31,5 +31,14 @@ size_t SessionManager::size() const {
   return sessions_.size();
 }
 
+std::vector<std::shared_ptr<Session>> SessionManager::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<Session>> out;
+  out.reserve(sessions_.size() + 1);
+  out.push_back(anonymous_);
+  for (const auto& [id, session] : sessions_) out.push_back(session);
+  return out;
+}
+
 }  // namespace server
 }  // namespace gmdj

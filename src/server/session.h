@@ -7,6 +7,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/status.h"
 #include "governance/query_context.h"
@@ -39,6 +40,12 @@ class Session {
 
   std::atomic<uint64_t> queries{0};   // Admitted to execution.
   std::atomic<uint64_t> rejected{0};  // Failed (governed or otherwise).
+  /// Connections whose most recent request ran under this session
+  /// (maintained by the server's connection binding) and queries between
+  /// admission and completion. Both feed the per-tenant
+  /// `server.session.<id>.*` gauges in GET /metrics.
+  std::atomic<int64_t> connections{0};
+  std::atomic<int64_t> in_flight{0};
 
  private:
   const std::string id_;
@@ -62,6 +69,11 @@ class SessionManager {
   Result<std::shared_ptr<Session>> Get(const std::string& id) const;
 
   size_t size() const;
+
+  /// Every live session — the anonymous one first, then named sessions in
+  /// unspecified order. The /metrics endpoint walks this to publish
+  /// per-tenant gauges.
+  std::vector<std::shared_ptr<Session>> List() const;
 
  private:
   mutable std::mutex mu_;

@@ -1,0 +1,199 @@
+#include "spill/snapshot.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "spill/spill_file.h"
+#include "spill/spill_manager.h"
+
+namespace gmdj {
+namespace spill {
+namespace {
+
+constexpr char kManifestName[] = "MANIFEST";
+constexpr char kManifestHeader[] = "gmdj-snapshot 1";
+constexpr size_t kSnapshotBlockRows = 4096;
+
+const char* TypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "int64";
+}
+
+Result<ValueType> TypeFromName(const std::string& name) {
+  if (name == "null") return ValueType::kNull;
+  if (name == "int64") return ValueType::kInt64;
+  if (name == "double") return ValueType::kDouble;
+  if (name == "string") return ValueType::kString;
+  return Status::InvalidArgument("snapshot manifest: unknown column type '" +
+                                 name + "'");
+}
+
+std::vector<std::string> SplitTabs(const std::string& line) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    const size_t tab = line.find('\t', start);
+    if (tab == std::string::npos) {
+      out.push_back(line.substr(start));
+      return out;
+    }
+    out.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+}
+
+Result<uint64_t> ParseCount(const std::string& text, const char* what) {
+  uint64_t value = 0;
+  if (text.empty()) {
+    return Status::InvalidArgument(std::string("snapshot manifest: empty ") +
+                                   what);
+  }
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument(std::string("snapshot manifest: bad ") +
+                                     what + " '" + text + "'");
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return value;
+}
+
+}  // namespace
+
+Status SaveSnapshot(const Catalog& catalog, const std::string& dir) {
+  GMDJ_RETURN_IF_ERROR(MakeDirs(dir));
+
+  std::ostringstream manifest;
+  manifest << kManifestHeader << "\n";
+
+  const std::vector<std::string> names = catalog.TableNames();
+  size_t index = 0;
+  for (const std::string& name : names) {
+    GMDJ_ASSIGN_OR_RETURN(const Table* table, catalog.GetTable(name));
+    const std::string file = "t" + std::to_string(index++) + ".tbl";
+    GMDJ_ASSIGN_OR_RETURN(
+        std::unique_ptr<SpillWriter> writer,
+        SpillWriter::Open(dir + "/" + file, kSnapshotBlockRows,
+                          /*scope=*/nullptr));
+    for (const Row& row : table->rows()) {
+      GMDJ_RETURN_IF_ERROR(writer->Append(row));
+    }
+    GMDJ_RETURN_IF_ERROR(writer->Finish());
+
+    const Schema& schema = table->schema();
+    manifest << "table\t" << name << "\t" << table->num_rows() << "\t" << file
+             << "\t" << schema.num_fields() << "\n";
+    for (const Field& field : schema.fields()) {
+      manifest << "col\t" << field.name << "\t" << TypeName(field.type) << "\t"
+               << field.qualifier << "\n";
+    }
+  }
+
+  // The manifest lands last, via rename: a crashed or failed save leaves a
+  // directory without a MANIFEST, which restore rejects outright — never a
+  // half-snapshot that restores some tables.
+  const std::string manifest_path = dir + "/" + kManifestName;
+  const std::string tmp_path = manifest_path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Internal("snapshot: cannot write " + tmp_path);
+    }
+    out << manifest.str();
+    out.flush();
+    if (!out) {
+      return Status::Internal("snapshot: short write to " + tmp_path);
+    }
+  }
+  if (std::rename(tmp_path.c_str(), manifest_path.c_str()) != 0) {
+    return Status::Internal("snapshot: cannot publish " + manifest_path);
+  }
+  return Status::OK();
+}
+
+Status RestoreSnapshot(Catalog* catalog, const std::string& dir) {
+  std::ifstream in(dir + "/" + kManifestName, std::ios::binary);
+  if (!in) {
+    return Status::InvalidArgument("not a snapshot directory (no MANIFEST): " +
+                                   dir);
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != kManifestHeader) {
+    return Status::InvalidArgument(
+        "snapshot manifest: unsupported header in " + dir);
+  }
+
+  // Stage every table before touching the catalog, so a corrupt snapshot
+  // restores nothing rather than half the catalog.
+  std::vector<std::pair<std::string, Table>> staged;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> parts = SplitTabs(line);
+    if (parts[0] != "table" || parts.size() != 5) {
+      return Status::InvalidArgument("snapshot manifest: expected table line, "
+                                     "got '" + line + "'");
+    }
+    const std::string& name = parts[1];
+    GMDJ_ASSIGN_OR_RETURN(uint64_t num_rows, ParseCount(parts[2], "row count"));
+    const std::string& file = parts[3];
+    GMDJ_ASSIGN_OR_RETURN(uint64_t num_cols,
+                          ParseCount(parts[4], "column count"));
+    if (file.find('/') != std::string::npos) {
+      return Status::InvalidArgument(
+          "snapshot manifest: data file escapes snapshot dir: " + file);
+    }
+
+    Schema schema;
+    for (uint64_t c = 0; c < num_cols; ++c) {
+      if (!std::getline(in, line)) {
+        return Status::InvalidArgument(
+            "snapshot manifest: truncated column list for table " + name);
+      }
+      std::vector<std::string> col = SplitTabs(line);
+      if (col[0] != "col" || col.size() != 4) {
+        return Status::InvalidArgument("snapshot manifest: expected col line, "
+                                       "got '" + line + "'");
+      }
+      GMDJ_ASSIGN_OR_RETURN(ValueType type, TypeFromName(col[2]));
+      schema.AddField(Field{col[1], type, col[3]});
+    }
+
+    GMDJ_ASSIGN_OR_RETURN(
+        std::unique_ptr<SpillReader> reader,
+        SpillReader::Open(dir + "/" + file, /*scope=*/nullptr));
+    std::vector<Row> rows;
+    GMDJ_RETURN_IF_ERROR(reader->ReadAll(&rows));
+    if (rows.size() != num_rows) {
+      return Status::Internal(
+          "snapshot: table " + name + " has " + std::to_string(rows.size()) +
+          " rows, manifest promised " + std::to_string(num_rows));
+    }
+    for (const Row& row : rows) {
+      if (row.size() != num_cols) {
+        return Status::Internal("snapshot: table " + name +
+                                " row width mismatch");
+      }
+    }
+    staged.emplace_back(name, Table(std::move(schema), std::move(rows)));
+  }
+
+  for (auto& [name, table] : staged) {
+    catalog->PutTable(name, std::move(table));
+  }
+  return Status::OK();
+}
+
+}  // namespace spill
+}  // namespace gmdj

@@ -1,0 +1,30 @@
+#ifndef GMDJ_SPILL_SNAPSHOT_H_
+#define GMDJ_SPILL_SNAPSHOT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/catalog.h"
+
+namespace gmdj {
+namespace spill {
+
+/// Catalog snapshot/restore on top of the spill block format.
+///
+/// A snapshot directory holds a text MANIFEST (format version, then one
+/// `table` line per catalog table followed by its `col` lines) and one
+/// block-format data file per table (`t<N>.tbl`, SPB1 blocks — same
+/// encoder, checksums, and reader as spill files). Restore replaces
+/// same-named tables (PutTable), so restoring into a live catalog bumps
+/// versions and invalidates dependent MQO cache entries rather than
+/// serving stale hits.
+///
+/// Surfaces: SQL `SAVE SNAPSHOT '<dir>'` / `RESTORE SNAPSHOT '<dir>'`,
+/// shell `\snapshot <dir>`, and `gmdj_serve --restore=<dir>`.
+Status SaveSnapshot(const Catalog& catalog, const std::string& dir);
+Status RestoreSnapshot(Catalog* catalog, const std::string& dir);
+
+}  // namespace spill
+}  // namespace gmdj
+
+#endif  // GMDJ_SPILL_SNAPSHOT_H_

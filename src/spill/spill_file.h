@@ -1,0 +1,113 @@
+#ifndef GMDJ_SPILL_SPILL_FILE_H_
+#define GMDJ_SPILL_SPILL_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "spill/spill_format.h"
+#include "types/row.h"
+
+namespace gmdj {
+namespace spill {
+
+class SpillScope;
+
+/// Sequential block writer over one spill file. Rows are buffered until
+/// `block_rows` accumulate, then encoded (spill_format.h) and written in
+/// one large sequential write through a megabyte-sized stdio buffer.
+/// When attached to a SpillScope the writer draws a file handle from the
+/// manager's handle budget, charges every block against the spill byte
+/// budget, and feeds the `spill.*` metrics; a null scope (snapshots) does
+/// plain file I/O.
+///
+/// Fault sites: "spill/open", "spill/write", "spill/disk-full". A real
+/// ENOSPC surfaces as ResourceExhausted, same as an armed disk-full site.
+class SpillWriter {
+ public:
+  static Result<std::unique_ptr<SpillWriter>> Open(std::string path,
+                                                   size_t block_rows,
+                                                   SpillScope* scope);
+  ~SpillWriter();
+  SpillWriter(const SpillWriter&) = delete;
+  SpillWriter& operator=(const SpillWriter&) = delete;
+
+  /// Buffers one row; flushes a block when `block_rows` accumulate. Every
+  /// row must have the width of the first.
+  Status Append(Row row);
+
+  /// Encodes and writes any buffered rows as a (possibly short) block.
+  Status Flush();
+
+  /// Flush + fflush + stream error check. Must be called before reading
+  /// the file back; the destructor only closes.
+  Status Finish();
+
+  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t blocks_written() const { return blocks_written_; }
+  uint64_t rows_written() const { return rows_written_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  SpillWriter(std::string path, std::FILE* file, size_t block_rows,
+              SpillScope* scope);
+  Status WriteBlock();
+  void Close();
+
+  std::string path_;
+  std::FILE* file_;
+  std::unique_ptr<char[]> io_buffer_;
+  size_t block_rows_;
+  size_t num_cols_ = 0;
+  std::vector<Row> buffer_;
+  SpillScope* scope_;
+  uint64_t bytes_written_ = 0;
+  uint64_t blocks_written_ = 0;
+  uint64_t rows_written_ = 0;
+};
+
+/// Sequential block reader over a finished spill file. Open advises the
+/// kernel the read is sequential (posix_fadvise read-ahead) and streams
+/// blocks through the same large stdio buffer; every block's checksum is
+/// verified before its rows are returned.
+///
+/// Fault sites: "spill/read", "spill/checksum".
+class SpillReader {
+ public:
+  static Result<std::unique_ptr<SpillReader>> Open(std::string path,
+                                                   SpillScope* scope);
+  ~SpillReader();
+  SpillReader(const SpillReader&) = delete;
+  SpillReader& operator=(const SpillReader&) = delete;
+
+  /// Appends the next block's rows to `out`; sets `*eof` (and appends
+  /// nothing) at end of file.
+  Status ReadBlock(std::vector<Row>* out, bool* eof);
+
+  /// Reads every remaining block.
+  Status ReadAll(std::vector<Row>* out);
+
+  uint64_t bytes_read() const { return bytes_read_; }
+  uint64_t blocks_read() const { return blocks_read_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  SpillReader(std::string path, std::FILE* file, SpillScope* scope);
+  void Close();
+
+  std::string path_;
+  std::FILE* file_;
+  std::unique_ptr<char[]> io_buffer_;
+  SpillScope* scope_;
+  std::string payload_;  // Reused per-block payload buffer.
+  uint64_t bytes_read_ = 0;
+  uint64_t blocks_read_ = 0;
+};
+
+}  // namespace spill
+}  // namespace gmdj
+
+#endif  // GMDJ_SPILL_SPILL_FILE_H_

@@ -1,0 +1,78 @@
+#ifndef GMDJ_SPILL_SPILL_FORMAT_H_
+#define GMDJ_SPILL_SPILL_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "types/row.h"
+
+namespace gmdj {
+namespace spill {
+
+/// Typed columnar spill-block format, shared by spill files and catalog
+/// snapshots. A block is self-describing (no external schema needed to
+/// decode) and checksummed:
+///
+///   "SPB1" | u32 num_rows | u32 num_cols | u32 payload_size
+///         | u64 fnv1a(payload) | payload
+///
+/// The payload holds the columns in order. Each column is a null bitmap
+/// (bit set = non-null) followed by an encoding tag and the non-null
+/// values in row order:
+///
+///   kRaw:    type byte, then each value (int64 zigzag-varint, double
+///            8-byte little-endian bits, string varint length + bytes).
+///   kDict:   type byte, u8 dictionary size, the dictionary values (raw
+///            scalars), then one u8 index per non-null value. Chosen when
+///            a block column has <= 255 distinct values covering at most
+///            half the non-null count.
+///   kRle:    type byte, varint run count, then (scalar, varint length)
+///            runs. Chosen when adjacent repetition halves the value
+///            count and the dictionary did not already win.
+///   kTagged: per value, a type byte then the raw scalar — the fallback
+///            for columns whose non-null values mix types (legal in this
+///            engine's Value model, rare in practice).
+///
+/// The encoding is chosen per column per block, so a sorted or
+/// low-cardinality stretch compresses even when the whole file does not.
+inline constexpr size_t kBlockHeaderSize = 24;
+inline constexpr char kBlockMagic[4] = {'S', 'P', 'B', '1'};
+
+enum class ColumnEncoding : uint8_t {
+  kRaw = 0,
+  kDict = 1,
+  kRle = 2,
+  kTagged = 3,
+};
+
+/// FNV-1a over `size` bytes.
+uint64_t Fnv1a64(const char* data, size_t size);
+
+struct BlockHeader {
+  uint32_t num_rows = 0;
+  uint32_t num_cols = 0;
+  uint32_t payload_size = 0;
+  uint64_t checksum = 0;
+};
+
+/// Encodes `rows[0..num_rows)` — each of width `num_cols` — as one block
+/// appended to `out`.
+void EncodeBlock(const Row* rows, size_t num_rows, size_t num_cols,
+                 std::string* out);
+
+/// Parses a header from `bytes` (kBlockHeaderSize bytes). Internal on a
+/// bad magic or an implausible geometry.
+Result<BlockHeader> ParseBlockHeader(const char* bytes);
+
+/// Verifies the checksum and decodes the payload, appending the rows to
+/// `out`. Internal on checksum mismatch or a malformed payload.
+Status DecodeBlockPayload(const BlockHeader& header, const char* payload,
+                          std::vector<Row>* out);
+
+}  // namespace spill
+}  // namespace gmdj
+
+#endif  // GMDJ_SPILL_SPILL_FORMAT_H_

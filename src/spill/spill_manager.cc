@@ -1,0 +1,229 @@
+#include "spill/spill_manager.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace gmdj {
+namespace spill {
+// EEXIST is success; any other failure is reported with the failing
+// component.
+Status MakeDirs(const std::string& path) {
+  std::string prefix;
+  prefix.reserve(path.size());
+  size_t i = 0;
+  while (i < path.size()) {
+    size_t slash = path.find('/', i);
+    if (slash == std::string::npos) slash = path.size();
+    prefix.assign(path, 0, slash);
+    i = slash + 1;
+    if (prefix.empty()) continue;  // Leading '/' of an absolute path.
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::Internal("spill mkdir failed: " + prefix + ": " +
+                              std::strerror(errno));
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+std::string SanitizeLabel(const std::string& label) {
+  std::string out;
+  out.reserve(label.size());
+  for (char c : label) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_';
+    out.push_back(keep ? c : '_');
+    if (out.size() >= 32) break;
+  }
+  if (out.empty()) out = "query";
+  return out;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- SpillManager
+
+SpillManager::SpillManager(SpillConfig config, obs::MetricRegistry* metrics)
+    : config_(std::move(config)) {
+  if (metrics != nullptr) {
+    c_bytes_written_ = metrics->GetCounter("spill.bytes_written");
+    c_bytes_read_ = metrics->GetCounter("spill.bytes_read");
+    c_blocks_written_ = metrics->GetCounter("spill.blocks_written");
+    c_blocks_read_ = metrics->GetCounter("spill.blocks_read");
+    c_files_created_ = metrics->GetCounter("spill.files_created");
+    c_partitions_ = metrics->GetCounter("spill.partitions");
+    c_passes_ = metrics->GetCounter("spill.passes");
+    c_queries_ = metrics->GetCounter("spill.queries");
+    c_budget_rejections_ = metrics->GetCounter("spill.budget_rejections");
+    g_bytes_in_use_ = metrics->GetGauge("spill.bytes_in_use");
+    g_open_files_ = metrics->GetGauge("spill.open_files");
+  }
+}
+
+std::unique_ptr<SpillScope> SpillManager::CreateScope(
+    const std::string& label) {
+  const uint64_t id = next_scope_.fetch_add(1, std::memory_order_relaxed);
+  std::string dir = config_.dir + "/q" + std::to_string(id) + "-" +
+                    SanitizeLabel(label);
+  return std::unique_ptr<SpillScope>(new SpillScope(this, std::move(dir)));
+}
+
+Status SpillManager::AcquireHandle() {
+  uint64_t cur = open_files_.load(std::memory_order_relaxed);
+  while (true) {
+    if (config_.max_open_files != 0 && cur >= config_.max_open_files) {
+      return Status::ResourceExhausted(
+          "spill file-handle budget exhausted (" +
+          std::to_string(config_.max_open_files) + " open)");
+    }
+    if (open_files_.compare_exchange_weak(cur, cur + 1,
+                                          std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  if (g_open_files_ != nullptr) {
+    g_open_files_->Set(static_cast<int64_t>(cur + 1));
+  }
+  return Status::OK();
+}
+
+void SpillManager::ReleaseHandle() {
+  const uint64_t prev = open_files_.fetch_sub(1, std::memory_order_relaxed);
+  GMDJ_CHECK(prev > 0);
+  if (g_open_files_ != nullptr) {
+    g_open_files_->Set(static_cast<int64_t>(prev - 1));
+  }
+}
+
+Status SpillManager::ChargeBytes(size_t bytes) {
+  uint64_t cur = bytes_in_use_.load(std::memory_order_relaxed);
+  while (true) {
+    if (config_.max_bytes != 0 && cur + bytes > config_.max_bytes) {
+      if (c_budget_rejections_ != nullptr) c_budget_rejections_->Add(1);
+      return Status::ResourceExhausted(
+          "spill byte budget exhausted: " + std::to_string(cur) + " + " +
+          std::to_string(bytes) + " > " + std::to_string(config_.max_bytes));
+    }
+    if (bytes_in_use_.compare_exchange_weak(cur, cur + bytes,
+                                            std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  if (g_bytes_in_use_ != nullptr) {
+    g_bytes_in_use_->Set(static_cast<int64_t>(cur + bytes));
+  }
+  return Status::OK();
+}
+
+void SpillManager::ReleaseBytes(size_t bytes) {
+  const uint64_t prev = bytes_in_use_.fetch_sub(bytes,
+                                                std::memory_order_relaxed);
+  GMDJ_CHECK(prev >= bytes);
+  if (g_bytes_in_use_ != nullptr) {
+    g_bytes_in_use_->Set(static_cast<int64_t>(prev - bytes));
+  }
+}
+
+void SpillManager::NoteBlockWritten(size_t bytes) {
+  if (c_bytes_written_ != nullptr) {
+    c_bytes_written_->Add(static_cast<int64_t>(bytes));
+  }
+  if (c_blocks_written_ != nullptr) c_blocks_written_->Add(1);
+}
+
+void SpillManager::NoteBlockRead(size_t bytes) {
+  if (c_bytes_read_ != nullptr) c_bytes_read_->Add(static_cast<int64_t>(bytes));
+  if (c_blocks_read_ != nullptr) c_blocks_read_->Add(1);
+}
+
+void SpillManager::NoteFileCreated() {
+  if (c_files_created_ != nullptr) c_files_created_->Add(1);
+}
+
+void SpillManager::NoteSpill(uint64_t partitions, uint64_t passes,
+                             bool first_for_query) {
+  if (c_partitions_ != nullptr) {
+    c_partitions_->Add(static_cast<int64_t>(partitions));
+  }
+  if (c_passes_ != nullptr) c_passes_->Add(static_cast<int64_t>(passes));
+  if (first_for_query && c_queries_ != nullptr) c_queries_->Add(1);
+}
+
+// ----------------------------------------------------------------- SpillScope
+
+SpillScope::SpillScope(SpillManager* manager, std::string dir)
+    : manager_(manager), dir_(std::move(dir)) {}
+
+SpillScope::~SpillScope() {
+  // Remove this query's files and hand their bytes back to the budget.
+  // Readers/writers must be closed by now (they borrow the scope).
+  uint64_t charged = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::string& path : files_) std::remove(path.c_str());
+    if (dir_created_) ::rmdir(dir_.c_str());
+    charged = bytes_written_.load(std::memory_order_relaxed);
+  }
+  if (charged > 0) manager_->ReleaseBytes(charged);
+}
+
+Status SpillScope::EnsureDir() {
+  // Caller holds mu_.
+  if (dir_created_) return Status::OK();
+  GMDJ_RETURN_IF_ERROR(MakeDirs(dir_));
+  dir_created_ = true;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<SpillWriter>> SpillScope::NewWriter(
+    const std::string& hint) {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    GMDJ_RETURN_IF_ERROR(EnsureDir());
+    path = dir_ + "/" + SanitizeLabel(hint) + "-" +
+           std::to_string(next_file_++) + ".spill";
+    files_.push_back(path);
+  }
+  auto writer = SpillWriter::Open(path, manager_->config().block_rows, this);
+  if (writer.ok()) manager_->NoteFileCreated();
+  return writer;
+}
+
+Result<std::unique_ptr<SpillReader>> SpillScope::OpenReader(
+    const std::string& path) {
+  return SpillReader::Open(path, this);
+}
+
+void SpillScope::NoteSpill(uint64_t partitions, uint64_t passes) {
+  bool first = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    first = !spilled_;
+    spilled_ = true;
+  }
+  manager_->NoteSpill(partitions, passes, first);
+}
+
+Status SpillScope::ChargeBlock(size_t bytes) {
+  GMDJ_RETURN_IF_ERROR(manager_->ChargeBytes(bytes));
+  bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+  manager_->NoteBlockWritten(bytes);
+  return Status::OK();
+}
+
+void SpillScope::NoteRead(size_t bytes) {
+  bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+  manager_->NoteBlockRead(bytes);
+}
+
+}  // namespace spill
+}  // namespace gmdj

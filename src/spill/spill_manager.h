@@ -1,0 +1,160 @@
+#ifndef GMDJ_SPILL_SPILL_MANAGER_H_
+#define GMDJ_SPILL_SPILL_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "spill/spill_file.h"
+
+namespace gmdj {
+namespace spill {
+
+/// mkdir -p: creates every component of `path`, tolerating existing ones.
+Status MakeDirs(const std::string& path);
+
+/// Engine-level spill knobs (`--spill-dir` / `--spill-max-bytes` on every
+/// surface: engine, server, shell, bench).
+struct SpillConfig {
+  /// Root directory spill scopes live under; empty disables spilling.
+  std::string dir;
+  /// Total bytes of live spill files across all queries; 0 = unbounded.
+  /// Exceeding it fails the write like a full disk (ResourceExhausted) —
+  /// spilling degrades memory pressure, it must not hide disk pressure.
+  size_t max_bytes = 0;
+  /// Concurrently open spill file handles across all queries.
+  size_t max_open_files = 64;
+  /// Rows buffered per spill block (the encode/checksum unit).
+  size_t block_rows = 4096;
+  /// Minimum partition fan-out operators spill with. 1 (default) spills
+  /// only when a MemoryReservation grant fails; > 1 forces every eligible
+  /// operator through the spill path — the differential fuzzer's lever
+  /// for cross-checking spilled against in-memory evaluation.
+  size_t min_spill_partitions = 1;
+};
+
+class SpillScope;
+
+/// Owns the spill directory tree and the global budgets (bytes on disk,
+/// open file handles), hands out per-query SpillScopes, and feeds the
+/// `spill.*` metrics. Thread-safe: concurrent queries spill through their
+/// own scopes against the shared budgets.
+class SpillManager {
+ public:
+  explicit SpillManager(SpillConfig config,
+                        obs::MetricRegistry* metrics = nullptr);
+
+  SpillManager(const SpillManager&) = delete;
+  SpillManager& operator=(const SpillManager&) = delete;
+
+  const SpillConfig& config() const { return config_; }
+  bool enabled() const { return !config_.dir.empty(); }
+
+  /// Per-query scope. Creates no directory until the query actually
+  /// spills; the scope's destruction removes its files and returns their
+  /// bytes to the budget. `label` feeds the directory name (sanitized).
+  std::unique_ptr<SpillScope> CreateScope(const std::string& label);
+
+  // -- Budget accounting (called through SpillScope by the file layer) --
+  Status AcquireHandle();
+  void ReleaseHandle();
+  Status ChargeBytes(size_t bytes);
+  void ReleaseBytes(size_t bytes);
+
+  // -- Metric feeds --
+  void NoteBlockWritten(size_t bytes);
+  void NoteBlockRead(size_t bytes);
+  void NoteFileCreated();
+  void NoteSpill(uint64_t partitions, uint64_t passes, bool first_for_query);
+
+  uint64_t bytes_in_use() const {
+    return bytes_in_use_.load(std::memory_order_relaxed);
+  }
+  uint64_t open_files() const {
+    return open_files_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const SpillConfig config_;
+  std::atomic<uint64_t> bytes_in_use_{0};
+  std::atomic<uint64_t> open_files_{0};
+  std::atomic<uint64_t> next_scope_{0};
+
+  // Null-safe handles (GMDJ_METRIC_ADD semantics by hand: the manager
+  // records cold-path facts, so it stays live under GMDJ_METRICS=OFF).
+  obs::Counter* c_bytes_written_ = nullptr;
+  obs::Counter* c_bytes_read_ = nullptr;
+  obs::Counter* c_blocks_written_ = nullptr;
+  obs::Counter* c_blocks_read_ = nullptr;
+  obs::Counter* c_files_created_ = nullptr;
+  obs::Counter* c_partitions_ = nullptr;
+  obs::Counter* c_passes_ = nullptr;
+  obs::Counter* c_queries_ = nullptr;
+  obs::Counter* c_budget_rejections_ = nullptr;
+  obs::Gauge* g_bytes_in_use_ = nullptr;
+  obs::Gauge* g_open_files_ = nullptr;
+};
+
+/// One query's slice of the spill directory. Operators reach it through
+/// ExecContext::spill(); files created through it are deleted (and their
+/// bytes released) when the scope dies with the query, so an aborted
+/// query never leaves litter behind.
+class SpillScope {
+ public:
+  SpillScope(SpillManager* manager, std::string dir);
+  ~SpillScope();
+
+  SpillScope(const SpillScope&) = delete;
+  SpillScope& operator=(const SpillScope&) = delete;
+
+  const SpillConfig& config() const { return manager_->config(); }
+
+  /// Opens a fresh spill file named after `hint` inside this scope's
+  /// directory (created on first use — fault site "spill/open" covers the
+  /// mkdir too).
+  Result<std::unique_ptr<SpillWriter>> NewWriter(const std::string& hint);
+
+  /// Re-opens a file this scope wrote (after SpillWriter::Finish).
+  Result<std::unique_ptr<SpillReader>> OpenReader(const std::string& path);
+
+  /// Operator-level facts: a spilled evaluation ran `passes` passes over
+  /// `partitions` partitions.
+  void NoteSpill(uint64_t partitions, uint64_t passes);
+
+  // -- File-layer accounting (SpillWriter / SpillReader) --
+  Status AcquireHandle() { return manager_->AcquireHandle(); }
+  void ReleaseHandle() { manager_->ReleaseHandle(); }
+  Status ChargeBlock(size_t bytes);
+  void NoteRead(size_t bytes);
+
+  uint64_t bytes_written() const {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_read() const {
+    return bytes_read_.load(std::memory_order_relaxed);
+  }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  Status EnsureDir();
+
+  SpillManager* manager_;
+  const std::string dir_;
+  std::mutex mu_;
+  bool dir_created_ = false;
+  bool spilled_ = false;
+  size_t next_file_ = 0;
+  std::vector<std::string> files_;
+  std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> bytes_read_{0};
+};
+
+}  // namespace spill
+}  // namespace gmdj
+
+#endif  // GMDJ_SPILL_SPILL_MANAGER_H_

@@ -12,7 +12,8 @@ const std::set<std::string>& Keywords() {
       "EXISTS", "IN",       "SOME",  "ANY",   "ALL",  "AS",   "IS",
       "NULL",   "COUNT",    "SUM",   "MIN",   "MAX",  "AVG",  "TRUE",
       "FALSE",  "BETWEEN",  "COALESCE", "CASE", "WHEN", "THEN", "ELSE",
-      "END",    "LIKE",     "EXPLAIN", "ANALYZE"};
+      "END",    "LIKE",     "EXPLAIN", "ANALYZE", "SAVE", "RESTORE",
+      "SNAPSHOT"};
   return *keywords;
 }
 

@@ -17,6 +17,9 @@ class Parser {
 
   Result<std::unique_ptr<NestedSelect>> ParseTopLevel() {
     GMDJ_ASSIGN_OR_RETURN(auto statement, ParseStatementInternal());
+    if (statement.kind != SqlStatement::Kind::kSelect) {
+      return Error("snapshot statements need ParseStatement");
+    }
     if (!statement.projections.empty()) {
       return Error("projection select lists need ParseStatement");
     }
@@ -27,6 +30,9 @@ class Parser {
   }
 
   Result<SqlStatement> ParseStatementInternal() {
+    if (PeekKeyword("SAVE") || PeekKeyword("RESTORE")) {
+      return ParseSnapshotStatement();
+    }
     SqlStatement::ExplainMode explain = SqlStatement::ExplainMode::kNone;
     if (ConsumeKeyword("EXPLAIN")) {
       explain = ConsumeKeyword("ANALYZE") ? SqlStatement::ExplainMode::kAnalyze
@@ -42,6 +48,27 @@ class Parser {
   }
 
  private:
+  /// SAVE SNAPSHOT '<dir>' | RESTORE SNAPSHOT '<dir>'
+  Result<SqlStatement> ParseSnapshotStatement() {
+    SqlStatement statement;
+    statement.kind = ConsumeKeyword("SAVE")
+                         ? SqlStatement::Kind::kSaveSnapshot
+                         : SqlStatement::Kind::kRestoreSnapshot;
+    if (statement.kind == SqlStatement::Kind::kRestoreSnapshot) {
+      GMDJ_RETURN_IF_ERROR(ExpectKeyword("RESTORE"));
+    }
+    GMDJ_RETURN_IF_ERROR(ExpectKeyword("SNAPSHOT"));
+    if (Peek().kind != TokenKind::kString) {
+      return Error("expected a quoted snapshot directory");
+    }
+    statement.snapshot_dir = Advance().text;
+    if (statement.snapshot_dir.empty()) {
+      return Error("snapshot directory must not be empty");
+    }
+    if (!AtEnd()) return Error("unexpected trailing input");
+    return std::move(statement);
+  }
+
   // ------------------------------------------------------------- utilities
 
   const Token& Peek(size_t ahead = 0) const {

@@ -75,10 +75,18 @@ struct SqlStatement {
   /// "plan" table, one row per output line.
   enum class ExplainMode { kNone, kPlan, kAnalyze };
 
+  /// Statement form. `kSelect` carries `select`/`projections`; the
+  /// snapshot statements (`SAVE SNAPSHOT '<dir>'`, `RESTORE SNAPSHOT
+  /// '<dir>'`) carry only `snapshot_dir` and serialize/replace the whole
+  /// catalog through src/spill/snapshot.h.
+  enum class Kind { kSelect, kSaveSnapshot, kRestoreSnapshot };
+
+  Kind kind = Kind::kSelect;
   std::unique_ptr<NestedSelect> select;
   std::vector<ProjItem> projections;
   std::vector<SelectSubquery> select_subqueries;
   ExplainMode explain = ExplainMode::kNone;
+  std::string snapshot_dir;  // Set for the snapshot kinds.
 };
 
 /// Like ParseQuery, but the top-level select list may also be a list of

@@ -1,0 +1,61 @@
+#include "common/byte_size.h"
+
+#include "gtest/gtest.h"
+
+namespace gmdj {
+namespace {
+
+TEST(ParseByteSizeTest, BareNumberIsBytes) {
+  EXPECT_EQ(*ParseByteSize("0"), 0u);
+  EXPECT_EQ(*ParseByteSize("1048576"), 1048576u);
+  EXPECT_EQ(*ParseByteSize("  42  "), 42u);
+}
+
+TEST(ParseByteSizeTest, Suffixes) {
+  EXPECT_EQ(*ParseByteSize("7b"), 7u);
+  EXPECT_EQ(*ParseByteSize("2kb"), 2048u);
+  EXPECT_EQ(*ParseByteSize("2k"), 2048u);
+  EXPECT_EQ(*ParseByteSize("64mb"), 64u << 20);
+  EXPECT_EQ(*ParseByteSize("64MB"), 64u << 20);
+  EXPECT_EQ(*ParseByteSize("1gb"), 1u << 30);
+  EXPECT_EQ(*ParseByteSize("1 GB"), 1u << 30);
+  EXPECT_EQ(*ParseByteSize("2tb"), 2ull << 40);
+}
+
+TEST(ParseByteSizeTest, Errors) {
+  EXPECT_FALSE(ParseByteSize("").ok());
+  EXPECT_FALSE(ParseByteSize("   ").ok());
+  EXPECT_FALSE(ParseByteSize("mb").ok());
+  EXPECT_FALSE(ParseByteSize("12xb").ok());
+  EXPECT_FALSE(ParseByteSize("-1").ok());
+  EXPECT_FALSE(ParseByteSize("1.5gb").ok());
+  // 2^64 bytes overflows size_t.
+  EXPECT_FALSE(ParseByteSize("18446744073709551616").ok());
+  EXPECT_FALSE(ParseByteSize("999999999999tb").ok());
+}
+
+TEST(ParseByteSizeDefaultMbTest, BareNumberIsMegabytes) {
+  EXPECT_EQ(*ParseByteSizeDefaultMb("64"), 64u << 20);
+  EXPECT_EQ(*ParseByteSizeDefaultMb("0"), 0u);
+  // Explicit suffixes override the MB default.
+  EXPECT_EQ(*ParseByteSizeDefaultMb("4096b"), 4096u);
+  EXPECT_EQ(*ParseByteSizeDefaultMb("1gb"), 1u << 30);
+}
+
+TEST(FormatByteSizeTest, LargestExactSuffix) {
+  EXPECT_EQ(FormatByteSize(0), "0b");
+  EXPECT_EQ(FormatByteSize(1536), "1536b");
+  EXPECT_EQ(FormatByteSize(2048), "2kb");
+  EXPECT_EQ(FormatByteSize(64u << 20), "64mb");
+  EXPECT_EQ(FormatByteSize(1u << 30), "1gb");
+}
+
+TEST(FormatByteSizeTest, RoundTripsThroughParse) {
+  for (const size_t bytes : {size_t{0}, size_t{17}, size_t{4096},
+                             size_t{64} << 20, size_t{3} << 30}) {
+    EXPECT_EQ(*ParseByteSize(FormatByteSize(bytes)), bytes);
+  }
+}
+
+}  // namespace
+}  // namespace gmdj

@@ -1,0 +1,160 @@
+// Catalog snapshot/restore (spill/snapshot.h): MANIFEST + SPB1 block
+// files must round-trip the whole catalog — schemas, NULLs, value types —
+// across engines, be reachable from SQL, and reject corrupt inputs.
+
+#include "spill/snapshot.h"
+
+#include <dirent.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "engine/olap_engine.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace gmdj {
+namespace {
+
+std::string TestDir(const std::string& name) {
+  return ::testing::TempDir() + "/gmdj_snapshot_test_" + name;
+}
+
+/// A table exercising every encoder path: negative ints, doubles, low
+/// cardinality strings, NULLs, and a mixed-type column.
+Table TrickyTable() {
+  Table t = testutil::MakeTable({"T.a", "T.b", "T.c"}, {});
+  for (int64_t i = 0; i < 200; ++i) {
+    Row row;
+    row.push_back(Value(i - 100));
+    row.push_back(i % 5 == 0 ? Value::Null() : Value(0.25 * i));
+    if (i % 3 == 0) {
+      row.push_back(Value("tag-" + std::to_string(i % 4)));
+    } else {
+      row.push_back(Value(i));  // Mixed-type column: tagged encoding.
+    }
+    t.AppendRow(std::move(row));
+  }
+  return t;
+}
+
+void ExpectSameCatalog(const OlapEngine& actual, const OlapEngine& expected) {
+  ASSERT_EQ(actual.catalog().TableNames(), expected.catalog().TableNames());
+  for (const std::string& name : expected.catalog().TableNames()) {
+    const Table* want = *expected.catalog().GetTable(name);
+    const Table* got = *actual.catalog().GetTable(name);
+    ASSERT_EQ(got->num_rows(), want->num_rows()) << name;
+    for (size_t i = 0; i < want->num_rows(); ++i) {
+      ASSERT_EQ(got->row(i).size(), want->row(i).size()) << name;
+      for (size_t c = 0; c < want->row(i).size(); ++c) {
+        const Value& w = want->row(i)[c];
+        const Value& g = got->row(i)[c];
+        if (w.is_null()) {
+          EXPECT_TRUE(g.is_null()) << name << " row " << i << " col " << c;
+        } else {
+          EXPECT_EQ(static_cast<int>(g.type()), static_cast<int>(w.type()))
+              << name << " row " << i << " col " << c;
+          EXPECT_TRUE(g == w) << name << " row " << i << " col " << c;
+        }
+      }
+    }
+  }
+}
+
+TEST(SnapshotTest, RoundTripsWholeCatalogAcrossEngines) {
+  OlapEngine source;
+  testutil::LoadPaperTables(&source);
+  source.catalog()->PutTable("T", TrickyTable());
+  const std::string dir = TestDir("roundtrip");
+  ASSERT_TRUE(source.SaveSnapshot(dir).ok());
+
+  OlapEngine restored;
+  ASSERT_TRUE(restored.RestoreSnapshot(dir).ok());
+  ExpectSameCatalog(restored, source);
+}
+
+TEST(SnapshotTest, SqlSaveAndRestoreStatements) {
+  OlapEngine source;
+  testutil::LoadPaperTables(&source);
+  const std::string dir = TestDir("sql");
+  const auto saved = source.ExecuteSql("SAVE SNAPSHOT '" + dir + "'",
+                                       Strategy::kGmdjOptimized);
+  ASSERT_TRUE(saved.ok()) << saved.status().ToString();
+  ASSERT_EQ(saved->num_rows(), 1u);
+  EXPECT_NE(saved->row(0)[0].ToString().find("saved snapshot to"),
+            std::string::npos);
+
+  OlapEngine restored;
+  const auto loaded = restored.ExecuteSql("RESTORE SNAPSHOT '" + dir + "'",
+                                          Strategy::kGmdjOptimized);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSameCatalog(restored, source);
+
+  // The restored catalog answers queries identically.
+  const char* sql =
+      "SELECT * FROM Hours H WHERE EXISTS (SELECT * FROM Flow F WHERE "
+      "F.StartTime >= H.StartInterval AND F.StartTime < H.EndInterval)";
+  const auto a = source.ExecuteSql(sql, Strategy::kGmdjOptimized);
+  const auto b = restored.ExecuteSql(sql, Strategy::kGmdjOptimized);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_TRUE(testutil::SameRows(*a, *b));
+}
+
+TEST(SnapshotTest, RestoreBumpsTableVersions) {
+  OlapEngine engine;
+  testutil::LoadPaperTables(&engine);
+  const std::string dir = TestDir("versions");
+  ASSERT_TRUE(engine.SaveSnapshot(dir).ok());
+  const TableVersion before = engine.catalog()->GetTableVersion("Hours");
+  ASSERT_TRUE(engine.RestoreSnapshot(dir).ok());
+  const TableVersion after = engine.catalog()->GetTableVersion("Hours");
+  // Restoring over a live catalog must not serve stale cached plans:
+  // PutTable gives the table a fresh version epoch.
+  EXPECT_FALSE(after == before);
+}
+
+TEST(SnapshotTest, MissingManifestFails) {
+  OlapEngine engine;
+  const Status status =
+      engine.RestoreSnapshot(TestDir("does-not-exist"));
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(SnapshotTest, CorruptDataFileIsRejected) {
+  OlapEngine source;
+  testutil::LoadPaperTables(&source);
+  const std::string dir = TestDir("corrupt");
+  ASSERT_TRUE(source.SaveSnapshot(dir).ok());
+
+  // Flip one byte in the middle of each .tbl file.
+  DIR* d = ::opendir(dir.c_str());
+  ASSERT_NE(d, nullptr);
+  size_t corrupted = 0;
+  while (struct dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.size() < 4 || name.substr(name.size() - 4) != ".tbl") continue;
+    const std::string path = dir + "/" + name;
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    ASSERT_GT(size, 0);
+    std::fseek(f, size / 2, SEEK_SET);
+    const int byte = std::fgetc(f);
+    std::fseek(f, size / 2, SEEK_SET);
+    std::fputc(byte ^ 0x40, f);
+    std::fclose(f);
+    ++corrupted;
+  }
+  ::closedir(d);
+  ASSERT_GT(corrupted, 0u);
+
+  OlapEngine restored;
+  EXPECT_FALSE(restored.RestoreSnapshot(dir).ok());
+}
+
+}  // namespace
+}  // namespace gmdj
