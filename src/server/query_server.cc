@@ -28,6 +28,12 @@ namespace {
 /// connection thread's disconnect watch while a query executes.
 constexpr int kPollMs = 20;
 
+/// Cap on sessions that get per-id `server.session.<id>.*` gauge series.
+/// Registry entries are never deleted, so without a cap any client could
+/// grow the registry (and every /metrics payload) without bound by
+/// minting sessions.
+constexpr size_t kMaxSessionGaugeSeries = 64;
+
 bool EqualsIgnoreCase(const std::string& a, const char* b) {
   size_t i = 0;
   for (; i < a.size() && b[i] != '\0'; ++i) {
@@ -494,6 +500,21 @@ HttpResponse QueryServer::HandleQuery(Conn* conn, const HttpRequest& request,
   }
   SqlStatement statement = std::move(statement_or).ValueOrDie();
 
+  // SAVE/RESTORE SNAPSHOT are admin statements: they read/write
+  // server-local filesystem paths of the caller's choosing, and restore
+  // swaps catalog tables out from under concurrently executing queries.
+  // Over the network that is an unauthenticated file-I/O primitive plus
+  // a use-after-free, so they are local-surface only (shell, ExecuteSql,
+  // gmdj_serve --restore at boot).
+  if (statement.kind != SqlStatement::Kind::kSelect) {
+    m_rejected_->Add(1);
+    session->rejected.fetch_add(1);
+    return ErrorResponse(
+        403, Status::InvalidArgument(
+                 "snapshot statements are not served over HTTP; use the "
+                 "shell \\snapshot/\\restore or gmdj_serve --restore"));
+  }
+
   auto job = std::make_shared<Job>();
   job->sql = std::move(sql);
   job->strategy = strategy;
@@ -514,9 +535,17 @@ HttpResponse QueryServer::HandleQuery(Conn* conn, const HttpRequest& request,
   {
     // Under the config gate, so /config's idle check can exclude
     // admissions; `pending_` is bumped before the gate is released.
+    // The per-tenant in-flight count is bumped before the push too —
+    // FinishJob's decrement can land as soon as a worker can pop, so
+    // incrementing after would let the gauge transiently read -1.
     std::lock_guard<std::mutex> gate(config_mu_);
+    session->in_flight.fetch_add(1);  // Dropped by FinishJob.
     admitted = queue_.TryPush(job);
-    if (admitted) pending_.fetch_add(1);
+    if (admitted) {
+      pending_.fetch_add(1);
+    } else {
+      session->in_flight.fetch_sub(1);
+    }
   }
   if (!admitted) {
     m_rejected_->Add(1);
@@ -528,7 +557,6 @@ HttpResponse QueryServer::HandleQuery(Conn* conn, const HttpRequest& request,
   }
   m_accepted_->Add(1);
   session->queries.fetch_add(1);
-  session->in_flight.fetch_add(1);  // Dropped by FinishJob.
 
   // Wait for a worker, watching the socket: a client that hangs up
   // cancels its own query (and only its own — the token is per-request).
@@ -649,27 +677,45 @@ HttpResponse QueryServer::HandleHealth() {
 HttpResponse QueryServer::HandleMetrics() {
   obs::MetricRegistry* reg = engine_->metrics();
   reg->GetGauge("server.queued")->Set(static_cast<int64_t>(queue_.size()));
-  // Per-tenant gauges: refresh every session's connection and in-flight
-  // counts right before the snapshot. A session is "active" while it has
-  // a bound connection or a query between admission and completion.
+  // Per-tenant gauges: refresh each published session's connection and
+  // in-flight counts right before the snapshot. A session is "active"
+  // while it has a bound connection or a query between admission and
+  // completion. Gauge names live in the registry forever and any client
+  // can mint sessions via POST /session, so per-id series are capped:
+  // the first kMaxSessionGaugeSeries sessions seen here keep per-id
+  // gauges (refreshed on every snapshot — never stale), later sessions
+  // are counted only in the server.sessions* aggregates, with
+  // server.sessions_unpublished saying how many were elided.
   int64_t active_sessions = 0;
-  for (const auto& session : sessions_.List()) {
-    const int64_t connections = session->connections.load();
-    const int64_t in_flight = session->in_flight.load();
-    if (connections > 0 || in_flight > 0) ++active_sessions;
-    const std::string prefix =
-        "server.session." +
-        (session->id().empty() ? std::string("anonymous") : session->id());
-    reg->GetGauge(prefix + ".connections")->Set(connections);
-    reg->GetGauge(prefix + ".in_flight")->Set(in_flight);
-    reg->GetGauge(prefix + ".queries")
-        ->Set(static_cast<int64_t>(session->queries.load()));
-    reg->GetGauge(prefix + ".rejected")
-        ->Set(static_cast<int64_t>(session->rejected.load()));
+  int64_t unpublished = 0;
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    for (const auto& session : sessions_.List()) {
+      const int64_t connections = session->connections.load();
+      const int64_t in_flight = session->in_flight.load();
+      if (connections > 0 || in_flight > 0) ++active_sessions;
+      const std::string id =
+          session->id().empty() ? std::string("anonymous") : session->id();
+      if (published_sessions_.count(id) == 0) {
+        if (published_sessions_.size() >= kMaxSessionGaugeSeries) {
+          ++unpublished;
+          continue;
+        }
+        published_sessions_.insert(id);
+      }
+      const std::string prefix = "server.session." + id;
+      reg->GetGauge(prefix + ".connections")->Set(connections);
+      reg->GetGauge(prefix + ".in_flight")->Set(in_flight);
+      reg->GetGauge(prefix + ".queries")
+          ->Set(static_cast<int64_t>(session->queries.load()));
+      reg->GetGauge(prefix + ".rejected")
+          ->Set(static_cast<int64_t>(session->rejected.load()));
+    }
   }
   reg->GetGauge("server.sessions")
       ->Set(static_cast<int64_t>(sessions_.size()));
   reg->GetGauge("server.sessions_active")->Set(active_sessions);
+  reg->GetGauge("server.sessions_unpublished")->Set(unpublished);
   HttpResponse response;
   response.body = engine_->SnapshotMetrics().ToJson();
   return response;

@@ -193,6 +193,13 @@ class QueryServer {
   std::list<CancellationToken> active_batch_tokens_;
   std::atomic<size_t> in_flight_{0};
 
+  /// Sessions whose per-id gauge series exist in the registry, bounded
+  /// at kMaxSessionGaugeSeries (query_server.cc) so hostile session
+  /// minting cannot grow the registry without bound. Guarded by
+  /// `metrics_mu_` (concurrent GET /metrics handlers).
+  std::mutex metrics_mu_;
+  std::unordered_set<std::string> published_sessions_;
+
   // Registry handles (engine->metrics()), resolved once.
   obs::Counter* m_accepted_;
   obs::Counter* m_rejected_;

@@ -19,8 +19,11 @@ namespace spill {
 /// versions and invalidates dependent MQO cache entries rather than
 /// serving stale hits.
 ///
-/// Surfaces: SQL `SAVE SNAPSHOT '<dir>'` / `RESTORE SNAPSHOT '<dir>'`,
-/// shell `\snapshot <dir>`, and `gmdj_serve --restore=<dir>`.
+/// Surfaces (local only — the query server answers these statements
+/// with 403, since over HTTP they would read/write server-local paths
+/// and restore is not safe under concurrent queries): SQL `SAVE
+/// SNAPSHOT '<dir>'` / `RESTORE SNAPSHOT '<dir>'` via ExecuteSql, shell
+/// `\snapshot <dir>`, and `gmdj_serve --restore=<dir>` at boot.
 Status SaveSnapshot(const Catalog& catalog, const std::string& dir);
 Status RestoreSnapshot(Catalog* catalog, const std::string& dir);
 

@@ -86,8 +86,20 @@ Status SpillWriter::WriteBlock() {
     if (gate.ok()) gate = GMDJ_FAULT_POINT("spill/write");
     GMDJ_RETURN_IF_ERROR(gate);
   }
+  GMDJ_RETURN_IF_ERROR(WriteRows(buffer_.data(), buffer_.size()));
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status SpillWriter::WriteRows(const Row* rows, size_t num_rows) {
   std::string block;
-  EncodeBlock(buffer_.data(), buffer_.size(), num_cols_, &block);
+  const Status encoded = EncodeBlock(rows, num_rows, num_cols_, &block);
+  if (!encoded.ok()) {
+    if (num_rows <= 1) return encoded;
+    const size_t half = num_rows / 2;
+    GMDJ_RETURN_IF_ERROR(WriteRows(rows, half));
+    return WriteRows(rows + half, num_rows - half);
+  }
   if (scope_ != nullptr) {
     GMDJ_RETURN_IF_ERROR(scope_->ChargeBlock(block.size()));
   }
@@ -96,8 +108,7 @@ Status SpillWriter::WriteBlock() {
   }
   bytes_written_ += block.size();
   blocks_written_ += 1;
-  rows_written_ += buffer_.size();
-  buffer_.clear();
+  rows_written_ += num_rows;
   return Status::OK();
 }
 

@@ -55,6 +55,11 @@ class SpillWriter {
   SpillWriter(std::string path, std::FILE* file, size_t block_rows,
               SpillScope* scope);
   Status WriteBlock();
+  /// Encodes and writes `rows[0..num_rows)`, halving the range when the
+  /// encoded block would exceed a format bound (kMaxPayload — e.g. a few
+  /// thousand rows of very large strings). A single row that still
+  /// exceeds the cap is a hard error.
+  Status WriteRows(const Row* rows, size_t num_rows);
   void Close();
 
   std::string path_;

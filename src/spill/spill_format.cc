@@ -12,12 +12,6 @@ namespace {
 constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
 constexpr uint64_t kFnvPrime = 0x100000001b3ull;
 
-// Sanity bounds: a block never holds more rows/columns than these, so a
-// corrupted header fails cleanly instead of driving a huge allocation.
-constexpr uint32_t kMaxBlockRows = 1u << 24;
-constexpr uint32_t kMaxBlockCols = 1u << 16;
-constexpr uint32_t kMaxPayload = 1u << 30;
-
 void PutU32(uint32_t v, std::string* out) {
   char buf[4];
   for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
@@ -317,7 +311,11 @@ Status DecodeColumn(ByteReader* reader, size_t num_rows, size_t col,
         GMDJ_RETURN_IF_ERROR(reader->ReadScalar(type, &v));
         uint64_t len;
         GMDJ_RETURN_IF_ERROR(reader->ReadVarint(&len));
-        if (values.size() + len > num_values) {
+        // Phrased to avoid wrap: `values.size() + len` overflows for a
+        // crafted len near 2^64 and would pass a sum-form check, then
+        // push_back until memory exhaustion. values.size() <= num_values
+        // is an invariant of this guard, so the subtraction is safe.
+        if (len > num_values - values.size()) {
           return Status::Internal("spill block RLE run overflows column");
         }
         for (uint64_t i = 0; i < len; ++i) values.push_back(v);
@@ -362,11 +360,28 @@ uint64_t Fnv1a64(const char* data, size_t size) {
   return h;
 }
 
-void EncodeBlock(const Row* rows, size_t num_rows, size_t num_cols,
-                 std::string* out) {
+Status EncodeBlock(const Row* rows, size_t num_rows, size_t num_cols,
+                   std::string* out) {
+  if (num_rows > kMaxBlockRows || num_cols > kMaxBlockCols) {
+    return Status::ResourceExhausted(
+        "spill block geometry exceeds format bounds: " +
+        std::to_string(num_rows) + " rows x " + std::to_string(num_cols) +
+        " cols (max " + std::to_string(kMaxBlockRows) + " x " +
+        std::to_string(kMaxBlockCols) + ")");
+  }
   std::string payload;
   for (size_t c = 0; c < num_cols; ++c) {
     EncodeColumn(rows, num_rows, c, &payload);
+  }
+  if (payload.size() > kMaxPayload) {
+    // Unchecked, this would truncate (or past 4 GB, wrap) the u32
+    // payload_size below — a block that writes fine and can never be
+    // read back.
+    return Status::ResourceExhausted(
+        "spill block payload " + std::to_string(payload.size()) +
+        " bytes exceeds the " + std::to_string(kMaxPayload) +
+        "-byte format cap" +
+        (num_rows <= 1 ? " (single row too large to spill)" : ""));
   }
   out->append(kBlockMagic, 4);
   PutU32(static_cast<uint32_t>(num_rows), out);
@@ -374,6 +389,7 @@ void EncodeBlock(const Row* rows, size_t num_rows, size_t num_cols,
   PutU32(static_cast<uint32_t>(payload.size()), out);
   PutU64(Fnv1a64(payload.data(), payload.size()), out);
   out->append(payload);
+  return Status::OK();
 }
 
 Result<BlockHeader> ParseBlockHeader(const char* bytes) {

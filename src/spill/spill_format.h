@@ -41,6 +41,15 @@ namespace spill {
 inline constexpr size_t kBlockHeaderSize = 24;
 inline constexpr char kBlockMagic[4] = {'S', 'P', 'B', '1'};
 
+/// Format bounds, enforced symmetrically: EncodeBlock refuses to emit a
+/// block that exceeds them (so oversize data fails loudly at write time,
+/// and a u32 payload_size can never silently wrap), and ParseBlockHeader
+/// refuses to read one (so a corrupted header fails cleanly instead of
+/// driving a huge allocation).
+inline constexpr uint32_t kMaxBlockRows = 1u << 24;
+inline constexpr uint32_t kMaxBlockCols = 1u << 16;
+inline constexpr uint32_t kMaxPayload = 1u << 30;
+
 enum class ColumnEncoding : uint8_t {
   kRaw = 0,
   kDict = 1,
@@ -59,9 +68,12 @@ struct BlockHeader {
 };
 
 /// Encodes `rows[0..num_rows)` — each of width `num_cols` — as one block
-/// appended to `out`.
-void EncodeBlock(const Row* rows, size_t num_rows, size_t num_cols,
-                 std::string* out);
+/// appended to `out`. ResourceExhausted (with `out` unchanged) when the
+/// block would exceed a format bound (kMaxPayload / kMaxBlockRows /
+/// kMaxBlockCols); callers split the rows across smaller blocks
+/// (SpillWriter does) or surface the oversize row.
+Status EncodeBlock(const Row* rows, size_t num_rows, size_t num_cols,
+                   std::string* out);
 
 /// Parses a header from `bytes` (kBlockHeaderSize bytes). Internal on a
 /// bad magic or an implausible geometry.

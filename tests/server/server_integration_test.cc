@@ -177,6 +177,43 @@ TEST_F(ServerIntegrationTest, ConcurrentClientsGetIdenticalRows) {
             std::string::npos);
 }
 
+TEST_F(ServerIntegrationTest, SnapshotStatementsRejectedOverHttp) {
+  // SAVE/RESTORE SNAPSHOT read/write server-local paths and swap catalog
+  // tables under live queries; they must stay local-surface only.
+  const HttpResponse save =
+      Post("/query", {}, "SAVE SNAPSHOT '/tmp/gmdj-net-snap'");
+  EXPECT_EQ(save.status, 403);
+  EXPECT_NE(save.body.find("not served over HTTP"), std::string::npos);
+  EXPECT_EQ(Post("/query", {}, "RESTORE SNAPSHOT '/etc'").status, 403);
+  // /explain prepends EXPLAIN ANALYZE, behind which snapshot statements
+  // do not parse — that surface answers 400, never executes.
+  EXPECT_EQ(Post("/explain", {}, "SAVE SNAPSHOT '/tmp/x'").status, 400);
+}
+
+TEST_F(ServerIntegrationTest, SessionGaugeSeriesAreBounded) {
+  // Mint more sessions than the per-id gauge cap (64, including the
+  // anonymous session): /metrics must publish per-id series for the
+  // first 64 only and count the overflow, so hostile session minting
+  // cannot grow the registry without bound.
+  for (int i = 0; i < 70; ++i) ASSERT_EQ(Post("/session", {}, "").status, 200);
+  auto metrics = client_.Request("GET", "/metrics", {}, "");
+  ASSERT_TRUE(metrics.ok());
+  // The anonymous session is listed first, so it is always published;
+  // which 63 named sessions fill the remaining slots is unspecified, so
+  // count series instead: 64 published ids x 4 gauges each.
+  EXPECT_NE(metrics->body.find("\"server.session.anonymous.connections\""),
+            std::string::npos);
+  size_t series = 0;
+  for (size_t at = metrics->body.find("\"server.session.");
+       at != std::string::npos;
+       at = metrics->body.find("\"server.session.", at + 1)) {
+    ++series;
+  }
+  EXPECT_EQ(series, 64u * 4u);
+  EXPECT_NE(metrics->body.find("\"server.sessions_unpublished\": 7"),
+            std::string::npos);
+}
+
 TEST_F(ServerIntegrationTest, ConfigTogglesCacheWhenIdleOnly) {
   const HttpResponse off = Post("/config", {{"X-Mqo-Cache", "off"}}, "");
   EXPECT_EQ(off.status, 200);

@@ -16,7 +16,9 @@ namespace {
 
 std::vector<Row> RoundTrip(const std::vector<Row>& rows, size_t num_cols) {
   std::string block;
-  EncodeBlock(rows.data(), rows.size(), num_cols, &block);
+  const Status encoded = EncodeBlock(rows.data(), rows.size(), num_cols,
+                                     &block);
+  EXPECT_TRUE(encoded.ok()) << encoded.ToString();
   EXPECT_GE(block.size(), kBlockHeaderSize);
   auto header = ParseBlockHeader(block.data());
   EXPECT_TRUE(header.ok()) << header.status().ToString();
@@ -88,7 +90,7 @@ TEST(SpillFormatTest, LowCardinalityCompresses) {
     raw_bytes += names[i % 3].size() + 1;
   }
   std::string block;
-  EncodeBlock(rows.data(), rows.size(), 1, &block);
+  ASSERT_TRUE(EncodeBlock(rows.data(), rows.size(), 1, &block).ok());
   EXPECT_LT(block.size(), raw_bytes / 2)
       << "low-cardinality column did not compress";
   ExpectSameRows(RoundTrip(rows, 1), rows);
@@ -101,7 +103,7 @@ TEST(SpillFormatTest, RunsCompress) {
   std::vector<Row> rows;
   for (int i = 0; i < 4096; ++i) rows.push_back({Value(int64_t{i / 16})});
   std::string block;
-  EncodeBlock(rows.data(), rows.size(), 1, &block);
+  ASSERT_TRUE(EncodeBlock(rows.data(), rows.size(), 1, &block).ok());
   EXPECT_LT(block.size(), rows.size() / 2);
   ExpectSameRows(RoundTrip(rows, 1), rows);
 }
@@ -119,7 +121,7 @@ TEST(SpillFormatTest, MixedTypeColumnFallsBackToTagged) {
 TEST(SpillFormatTest, BadMagicRejected) {
   std::vector<Row> rows = {{Value(1)}, {Value(2)}};
   std::string block;
-  EncodeBlock(rows.data(), rows.size(), 1, &block);
+  ASSERT_TRUE(EncodeBlock(rows.data(), rows.size(), 1, &block).ok());
   block[0] = 'X';
   EXPECT_FALSE(ParseBlockHeader(block.data()).ok());
 }
@@ -130,7 +132,7 @@ TEST(SpillFormatTest, CorruptionAnywhereIsDetected) {
     rows.push_back({Value(i), Value("payload-" + std::to_string(i))});
   }
   std::string block;
-  EncodeBlock(rows.data(), rows.size(), 2, &block);
+  ASSERT_TRUE(EncodeBlock(rows.data(), rows.size(), 2, &block).ok());
   // Flip one byte at a time across the payload; every corruption must be
   // caught by the checksum (the header keeps its own plausibility check).
   for (size_t at = kBlockHeaderSize; at < block.size(); at += 7) {
@@ -149,7 +151,7 @@ TEST(SpillFormatTest, CorruptionAnywhereIsDetected) {
 TEST(SpillFormatTest, TruncatedGeometryRejected) {
   std::vector<Row> rows = {{Value(1)}};
   std::string block;
-  EncodeBlock(rows.data(), rows.size(), 1, &block);
+  ASSERT_TRUE(EncodeBlock(rows.data(), rows.size(), 1, &block).ok());
   // An absurd row count must fail header plausibility, not allocate.
   std::string corrupt = block;
   corrupt[4] = '\xff';
@@ -157,6 +159,47 @@ TEST(SpillFormatTest, TruncatedGeometryRejected) {
   corrupt[6] = '\xff';
   corrupt[7] = '\xff';
   EXPECT_FALSE(ParseBlockHeader(corrupt.data()).ok());
+}
+
+TEST(SpillFormatTest, OversizeGeometryRefusedAtEncode) {
+  // Write-side enforcement mirrors the read-side plausibility check: a
+  // block the header cannot represent must fail at encode time, leaving
+  // `out` untouched, instead of emitting bytes that can never be read.
+  std::string block;
+  EXPECT_FALSE(
+      EncodeBlock(nullptr, 0, size_t{kMaxBlockCols} + 1, &block).ok());
+  EXPECT_TRUE(block.empty());
+}
+
+TEST(SpillFormatTest, RleRunLengthOverflowRejected) {
+  // Hand-craft an RLE column whose second run length is close to 2^64:
+  // after the first run fills the column, `values.size() + len` wraps to
+  // 0 and a sum-form guard would pass it, driving push_backs until
+  // memory exhaustion. The guard must be wrap-proof. The checksum is
+  // valid (it is not keyed), so only the guard stands in the way.
+  std::string payload;
+  payload.push_back('\xff');  // Null bitmap: 8 rows, all non-null.
+  payload.push_back(static_cast<char>(ColumnEncoding::kRle));
+  payload.push_back(static_cast<char>(ValueType::kInt64));
+  auto put_varint = [&payload](uint64_t v) {
+    while (v >= 0x80) {
+      payload.push_back(static_cast<char>((v & 0x7f) | 0x80));
+      v >>= 7;
+    }
+    payload.push_back(static_cast<char>(v));
+  };
+  put_varint(2);                       // Two runs.
+  put_varint(0);                       // Run 1 value: zigzag(0).
+  put_varint(8);                       // Run 1 fills the column.
+  put_varint(0);                       // Run 2 value.
+  put_varint(0xFFFFFFFFFFFFFFF8ull);   // Run 2 length: 8 + len wraps to 0.
+  BlockHeader header;
+  header.num_rows = 8;
+  header.num_cols = 1;
+  header.payload_size = static_cast<uint32_t>(payload.size());
+  header.checksum = Fnv1a64(payload.data(), payload.size());
+  std::vector<Row> out;
+  EXPECT_FALSE(DecodeBlockPayload(header, payload.data(), &out).ok());
 }
 
 TEST(Fnv1aTest, KnownVector) {
