@@ -25,6 +25,11 @@
 //   --warehouse-scale=X            must match the server's flag (local
 //                                  verification engine)
 //   --no-check                     skip row-equality (pure throughput)
+//   --retries=N                    retry overload (429/503) and transport
+//                                  failures up to N times with capped
+//                                  exponential backoff + jitter, honoring
+//                                  Retry-After (queries only — they are
+//                                  read-only, hence idempotent)
 //   --smoke                        2s run + per-session governance
 //                                  isolation checks; exit nonzero on any
 //                                  error/mismatch or zero QPS
@@ -69,6 +74,7 @@ struct Args {
   bool check = true;
   bool smoke = false;
   bool expect_spill = false;
+  int retries = 0;  // Extra attempts per idempotent request.
 };
 
 Args ParseArgs(int argc, char** argv) {
@@ -93,6 +99,8 @@ Args ParseArgs(int argc, char** argv) {
       args.strategy = arg + 11;
     } else if (std::strncmp(arg, "--warehouse-scale=", 18) == 0) {
       args.warehouse_scale = std::atof(arg + 18);
+    } else if (std::strncmp(arg, "--retries=", 10) == 0) {
+      args.retries = std::atoi(arg + 10);
     } else if (std::strcmp(arg, "--no-check") == 0) {
       args.check = false;
     } else if (std::strcmp(arg, "--smoke") == 0) {
@@ -145,12 +153,20 @@ uint64_t Percentile(const std::vector<uint64_t>& sorted, double p) {
 }
 
 /// One request/response against the server; returns the HTTP status or
-/// -1 on a transport error (after which the client reconnects).
+/// -1 on a transport error (after which the client reconnects). With
+/// --retries and `idempotent`, overload responses and transport errors
+/// are retried (reconnecting as needed) before the verdict lands.
 int Post(server::HttpClient* client, const Args& args,
          const std::string& target,
          std::vector<std::pair<std::string, std::string>> headers,
-         const std::string& body, std::string* response_body) {
-  auto response = client->Request("POST", target, headers, body);
+         const std::string& body, std::string* response_body,
+         bool idempotent = false) {
+  server::RetryPolicy policy;
+  policy.max_attempts = args.retries + 1;
+  Result<server::HttpResponse> response =
+      args.retries > 0 ? client->RequestWithRetry("POST", target, headers,
+                                                  body, idempotent, policy)
+                       : client->Request("POST", target, headers, body);
   if (!response.ok()) {
     client->Connect(args.host, args.port);
     return -1;
@@ -196,7 +212,8 @@ void ClientLoop(const Args& args, int client_id,
     const size_t q = (static_cast<size_t>(client_id) + i) % mix.size();
     std::string body;
     const auto started = std::chrono::steady_clock::now();
-    const int status = Post(&client, args, "/query", headers, mix[q], &body);
+    const int status = Post(&client, args, "/query", headers, mix[q], &body,
+                            /*idempotent=*/true);
     const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
         std::chrono::steady_clock::now() - started);
     if (status == 200) {

@@ -1,0 +1,127 @@
+#!/usr/bin/env bash
+# Chaos smoke: crash recovery end to end. Boots gmdj_serve with a
+# mutation journal and a boot snapshot, applies acknowledged INSERTs,
+# then SIGKILLs the server mid-workload while the load driver is
+# hammering it. A restart with --restore + --journal must replay every
+# acknowledged mutation: catalog dumps and query results are compared
+# byte-for-byte against a reference run that was never killed. A second
+# recovery cycle asserts the boot snapshot folded the mutations in and
+# truncated the journal (0 records replayed, same state).
+#
+#   chaos_smoke.sh <gmdj_serve> <serve_load> [scale]
+set -euo pipefail
+
+serve_bin=$1
+load_bin=$2
+scale=${3:-0.25}
+
+work=$(mktemp -d)
+server_pid=""
+trap 'if [ -n "$server_pid" ]; then kill -9 "$server_pid" 2>/dev/null || true; fi; rm -rf "$work"' EXIT
+
+probe_sql='SELECT * FROM Hours H WHERE EXISTS (SELECT * FROM Flow F WHERE F.StartTime >= H.StartInterval AND F.StartTime < H.EndInterval)'
+
+# boot <log> [flags...]: starts the server on an ephemeral port, scrapes
+# the bound port from the listen line, sets $server_pid and $port.
+boot() {
+  local log=$1
+  shift
+  "$serve_bin" --port=0 --warehouse-scale="$scale" "$@" >"$log" 2>&1 &
+  server_pid=$!
+  port=""
+  for _ in $(seq 1 150); do
+    port=$(sed -n 's/^listening on .*:\([0-9][0-9]*\)$/\1/p' "$log")
+    [ -n "$port" ] && break
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+      echo "error: server died during startup" >&2
+      cat "$log" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  [ -n "$port" ] || { echo "error: server never bound" >&2; cat "$log" >&2; exit 1; }
+}
+
+# The acknowledged mutation workload: every curl that returns success
+# was answered 200, i.e. the row is journaled and fsynced — recovery
+# must reproduce exactly these rows.
+insert_rows() {
+  local i
+  for i in $(seq 1 8); do
+    curl -sf -d "INSERT INTO supplier VALUES (9000$i, 'chaos-$i', $i, $i.25)" \
+      "http://127.0.0.1:$port/query" >/dev/null
+  done
+}
+
+# dump_state <prefix>: TSV dumps of the mutated table and a nested-query
+# result, the byte-compared recovery contract.
+dump_state() {
+  curl -sf -H 'X-Format: tsv' -d 'SELECT * FROM supplier' \
+    "http://127.0.0.1:$port/query" >"$work/$1.supplier.tsv"
+  curl -sf -H 'X-Format: tsv' -d "$probe_sql" \
+    "http://127.0.0.1:$port/query" >"$work/$1.probe.tsv"
+}
+
+# --- Reference run: same mutations, never killed.
+boot "$work/ref.log"
+insert_rows
+dump_state ref
+kill -TERM "$server_pid"
+wait "$server_pid"
+server_pid=""
+
+# --- Chaos run: journal + boot snapshot, then SIGKILL mid-workload.
+boot "$work/chaos.log" --journal="$work/journal.wal" --save-snapshot="$work/snap"
+insert_rows
+"$load_bin" --port="$port" --warehouse-scale="$scale" --clients=8 \
+  --seconds=4 --retries=3 --no-check >"$work/load.log" 2>&1 &
+load_pid=$!
+sleep 1
+kill -9 "$server_pid"
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+# The driver lost its server mid-run; any exit code is expected.
+wait "$load_pid" 2>/dev/null || true
+
+# --- Recovery: restore the boot snapshot, replay the journal, fold the
+# replayed state into a fresh snapshot (which truncates the journal).
+boot "$work/recover.log" --restore="$work/snap" \
+  --journal="$work/journal.wal" --save-snapshot="$work/snap"
+if ! grep -q 'replayed 8 records' "$work/recover.log"; then
+  echo "error: journal replay missing or short:" >&2
+  grep -i journal "$work/recover.log" >&2 || true
+  exit 1
+fi
+dump_state recovered
+kill -TERM "$server_pid"
+wait "$server_pid"
+server_pid=""
+
+cmp "$work/ref.supplier.tsv" "$work/recovered.supplier.tsv" || {
+  echo "error: supplier state diverged after crash recovery" >&2; exit 1; }
+cmp "$work/ref.probe.tsv" "$work/recovered.probe.tsv" || {
+  echo "error: query results diverged after crash recovery" >&2; exit 1; }
+
+# --- Second cycle: the journal was truncated by the boot snapshot, so
+# recovery now replays nothing and still lands on the identical state.
+boot "$work/recover2.log" --restore="$work/snap" --journal="$work/journal.wal"
+if ! grep -q 'replayed 0 records' "$work/recover2.log"; then
+  echo "error: journal was not truncated by the boot snapshot" >&2
+  grep -i journal "$work/recover2.log" >&2 || true
+  exit 1
+fi
+dump_state recovered2
+kill -TERM "$server_pid"
+wait "$server_pid"
+server_pid=""
+cmp "$work/ref.supplier.tsv" "$work/recovered2.supplier.tsv" || {
+  echo "error: state diverged on the second recovery cycle" >&2; exit 1; }
+
+# Crash-atomic housekeeping: no snapshot staging dirs survive recovery.
+if ls -d "$work"/*.tmp >/dev/null 2>&1; then
+  echo "error: leaked snapshot staging dir:" >&2
+  ls -d "$work"/*.tmp >&2
+  exit 1
+fi
+
+echo "chaos smoke OK (SIGKILL + restore + journal replay = unfailed state)"

@@ -20,6 +20,8 @@ enum class StatusCode {
   kCancelled,          // Query aborted via its cancellation token.
   kDeadlineExceeded,   // Query ran past its wall-clock deadline.
   kResourceExhausted,  // Memory budget (or another quota) exhausted.
+  kDataLoss,           // Durable state (snapshot/journal) is corrupt or
+                       // incomplete — unrecoverable without another copy.
 };
 
 /// Returns a human-readable name for `code` ("InvalidArgument", ...).
@@ -69,6 +71,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -6,6 +6,7 @@
 #include "core/optimizer.h"
 #include "core/gmdj.h"
 #include "nested/native_eval.h"
+#include "spill/journal.h"
 #include "spill/snapshot.h"
 #include "sql/parser.h"
 #include "unnest/unnest.h"
@@ -185,6 +186,14 @@ Result<Table> OlapEngine::Execute(const NestedSelect& query, Strategy strategy,
 Result<Table> OlapEngine::Execute(const NestedSelect& query, Strategy strategy,
                                   const SessionLimits& session,
                                   QueryRun* run) {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  return ExecuteLocked(query, strategy, session, run);
+}
+
+Result<Table> OlapEngine::ExecuteLocked(const NestedSelect& query,
+                                        Strategy strategy,
+                                        const SessionLimits& session,
+                                        QueryRun* run) {
   QueryRun local;
   if (run == nullptr) run = &local;
   Stopwatch watch;
@@ -298,6 +307,7 @@ obs::MetricsSnapshot OlapEngine::SnapshotMetrics() {
 BatchResult OlapEngine::ExecuteBatch(
     const std::vector<const NestedSelect*>& queries,
     const BatchOptions& options) {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
   return ExecuteGmdjBatch(catalog_, exec_config_, agg_cache_.get(),
                           &mem_pool_, queries, options);
 }
@@ -330,12 +340,63 @@ void OlapEngine::EnableSpill(spill::SpillConfig config) {
 
 void OlapEngine::DisableSpill() { spill_manager_.reset(); }
 
-Status OlapEngine::SaveSnapshot(const std::string& dir) const {
-  return spill::SaveSnapshot(catalog_, dir);
+Status OlapEngine::SaveSnapshot(const std::string& dir) {
+  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+  return SaveSnapshotLocked(dir);
+}
+
+Status OlapEngine::SaveSnapshotLocked(const std::string& dir) {
+  GMDJ_RETURN_IF_ERROR(spill::SaveSnapshot(catalog_, dir));
+  // The snapshot now covers every journaled mutation (both happen under
+  // the exclusive lock), so replay after this point starts empty.
+  if (journal_ != nullptr) GMDJ_RETURN_IF_ERROR(journal_->Truncate());
+  return Status::OK();
 }
 
 Status OlapEngine::RestoreSnapshot(const std::string& dir) {
+  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
   return spill::RestoreSnapshot(&catalog_, dir);
+}
+
+Status OlapEngine::AppendRows(const std::string& name, std::vector<Row> rows) {
+  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+  return AppendRowsLocked(name, std::move(rows));
+}
+
+Status OlapEngine::AppendRowsLocked(const std::string& name,
+                                    std::vector<Row> rows) {
+  GMDJ_ASSIGN_OR_RETURN(Table * table, catalog_.GetMutableTable(name));
+  const size_t width = table->schema().num_fields();
+  for (const Row& row : rows) {
+    if (row.size() != width) {
+      return Status::InvalidArgument(
+          "INSERT row has " + std::to_string(row.size()) +
+          " values, table '" + name + "' has " + std::to_string(width) +
+          " columns");
+    }
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].is_null()) continue;
+      if (row[c].type() != table->schema().field(c).type) {
+        return Status::InvalidArgument(
+            "INSERT value for column '" +
+            table->schema().field(c).QualifiedName() + "' has type " +
+            ValueTypeToString(row[c].type()) + ", expected " +
+            ValueTypeToString(table->schema().field(c).type));
+      }
+    }
+  }
+  // Write-ahead: journal + fsync before the in-memory apply, so a crash
+  // after the caller's ack replays to exactly the acknowledged state. A
+  // journal failure leaves the catalog untouched (and at worst a torn
+  // tail on disk, which recovery drops).
+  if (journal_ != nullptr && !rows.empty()) {
+    GMDJ_RETURN_IF_ERROR(
+        journal_->AppendRows(name, rows.data(), rows.size(), width));
+  }
+  metrics_.GetCounter("engine.inserted_rows")
+      ->Add(static_cast<int64_t>(rows.size()));
+  table->AppendRows(std::move(rows));
+  return Status::OK();
 }
 
 namespace {
@@ -418,6 +479,15 @@ Result<Table> OlapEngine::ExecuteSql(std::string_view sql, Strategy strategy,
   QueryRun local;
   if (run == nullptr) run = &local;
   GMDJ_ASSIGN_OR_RETURN(SqlStatement statement, ParseStatement(sql));
+  if (statement.kind == SqlStatement::Kind::kInsert) {
+    Stopwatch insert_watch;
+    const size_t num_rows = statement.insert_rows.size();
+    GMDJ_RETURN_IF_ERROR(AppendRows(statement.insert_table,
+                                    std::move(statement.insert_rows)));
+    run->elapsed_ms = insert_watch.ElapsedMillis();
+    return PlanTextTable("inserted " + std::to_string(num_rows) +
+                         " rows into " + statement.insert_table);
+  }
   if (statement.kind != SqlStatement::Kind::kSelect) {
     const bool saving = statement.kind == SqlStatement::Kind::kSaveSnapshot;
     Stopwatch snapshot_watch;
@@ -429,6 +499,9 @@ Result<Table> OlapEngine::ExecuteSql(std::string_view sql, Strategy strategy,
         statement.snapshot_dir + " (" +
         std::to_string(catalog_.TableNames().size()) + " tables)");
   }
+  // Read path: hold the catalog lock shared for the whole statement —
+  // the base execution and the projection back half both read catalog_.
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
   if (statement.explain != SqlStatement::ExplainMode::kNone) {
     switch (strategy) {
       case Strategy::kNativeNaive:
@@ -452,8 +525,8 @@ Result<Table> OlapEngine::ExecuteSql(std::string_view sql, Strategy strategy,
     return PlanTextTable(plan->ToString());
   }
 
-  GMDJ_ASSIGN_OR_RETURN(Table rows,
-                        Execute(*statement.select, strategy, session, run));
+  GMDJ_ASSIGN_OR_RETURN(
+      Table rows, ExecuteLocked(*statement.select, strategy, session, run));
   if (statement.projections.empty()) return rows;
 
   // The projection / select-list-subquery back half is governed by its
@@ -481,6 +554,7 @@ Result<Table> OlapEngine::ExecuteSql(std::string_view sql, Strategy strategy,
 
 Result<std::string> OlapEngine::Explain(const NestedSelect& query,
                                         Strategy strategy) {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
   switch (strategy) {
     case Strategy::kNativeNaive:
     case Strategy::kNativeSmart:
@@ -510,6 +584,7 @@ Result<std::string> OlapEngine::ExplainAnalyze(
     default:
       break;
   }
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
   GMDJ_ASSIGN_OR_RETURN(PlanPtr plan, Plan(query, strategy));
   QueryRun run;
   Result<std::string> rendered =
@@ -555,6 +630,7 @@ Result<std::string> OlapEngine::ExplainAnalyzePlan(
 
 Result<Table> OlapEngine::Project(const Table& input,
                                   std::vector<ProjItem> items) {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
   PlanPtr plan = std::make_unique<ValuesNode>(input);
   plan = std::make_unique<ProjectNode>(std::move(plan), std::move(items));
   GMDJ_RETURN_IF_ERROR(plan->Prepare(catalog_));

@@ -2,6 +2,7 @@
 #define GMDJ_ENGINE_OLAP_ENGINE_H_
 
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -22,6 +23,10 @@ namespace gmdj {
 
 struct BatchOptions;
 struct BatchResult;
+
+namespace spill {
+class JournalWriter;
+}  // namespace spill
 
 /// Caller-owned outputs of one governed execution: the per-query stats,
 /// wall time, and (on a governed abort) the flight-recorder dump that
@@ -96,8 +101,9 @@ class OlapEngine {
   /// caller's `run` instead of the engine's `last_*` members.
   ///
   /// Thread-safe: concurrent calls on one engine are allowed (alongside
-  /// ExecuteBatch) as long as each caller passes its own QueryRun and the
-  /// catalog is not mutated concurrently. Only this overload and
+  /// ExecuteBatch, AppendRows, and snapshot save/restore — reads share
+  /// the catalog lock, mutations take it exclusively) as long as each
+  /// caller passes its own QueryRun. Only this overload and
   /// ExecuteSql-with-SessionLimits make that guarantee — the legacy
   /// overloads above write `last_stats_` and friends.
   Result<Table> Execute(const NestedSelect& query, Strategy strategy,
@@ -174,11 +180,27 @@ class OlapEngine {
   spill::SpillManager* spill_manager() { return spill_manager_.get(); }
 
   /// Serializes every catalog table into `dir` (spill block format plus a
-  /// MANIFEST); RestoreSnapshot replaces same-named tables from `dir`.
-  /// Also reachable as SQL `SAVE SNAPSHOT '<dir>'` / `RESTORE SNAPSHOT
-  /// '<dir>'` through ExecuteSql. Not safe against concurrent queries.
-  Status SaveSnapshot(const std::string& dir) const;
+  /// MANIFEST, staged and renamed crash-atomically); RestoreSnapshot
+  /// replaces same-named tables from `dir`. Also reachable as SQL `SAVE
+  /// SNAPSHOT '<dir>'` / `RESTORE SNAPSHOT '<dir>'` through ExecuteSql.
+  /// Both take the catalog lock exclusively, so they are safe alongside
+  /// concurrent governed queries (which wait). A successful save
+  /// truncates the attached journal — its mutations are in the snapshot.
+  Status SaveSnapshot(const std::string& dir);
   Status RestoreSnapshot(const std::string& dir);
+
+  /// Appends literal `rows` to catalog table `name` under the exclusive
+  /// catalog lock — the engine's one online mutation path (SQL `INSERT
+  /// INTO ... VALUES ...` lands here). Rows are width- and type-checked
+  /// against the schema, journaled (when a journal is attached) and
+  /// fsynced *before* being applied in memory, so an OK return means the
+  /// mutation survives a crash. The table version bump invalidates
+  /// dependent MQO cache entries.
+  Status AppendRows(const std::string& name, std::vector<Row> rows);
+
+  /// Attaches (or detaches, with nullptr) the mutation journal AppendRows
+  /// writes through. Not owned; the caller keeps it alive across use.
+  void set_journal(spill::JournalWriter* journal) { journal_ = journal; }
 
   /// Statistics and wall time of the most recent Execute call.
   const ExecStats& last_stats() const { return last_stats_; }
@@ -229,11 +251,25 @@ class OlapEngine {
   /// Profiled execution + rendering of an unprepared plan (the shared
   /// back half of ExplainAnalyze and the SQL EXPLAIN ANALYZE path).
   /// Writes diagnostics to `run` (never null), not to engine members.
+  /// Caller holds the catalog lock (shared).
   Result<std::string> ExplainAnalyzePlan(PlanPtr plan,
                                          const AnalyzeRenderOptions& options,
                                          QueryRun* run);
 
+  // Lock-free bodies of the public entry points. Each public method
+  // takes `catalog_mu_` exactly once and delegates here, so internal
+  // calls (e.g. ExecuteSql -> ExecuteLocked) never re-lock — same-thread
+  // shared_mutex recursion is undefined behavior.
+  Result<Table> ExecuteLocked(const NestedSelect& query, Strategy strategy,
+                              const SessionLimits& session, QueryRun* run);
+  Status SaveSnapshotLocked(const std::string& dir);
+  Status AppendRowsLocked(const std::string& name, std::vector<Row> rows);
+
   Catalog catalog_;
+  /// Guards the catalog against online mutation: queries/batches/explains
+  /// hold it shared, AppendRows and snapshot save/restore exclusively.
+  mutable std::shared_mutex catalog_mu_;
+  spill::JournalWriter* journal_ = nullptr;
   ExecConfig exec_config_;
   ExecStats last_stats_;
   double last_elapsed_ms_ = 0.0;

@@ -174,6 +174,17 @@ MetricsSnapshot MetricRegistry::Snapshot() const {
   return snapshot;
 }
 
+size_t MetricRegistry::RemoveGaugesWithPrefix(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t removed = 0;
+  for (auto it = gauges_.lower_bound(prefix); it != gauges_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    it = gauges_.erase(it);
+    ++removed;
+  }
+  return removed;
+}
+
 void MetricRegistry::ResetForTest() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();

@@ -217,6 +217,13 @@ class MetricRegistry {
 
   MetricsSnapshot Snapshot() const;
 
+  /// Removes every gauge whose name starts with `prefix`, returning the
+  /// number removed. For dynamically-named series (e.g. the server's
+  /// per-session gauges) whose owner has expired — the handles returned
+  /// by GetGauge for them become dangling, so this is only safe for
+  /// gauges that callers re-fetch by name and never cache.
+  size_t RemoveGaugesWithPrefix(const std::string& prefix);
+
   /// Zeroes counters and histograms (gauges keep their last Set).
   void ResetForTest();
 

@@ -8,6 +8,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/fault_injection.h"
+
 namespace gmdj {
 namespace server {
 
@@ -31,12 +33,29 @@ ssize_t RecvMore(int fd, std::string* buffer) {
 }
 
 Status SendAll(int fd, const std::string& data, size_t* bytes_written) {
+  // Chaos site: push out a prefix so the peer sees a torn stream, then
+  // surface the injected error (the caller closes the connection).
+  const Status short_write = GMDJ_FAULT_POINT("http/send");
+  if (!short_write.ok()) {
+    const ssize_t n =
+        ::send(fd, data.data(), data.size() / 2, MSG_NOSIGNAL);
+    if (bytes_written != nullptr && n > 0) {
+      *bytes_written += static_cast<size_t>(n);
+    }
+    return short_write;
+  }
   size_t sent = 0;
   while (sent < data.size()) {
     const ssize_t n =
         ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_SNDTIMEO fired: the peer stopped draining (or vanished)
+        // mid-response. Typed so the worker frees itself instead of
+        // blocking on a dead socket forever.
+        return Status::DeadlineExceeded("socket write timed out");
+      }
       return Status::Internal(std::string("send: ") + std::strerror(errno));
     }
     sent += static_cast<size_t>(n);
@@ -100,8 +119,14 @@ ReadResult ReadMessage(int fd, const HttpLimits& limits, std::string* buffer,
   size_t head_end;
   while ((head_end = buffer->find("\r\n\r\n")) == std::string::npos) {
     if (buffer->size() > limits.max_head_bytes) {
-      return fail(Status::InvalidArgument("request head too large"));
+      return fail(Status::ResourceExhausted("request head too large"));
     }
+    if (buffer->size() > limits.max_line_bytes &&
+        buffer->find("\r\n") == std::string::npos) {
+      return fail(Status::ResourceExhausted("request line too large"));
+    }
+    const Status injected = GMDJ_FAULT_POINT("http/recv");
+    if (!injected.ok()) return fail(injected);
     const size_t before = buffer->size();
     const ssize_t n = RecvMore(fd, buffer);
     if (n == 0) {
@@ -111,10 +136,26 @@ ReadResult ReadMessage(int fd, const HttpLimits& limits, std::string* buffer,
                                    "connection closed mid-request"));
     }
     if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO fired. An empty buffer is an idle keep-alive
+        // connection going quiet — close without fuss. Partial bytes
+        // mean a stalled (slow-loris) request: typed timeout, 408.
+        return buffer->empty()
+                   ? ReadResult::kClosed
+                   : fail(Status::DeadlineExceeded("socket read timed out"));
+      }
       return fail(Status::Internal(std::string("recv: ") +
                                    std::strerror(errno)));
     }
     if (bytes_read != nullptr) *bytes_read += buffer->size() - before;
+  }
+  // The streaming caps above only trip while the head is still partial;
+  // a head that arrived whole in one recv must pass the same limits.
+  if (head_end > limits.max_head_bytes) {
+    return fail(Status::ResourceExhausted("request head too large"));
+  }
+  if (buffer->find("\r\n") > limits.max_line_bytes) {
+    return fail(Status::ResourceExhausted("request line too large"));
   }
   headers->clear();
   Status head_status = ParseHead(*buffer, head_end, words, headers);
@@ -151,6 +192,9 @@ ReadResult ReadMessage(int fd, const HttpLimits& limits, std::string* buffer,
     const size_t before = buffer->size();
     const ssize_t n = RecvMore(fd, buffer);
     if (n <= 0) {
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        return fail(Status::DeadlineExceeded("socket read timed out"));
+      }
       return fail(n == 0 ? Status::InvalidArgument(
                                "connection closed mid-body")
                          : Status::Internal(std::string("recv: ") +
@@ -217,6 +261,15 @@ Status WriteHttpResponse(int fd, const HttpResponse& response,
   head += response.close ? "Connection: close\r\n\r\n"
                          : "Connection: keep-alive\r\n\r\n";
   GMDJ_RETURN_IF_ERROR(SendAll(fd, head, bytes_written));
+  // Chaos site: the head already promised Content-Length bytes; deliver
+  // only half and error out, so the peer reads a torn frame and must
+  // treat the connection as poisoned rather than hang for the rest.
+  const Status torn = GMDJ_FAULT_POINT("http/frame");
+  if (!torn.ok()) {
+    (void)SendAll(fd, response.body.substr(0, response.body.size() / 2),
+                  bytes_written);
+    return torn;
+  }
   return SendAll(fd, response.body, bytes_written);
 }
 
@@ -245,12 +298,16 @@ const char* HttpReason(int status) {
       return "Not Found";
     case 405:
       return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
     case 409:
       return "Conflict";
     case 413:
       return "Payload Too Large";
     case 429:
       return "Too Many Requests";
+    case 431:
+      return "Request Header Fields Too Large";
     case 499:
       return "Client Closed Request";
     case 500:

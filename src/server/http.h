@@ -44,16 +44,22 @@ struct HttpResponse {
   std::vector<std::pair<std::string, std::string>> extra_headers;
 };
 
-/// Hard protocol limits, applied while reading.
+/// Hard protocol limits, applied while reading. Overflowing the line or
+/// head caps yields a kResourceExhausted read error (the server answers
+/// 431); a socket deadline firing mid-message yields kDeadlineExceeded
+/// (408). Deadlines come from SO_RCVTIMEO/SO_SNDTIMEO set by the owner
+/// of the socket — the read loop just maps EAGAIN to the typed error.
 struct HttpLimits {
-  size_t max_head_bytes = 64 * 1024;
+  size_t max_line_bytes = 8 * 1024;   // Request line alone.
+  size_t max_head_bytes = 64 * 1024;  // Start line + all headers.
   size_t max_body_bytes = 1 << 20;
 };
 
 /// Outcome of reading one message from a connection.
 enum class ReadResult {
   kOk,      // One complete message parsed.
-  kClosed,  // Peer closed cleanly before a new message began.
+  kClosed,  // Peer closed cleanly — or the socket deadline expired —
+            // before a new message began.
   kError,   // Malformed input or socket error; close the connection.
 };
 

@@ -4,14 +4,53 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 namespace gmdj {
 namespace server {
+
+namespace {
+
+/// splitmix64 step — cheap deterministic jitter stream for backoff.
+uint64_t NextJitter(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Backoff before retry `attempt` (0-based): the server's Retry-After
+/// hint verbatim when present, else capped exponential with up to 50%
+/// additive jitter.
+uint64_t BackoffMs(const RetryPolicy& policy, int attempt,
+                   const std::map<std::string, std::string>& headers,
+                   uint64_t* jitter_state) {
+  auto it = headers.find("retry-after-ms");
+  if (it != headers.end()) {
+    return std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  it = headers.find("retry-after");
+  if (it != headers.end()) {
+    return std::strtoull(it->second.c_str(), nullptr, 10) * 1000;
+  }
+  uint64_t backoff = policy.base_backoff_ms;
+  for (int i = 0; i < attempt && backoff < policy.max_backoff_ms; ++i) {
+    backoff *= 2;
+  }
+  if (backoff > policy.max_backoff_ms) backoff = policy.max_backoff_ms;
+  if (backoff > 0) backoff += NextJitter(jitter_state) % (backoff / 2 + 1);
+  return backoff;
+}
+
+}  // namespace
 
 HttpClient& HttpClient::operator=(HttpClient&& other) noexcept {
   if (this != &other) {
@@ -20,8 +59,26 @@ HttpClient& HttpClient::operator=(HttpClient&& other) noexcept {
     other.fd_ = -1;
     buffer_ = std::move(other.buffer_);
     limits_ = other.limits_;
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    timeout_ms_ = other.timeout_ms_;
+    jitter_state_ = other.jitter_state_;
   }
   return *this;
+}
+
+void HttpClient::set_timeout_ms(uint64_t timeout_ms) {
+  timeout_ms_ = timeout_ms;
+  ApplyTimeout();
+}
+
+void HttpClient::ApplyTimeout() {
+  if (fd_ < 0 || timeout_ms_ == 0) return;
+  struct timeval tv;
+  tv.tv_sec = static_cast<time_t>(timeout_ms_ / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms_ % 1000) * 1000);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
 Status HttpClient::Connect(const std::string& host, int port) {
@@ -51,6 +108,9 @@ Status HttpClient::Connect(const std::string& host, int port) {
   }
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  host_ = host;
+  port_ = port;
+  ApplyTimeout();
   buffer_.clear();
   return Status::OK();
 }
@@ -77,6 +137,58 @@ Result<HttpResponse> HttpClient::Request(
                                 : "malformed response");
   }
   return response;
+}
+
+Result<HttpResponse> HttpClient::RequestWithRetry(
+    const std::string& method, const std::string& target,
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    const std::string& body, bool idempotent, const RetryPolicy& policy,
+    std::map<std::string, std::string>* response_headers) {
+  if (jitter_state_ == 0) jitter_state_ = policy.seed;
+  const int attempts = policy.max_attempts > 0 ? policy.max_attempts : 1;
+  Result<HttpResponse> last = Status::Internal("no attempts made");
+  // Headers of the most recent overload response, so the server's
+  // Retry-After hint drives the next sleep. Empty after transport
+  // errors — those fall back to the computed backoff.
+  std::map<std::string, std::string> overload_headers;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      const uint64_t sleep_ms =
+          BackoffMs(policy, attempt - 1, overload_headers, &jitter_state_);
+      if (sleep_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+      }
+      overload_headers.clear();
+    }
+
+    if (fd_ < 0) {
+      if (host_.empty()) return Status::Internal("not connected");
+      const Status connect_status = Connect(host_, port_);
+      if (!connect_status.ok()) {
+        // Nothing was sent — safe to retry regardless of idempotency.
+        last = connect_status;
+        continue;
+      }
+    }
+
+    std::map<std::string, std::string> got_headers;
+    last = Request(method, target, headers, body, &got_headers);
+    if (!last.ok()) {
+      // Transport error: the request may have executed before the
+      // connection died, so only idempotent work retries.
+      if (!idempotent) return last;
+      continue;
+    }
+    const int status = last.ValueOrDie().status;
+    if ((status == 429 || status == 503) && idempotent &&
+        attempt + 1 < attempts) {
+      overload_headers = std::move(got_headers);
+      continue;
+    }
+    if (response_headers != nullptr) *response_headers = std::move(got_headers);
+    return last;
+  }
+  return last;
 }
 
 void HttpClient::Close() {

@@ -1,6 +1,7 @@
 #ifndef GMDJ_SERVER_HTTP_CLIENT_H_
 #define GMDJ_SERVER_HTTP_CLIENT_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -10,6 +11,19 @@
 
 namespace gmdj {
 namespace server {
+
+/// Backoff schedule for RequestWithRetry. Sleeps are capped exponential
+/// (`base_backoff_ms << attempt`, bounded by `max_backoff_ms`) with
+/// deterministic jitter derived from `seed` — a fleet of clients with
+/// distinct seeds desynchronizes instead of retrying in lockstep. A
+/// server-provided Retry-After-Ms / Retry-After header overrides the
+/// computed backoff for that attempt.
+struct RetryPolicy {
+  int max_attempts = 4;  // Total tries, including the first.
+  uint64_t base_backoff_ms = 50;
+  uint64_t max_backoff_ms = 2000;
+  uint64_t seed = 1;  // Jitter stream; give each client its own.
+};
 
 /// Minimal blocking HTTP/1.1 keep-alive client over one connection —
 /// the counterpart of query_server.h, used by the load driver
@@ -26,8 +40,15 @@ class HttpClient {
   HttpClient(HttpClient&& other) noexcept { *this = std::move(other); }
   HttpClient& operator=(HttpClient&& other) noexcept;
 
-  /// Connects to host:port (IPv4 dotted quad, e.g. "127.0.0.1").
+  /// Connects to host:port (IPv4 dotted quad, e.g. "127.0.0.1"). The
+  /// address is remembered so RequestWithRetry can reconnect.
   Status Connect(const std::string& host, int port);
+
+  /// Per-syscall socket deadline (SO_RCVTIMEO/SO_SNDTIMEO), applied to
+  /// the current connection and every later one. A server that stalls
+  /// mid-response then surfaces as a transport error instead of
+  /// blocking the caller forever. 0 = no deadline (the default).
+  void set_timeout_ms(uint64_t timeout_ms);
 
   /// One request/response round trip on the kept-alive connection.
   /// `headers` are sent verbatim (Host and Content-Length are added).
@@ -40,14 +61,39 @@ class HttpClient {
       const std::string& body,
       std::map<std::string, std::string>* response_headers = nullptr);
 
+  /// Request with fault tolerance: reconnects a dropped connection and
+  /// retries per `policy` on transport errors and overload responses
+  /// (429/503), honoring the server's Retry-After hint.
+  ///
+  /// `idempotent` is the caller's promise that re-sending is safe
+  /// (read-only statements). Without it only *connect* failures retry —
+  /// once request bytes may have reached the server, a non-idempotent
+  /// request's transport error is returned as-is rather than risking a
+  /// double apply; overload responses (429/503) are also returned as-is
+  /// since the queue may have accepted the work it then rejected. (The
+  /// server rejects overload *before* executing, so retrying 429/503
+  /// would actually be safe — the conservative contract keeps the
+  /// client correct if that ever changes.)
+  Result<HttpResponse> RequestWithRetry(
+      const std::string& method, const std::string& target,
+      const std::vector<std::pair<std::string, std::string>>& headers,
+      const std::string& body, bool idempotent, const RetryPolicy& policy,
+      std::map<std::string, std::string>* response_headers = nullptr);
+
   void Close();
   bool connected() const { return fd_ >= 0; }
   int fd() const { return fd_; }
 
  private:
+  void ApplyTimeout();
+
   int fd_ = -1;
   std::string buffer_;  // Keep-alive carryover between responses.
   HttpLimits limits_;
+  std::string host_;  // Remembered for RequestWithRetry reconnects.
+  int port_ = 0;
+  uint64_t timeout_ms_ = 0;
+  uint64_t jitter_state_ = 0;  // Lazily seeded from the policy.
 };
 
 }  // namespace server

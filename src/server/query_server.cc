@@ -6,6 +6,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cctype>
@@ -29,9 +30,10 @@ namespace {
 constexpr int kPollMs = 20;
 
 /// Cap on sessions that get per-id `server.session.<id>.*` gauge series.
-/// Registry entries are never deleted, so without a cap any client could
-/// grow the registry (and every /metrics payload) without bound by
-/// minting sessions.
+/// Idle-session pruning deletes a session's gauges when it expires, but
+/// the TTL is minutes — without a cap a burst of hostile session minting
+/// could still grow the registry (and every /metrics payload) faster
+/// than expiry reclaims it.
 constexpr size_t kMaxSessionGaugeSeries = 64;
 
 bool EqualsIgnoreCase(const std::string& a, const char* b) {
@@ -96,6 +98,21 @@ HttpResponse ErrorResponse(int http_status, const Status& status) {
   return response;
 }
 
+/// Overload rejection: like ErrorResponse, plus Retry-After (whole
+/// seconds, rounded up, per RFC 9110) and the finer-grained
+/// Retry-After-Ms that the in-repo client prefers.
+HttpResponse ErrorResponseRetry(int http_status, const Status& status,
+                                uint64_t retry_after_ms) {
+  HttpResponse response = ErrorResponse(http_status, status);
+  if (retry_after_ms > 0) {
+    response.extra_headers.emplace_back(
+        "Retry-After", std::to_string((retry_after_ms + 999) / 1000));
+    response.extra_headers.emplace_back("Retry-After-Ms",
+                                        std::to_string(retry_after_ms));
+  }
+  return response;
+}
+
 /// Renders the one-string-column "plan" table EXPLAIN [ANALYZE] returns
 /// as plain text, one line per row.
 std::string PlanTableToText(const Table& table) {
@@ -124,6 +141,10 @@ QueryServer::QueryServer(OlapEngine* engine, ServerConfig config)
   m_bytes_out_ = reg->GetCounter("server.bytes_out");
   m_batches_ = reg->GetCounter("server.batches_executed");
   m_disconnect_cancels_ = reg->GetCounter("server.disconnect_cancels");
+  m_inserts_ = reg->GetCounter("server.rows_inserted");
+  m_shed_ = reg->GetCounter("server.jobs_shed");
+  m_evicted_ = reg->GetCounter("server.jobs_evicted");
+  m_breaker_trips_ = reg->GetCounter("server.breaker_trips");
   g_in_flight_ = reg->GetGauge("server.in_flight");
   g_open_connections_ = reg->GetGauge("server.open_connections");
   h_batch_size_ = reg->GetHistogram("server.batch_size");
@@ -247,11 +268,16 @@ void QueryServer::Wait() {
   workers_.clear();
 
   // Wake connection threads blocked in recv on idle keep-alive sockets,
-  // then join them.
+  // then join them. A busy connection is mid-response for a job that
+  // just drained — severing it here would eat the reply the drain
+  // waited for, so it is left alone; it exits after the write because
+  // draining_ is set.
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
     for (const auto& conn : conns_) {
-      if (!conn->finished.load()) ::shutdown(conn->fd, SHUT_RDWR);
+      if (!conn->finished.load() && !conn->busy.load()) {
+        ::shutdown(conn->fd, SHUT_RDWR);
+      }
     }
   }
   {
@@ -290,11 +316,25 @@ void QueryServer::AcceptLoop() {
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (config_.socket_timeout_ms > 0) {
+      // Hard per-syscall deadlines: a stalled (slow-loris) request or a
+      // peer that stops draining a response surfaces as EAGAIN, which
+      // the HTTP layer maps to a typed timeout — the connection thread
+      // frees itself instead of blocking on a dead socket forever.
+      struct timeval tv;
+      tv.tv_sec = static_cast<time_t>(config_.socket_timeout_ms / 1000);
+      tv.tv_usec = static_cast<suseconds_t>(
+          (config_.socket_timeout_ms % 1000) * 1000);
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    }
 
     ReapConnections();
+    PruneSessions();
     if (open_connections_.load() >= config_.max_connections) {
-      HttpResponse response = ErrorResponse(
-          503, Status::ResourceExhausted("connection limit reached"));
+      HttpResponse response = ErrorResponseRetry(
+          503, Status::ResourceExhausted("connection limit reached"),
+          config_.retry_after_ms);
       response.close = true;
       WriteHttpResponse(fd, response);
       ::close(fd);
@@ -344,7 +384,16 @@ void QueryServer::ConnectionLoop(Conn* conn) {
     m_bytes_in_->Add(bytes_read);
     if (result == ReadResult::kClosed) break;
     if (result == ReadResult::kError) {
-      HttpResponse response = ErrorResponse(400, read_error);
+      // Typed read failures keep their HTTP meaning: an oversize request
+      // line / header block is 431, a socket deadline firing mid-request
+      // is 408; everything else is a plain 400.
+      int http_status = 400;
+      if (read_error.code() == StatusCode::kResourceExhausted) {
+        http_status = 431;
+      } else if (read_error.code() == StatusCode::kDeadlineExceeded) {
+        http_status = 408;
+      }
+      HttpResponse response = ErrorResponse(http_status, read_error);
       response.close = true;
       size_t written = 0;
       WriteHttpResponse(conn->fd, response, &written);
@@ -352,13 +401,19 @@ void QueryServer::ConnectionLoop(Conn* conn) {
       break;
     }
 
+    conn->busy.store(true);
     HttpResponse response;
     keep = HandleRequest(conn, request, &response);
     if (request.WantsClose()) keep = false;
+    // During a drain the in-flight response is still delivered, but the
+    // keep-alive ends with it so the thread exits instead of blocking in
+    // recv until Wait() severs the socket.
+    if (draining_.load()) keep = false;
     response.close = !keep;
     size_t written = 0;
     if (!WriteHttpResponse(conn->fd, response, &written).ok()) keep = false;
     m_bytes_out_->Add(written);
+    conn->busy.store(false);
   }
 
   // FIN promptly; the fd itself is closed at reap/join time.
@@ -456,8 +511,9 @@ HttpResponse QueryServer::HandleQuery(Conn* conn, const HttpRequest& request,
   const int fd = conn->fd;
   if (draining_.load()) {
     m_rejected_->Add(1);
-    return ErrorResponse(503,
-                         Status::ResourceExhausted("server is draining"));
+    return ErrorResponseRetry(503,
+                              Status::ResourceExhausted("server is draining"),
+                              config_.retry_after_ms);
   }
 
   auto session_or = sessions_.Get(request.Header("x-session"));
@@ -467,6 +523,24 @@ HttpResponse QueryServer::HandleQuery(Conn* conn, const HttpRequest& request,
   }
   std::shared_ptr<Session> session = std::move(session_or).ValueOrDie();
   BindConnection(conn, session);
+  session->last_active_ms.store(SteadyNowMs(), std::memory_order_relaxed);
+
+  // Circuit breaker: a tenant whose queries keep aborting on governance
+  // limits is refused up front until the cooldown lapses, so its doomed
+  // queries stop burning worker time and governance budget.
+  if (config_.breaker_threshold > 0) {
+    const int64_t open_until = session->breaker_open_until_ms.load();
+    const int64_t now = SteadyNowMs();
+    if (open_until > now) {
+      m_rejected_->Add(1);
+      session->rejected.fetch_add(1);
+      return ErrorResponseRetry(
+          503,
+          Status::ResourceExhausted(
+              "session circuit breaker open (consecutive governed aborts)"),
+          static_cast<uint64_t>(open_until - now));
+    }
+  }
 
   Strategy strategy = config_.default_strategy;
   const std::string strategy_name = request.Header("x-strategy");
@@ -500,6 +574,29 @@ HttpResponse QueryServer::HandleQuery(Conn* conn, const HttpRequest& request,
   }
   SqlStatement statement = std::move(statement_or).ValueOrDie();
 
+  // INSERT executes inline on the connection thread: it takes the
+  // engine's exclusive catalog lock for a row append (cheap), is
+  // journaled before it is applied when the engine has a WAL attached,
+  // and must not ride the batching queue built for reads.
+  if (statement.kind == SqlStatement::Kind::kInsert) {
+    const size_t inserted = statement.insert_rows.size();
+    const std::string table = statement.insert_table;
+    const Status status =
+        engine_->AppendRows(table, std::move(statement.insert_rows));
+    if (!status.ok()) {
+      m_rejected_->Add(1);
+      session->rejected.fetch_add(1);
+      return ErrorResponse(HttpStatusFor(status), status);
+    }
+    m_inserts_->Add(static_cast<int64_t>(inserted));
+    session->queries.fetch_add(1);
+    HttpResponse response;
+    response.body = "{\"status\": \"ok\", \"inserted\": " +
+                    std::to_string(inserted) + ", \"table\": \"" +
+                    JsonEscape(table) + "\"}";
+    return response;
+  }
+
   // SAVE/RESTORE SNAPSHOT are admin statements: they read/write
   // server-local filesystem paths of the caller's choosing, and restore
   // swaps catalog tables out from under concurrently executing queries.
@@ -531,7 +628,18 @@ HttpResponse QueryServer::HandleQuery(Conn* conn, const HttpRequest& request,
     job->select = std::move(statement.select);
   }
 
+  // Shedding rank: a full queue evicts the newest strictly-lower-priority
+  // queued job to admit this one, and workers shed overdue lower-priority
+  // jobs first under sustained overload. Uniform priorities (the default)
+  // degrade to plain full-queue rejection.
+  int priority = 0;
+  const std::string priority_header = request.Header("x-priority");
+  if (!priority_header.empty()) {
+    priority = std::atoi(priority_header.c_str());
+  }
+
   bool admitted;
+  std::shared_ptr<Job> evicted;
   {
     // Under the config gate, so /config's idle check can exclude
     // admissions; `pending_` is bumped before the gate is released.
@@ -539,21 +647,29 @@ HttpResponse QueryServer::HandleQuery(Conn* conn, const HttpRequest& request,
     // FinishJob's decrement can land as soon as a worker can pop, so
     // incrementing after would let the gauge transiently read -1.
     std::lock_guard<std::mutex> gate(config_mu_);
-    session->in_flight.fetch_add(1);  // Dropped by FinishJob.
-    admitted = queue_.TryPush(job);
+    session->in_flight.fetch_add(1);  // Dropped by FinishJob/ShedJob.
+    admitted = queue_.TryPush(job, priority, &evicted);
     if (admitted) {
       pending_.fetch_add(1);
     } else {
       session->in_flight.fetch_sub(1);
     }
   }
+  if (evicted != nullptr) {
+    m_evicted_->Add(1);
+    ShedJob(evicted, Status::ResourceExhausted(
+                         "evicted from the admission queue by a "
+                         "higher-priority request"));
+  }
   if (!admitted) {
     m_rejected_->Add(1);
     session->rejected.fetch_add(1);
-    return ErrorResponse(
-        503, Status::ResourceExhausted(
-                 "admission queue full (capacity " +
-                 std::to_string(config_.queue_capacity) + ")"));
+    return ErrorResponseRetry(
+        503,
+        Status::ResourceExhausted("admission queue full (capacity " +
+                                  std::to_string(config_.queue_capacity) +
+                                  ")"),
+        config_.retry_after_ms);
   }
   m_accepted_->Add(1);
   session->queries.fetch_add(1);
@@ -576,8 +692,36 @@ HttpResponse QueryServer::HandleQuery(Conn* conn, const HttpRequest& request,
   Result<Table>& result = *job->result;
   if (!result.ok()) {
     session->rejected.fetch_add(1);
-    return ErrorResponse(HttpStatusFor(result.status()), result.status());
+    if (job->shed) {
+      // Dropped by overload shedding/eviction without executing — not
+      // the tenant's fault, so it does not count toward the breaker.
+      return ErrorResponseRetry(503, result.status(),
+                                config_.retry_after_ms);
+    }
+    const StatusCode code = result.status().code();
+    if (config_.breaker_threshold > 0 &&
+        (code == StatusCode::kResourceExhausted ||
+         code == StatusCode::kDeadlineExceeded)) {
+      // A governed abort: the query ran and burned its budget before
+      // failing. Enough in a row trips the breaker. The count is left
+      // standing on a trip, so a failure right after the cooldown
+      // (half-open probe) re-trips immediately; only success resets.
+      const uint64_t aborts = session->governed_aborts.fetch_add(1) + 1;
+      if (aborts >= config_.breaker_threshold) {
+        session->breaker_open_until_ms.store(
+            SteadyNowMs() +
+            static_cast<int64_t>(config_.breaker_cooldown_ms));
+        m_breaker_trips_->Add(1);
+      }
+    }
+    const int http_status = HttpStatusFor(result.status());
+    if (http_status == 429 || http_status == 503) {
+      return ErrorResponseRetry(http_status, result.status(),
+                                config_.retry_after_ms);
+    }
+    return ErrorResponse(http_status, result.status());
   }
+  session->governed_aborts.store(0);
 
   HttpResponse response;
   if (explain) {
@@ -606,6 +750,7 @@ HttpResponse QueryServer::HandleSession(Conn* conn,
   } else {
     session = sessions_.Create(limits);
   }
+  session->last_active_ms.store(SteadyNowMs(), std::memory_order_relaxed);
   BindConnection(conn, session);
   HttpResponse response;
   response.body = "{\"status\": \"ok\", \"session\": \"" +
@@ -675,19 +820,18 @@ HttpResponse QueryServer::HandleHealth() {
 }
 
 HttpResponse QueryServer::HandleMetrics() {
+  PruneSessions();
   obs::MetricRegistry* reg = engine_->metrics();
   reg->GetGauge("server.queued")->Set(static_cast<int64_t>(queue_.size()));
   // Per-tenant gauges: refresh each published session's connection and
   // in-flight counts right before the snapshot. A session is "active"
   // while it has a bound connection or a query between admission and
-  // completion. Gauge names live in the registry forever and any client
-  // can mint sessions via POST /session, so per-id series are capped:
-  // the first kMaxSessionGaugeSeries sessions seen here keep per-id
-  // gauges (refreshed on every snapshot — never stale), later sessions
-  // are counted only in the server.sessions* aggregates, with
-  // server.sessions_unpublished saying how many were elided.
+  // completion. Idle expiry (PruneSessions above) removes a dead
+  // session's gauge series; kMaxSessionGaugeSeries remains as a safety
+  // valve against a minting burst outpacing the TTL — sessions past the
+  // cap are counted only in the server.sessions* aggregates until the
+  // pruner frees slots.
   int64_t active_sessions = 0;
-  int64_t unpublished = 0;
   {
     std::lock_guard<std::mutex> lock(metrics_mu_);
     for (const auto& session : sessions_.List()) {
@@ -697,10 +841,7 @@ HttpResponse QueryServer::HandleMetrics() {
       const std::string id =
           session->id().empty() ? std::string("anonymous") : session->id();
       if (published_sessions_.count(id) == 0) {
-        if (published_sessions_.size() >= kMaxSessionGaugeSeries) {
-          ++unpublished;
-          continue;
-        }
+        if (published_sessions_.size() >= kMaxSessionGaugeSeries) continue;
         published_sessions_.insert(id);
       }
       const std::string prefix = "server.session." + id;
@@ -715,14 +856,47 @@ HttpResponse QueryServer::HandleMetrics() {
   reg->GetGauge("server.sessions")
       ->Set(static_cast<int64_t>(sessions_.size()));
   reg->GetGauge("server.sessions_active")->Set(active_sessions);
-  reg->GetGauge("server.sessions_unpublished")->Set(unpublished);
   HttpResponse response;
   response.body = engine_->SnapshotMetrics().ToJson();
   return response;
 }
 
+void QueryServer::PruneSessions() {
+  if (config_.session_ttl_ms <= 0) return;
+  const std::vector<std::string> pruned =
+      sessions_.PruneIdle(SteadyNowMs(), config_.session_ttl_ms);
+  if (pruned.empty()) return;
+  obs::MetricRegistry* reg = engine_->metrics();
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  for (const std::string& id : pruned) {
+    if (published_sessions_.erase(id) > 0) {
+      // Safe to delete: per-session gauges are re-resolved by name on
+      // every /metrics pass (never cached), and `metrics_mu_` excludes a
+      // concurrent pass holding one.
+      reg->RemoveGaugesWithPrefix("server.session." + id + ".");
+    }
+  }
+}
+
 void QueryServer::WorkerLoop() {
   while (true) {
+    if (config_.shed_after_ms > 0) {
+      // Adaptive load shedding: before taking more work, drop queued
+      // jobs that have out-waited the latency bound while
+      // higher-priority work is also queued — under sustained overload
+      // the backlog sheds its least important tail instead of growing
+      // every tenant's latency without bound.
+      std::vector<std::shared_ptr<Job>> overdue = queue_.ShedOverdue(
+          std::chrono::microseconds(config_.shed_after_ms * 1000));
+      for (auto& job : overdue) {
+        m_shed_->Add(1);
+        ShedJob(std::move(job),
+                Status::ResourceExhausted(
+                    "shed after waiting " +
+                    std::to_string(config_.shed_after_ms) +
+                    "ms behind higher-priority work"));
+      }
+    }
     std::vector<std::shared_ptr<Job>> jobs = queue_.PopBatch(
         std::chrono::microseconds(batch_window_us_.load()), config_.max_batch);
     if (jobs.empty()) return;  // Closed and drained.
@@ -805,6 +979,27 @@ void QueryServer::ExecuteJobs(std::vector<std::shared_ptr<Job>> jobs) {
     job->elapsed_ms = job->run.elapsed_ms;
     FinishJob(job);
   }
+}
+
+void QueryServer::ShedJob(const std::shared_ptr<Job>& job, Status status) {
+  // The job never reached ExecuteJobs: undo only the admission
+  // accounting (session in-flight + pending_), not in_flight_, which is
+  // bumped when a worker surfaces a batch. The connection thread reads
+  // `result`/`shed` only after observing `done` under job->mu, so the
+  // unguarded writes here are ordered by that acquire.
+  job->result = std::move(status);
+  job->shed = true;
+  if (job->session != nullptr) job->session->in_flight.fetch_sub(1);
+  {
+    std::lock_guard<std::mutex> lock(active_mu_);
+    pending_.fetch_sub(1);
+    active_cv_.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(job->mu);
+    job->done = true;
+  }
+  job->cv.notify_one();
 }
 
 void QueryServer::FinishJob(const std::shared_ptr<Job>& job) {

@@ -45,15 +45,46 @@ struct ServerConfig {
   double drain_deadline_ms = 5000.0;
   /// Strategy when the request carries no X-Strategy header.
   Strategy default_strategy = Strategy::kGmdjOptimized;
+
+  // --- Overload protection (0 disables each knob) ---
+
+  /// SO_RCVTIMEO/SO_SNDTIMEO on accepted sockets: a slow-loris request
+  /// or a peer that stops draining a response frees the connection
+  /// thread after this long (408 mid-request, disconnect mid-response)
+  /// instead of pinning it forever.
+  uint64_t socket_timeout_ms = 30000;
+  /// Queue-latency shed bound: before popping, workers drop queued jobs
+  /// that have waited longer than this while strictly-higher-priority
+  /// work (X-Priority header) is also queued. Shed jobs answer 503 +
+  /// Retry-After. 0 = never shed.
+  uint64_t shed_after_ms = 0;
+  /// Retry-After hint (milliseconds) attached to overload rejections
+  /// (429/503): full queue, eviction, shedding, draining.
+  uint64_t retry_after_ms = 100;
+  /// Circuit breaker: this many *consecutive* governed aborts (memory
+  /// rejection / deadline exceeded) trip a session's breaker — its
+  /// queries are refused up front with 503 + Retry-After for
+  /// `breaker_cooldown_ms`, sparing the worker pool queries that will
+  /// only burn a governance budget before failing. 0 = no breaker.
+  size_t breaker_threshold = 8;
+  uint64_t breaker_cooldown_ms = 2000;
+  /// Named sessions idle longer than this (no connections, nothing in
+  /// flight) are expired and their per-tenant gauge series removed from
+  /// the registry. 0 = sessions live forever.
+  int64_t session_ttl_ms = 15 * 60 * 1000;
 };
 
 /// Multi-tenant HTTP/1.1 front end over one OlapEngine (DESIGN.md §10).
 ///
 /// Endpoints:
 ///   POST /query     SQL body -> result rows (JSON, or TSV under
-///                   "X-Format: tsv"). Headers: X-Session, and per-request
+///                   "X-Format: tsv"). Headers: X-Session, X-Priority
+///                   (overload shedding rank, default 0), and per-request
 ///                   governance overrides X-Deadline-Ms /
 ///                   X-Mem-Budget-Bytes / X-Threads / X-Strategy.
+///                   INSERT INTO ... VALUES statements execute inline
+///                   (journaled when the engine has a journal attached)
+///                   and answer {"inserted": N}.
 ///   POST /explain   SQL body -> EXPLAIN ANALYZE text (plain text).
 ///   POST /session   Create a session whose X-Deadline-Ms /
 ///                   X-Mem-Budget-Bytes / X-Threads headers become the
@@ -67,11 +98,18 @@ struct ServerConfig {
 ///                   the server.* counters/histograms, which live in the
 ///                   same registry.
 ///
+/// Overload behavior: the bounded admission queue rejects with 503 when
+/// full, but a higher-priority push evicts the newest lower-priority
+/// queued job first; workers shed jobs that out-wait `shed_after_ms`
+/// behind higher-priority work; per-session circuit breakers refuse
+/// tenants whose queries keep aborting on governance limits; overload
+/// rejections carry Retry-After / Retry-After-Ms headers.
+///
 /// Lifecycle: Start() binds and spawns the acceptor/worker threads;
 /// Shutdown() (idempotent, callable from any thread) stops accepting and
 /// begins the drain; Wait() blocks until drained and joined. The engine
-/// must outlive the server; its catalog must not be mutated while the
-/// server runs (queries only read it).
+/// must outlive the server. Catalog mutations (INSERT) go through the
+/// engine's own catalog lock, so they are safe against in-flight reads.
 class QueryServer {
  public:
   QueryServer(OlapEngine* engine, ServerConfig config);
@@ -108,6 +146,7 @@ class QueryServer {
     QueryRun run;
     double elapsed_ms = 0.0;
     bool batched = false;  // Shared an ExecuteBatch with other requests.
+    bool shed = false;     // Dropped by overload shedding/eviction, not run.
 
     // Completion latch.
     std::mutex mu;
@@ -119,6 +158,11 @@ class QueryServer {
     int fd = -1;
     std::thread thread;
     std::atomic<bool> finished{false};
+    /// True from the moment a complete request is parsed until its
+    /// response is written. The drain in Wait() force-closes only idle
+    /// connections; a busy one is allowed to deliver its response and
+    /// then exits on its own (ConnectionLoop checks draining_).
+    std::atomic<bool> busy{false};
     /// The session the most recent request on this connection ran under;
     /// only the connection thread touches it. Backs the per-tenant
     /// connection-count gauges.
@@ -148,6 +192,15 @@ class QueryServer {
   /// ExecuteBatch calls, runs the rest singly, signals every job.
   void ExecuteJobs(std::vector<std::shared_ptr<Job>> jobs);
   void FinishJob(const std::shared_ptr<Job>& job);
+
+  /// Completes a job that was dropped without executing (evicted by a
+  /// higher-priority push or shed by a worker): records `status`, undoes
+  /// the admission accounting, and wakes its connection thread.
+  void ShedJob(const std::shared_ptr<Job>& job, Status status);
+
+  /// Expires idle named sessions (config_.session_ttl_ms) and removes
+  /// their per-tenant gauge series from the metric registry.
+  void PruneSessions();
 
   /// Parses governance headers (X-Deadline-Ms, X-Mem-Budget-Bytes,
   /// X-Threads) into a SessionLimits override.
@@ -193,9 +246,11 @@ class QueryServer {
   std::list<CancellationToken> active_batch_tokens_;
   std::atomic<size_t> in_flight_{0};
 
-  /// Sessions whose per-id gauge series exist in the registry, bounded
-  /// at kMaxSessionGaugeSeries (query_server.cc) so hostile session
-  /// minting cannot grow the registry without bound. Guarded by
+  /// Sessions whose per-id gauge series exist in the registry. Expired
+  /// sessions are removed (PruneSessions deletes their gauges), and as a
+  /// safety valve the set is still capped at kMaxSessionGaugeSeries
+  /// (query_server.cc) so a burst of hostile session minting cannot grow
+  /// the registry faster than the TTL reclaims it. Guarded by
   /// `metrics_mu_` (concurrent GET /metrics handlers).
   std::mutex metrics_mu_;
   std::unordered_set<std::string> published_sessions_;
@@ -207,6 +262,10 @@ class QueryServer {
   obs::Counter* m_bytes_out_;
   obs::Counter* m_batches_;
   obs::Counter* m_disconnect_cancels_;
+  obs::Counter* m_inserts_;
+  obs::Counter* m_shed_;
+  obs::Counter* m_evicted_;
+  obs::Counter* m_breaker_trips_;
   obs::Gauge* g_in_flight_;
   obs::Gauge* g_open_connections_;
   obs::Histogram* h_batch_size_;

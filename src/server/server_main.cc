@@ -17,9 +17,12 @@
 
 #include <unistd.h>
 
+#include <memory>
+
 #include "common/byte_size.h"
 #include "engine/olap_engine.h"
 #include "server/query_server.h"
+#include "spill/journal.h"
 #include "workload/warehouse.h"
 
 namespace {
@@ -44,6 +47,8 @@ struct Flags {
   std::string spill_dir;        // Empty = spilling disabled.
   size_t spill_max_bytes = 0;   // 0 = unbounded spill disk use.
   std::string restore_dir;      // Snapshot to restore over the warehouse.
+  std::string journal_path;     // Mutation WAL; empty = not journaled.
+  std::string snapshot_dir;     // Snapshot at boot (after replay).
 };
 
 bool ParseFlag(const std::string& arg, const char* name, std::string* value) {
@@ -61,7 +66,11 @@ void Usage(const char* argv0) {
       "  [--max-connections=N] [--drain-deadline-ms=N]\n"
       "  [--mqo-cache=on|off] [--cache-mb=N] [--mem-budget-mb=N|64mb|1gb]\n"
       "  [--threads=N] [--warehouse-scale=X]\n"
-      "  [--spill-dir=DIR] [--spill-max-bytes=N|512mb] [--restore=DIR]\n",
+      "  [--spill-dir=DIR] [--spill-max-bytes=N|512mb] [--restore=DIR]\n"
+      "  [--journal=FILE] [--save-snapshot=DIR]\n"
+      "  [--socket-timeout-ms=N] [--shed-after-ms=N] [--retry-after-ms=N]\n"
+      "  [--breaker-threshold=N] [--breaker-cooldown-ms=N]\n"
+      "  [--session-ttl-ms=N]\n",
       argv0);
 }
 
@@ -111,6 +120,25 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->spill_max_bytes = bytes_or.ValueOrDie();
     } else if (ParseFlag(arg, "restore", &value)) {
       flags->restore_dir = value;
+    } else if (ParseFlag(arg, "journal", &value)) {
+      flags->journal_path = value;
+    } else if (ParseFlag(arg, "save-snapshot", &value)) {
+      flags->snapshot_dir = value;
+    } else if (ParseFlag(arg, "socket-timeout-ms", &value)) {
+      flags->server.socket_timeout_ms =
+          std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "shed-after-ms", &value)) {
+      flags->server.shed_after_ms = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "retry-after-ms", &value)) {
+      flags->server.retry_after_ms = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "breaker-threshold", &value)) {
+      flags->server.breaker_threshold =
+          std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "breaker-cooldown-ms", &value)) {
+      flags->server.breaker_cooldown_ms =
+          std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "session-ttl-ms", &value)) {
+      flags->server.session_ttl_ms = std::strtoll(value.c_str(), nullptr, 10);
     } else if (ParseFlag(arg, "threads", &value)) {
       flags->threads = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(arg, "warehouse-scale", &value)) {
@@ -170,6 +198,48 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "restored snapshot from %s\n",
                  flags.restore_dir.c_str());
+  }
+
+  // Crash recovery: the snapshot restores the catalog as of the last
+  // SAVE, then the journal replays every mutation committed after it.
+  // Replay happens before the journal is opened for writing, because
+  // Open truncates any torn tail the replay identified.
+  std::unique_ptr<gmdj::spill::JournalWriter> journal;
+  if (!flags.journal_path.empty()) {
+    auto replay_or =
+        gmdj::spill::ReplayJournal(flags.journal_path, engine.catalog());
+    if (!replay_or.ok()) {
+      std::fprintf(stderr, "--journal replay failed: %s\n",
+                   replay_or.status().message().c_str());
+      return 1;
+    }
+    const gmdj::spill::JournalReplayStats stats = replay_or.ValueOrDie();
+    std::fprintf(stderr,
+                 "journal %s: replayed %zu records (%zu rows), "
+                 "%zu valid bytes, %zu torn bytes discarded\n",
+                 flags.journal_path.c_str(), stats.records_applied,
+                 stats.rows_applied, stats.valid_bytes, stats.torn_bytes);
+    auto journal_or = gmdj::spill::JournalWriter::Open(flags.journal_path,
+                                                       stats.valid_bytes);
+    if (!journal_or.ok()) {
+      std::fprintf(stderr, "--journal open failed: %s\n",
+                   journal_or.status().message().c_str());
+      return 1;
+    }
+    journal = std::move(journal_or).ValueOrDie();
+    engine.set_journal(journal.get());
+  }
+
+  if (!flags.snapshot_dir.empty()) {
+    // Fold the replayed mutations into a fresh snapshot (and truncate
+    // the journal) so the next restart replays from a short log.
+    const gmdj::Status saved = engine.SaveSnapshot(flags.snapshot_dir);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "--save-snapshot failed: %s\n",
+                   saved.message().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "saved snapshot to %s\n", flags.snapshot_dir.c_str());
   }
 
   gmdj::server::QueryServer server(&engine, flags.server);

@@ -1,7 +1,15 @@
 #include "server/session.h"
 
+#include <chrono>
+
 namespace gmdj {
 namespace server {
+
+int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 SessionManager::SessionManager()
     : anonymous_(std::make_shared<Session>("", SessionLimits())) {}
@@ -11,6 +19,7 @@ std::shared_ptr<Session> SessionManager::Create(
   std::lock_guard<std::mutex> lock(mu_);
   const std::string id = "s-" + std::to_string(++next_id_);
   auto session = std::make_shared<Session>(id, defaults);
+  session->last_active_ms.store(SteadyNowMs(), std::memory_order_relaxed);
   sessions_[id] = session;
   return session;
 }
@@ -38,6 +47,26 @@ std::vector<std::shared_ptr<Session>> SessionManager::List() const {
   out.push_back(anonymous_);
   for (const auto& [id, session] : sessions_) out.push_back(session);
   return out;
+}
+
+std::vector<std::string> SessionManager::PruneIdle(int64_t now_ms,
+                                                   int64_t ttl_ms) {
+  std::vector<std::string> pruned;
+  if (ttl_ms <= 0) return pruned;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    Session& session = *it->second;
+    const bool idle =
+        session.connections.load() == 0 && session.in_flight.load() == 0 &&
+        now_ms - session.last_active_ms.load() > ttl_ms;
+    if (idle) {
+      pruned.push_back(it->first);
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return pruned;
 }
 
 }  // namespace server

@@ -47,14 +47,29 @@ class Session {
   std::atomic<int64_t> connections{0};
   std::atomic<int64_t> in_flight{0};
 
+  /// Circuit-breaker state (maintained by the server). Consecutive
+  /// governed aborts (memory rejection / deadline) trip the breaker:
+  /// until `breaker_open_until_ms` (SteadyNowMs clock) the server
+  /// rejects this session's queries up front with 503 + Retry-After,
+  /// shielding the worker pool from a tenant whose every query burns a
+  /// governance budget before failing. Any success resets the count.
+  std::atomic<uint64_t> governed_aborts{0};
+  std::atomic<int64_t> breaker_open_until_ms{0};
+
+  /// Last request touch (SteadyNowMs), for idle expiry.
+  std::atomic<int64_t> last_active_ms{0};
+
  private:
   const std::string id_;
   mutable std::mutex mu_;
   SessionLimits defaults_;
 };
 
-/// Thread-safe session registry. Sessions are never expired (the demo
-/// server's tenants are short-lived load-driver clients).
+/// Monotonic wall-less clock for session bookkeeping, in milliseconds.
+int64_t SteadyNowMs();
+
+/// Thread-safe session registry. Named sessions expire through
+/// PruneIdle; the anonymous session lives forever.
 class SessionManager {
  public:
   SessionManager();
@@ -65,7 +80,8 @@ class SessionManager {
 
   /// The session named by `id` — or, for an empty id, the shared
   /// anonymous session. NotFound for unknown ids (clients must create
-  /// sessions before naming them).
+  /// sessions before naming them — and re-create them after idle
+  /// expiry).
   Result<std::shared_ptr<Session>> Get(const std::string& id) const;
 
   size_t size() const;
@@ -74,6 +90,12 @@ class SessionManager {
   /// unspecified order. The /metrics endpoint walks this to publish
   /// per-tenant gauges.
   std::vector<std::shared_ptr<Session>> List() const;
+
+  /// Removes named sessions idle longer than `ttl_ms` (no bound
+  /// connections, nothing in flight, last_active_ms older than the TTL
+  /// against `now_ms`). Returns the removed ids so the server can drop
+  /// their per-tenant gauge series. Never removes the anonymous session.
+  std::vector<std::string> PruneIdle(int64_t now_ms, int64_t ttl_ms);
 
  private:
   mutable std::mutex mu_;

@@ -134,6 +134,7 @@ int HttpStatusFor(const Status& status) {
       return 504;
     case StatusCode::kInternal:
     case StatusCode::kRuntimeError:
+    case StatusCode::kDataLoss:
       return 500;
   }
   return 500;

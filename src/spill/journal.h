@@ -1,0 +1,95 @@
+#ifndef GMDJ_SPILL_JOURNAL_H_
+#define GMDJ_SPILL_JOURNAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/catalog.h"
+#include "types/row.h"
+
+namespace gmdj {
+namespace spill {
+
+/// Append-only catalog mutation journal (write-ahead log).
+///
+/// Snapshots capture the catalog at a point in time; the journal covers
+/// the gap after it. Every mutation is appended (and fsynced) *before*
+/// it is applied in memory, so an acknowledged mutation survives a crash:
+/// `gmdj_serve --restore=<snapshot> --journal=<file>` replays the journal
+/// on top of the snapshot and lands on exactly the acknowledged state.
+/// Taking a snapshot truncates the journal (its mutations are now in the
+/// snapshot), keeping replay time bounded.
+///
+/// File layout:
+///
+///   "GMDJWAL1" | record*
+///   record := u32 payload_size | u64 fnv1a(payload) | payload
+///   payload := u8 op(1 = AppendRows) | u32 name_len | name
+///            | SPB1 block+          (same encoder as spill/snapshot)
+///
+/// Integers are little-endian. Recovery is torn-tail tolerant: a record
+/// that extends past EOF, or whose checksum fails *at* EOF, is an
+/// interrupted append of an unacknowledged mutation — it is dropped and
+/// the file truncated to the good prefix. A checksum failure with more
+/// records after it means the middle of the log rotted, and replay
+/// refuses with typed kDataLoss rather than guessing.
+class JournalWriter {
+ public:
+  /// Opens (or creates) the journal at `path` for appending.
+  /// `valid_bytes` is the verified good prefix from ReplayJournal — the
+  /// file is truncated to it before appending (0 for a fresh file, in
+  /// which case the magic is written). Refuses a file whose header is
+  /// not the journal magic.
+  static Result<std::unique_ptr<JournalWriter>> Open(std::string path,
+                                                     uint64_t valid_bytes);
+  ~JournalWriter();
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Appends one AppendRows record (rows of width `num_cols` destined
+  /// for table `table`) and fsyncs. The caller applies the mutation in
+  /// memory only after this returns OK — on failure the journal may hold
+  /// a torn tail, which recovery drops.
+  Status AppendRows(const std::string& table, const Row* rows,
+                    size_t num_rows, size_t num_cols);
+
+  /// Truncates the journal back to just the magic (after a successful
+  /// snapshot made its records redundant) and fsyncs.
+  Status Truncate();
+
+  const std::string& path() const { return path_; }
+  /// Current journal size in bytes (magic included).
+  uint64_t bytes() const { return bytes_; }
+
+ private:
+  JournalWriter(std::string path, int fd, uint64_t bytes);
+
+  std::string path_;
+  int fd_;
+  uint64_t bytes_;
+};
+
+struct JournalReplayStats {
+  uint64_t records_applied = 0;
+  uint64_t rows_applied = 0;
+  /// Length of the verified prefix — pass to JournalWriter::Open.
+  uint64_t valid_bytes = 0;
+  /// Trailing bytes dropped as a torn (interrupted) append.
+  uint64_t torn_bytes = 0;
+};
+
+/// Replays every intact record in `path` against `catalog` (applied only
+/// after the whole file parses, so a mid-file kDataLoss never leaves a
+/// half-replayed catalog). A missing file is an empty journal. Returns
+/// kDataLoss for mid-file corruption, an unknown op, or a record naming
+/// a table the catalog does not hold (snapshot/journal mismatch).
+Result<JournalReplayStats> ReplayJournal(const std::string& path,
+                                         Catalog* catalog);
+
+}  // namespace spill
+}  // namespace gmdj
+
+#endif  // GMDJ_SPILL_JOURNAL_H_

@@ -1,11 +1,18 @@
 #include "spill/snapshot.h"
 
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <utility>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "spill/spill_file.h"
 #include "spill/spill_manager.h"
 
@@ -16,6 +23,12 @@ namespace {
 constexpr char kManifestName[] = "MANIFEST";
 constexpr char kManifestHeader[] = "gmdj-snapshot 1";
 constexpr size_t kSnapshotBlockRows = 4096;
+// Staging/backup suffixes for the atomic publish protocol. Restore never
+// looks inside either, and save sweeps stale ones before staging, so a
+// crash at any point leaves at most dead weight — never a half-snapshot
+// that restore would accept.
+constexpr char kTmpSuffix[] = ".tmp";
+constexpr char kOldSuffix[] = ".old";
 
 const char* TypeName(ValueType type) {
   switch (type) {
@@ -70,9 +83,54 @@ Result<uint64_t> ParseCount(const std::string& text, const char* what) {
   return value;
 }
 
-}  // namespace
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
 
-Status SaveSnapshot(const Catalog& catalog, const std::string& dir) {
+bool PathExists(const std::string& path) {
+  struct stat st;
+  return ::lstat(path.c_str(), &st) == 0;
+}
+
+/// Flushes `path`'s data (or, for a directory, its entries) to stable
+/// storage. fsync on an O_RDONLY descriptor is sufficient on the
+/// platforms this engine targets.
+Status FsyncPath(const std::string& path) {
+  GMDJ_RETURN_IF_ERROR(GMDJ_FAULT_POINT("snapshot/fsync"));
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::Internal("snapshot: cannot open for fsync: " + path);
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::Internal("snapshot: fsync failed: " + path);
+  }
+  return Status::OK();
+}
+
+/// rm -rf for the flat directories snapshots produce (one level of
+/// regular files). Best-effort flavor used for sweeping stale staging
+/// dirs; returns false only when the directory survives.
+bool RemoveDirRecursive(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return !PathExists(dir);
+  while (struct dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    const std::string path = dir + "/" + name;
+    if (::unlink(path.c_str()) != 0) {
+      RemoveDirRecursive(path);  // Nested dir (never ours, but be thorough).
+    }
+  }
+  ::closedir(d);
+  return ::rmdir(dir.c_str()) == 0;
+}
+
+Status WriteSnapshotInto(const Catalog& catalog, const std::string& dir) {
   GMDJ_RETURN_IF_ERROR(MakeDirs(dir));
 
   std::ostringstream manifest;
@@ -91,6 +149,7 @@ Status SaveSnapshot(const Catalog& catalog, const std::string& dir) {
       GMDJ_RETURN_IF_ERROR(writer->Append(row));
     }
     GMDJ_RETURN_IF_ERROR(writer->Finish());
+    GMDJ_RETURN_IF_ERROR(FsyncPath(dir + "/" + file));
 
     const Schema& schema = table->schema();
     manifest << "table\t" << name << "\t" << table->num_rows() << "\t" << file
@@ -101,29 +160,85 @@ Status SaveSnapshot(const Catalog& catalog, const std::string& dir) {
     }
   }
 
-  // The manifest lands last, via rename: a crashed or failed save leaves a
-  // directory without a MANIFEST, which restore rejects outright — never a
-  // half-snapshot that restores some tables.
   const std::string manifest_path = dir + "/" + kManifestName;
-  const std::string tmp_path = manifest_path + ".tmp";
   {
-    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    std::ofstream out(manifest_path, std::ios::binary | std::ios::trunc);
     if (!out) {
-      return Status::Internal("snapshot: cannot write " + tmp_path);
+      return Status::Internal("snapshot: cannot write " + manifest_path);
     }
     out << manifest.str();
     out.flush();
     if (!out) {
-      return Status::Internal("snapshot: short write to " + tmp_path);
+      return Status::Internal("snapshot: short write to " + manifest_path);
     }
   }
-  if (std::rename(tmp_path.c_str(), manifest_path.c_str()) != 0) {
-    return Status::Internal("snapshot: cannot publish " + manifest_path);
+  GMDJ_RETURN_IF_ERROR(FsyncPath(manifest_path));
+  // Directory entries (the file names themselves) need their own fsync.
+  GMDJ_RETURN_IF_ERROR(FsyncPath(dir));
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveSnapshot(const Catalog& catalog, const std::string& dir) {
+  if (dir.empty() || dir == "/" || dir == "." || dir == "..") {
+    return Status::InvalidArgument("snapshot: refusing to snapshot into '" +
+                                   dir + "'");
   }
+  const std::string tmp = dir + kTmpSuffix;
+  const std::string old = dir + kOldSuffix;
+  // Sweep leftovers from a previous crashed save before staging anew.
+  if (PathExists(tmp) && !RemoveDirRecursive(tmp)) {
+    return Status::Internal("snapshot: cannot clear stale staging dir " + tmp);
+  }
+  if (PathExists(old) && !RemoveDirRecursive(old)) {
+    return Status::Internal("snapshot: cannot clear stale backup dir " + old);
+  }
+
+  // Stage the complete snapshot — data files, MANIFEST, every byte
+  // fsynced — into `<dir>.tmp`, then publish with renames. A crash before
+  // the final rename leaves the previous snapshot untouched; a crash
+  // after it leaves the new snapshot fully durable.
+  Status staged = WriteSnapshotInto(catalog, tmp);
+  if (!staged.ok()) {
+    RemoveDirRecursive(tmp);
+    return staged;
+  }
+
+  const Status publish = GMDJ_FAULT_POINT("snapshot/publish");
+  if (!publish.ok()) {
+    // The injected "crash" aborts cleanly: a real crash would leave the
+    // staged dir for the next save's sweep, but an error return must not
+    // leak temp state.
+    RemoveDirRecursive(tmp);
+    return publish;
+  }
+  const bool had_previous = PathExists(dir);
+  if (had_previous && std::rename(dir.c_str(), old.c_str()) != 0) {
+    RemoveDirRecursive(tmp);
+    return Status::Internal("snapshot: cannot move previous snapshot aside: " +
+                            dir);
+  }
+  if (std::rename(tmp.c_str(), dir.c_str()) != 0) {
+    // Roll the previous snapshot back into place; the staged copy stays
+    // for post-mortem (it is swept on the next save).
+    if (had_previous) std::rename(old.c_str(), dir.c_str());
+    return Status::Internal("snapshot: cannot publish " + dir);
+  }
+  // Make the renames durable before declaring success.
+  GMDJ_RETURN_IF_ERROR(FsyncPath(ParentDir(dir)));
+  if (had_previous) RemoveDirRecursive(old);
   return Status::OK();
 }
 
 Status RestoreSnapshot(Catalog* catalog, const std::string& dir) {
+  // Half-written staging dirs are never restorable; catch the obvious
+  // operator mistake of pointing --restore at one.
+  if (dir.size() > 4 && dir.compare(dir.size() - 4, 4, kTmpSuffix) == 0) {
+    return Status::InvalidArgument(
+        "not a snapshot directory (staging dir from an interrupted save): " +
+        dir);
+  }
   std::ifstream in(dir + "/" + kManifestName, std::ios::binary);
   if (!in) {
     return Status::InvalidArgument("not a snapshot directory (no MANIFEST): " +
@@ -138,6 +253,8 @@ Status RestoreSnapshot(Catalog* catalog, const std::string& dir) {
   // Stage every table before touching the catalog, so a corrupt snapshot
   // restores nothing rather than half the catalog.
   std::vector<std::pair<std::string, Table>> staged;
+  std::set<std::string> seen_files;
+  std::set<std::string> seen_tables;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     std::vector<std::string> parts = SplitTabs(line);
@@ -153,6 +270,14 @@ Status RestoreSnapshot(Catalog* catalog, const std::string& dir) {
     if (file.find('/') != std::string::npos) {
       return Status::InvalidArgument(
           "snapshot manifest: data file escapes snapshot dir: " + file);
+    }
+    if (!seen_files.insert(file).second) {
+      return Status::DataLoss("snapshot manifest: data file " + file +
+                              " referenced twice");
+    }
+    if (!seen_tables.insert(name).second) {
+      return Status::DataLoss("snapshot manifest: table " + name +
+                              " listed twice");
     }
 
     Schema schema;
@@ -170,19 +295,33 @@ Status RestoreSnapshot(Catalog* catalog, const std::string& dir) {
       schema.AddField(Field{col[1], type, col[3]});
     }
 
-    GMDJ_ASSIGN_OR_RETURN(
-        std::unique_ptr<SpillReader> reader,
-        SpillReader::Open(dir + "/" + file, /*scope=*/nullptr));
+    const std::string path = dir + "/" + file;
+    if (!PathExists(path)) {
+      return Status::DataLoss("snapshot: manifest references missing data "
+                              "file " + file + " (table " + name + ")");
+    }
+    auto reader_or = SpillReader::Open(path, /*scope=*/nullptr);
+    if (!reader_or.ok()) {
+      return Status::DataLoss("snapshot: cannot open data file " + file +
+                              ": " + reader_or.status().message());
+    }
+    std::unique_ptr<SpillReader> reader = std::move(*reader_or);
     std::vector<Row> rows;
-    GMDJ_RETURN_IF_ERROR(reader->ReadAll(&rows));
+    Status read = reader->ReadAll(&rows);
+    if (!read.ok()) {
+      // A torn or bit-flipped block surfaces as a checksum/decode error;
+      // retype it so callers can tell corruption from engine bugs.
+      return Status::DataLoss("snapshot: corrupt data file " + file + ": " +
+                              read.message());
+    }
     if (rows.size() != num_rows) {
-      return Status::Internal(
+      return Status::DataLoss(
           "snapshot: table " + name + " has " + std::to_string(rows.size()) +
           " rows, manifest promised " + std::to_string(num_rows));
     }
     for (const Row& row : rows) {
       if (row.size() != num_cols) {
-        return Status::Internal("snapshot: table " + name +
+        return Status::DataLoss("snapshot: table " + name +
                                 " row width mismatch");
       }
     }

@@ -19,6 +19,15 @@ namespace spill {
 /// versions and invalidates dependent MQO cache entries rather than
 /// serving stale hits.
 ///
+/// Saves are crash-atomic: the snapshot is staged into `<dir>.tmp`
+/// (data files, MANIFEST, all fsynced), then renamed into place, with
+/// the previous snapshot held in `<dir>.old` until the publish lands.
+/// A crash at any point leaves either the old snapshot or the new one —
+/// never a mix — plus at most a stale staging dir that the next save
+/// sweeps and that restore refuses to read. Restore validates the
+/// manifest against the data files (missing/duplicate/corrupt files are
+/// typed kDataLoss) and stages every table before touching the catalog.
+///
 /// Surfaces (local only — the query server answers these statements
 /// with 403, since over HTTP they would read/write server-local paths
 /// and restore is not safe under concurrent queries): SQL `SAVE

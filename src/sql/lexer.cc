@@ -13,7 +13,7 @@ const std::set<std::string>& Keywords() {
       "NULL",   "COUNT",    "SUM",   "MIN",   "MAX",  "AVG",  "TRUE",
       "FALSE",  "BETWEEN",  "COALESCE", "CASE", "WHEN", "THEN", "ELSE",
       "END",    "LIKE",     "EXPLAIN", "ANALYZE", "SAVE", "RESTORE",
-      "SNAPSHOT"};
+      "SNAPSHOT", "INSERT", "INTO",    "VALUES"};
   return *keywords;
 }
 

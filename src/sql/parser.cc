@@ -18,7 +18,7 @@ class Parser {
   Result<std::unique_ptr<NestedSelect>> ParseTopLevel() {
     GMDJ_ASSIGN_OR_RETURN(auto statement, ParseStatementInternal());
     if (statement.kind != SqlStatement::Kind::kSelect) {
-      return Error("snapshot statements need ParseStatement");
+      return Error("non-SELECT statements need ParseStatement");
     }
     if (!statement.projections.empty()) {
       return Error("projection select lists need ParseStatement");
@@ -32,6 +32,9 @@ class Parser {
   Result<SqlStatement> ParseStatementInternal() {
     if (PeekKeyword("SAVE") || PeekKeyword("RESTORE")) {
       return ParseSnapshotStatement();
+    }
+    if (PeekKeyword("INSERT")) {
+      return ParseInsertStatement();
     }
     SqlStatement::ExplainMode explain = SqlStatement::ExplainMode::kNone;
     if (ConsumeKeyword("EXPLAIN")) {
@@ -67,6 +70,69 @@ class Parser {
     }
     if (!AtEnd()) return Error("unexpected trailing input");
     return std::move(statement);
+  }
+
+  /// INSERT INTO ident VALUES (lit, ...) [, (lit, ...)]*
+  ///
+  /// Literal rows only — no expressions, no SELECT source. All rows must
+  /// share one width; the engine checks it against the table schema.
+  Result<SqlStatement> ParseInsertStatement() {
+    SqlStatement statement;
+    statement.kind = SqlStatement::Kind::kInsert;
+    GMDJ_RETURN_IF_ERROR(ExpectKeyword("INSERT"));
+    GMDJ_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    if (Peek().kind != TokenKind::kIdent) {
+      return Error("expected a table name");
+    }
+    statement.insert_table = Advance().text;
+    GMDJ_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+    do {
+      GMDJ_RETURN_IF_ERROR(ExpectSymbol("("));
+      Row row;
+      do {
+        GMDJ_ASSIGN_OR_RETURN(Value value, ParseLiteral());
+        row.push_back(std::move(value));
+      } while (ConsumeSymbol(","));
+      GMDJ_RETURN_IF_ERROR(ExpectSymbol(")"));
+      if (!statement.insert_rows.empty() &&
+          row.size() != statement.insert_rows.front().size()) {
+        return Error("VALUES rows must all have the same width");
+      }
+      statement.insert_rows.push_back(std::move(row));
+    } while (ConsumeSymbol(","));
+    if (!AtEnd()) return Error("unexpected trailing input");
+    return std::move(statement);
+  }
+
+  /// One VALUES literal: INT, DOUBLE, 'string', NULL, TRUE, FALSE, with
+  /// an optional leading '-' on the numeric kinds.
+  Result<Value> ParseLiteral() {
+    const bool negated = ConsumeSymbol("-");
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kInt: {
+        const int64_t v = Advance().int_value;
+        return Value(negated ? -v : v);
+      }
+      case TokenKind::kDouble: {
+        const double v = Advance().double_value;
+        return Value(negated ? -v : v);
+      }
+      case TokenKind::kString: {
+        if (negated) return Error("cannot negate a string literal");
+        return Value(Advance().text);
+      }
+      case TokenKind::kKeyword: {
+        if (negated) break;
+        if (ConsumeKeyword("NULL")) return Value::Null();
+        if (ConsumeKeyword("TRUE")) return Value(static_cast<int64_t>(1));
+        if (ConsumeKeyword("FALSE")) return Value(static_cast<int64_t>(0));
+        break;
+      }
+      default:
+        break;
+    }
+    return Error("expected a literal value");
   }
 
   // ------------------------------------------------------------- utilities

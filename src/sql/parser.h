@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "exec/nodes.h"
 #include "nested/nested_ast.h"
+#include "types/row.h"
 
 namespace gmdj {
 
@@ -16,6 +17,9 @@ namespace gmdj {
 /// (keywords case-insensitive):
 ///
 ///   statement := [EXPLAIN [ANALYZE]] query        -- ParseStatement only
+///              | INSERT INTO ident VALUES '(' lit (',' lit)* ')'
+///                (',' '(' lit (',' lit)* ')')*     -- ParseStatement only
+///              | (SAVE|RESTORE) SNAPSHOT 'dir'     -- ParseStatement only
 ///   query     := SELECT select FROM ident [alias] [WHERE pred]
 ///   select    := '*'
 ///              | DISTINCT column (',' column)*      -- projected base
@@ -78,15 +82,20 @@ struct SqlStatement {
   /// Statement form. `kSelect` carries `select`/`projections`; the
   /// snapshot statements (`SAVE SNAPSHOT '<dir>'`, `RESTORE SNAPSHOT
   /// '<dir>'`) carry only `snapshot_dir` and serialize/replace the whole
-  /// catalog through src/spill/snapshot.h.
-  enum class Kind { kSelect, kSaveSnapshot, kRestoreSnapshot };
+  /// catalog through src/spill/snapshot.h. `kInsert` (`INSERT INTO t
+  /// VALUES (lit, ...), (lit, ...)`) carries `insert_table` and
+  /// `insert_rows` — literal rows only, appended through
+  /// OlapEngine::AppendRows (journaled when a journal is attached).
+  enum class Kind { kSelect, kSaveSnapshot, kRestoreSnapshot, kInsert };
 
   Kind kind = Kind::kSelect;
   std::unique_ptr<NestedSelect> select;
   std::vector<ProjItem> projections;
   std::vector<SelectSubquery> select_subqueries;
   ExplainMode explain = ExplainMode::kNone;
-  std::string snapshot_dir;  // Set for the snapshot kinds.
+  std::string snapshot_dir;   // Set for the snapshot kinds.
+  std::string insert_table;   // Set for kInsert.
+  std::vector<Row> insert_rows;
 };
 
 /// Like ParseQuery, but the top-level select list may also be a list of

@@ -4,6 +4,7 @@
 // structured errors with SQL offsets, per-session governance isolation,
 // admin endpoints, and graceful shutdown.
 
+#include <algorithm>
 #include <atomic>
 #include <string>
 #include <thread>
@@ -193,8 +194,8 @@ TEST_F(ServerIntegrationTest, SnapshotStatementsRejectedOverHttp) {
 TEST_F(ServerIntegrationTest, SessionGaugeSeriesAreBounded) {
   // Mint more sessions than the per-id gauge cap (64, including the
   // anonymous session): /metrics must publish per-id series for the
-  // first 64 only and count the overflow, so hostile session minting
-  // cannot grow the registry without bound.
+  // first 64 only, so a burst of hostile session minting cannot grow
+  // the registry faster than the idle TTL reclaims it.
   for (int i = 0; i < 70; ++i) ASSERT_EQ(Post("/session", {}, "").status, 200);
   auto metrics = client_.Request("GET", "/metrics", {}, "");
   ASSERT_TRUE(metrics.ok());
@@ -210,8 +211,56 @@ TEST_F(ServerIntegrationTest, SessionGaugeSeriesAreBounded) {
     ++series;
   }
   EXPECT_EQ(series, 64u * 4u);
-  EXPECT_NE(metrics->body.find("\"server.sessions_unpublished\": 7"),
-            std::string::npos);
+}
+
+TEST_F(ServerIntegrationTest, InsertExecutesInlineAndIsVisibleToQueries) {
+  engine_.catalog()->PutTable(
+      "t", testutil::MakeTable({"t.a:i", "t.b:s"}, {}));
+  const HttpResponse inserted =
+      Post("/query", {}, "INSERT INTO t VALUES (1, 'x'), (2, 'y')");
+  EXPECT_EQ(inserted.status, 200);
+  EXPECT_NE(inserted.body.find("\"inserted\": 2"), std::string::npos);
+  EXPECT_NE(inserted.body.find("\"table\": \"t\""), std::string::npos);
+
+  const HttpResponse rows =
+      Post("/query", {{"X-Format", "tsv"}}, "SELECT * FROM t WHERE t.a = 2");
+  EXPECT_EQ(rows.status, 200);
+  EXPECT_NE(rows.body.find("y"), std::string::npos);
+
+  // Typed failures: unknown table is 404, arity mismatch is 400 (and
+  // rejected atomically — nothing was appended).
+  EXPECT_EQ(Post("/query", {}, "INSERT INTO nope VALUES (1, 'x')").status,
+            404);
+  EXPECT_EQ(Post("/query", {}, "INSERT INTO t VALUES (3)").status, 400);
+  const HttpResponse after =
+      Post("/query", {{"X-Format", "tsv"}}, "SELECT * FROM t");
+  EXPECT_EQ(after.status, 200);
+  // Header line + exactly the two committed rows: the rejected inserts
+  // left nothing behind.
+  EXPECT_EQ(static_cast<int>(std::count(after.body.begin(), after.body.end(),
+                                        '\n')),
+            3);
+}
+
+TEST_F(ServerIntegrationTest, OversizedRequestLineAndHeadersAnswer431) {
+  // Request line past the 8 KiB cap: typed 431, connection closed.
+  const std::string long_target = "/" + std::string(9 * 1024, 'x');
+  auto line = client_.Request("POST", long_target, {}, "");
+  ASSERT_TRUE(line.ok());
+  EXPECT_EQ(line->status, 431);
+  EXPECT_NE(line->body.find("request line too large"), std::string::npos);
+
+  // Header block past the 64 KiB cap (the value alone overflows it).
+  ASSERT_TRUE(client_.Connect("127.0.0.1", server_.port()).ok());
+  auto head = client_.Request("POST", "/query",
+                              {{"X-Big", std::string(66 * 1024, 'h')}}, "");
+  ASSERT_TRUE(head.ok());
+  EXPECT_EQ(head->status, 431);
+  EXPECT_NE(head->body.find("request head too large"), std::string::npos);
+
+  // Reconnect: the server is healthy, only those connections died.
+  ASSERT_TRUE(client_.Connect("127.0.0.1", server_.port()).ok());
+  EXPECT_EQ(Post("/query", {{"X-Format", "tsv"}}, kExistsSql).status, 200);
 }
 
 TEST_F(ServerIntegrationTest, ConfigTogglesCacheWhenIdleOnly) {

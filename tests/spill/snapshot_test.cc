@@ -5,12 +5,17 @@
 #include "spill/snapshot.h"
 
 #include <dirent.h>
+#include <sys/stat.h>
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "engine/olap_engine.h"
 #include "gtest/gtest.h"
 #include "test_util.h"
@@ -154,6 +159,109 @@ TEST(SnapshotTest, CorruptDataFileIsRejected) {
 
   OlapEngine restored;
   EXPECT_FALSE(restored.RestoreSnapshot(dir).ok());
+}
+
+TEST(SnapshotTest, MissingDataFileIsTypedDataLoss) {
+  OlapEngine source;
+  testutil::LoadPaperTables(&source);
+  const std::string dir = TestDir("missing-tbl");
+  ASSERT_TRUE(source.SaveSnapshot(dir).ok());
+  ASSERT_EQ(std::remove((dir + "/t0.tbl").c_str()), 0);
+
+  OlapEngine restored;
+  const Status status = restored.RestoreSnapshot(dir);
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_NE(status.message().find("missing data file"), std::string::npos);
+  // Staged-then-apply: the valid tables were not half-restored.
+  EXPECT_TRUE(restored.catalog()->TableNames().empty());
+}
+
+TEST(SnapshotTest, DuplicateDataFileReferenceIsTypedDataLoss) {
+  OlapEngine source;
+  testutil::LoadPaperTables(&source);
+  const std::string dir = TestDir("dup-tbl");
+  ASSERT_TRUE(source.SaveSnapshot(dir).ok());
+
+  // Point the second table at the first table's data file.
+  const std::string manifest_path = dir + "/MANIFEST";
+  std::string manifest;
+  {
+    std::ifstream in(manifest_path, std::ios::binary);
+    ASSERT_TRUE(static_cast<bool>(in));
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    manifest = buffer.str();
+  }
+  const size_t at = manifest.find("t1.tbl");
+  ASSERT_NE(at, std::string::npos);
+  manifest.replace(at, 6, "t0.tbl");
+  {
+    std::ofstream out(manifest_path, std::ios::binary | std::ios::trunc);
+    out << manifest;
+  }
+
+  OlapEngine restored;
+  const Status status = restored.RestoreSnapshot(dir);
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_NE(status.message().find("referenced twice"), std::string::npos);
+  EXPECT_TRUE(restored.catalog()->TableNames().empty());
+}
+
+TEST(SnapshotTest, FailedPublishLeavesPreviousSnapshotAndNoTempDir) {
+  OlapEngine source;
+  testutil::LoadPaperTables(&source);
+  const std::string dir = TestDir("atomic");
+  ASSERT_TRUE(source.SaveSnapshot(dir).ok());
+
+  // Mutate the catalog, then fail the publish step: the on-disk
+  // snapshot must still be the first save, with no staging dir left.
+  source.catalog()->PutTable("T", TrickyTable());
+  FaultSpec spec;
+  spec.code = StatusCode::kInternal;
+  spec.message = "publish crash (injected)";
+  spec.max_fires = 1;
+  FaultInjector::Global()->Arm("snapshot/publish", spec);
+  const Status failed = source.SaveSnapshot(dir);
+  FaultInjector::Global()->Reset();
+  EXPECT_EQ(failed.code(), StatusCode::kInternal);
+
+  struct stat st;
+  EXPECT_NE(::lstat((dir + ".tmp").c_str(), &st), 0);
+  OlapEngine restored;
+  ASSERT_TRUE(restored.RestoreSnapshot(dir).ok());
+  EXPECT_EQ(restored.catalog()->TableNames(),
+            std::vector<std::string>({"Flow", "Hours", "User"}));
+
+  // A later save (fault disarmed) publishes the new catalog.
+  ASSERT_TRUE(source.SaveSnapshot(dir).ok());
+  OlapEngine retried;
+  ASSERT_TRUE(retried.RestoreSnapshot(dir).ok());
+  ExpectSameCatalog(retried, source);
+}
+
+TEST(SnapshotTest, StaleStagingDirIsSweptAndRefusedByRestore) {
+  const std::string dir = TestDir("stale");
+  const std::string tmp = dir + ".tmp";
+  // Fake the debris of a save that crashed mid-stage.
+  const int rc = ::mkdir(tmp.c_str(), 0755);
+  ASSERT_TRUE(rc == 0 || errno == EEXIST);
+  {
+    std::ofstream junk(tmp + "/t0.tbl", std::ios::binary);
+    junk << "half-written";
+  }
+
+  // Restore refuses to look inside a staging dir...
+  OlapEngine engine;
+  testutil::LoadPaperTables(&engine);
+  EXPECT_FALSE(engine.RestoreSnapshot(tmp).ok());
+
+  // ...and the next save sweeps it before staging anew.
+  ASSERT_TRUE(engine.SaveSnapshot(dir).ok());
+  struct stat st;
+  EXPECT_NE(::lstat(tmp.c_str(), &st), 0);
+  OlapEngine restored;
+  ASSERT_TRUE(restored.RestoreSnapshot(dir).ok());
+  ExpectSameCatalog(restored, engine);
 }
 
 }  // namespace
