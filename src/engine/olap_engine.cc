@@ -346,16 +346,30 @@ Status OlapEngine::SaveSnapshot(const std::string& dir) {
 }
 
 Status OlapEngine::SaveSnapshotLocked(const std::string& dir) {
-  GMDJ_RETURN_IF_ERROR(spill::SaveSnapshot(catalog_, dir));
-  // The snapshot now covers every journaled mutation (both happen under
-  // the exclusive lock), so replay after this point starts empty.
+  // Marker-before-publish protocol (spill/journal.h): the journal gets a
+  // durable marker carrying this snapshot's id, the snapshot publishes
+  // with the same id in its MANIFEST, and only then is the journal
+  // truncated. Replay skips records before the marker iff the restored
+  // snapshot carries the matching id, so a crash — or a plain truncate
+  // failure — anywhere in this sequence never double-applies journaled
+  // rows the snapshot already contains, and never drops acknowledged
+  // rows a failed publish left uncovered.
+  uint64_t snapshot_id = 0;
+  if (journal_ != nullptr) {
+    snapshot_id = spill::GenerateSnapshotId();
+    GMDJ_RETURN_IF_ERROR(journal_->AppendSnapshotMarker(snapshot_id));
+  }
+  GMDJ_RETURN_IF_ERROR(spill::SaveSnapshot(catalog_, dir, snapshot_id));
   if (journal_ != nullptr) GMDJ_RETURN_IF_ERROR(journal_->Truncate());
   return Status::OK();
 }
 
 Status OlapEngine::RestoreSnapshot(const std::string& dir) {
   std::unique_lock<std::shared_mutex> lock(catalog_mu_);
-  return spill::RestoreSnapshot(&catalog_, dir);
+  uint64_t snapshot_id = 0;
+  GMDJ_RETURN_IF_ERROR(spill::RestoreSnapshot(&catalog_, dir, &snapshot_id));
+  restored_snapshot_id_ = snapshot_id;
+  return Status::OK();
 }
 
 Status OlapEngine::AppendRows(const std::string& name, std::vector<Row> rows) {

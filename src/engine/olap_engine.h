@@ -186,8 +186,17 @@ class OlapEngine {
   /// Both take the catalog lock exclusively, so they are safe alongside
   /// concurrent governed queries (which wait). A successful save
   /// truncates the attached journal — its mutations are in the snapshot.
+  /// Save and journal are crash-consistent via the marker protocol
+  /// (spill/journal.h): replay after RestoreSnapshot skips journal
+  /// records the snapshot already covers.
   Status SaveSnapshot(const std::string& dir);
   Status RestoreSnapshot(const std::string& dir);
+
+  /// Snapshot id of the most recent successful RestoreSnapshot (0 when
+  /// nothing was restored, or the snapshot predates ids). Pass to
+  /// spill::ReplayJournal so replay skips records the restored snapshot
+  /// already contains.
+  uint64_t restored_snapshot_id() const { return restored_snapshot_id_; }
 
   /// Appends literal `rows` to catalog table `name` under the exclusive
   /// catalog lock — the engine's one online mutation path (SQL `INSERT
@@ -270,6 +279,7 @@ class OlapEngine {
   /// hold it shared, AppendRows and snapshot save/restore exclusively.
   mutable std::shared_mutex catalog_mu_;
   spill::JournalWriter* journal_ = nullptr;
+  uint64_t restored_snapshot_id_ = 0;
   ExecConfig exec_config_;
   ExecStats last_stats_;
   double last_elapsed_ms_ = 0.0;

@@ -527,8 +527,11 @@ HttpResponse QueryServer::HandleQuery(Conn* conn, const HttpRequest& request,
 
   // Circuit breaker: a tenant whose queries keep aborting on governance
   // limits is refused up front until the cooldown lapses, so its doomed
-  // queries stop burning worker time and governance budget.
-  if (config_.breaker_threshold > 0) {
+  // queries stop burning worker time and governance budget. Named
+  // sessions only — every headerless client shares the one anonymous
+  // session, and a breaker keyed on it would let a single misbehaving
+  // client 503 all anonymous traffic.
+  if (config_.breaker_threshold > 0 && !session->id().empty()) {
     const int64_t open_until = session->breaker_open_until_ms.load();
     const int64_t now = SteadyNowMs();
     if (open_until > now) {
@@ -699,7 +702,7 @@ HttpResponse QueryServer::HandleQuery(Conn* conn, const HttpRequest& request,
                                 config_.retry_after_ms);
     }
     const StatusCode code = result.status().code();
-    if (config_.breaker_threshold > 0 &&
+    if (config_.breaker_threshold > 0 && !session->id().empty() &&
         (code == StatusCode::kResourceExhausted ||
          code == StatusCode::kDeadlineExceeded)) {
       // A governed abort: the query ran and burned its budget before

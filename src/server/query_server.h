@@ -65,7 +65,9 @@ struct ServerConfig {
   /// rejection / deadline exceeded) trip a session's breaker — its
   /// queries are refused up front with 503 + Retry-After for
   /// `breaker_cooldown_ms`, sparing the worker pool queries that will
-  /// only burn a governance budget before failing. 0 = no breaker.
+  /// only burn a governance budget before failing. Named sessions only:
+  /// the shared anonymous session is exempt, so one misbehaving
+  /// headerless client cannot 503 all anonymous traffic. 0 = no breaker.
   size_t breaker_threshold = 8;
   uint64_t breaker_cooldown_ms = 2000;
   /// Named sessions idle longer than this (no connections, nothing in

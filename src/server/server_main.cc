@@ -201,13 +201,17 @@ int main(int argc, char** argv) {
   }
 
   // Crash recovery: the snapshot restores the catalog as of the last
-  // SAVE, then the journal replays every mutation committed after it.
-  // Replay happens before the journal is opened for writing, because
-  // Open truncates any torn tail the replay identified.
+  // SAVE, then the journal replays every mutation committed after it —
+  // records the restored snapshot already covers (they precede its
+  // marker) are skipped, so a crash between snapshot publish and journal
+  // truncation never double-applies rows. Replay happens before the
+  // journal is opened for writing, because Open truncates any torn tail
+  // the replay identified.
   std::unique_ptr<gmdj::spill::JournalWriter> journal;
   if (!flags.journal_path.empty()) {
     auto replay_or =
-        gmdj::spill::ReplayJournal(flags.journal_path, engine.catalog());
+        gmdj::spill::ReplayJournal(flags.journal_path, engine.catalog(),
+                                   engine.restored_snapshot_id());
     if (!replay_or.ok()) {
       std::fprintf(stderr, "--journal replay failed: %s\n",
                    replay_or.status().message().c_str());
@@ -216,9 +220,11 @@ int main(int argc, char** argv) {
     const gmdj::spill::JournalReplayStats stats = replay_or.ValueOrDie();
     std::fprintf(stderr,
                  "journal %s: replayed %zu records (%zu rows), "
+                 "skipped %zu snapshot-covered, "
                  "%zu valid bytes, %zu torn bytes discarded\n",
                  flags.journal_path.c_str(), stats.records_applied,
-                 stats.rows_applied, stats.valid_bytes, stats.torn_bytes);
+                 stats.rows_applied, stats.records_skipped,
+                 stats.valid_bytes, stats.torn_bytes);
     auto journal_or = gmdj::spill::JournalWriter::Open(flags.journal_path,
                                                        stats.valid_bytes);
     if (!journal_or.ok()) {

@@ -53,6 +53,8 @@ class Session {
   /// rejects this session's queries up front with 503 + Retry-After,
   /// shielding the worker pool from a tenant whose every query burns a
   /// governance budget before failing. Any success resets the count.
+  /// Unused for the anonymous session — it is shared by every
+  /// headerless client, so tripping it would punish unrelated traffic.
   std::atomic<uint64_t> governed_aborts{0};
   std::atomic<int64_t> breaker_open_until_ms{0};
 

@@ -23,6 +23,7 @@ constexpr uint64_t kRecordHeaderSize = 4 + 8;
 // Rows per SPB1 block inside a record; large appends split cleanly.
 constexpr size_t kJournalBlockRows = 4096;
 constexpr uint8_t kOpAppendRows = 1;
+constexpr uint8_t kOpSnapshotMarker = 2;
 
 Status ErrnoStatus(const char* op, const std::string& path) {
   const int err = errno;
@@ -109,6 +110,17 @@ Result<std::unique_ptr<JournalWriter>> JournalWriter::Open(
         ::close(fd);
         return Status::DataLoss("not a gmdj journal: " + path);
       }
+      // One of our journals, and it holds records. Truncating here would
+      // silently erase durable, acknowledged mutations — a call site that
+      // skipped ReplayJournal (or passed a stale 0) must hear about it.
+      if (size > kMagicSize) {
+        ::close(fd);
+        return Status::InvalidArgument(
+            "journal " + path + " holds " +
+            std::to_string(size - kMagicSize) +
+            " bytes of records; replay it first and pass the verified "
+            "prefix (refusing to truncate acknowledged mutations)");
+      }
     }
     if (::ftruncate(fd, 0) != 0 ||
         ::lseek(fd, 0, SEEK_SET) != 0) {
@@ -152,17 +164,7 @@ Result<std::unique_ptr<JournalWriter>> JournalWriter::Open(
       new JournalWriter(std::move(path), fd, valid_bytes));
 }
 
-Status JournalWriter::AppendRows(const std::string& table, const Row* rows,
-                                 size_t num_rows, size_t num_cols) {
-  GMDJ_RETURN_IF_ERROR(GMDJ_FAULT_POINT("journal/append"));
-  std::string payload;
-  payload.push_back(static_cast<char>(kOpAppendRows));
-  PutU32(static_cast<uint32_t>(table.size()), &payload);
-  payload += table;
-  for (size_t off = 0; off < num_rows; off += kJournalBlockRows) {
-    const size_t chunk = std::min(kJournalBlockRows, num_rows - off);
-    GMDJ_RETURN_IF_ERROR(EncodeBlock(rows + off, chunk, num_cols, &payload));
-  }
+Status JournalWriter::AppendRecord(const std::string& payload) {
   if (payload.size() > kMaxPayload) {
     return Status::ResourceExhausted("journal record exceeds format bound");
   }
@@ -178,7 +180,30 @@ Status JournalWriter::AppendRows(const std::string& table, const Row* rows,
   return Status::OK();
 }
 
+Status JournalWriter::AppendRows(const std::string& table, const Row* rows,
+                                 size_t num_rows, size_t num_cols) {
+  GMDJ_RETURN_IF_ERROR(GMDJ_FAULT_POINT("journal/append"));
+  std::string payload;
+  payload.push_back(static_cast<char>(kOpAppendRows));
+  PutU32(static_cast<uint32_t>(table.size()), &payload);
+  payload += table;
+  for (size_t off = 0; off < num_rows; off += kJournalBlockRows) {
+    const size_t chunk = std::min(kJournalBlockRows, num_rows - off);
+    GMDJ_RETURN_IF_ERROR(EncodeBlock(rows + off, chunk, num_cols, &payload));
+  }
+  return AppendRecord(payload);
+}
+
+Status JournalWriter::AppendSnapshotMarker(uint64_t snapshot_id) {
+  GMDJ_RETURN_IF_ERROR(GMDJ_FAULT_POINT("journal/marker"));
+  std::string payload;
+  payload.push_back(static_cast<char>(kOpSnapshotMarker));
+  PutU64(snapshot_id, &payload);
+  return AppendRecord(payload);
+}
+
 Status JournalWriter::Truncate() {
+  GMDJ_RETURN_IF_ERROR(GMDJ_FAULT_POINT("journal/truncate"));
   if (::ftruncate(fd_, static_cast<off_t>(kMagicSize)) != 0 ||
       ::lseek(fd_, static_cast<off_t>(kMagicSize), SEEK_SET) < 0) {
     return ErrnoStatus("truncate", path_);
@@ -196,17 +221,30 @@ struct PendingMutation {
   std::string table;
   std::vector<Row> rows;
   size_t num_cols = 0;
+  // SnapshotMarker records carry only an id; they stage no rows.
+  bool is_marker = false;
+  uint64_t marker_id = 0;
 };
 
-// Parses one checksummed payload into a staged mutation.
+// Parses one checksummed payload into a staged mutation (or marker).
 Status ParsePayload(const char* data, size_t size, PendingMutation* out) {
   size_t pos = 0;
-  if (size < 1 + 4) return Status::DataLoss("journal record too short");
+  if (size < 1) return Status::DataLoss("journal record too short");
   const uint8_t op = static_cast<uint8_t>(data[pos++]);
+  if (op == kOpSnapshotMarker) {
+    if (size != 1 + 8) {
+      return Status::DataLoss("journal snapshot marker has bad size " +
+                              std::to_string(size));
+    }
+    out->is_marker = true;
+    out->marker_id = GetU64(data + pos);
+    return Status::OK();
+  }
   if (op != kOpAppendRows) {
     return Status::DataLoss("journal record has unknown op " +
                             std::to_string(op));
   }
+  if (size < 1 + 4) return Status::DataLoss("journal record too short");
   const uint32_t name_len = GetU32(data + pos);
   pos += 4;
   if (name_len > size - pos) {
@@ -242,7 +280,8 @@ Status ParsePayload(const char* data, size_t size, PendingMutation* out) {
 }  // namespace
 
 Result<JournalReplayStats> ReplayJournal(const std::string& path,
-                                         Catalog* catalog) {
+                                         Catalog* catalog,
+                                         uint64_t restored_snapshot_id) {
   JournalReplayStats stats;
   const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) {
@@ -304,9 +343,30 @@ Result<JournalReplayStats> ReplayJournal(const std::string& path,
   stats.valid_bytes = valid;
   stats.torn_bytes = bytes.size() - valid;
 
+  // The restored snapshot already contains every mutation before its own
+  // marker (the marker is appended before the snapshot publishes, and
+  // both cover the same exclusive-lock window) — re-applying them would
+  // duplicate acknowledged rows after a crash between snapshot publish
+  // and journal truncation. Markers for other ids belong to snapshots
+  // that never published; they skip nothing.
+  size_t first_uncovered = 0;
+  if (restored_snapshot_id != 0) {
+    for (size_t i = 0; i < staged.size(); ++i) {
+      if (staged[i].is_marker && staged[i].marker_id == restored_snapshot_id) {
+        first_uncovered = i + 1;
+      }
+    }
+    for (size_t i = 0; i < first_uncovered; ++i) {
+      if (!staged[i].is_marker) ++stats.records_skipped;
+    }
+  }
+
   // Validate every staged mutation against the catalog before applying
-  // any, so a bad record never leaves a half-replayed catalog.
-  for (const PendingMutation& mutation : staged) {
+  // any, so a bad record never leaves a half-replayed catalog. Skipped
+  // records are not validated: they describe the pre-snapshot catalog.
+  for (size_t i = first_uncovered; i < staged.size(); ++i) {
+    const PendingMutation& mutation = staged[i];
+    if (mutation.is_marker) continue;
     const Result<const Table*> table = catalog->GetTable(mutation.table);
     if (!table.ok()) {
       return Status::DataLoss("journal references unknown table '" +
@@ -321,7 +381,9 @@ Result<JournalReplayStats> ReplayJournal(const std::string& path,
                               std::to_string((*table)->schema().num_fields()));
     }
   }
-  for (PendingMutation& mutation : staged) {
+  for (size_t i = first_uncovered; i < staged.size(); ++i) {
+    PendingMutation& mutation = staged[i];
+    if (mutation.is_marker) continue;
     GMDJ_ASSIGN_OR_RETURN(Table * table,
                           catalog->GetMutableTable(mutation.table));
     stats.rows_applied += mutation.rows.size();

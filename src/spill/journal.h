@@ -26,8 +26,10 @@ namespace spill {
 ///
 ///   "GMDJWAL1" | record*
 ///   record := u32 payload_size | u64 fnv1a(payload) | payload
-///   payload := u8 op(1 = AppendRows) | u32 name_len | name
-///            | SPB1 block+          (same encoder as spill/snapshot)
+///   payload := append_rows | snapshot_marker
+///   append_rows := u8 op(1) | u32 name_len | name
+///                | SPB1 block+      (same encoder as spill/snapshot)
+///   snapshot_marker := u8 op(2) | u64 snapshot_id
 ///
 /// Integers are little-endian. Recovery is torn-tail tolerant: a record
 /// that extends past EOF, or whose checksum fails *at* EOF, is an
@@ -35,13 +37,27 @@ namespace spill {
 /// the file truncated to the good prefix. A checksum failure with more
 /// records after it means the middle of the log rotted, and replay
 /// refuses with typed kDataLoss rather than guessing.
+///
+/// SnapshotMarker records make replay idempotent across snapshots. A
+/// save appends (and fsyncs) a marker carrying the snapshot's unique id
+/// *before* publishing the snapshot, and truncates the journal only
+/// after the publish lands; the snapshot MANIFEST records the same id.
+/// Replay on top of a restored snapshot skips every mutation before the
+/// last marker matching that snapshot's id — so a crash (or truncate
+/// failure) anywhere between marker, publish, and truncate still
+/// replays to exactly the acknowledged state, never duplicating rows
+/// the snapshot already holds. A marker whose snapshot never published
+/// is ignored (the restored snapshot carries a different id).
 class JournalWriter {
  public:
   /// Opens (or creates) the journal at `path` for appending.
   /// `valid_bytes` is the verified good prefix from ReplayJournal — the
   /// file is truncated to it before appending (0 for a fresh file, in
   /// which case the magic is written). Refuses a file whose header is
-  /// not the journal magic.
+  /// not the journal magic, and refuses `valid_bytes == 0` against a
+  /// journal that still holds records (InvalidArgument: run
+  /// ReplayJournal first) — erasing acknowledged mutations must never
+  /// be one stale argument away.
   static Result<std::unique_ptr<JournalWriter>> Open(std::string path,
                                                      uint64_t valid_bytes);
   ~JournalWriter();
@@ -56,6 +72,11 @@ class JournalWriter {
   Status AppendRows(const std::string& table, const Row* rows,
                     size_t num_rows, size_t num_cols);
 
+  /// Appends one SnapshotMarker record carrying `snapshot_id` and
+  /// fsyncs. Called *before* the snapshot with that id publishes; see
+  /// the class comment for the recovery protocol.
+  Status AppendSnapshotMarker(uint64_t snapshot_id);
+
   /// Truncates the journal back to just the magic (after a successful
   /// snapshot made its records redundant) and fsyncs.
   Status Truncate();
@@ -67,6 +88,9 @@ class JournalWriter {
  private:
   JournalWriter(std::string path, int fd, uint64_t bytes);
 
+  /// Frames `payload` (size + FNV-1a checksum), writes it, and fsyncs.
+  Status AppendRecord(const std::string& payload);
+
   std::string path_;
   int fd_;
   uint64_t bytes_;
@@ -75,6 +99,9 @@ class JournalWriter {
 struct JournalReplayStats {
   uint64_t records_applied = 0;
   uint64_t rows_applied = 0;
+  /// Mutation records skipped because the restored snapshot already
+  /// covers them (they precede its SnapshotMarker).
+  uint64_t records_skipped = 0;
   /// Length of the verified prefix — pass to JournalWriter::Open.
   uint64_t valid_bytes = 0;
   /// Trailing bytes dropped as a torn (interrupted) append.
@@ -86,8 +113,15 @@ struct JournalReplayStats {
 /// half-replayed catalog). A missing file is an empty journal. Returns
 /// kDataLoss for mid-file corruption, an unknown op, or a record naming
 /// a table the catalog does not hold (snapshot/journal mismatch).
+///
+/// `restored_snapshot_id` is the id of the snapshot the catalog was just
+/// restored from (0 = none): mutations before the last SnapshotMarker
+/// carrying that id are already inside the snapshot and are skipped, not
+/// re-applied. Markers for other ids (snapshots that never published)
+/// are ignored.
 Result<JournalReplayStats> ReplayJournal(const std::string& path,
-                                         Catalog* catalog);
+                                         Catalog* catalog,
+                                         uint64_t restored_snapshot_id = 0);
 
 }  // namespace spill
 }  // namespace gmdj

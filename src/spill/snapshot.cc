@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <random>
 #include <set>
 #include <sstream>
 #include <utility>
@@ -23,10 +24,13 @@ namespace {
 constexpr char kManifestName[] = "MANIFEST";
 constexpr char kManifestHeader[] = "gmdj-snapshot 1";
 constexpr size_t kSnapshotBlockRows = 4096;
-// Staging/backup suffixes for the atomic publish protocol. Restore never
-// looks inside either, and save sweeps stale ones before staging, so a
-// crash at any point leaves at most dead weight — never a half-snapshot
-// that restore would accept.
+// Staging/backup suffixes for the atomic publish protocol. A crash
+// between the two publish renames leaves nothing at `dir` — restore
+// then finishes the publish from a complete `.tmp` (staging is fully
+// durable before the renames begin) or promotes the `.old` backup, and
+// save promotes a stranded `.old` before sweeping, so the last good
+// snapshot is never discarded. Anything else under either suffix is
+// dead weight from an interrupted save.
 constexpr char kTmpSuffix[] = ".tmp";
 constexpr char kOldSuffix[] = ".old";
 
@@ -130,11 +134,13 @@ bool RemoveDirRecursive(const std::string& dir) {
   return ::rmdir(dir.c_str()) == 0;
 }
 
-Status WriteSnapshotInto(const Catalog& catalog, const std::string& dir) {
+Status WriteSnapshotInto(const Catalog& catalog, const std::string& dir,
+                         uint64_t snapshot_id) {
   GMDJ_RETURN_IF_ERROR(MakeDirs(dir));
 
   std::ostringstream manifest;
   manifest << kManifestHeader << "\n";
+  if (snapshot_id != 0) manifest << "snapshot_id\t" << snapshot_id << "\n";
 
   const std::vector<std::string> names = catalog.TableNames();
   size_t index = 0;
@@ -180,13 +186,25 @@ Status WriteSnapshotInto(const Catalog& catalog, const std::string& dir) {
 
 }  // namespace
 
-Status SaveSnapshot(const Catalog& catalog, const std::string& dir) {
+Status SaveSnapshot(const Catalog& catalog, const std::string& dir,
+                    uint64_t snapshot_id) {
   if (dir.empty() || dir == "/" || dir == "." || dir == "..") {
     return Status::InvalidArgument("snapshot: refusing to snapshot into '" +
                                    dir + "'");
   }
   const std::string tmp = dir + kTmpSuffix;
   const std::string old = dir + kOldSuffix;
+  // A crash between a previous save's publish renames leaves `dir`
+  // missing with the last good snapshot stranded at `old`. Promote it
+  // back before the sweep below — discarding it would lose the only
+  // complete snapshot. (`tmp` from that window was never acknowledged;
+  // superseding it with this save is fine.)
+  if (!PathExists(dir) && PathExists(old + "/" + kManifestName)) {
+    if (std::rename(old.c_str(), dir.c_str()) != 0) {
+      return Status::Internal("snapshot: cannot promote stranded backup " +
+                              old);
+    }
+  }
   // Sweep leftovers from a previous crashed save before staging anew.
   if (PathExists(tmp) && !RemoveDirRecursive(tmp)) {
     return Status::Internal("snapshot: cannot clear stale staging dir " + tmp);
@@ -199,7 +217,7 @@ Status SaveSnapshot(const Catalog& catalog, const std::string& dir) {
   // fsynced — into `<dir>.tmp`, then publish with renames. A crash before
   // the final rename leaves the previous snapshot untouched; a crash
   // after it leaves the new snapshot fully durable.
-  Status staged = WriteSnapshotInto(catalog, tmp);
+  Status staged = WriteSnapshotInto(catalog, tmp, snapshot_id);
   if (!staged.ok()) {
     RemoveDirRecursive(tmp);
     return staged;
@@ -231,14 +249,15 @@ Status SaveSnapshot(const Catalog& catalog, const std::string& dir) {
   return Status::OK();
 }
 
-Status RestoreSnapshot(Catalog* catalog, const std::string& dir) {
-  // Half-written staging dirs are never restorable; catch the obvious
-  // operator mistake of pointing --restore at one.
-  if (dir.size() > 4 && dir.compare(dir.size() - 4, 4, kTmpSuffix) == 0) {
-    return Status::InvalidArgument(
-        "not a snapshot directory (staging dir from an interrupted save): " +
-        dir);
-  }
+namespace {
+
+/// Parses `dir`'s MANIFEST and decodes every table into `staged`
+/// without touching any catalog, so a corrupt snapshot restores nothing
+/// rather than half a catalog. Reports the manifest's snapshot id (0
+/// when the line is absent — journal-less saves and old manifests).
+Status LoadSnapshotTables(const std::string& dir,
+                          std::vector<std::pair<std::string, Table>>* staged,
+                          uint64_t* snapshot_id) {
   std::ifstream in(dir + "/" + kManifestName, std::ios::binary);
   if (!in) {
     return Status::InvalidArgument("not a snapshot directory (no MANIFEST): " +
@@ -250,14 +269,20 @@ Status RestoreSnapshot(Catalog* catalog, const std::string& dir) {
         "snapshot manifest: unsupported header in " + dir);
   }
 
-  // Stage every table before touching the catalog, so a corrupt snapshot
-  // restores nothing rather than half the catalog.
-  std::vector<std::pair<std::string, Table>> staged;
   std::set<std::string> seen_files;
   std::set<std::string> seen_tables;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     std::vector<std::string> parts = SplitTabs(line);
+    if (parts[0] == "snapshot_id") {
+      if (parts.size() != 2) {
+        return Status::InvalidArgument(
+            "snapshot manifest: malformed snapshot_id line '" + line + "'");
+      }
+      GMDJ_ASSIGN_OR_RETURN(*snapshot_id,
+                            ParseCount(parts[1], "snapshot id"));
+      continue;
+    }
     if (parts[0] != "table" || parts.size() != 5) {
       return Status::InvalidArgument("snapshot manifest: expected table line, "
                                      "got '" + line + "'");
@@ -325,13 +350,75 @@ Status RestoreSnapshot(Catalog* catalog, const std::string& dir) {
                                 " row width mismatch");
       }
     }
-    staged.emplace_back(name, Table(std::move(schema), std::move(rows)));
+    staged->emplace_back(name, Table(std::move(schema), std::move(rows)));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RestoreSnapshot(Catalog* catalog, const std::string& dir,
+                       uint64_t* snapshot_id) {
+  // Half-written staging dirs are never restorable; catch the obvious
+  // operator mistake of pointing --restore at one.
+  if (dir.size() > 4 && dir.compare(dir.size() - 4, 4, kTmpSuffix) == 0) {
+    return Status::InvalidArgument(
+        "not a snapshot directory (staging dir from an interrupted save): " +
+        dir);
+  }
+
+  std::vector<std::pair<std::string, Table>> staged;
+  uint64_t id = 0;
+  if (!PathExists(dir + "/" + kManifestName)) {
+    // Nothing at `dir`: a crash landed between SaveSnapshot's two
+    // publish renames. Finish the interrupted publish if the staged
+    // snapshot is complete and valid (staging is fully durable before
+    // the renames begin, so validation distinguishes it from a crash
+    // mid-staging); otherwise promote the `.old` backup. Renames happen
+    // only after the chosen copy fully validates, so a failed recovery
+    // changes nothing on disk.
+    const std::string tmp = dir + kTmpSuffix;
+    const std::string old = dir + kOldSuffix;
+    std::vector<std::pair<std::string, Table>> from_tmp;
+    uint64_t tmp_id = 0;
+    if (PathExists(tmp + "/" + kManifestName) &&
+        LoadSnapshotTables(tmp, &from_tmp, &tmp_id).ok()) {
+      if (std::rename(tmp.c_str(), dir.c_str()) != 0) {
+        return Status::Internal(
+            "snapshot: cannot finish interrupted publish of " + dir);
+      }
+      GMDJ_RETURN_IF_ERROR(FsyncPath(ParentDir(dir)));
+      if (PathExists(old)) RemoveDirRecursive(old);
+      staged = std::move(from_tmp);
+      id = tmp_id;
+    } else if (PathExists(old + "/" + kManifestName)) {
+      if (std::rename(old.c_str(), dir.c_str()) != 0) {
+        return Status::Internal("snapshot: cannot promote backup " + old);
+      }
+      GMDJ_RETURN_IF_ERROR(FsyncPath(ParentDir(dir)));
+      GMDJ_RETURN_IF_ERROR(LoadSnapshotTables(dir, &staged, &id));
+    } else {
+      return Status::InvalidArgument(
+          "not a snapshot directory (no MANIFEST): " + dir);
+    }
+  } else {
+    GMDJ_RETURN_IF_ERROR(LoadSnapshotTables(dir, &staged, &id));
   }
 
   for (auto& [name, table] : staged) {
     catalog->PutTable(name, std::move(table));
   }
+  if (snapshot_id != nullptr) *snapshot_id = id;
   return Status::OK();
+}
+
+uint64_t GenerateSnapshotId() {
+  // random_device yields 32 bits per call; two calls make the 64-bit id.
+  // 0 is reserved for "no id", so bump a (vanishingly unlikely) zero.
+  std::random_device rd;
+  uint64_t id = (static_cast<uint64_t>(rd()) << 32) | rd();
+  if (id == 0) id = 1;
+  return id;
 }
 
 }  // namespace spill

@@ -1,6 +1,7 @@
 #ifndef GMDJ_SPILL_SNAPSHOT_H_
 #define GMDJ_SPILL_SNAPSHOT_H_
 
+#include <cstdint>
 #include <string>
 
 #include "common/status.h"
@@ -23,18 +24,33 @@ namespace spill {
 /// (data files, MANIFEST, all fsynced), then renamed into place, with
 /// the previous snapshot held in `<dir>.old` until the publish lands.
 /// A crash at any point leaves either the old snapshot or the new one —
-/// never a mix — plus at most a stale staging dir that the next save
-/// sweeps and that restore refuses to read. Restore validates the
-/// manifest against the data files (missing/duplicate/corrupt files are
-/// typed kDataLoss) and stages every table before touching the catalog.
+/// a crash *between* the two publish renames leaves `<dir>` empty, and
+/// restore finishes the job: a complete, valid `<dir>.tmp` (staging is
+/// fully durable before the renames begin) is renamed into place, else
+/// `<dir>.old` is promoted back. Restore validates the manifest against
+/// the data files (missing/duplicate/corrupt files are typed kDataLoss)
+/// and stages every table before touching the catalog.
 ///
 /// Surfaces (local only — the query server answers these statements
 /// with 403, since over HTTP they would read/write server-local paths
 /// and restore is not safe under concurrent queries): SQL `SAVE
 /// SNAPSHOT '<dir>'` / `RESTORE SNAPSHOT '<dir>'` via ExecuteSql, shell
 /// `\snapshot <dir>`, and `gmdj_serve --restore=<dir>` at boot.
-Status SaveSnapshot(const Catalog& catalog, const std::string& dir);
-Status RestoreSnapshot(Catalog* catalog, const std::string& dir);
+///
+/// `snapshot_id` ties a snapshot to the journal's SnapshotMarker record
+/// (spill/journal.h): save writes it into the MANIFEST, restore reports
+/// it back so boot can skip journal records the snapshot already
+/// covers. 0 means "no id" (snapshots taken without a journal; old
+/// manifests restore as 0).
+Status SaveSnapshot(const Catalog& catalog, const std::string& dir,
+                    uint64_t snapshot_id = 0);
+Status RestoreSnapshot(Catalog* catalog, const std::string& dir,
+                       uint64_t* snapshot_id = nullptr);
+
+/// A fresh nonzero id for tying a snapshot to its journal marker —
+/// random 64-bit, so ids never collide across restarts sharing one
+/// journal file.
+uint64_t GenerateSnapshotId();
 
 }  // namespace spill
 }  // namespace gmdj

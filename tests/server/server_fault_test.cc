@@ -349,6 +349,42 @@ TEST_F(ServerFaultTest, CircuitBreakerTripsAfterConsecutiveGovernedAborts) {
   server.Wait();
 }
 
+TEST_F(ServerFaultTest, AnonymousSessionNeverTripsBreaker) {
+  OlapEngine engine;
+  testutil::LoadPaperTables(&engine);
+  ServerConfig config;
+  config.port = 0;
+  config.workers = 2;
+  config.breaker_threshold = 2;
+  config.breaker_cooldown_ms = 60000;
+  QueryServer server(&engine, config);
+  ASSERT_TRUE(server.Start().ok());
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  // Every headerless client shares the one anonymous session, so a
+  // breaker keyed on it would let this misbehaving client 503 all
+  // anonymous traffic. Rack up governed aborts well past the threshold:
+  for (int i = 0; i < 4; ++i) {
+    auto rejected = client.Request(
+        "POST", "/query", {{"X-Mem-Budget-Bytes", "64"}}, kExistsSql);
+    ASSERT_TRUE(rejected.ok());
+    EXPECT_EQ(rejected->status, 429);
+  }
+
+  // ...and an unrelated anonymous client still executes normally.
+  HttpClient bystander;
+  ASSERT_TRUE(bystander.Connect("127.0.0.1", server.port()).ok());
+  auto ok = bystander.Request("POST", "/query", {}, kExistsSql);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->status, 200);
+
+  bystander.Close();
+  client.Close();
+  server.Shutdown();
+  server.Wait();
+}
+
 TEST_F(ServerFaultTest, HigherPriorityPushEvictsQueuedLowerPriority) {
   OlapEngine engine;
   testutil::LoadPaperTables(&engine);

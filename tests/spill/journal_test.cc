@@ -238,6 +238,129 @@ TEST(JournalTest, EngineInsertIsJournaledBeforeApply) {
   EXPECT_EQ(t->row(1)[2].str(), "y");
 }
 
+TEST(JournalTest, OpenRefusesTruncatingJournalWithRecords) {
+  const std::string path = TestPath("refuse-truncate");
+  {
+    auto journal = std::move(JournalWriter::Open(path, 0)).ValueOrDie();
+    const std::vector<Row> rows = {MakeRow(1, 0.5, "x")};
+    ASSERT_TRUE(journal->AppendRows("t", rows.data(), 1, 3).ok());
+  }
+  const long size = FileSize(path);
+  ASSERT_GT(size, 8);
+
+  // valid_bytes == 0 against a journal that still holds records is a
+  // call-site mistake (ReplayJournal was skipped); silently truncating
+  // would erase durable, acknowledged mutations.
+  auto reopened = JournalWriter::Open(path, 0);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(static_cast<int>(reopened.status().code()),
+            static_cast<int>(StatusCode::kInvalidArgument));
+  EXPECT_EQ(FileSize(path), size);  // Nothing was erased.
+
+  // The documented replay-then-open sequence still works.
+  Catalog catalog;
+  FillCatalog(&catalog);
+  auto stats_or = ReplayJournal(path, &catalog);
+  ASSERT_TRUE(stats_or.ok()) << stats_or.status().ToString();
+  EXPECT_TRUE(JournalWriter::Open(path, stats_or->valid_bytes).ok());
+}
+
+TEST(JournalTest, CrashBetweenPublishAndTruncateDoesNotDuplicateRows) {
+  const std::string path = TestPath("publish-truncate-crash");
+  const std::string snap_dir =
+      ::testing::TempDir() + "/gmdj_journal_test_ptc_snap";
+  auto journal = std::move(JournalWriter::Open(path, 0)).ValueOrDie();
+
+  OlapEngine engine;
+  FillCatalog(engine.catalog());
+  engine.set_journal(journal.get());
+  ASSERT_TRUE(engine.AppendRows("t", {MakeRow(1, 1.5, "acked")}).ok());
+
+  // Crash window: the snapshot publishes durably, then the journal
+  // truncate "crashes" — every record the snapshot already absorbed is
+  // still on disk, preceded by the snapshot's marker.
+  FaultSpec spec;
+  spec.code = StatusCode::kInternal;
+  spec.message = "truncate crash (injected)";
+  spec.max_fires = 1;
+  FaultInjector::Global()->Arm("journal/truncate", spec);
+  const Status failed = engine.SaveSnapshot(snap_dir);
+  FaultInjector::Global()->Reset();
+  EXPECT_FALSE(failed.ok());
+  ASSERT_GT(journal->bytes(), 8u);
+
+  // Recovery must not re-apply the snapshot-covered records.
+  OlapEngine recovered;
+  ASSERT_TRUE(recovered.RestoreSnapshot(snap_dir).ok());
+  ASSERT_NE(recovered.restored_snapshot_id(), 0u);
+  auto stats_or = ReplayJournal(path, recovered.catalog(),
+                                recovered.restored_snapshot_id());
+  ASSERT_TRUE(stats_or.ok()) << stats_or.status().ToString();
+  EXPECT_EQ(stats_or->rows_applied, 0u);
+  EXPECT_EQ(stats_or->records_skipped, 1u);
+  EXPECT_EQ((*recovered.catalog()->GetTable("t"))->num_rows(), 1u);
+
+  // Mutations appended after the marker replay normally on the next
+  // recovery — skipping is bounded by the marker, not the whole file.
+  auto reopened =
+      std::move(JournalWriter::Open(path, stats_or->valid_bytes))
+          .ValueOrDie();
+  recovered.set_journal(reopened.get());
+  ASSERT_TRUE(recovered.AppendRows("t", {MakeRow(2, 2.5, "post")}).ok());
+
+  OlapEngine again;
+  ASSERT_TRUE(again.RestoreSnapshot(snap_dir).ok());
+  auto replay2 = ReplayJournal(path, again.catalog(),
+                               again.restored_snapshot_id());
+  ASSERT_TRUE(replay2.ok()) << replay2.status().ToString();
+  EXPECT_EQ(replay2->rows_applied, 1u);
+  EXPECT_EQ(replay2->records_skipped, 1u);
+  const Table* t = *again.catalog()->GetTable("t");
+  ASSERT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->row(0)[2].str(), "acked");
+  EXPECT_EQ(t->row(1)[2].str(), "post");
+}
+
+TEST(JournalTest, FailedPublishKeepsJournalRecordsReplayable) {
+  const std::string path = TestPath("failed-publish");
+  const std::string snap_dir =
+      ::testing::TempDir() + "/gmdj_journal_test_fp_snap";
+  auto journal = std::move(JournalWriter::Open(path, 0)).ValueOrDie();
+
+  OlapEngine engine;
+  FillCatalog(engine.catalog());
+  engine.set_journal(journal.get());
+  // Baseline snapshot (empty "t"); its marker is truncated away with the
+  // rest of the journal.
+  ASSERT_TRUE(engine.SaveSnapshot(snap_dir).ok());
+  ASSERT_TRUE(engine.AppendRows("t", {MakeRow(1, 1.5, "acked")}).ok());
+
+  // The next save crashes before its snapshot publishes: the journal now
+  // holds the acknowledged row plus a marker for a snapshot that never
+  // landed. The durable snapshot is still the baseline.
+  FaultSpec spec;
+  spec.code = StatusCode::kInternal;
+  spec.message = "publish crash (injected)";
+  spec.max_fires = 1;
+  FaultInjector::Global()->Arm("snapshot/publish", spec);
+  const Status failed = engine.SaveSnapshot(snap_dir);
+  FaultInjector::Global()->Reset();
+  EXPECT_FALSE(failed.ok());
+
+  // The orphaned marker matches nothing, so the acknowledged row replays
+  // exactly once — dropped rows would be as corrupt as duplicated ones.
+  OlapEngine recovered;
+  ASSERT_TRUE(recovered.RestoreSnapshot(snap_dir).ok());
+  auto stats_or = ReplayJournal(path, recovered.catalog(),
+                                recovered.restored_snapshot_id());
+  ASSERT_TRUE(stats_or.ok()) << stats_or.status().ToString();
+  EXPECT_EQ(stats_or->rows_applied, 1u);
+  EXPECT_EQ(stats_or->records_skipped, 0u);
+  const Table* t = *recovered.catalog()->GetTable("t");
+  ASSERT_EQ(t->num_rows(), 1u);
+  EXPECT_EQ(t->row(0)[2].str(), "acked");
+}
+
 TEST(JournalTest, SnapshotTruncatesJournal) {
   const std::string path = TestPath("truncate");
   const std::string snap_dir =

@@ -239,6 +239,144 @@ TEST(SnapshotTest, FailedPublishLeavesPreviousSnapshotAndNoTempDir) {
   ExpectSameCatalog(retried, source);
 }
 
+/// rm -rf for the flat dirs these tests fabricate.
+void RemoveTree(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  while (struct dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    ::remove((dir + "/" + name).c_str());
+  }
+  ::closedir(d);
+  ::rmdir(dir.c_str());
+}
+
+TEST(SnapshotTest, SnapshotIdRoundTripsThroughManifest) {
+  const std::string dir = TestDir("id-roundtrip");
+  Catalog catalog;
+  catalog.PutTable("T", TrickyTable());
+  ASSERT_TRUE(spill::SaveSnapshot(catalog, dir, 12345u).ok());
+
+  Catalog out;
+  uint64_t id = 0;
+  ASSERT_TRUE(spill::RestoreSnapshot(&out, dir, &id).ok());
+  EXPECT_EQ(id, 12345u);
+
+  // Id-less saves (no journal attached) restore as 0.
+  ASSERT_TRUE(spill::SaveSnapshot(catalog, dir).ok());
+  id = 99;
+  ASSERT_TRUE(spill::RestoreSnapshot(&out, dir, &id).ok());
+  EXPECT_EQ(id, 0u);
+}
+
+TEST(SnapshotTest, RestoreFinishesInterruptedPublish) {
+  const std::string dir = TestDir("finish-publish");
+  RemoveTree(dir);
+  RemoveTree(dir + ".tmp");
+  RemoveTree(dir + ".old");
+
+  OlapEngine v1;
+  testutil::LoadPaperTables(&v1);
+  OlapEngine v2;
+  testutil::LoadPaperTables(&v2);
+  v2.catalog()->PutTable("T", TrickyTable());
+
+  const std::string stage1 = TestDir("finish-publish-v1");
+  const std::string stage2 = TestDir("finish-publish-v2");
+  ASSERT_TRUE(v1.SaveSnapshot(stage1).ok());
+  ASSERT_TRUE(v2.SaveSnapshot(stage2).ok());
+  // Fabricate the exact crash window between SaveSnapshot's two publish
+  // renames: previous snapshot moved aside to <dir>.old, fully staged
+  // new one still at <dir>.tmp, nothing at <dir>.
+  ASSERT_EQ(std::rename(stage1.c_str(), (dir + ".old").c_str()), 0);
+  ASSERT_EQ(std::rename(stage2.c_str(), (dir + ".tmp").c_str()), 0);
+
+  // Restore finishes the publish: the staged snapshot is complete and
+  // valid, so it wins over the backup.
+  OlapEngine restored;
+  ASSERT_TRUE(restored.RestoreSnapshot(dir).ok());
+  ExpectSameCatalog(restored, v2);
+  struct stat st;
+  EXPECT_EQ(::lstat(dir.c_str(), &st), 0);
+  EXPECT_NE(::lstat((dir + ".tmp").c_str(), &st), 0);
+  EXPECT_NE(::lstat((dir + ".old").c_str(), &st), 0);
+
+  // The finished publish is durable: a plain re-restore sees the same.
+  OlapEngine again;
+  ASSERT_TRUE(again.RestoreSnapshot(dir).ok());
+  ExpectSameCatalog(again, v2);
+}
+
+TEST(SnapshotTest, RestoreFallsBackToBackupWhenStagingIncomplete) {
+  const std::string dir = TestDir("fallback");
+  RemoveTree(dir);
+  RemoveTree(dir + ".tmp");
+  RemoveTree(dir + ".old");
+
+  OlapEngine v1;
+  testutil::LoadPaperTables(&v1);
+  const std::string stage1 = TestDir("fallback-v1");
+  ASSERT_TRUE(v1.SaveSnapshot(stage1).ok());
+  ASSERT_EQ(std::rename(stage1.c_str(), (dir + ".old").c_str()), 0);
+
+  // A staging dir whose MANIFEST references a file that never made it to
+  // disk is a crash mid-staging, not a publishable snapshot.
+  const std::string tmp = dir + ".tmp";
+  ASSERT_EQ(::mkdir(tmp.c_str(), 0755), 0);
+  {
+    std::ofstream manifest(tmp + "/MANIFEST", std::ios::binary);
+    manifest << "gmdj-snapshot 1\n"
+             << "table\tT\t5\tt0.tbl\t1\n"
+             << "col\ta\tint64\t\n";
+  }
+
+  OlapEngine restored;
+  ASSERT_TRUE(restored.RestoreSnapshot(dir).ok());
+  ExpectSameCatalog(restored, v1);  // The backup was promoted.
+  struct stat st;
+  EXPECT_EQ(::lstat(dir.c_str(), &st), 0);
+  EXPECT_NE(::lstat((dir + ".old").c_str(), &st), 0);
+}
+
+TEST(SnapshotTest, SaveAfterInterruptedPublishKeepsLastGoodSnapshot) {
+  const std::string dir = TestDir("save-promotes");
+  RemoveTree(dir);
+  RemoveTree(dir + ".tmp");
+  RemoveTree(dir + ".old");
+
+  OlapEngine v1;
+  testutil::LoadPaperTables(&v1);
+  const std::string stage1 = TestDir("save-promotes-v1");
+  ASSERT_TRUE(v1.SaveSnapshot(stage1).ok());
+  ASSERT_EQ(std::rename(stage1.c_str(), (dir + ".old").c_str()), 0);
+
+  // A save into the crash-window state must not sweep the stranded
+  // backup: even when its own publish then fails, the last good
+  // snapshot is still restorable.
+  OlapEngine v2;
+  testutil::LoadPaperTables(&v2);
+  v2.catalog()->PutTable("T", TrickyTable());
+  FaultSpec spec;
+  spec.code = StatusCode::kInternal;
+  spec.message = "publish crash (injected)";
+  spec.max_fires = 1;
+  FaultInjector::Global()->Arm("snapshot/publish", spec);
+  const Status failed = v2.SaveSnapshot(dir);
+  FaultInjector::Global()->Reset();
+  EXPECT_FALSE(failed.ok());
+
+  OlapEngine restored;
+  ASSERT_TRUE(restored.RestoreSnapshot(dir).ok());
+  ExpectSameCatalog(restored, v1);
+
+  // And the retried save publishes normally.
+  ASSERT_TRUE(v2.SaveSnapshot(dir).ok());
+  OlapEngine retried;
+  ASSERT_TRUE(retried.RestoreSnapshot(dir).ok());
+  ExpectSameCatalog(retried, v2);
+}
+
 TEST(SnapshotTest, StaleStagingDirIsSweptAndRefusedByRestore) {
   const std::string dir = TestDir("stale");
   const std::string tmp = dir + ".tmp";
