@@ -6,11 +6,13 @@
 //   echo "SELECT * FROM Hours" | ./build/examples/gmdj_shell
 //
 // Commands:
-//   <SQL>                 advisor picks the strategy, runs, prints rows
-//   EXPLAIN [ANALYZE] <SQL>  plan (ANALYZE: run + per-operator stats)
-//   \run <strategy> <SQL> force a strategy (see \strategies)
+//   <SQL>                 cost-based planner picks the strategy, runs,
+//                         prints rows (ANALYZE <table> collects stats)
+//   EXPLAIN [ANALYZE] <SQL>  plan (ANALYZE: run + per-operator stats,
+//                         plus the planner's estimate-vs-actual line)
+//   \run <strategy> <SQL> force a strategy ("auto" = planner; \strategies)
 //   \explain [strategy] <SQL>  show the physical plan
-//   \advise <SQL>         cost estimates for every strategy
+//   \advise <SQL>         stat-free cost estimates for every strategy
 //   \metrics              engine metrics snapshot (JSON)
 //   \tables, \schema <t>, \export <t> <path>, \help, \quit
 
@@ -18,6 +20,7 @@
 #include <cstdio>
 #include <unistd.h>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -42,25 +45,27 @@ void PrintParseError(const std::string& sql, const Status& status) {
 }
 
 Strategy StrategyFromName(const std::string& name, bool* ok) {
-  *ok = true;
-  for (const Strategy s : AllStrategies()) {
-    if (name == StrategyToString(s)) return s;
-  }
-  *ok = false;
-  return Strategy::kGmdj;
+  // Canonical parser (planner/strategy.h): case-insensitive, and also
+  // accepts "auto" — resolve through the cost-based planner.
+  const std::optional<Strategy> parsed = gmdj::StrategyFromName(name);
+  *ok = parsed.has_value();
+  return parsed.value_or(Strategy::kGmdj);
 }
 
 void PrintHelp() {
   std::printf(
       "Commands:\n"
-      "  <SQL>                      run (advisor picks the strategy)\n"
+      "  <SQL>                      run (cost-based planner picks the\n"
+      "                             strategy; prints its rationale)\n"
+      "  ANALYZE [table]            collect per-column statistics\n"
       "  EXPLAIN [ANALYZE] <SQL>    plan; ANALYZE runs the statement and\n"
       "                             annotates each operator with rows,\n"
       "                             batches, predicate evals, timings, and\n"
-      "                             GMDJ detail (RNG sizes, completion)\n"
-      "  \\run <strategy> <SQL>      force a strategy\n"
+      "                             GMDJ detail (RNG sizes, completion),\n"
+      "                             plus estimated vs actual cardinality\n"
+      "  \\run <strategy> <SQL>      force a strategy (auto = planner)\n"
       "  \\explain [strategy] <SQL>  show the physical plan\n"
-      "  \\advise <SQL>              per-strategy cost estimates\n"
+      "  \\advise <SQL>              stat-free per-strategy cost estimates\n"
       "  \\metrics                   engine metrics snapshot (JSON)\n"
       "  \\tables                    list tables\n"
       "  \\schema <table>            show a table's schema\n"
@@ -92,47 +97,44 @@ void RunSql(OlapEngine* engine, const SessionLimits& limits,
     return;
   }
   if (parsed->kind != SqlStatement::Kind::kSelect) {
-    // SAVE/RESTORE SNAPSHOT carry no query for the advisor; run directly.
+    // SAVE/RESTORE SNAPSHOT, INSERT, and ANALYZE carry no query for the
+    // planner; run directly. ANALYZE's stats summary spans several rows.
     QueryRun run;
     const auto result =
         engine->ExecuteSql(sql, Strategy::kGmdjOptimized, limits, &run);
     if (!result.ok()) {
       std::printf("error: %s\n", result.status().ToString().c_str());
-    } else if (result->num_rows() > 0 && !result->row(0).empty()) {
-      std::printf("%s (%.2f ms)\n", result->row(0)[0].ToString().c_str(),
-                  run.elapsed_ms);
+    } else {
+      for (size_t r = 0; r < result->num_rows(); ++r) {
+        if (result->row(r).empty()) continue;
+        std::printf("%s\n", result->row(r)[0].ToString().c_str());
+      }
+      if (result->num_rows() > 0) std::printf("(%.2f ms)\n", run.elapsed_ms);
     }
     return;
   }
-  StrategyAdvisor advisor(engine->catalog());
-  const auto strategy = advisor.Recommend(*parsed->select);
-  if (!strategy.ok()) {
-    std::printf("advisor error: %s\n", strategy.status().ToString().c_str());
+  // The cost-based planner picks the strategy; show its choice and the
+  // one-line rationale before running. Execution goes through
+  // Strategy::kAuto so the planner's hints (threads, condition order,
+  // binding/completion placement) and the adaptive feedback loop apply.
+  const auto decision = engine->Decide(*parsed->select);
+  if (!decision.ok()) {
+    std::printf("planner error: %s\n", decision.status().ToString().c_str());
     return;
   }
-  Strategy chosen = *strategy;
-  if (parsed->explain != SqlStatement::ExplainMode::kNone) {
-    // EXPLAIN needs a physical plan; native strategies are interpreters.
-    switch (chosen) {
-      case Strategy::kNativeNaive:
-      case Strategy::kNativeSmart:
-      case Strategy::kNativeIndexed:
-      case Strategy::kNativeMemo:
-        chosen = Strategy::kGmdjOptimized;
-        break;
-      default:
-        break;
-    }
+  if (parsed->explain == SqlStatement::ExplainMode::kNone) {
+    // EXPLAIN output already leads with these lines.
+    std::printf("%s\n", decision->Summary().c_str());
   }
   QueryRun run;
-  const auto result = engine->ExecuteSql(sql, chosen, limits, &run);
+  const auto result = engine->ExecuteSql(sql, Strategy::kAuto, limits, &run);
   if (!result.ok()) {
     std::printf("error: %s\n", result.status().ToString().c_str());
     return;
   }
   std::printf("%s(%zu rows, %.2f ms, strategy %s)\n",
               result->ToString(25).c_str(), result->num_rows(),
-              run.elapsed_ms, StrategyToString(chosen));
+              run.elapsed_ms, StrategyToString(decision->strategy));
 }
 
 void RunForced(OlapEngine* engine, const SessionLimits& limits,

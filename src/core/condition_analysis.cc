@@ -50,7 +50,8 @@ std::string ConditionAnalysis::ToString() const {
 }
 
 ConditionAnalysis AnalyzeCondition(const Expr& theta, const Schema& base,
-                                   const Schema& detail) {
+                                   const Schema& detail,
+                                   const ConditionAnalysisOptions& options) {
   ConditionAnalysis out;
   std::vector<RangeConjunct> ranges;
 
@@ -59,6 +60,12 @@ ConditionAnalysis AnalyzeCondition(const Expr& theta, const Schema& base,
     const std::set<size_t> frames = FramesUsed(*conj);
     if (!frames.count(0)) {
       out.detail_only.push_back(conj);
+      continue;
+    }
+    if (!options.allow_index) {
+      // Forced scan dispatch: keep the per-detail split above, but treat
+      // every base-touching conjunct as per-pair residual work.
+      out.residual.push_back(conj);
       continue;
     }
     if (conj->kind() == ExprKind::kCompare) {

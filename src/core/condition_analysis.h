@@ -54,13 +54,23 @@ struct ConditionAnalysis {
   std::string ToString() const;
 };
 
+/// Analysis knobs (planner hints — never semantic).
+struct ConditionAnalysisOptions {
+  /// When false, no eq/interval bindings are extracted: every conjunct
+  /// that touches the base frame lands in `residual` with strategy kScan
+  /// (detail-only filters still split out). The planner uses this on tiny
+  /// base tables where an index build cannot amortize.
+  bool allow_index = true;
+};
+
 /// Analyzes a bound θ condition. Equality bindings win over interval
 /// bindings (a hash probe is strictly narrower here); interval bindings
 /// require numeric columns. Disjunctive or exotic conditions safely land
 /// in `residual` with strategy kScan — analysis never changes semantics,
 /// only the dispatch strategy.
 ConditionAnalysis AnalyzeCondition(const Expr& theta, const Schema& base,
-                                   const Schema& detail);
+                                   const Schema& detail,
+                                   const ConditionAnalysisOptions& options = {});
 
 }  // namespace gmdj
 

@@ -25,6 +25,20 @@ inline Row PresizedBaseRow(const Row& brow, size_t extra) {
   return row;
 }
 
+/// Reorders compiled runtimes by the planner's eval-order hint. Each
+/// runtime carries its own agg_offset, freeze bit, and pair pointers, so
+/// vector position only determines the per-detail-tuple probe order —
+/// the emitted rows are identical. Must run after all index-based wiring
+/// (pair fusion, program attachment, batch-column collection).
+void ApplyEvalOrder(std::vector<GmdjCondRuntime>* runtimes,
+                    const std::vector<size_t>& order) {
+  if (order.size() != runtimes->size()) return;
+  std::vector<GmdjCondRuntime> ordered;
+  ordered.reserve(runtimes->size());
+  for (const size_t i : order) ordered.push_back(std::move((*runtimes)[i]));
+  *runtimes = std::move(ordered);
+}
+
 }  // namespace
 
 GmdjNode::GmdjNode(PlanPtr base, PlanPtr detail,
@@ -43,6 +57,19 @@ void GmdjNode::SetCompletion(CompletionSpec spec) {
     GMDJ_CHECK(spec.actions.size() == conditions_.size());
   }
   completion_ = std::move(spec);
+}
+
+void GmdjNode::SetEvalOrder(std::vector<size_t> order) {
+  if (!order.empty()) {
+    GMDJ_CHECK(order.size() == conditions_.size());
+    std::vector<bool> seen(order.size(), false);
+    for (const size_t i : order) {
+      GMDJ_CHECK(i < order.size());
+      GMDJ_CHECK(!seen[i]);
+      seen[i] = true;
+    }
+  }
+  eval_order_ = std::move(order);
 }
 
 Status GmdjNode::Prepare(const Catalog& catalog) {
@@ -70,9 +97,12 @@ Status GmdjNode::Prepare(const Catalog& catalog) {
       ++total_aggs_;
     }
   }
+  ConditionAnalysisOptions analysis_options;
+  analysis_options.allow_index = allow_index_bindings_;
   for (const GmdjCondition& cond : conditions_) {
     if (cond.theta != nullptr) {
-      analyses_.push_back(AnalyzeCondition(*cond.theta, bs, ds));
+      analyses_.push_back(AnalyzeCondition(*cond.theta, bs, ds,
+                                           analysis_options));
     } else {
       ConditionAnalysis all;
       all.strategy = CondStrategy::kScan;
@@ -385,6 +415,7 @@ Result<std::vector<GmdjCondRuntime>> GmdjNode::CompileRuntimes(
     for (const GmdjCondRuntime& rt : runtimes) {
       if (!rt.skip) ctx->stats().interpreter_fallbacks += 1;
     }
+    ApplyEvalOrder(&runtimes, eval_order_);
     return runtimes;
   }
 
@@ -506,6 +537,7 @@ Result<std::vector<GmdjCondRuntime>> GmdjNode::CompileRuntimes(
         std::unique(batch_columns->begin(), batch_columns->end()),
         batch_columns->end());
   }
+  ApplyEvalOrder(&runtimes, eval_order_);
   return runtimes;
 }
 

@@ -126,6 +126,22 @@ class GmdjNode final : public PlanNode {
     return analyses_[i].strategy;
   }
 
+  /// Pre-Prepare planner hint: with `allow = false`, condition analysis
+  /// extracts no eq/interval bindings — every condition dispatches as a
+  /// scan over active base tuples. Used on tiny base relations where an
+  /// index build cannot amortize. Result-identical.
+  void SetAllowIndexBindings(bool allow) { allow_index_bindings_ = allow; }
+  bool allow_index_bindings() const { return allow_index_bindings_; }
+
+  /// Post-Prepare planner hint: the order conditions are probed per
+  /// detail tuple (a permutation of [0, num_conditions)); empty restores
+  /// declaration order. Output columns stay in declaration order and
+  /// per-condition aggregate state is order-independent, so this is
+  /// result-identical — it only front-loads cheap dispatches so
+  /// completion discards/freezes fire before expensive scans.
+  void SetEvalOrder(std::vector<size_t> order);
+  const std::vector<size_t>& eval_order() const { return eval_order_; }
+
   /// Decomposed node contents, for plan rewriting (core/optimizer.cc).
   struct Parts {
     PlanPtr base;
@@ -221,6 +237,8 @@ class GmdjNode final : public PlanNode {
   std::vector<GmdjCondition> conditions_;
   GmdjStrategy strategy_;
   CompletionSpec completion_;
+  bool allow_index_bindings_ = true;
+  std::vector<size_t> eval_order_;
 
   // Populated by Prepare.
   std::optional<GmdjSignature> signature_;

@@ -1,332 +1,22 @@
 #include "engine/advisor.h"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
-#include <map>
+#include <memory>
 
-#include "expr/expr_analysis.h"
+#include "planner/query_shape.h"
 
 namespace gmdj {
-namespace {
-
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
-/// Summary of one subquery block, gathered by walking the bound query.
-struct SubInfo {
-  double inner_rows = 0;       // |R| of the block's source.
-  bool eq_correlated = false;  // Has an indexable equality correlation.
-  bool exists_like = false;    // EXISTS / SOME / ALL (early-terminable).
-  bool non_neighboring = false;
-  std::string detail_table;    // Coalescing group key (leaf blocks only).
-  bool leaf = true;            // No nested subqueries inside.
-};
-
-/// Aggregated query features.
-struct QueryShape {
-  double base_rows = 0;
-  std::vector<SubInfo> subs;   // Flattened over all nesting levels.
-  bool has_disjunctive_sub = false;
-  bool has_non_neighboring = false;
-};
-
-class ShapeCollector {
- public:
-  explicit ShapeCollector(const Catalog* catalog) : catalog_(catalog) {}
-
-  Result<QueryShape> Collect(const NestedSelect& query) {
-    QueryShape shape;
-    shape.base_rows = TableRows(query.source);
-    if (query.where != nullptr) {
-      GMDJ_RETURN_IF_ERROR(
-          Walk(*query.where, /*frame=*/0, /*conjunctive=*/true, &shape));
-    }
-    return shape;
-  }
-
- private:
-  double TableRows(const SourceSpec& source) const {
-    const auto table = catalog_->GetTable(source.table);
-    if (!table.ok()) return 1000;  // Unknown: neutral default.
-    double rows = static_cast<double>((*table)->num_rows());
-    if (source.distinct) rows = std::max(1.0, rows / 2);  // Crude NDV guess.
-    return rows;
-  }
-
-  Status Walk(const Pred& pred, size_t frame, bool conjunctive,
-              QueryShape* shape) {
-    switch (pred.kind()) {
-      case PredKind::kExpr:
-        return Status::OK();
-      case PredKind::kAnd: {
-        const auto& p = static_cast<const AndPred&>(pred);
-        GMDJ_RETURN_IF_ERROR(Walk(p.lhs(), frame, conjunctive, shape));
-        return Walk(p.rhs(), frame, conjunctive, shape);
-      }
-      case PredKind::kOr: {
-        const auto& p = static_cast<const OrPred&>(pred);
-        GMDJ_RETURN_IF_ERROR(Walk(p.lhs(), frame, false, shape));
-        return Walk(p.rhs(), frame, false, shape);
-      }
-      case PredKind::kNot:
-        return Walk(static_cast<const NotPred&>(pred).input(), frame, false,
-                    shape);
-      case PredKind::kExists:
-        return AddSub(static_cast<const ExistsPred&>(pred).sub(), frame,
-                      conjunctive, /*exists_like=*/true, shape);
-      case PredKind::kQuantSub:
-        return AddSub(static_cast<const QuantSubPred&>(pred).sub(), frame,
-                      conjunctive, /*exists_like=*/true, shape);
-      case PredKind::kCompareSub:
-        return AddSub(static_cast<const CompareSubPred&>(pred).sub(), frame,
-                      conjunctive, /*exists_like=*/false, shape);
-    }
-    return Status::OK();
-  }
-
-  Status AddSub(const NestedSelect& sub, size_t frame, bool conjunctive,
-                bool exists_like, QueryShape* shape) {
-    SubInfo info;
-    info.inner_rows = TableRows(sub.source);
-    info.exists_like = exists_like;
-    info.detail_table = sub.source.table;
-    if (!conjunctive) shape->has_disjunctive_sub = true;
-
-    const size_t sub_frame = frame + 1;
-    if (sub.where != nullptr) {
-      // Equality correlation: a conjunctive compare between the sub frame
-      // and the enclosing frame.
-      for (const Expr* conj : ConjunctExprs(*sub.where)) {
-        if (conj->kind() != ExprKind::kCompare) continue;
-        const auto& cmp = static_cast<const CompareExpr&>(*conj);
-        if (cmp.op() != CompareOp::kEq) continue;
-        const auto lf = FramesUsed(cmp.lhs());
-        const auto rf = FramesUsed(cmp.rhs());
-        const bool lhs_local = lf == std::set<size_t>{sub_frame};
-        const bool rhs_local = rf == std::set<size_t>{sub_frame};
-        const bool lhs_outer =
-            !lf.empty() && *lf.rbegin() < sub_frame;
-        const bool rhs_outer =
-            !rf.empty() && *rf.rbegin() < sub_frame;
-        if ((lhs_local && rhs_outer) || (rhs_local && lhs_outer)) {
-          info.eq_correlated = true;
-        }
-      }
-      // Non-neighboring: any reference below the immediately enclosing
-      // frame, anywhere in the block.
-      size_t min_frame = sub_frame;
-      CollectMinFrame(*sub.where, &min_frame);
-      if (sub_frame >= 2 && min_frame < sub_frame - 1) {
-        info.non_neighboring = true;
-        shape->has_non_neighboring = true;
-      }
-      // Recurse into nested blocks.
-      const size_t before = shape->subs.size();
-      GMDJ_RETURN_IF_ERROR(Walk(*sub.where, sub_frame, conjunctive, shape));
-      info.leaf = shape->subs.size() == before;
-    }
-    shape->subs.push_back(std::move(info));
-    return Status::OK();
-  }
-
-  // Scalar-expression conjuncts of the AND spine of a predicate tree.
-  static std::vector<const Expr*> ConjunctExprs(const Pred& pred) {
-    std::vector<const Expr*> out;
-    std::vector<const Pred*> stack = {&pred};
-    while (!stack.empty()) {
-      const Pred* p = stack.back();
-      stack.pop_back();
-      if (p->kind() == PredKind::kAnd) {
-        const auto* a = static_cast<const AndPred*>(p);
-        stack.push_back(&a->lhs());
-        stack.push_back(&a->rhs());
-      } else if (p->kind() == PredKind::kExpr) {
-        for (const Expr* conj :
-             SplitConjuncts(static_cast<const ExprPred*>(p)->expr())) {
-          out.push_back(conj);
-        }
-      }
-    }
-    return out;
-  }
-
-  static void CollectMinFrame(const Pred& pred, size_t* min_frame) {
-    switch (pred.kind()) {
-      case PredKind::kExpr: {
-        const Expr& e = static_cast<const ExprPred&>(pred).expr();
-        for (const size_t f : FramesUsed(e)) {
-          *min_frame = std::min(*min_frame, f);
-        }
-        return;
-      }
-      case PredKind::kAnd: {
-        const auto& p = static_cast<const AndPred&>(pred);
-        CollectMinFrame(p.lhs(), min_frame);
-        CollectMinFrame(p.rhs(), min_frame);
-        return;
-      }
-      case PredKind::kOr: {
-        const auto& p = static_cast<const OrPred&>(pred);
-        CollectMinFrame(p.lhs(), min_frame);
-        CollectMinFrame(p.rhs(), min_frame);
-        return;
-      }
-      case PredKind::kNot:
-        CollectMinFrame(static_cast<const NotPred&>(pred).input(),
-                        min_frame);
-        return;
-      case PredKind::kExists:
-        if (static_cast<const ExistsPred&>(pred).sub().where != nullptr) {
-          CollectMinFrame(*static_cast<const ExistsPred&>(pred).sub().where,
-                          min_frame);
-        }
-        return;
-      case PredKind::kCompareSub: {
-        const auto& p = static_cast<const CompareSubPred&>(pred);
-        for (const size_t f : FramesUsed(p.lhs())) {
-          *min_frame = std::min(*min_frame, f);
-        }
-        if (p.sub().where != nullptr) {
-          CollectMinFrame(*p.sub().where, min_frame);
-        }
-        return;
-      }
-      case PredKind::kQuantSub: {
-        const auto& p = static_cast<const QuantSubPred&>(pred);
-        for (const size_t f : FramesUsed(p.lhs())) {
-          *min_frame = std::min(*min_frame, f);
-        }
-        if (p.sub().where != nullptr) {
-          CollectMinFrame(*p.sub().where, min_frame);
-        }
-        return;
-      }
-    }
-  }
-
-  const Catalog* catalog_;
-};
-
-StrategyCostEstimate Estimate(Strategy strategy, const QueryShape& shape) {
-  StrategyCostEstimate out;
-  out.strategy = strategy;
-  const double b = std::max(1.0, shape.base_rows);
-  double cost = b;
-  std::string why;
-
-  auto unsupported = [&](const char* reason) {
-    out.cost = kInf;
-    out.rationale = reason;
-    return out;
-  };
-
-  switch (strategy) {
-    case Strategy::kNativeNaive:
-      for (const SubInfo& sub : shape.subs) cost += b * sub.inner_rows;
-      why = "tuple iteration, full inner scans";
-      break;
-    case Strategy::kNativeSmart:
-      for (const SubInfo& sub : shape.subs) {
-        cost += b * sub.inner_rows * (sub.exists_like ? 0.5 : 1.0);
-      }
-      why = "tuple iteration with early termination";
-      break;
-    case Strategy::kNativeIndexed:
-      for (const SubInfo& sub : shape.subs) {
-        if (sub.eq_correlated) {
-          cost += sub.inner_rows /*index build*/ + b * 2 /*probes*/;
-        } else {
-          cost += b * sub.inner_rows * (sub.exists_like ? 0.5 : 1.0);
-        }
-      }
-      why = "index probes on equality correlation";
-      break;
-    case Strategy::kNativeMemo:
-      // Indexed evaluation + invariant reuse: repeated correlation keys
-      // hit the memo (modelled as a flat 30% discount on the probe work —
-      // the advisor has no NDV statistics).
-      for (const SubInfo& sub : shape.subs) {
-        if (sub.eq_correlated) {
-          cost += sub.inner_rows + b * 2 * 0.7;
-        } else {
-          cost += b * sub.inner_rows * (sub.exists_like ? 0.5 : 1.0) * 0.7;
-        }
-      }
-      why = "index probes + Rao-Ross invariant memoization";
-      break;
-    case Strategy::kUnnest:
-    case Strategy::kUnnestNoIndex: {
-      if (shape.has_disjunctive_sub) {
-        return unsupported("disjunctive subqueries cannot be join-unnested");
-      }
-      if (shape.has_non_neighboring) {
-        return unsupported("non-neighboring correlation not join-unnestable");
-      }
-      const bool hash = strategy == Strategy::kUnnest;
-      for (const SubInfo& sub : shape.subs) {
-        if (sub.eq_correlated && hash) {
-          cost += sub.inner_rows + b;  // Build + probe.
-        } else {
-          cost += b * sub.inner_rows * (sub.exists_like ? 0.5 : 1.0);
-        }
-      }
-      why = hash ? "semi/anti/outer hash joins" : "nested-loop joins";
-      break;
-    }
-    case Strategy::kGmdjNaive:
-      for (const SubInfo& sub : shape.subs) cost += b * sub.inner_rows;
-      why = "nested-loop GMDJ (reference)";
-      break;
-    case Strategy::kGmdj:
-    case Strategy::kGmdjOptimized: {
-      const bool optimized = strategy == Strategy::kGmdjOptimized;
-      // Coalescing merges leaf subqueries over the same detail table.
-      std::map<std::string, double> scanned_tables;
-      for (const SubInfo& sub : shape.subs) {
-        const double per_pair_work =
-            sub.eq_correlated ? 0.0 : 1.0;  // Hash probe vs active scan.
-        double sub_cost =
-            per_pair_work * b * sub.inner_rows * (optimized ? 0.6 : 1.0);
-        if (sub.non_neighboring) sub_cost += b * sub.inner_rows;  // Join.
-        cost += sub_cost;
-        if (optimized && sub.leaf && !sub.detail_table.empty()) {
-          scanned_tables[sub.detail_table] =
-              std::max(scanned_tables[sub.detail_table], sub.inner_rows);
-        } else {
-          cost += sub.inner_rows;  // One detail scan per GMDJ.
-        }
-      }
-      for (const auto& [table, rows] : scanned_tables) cost += rows;
-      why = optimized ? "single-scan GMDJ + coalescing/completion"
-                      : "single-scan GMDJ";
-      break;
-    }
-  }
-  out.cost = cost;
-  out.rationale = why;
-  return out;
-}
-
-}  // namespace
 
 Result<std::vector<StrategyCostEstimate>> StrategyAdvisor::EstimateAll(
     const NestedSelect& query) const {
   // Bind a clone so frame indexes are available for shape analysis.
   std::unique_ptr<NestedSelect> bound = query.Clone();
   GMDJ_RETURN_IF_ERROR(bound->Bind(*catalog_, {}));
-  ShapeCollector collector(catalog_);
-  GMDJ_ASSIGN_OR_RETURN(const QueryShape shape, collector.Collect(*bound));
-
-  std::vector<StrategyCostEstimate> estimates;
-  for (const Strategy strategy : AllStrategies()) {
-    estimates.push_back(Estimate(strategy, shape));
-  }
-  std::stable_sort(estimates.begin(), estimates.end(),
-                   [](const StrategyCostEstimate& a,
-                      const StrategyCostEstimate& b) {
-                     return a.cost < b.cost;
-                   });
-  return estimates;
+  // No statistics catalog: the shape carries catalog row counts only and
+  // the cost model degrades to the original stat-free advisor formulas.
+  planner::ShapeCollector collector(catalog_, /*stats=*/nullptr);
+  GMDJ_ASSIGN_OR_RETURN(const planner::QueryShape shape,
+                        collector.Collect(*bound));
+  return planner::EstimateStrategies(shape);
 }
 
 Result<Strategy> StrategyAdvisor::Recommend(const NestedSelect& query) const {

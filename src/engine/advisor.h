@@ -4,39 +4,28 @@
 #include <string>
 #include <vector>
 
-#include "engine/olap_engine.h"
 #include "nested/nested_ast.h"
+#include "planner/cost_model.h"
+#include "planner/strategy.h"
 #include "storage/catalog.h"
 
 namespace gmdj {
 
-/// One strategy's estimated cost for a query, in abstract row operations.
-struct StrategyCostEstimate {
-  Strategy strategy = Strategy::kGmdj;
-  double cost = 0.0;        // +inf encodes "outside the supported fragment".
-  std::string rationale;    // One line: what dominated the estimate.
-};
+// StrategyCostEstimate moved to planner/cost_model.h (still in namespace
+// gmdj); included above, existing callers compile unchanged.
 
-/// Heuristic cost advisor — a concrete take on the paper's closing
-/// suggestion that a cost-based optimizer should "select between a rich
-/// set of alternatives (joins, set-division and GMDJs) for the subquery
-/// evaluation".
+/// Heuristic cost advisor — the original concrete take on the paper's
+/// closing suggestion that a cost-based optimizer should "select between
+/// a rich set of alternatives (joins, set-division and GMDJs) for the
+/// subquery evaluation".
 ///
-/// The model walks the nested query, classifies every subquery block
-/// (equality-correlated? quantifier kind? nesting? non-neighboring?) and
-/// charges each strategy in abstract row operations:
-///
-///   * scans and hash builds cost |R|; probes cost O(1) per outer row,
-///   * tuple iteration costs |B|·|R| with an early-termination discount
-///     for EXISTS/SOME/ALL under "smart" evaluation,
-///   * non-indexable GMDJ conditions (and NL joins) cost |B|·|R|,
-///   * coalescing merges same-table detail scans; completion discounts
-///     scan-strategy conditions,
-///   * strategies outside their fragment (disjunctive subqueries or
-///     non-neighboring correlation for join unnesting) cost infinity.
-///
-/// The numbers are *ranks*, not milliseconds: the advisor answers "which
-/// strategy should run this query", the benchmarks answer "how fast".
+/// Now a thin delegate over the statistics-aware cost model in
+/// src/planner/: the advisor runs the same shape analysis and strategy
+/// formulas *without* a statistics catalog, which reproduces the original
+/// stat-free heuristics exactly (the planner_test suite pins that
+/// equivalence). Callers wanting cardinality-backed costs and the
+/// adaptive feedback loop use OlapEngine::Decide / planner::Planner
+/// instead.
 class StrategyAdvisor {
  public:
   explicit StrategyAdvisor(const Catalog* catalog) : catalog_(catalog) {}

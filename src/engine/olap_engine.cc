@@ -1,5 +1,12 @@
 #include "engine/olap_engine.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <numeric>
+#include <optional>
+#include <utility>
+
 #include "common/fault_injection.h"
 #include "common/stopwatch.h"
 #include "engine/batch_planner.h"
@@ -13,40 +20,8 @@
 
 namespace gmdj {
 
-const char* StrategyToString(Strategy strategy) {
-  switch (strategy) {
-    case Strategy::kNativeNaive:
-      return "native-naive";
-    case Strategy::kNativeSmart:
-      return "native-smart";
-    case Strategy::kNativeIndexed:
-      return "native-indexed";
-    case Strategy::kNativeMemo:
-      return "native-memo";
-    case Strategy::kUnnest:
-      return "unnest-joins";
-    case Strategy::kUnnestNoIndex:
-      return "unnest-joins-noindex";
-    case Strategy::kGmdjNaive:
-      return "gmdj-naive";
-    case Strategy::kGmdj:
-      return "gmdj";
-    case Strategy::kGmdjOptimized:
-      return "gmdj-optimized";
-  }
-  return "?";
-}
-
-const std::vector<Strategy>& AllStrategies() {
-  static const std::vector<Strategy>* kAll = new std::vector<Strategy>{
-      Strategy::kNativeNaive,   Strategy::kNativeSmart,
-      Strategy::kNativeIndexed, Strategy::kNativeMemo,
-      Strategy::kUnnest,        Strategy::kUnnestNoIndex,
-      Strategy::kGmdjNaive,     Strategy::kGmdj,
-      Strategy::kGmdjOptimized,
-  };
-  return *kAll;
-}
+// StrategyToString / AllStrategies / StrategyFromName moved to
+// planner/strategy.cc alongside the Strategy enum.
 
 namespace {
 
@@ -68,6 +43,51 @@ TranslateOptions TranslateOptionsFor(Strategy strategy) {
     options.strategy = GmdjStrategy::kNaive;
   }
   return options;
+}
+
+/// Applies `fn` to every GMDJ node of an owned plan tree. children()
+/// exposes const pointers for traversal, but the caller owns the root, so
+/// handing out mutable nodes for planner hints is sound.
+void ForEachGmdjNode(PlanNode* root, const std::function<void(GmdjNode*)>& fn) {
+  if (auto* node = dynamic_cast<GmdjNode*>(root)) fn(node);
+  for (const PlanNode* child : root->children()) {
+    if (child != nullptr) ForEachGmdjNode(const_cast<PlanNode*>(child), fn);
+  }
+}
+
+int DispatchRank(CondStrategy s) {
+  switch (s) {
+    case CondStrategy::kHash:
+      return 0;
+    case CondStrategy::kInterval:
+      return 1;
+    case CondStrategy::kScan:
+      return 2;
+  }
+  return 3;
+}
+
+/// Post-Prepare planner hint: probe conditions in dispatch-cost order
+/// (hash < interval < scan), so cheap indexed conditions discard/freeze
+/// base tuples before scan-dispatch conditions pay per-pair work.
+/// Result-identical — only the runtime evaluation order changes.
+void ApplyEvalOrderHints(PlanNode* root) {
+  ForEachGmdjNode(root, [](GmdjNode* node) {
+    const size_t n = node->num_conditions();
+    if (n < 2) return;
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return DispatchRank(node->condition_strategy(a)) <
+             DispatchRank(node->condition_strategy(b));
+    });
+    node->SetEvalOrder(std::move(order));
+  });
+}
+
+bool IsGmdjFamily(Strategy s) {
+  return s == Strategy::kGmdjNaive || s == Strategy::kGmdj ||
+         s == Strategy::kGmdjOptimized;
 }
 
 }  // namespace
@@ -113,6 +133,20 @@ OlapEngine::OlapEngine() {
   hot_metrics_.rows_scanned = metrics_.GetCounter("gmdj.rows_scanned");
   hot_metrics_.predicate_evals = metrics_.GetCounter("gmdj.predicate_evals");
   hot_metrics_.rng_size = metrics_.GetHistogram("gmdj.rng_size");
+  // Cost-based planner: resolves Strategy::kAuto against fresh per-table
+  // statistics; the enabled default comes from GMDJ_PLANNER.
+  planner_ = std::make_unique<planner::Planner>(
+      &catalog_, &stats_catalog_, &metrics_, planner::PlannerConfig::FromEnv());
+}
+
+void OlapEngine::set_planner_config(planner::PlannerConfig config) {
+  planner_ = std::make_unique<planner::Planner>(&catalog_, &stats_catalog_,
+                                                &metrics_, std::move(config));
+}
+
+Result<planner::PlanDecision> OlapEngine::Decide(const NestedSelect& query) {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  return planner_->Decide(query);
 }
 
 void OlapEngine::WireContext(ExecContext* ctx) {
@@ -145,6 +179,12 @@ void RecordQueryStats(obs::MetricRegistry* metrics, const ExecStats& stats) {
 Result<PlanPtr> OlapEngine::Plan(const NestedSelect& query,
                                  Strategy strategy) const {
   switch (strategy) {
+    case Strategy::kAuto: {
+      GMDJ_ASSIGN_OR_RETURN(
+          const planner::PlanDecision decision,
+          planner_->Decide(query, {.require_plan = true}));
+      return PlanForDecision(query, decision);
+    }
     case Strategy::kUnnest:
     case Strategy::kUnnestNoIndex: {
       UnnestOptions options;
@@ -161,6 +201,23 @@ Result<PlanPtr> OlapEngine::Plan(const NestedSelect& query,
           std::string("strategy has no physical plan: ") +
           StrategyToString(strategy));
   }
+}
+
+Result<PlanPtr> OlapEngine::PlanForDecision(
+    const NestedSelect& query, const planner::PlanDecision& decision) const {
+  if (IsGmdjFamily(decision.strategy)) {
+    TranslateOptions options = TranslateOptionsFor(decision.strategy);
+    options.completion = options.completion && decision.use_completion;
+    GMDJ_ASSIGN_OR_RETURN(PlanPtr plan,
+                          SubqueryToGmdj(query.Clone(), catalog_, options));
+    if (decision.force_scan_bindings) {
+      ForEachGmdjNode(plan.get(), [](GmdjNode* node) {
+        node->SetAllowIndexBindings(false);
+      });
+    }
+    return plan;
+  }
+  return Plan(query, decision.strategy);
 }
 
 Result<Table> OlapEngine::Execute(const NestedSelect& query,
@@ -198,10 +255,24 @@ Result<Table> OlapEngine::ExecuteLocked(const NestedSelect& query,
   if (run == nullptr) run = &local;
   Stopwatch watch;
   m_queries_->Add(1);
+  // Strategy::kAuto resolves through the cost-based planner before any
+  // execution; the decision also carries the execution hints applied
+  // below and the estimates fed back after the run.
+  std::optional<planner::PlanDecision> decision;
+  if (strategy == Strategy::kAuto) {
+    auto decided = planner_->Decide(query);
+    GMDJ_RETURN_IF_ERROR(decided.status());
+    decision = *std::move(decided);
+    strategy = decision->strategy;
+  }
   // The context lives for exactly one query; its destruction returns every
   // reserved byte to the pool, so error unwinds cannot leak budget.
   QueryContext qctx(session.ToQueryLimits(), &mem_pool_);
   ExecConfig config = exec_config_;
+  // An explicit session thread count wins over the planner's choice.
+  if (decision.has_value() && decision->num_threads > 0) {
+    config.num_threads = decision->num_threads;
+  }
   if (session.num_threads > 0) config.num_threads = session.num_threads;
   const uint32_t query_span =
       tracer_.Start("query", obs::SpanTracer::kNoSpan,
@@ -223,8 +294,16 @@ Result<Table> OlapEngine::ExecuteLocked(const NestedSelect& query,
         return native;
       }
       default: {
-        GMDJ_ASSIGN_OR_RETURN(PlanPtr plan, Plan(query, strategy));
+        PlanPtr plan;
+        if (decision.has_value()) {
+          GMDJ_ASSIGN_OR_RETURN(plan, PlanForDecision(query, *decision));
+        } else {
+          GMDJ_ASSIGN_OR_RETURN(plan, Plan(query, strategy));
+        }
         GMDJ_RETURN_IF_ERROR(plan->Prepare(catalog_));
+        if (decision.has_value() && decision->reorder_conditions) {
+          ApplyEvalOrderHints(plan.get());
+        }
         ExecContext ctx(&catalog_, config);
         ctx.set_gmdj_cache(agg_cache_.get());
         ctx.set_query_ctx(&qctx);
@@ -264,6 +343,12 @@ Result<Table> OlapEngine::ExecuteLocked(const NestedSelect& query,
       break;
     default:
       break;
+  }
+  if (result.ok() && decision.has_value()) {
+    // Close the adaptive loop: estimate-vs-actual under the decision's
+    // plan signature; a >replan_factor miss re-optimizes the next run.
+    planner_->RecordActuals(*decision,
+                            static_cast<double>(result->num_rows()));
   }
   if (result.ok()) {
     run->abort_dump.clear();
@@ -475,6 +560,21 @@ Table PlanTextTable(const std::string& text) {
   return out;
 }
 
+/// The estimate-vs-actual line EXPLAIN ANALYZE appends under kAuto. The
+/// error factor is symmetric (max/min, both clamped to >= 1 row) so a 10x
+/// under- and a 10x over-estimate read the same.
+std::string EstimateVsActualLine(const planner::PlanDecision& decision,
+                                 size_t actual_rows) {
+  const double est = std::max(decision.est_result_rows, 1.0);
+  const double act = std::max(static_cast<double>(actual_rows), 1.0);
+  const double error = std::max(est, act) / std::min(est, act);
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "planner: estimated_rows=%.0f actual_rows=%zu error=%.1fx",
+                decision.est_result_rows, actual_rows, error);
+  return std::string(buf);
+}
+
 }  // namespace
 
 Result<Table> OlapEngine::ExecuteSql(std::string_view sql,
@@ -502,6 +602,12 @@ Result<Table> OlapEngine::ExecuteSql(std::string_view sql, Strategy strategy,
     return PlanTextTable("inserted " + std::to_string(num_rows) +
                          " rows into " + statement.insert_table);
   }
+  if (statement.kind == SqlStatement::Kind::kAnalyze) {
+    Stopwatch analyze_watch;
+    Result<Table> analyzed = AnalyzeTables(statement.analyze_table);
+    run->elapsed_ms = analyze_watch.ElapsedMillis();
+    return analyzed;
+  }
   if (statement.kind != SqlStatement::Kind::kSelect) {
     const bool saving = statement.kind == SqlStatement::Kind::kSaveSnapshot;
     Stopwatch snapshot_watch;
@@ -528,15 +634,38 @@ Result<Table> OlapEngine::ExecuteSql(std::string_view sql, Strategy strategy,
       default:
         break;
     }
-    GMDJ_ASSIGN_OR_RETURN(PlanPtr plan, Plan(*statement.select, strategy));
+    // Under kAuto the planner decision is surfaced in the rendered plan:
+    // its summary/rationale lines lead the output, and EXPLAIN ANALYZE
+    // appends estimated-vs-actual cardinalities and feeds the actuals
+    // back into the adaptive loop.
+    std::optional<planner::PlanDecision> decision;
+    PlanPtr plan;
+    if (strategy == Strategy::kAuto) {
+      auto decided = planner_->Decide(*statement.select, {.require_plan = true});
+      GMDJ_RETURN_IF_ERROR(decided.status());
+      decision = *std::move(decided);
+      GMDJ_ASSIGN_OR_RETURN(plan,
+                            PlanForDecision(*statement.select, *decision));
+    } else {
+      GMDJ_ASSIGN_OR_RETURN(plan, Plan(*statement.select, strategy));
+    }
     GMDJ_ASSIGN_OR_RETURN(plan, ApplySqlOutput(std::move(plan), &statement));
     if (statement.explain == SqlStatement::ExplainMode::kAnalyze) {
-      GMDJ_ASSIGN_OR_RETURN(std::string text,
-                            ExplainAnalyzePlan(std::move(plan), {}, run));
+      size_t result_rows = 0;
+      GMDJ_ASSIGN_OR_RETURN(
+          std::string text,
+          ExplainAnalyzePlan(std::move(plan), {}, run, &result_rows));
+      if (decision.has_value()) {
+        text = decision->Summary() + "\n" + text + "\n" +
+               EstimateVsActualLine(*decision, result_rows);
+        planner_->RecordActuals(*decision, static_cast<double>(result_rows));
+      }
       return PlanTextTable(text);
     }
     GMDJ_RETURN_IF_ERROR(plan->Prepare(catalog_));
-    return PlanTextTable(plan->ToString());
+    std::string text = plan->ToString();
+    if (decision.has_value()) text = decision->Summary() + "\n" + text;
+    return PlanTextTable(text);
   }
 
   GMDJ_ASSIGN_OR_RETURN(
@@ -576,6 +705,13 @@ Result<std::string> OlapEngine::Explain(const NestedSelect& query,
     case Strategy::kNativeMemo:
       return std::string(StrategyToString(strategy)) +
              " (tuple iteration over): " + query.ToString();
+    case Strategy::kAuto: {
+      GMDJ_ASSIGN_OR_RETURN(const planner::PlanDecision decision,
+                            planner_->Decide(query, {.require_plan = true}));
+      GMDJ_ASSIGN_OR_RETURN(PlanPtr plan, PlanForDecision(query, decision));
+      GMDJ_RETURN_IF_ERROR(plan->Prepare(catalog_));
+      return decision.Summary() + "\n" + plan->ToString();
+    }
     default: {
       GMDJ_ASSIGN_OR_RETURN(PlanPtr plan, Plan(query, strategy));
       GMDJ_RETURN_IF_ERROR(plan->Prepare(catalog_));
@@ -599,17 +735,33 @@ Result<std::string> OlapEngine::ExplainAnalyze(
       break;
   }
   std::shared_lock<std::shared_mutex> lock(catalog_mu_);
-  GMDJ_ASSIGN_OR_RETURN(PlanPtr plan, Plan(query, strategy));
+  std::optional<planner::PlanDecision> decision;
+  PlanPtr plan;
+  if (strategy == Strategy::kAuto) {
+    auto decided = planner_->Decide(query, {.require_plan = true});
+    GMDJ_RETURN_IF_ERROR(decided.status());
+    decision = *std::move(decided);
+    GMDJ_ASSIGN_OR_RETURN(plan, PlanForDecision(query, *decision));
+  } else {
+    GMDJ_ASSIGN_OR_RETURN(plan, Plan(query, strategy));
+  }
   QueryRun run;
+  size_t result_rows = 0;
   Result<std::string> rendered =
-      ExplainAnalyzePlan(std::move(plan), options, &run);
+      ExplainAnalyzePlan(std::move(plan), options, &run, &result_rows);
   last_stats_ = run.stats;
   last_elapsed_ms_ = run.elapsed_ms;
+  if (rendered.ok() && decision.has_value()) {
+    planner_->RecordActuals(*decision, static_cast<double>(result_rows));
+    return decision->Summary() + "\n" + *rendered + "\n" +
+           EstimateVsActualLine(*decision, result_rows);
+  }
   return rendered;
 }
 
 Result<std::string> OlapEngine::ExplainAnalyzePlan(
-    PlanPtr plan, const AnalyzeRenderOptions& options, QueryRun* run) {
+    PlanPtr plan, const AnalyzeRenderOptions& options, QueryRun* run,
+    size_t* result_rows) {
   Stopwatch watch;
   m_queries_->Add(1);
   const obs::Clock& clock = tracer_.clock();
@@ -635,11 +787,34 @@ Result<std::string> OlapEngine::ExplainAnalyzePlan(
   run->elapsed_ms = watch.ElapsedMillis();
   RecordQueryStats(&metrics_, ctx.stats());
   GMDJ_RETURN_IF_ERROR(executed.status());
+  if (result_rows != nullptr) *result_rows = executed->num_rows();
   // Whole-plan Prepare cost (binding, index builds deferred to Execute
   // excluded) lands on the root operator; per-operator Execute phases are
   // timed exclusively by their OpScopes.
   profile.Stats(plan.get())->prepare_nanos += prepare_nanos;
   return RenderAnalyzedPlan(*plan, profile, options);
+}
+
+Result<Table> OlapEngine::AnalyzeTables(const std::string& table) {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  std::vector<std::string> names;
+  if (table.empty()) {
+    names = catalog_.TableNames();
+  } else {
+    names.push_back(table);
+  }
+  std::string text;
+  for (const std::string& name : names) {
+    std::shared_ptr<const stats::TableStats> tstats =
+        stats_catalog_.Analyze(catalog_, name);
+    if (tstats == nullptr) {
+      return Status::InvalidArgument("ANALYZE: unknown table '" + name + "'");
+    }
+    text += tstats->ToString();
+    if (!text.empty() && text.back() != '\n') text += "\n";
+  }
+  if (text.empty()) text = "analyzed 0 tables";
+  return PlanTextTable(text);
 }
 
 Result<Table> OlapEngine::Project(const Table& input,

@@ -16,7 +16,10 @@
 #include "obs/operator_stats.h"
 #include "obs/trace.h"
 #include "parallel/exec_config.h"
+#include "planner/planner.h"
+#include "planner/strategy.h"
 #include "spill/spill_manager.h"
+#include "stats/stats_catalog.h"
 #include "storage/catalog.h"
 
 namespace gmdj {
@@ -40,26 +43,11 @@ struct QueryRun {
   std::string abort_dump;
 };
 
-/// Subquery evaluation strategies the engine can dispatch to. The first
-/// three model the paper's "native" commercial DBMS at increasing levels
-/// of sophistication; the next two are the join/outer-join unnesting
-/// literature; the last three are this paper's contribution.
-enum class Strategy {
-  kNativeNaive,     // Tuple iteration, full inner scans.
-  kNativeSmart,     // + early termination (EXISTS/SOME/ALL).
-  kNativeIndexed,   // + hash index probes on equality correlation.
-  kNativeMemo,      // + Rao-Ross invariant memoization per correlation key.
-  kUnnest,          // Join/outer-join unnesting, hash joins.
-  kUnnestNoIndex,   // Same plans, nested-loop joins only.
-  kGmdjNaive,       // SubqueryToGMDJ, nested-loop GMDJ evaluation.
-  kGmdj,            // SubqueryToGMDJ, single-scan GMDJ evaluation.
-  kGmdjOptimized,   // + coalescing and base-tuple completion.
-};
-
-const char* StrategyToString(Strategy strategy);
-
-/// All strategies, in the order above (for sweeping in tests/benches).
-const std::vector<Strategy>& AllStrategies();
+// The Strategy enum (and StrategyToString / AllStrategies /
+// StrategyFromName) moved to planner/strategy.h so the cost-based planner
+// can name strategies without depending on the engine. Included above;
+// existing engine callers compile unchanged. Strategy::kAuto defers the
+// choice to the planner and is resolved before any execution.
 
 /// Facade tying the pieces together: a catalog of tables plus a
 /// strategy-dispatched executor for nested query expressions.
@@ -141,6 +129,25 @@ class OlapEngine {
   /// Convenience: evaluates projection expressions over a result table
   /// (e.g. the paper's `sum1/sum2` output column).
   Result<Table> Project(const Table& input, std::vector<ProjItem> items);
+
+  /// Runs the cost-based planner on `query` (under the shared catalog
+  /// lock) and returns its decision without executing anything. This is
+  /// what Strategy::kAuto resolves through; callers wanting the choice
+  /// plus rationale (the shell, tests) use it directly.
+  Result<planner::PlanDecision> Decide(const NestedSelect& query);
+
+  /// The engine's planner and its per-column statistics. The statistics
+  /// catalog is version-checked against catalog table versions, so
+  /// INSERT / PutTable / RESTORE SNAPSHOT mutations invalidate entries
+  /// automatically; `ANALYZE [table]` SQL forces recollection.
+  planner::Planner* planner() { return planner_.get(); }
+  stats::StatsCatalog* table_stats() { return &stats_catalog_; }
+
+  /// Replaces the planner configuration (rebuilds the planner; metric
+  /// handles persist). Lets one process host planner-on and planner-off
+  /// engines side by side for differential tests, independent of the
+  /// GMDJ_PLANNER environment default.
+  void set_planner_config(planner::PlannerConfig config);
 
   /// Batch admission: canonicalizes the GMDJs of all `queries`, evaluates
   /// conditions shared across queries once (publishing through the
@@ -261,9 +268,12 @@ class OlapEngine {
   /// back half of ExplainAnalyze and the SQL EXPLAIN ANALYZE path).
   /// Writes diagnostics to `run` (never null), not to engine members.
   /// Caller holds the catalog lock (shared).
+  /// When `result_rows` is non-null it receives the executed result's row
+  /// count (for the planner's estimate-vs-actual feedback).
   Result<std::string> ExplainAnalyzePlan(PlanPtr plan,
                                          const AnalyzeRenderOptions& options,
-                                         QueryRun* run);
+                                         QueryRun* run,
+                                         size_t* result_rows = nullptr);
 
   // Lock-free bodies of the public entry points. Each public method
   // takes `catalog_mu_` exactly once and delegates here, so internal
@@ -273,6 +283,17 @@ class OlapEngine {
                               const SessionLimits& session, QueryRun* run);
   Status SaveSnapshotLocked(const std::string& dir);
   Status AppendRowsLocked(const std::string& name, std::vector<Row> rows);
+
+  /// Builds the physical plan for a planner decision: like Plan(), but
+  /// honors the decision's completion-placement choice and applies the
+  /// pre-Prepare binding hints to every GMDJ node. Caller holds the
+  /// catalog lock (shared).
+  Result<PlanPtr> PlanForDecision(const NestedSelect& query,
+                                  const planner::PlanDecision& decision) const;
+
+  /// ANALYZE statement body: forced stats recollection for one table (or
+  /// all when `table` is empty); returns the summary text table.
+  Result<Table> AnalyzeTables(const std::string& table);
 
   Catalog catalog_;
   /// Guards the catalog against online mutation: queries/batches/explains
@@ -286,6 +307,8 @@ class OlapEngine {
   std::unique_ptr<GmdjAggCache> agg_cache_;
   std::unique_ptr<spill::SpillManager> spill_manager_;
   MemoryPool mem_pool_;
+  stats::StatsCatalog stats_catalog_;
+  std::unique_ptr<planner::Planner> planner_;
 
   obs::MetricRegistry metrics_;
   obs::SpanTracer tracer_;

@@ -1,0 +1,193 @@
+#include "planner/cost_model.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+namespace gmdj {
+namespace planner {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Weight of one aggregate update relative to one probe/scan row op.
+/// Only charged when statistics expose the RNG fan-out; without stats the
+/// term is zero and the model reproduces the stat-free advisor exactly.
+constexpr double kAggUpdateWeight = 0.1;
+
+/// Expected matches per probe of an eq-correlated condition: the inner
+/// rows divided by the correlation column's NDV, or 1 when unknown.
+double MatchesPerProbe(const SubInfo& sub) {
+  if (sub.detail_corr_ndv <= 0) return 1.0;
+  return std::max(1.0, sub.inner_rows / sub.detail_corr_ndv);
+}
+
+/// Expected total RNG size of an eq-correlated GMDJ condition (detail
+/// rows × base rows matching each): |R|·|B| / NDV(base corr column).
+/// 0 when the base-side NDV is unknown (stat-free mode).
+double ExpectedRngTotal(const SubInfo& sub, double base_rows) {
+  if (sub.base_corr_ndv <= 0) return 0.0;
+  return sub.inner_rows * std::max(1.0, base_rows / sub.base_corr_ndv);
+}
+
+StrategyCostEstimate Estimate(Strategy strategy, const QueryShape& shape) {
+  StrategyCostEstimate out;
+  out.strategy = strategy;
+  const double b = std::max(1.0, shape.base_rows);
+  double cost = b;
+  std::string why;
+
+  auto unsupported = [&](const char* reason) {
+    out.cost = kInf;
+    out.rationale = reason;
+    return out;
+  };
+
+  switch (strategy) {
+    case Strategy::kAuto:
+      // Never reached: the planner only costs concrete strategies.
+      return unsupported("auto is a planner directive, not a strategy");
+    case Strategy::kNativeNaive:
+      for (const SubInfo& sub : shape.subs) cost += b * sub.inner_rows;
+      why = "tuple iteration, full inner scans";
+      break;
+    case Strategy::kNativeSmart:
+      for (const SubInfo& sub : shape.subs) {
+        cost += b * sub.inner_rows * (sub.exists_like ? 0.5 : 1.0);
+      }
+      why = "tuple iteration with early termination";
+      break;
+    case Strategy::kNativeIndexed:
+      for (const SubInfo& sub : shape.subs) {
+        if (sub.eq_correlated) {
+          cost += sub.inner_rows /*index build*/ +
+                  b * (1.0 + MatchesPerProbe(sub));
+        } else {
+          cost += b * sub.inner_rows * (sub.exists_like ? 0.5 : 1.0);
+        }
+      }
+      why = "index probes on equality correlation";
+      break;
+    case Strategy::kNativeMemo:
+      // Indexed evaluation + invariant reuse: repeated correlation keys
+      // hit the memo (a flat 30% discount on the probe work; with base
+      // NDV available the repeat fraction refines the discount).
+      for (const SubInfo& sub : shape.subs) {
+        if (sub.eq_correlated) {
+          double memo_factor = 0.7;
+          if (sub.base_corr_ndv > 0) {
+            // Fraction of probes that are first sightings of their key.
+            memo_factor = std::min(0.7, sub.base_corr_ndv / b);
+          }
+          cost += sub.inner_rows +
+                  b * (1.0 + MatchesPerProbe(sub)) * memo_factor;
+        } else {
+          cost += b * sub.inner_rows * (sub.exists_like ? 0.5 : 1.0) * 0.7;
+        }
+      }
+      why = "index probes + Rao-Ross invariant memoization";
+      break;
+    case Strategy::kUnnest:
+    case Strategy::kUnnestNoIndex: {
+      if (shape.has_disjunctive_sub) {
+        return unsupported("disjunctive subqueries cannot be join-unnested");
+      }
+      if (shape.has_non_neighboring) {
+        return unsupported("non-neighboring correlation not join-unnestable");
+      }
+      const bool hash = strategy == Strategy::kUnnest;
+      for (const SubInfo& sub : shape.subs) {
+        if (sub.eq_correlated && hash) {
+          // Hash-table inserts cost well over a scanned row (allocation +
+          // bucket writes), so the build side carries a higher weight than
+          // the probe side; charging build rows at 1x made join-unnesting
+          // look cheaper than single-scan GMDJ on probe-heavy shapes that
+          // GMDJ wins in practice.
+          cost += sub.inner_rows * 1.5 + b;  // Build + probe.
+        } else {
+          cost += b * sub.inner_rows * (sub.exists_like ? 0.5 : 1.0);
+        }
+      }
+      why = hash ? "semi/anti/outer hash joins" : "nested-loop joins";
+      break;
+    }
+    case Strategy::kGmdjNaive:
+      for (const SubInfo& sub : shape.subs) cost += b * sub.inner_rows;
+      why = "nested-loop GMDJ (reference)";
+      break;
+    case Strategy::kGmdj:
+    case Strategy::kGmdjOptimized: {
+      const bool optimized = strategy == Strategy::kGmdjOptimized;
+      // Coalescing merges leaf subqueries over the same detail table.
+      std::map<std::string, double> scanned_tables;
+      for (const SubInfo& sub : shape.subs) {
+        const double per_pair_work =
+            sub.eq_correlated ? 0.0 : 1.0;  // Hash probe vs active scan.
+        double sub_cost =
+            per_pair_work * b * sub.inner_rows * (optimized ? 0.6 : 1.0);
+        if (sub.eq_correlated) {
+          // Aggregate updates across the expected RNG total (stats only).
+          // Completion pruning drops satisfied base tuples out of later
+          // RNG updates, so the optimized variant touches fewer slots;
+          // without the discount the two GMDJ variants tie exactly on
+          // eq-correlated shapes and the tie breaks the wrong way.
+          sub_cost +=
+              kAggUpdateWeight * (optimized ? 0.8 : 1.0) * ExpectedRngTotal(sub, b);
+        }
+        if (sub.non_neighboring) sub_cost += b * sub.inner_rows;  // Join.
+        cost += sub_cost;
+        if (optimized && sub.leaf && !sub.detail_table.empty()) {
+          scanned_tables[sub.detail_table] =
+              std::max(scanned_tables[sub.detail_table], sub.inner_rows);
+        } else {
+          cost += sub.inner_rows;  // One detail scan per GMDJ.
+        }
+      }
+      for (const auto& [table, rows] : scanned_tables) cost += rows;
+      why = optimized ? "single-scan GMDJ + coalescing/completion"
+                      : "single-scan GMDJ";
+      break;
+    }
+  }
+  out.cost = cost;
+  out.rationale = why;
+  return out;
+}
+
+}  // namespace
+
+std::vector<StrategyCostEstimate> EstimateStrategies(const QueryShape& shape) {
+  std::vector<StrategyCostEstimate> estimates;
+  estimates.reserve(AllStrategies().size());
+  for (const Strategy strategy : AllStrategies()) {
+    estimates.push_back(Estimate(strategy, shape));
+  }
+  std::stable_sort(
+      estimates.begin(), estimates.end(),
+      [](const StrategyCostEstimate& a, const StrategyCostEstimate& b) {
+        return a.cost < b.cost;
+      });
+  return estimates;
+}
+
+double EstimateResultRows(const QueryShape& shape) {
+  constexpr double kDefaultSelectivity = 1.0 / 3.0;
+  const double base = std::max(1.0, shape.base_rows);
+  double selectivity = 1.0;
+  for (const SubInfo& sub : shape.subs) {
+    if (!sub.top_level || !sub.conjunctive || !sub.leaf) continue;
+    if (sub.exists_like && sub.eq_correlated && sub.detail_corr_ndv > 0 &&
+        sub.base_corr_ndv > 0) {
+      // EXISTS keeps base rows whose key appears in the detail: assuming
+      // near-uniform keys, the fraction of base keys covered.
+      selectivity *=
+          std::min(1.0, sub.detail_corr_ndv / sub.base_corr_ndv);
+    } else {
+      selectivity *= kDefaultSelectivity;
+    }
+  }
+  return std::max(1.0, base * selectivity);
+}
+
+}  // namespace planner
+}  // namespace gmdj

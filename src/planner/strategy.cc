@@ -1,0 +1,69 @@
+#include "planner/strategy.h"
+
+#include <cctype>
+
+namespace gmdj {
+
+const char* StrategyToString(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kNativeNaive:
+      return "native-naive";
+    case Strategy::kNativeSmart:
+      return "native-smart";
+    case Strategy::kNativeIndexed:
+      return "native-indexed";
+    case Strategy::kNativeMemo:
+      return "native-memo";
+    case Strategy::kUnnest:
+      return "unnest-joins";
+    case Strategy::kUnnestNoIndex:
+      return "unnest-joins-noindex";
+    case Strategy::kGmdjNaive:
+      return "gmdj-naive";
+    case Strategy::kGmdj:
+      return "gmdj";
+    case Strategy::kGmdjOptimized:
+      return "gmdj-optimized";
+    case Strategy::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+const std::vector<Strategy>& AllStrategies() {
+  static const std::vector<Strategy>* kAll = new std::vector<Strategy>{
+      Strategy::kNativeNaive,   Strategy::kNativeSmart,
+      Strategy::kNativeIndexed, Strategy::kNativeMemo,
+      Strategy::kUnnest,        Strategy::kUnnestNoIndex,
+      Strategy::kGmdjNaive,     Strategy::kGmdj,
+      Strategy::kGmdjOptimized,
+  };
+  return *kAll;
+}
+
+namespace {
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<Strategy> StrategyFromName(std::string_view name) {
+  for (const Strategy s : AllStrategies()) {
+    if (EqualsIgnoreCase(name, StrategyToString(s))) return s;
+  }
+  if (EqualsIgnoreCase(name, StrategyToString(Strategy::kAuto))) {
+    return Strategy::kAuto;
+  }
+  return std::nullopt;
+}
+
+}  // namespace gmdj

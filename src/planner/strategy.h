@@ -1,0 +1,48 @@
+#ifndef GMDJ_PLANNER_STRATEGY_H_
+#define GMDJ_PLANNER_STRATEGY_H_
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace gmdj {
+
+/// Subquery evaluation strategies the engine can dispatch to. The first
+/// three model the paper's "native" commercial DBMS at increasing levels
+/// of sophistication; the next two are the join/outer-join unnesting
+/// literature; the following three are this paper's contribution. kAuto
+/// defers the choice to the cost-based planner (src/planner/planner.h),
+/// the paper's closing suggestion of an optimizer that "selects between a
+/// rich set of alternatives" — it always resolves to one of the concrete
+/// strategies before execution.
+///
+/// Defined here (not in engine/) so the planner can cost strategies
+/// without depending on the engine that dispatches them.
+enum class Strategy {
+  kNativeNaive,     // Tuple iteration, full inner scans.
+  kNativeSmart,     // + early termination (EXISTS/SOME/ALL).
+  kNativeIndexed,   // + hash index probes on equality correlation.
+  kNativeMemo,      // + Rao-Ross invariant memoization per correlation key.
+  kUnnest,          // Join/outer-join unnesting, hash joins.
+  kUnnestNoIndex,   // Same plans, nested-loop joins only.
+  kGmdjNaive,       // SubqueryToGMDJ, nested-loop GMDJ evaluation.
+  kGmdj,            // SubqueryToGMDJ, single-scan GMDJ evaluation.
+  kGmdjOptimized,   // + coalescing and base-tuple completion.
+  kAuto,            // Cost-based choice among all of the above.
+};
+
+const char* StrategyToString(Strategy strategy);
+
+/// All *concrete* strategies, in the order above (for sweeping in tests
+/// and benches). kAuto is excluded: it is a planner directive, not an
+/// executable strategy, so sweeps comparing results never include it.
+const std::vector<Strategy>& AllStrategies();
+
+/// Case-insensitive inverse of StrategyToString, also accepting "auto";
+/// nullopt for unknown names. The one name parser shared by the server's
+/// x-strategy header, the shell's \run command, and bench flags.
+std::optional<Strategy> StrategyFromName(std::string_view name);
+
+}  // namespace gmdj
+
+#endif  // GMDJ_PLANNER_STRATEGY_H_

@@ -13,6 +13,7 @@
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <unordered_map>
 
 #include "common/byte_size.h"
@@ -70,13 +71,14 @@ bool PeerClosed(int fd) {
 }
 
 bool ParseStrategyName(const std::string& name, Strategy* out) {
-  for (const Strategy s : AllStrategies()) {
-    if (EqualsIgnoreCase(name, StrategyToString(s))) {
-      *out = s;
-      return true;
-    }
-  }
-  return false;
+  // Delegates to the canonical parser (planner/strategy.h), which also
+  // accepts "auto" — the cost-based planner picks per query. kAuto is not
+  // a GMDJ strategy for batching purposes (the planner may resolve
+  // different queries to different strategies), so auto jobs run singly.
+  const std::optional<Strategy> parsed = StrategyFromName(name);
+  if (!parsed.has_value()) return false;
+  *out = *parsed;
+  return true;
 }
 
 bool IsGmdjStrategy(Strategy s) {
@@ -606,7 +608,10 @@ HttpResponse QueryServer::HandleQuery(Conn* conn, const HttpRequest& request,
   // Over the network that is an unauthenticated file-I/O primitive plus
   // a use-after-free, so they are local-surface only (shell, ExecuteSql,
   // gmdj_serve --restore at boot).
-  if (statement.kind != SqlStatement::Kind::kSelect) {
+  // ANALYZE rides the normal single-query path below (no `select`, so it
+  // runs through ExecuteSql): a bounded statistics scan, safe to serve.
+  if (statement.kind != SqlStatement::Kind::kSelect &&
+      statement.kind != SqlStatement::Kind::kAnalyze) {
     m_rejected_->Add(1);
     session->rejected.fetch_add(1);
     return ErrorResponse(

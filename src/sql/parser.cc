@@ -36,6 +36,11 @@ class Parser {
     if (PeekKeyword("INSERT")) {
       return ParseInsertStatement();
     }
+    // Standalone ANALYZE (statistics recollection). EXPLAIN ANALYZE does
+    // not land here — its leading EXPLAIN is consumed below.
+    if (PeekKeyword("ANALYZE")) {
+      return ParseAnalyzeStatement();
+    }
     SqlStatement::ExplainMode explain = SqlStatement::ExplainMode::kNone;
     if (ConsumeKeyword("EXPLAIN")) {
       explain = ConsumeKeyword("ANALYZE") ? SqlStatement::ExplainMode::kAnalyze
@@ -67,6 +72,19 @@ class Parser {
     statement.snapshot_dir = Advance().text;
     if (statement.snapshot_dir.empty()) {
       return Error("snapshot directory must not be empty");
+    }
+    if (!AtEnd()) return Error("unexpected trailing input");
+    return std::move(statement);
+  }
+
+  /// ANALYZE [ident] — forced statistics recollection for one table, or
+  /// for every catalog table when no name follows.
+  Result<SqlStatement> ParseAnalyzeStatement() {
+    SqlStatement statement;
+    statement.kind = SqlStatement::Kind::kAnalyze;
+    GMDJ_RETURN_IF_ERROR(ExpectKeyword("ANALYZE"));
+    if (Peek().kind == TokenKind::kIdent) {
+      statement.analyze_table = Advance().text;
     }
     if (!AtEnd()) return Error("unexpected trailing input");
     return std::move(statement);

@@ -20,6 +20,7 @@ namespace gmdj {
 ///              | INSERT INTO ident VALUES '(' lit (',' lit)* ')'
 ///                (',' '(' lit (',' lit)* ')')*     -- ParseStatement only
 ///              | (SAVE|RESTORE) SNAPSHOT 'dir'     -- ParseStatement only
+///              | ANALYZE [ident]                   -- ParseStatement only
 ///   query     := SELECT select FROM ident [alias] [WHERE pred]
 ///   select    := '*'
 ///              | DISTINCT column (',' column)*      -- projected base
@@ -86,7 +87,16 @@ struct SqlStatement {
   /// VALUES (lit, ...), (lit, ...)`) carries `insert_table` and
   /// `insert_rows` — literal rows only, appended through
   /// OlapEngine::AppendRows (journaled when a journal is attached).
-  enum class Kind { kSelect, kSaveSnapshot, kRestoreSnapshot, kInsert };
+  /// `kAnalyze` (`ANALYZE [table]`) forces statistics recollection for
+  /// one table (or every table when no name is given) and carries
+  /// `analyze_table`.
+  enum class Kind {
+    kSelect,
+    kSaveSnapshot,
+    kRestoreSnapshot,
+    kInsert,
+    kAnalyze,
+  };
 
   Kind kind = Kind::kSelect;
   std::unique_ptr<NestedSelect> select;
@@ -96,6 +106,7 @@ struct SqlStatement {
   std::string snapshot_dir;   // Set for the snapshot kinds.
   std::string insert_table;   // Set for kInsert.
   std::vector<Row> insert_rows;
+  std::string analyze_table;  // Set for kAnalyze; empty = all tables.
 };
 
 /// Like ParseQuery, but the top-level select list may also be a list of

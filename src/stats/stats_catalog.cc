@@ -1,0 +1,61 @@
+#include "stats/stats_catalog.h"
+
+namespace gmdj {
+namespace stats {
+
+std::shared_ptr<const TableStats> StatsCatalog::GetFresh(
+    const Catalog& catalog, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end() &&
+      it->second->version == catalog.GetTableVersion(name)) {
+    return it->second;
+  }
+  return CollectLocked(catalog, name);
+}
+
+std::shared_ptr<const TableStats> StatsCatalog::Analyze(
+    const Catalog& catalog, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CollectLocked(catalog, name);
+}
+
+std::shared_ptr<const TableStats> StatsCatalog::Peek(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second;
+}
+
+void StatsCatalog::Invalidate(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.erase(name);
+}
+
+std::vector<std::string> StatsCatalog::TableNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, unused] : entries_) names.push_back(name);
+  return names;
+}
+
+std::shared_ptr<const TableStats> StatsCatalog::CollectLocked(
+    const Catalog& catalog, const std::string& name) {
+  // Read the version BEFORE the rows: if a concurrent in-place mutation
+  // races the scan, the stored version is older than the resulting table
+  // version and the next GetFresh recollects — conservative, never stale.
+  const TableVersion version = catalog.GetTableVersion(name);
+  auto table = catalog.GetTable(name);
+  if (!table.ok()) {
+    entries_.erase(name);
+    return nullptr;
+  }
+  auto tstats = std::make_shared<TableStats>(
+      CollectTableStats(name, **table, version));
+  entries_[name] = tstats;
+  return tstats;
+}
+
+}  // namespace stats
+}  // namespace gmdj

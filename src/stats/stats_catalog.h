@@ -1,0 +1,65 @@
+#ifndef GMDJ_STATS_STATS_CATALOG_H_
+#define GMDJ_STATS_STATS_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "stats/table_stats.h"
+#include "storage/catalog.h"
+
+namespace gmdj {
+namespace stats {
+
+/// Thread-safe registry of per-table statistics, keyed by table name and
+/// stamped with the Catalog's TableVersion at collection time.
+///
+/// Staleness is handled by versioning rather than by invalidation hooks:
+/// `GetFresh` compares the stored version with the catalog's current one
+/// and recollects on mismatch. Every mutation path — INSERT INTO ... VALUES
+/// (AppendRows bumps Table::version), PutTable / RESTORE SNAPSHOT
+/// (re-registration bumps the catalog epoch), in-place edits through
+/// GetMutableTable — changes the version, so stale statistics can never be
+/// served. This is the same contract the MQO aggregate cache relies on.
+///
+/// Entries are shared_ptr<const TableStats>: planners hold a consistent
+/// snapshot for the duration of one planning pass even if a concurrent
+/// ANALYZE replaces the entry.
+class StatsCatalog {
+ public:
+  /// Statistics for `name`, collected now if absent or stale with respect
+  /// to `catalog.GetTableVersion(name)`. Returns nullptr for unknown
+  /// tables (the planner then falls back to shape-only heuristics).
+  std::shared_ptr<const TableStats> GetFresh(const Catalog& catalog,
+                                             const std::string& name);
+
+  /// Forced recollection (the ANALYZE statement), regardless of version.
+  /// Returns nullptr for unknown tables.
+  std::shared_ptr<const TableStats> Analyze(const Catalog& catalog,
+                                            const std::string& name);
+
+  /// Cached statistics without any freshness check or collection; nullptr
+  /// when never collected. For observability surfaces only.
+  std::shared_ptr<const TableStats> Peek(const std::string& name) const;
+
+  /// Drops the cached entry (table dropped / replaced wholesale).
+  void Invalidate(const std::string& name);
+
+  /// Names with cached statistics, sorted.
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::shared_ptr<const TableStats> CollectLocked(const Catalog& catalog,
+                                                  const std::string& name)
+      /* requires mu_ */;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const TableStats>> entries_;
+};
+
+}  // namespace stats
+}  // namespace gmdj
+
+#endif  // GMDJ_STATS_STATS_CATALOG_H_

@@ -1,0 +1,74 @@
+#ifndef GMDJ_STATS_TABLE_STATS_H_
+#define GMDJ_STATS_TABLE_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/ndv_sketch.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace gmdj {
+namespace stats {
+
+/// Statistics of one table column, collected in a single pass over the
+/// rows. All planner-facing accessors degrade gracefully on empty input.
+struct ColumnStats {
+  uint64_t num_values = 0;    // Rows observed (null + non-null).
+  uint64_t num_nulls = 0;
+  NdvSketch ndv_sketch;
+  /// Min/max over the numeric interpretation (int64/double columns only;
+  /// `has_minmax` false for string or all-null columns).
+  bool has_minmax = false;
+  double min_value = 0.0;
+  double max_value = 0.0;
+
+  double null_fraction() const {
+    return num_values == 0
+               ? 0.0
+               : static_cast<double>(num_nulls) /
+                     static_cast<double>(num_values);
+  }
+
+  /// Estimated distinct non-null values, never below 1 for a non-empty
+  /// column (selectivity formulas divide by this).
+  double Ndv() const;
+};
+
+/// Per-table statistics: row count plus one ColumnStats per schema field,
+/// stamped with the catalog version the rows were read at. A version
+/// mismatch on lookup means some mutation path — INSERT, PutTable
+/// replacement, RESTORE SNAPSHOT — changed the rows, and the stats are
+/// stale exactly like an MQO cache entry recorded against that version.
+struct TableStats {
+  std::string table_name;
+  uint64_t row_count = 0;
+  std::vector<ColumnStats> columns;
+  TableVersion version;
+
+  const ColumnStats* column(size_t i) const {
+    return i < columns.size() ? &columns[i] : nullptr;
+  }
+
+  /// One line per column, for ANALYZE output and the shell.
+  std::string ToString() const;
+};
+
+/// Full-scan collection: one pass over `table` computing row count and
+/// every column's NDV sketch, min/max, and null count. O(rows x columns);
+/// the caller decides when that pass is worth paying (ANALYZE, or lazily
+/// on first planner use per table version).
+TableStats CollectTableStats(const std::string& name, const Table& table,
+                             const TableVersion& version);
+
+/// Folds the rows in [first_row, end) into existing stats — the
+/// incremental path for append-only mutation, exercising NdvSketch merge
+/// semantics. `version` stamps the result.
+void UpdateTableStats(const Table& table, size_t first_row,
+                      const TableVersion& version, TableStats* tstats);
+
+}  // namespace stats
+}  // namespace gmdj
+
+#endif  // GMDJ_STATS_TABLE_STATS_H_

@@ -1,0 +1,57 @@
+// Parsing of the ANALYZE statement, and its non-collision with the
+// EXPLAIN ANALYZE prefix (same keyword, different position).
+
+#include "gtest/gtest.h"
+#include "sql/parser.h"
+
+namespace gmdj {
+namespace {
+
+TEST(AnalyzeParseTest, BareAnalyzeMeansAllTables) {
+  const auto statement = ParseStatement("ANALYZE");
+  ASSERT_TRUE(statement.ok()) << statement.status().ToString();
+  EXPECT_EQ(statement->kind, SqlStatement::Kind::kAnalyze);
+  EXPECT_TRUE(statement->analyze_table.empty());
+  EXPECT_EQ(statement->explain, SqlStatement::ExplainMode::kNone);
+}
+
+TEST(AnalyzeParseTest, AnalyzeWithTableName) {
+  const auto statement = ParseStatement("ANALYZE Flow");
+  ASSERT_TRUE(statement.ok()) << statement.status().ToString();
+  EXPECT_EQ(statement->kind, SqlStatement::Kind::kAnalyze);
+  EXPECT_EQ(statement->analyze_table, "Flow");
+}
+
+TEST(AnalyzeParseTest, KeywordIsCaseInsensitive) {
+  const auto statement = ParseStatement("analyze orders");
+  ASSERT_TRUE(statement.ok()) << statement.status().ToString();
+  EXPECT_EQ(statement->kind, SqlStatement::Kind::kAnalyze);
+  EXPECT_EQ(statement->analyze_table, "orders");
+}
+
+TEST(AnalyzeParseTest, TrailingGarbageRejected) {
+  EXPECT_FALSE(ParseStatement("ANALYZE Flow extra").ok());
+  EXPECT_FALSE(ParseStatement("ANALYZE Flow, Hours").ok());
+}
+
+TEST(AnalyzeParseTest, NonIdentifierTableRejected) {
+  EXPECT_FALSE(ParseStatement("ANALYZE 'Flow'").ok());
+  EXPECT_FALSE(ParseStatement("ANALYZE 42").ok());
+}
+
+TEST(AnalyzeParseTest, ExplainAnalyzeStaysAnExplainedSelect) {
+  const auto statement =
+      ParseStatement("EXPLAIN ANALYZE SELECT * FROM Flow");
+  ASSERT_TRUE(statement.ok()) << statement.status().ToString();
+  EXPECT_EQ(statement->kind, SqlStatement::Kind::kSelect);
+  EXPECT_EQ(statement->explain, SqlStatement::ExplainMode::kAnalyze);
+  ASSERT_NE(statement->select, nullptr);
+}
+
+TEST(AnalyzeParseTest, ExplainAnalyzeOfAnalyzeRejected) {
+  // EXPLAIN prefixes queries only; ANALYZE is not a query.
+  EXPECT_FALSE(ParseStatement("EXPLAIN ANALYZE ANALYZE").ok());
+}
+
+}  // namespace
+}  // namespace gmdj

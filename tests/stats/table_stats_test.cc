@@ -1,0 +1,193 @@
+// Collection and staleness semantics of the per-table statistics: one
+// full-scan pass, incremental folds over appended ranges, and the
+// version-checked StatsCatalog that every mutation path (INSERT,
+// PutTable, RESTORE SNAPSHOT) invalidates implicitly.
+
+#include "stats/table_stats.h"
+
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "stats/stats_catalog.h"
+#include "storage/catalog.h"
+#include "test_util.h"
+
+namespace gmdj {
+namespace stats {
+namespace {
+
+using testutil::MakeTable;
+
+Table SampleTable() {
+  Table t = MakeTable({"T.k", "T.x:d", "T.name:s"}, {});
+  for (int i = 0; i < 100; ++i) {
+    t.AppendRow({i % 10, i % 4 == 0 ? Value::Null() : Value(i * 1.5),
+                 "row" + std::to_string(i % 7)});
+  }
+  return t;
+}
+
+TEST(CollectTableStatsTest, RowAndColumnBasics) {
+  Catalog catalog;
+  catalog.PutTable("T", SampleTable());
+  const Table* table = *catalog.GetTable("T");
+  const TableStats stats =
+      CollectTableStats("T", *table, catalog.GetTableVersion("T"));
+
+  EXPECT_EQ(stats.table_name, "T");
+  EXPECT_EQ(stats.row_count, 100u);
+  ASSERT_EQ(stats.columns.size(), 3u);
+
+  // k: 10 distinct ints 0..9, no nulls, min/max numeric.
+  const ColumnStats& k = stats.columns[0];
+  EXPECT_EQ(k.num_values, 100u);
+  EXPECT_EQ(k.num_nulls, 0u);
+  EXPECT_NEAR(k.Ndv(), 10.0, 0.5);
+  EXPECT_TRUE(k.has_minmax);
+  EXPECT_EQ(k.min_value, 0.0);
+  EXPECT_EQ(k.max_value, 9.0);
+  EXPECT_EQ(k.null_fraction(), 0.0);
+
+  // x: every 4th row null -> 25 nulls; min/max over non-null doubles.
+  const ColumnStats& x = stats.columns[1];
+  EXPECT_EQ(x.num_nulls, 25u);
+  EXPECT_DOUBLE_EQ(x.null_fraction(), 0.25);
+  EXPECT_TRUE(x.has_minmax);
+  EXPECT_EQ(x.min_value, 1.5);          // Row 0 is null; row 1 -> 1.5.
+  EXPECT_EQ(x.max_value, 99 * 1.5);
+
+  // name: strings carry NDV but no numeric min/max.
+  const ColumnStats& name = stats.columns[2];
+  EXPECT_FALSE(name.has_minmax);
+  EXPECT_NEAR(name.Ndv(), 7.0, 0.5);
+
+  // Human-readable rendering mentions the table and each column.
+  const std::string text = stats.ToString();
+  EXPECT_NE(text.find("T"), std::string::npos);
+  EXPECT_NE(text.find("100 rows"), std::string::npos);
+}
+
+TEST(CollectTableStatsTest, EmptyTable) {
+  Catalog catalog;
+  catalog.PutTable("E", MakeTable({"E.a"}, {}));
+  const TableStats stats = CollectTableStats(
+      "E", **catalog.GetTable("E"), catalog.GetTableVersion("E"));
+  EXPECT_EQ(stats.row_count, 0u);
+  ASSERT_EQ(stats.columns.size(), 1u);
+  EXPECT_FALSE(stats.columns[0].has_minmax);
+  EXPECT_EQ(stats.columns[0].null_fraction(), 0.0);
+}
+
+TEST(UpdateTableStatsTest, IncrementalFoldMatchesFullCollection) {
+  Catalog catalog;
+  catalog.PutTable("T", SampleTable());
+  Table* table = *catalog.GetMutableTable("T");
+  TableStats incremental =
+      CollectTableStats("T", *table, catalog.GetTableVersion("T"));
+
+  const size_t old_rows = table->num_rows();
+  for (int i = 100; i < 160; ++i) {
+    table->AppendRow({i % 10, Value(i * 1.5), "row" + std::to_string(i % 13)});
+  }
+  UpdateTableStats(*table, old_rows, catalog.GetTableVersion("T"),
+                   &incremental);
+
+  const TableStats full =
+      CollectTableStats("T", *table, catalog.GetTableVersion("T"));
+  EXPECT_EQ(incremental.row_count, full.row_count);
+  ASSERT_EQ(incremental.columns.size(), full.columns.size());
+  for (size_t c = 0; c < full.columns.size(); ++c) {
+    EXPECT_EQ(incremental.columns[c].num_values, full.columns[c].num_values);
+    EXPECT_EQ(incremental.columns[c].num_nulls, full.columns[c].num_nulls);
+    // NdvSketch merge is exact (register-wise max), so the estimates are
+    // equal, not just close.
+    EXPECT_EQ(incremental.columns[c].Ndv(), full.columns[c].Ndv());
+    EXPECT_EQ(incremental.columns[c].has_minmax, full.columns[c].has_minmax);
+    if (full.columns[c].has_minmax) {
+      EXPECT_EQ(incremental.columns[c].min_value, full.columns[c].min_value);
+      EXPECT_EQ(incremental.columns[c].max_value, full.columns[c].max_value);
+    }
+  }
+}
+
+TEST(StatsCatalogTest, UnknownTableReturnsNull) {
+  Catalog catalog;
+  StatsCatalog stats;
+  EXPECT_EQ(stats.GetFresh(catalog, "nope"), nullptr);
+  EXPECT_EQ(stats.Analyze(catalog, "nope"), nullptr);
+  EXPECT_EQ(stats.Peek("nope"), nullptr);
+}
+
+TEST(StatsCatalogTest, GetFreshCachesUntilVersionChanges) {
+  Catalog catalog;
+  catalog.PutTable("T", SampleTable());
+  StatsCatalog stats;
+
+  const auto first = stats.GetFresh(catalog, "T");
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->row_count, 100u);
+  // Unchanged version: the same snapshot is served.
+  EXPECT_EQ(stats.GetFresh(catalog, "T").get(), first.get());
+
+  // Append through the catalog (the INSERT path): version bump, so the
+  // next GetFresh recollects and sees the new row count.
+  (*catalog.GetMutableTable("T"))->AppendRow({3, 1.0, "extra"});
+  const auto second = stats.GetFresh(catalog, "T");
+  ASSERT_NE(second, nullptr);
+  EXPECT_NE(second.get(), first.get());
+  EXPECT_EQ(second->row_count, 101u);
+}
+
+TEST(StatsCatalogTest, PutTableReplacementInvalidates) {
+  Catalog catalog;
+  catalog.PutTable("T", SampleTable());
+  StatsCatalog stats;
+  ASSERT_EQ(stats.GetFresh(catalog, "T")->row_count, 100u);
+
+  // Wholesale replacement (the RESTORE SNAPSHOT path re-registers
+  // tables): a fresh read must reflect the replacement rows.
+  catalog.PutTable("T", MakeTable({"T.k", "T.x:d", "T.name:s"},
+                                  {{1, 1.0, "a"}, {2, 2.0, "b"}}));
+  const auto fresh = stats.GetFresh(catalog, "T");
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(fresh->row_count, 2u);
+}
+
+TEST(StatsCatalogTest, AnalyzeForcesRecollection) {
+  Catalog catalog;
+  catalog.PutTable("T", SampleTable());
+  StatsCatalog stats;
+  const auto cached = stats.GetFresh(catalog, "T");
+  // Same version, but ANALYZE recollects anyway (fresh object).
+  const auto analyzed = stats.Analyze(catalog, "T");
+  ASSERT_NE(analyzed, nullptr);
+  EXPECT_NE(analyzed.get(), cached.get());
+  EXPECT_EQ(analyzed->row_count, cached->row_count);
+  // Peek serves whatever is cached without collection.
+  EXPECT_EQ(stats.Peek("T").get(), analyzed.get());
+}
+
+TEST(StatsCatalogTest, InvalidateDropsEntry) {
+  Catalog catalog;
+  catalog.PutTable("T", SampleTable());
+  StatsCatalog stats;
+  stats.GetFresh(catalog, "T");
+  ASSERT_NE(stats.Peek("T"), nullptr);
+  stats.Invalidate("T");
+  EXPECT_EQ(stats.Peek("T"), nullptr);
+  EXPECT_TRUE(stats.TableNames().empty());
+}
+
+TEST(StatsCatalogTest, TableNamesSorted) {
+  Catalog catalog;
+  catalog.PutTable("B", MakeTable({"B.a"}, {{1}}));
+  catalog.PutTable("A", MakeTable({"A.a"}, {{1}}));
+  StatsCatalog stats;
+  stats.GetFresh(catalog, "B");
+  stats.GetFresh(catalog, "A");
+  EXPECT_EQ(stats.TableNames(), (std::vector<std::string>{"A", "B"}));
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace gmdj
